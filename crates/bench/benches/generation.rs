@@ -1,0 +1,68 @@
+//! Criterion benches for the test-generation pipeline itself:
+//! sensitivity evaluation on the IV-converter and full single-fault
+//! generation on the fast synthetic macro.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use castg_core::synthetic::DividerMacro;
+use castg_core::{AnalogMacro, Evaluator, Generator, NominalCache};
+use castg_faults::Fault;
+use castg_macros::IvConverter;
+
+fn bench_sensitivity_eval(c: &mut Criterion) {
+    let mac = IvConverter::with_analytic_boxes();
+    let circuit = mac.nominal_circuit();
+    let cache = NominalCache::new();
+    let configs = mac.configurations();
+    let dc = configs.iter().find(|k| k.id() == 1).unwrap();
+    let ev = Evaluator::new(dc.as_ref(), &circuit, &cache);
+    let faulty = ev.inject(&Fault::bridge("na", "out", 10e3)).unwrap();
+    // Warm the nominal cache so the bench isolates the faulty solve.
+    ev.sensitivity_of(&faulty, &[20e-6]).unwrap();
+    c.bench_function("sensitivity_dc_transfer_iv", |b| {
+        b.iter(|| {
+            let s = ev.sensitivity_of(black_box(&faulty), &[20e-6]).unwrap();
+            black_box(s);
+        })
+    });
+}
+
+fn bench_single_fault_generation(c: &mut Criterion) {
+    let mac = DividerMacro::new();
+    let cache = NominalCache::new();
+    let generator = Generator::new(&mac, &cache);
+    let fault = Fault::bridge("out", "0", 10e3);
+    let mut group = c.benchmark_group("generation");
+    group.sample_size(10);
+    group.bench_function("single_fault_divider_macro", |b| {
+        b.iter(|| {
+            let best = generator.generate_for_fault(black_box(&fault)).unwrap();
+            black_box(best.critical_scale);
+        })
+    });
+    group.finish();
+}
+
+fn bench_fault_injection(c: &mut Criterion) {
+    let mac = IvConverter::with_analytic_boxes();
+    let circuit = mac.nominal_circuit();
+    let bridge = Fault::bridge("na", "out", 10e3);
+    let pinhole = Fault::pinhole("M6", 2e3);
+    let mut group = c.benchmark_group("fault_injection");
+    group.bench_function("bridge", |b| {
+        b.iter(|| black_box(bridge.inject(black_box(&circuit)).unwrap()))
+    });
+    group.bench_function("pinhole", |b| {
+        b.iter(|| black_box(pinhole.inject(black_box(&circuit)).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sensitivity_eval,
+    bench_single_fault_generation,
+    bench_fault_injection
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benches for the numeric substrate: LU factorization and
+//! the Brent/Powell minimizers the generation loop runs on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use castg_numeric::{
+    brent_min, powell_min, BrentOptions, Bounds, LuFactors, Matrix, ParamSpace, PowellOptions,
+};
+
+fn bench_lu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lu_factor_solve");
+    for n in [8usize, 16, 32] {
+        // Diagonally dominant dense system of MNA-like size.
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = 1.0 / (1.0 + (i as f64 - j as f64).abs());
+            }
+            a[(i, i)] += n as f64;
+        }
+        let b: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        group.bench_function(format!("n={n}"), |bencher| {
+            bencher.iter(|| {
+                let lu = LuFactors::factor(black_box(a.clone())).unwrap();
+                black_box(lu.solve(black_box(&b)).unwrap());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_brent(c: &mut Criterion) {
+    c.bench_function("brent_quartic", |b| {
+        b.iter(|| {
+            let m = brent_min(
+                |x| (x - 0.7).powi(4) + 0.3 * (x - 0.7).powi(2),
+                black_box(-4.0),
+                black_box(4.0),
+                &BrentOptions::default(),
+            );
+            black_box(m.x);
+        })
+    });
+}
+
+fn bench_powell(c: &mut Criterion) {
+    let space = ParamSpace::new(vec![
+        Bounds::new(-2.0, 2.0).unwrap(),
+        Bounds::new(-2.0, 2.0).unwrap(),
+    ]);
+    c.bench_function("powell_rosenbrock", |b| {
+        b.iter(|| {
+            let r = powell_min(
+                |x| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2),
+                black_box(&[-1.2, 1.0]),
+                &space,
+                &PowellOptions::default(),
+            );
+            black_box(r.value);
+        })
+    });
+}
+
+criterion_group!(benches, bench_lu, bench_brent, bench_powell);
+criterion_main!(benches);

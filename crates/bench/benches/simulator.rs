@@ -1,0 +1,86 @@
+//! Criterion benches for the MNA simulator substrate: DC operating
+//! point, transient stepping, and the THD measurement pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use castg_macros::IvConverter;
+use castg_spice::{DcAnalysis, IntegrationMethod, Probe, TranAnalysis, Waveform};
+
+fn bench_dc_operating_point(c: &mut Criterion) {
+    let iv = IvConverter::with_analytic_boxes();
+    let circuit = iv.build_circuit();
+    c.bench_function("dc_operating_point_iv_converter", |b| {
+        b.iter(|| {
+            let sol = DcAnalysis::new(black_box(&circuit)).solve().unwrap();
+            black_box(sol.voltages()[1]);
+        })
+    });
+}
+
+fn bench_transient_microsecond(c: &mut Criterion) {
+    let iv = IvConverter::with_analytic_boxes();
+    let mut circuit = iv.build_circuit();
+    circuit.set_stimulus("IIN", Waveform::step(0.0, 20e-6, 0.1e-6, 10e-9)).unwrap();
+    let out = circuit.find_node("out").unwrap();
+    c.bench_function("transient_1us_100steps_iv_converter", |b| {
+        b.iter(|| {
+            let tr = TranAnalysis::new(black_box(&circuit))
+                .run(1e-6, 10e-9, &[Probe::NodeVoltage(out)])
+                .unwrap();
+            black_box(tr.len());
+        })
+    });
+}
+
+fn bench_transient_methods(c: &mut Criterion) {
+    let iv = IvConverter::with_analytic_boxes();
+    let mut circuit = iv.build_circuit();
+    circuit.set_stimulus("IIN", Waveform::sine(20e-6, 5e-6, 100e3)).unwrap();
+    let out = circuit.find_node("out").unwrap();
+    let mut group = c.benchmark_group("transient_integration_method");
+    for (name, method) in [
+        ("backward_euler", IntegrationMethod::BackwardEuler),
+        ("trapezoidal", IntegrationMethod::Trapezoidal),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let tr = TranAnalysis::with_options(
+                    black_box(&circuit),
+                    castg_spice::AnalysisOptions::default(),
+                    method,
+                )
+                .run(20e-6, 50e-9, &[Probe::NodeVoltage(out)])
+                .unwrap();
+                black_box(tr.len());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_thd_measurement(c: &mut Criterion) {
+    use castg_core::{AnalogMacro, TestConfiguration};
+    let iv = IvConverter::with_analytic_boxes();
+    let circuit = iv.nominal_circuit();
+    let configs = iv.configurations();
+    let thd = configs.iter().find(|k| k.id() == 3).unwrap();
+    let mut group = c.benchmark_group("thd_measurement");
+    group.sample_size(10);
+    group.bench_function("thd_20uA_10kHz", |b| {
+        b.iter(|| {
+            let m = thd.measure(black_box(&circuit), &[20e-6, 10e3]).unwrap();
+            black_box(m);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dc_operating_point,
+    bench_transient_microsecond,
+    bench_transient_methods,
+    bench_thd_measurement
+);
+criterion_main!(benches);

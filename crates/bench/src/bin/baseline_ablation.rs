@@ -1,0 +1,6 @@
+//! Regenerates the §2.2 ablation (seed selection vs. optimization).
+//! Flags: --fresh, --calibrated.
+fn main() {
+    let (fresh, calibrated) = castg_bench::cli_flags();
+    castg_bench::experiments::baseline_ablation(fresh, calibrated);
+}

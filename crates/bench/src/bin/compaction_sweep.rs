@@ -1,0 +1,6 @@
+//! Regenerates the §4.2 collapse result across delta values.
+//! Flags: --fresh, --calibrated.
+fn main() {
+    let (fresh, calibrated) = castg_bench::cli_flags();
+    castg_bench::experiments::compaction_sweep(fresh, calibrated);
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 1 (test configuration description example).
+fn main() {
+    castg_bench::experiments::fig1_description();
+}

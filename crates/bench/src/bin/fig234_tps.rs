@@ -1,0 +1,4 @@
+//! Regenerates Figs. 2-4 (tps-graphs at 10/34/75 kOhm bridge impact).
+fn main() {
+    castg_bench::experiments::figs234_tps_graphs(17, 17);
+}

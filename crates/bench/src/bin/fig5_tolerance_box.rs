@@ -1,0 +1,4 @@
+//! Regenerates Fig. 5 (tolerance box in two-return-value space).
+fn main() {
+    castg_bench::experiments::fig5_tolerance_box();
+}

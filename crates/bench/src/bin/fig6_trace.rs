@@ -1,0 +1,4 @@
+//! Regenerates Fig. 6 (generation scheme) as an algorithm trace.
+fn main() {
+    castg_bench::experiments::fig6_trace();
+}

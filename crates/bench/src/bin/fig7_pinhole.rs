@@ -1,0 +1,4 @@
+//! Regenerates Fig. 7 (the pinhole fault model) as a netlist diff.
+fn main() {
+    castg_bench::experiments::fig7_pinhole();
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 8 (optimal parameter values of configs #1-#3).
+//! Flags: --fresh, --calibrated.
+fn main() {
+    let (fresh, calibrated) = castg_bench::cli_flags();
+    castg_bench::experiments::fig8_scatter(fresh, calibrated);
+}

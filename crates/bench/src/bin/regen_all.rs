@@ -1,0 +1,20 @@
+//! Regenerates every table and figure of the paper in order.
+//! Flags: --fresh (ignore the generation cache), --calibrated
+//! (Monte-Carlo box-functions instead of analytic ones).
+fn main() {
+    use castg_bench::experiments as ex;
+    let (fresh, calibrated) = castg_bench::cli_flags();
+    ex::fig1_description();
+    ex::table1_configs();
+    ex::fig7_pinhole();
+    ex::fig5_tolerance_box();
+    ex::figs234_tps_graphs(17, 17);
+    ex::fig6_trace();
+    ex::table2_distribution(fresh, calibrated);
+    ex::fig8_scatter(false, calibrated);
+    ex::table3_config5(false, calibrated);
+    ex::compaction_sweep(false, calibrated);
+    ex::baseline_ablation(false, calibrated);
+    ex::tps_profiles_1param();
+    println!("\nall artifacts regenerated into results/");
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 1 (test configuration definitions).
+fn main() {
+    castg_bench::experiments::table1_configs();
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 2 (best-test distribution; runs or loads the
+//! 55-fault generation). Flags: --fresh, --calibrated.
+fn main() {
+    let (fresh, calibrated) = castg_bench::cli_flags();
+    castg_bench::experiments::table2_distribution(fresh, calibrated);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 3 (tests from configuration #5).
+//! Flags: --fresh, --calibrated.
+fn main() {
+    let (fresh, calibrated) = castg_bench::cli_flags();
+    castg_bench::experiments::table3_config5(fresh, calibrated);
+}

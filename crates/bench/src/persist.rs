@@ -1,0 +1,165 @@
+//! CSV persistence of a [`GenerationReport`] so the expensive 55-fault
+//! run is shared by all downstream experiments.
+
+use std::path::Path;
+
+use castg_core::{BestTest, GenerationReport};
+use castg_faults::Fault;
+use castg_macros::IvConverter;
+
+const HEADER: &str = "fault,config_id,config_name,params,s_dict,detected,critical_scale,\
+                      required_intensify,evaluations";
+
+/// Serializes the per-fault best tests to CSV.
+pub fn save_generation(path: &Path, report: &GenerationReport) {
+    let mut out = String::from(HEADER);
+    out.push('\n');
+    for t in &report.tests {
+        let params =
+            t.params.iter().map(|p| format!("{p:e}")).collect::<Vec<_>>().join(";");
+        out.push_str(&format!(
+            "{},{},{},{},{:e},{},{:e},{},{}\n",
+            t.fault.name(),
+            t.config_id,
+            t.config_name,
+            params,
+            t.sensitivity_at_dictionary,
+            t.detected_at_dictionary,
+            t.critical_scale,
+            t.required_intensify,
+            t.evaluations
+        ));
+    }
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("warning: could not persist generation report to {}: {e}", path.display());
+    }
+}
+
+/// Reconstructs a fault from its [`Fault::name`] using the IV-converter
+/// dictionary impacts (`bridge(a,b)` → 10 kΩ bridge, `pinhole(M)` →
+/// 2 kΩ pinhole).
+pub(crate) fn fault_from_name(name: &str) -> Option<Fault> {
+    if let Some(rest) = name.strip_prefix("bridge(").and_then(|r| r.strip_suffix(')')) {
+        let (a, b) = rest.split_once(',')?;
+        return Some(Fault::bridge(a, b, IvConverter::BRIDGE_R0));
+    }
+    if let Some(dev) = name.strip_prefix("pinhole(").and_then(|r| r.strip_suffix(')')) {
+        return Some(Fault::pinhole(dev, IvConverter::PINHOLE_R0));
+    }
+    None
+}
+
+/// Loads a generation report saved by [`save_generation`]. Returns
+/// `None` when the file is absent or malformed (callers then re-run the
+/// generation).
+pub fn load_generation(path: &Path) -> Option<GenerationReport> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut lines = text.lines();
+    if lines.next()?.trim() != HEADER {
+        return None;
+    }
+    let mut report = GenerationReport::default();
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        // Fault names contain commas (`bridge(a,b)`), so split the eight
+        // trailing comma-free fields from the right; the remainder is
+        // the fault name.
+        let mut cols: Vec<&str> = line.rsplitn(9, ',').collect();
+        if cols.len() != 9 {
+            return None;
+        }
+        cols.reverse();
+        let fault = fault_from_name(cols[0])?;
+        let params: Vec<f64> =
+            cols[3].split(';').map(|p| p.parse().ok()).collect::<Option<Vec<f64>>>()?;
+        report.tests.push(BestTest {
+            fault,
+            config_id: cols[1].parse().ok()?,
+            config_name: cols[2].to_string(),
+            params,
+            sensitivity_at_dictionary: cols[4].parse().ok()?,
+            detected_at_dictionary: cols[5].parse().ok()?,
+            critical_scale: cols[6].parse().ok()?,
+            required_intensify: cols[7].parse().ok()?,
+            evaluations: cols[8].parse().ok()?,
+        });
+    }
+    if report.tests.is_empty() {
+        None
+    } else {
+        Some(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> GenerationReport {
+        GenerationReport {
+            tests: vec![
+                BestTest {
+                    fault: Fault::bridge("out", "inn", 10e3),
+                    config_id: 3,
+                    config_name: "thd".into(),
+                    params: vec![4e-5, 2.5e4],
+                    sensitivity_at_dictionary: -12.5,
+                    detected_at_dictionary: true,
+                    critical_scale: 42.0,
+                    required_intensify: false,
+                    evaluations: 123,
+                },
+                BestTest {
+                    fault: Fault::pinhole("M6", 2e3),
+                    config_id: 1,
+                    config_name: "dc_transfer".into(),
+                    params: vec![-4e-5],
+                    sensitivity_at_dictionary: 0.25,
+                    detected_at_dictionary: false,
+                    critical_scale: 0.4,
+                    required_intensify: true,
+                    evaluations: 99,
+                },
+            ],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_csv() {
+        let dir = std::env::temp_dir().join("castg_persist_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("gen.csv");
+        let report = sample_report();
+        save_generation(&path, &report);
+        let loaded = load_generation(&path).expect("must load back");
+        assert_eq!(loaded.tests.len(), 2);
+        for (a, b) in report.tests.iter().zip(&loaded.tests) {
+            assert_eq!(a.fault.name(), b.fault.name());
+            assert_eq!(a.config_id, b.config_id);
+            assert_eq!(a.params, b.params);
+            assert_eq!(a.detected_at_dictionary, b.detected_at_dictionary);
+            assert_eq!(a.required_intensify, b.required_intensify);
+            assert!((a.critical_scale - b.critical_scale).abs() < 1e-12);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fault_name_parsing() {
+        let f = fault_from_name("bridge(na,nz)").unwrap();
+        assert_eq!(f.name(), "bridge(na,nz)");
+        assert_eq!(f.base_resistance(), IvConverter::BRIDGE_R0);
+        let p = fault_from_name("pinhole(M3)").unwrap();
+        assert_eq!(p.base_resistance(), IvConverter::PINHOLE_R0);
+        assert!(fault_from_name("stuck(x)").is_none());
+        assert!(fault_from_name("bridge(no-comma)").is_none());
+    }
+
+    #[test]
+    fn missing_file_loads_none() {
+        assert!(load_generation(Path::new("/nonexistent/gen.csv")).is_none());
+    }
+}

@@ -1,0 +1,112 @@
+use std::error::Error;
+use std::fmt;
+
+use castg_faults::FaultError;
+use castg_numeric::NumericError;
+use castg_spice::SpiceError;
+
+/// Errors produced by the test-generation layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A circuit simulation failed (the error carries which analysis).
+    Simulation(SpiceError),
+    /// Fault injection failed (fault does not apply to the macro).
+    Fault(FaultError),
+    /// A numeric routine failed.
+    Numeric(NumericError),
+    /// A test configuration was queried with the wrong parameter count
+    /// or otherwise inconsistent data.
+    Configuration {
+        /// Name of the configuration.
+        config: String,
+        /// What was inconsistent.
+        reason: String,
+    },
+    /// Invalid generator or compaction options.
+    InvalidOptions {
+        /// What was invalid.
+        reason: String,
+    },
+    /// Parsing a test-configuration description failed.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Simulation(e) => write!(f, "simulation failed: {e}"),
+            CoreError::Fault(e) => write!(f, "fault injection failed: {e}"),
+            CoreError::Numeric(e) => write!(f, "numeric failure: {e}"),
+            CoreError::Configuration { config, reason } => {
+                write!(f, "configuration `{config}`: {reason}")
+            }
+            CoreError::InvalidOptions { reason } => write!(f, "invalid options: {reason}"),
+            CoreError::Parse { line, reason } => {
+                write!(f, "description parse error at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Simulation(e) => Some(e),
+            CoreError::Fault(e) => Some(e),
+            CoreError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpiceError> for CoreError {
+    fn from(e: SpiceError) -> Self {
+        CoreError::Simulation(e)
+    }
+}
+
+impl From<FaultError> for CoreError {
+    fn from(e: FaultError) -> Self {
+        CoreError::Fault(e)
+    }
+}
+
+impl From<NumericError> for CoreError {
+    fn from(e: NumericError) -> Self {
+        CoreError::Numeric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: CoreError = SpiceError::UnknownDevice { name: "X".into() }.into();
+        assert!(matches!(e, CoreError::Simulation(_)));
+        assert!(Error::source(&e).is_some());
+        let e: CoreError = FaultError::UnknownNode { name: "n".into() }.into();
+        assert!(matches!(e, CoreError::Fault(_)));
+        let e: CoreError = NumericError::SingularMatrix { pivot: 0 }.into();
+        assert!(matches!(e, CoreError::Numeric(_)));
+    }
+
+    #[test]
+    fn display_is_meaningful() {
+        let e = CoreError::Parse { line: 3, reason: "missing colon".into() };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

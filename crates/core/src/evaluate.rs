@@ -1,0 +1,219 @@
+//! Test-set quality evaluation: fault coverage of an arbitrary test set
+//! against a fault dictionary.
+
+use std::sync::Arc;
+
+use castg_faults::FaultDictionary;
+
+use crate::cache::NominalCache;
+use crate::compact::CompactionReport;
+use crate::sensitivity::{is_detected, Evaluator};
+use crate::{AnalogMacro, CoreError, TestConfiguration};
+
+/// A concrete test: configuration plus parameter values.
+#[derive(Clone)]
+pub struct TestInstance {
+    /// The configuration the test uses.
+    pub config: Arc<dyn TestConfiguration>,
+    /// The parameter values.
+    pub params: Vec<f64>,
+}
+
+impl std::fmt::Debug for TestInstance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TestInstance")
+            .field("config", &self.config.name())
+            .field("params", &self.params)
+            .finish()
+    }
+}
+
+/// Per-fault outcome of a coverage evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultCoverage {
+    /// Fault name.
+    pub fault: String,
+    /// The most negative sensitivity any test in the set achieved.
+    pub best_sensitivity: f64,
+    /// Index (into the test set) of the test achieving it.
+    pub best_test: usize,
+    /// Whether the fault is detected by the set.
+    pub detected: bool,
+}
+
+/// Coverage of a test set over a dictionary.
+#[derive(Debug, Clone, Default)]
+pub struct CoverageReport {
+    /// Per-fault outcomes, in dictionary order.
+    pub per_fault: Vec<FaultCoverage>,
+    /// Number of tests in the evaluated set.
+    pub test_count: usize,
+}
+
+impl CoverageReport {
+    /// Number of detected faults.
+    pub fn detected(&self) -> usize {
+        self.per_fault.iter().filter(|f| f.detected).count()
+    }
+
+    /// Total number of faults evaluated.
+    pub fn total(&self) -> usize {
+        self.per_fault.len()
+    }
+
+    /// Fault coverage as a fraction in `[0, 1]`.
+    pub fn coverage(&self) -> f64 {
+        if self.per_fault.is_empty() {
+            return 0.0;
+        }
+        self.detected() as f64 / self.total() as f64
+    }
+
+    /// Names of undetected faults (test escapes).
+    pub fn escapes(&self) -> Vec<&str> {
+        self.per_fault.iter().filter(|f| !f.detected).map(|f| f.fault.as_str()).collect()
+    }
+
+    /// Mean of the per-fault best sensitivities (lower = more margin).
+    pub fn mean_best_sensitivity(&self) -> f64 {
+        if self.per_fault.is_empty() {
+            return 0.0;
+        }
+        self.per_fault.iter().map(|f| f.best_sensitivity).sum::<f64>()
+            / self.per_fault.len() as f64
+    }
+}
+
+/// Evaluates a test set's coverage of `dictionary` (faults at their
+/// dictionary impact).
+///
+/// # Errors
+///
+/// Fault-injection and nominal-simulation failures propagate; faulty
+/// non-convergence counts as detection per the sensitivity convention.
+pub fn evaluate_test_set(
+    macro_def: &dyn AnalogMacro,
+    cache: &NominalCache,
+    tests: &[TestInstance],
+    dictionary: &FaultDictionary,
+) -> Result<CoverageReport, CoreError> {
+    let nominal = macro_def.nominal_circuit();
+    let mut report = CoverageReport { test_count: tests.len(), ..Default::default() };
+    for fault in dictionary.iter() {
+        let mut best = (0usize, f64::INFINITY);
+        for (i, t) in tests.iter().enumerate() {
+            let ev = Evaluator::new(t.config.as_ref(), &nominal, cache);
+            let circuit = ev.inject(fault)?;
+            let s = ev.sensitivity_of(&circuit, &t.params)?;
+            if s < best.1 {
+                best = (i, s);
+            }
+        }
+        report.per_fault.push(FaultCoverage {
+            fault: fault.name(),
+            best_sensitivity: best.1,
+            best_test: best.0,
+            detected: is_detected(best.1),
+        });
+    }
+    Ok(report)
+}
+
+/// Materializes the tests of a [`CompactionReport`] as [`TestInstance`]s
+/// using the macro's configuration set.
+///
+/// # Errors
+///
+/// [`CoreError::Configuration`] if a compact test references a
+/// configuration id the macro does not provide.
+pub fn test_instances_from_compaction(
+    macro_def: &dyn AnalogMacro,
+    compaction: &CompactionReport,
+) -> Result<Vec<TestInstance>, CoreError> {
+    let configs = macro_def.configurations();
+    compaction
+        .tests
+        .iter()
+        .map(|t| {
+            let config = configs
+                .iter()
+                .find(|c| c.id() == t.config_id)
+                .ok_or_else(|| CoreError::Configuration {
+                    config: t.config_name.clone(),
+                    reason: format!("macro has no configuration with id {}", t.config_id),
+                })?;
+            Ok(TestInstance { config: Arc::clone(config), params: t.params.clone() })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compact::{compact, CompactionOptions};
+    use crate::generate::{Generator, GeneratorOptions};
+    use crate::synthetic::DividerMacro;
+    use castg_numeric::{BrentOptions, PowellOptions};
+
+    fn quick_options() -> GeneratorOptions {
+        GeneratorOptions {
+            threads: 2,
+            powell: PowellOptions {
+                ftol: 1e-3,
+                max_iter: 6,
+                line: BrentOptions { tol: 5e-3, max_iter: 10 },
+            },
+            brent: BrentOptions { tol: 1e-3, max_iter: 20 },
+            ..GeneratorOptions::default()
+        }
+    }
+
+    #[test]
+    fn full_pipeline_coverage_on_divider() {
+        let mac = DividerMacro::new();
+        let cache = NominalCache::new();
+        let gen = Generator::with_options(&mac, &cache, quick_options());
+        let dict = mac.fault_dictionary();
+        let report = gen.generate(&dict);
+        let comp = compact(&mac, &cache, &report, &CompactionOptions::default()).unwrap();
+        let tests = test_instances_from_compaction(&mac, &comp).unwrap();
+        let coverage = evaluate_test_set(&mac, &cache, &tests, &dict).unwrap();
+        assert_eq!(coverage.total(), dict.len());
+        // All three 10 kΩ divider bridges are detectable; the compacted
+        // set must keep detecting each of them.
+        assert_eq!(coverage.detected(), dict.len(), "escapes: {:?}", coverage.escapes());
+        assert!(coverage.coverage() > 0.99);
+        assert!(coverage.mean_best_sensitivity() < 0.0);
+    }
+
+    #[test]
+    fn empty_test_set_detects_nothing() {
+        let mac = DividerMacro::new();
+        let cache = NominalCache::new();
+        let dict = mac.fault_dictionary();
+        let coverage = evaluate_test_set(&mac, &cache, &[], &dict).unwrap();
+        assert_eq!(coverage.detected(), 0);
+        assert_eq!(coverage.escapes().len(), dict.len());
+        assert_eq!(coverage.coverage(), 0.0);
+    }
+
+    #[test]
+    fn empty_dictionary_yields_empty_report() {
+        let mac = DividerMacro::new();
+        let cache = NominalCache::new();
+        let coverage =
+            evaluate_test_set(&mac, &cache, &[], &FaultDictionary::default()).unwrap();
+        assert_eq!(coverage.total(), 0);
+        assert_eq!(coverage.coverage(), 0.0);
+    }
+
+    #[test]
+    fn debug_format_of_test_instance() {
+        let mac = DividerMacro::new();
+        let configs = crate::AnalogMacro::configurations(&mac);
+        let t = TestInstance { config: Arc::clone(&configs[0]), params: vec![5.0] };
+        let s = format!("{t:?}");
+        assert!(s.contains("dc_out"));
+        assert!(s.contains("5.0"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Compact structural test generation for analog macros.
+//!
+//! This crate implements the methodology of Kaal & Kerkhoff, *"Compact
+//! Structural Test Generation for Analog Macros"* (ED&TC 1997): fault-
+//! model driven, automatically *tailored* test generation for analog
+//! circuit blocks, followed by compaction of the per-fault optimal tests
+//! into a small high-quality test set.
+//!
+//! # Pipeline
+//!
+//! 1. Describe the device under test as an [`AnalogMacro`]: a netlist,
+//!    fault sites, a fault dictionary, and a set of
+//!    [`TestConfiguration`]s (stimulus templates with free parameters,
+//!    bounds, seeds and tolerance-box functions).
+//! 2. [`Generator::generate`] produces one optimal test per fault
+//!    (§3.3, Fig. 6): parameters are optimized against a softened fault
+//!    model (Brent/Powell minimizing the sensitivity [`sensitivity`]),
+//!    then the best configuration is selected by relaxing/intensifying
+//!    the fault impact until exactly one test survives.
+//! 3. [`compact`] collapses the per-fault tests into a compact set
+//!    (§4.1), screening every collapse with the δ-criterion.
+//! 4. [`evaluate_test_set`] / [`compare_with_baseline`] quantify the
+//!    resulting quality against the fault dictionary and against the
+//!    fixed-seed selection baseline the paper argues against.
+//!
+//! tps-graphs ([`tps_graph`]) visualize the sensitivity landscape the
+//! optimizer works in (the paper's Figs. 2–4), and
+//! [`ConfigDescription`] parses/serializes the textual configuration
+//! description format of Fig. 1.
+//!
+//! # Example (synthetic macro; see `castg-macros` for the real one)
+//!
+//! ```
+//! use castg_core::synthetic::DividerMacro;
+//! use castg_core::{AnalogMacro, Generator, NominalCache};
+//!
+//! let mac = DividerMacro::new();
+//! let cache = NominalCache::new();
+//! let generator = Generator::new(&mac, &cache);
+//! let fault = castg_faults::Fault::bridge("out", "0", 10e3);
+//! let best = generator.generate_for_fault(&fault)?;
+//! assert!(best.detected_at_dictionary);
+//! # Ok::<(), castg_core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod baseline;
+mod cache;
+mod compact;
+mod config;
+mod descr;
+mod error;
+mod evaluate;
+mod generate;
+mod macro_def;
+pub mod report;
+mod sensitivity;
+pub mod synthetic;
+mod tps;
+
+pub use baseline::{compare_with_baseline, seed_test_set, BaselineComparison};
+pub use cache::NominalCache;
+pub use compact::{compact, CompactTest, CompactionOptions, CompactionReport, ImpactLevel};
+pub use config::{check_params, Measurement, TestConfiguration};
+pub use descr::{ConfigDescription, ParamSpec, PortAction};
+pub use error::CoreError;
+pub use evaluate::{
+    evaluate_test_set, test_instances_from_compaction, CoverageReport, FaultCoverage,
+    TestInstance,
+};
+pub use generate::{
+    BestTest, DistributionRow, GenerationReport, Generator, GeneratorOptions, SelectionMethod,
+};
+pub use macro_def::AnalogMacro;
+pub use sensitivity::{
+    is_detected, sensitivity, Evaluator, SensitivityReport, SENSITIVITY_SIM_FAILURE,
+};
+pub use tps::{tps_graph, tps_profile, TpsGraph};

@@ -1,0 +1,228 @@
+//! Plain-text table rendering and CSV helpers for the experiment
+//! regeneration binaries.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table with an optional markdown
+/// rendering; used by the benchmark harness to print the paper's tables.
+///
+/// # Example
+///
+/// ```
+/// use castg_core::report::TextTable;
+///
+/// let mut t = TextTable::new(vec!["config".into(), "bridge".into()]);
+/// t.push_row(vec!["#1".into(), "22".into()]);
+/// let s = t.render();
+/// assert!(s.contains("config"));
+/// assert!(s.contains("22"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        TextTable { headers, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's length differs from the header count.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row arity must match headers");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (wi, cell) in w.iter_mut().zip(row) {
+                *wi = (*wi).max(cell.len());
+            }
+        }
+        w
+    }
+
+    /// Renders with space-aligned columns and a separator rule.
+    pub fn render(&self) -> String {
+        let w = self.widths();
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (i, (cell, wi)) in cells.iter().zip(&w).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<wi$}");
+            }
+            out.push('\n');
+        };
+        line(&self.headers, &mut out);
+        let rule: usize = w.iter().sum::<usize>() + 2 * (w.len().saturating_sub(1));
+        out.push_str(&"-".repeat(rule));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavored markdown table.
+    pub fn markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Renders as CSV (cells containing commas/quotes/newlines are
+    /// quoted and escaped).
+    pub fn csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let _ = writeln!(out, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+}
+
+/// Formats a float for tables: engineering-friendly short form.
+pub fn fmt_num(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    let a = v.abs();
+    if (1e-3..1e6).contains(&a) {
+        if a >= 100.0 {
+            format!("{v:.1}")
+        } else {
+            format!("{v:.4}")
+        }
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+/// Formats a value in SI units with the given suffix (e.g. `fmt_si(2.2e-5,
+/// "A")` → `"22.000 µA"`).
+pub fn fmt_si(v: f64, unit: &str) -> String {
+    const PREFIXES: &[(f64, &str)] = &[
+        (1e9, "G"),
+        (1e6, "M"),
+        (1e3, "k"),
+        (1.0, ""),
+        (1e-3, "m"),
+        (1e-6, "µ"),
+        (1e-9, "n"),
+        (1e-12, "p"),
+        (1e-15, "f"),
+    ];
+    if v == 0.0 {
+        return format!("0 {unit}");
+    }
+    let a = v.abs();
+    for (scale, prefix) in PREFIXES {
+        if a >= *scale {
+            return format!("{:.3} {}{}", v / scale, prefix, unit);
+        }
+    }
+    format!("{v:.3e} {unit}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TextTable {
+        let mut t = TextTable::new(vec!["a".into(), "bb".into()]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        t.push_row(vec!["333".into(), "4".into()]);
+        t
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let s = sample().render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a  "));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[3].starts_with("333"));
+    }
+
+    #[test]
+    fn markdown_has_separator() {
+        let md = sample().markdown();
+        assert!(md.contains("| a | bb |"));
+        assert!(md.contains("|---|---|"));
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = TextTable::new(vec!["x".into()]);
+        t.push_row(vec!["a,b".into()]);
+        t.push_row(vec!["say \"hi\"".into()]);
+        let csv = t.csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_enforced() {
+        let mut t = TextTable::new(vec!["a".into()]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn num_formatting() {
+        assert_eq!(fmt_num(0.0), "0");
+        assert_eq!(fmt_num(1234.5), "1234.5");
+        assert!(fmt_num(3.2e-9).contains('e'));
+        assert_eq!(fmt_num(1.5), "1.5000");
+    }
+
+    #[test]
+    fn si_formatting() {
+        assert_eq!(fmt_si(2.2e-5, "A"), "22.000 µA");
+        assert_eq!(fmt_si(0.0, "V"), "0 V");
+        assert_eq!(fmt_si(39e3, "Ω"), "39.000 kΩ");
+        assert_eq!(fmt_si(-5e-10, "F"), "-500.000 pF");
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        assert!(TextTable::new(vec!["h".into()]).is_empty());
+        assert_eq!(sample().len(), 2);
+    }
+}

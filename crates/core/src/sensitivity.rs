@@ -1,0 +1,273 @@
+//! The sensitivity cost function `S_f(T_tc)` (§3.1) and its evaluation
+//! against nominal/faulty circuit pairs.
+
+use std::sync::Arc;
+
+use castg_faults::Fault;
+use castg_spice::{Circuit, SpiceError};
+
+use crate::cache::NominalCache;
+use crate::config::Measurement;
+use crate::{CoreError, TestConfiguration};
+
+/// Sensitivity value reported when the faulty circuit cannot be simulated
+/// at all — a grossly broken device counts as strongly detected.
+pub const SENSITIVITY_SIM_FAILURE: f64 = -1.0e3;
+
+/// Combines per-return deviations and box half-widths into the scalar
+/// sensitivity
+/// `S_f(T) = min_i (1 − |Δr_i| / box_i)`.
+///
+/// * `S = 1` — the faulty response is indistinguishable from nominal
+///   (total insensitivity; the paper assigns cost value 1).
+/// * `0 < S < 1` — a deviation exists but stays inside the tolerance box.
+/// * `S < 0` — detection: the deviation exceeds the box.
+///
+/// Non-positive or non-finite boxes for a deviating return count as
+/// immediate detection (an infinitely tight box); an empty input yields
+/// `1.0` (nothing measured — nothing detected).
+pub fn sensitivity(deviations: &[f64], boxes: &[f64]) -> f64 {
+    debug_assert_eq!(deviations.len(), boxes.len());
+    let mut s_min = 1.0_f64;
+    for (dev, b) in deviations.iter().zip(boxes) {
+        let s = if *b > 0.0 && b.is_finite() {
+            1.0 - dev.abs() / b
+        } else if dev.abs() > 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            1.0
+        };
+        s_min = s_min.min(s);
+    }
+    s_min
+}
+
+/// Whether a sensitivity value means the fault is detected.
+pub fn is_detected(s: f64) -> bool {
+    s < 0.0
+}
+
+/// One full sensitivity evaluation: parameters, nominal/faulty return
+/// values, boxes and the resulting `S_f`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensitivityReport {
+    /// Parameter vector the test was applied with.
+    pub params: Vec<f64>,
+    /// Nominal return values `R_nom(T)`.
+    pub nominal_returns: Vec<f64>,
+    /// Faulty return values `R_f(T)`.
+    pub faulty_returns: Vec<f64>,
+    /// Tolerance-box half-widths.
+    pub boxes: Vec<f64>,
+    /// The sensitivity `S_f(T)`.
+    pub sensitivity: f64,
+    /// Whether the faulty simulation failed (counted as detection).
+    pub sim_failure: bool,
+}
+
+/// Evaluates sensitivities of one configuration for one macro, caching
+/// nominal measurements (which are fault-independent) across calls.
+///
+/// This is the inner loop of everything in this crate: tps-graph sweeps,
+/// the per-fault optimizations, the impact searches and the compaction
+/// screen all evaluate `S_f(T)` through an `Evaluator`.
+pub struct Evaluator<'a> {
+    config: &'a dyn TestConfiguration,
+    nominal_circuit: &'a Circuit,
+    cache: &'a NominalCache,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator for `config` against the given nominal
+    /// circuit, using `cache` for nominal measurements.
+    pub fn new(
+        config: &'a dyn TestConfiguration,
+        nominal_circuit: &'a Circuit,
+        cache: &'a NominalCache,
+    ) -> Self {
+        Evaluator { config, nominal_circuit, cache }
+    }
+
+    /// The configuration being evaluated.
+    pub fn config(&self) -> &dyn TestConfiguration {
+        self.config
+    }
+
+    /// Injects a fault into the evaluator's nominal circuit (convenience
+    /// for callers that sweep parameters over one injected circuit).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::Fault`] when the fault does not apply.
+    pub fn inject(&self, fault: &Fault) -> Result<Circuit, CoreError> {
+        Ok(fault.inject(self.nominal_circuit)?)
+    }
+
+    /// Nominal measurement at `params`, cached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates measurement errors (the nominal circuit is expected to
+    /// simulate cleanly everywhere inside the parameter bounds).
+    pub fn nominal(&self, params: &[f64]) -> Result<Arc<Measurement>, CoreError> {
+        self.cache.get_or_insert(self.config.id(), params, || {
+            self.config.measure(self.nominal_circuit, params)
+        })
+    }
+
+    /// Full sensitivity evaluation of `fault` (at its current impact) at
+    /// `params`, simulating the injected faulty circuit.
+    ///
+    /// A faulty-circuit convergence failure is not an error: it returns a
+    /// report with [`SENSITIVITY_SIM_FAILURE`] and `sim_failure = true`.
+    ///
+    /// # Errors
+    ///
+    /// Fault-injection errors and *nominal* simulation failures propagate.
+    pub fn evaluate(&self, fault: &Fault, params: &[f64]) -> Result<SensitivityReport, CoreError> {
+        let faulty_circuit = fault.inject(self.nominal_circuit)?;
+        self.evaluate_injected(&faulty_circuit, params)
+    }
+
+    /// Like [`Evaluator::evaluate`] but takes an already injected faulty
+    /// circuit (callers that sweep parameters reuse one injection).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Evaluator::evaluate`].
+    pub fn evaluate_injected(
+        &self,
+        faulty_circuit: &Circuit,
+        params: &[f64],
+    ) -> Result<SensitivityReport, CoreError> {
+        let nominal_m = self.nominal(params)?;
+        let nominal_returns = self.config.return_values(&nominal_m, &nominal_m);
+        let boxes = self.config.tolerance_box(params, &nominal_returns);
+
+        match self.config.measure(faulty_circuit, params) {
+            Ok(faulty_m) => {
+                let faulty_returns = self.config.return_values(&faulty_m, &nominal_m);
+                let deviations: Vec<f64> = faulty_returns
+                    .iter()
+                    .zip(&nominal_returns)
+                    .map(|(f, n)| f - n)
+                    .collect();
+                let s = sensitivity(&deviations, &boxes);
+                Ok(SensitivityReport {
+                    params: params.to_vec(),
+                    nominal_returns,
+                    faulty_returns,
+                    boxes,
+                    sensitivity: s,
+                    sim_failure: false,
+                })
+            }
+            Err(CoreError::Simulation(
+                SpiceError::NoConvergence { .. } | SpiceError::Numeric(_),
+            )) => Ok(SensitivityReport {
+                params: params.to_vec(),
+                faulty_returns: vec![f64::NAN; nominal_returns.len()],
+                nominal_returns,
+                boxes,
+                sensitivity: SENSITIVITY_SIM_FAILURE,
+                sim_failure: true,
+            }),
+            Err(other) => Err(other),
+        }
+    }
+
+    /// Just the sensitivity value (convenience for optimizer objectives).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Evaluator::evaluate`].
+    pub fn sensitivity_of(
+        &self,
+        faulty_circuit: &Circuit,
+        params: &[f64],
+    ) -> Result<f64, CoreError> {
+        Ok(self.evaluate_injected(faulty_circuit, params)?.sensitivity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::DividerMacro;
+    use crate::AnalogMacro;
+
+    #[test]
+    fn sensitivity_sign_convention() {
+        // No deviation: total insensitivity = 1.
+        assert_eq!(sensitivity(&[0.0], &[1.0]), 1.0);
+        // Deviation inside the box: 0 < S < 1.
+        let s = sensitivity(&[0.5], &[1.0]);
+        assert!(s > 0.0 && s < 1.0);
+        // Deviation at the box edge: S = 0.
+        assert!(sensitivity(&[1.0], &[1.0]).abs() < 1e-12);
+        // Outside: detection.
+        assert!(is_detected(sensitivity(&[2.0], &[1.0])));
+        assert!(!is_detected(0.5));
+    }
+
+    #[test]
+    fn sensitivity_takes_worst_return_value() {
+        // Second return deviates beyond its box → min wins.
+        let s = sensitivity(&[0.1, 3.0], &[1.0, 1.0]);
+        assert_eq!(s, -2.0);
+    }
+
+    #[test]
+    fn degenerate_boxes() {
+        assert_eq!(sensitivity(&[], &[]), 1.0);
+        assert_eq!(sensitivity(&[0.5], &[0.0]), f64::NEG_INFINITY);
+        assert_eq!(sensitivity(&[0.0], &[0.0]), 1.0);
+    }
+
+    #[test]
+    fn evaluator_detects_a_hard_bridge_on_the_divider() {
+        let mac = DividerMacro::new();
+        let circuit = mac.nominal_circuit();
+        let cache = NominalCache::new();
+        let configs = mac.configurations();
+        let config = configs[0].as_ref(); // DC output voltage
+        let ev = Evaluator::new(config, &circuit, &cache);
+
+        // Strong bridge across the lower divider resistor.
+        let fault = castg_faults::Fault::bridge("out", "0", 100.0);
+        let report = ev.evaluate(&fault, &config.seed()).unwrap();
+        assert!(report.sensitivity < 0.0, "S = {}", report.sensitivity);
+        assert!(!report.sim_failure);
+        assert_eq!(report.boxes.len(), report.nominal_returns.len());
+    }
+
+    #[test]
+    fn evaluator_finds_weak_bridge_undetectable() {
+        let mac = DividerMacro::new();
+        let circuit = mac.nominal_circuit();
+        let cache = NominalCache::new();
+        let configs = mac.configurations();
+        let config = configs[0].as_ref();
+        let ev = Evaluator::new(config, &circuit, &cache);
+
+        // A 100 MΩ bridge barely moves a 1 kΩ divider.
+        let fault = castg_faults::Fault::bridge("out", "0", 100e6);
+        let report = ev.evaluate(&fault, &config.seed()).unwrap();
+        assert!(report.sensitivity > 0.0, "S = {}", report.sensitivity);
+    }
+
+    #[test]
+    fn nominal_measurements_are_cached() {
+        let mac = DividerMacro::new();
+        let circuit = mac.nominal_circuit();
+        let cache = NominalCache::new();
+        let configs = mac.configurations();
+        let config = configs[0].as_ref();
+        let ev = Evaluator::new(config, &circuit, &cache);
+        let p = config.seed();
+        let a = ev.nominal(&p).unwrap();
+        let b = ev.nominal(&p).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the cache");
+        assert_eq!(cache.len(), 1);
+    }
+}

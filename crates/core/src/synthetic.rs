@@ -1,0 +1,297 @@
+//! A tiny synthetic macro for tests, documentation and quick starts.
+//!
+//! The real device under test (the paper's CMOS IV-converter) lives in
+//! `castg-macros`; this module provides a resistor-divider "macro" whose
+//! simulations are near-instant, so the generation and compaction
+//! algorithms can be exercised and unit-tested without transistor-level
+//! simulation cost.
+
+use std::sync::Arc;
+
+use castg_dsp::metrics;
+use castg_faults::{exhaustive_bridge_faults, FaultDictionary};
+use castg_numeric::{Bounds, ParamSpace};
+use castg_spice::{Circuit, DcAnalysis, Probe, TranAnalysis, Waveform};
+
+use crate::config::{check_params, Measurement};
+use crate::descr::{ConfigDescription, ParamSpec, PortAction};
+use crate::{AnalogMacro, CoreError, TestConfiguration};
+
+/// A three-node resistive divider with an output capacitor, driven by a
+/// voltage source `V1`.
+///
+/// Fault sites: `vin`, `mid`, `out` (3 bridging faults). Two test
+/// configurations are provided: a one-parameter DC output measurement
+/// and a two-parameter step-response deviation measurement, mirroring
+/// the *shapes* of the paper's configuration set at toy scale.
+///
+/// # Example
+///
+/// ```
+/// use castg_core::synthetic::DividerMacro;
+/// use castg_core::AnalogMacro;
+///
+/// let m = DividerMacro::new();
+/// assert_eq!(m.fault_dictionary().len(), 3);
+/// assert_eq!(m.configurations().len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DividerMacro {
+    _private: (),
+}
+
+impl DividerMacro {
+    /// Creates the synthetic macro.
+    pub fn new() -> Self {
+        DividerMacro { _private: () }
+    }
+}
+
+impl AnalogMacro for DividerMacro {
+    fn name(&self) -> &str {
+        "divider"
+    }
+
+    fn macro_type(&self) -> &str {
+        "R-divider"
+    }
+
+    fn nominal_circuit(&self) -> Circuit {
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let mid = c.node("mid");
+        let out = c.node("out");
+        c.add_vsource("V1", vin, Circuit::GROUND, Waveform::dc(5.0)).expect("fresh netlist");
+        c.add_resistor("R1", vin, mid, 1e3).expect("fresh netlist");
+        c.add_resistor("R2", mid, out, 1e3).expect("fresh netlist");
+        c.add_resistor("R3", out, Circuit::GROUND, 2e3).expect("fresh netlist");
+        c.add_capacitor("C1", out, Circuit::GROUND, 1e-9).expect("fresh netlist");
+        c
+    }
+
+    fn fault_site_nodes(&self) -> Vec<String> {
+        vec!["vin".into(), "mid".into(), "out".into()]
+    }
+
+    fn fault_dictionary(&self) -> FaultDictionary {
+        let nodes = self.fault_site_nodes();
+        let refs: Vec<&str> = nodes.iter().map(String::as_str).collect();
+        FaultDictionary::new(exhaustive_bridge_faults(&refs, 10e3))
+    }
+
+    fn configurations(&self) -> Vec<Arc<dyn TestConfiguration>> {
+        vec![Arc::new(DividerDcConfig), Arc::new(DividerStepConfig)]
+    }
+}
+
+/// Configuration #1 of the synthetic macro: drive `V1` with a DC level
+/// `lev` and return `ΔV(out)`.
+#[derive(Debug, Clone, Default)]
+pub struct DividerDcConfig;
+
+impl TestConfiguration for DividerDcConfig {
+    fn id(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> &str {
+        "dc_out"
+    }
+
+    fn param_names(&self) -> Vec<String> {
+        vec!["lev".into()]
+    }
+
+    fn space(&self) -> ParamSpace {
+        ParamSpace::new(vec![Bounds::new(1.0, 8.0).expect("static bounds")])
+    }
+
+    fn seed(&self) -> Vec<f64> {
+        vec![5.0]
+    }
+
+    fn measure(&self, circuit: &Circuit, params: &[f64]) -> Result<Measurement, CoreError> {
+        check_params(self, params)?;
+        let mut c = circuit.clone();
+        c.set_stimulus("V1", Waveform::dc(params[0]))?;
+        let sol = DcAnalysis::new(&c).solve()?;
+        let out = c.find_node("out").ok_or_else(|| CoreError::Configuration {
+            config: self.name().to_string(),
+            reason: "macro has no `out` node".to_string(),
+        })?;
+        Ok(Measurement::scalar(sol.voltage(out)))
+    }
+
+    fn return_values(&self, measured: &Measurement, nominal: &Measurement) -> Vec<f64> {
+        match (measured.as_scalars(), nominal.as_scalars()) {
+            (Some(m), Some(n)) => vec![m[0] - n[0]],
+            _ => vec![f64::NAN],
+        }
+    }
+
+    fn tolerance_box(&self, params: &[f64], _nominal_returns: &[f64]) -> Vec<f64> {
+        // 2 % of the expected output level plus a 1 mV meter floor.
+        vec![0.02 * params[0] * 0.5 + 1e-3]
+    }
+
+    fn description(&self) -> ConfigDescription {
+        ConfigDescription {
+            macro_type: "R-divider".into(),
+            title: "DC output".into(),
+            controls: vec![PortAction { node: "vin".into(), action: "dc(lev)".into() }],
+            observes: vec![PortAction { node: "out".into(), action: "dc()".into() }],
+            return_value: "dV(out)".into(),
+            parameters: vec![ParamSpec { name: "lev".into(), lo: 1.0, hi: 8.0 }],
+            variables: vec![],
+            seed: vec![("lev".into(), 5.0)],
+        }
+    }
+}
+
+/// Configuration #2 of the synthetic macro: step `V1` from `base` to
+/// `base + elev`, sample `v(out)` and return the maximum absolute
+/// deviation from nominal.
+#[derive(Debug, Clone, Default)]
+pub struct DividerStepConfig;
+
+impl DividerStepConfig {
+    const T_STOP: f64 = 10e-6;
+    const DT: f64 = 0.2e-6;
+}
+
+impl TestConfiguration for DividerStepConfig {
+    fn id(&self) -> usize {
+        2
+    }
+
+    fn name(&self) -> &str {
+        "step_dev"
+    }
+
+    fn param_names(&self) -> Vec<String> {
+        vec!["base".into(), "elev".into()]
+    }
+
+    fn space(&self) -> ParamSpace {
+        ParamSpace::new(vec![
+            Bounds::new(0.0, 4.0).expect("static bounds"),
+            Bounds::new(-4.0, 4.0).expect("static bounds"),
+        ])
+    }
+
+    fn seed(&self) -> Vec<f64> {
+        vec![1.0, 2.0]
+    }
+
+    fn measure(&self, circuit: &Circuit, params: &[f64]) -> Result<Measurement, CoreError> {
+        check_params(self, params)?;
+        let mut c = circuit.clone();
+        c.set_stimulus("V1", Waveform::step(params[0], params[1], 1e-6, 0.1e-6))?;
+        let out = c.find_node("out").ok_or_else(|| CoreError::Configuration {
+            config: self.name().to_string(),
+            reason: "macro has no `out` node".to_string(),
+        })?;
+        let trace = TranAnalysis::new(&c).run(Self::T_STOP, Self::DT, &[Probe::NodeVoltage(out)])?;
+        Ok(Measurement::Waveform(castg_dsp::UniformSamples::new(
+            0.0,
+            Self::DT,
+            trace.column(0).to_vec(),
+        )))
+    }
+
+    fn return_values(&self, measured: &Measurement, nominal: &Measurement) -> Vec<f64> {
+        match (measured.as_waveform(), nominal.as_waveform()) {
+            (Some(m), Some(n)) => vec![metrics::max_abs_deviation(m, n)],
+            _ => vec![f64::NAN],
+        }
+    }
+
+    fn tolerance_box(&self, params: &[f64], _nominal_returns: &[f64]) -> Vec<f64> {
+        vec![0.02 * (params[0].abs() + params[1].abs()).max(0.5) * 0.5 + 1e-3]
+    }
+
+    fn description(&self) -> ConfigDescription {
+        ConfigDescription {
+            macro_type: "R-divider".into(),
+            title: "Step response".into(),
+            controls: vec![PortAction {
+                node: "vin".into(),
+                action: "step(base, elev, slew_rate=sl)".into(),
+            }],
+            observes: vec![PortAction {
+                node: "out".into(),
+                action: "sample(rate=sa, time=t)".into(),
+            }],
+            return_value: "Max(dV(out))".into(),
+            parameters: vec![
+                ParamSpec { name: "base".into(), lo: 0.0, hi: 4.0 },
+                ParamSpec { name: "elev".into(), lo: -4.0, hi: 4.0 },
+            ],
+            variables: vec![("sl".into(), 0.1e-6), ("sa".into(), 5e6), ("t".into(), 10e-6)],
+            seed: vec![("base".into(), 1.0), ("elev".into(), 2.0)],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_divider_solves() {
+        let m = DividerMacro::new();
+        let c = m.nominal_circuit();
+        let sol = DcAnalysis::new(&c).solve().unwrap();
+        // 5 V over 1k + 1k + 2k: out = 5 * 2/4 = 2.5 V.
+        assert!((sol.voltage(c.find_node("out").unwrap()) - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dc_config_measures_divider_ratio() {
+        let m = DividerMacro::new();
+        let c = m.nominal_circuit();
+        let cfg = DividerDcConfig;
+        let meas = cfg.measure(&c, &[4.0]).unwrap();
+        assert!((meas.as_scalars().unwrap()[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dc_config_rejects_wrong_arity() {
+        let m = DividerMacro::new();
+        let c = m.nominal_circuit();
+        assert!(DividerDcConfig.measure(&c, &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn step_config_produces_waveform() {
+        let m = DividerMacro::new();
+        let c = m.nominal_circuit();
+        let cfg = DividerStepConfig;
+        let meas = cfg.measure(&c, &[1.0, 2.0]).unwrap();
+        let w = meas.as_waveform().unwrap();
+        assert!(w.len() > 10);
+        // Starts at base/2 (divider halves), ends near (base+elev)/2.
+        assert!((w.values()[0] - 0.5).abs() < 0.01);
+        assert!((w.values().last().unwrap() - 1.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn return_values_are_deltas() {
+        let cfg = DividerDcConfig;
+        let nom = Measurement::scalar(2.0);
+        let flt = Measurement::scalar(2.4);
+        let rv = cfg.return_values(&flt, &nom);
+        assert!((rv[0] - 0.4).abs() < 1e-12);
+        assert_eq!(cfg.return_values(&nom, &nom), vec![0.0]);
+    }
+
+    #[test]
+    fn descriptions_roundtrip_through_text() {
+        for cfg in DividerMacro::new().configurations() {
+            let d = cfg.description();
+            let text = d.to_string();
+            let parsed = ConfigDescription::parse(&text).unwrap();
+            assert_eq!(d, parsed, "config {} description must round-trip", cfg.name());
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Single-bin DFT via the (generalized) Goertzel algorithm.
+
+use crate::UniformSamples;
+
+/// Amplitude and phase of one frequency component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GoertzelResult {
+    /// Peak amplitude of the component (same unit as the samples; a pure
+    /// sine `A·sin(2πft)` yields `amplitude ≈ A`).
+    pub amplitude: f64,
+    /// Phase in radians relative to a cosine at the record start.
+    pub phase: f64,
+}
+
+/// Evaluates the DFT of `samples` at the (not necessarily bin-centered)
+/// frequency `freq`, returning peak amplitude and phase.
+///
+/// This is the measurement core of the paper's THD test configuration:
+/// the sine stimulus frequency is a free test parameter, so an
+/// arbitrary-frequency projection is needed rather than an FFT bin.
+/// Accuracy is best when the record spans an integer number of periods
+/// (the caller arranges this; see [`crate::harmonic_magnitudes`]).
+///
+/// Returns `None` for an empty record or a non-positive frequency at or
+/// above the Nyquist rate.
+pub fn goertzel(samples: &UniformSamples, freq: f64) -> Option<GoertzelResult> {
+    let n = samples.len();
+    if n == 0 || freq <= 0.0 || freq >= 0.5 * samples.rate() {
+        return None;
+    }
+    let omega = 2.0 * std::f64::consts::PI * freq * samples.dt();
+    // Direct correlation (generalized Goertzel): numerically transparent
+    // and exactly as fast at the record lengths used here.
+    let mut re = 0.0;
+    let mut im = 0.0;
+    for (k, v) in samples.values().iter().enumerate() {
+        let ph = omega * k as f64;
+        re += v * ph.cos();
+        im -= v * ph.sin();
+    }
+    let scale = 2.0 / n as f64;
+    let re = re * scale;
+    let im = im * scale;
+    Some(GoertzelResult { amplitude: (re * re + im * im).sqrt(), phase: im.atan2(re) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn sine_record(freq: f64, amp: f64, fs: f64, n: usize) -> UniformSamples {
+        let vals = (0..n).map(|k| amp * (2.0 * PI * freq * k as f64 / fs).sin()).collect();
+        UniformSamples::new(0.0, 1.0 / fs, vals)
+    }
+
+    #[test]
+    fn recovers_amplitude_of_pure_sine() {
+        let s = sine_record(1_000.0, 2.5, 64_000.0, 640); // 10 periods
+        let g = goertzel(&s, 1_000.0).unwrap();
+        assert!((g.amplitude - 2.5).abs() < 1e-9, "amp {}", g.amplitude);
+    }
+
+    #[test]
+    fn rejects_other_harmonics_with_coherent_record() {
+        let s = sine_record(1_000.0, 1.0, 64_000.0, 640);
+        let g3 = goertzel(&s, 3_000.0).unwrap();
+        assert!(g3.amplitude < 1e-9, "leakage {}", g3.amplitude);
+    }
+
+    #[test]
+    fn separates_mixed_components() {
+        let fs = 64_000.0;
+        let n = 640;
+        let vals: Vec<f64> = (0..n)
+            .map(|k| {
+                let t = k as f64 / fs;
+                1.0 * (2.0 * PI * 1_000.0 * t).sin() + 0.2 * (2.0 * PI * 2_000.0 * t).sin()
+            })
+            .collect();
+        let s = UniformSamples::new(0.0, 1.0 / fs, vals);
+        let g1 = goertzel(&s, 1_000.0).unwrap();
+        let g2 = goertzel(&s, 2_000.0).unwrap();
+        assert!((g1.amplitude - 1.0).abs() < 1e-9);
+        assert!((g2.amplitude - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dc_offset_does_not_bias_coherent_measurement() {
+        let fs = 64_000.0;
+        let vals: Vec<f64> =
+            (0..640).map(|k| 3.0 + (2.0 * PI * 1_000.0 * k as f64 / fs).sin()).collect();
+        let s = UniformSamples::new(0.0, 1.0 / fs, vals);
+        let g = goertzel(&s, 1_000.0).unwrap();
+        assert!((g.amplitude - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_of_sine_is_minus_half_pi_from_cosine() {
+        let s = sine_record(1_000.0, 1.0, 64_000.0, 640);
+        let g = goertzel(&s, 1_000.0).unwrap();
+        assert!((g.phase + PI / 2.0).abs() < 1e-6, "phase {}", g.phase);
+    }
+
+    #[test]
+    fn invalid_inputs_return_none() {
+        let s = sine_record(1_000.0, 1.0, 64_000.0, 64);
+        assert!(goertzel(&s, 0.0).is_none());
+        assert!(goertzel(&s, 32_000.0).is_none()); // at Nyquist
+        let empty = UniformSamples::new(0.0, 1.0, vec![]);
+        assert!(goertzel(&empty, 0.1).is_none());
+    }
+}

@@ -1,0 +1,190 @@
+/// A uniformly sampled waveform: `value[n]` was taken at `t0 + n·dt`.
+///
+/// Test configurations #4/#5 of the paper prescribe sampling `Vout` at
+/// 100 MHz for 7.5 µs; this type is that sampled record, and the THD
+/// configuration resamples simulator traces through
+/// [`UniformSamples::resample`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct UniformSamples {
+    t0: f64,
+    dt: f64,
+    values: Vec<f64>,
+}
+
+impl UniformSamples {
+    /// Wraps already-uniform samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt <= 0` or not finite.
+    pub fn new(t0: f64, dt: f64, values: Vec<f64>) -> Self {
+        assert!(dt.is_finite() && dt > 0.0, "sample interval must be positive, got {dt}");
+        UniformSamples { t0, dt, values }
+    }
+
+    /// Resamples an arbitrary `(t, v)` trace (sorted by `t`) onto a
+    /// uniform grid `t0 + n·dt`, `n = 0..count`, by linear interpolation;
+    /// values outside the trace's span clamp to its end values.
+    ///
+    /// Returns `None` if the trace is empty or `count == 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt <= 0`.
+    pub fn resample(times: &[f64], values: &[f64], t0: f64, dt: f64, count: usize) -> Option<Self> {
+        assert!(dt.is_finite() && dt > 0.0, "sample interval must be positive, got {dt}");
+        if times.is_empty() || values.len() != times.len() || count == 0 {
+            return None;
+        }
+        let mut out = Vec::with_capacity(count);
+        let mut hint = 0usize;
+        for n in 0..count {
+            let t = t0 + dt * n as f64;
+            out.push(interp(times, values, t, &mut hint));
+        }
+        Some(UniformSamples { t0, dt, values: out })
+    }
+
+    /// Start time of the record.
+    pub fn t0(&self) -> f64 {
+        self.t0
+    }
+
+    /// Sample interval.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Sample rate (`1/dt`).
+    pub fn rate(&self) -> f64 {
+        1.0 / self.dt
+    }
+
+    /// The sample values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the record is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// A sub-record spanning `[from, from + len)` sample indices (clamped
+    /// to the available range).
+    pub fn slice(&self, from: usize, len: usize) -> UniformSamples {
+        let from = from.min(self.values.len());
+        let to = (from + len).min(self.values.len());
+        UniformSamples {
+            t0: self.t0 + self.dt * from as f64,
+            dt: self.dt,
+            values: self.values[from..to].to_vec(),
+        }
+    }
+}
+
+/// Linear interpolation with a monotone search hint (amortized O(1) for
+/// in-order queries).
+fn interp(times: &[f64], values: &[f64], t: f64, hint: &mut usize) -> f64 {
+    let n = times.len();
+    if t <= times[0] {
+        return values[0];
+    }
+    if t >= times[n - 1] {
+        return values[n - 1];
+    }
+    let mut i = (*hint).min(n - 2);
+    // Walk backward if the hint overshot, forward otherwise.
+    while i > 0 && times[i] > t {
+        i -= 1;
+    }
+    while i + 1 < n && times[i + 1] <= t {
+        i += 1;
+    }
+    *hint = i;
+    let (t0, t1) = (times[i], times[i + 1]);
+    let (v0, v1) = (values[i], values[i + 1]);
+    if t1 <= t0 {
+        v1
+    } else {
+        v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_wraps_values() {
+        let s = UniformSamples::new(1.0, 0.5, vec![1.0, 2.0, 3.0]);
+        assert_eq!(s.t0(), 1.0);
+        assert_eq!(s.dt(), 0.5);
+        assert_eq!(s.rate(), 2.0);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn new_rejects_bad_dt() {
+        UniformSamples::new(0.0, 0.0, vec![]);
+    }
+
+    #[test]
+    fn resample_identity_grid() {
+        let times = [0.0, 1.0, 2.0, 3.0];
+        let values = [0.0, 10.0, 20.0, 30.0];
+        let s = UniformSamples::resample(&times, &values, 0.0, 1.0, 4).unwrap();
+        assert_eq!(s.values(), &values);
+    }
+
+    #[test]
+    fn resample_interpolates_midpoints() {
+        let times = [0.0, 2.0];
+        let values = [0.0, 10.0];
+        let s = UniformSamples::resample(&times, &values, 0.0, 0.5, 5).unwrap();
+        assert_eq!(s.values(), &[0.0, 2.5, 5.0, 7.5, 10.0]);
+    }
+
+    #[test]
+    fn resample_clamps_outside_span() {
+        let times = [1.0, 2.0];
+        let values = [5.0, 7.0];
+        let s = UniformSamples::resample(&times, &values, 0.0, 1.5, 3).unwrap();
+        // Queries at t = 0 (clamps to 5), t = 1.5 (midpoint → 6), t = 3
+        // (clamps to 7).
+        assert_eq!(s.values(), &[5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn resample_rejects_empty_or_mismatched() {
+        assert!(UniformSamples::resample(&[], &[], 0.0, 1.0, 3).is_none());
+        assert!(UniformSamples::resample(&[0.0], &[], 0.0, 1.0, 3).is_none());
+        assert!(UniformSamples::resample(&[0.0], &[1.0], 0.0, 1.0, 0).is_none());
+    }
+
+    #[test]
+    fn resample_handles_nonuniform_input() {
+        // Dense early, sparse late (like an adaptive simulator trace).
+        let times = [0.0, 0.1, 0.15, 1.0, 4.0];
+        let values = [0.0, 1.0, 1.5, 10.0, 40.0];
+        let s = UniformSamples::resample(&times, &values, 0.0, 1.0, 5).unwrap();
+        assert_eq!(s.values(), &[0.0, 10.0, 20.0, 30.0, 40.0]);
+    }
+
+    #[test]
+    fn slice_extracts_suffix() {
+        let s = UniformSamples::new(0.0, 1.0, vec![0.0, 1.0, 2.0, 3.0]);
+        let tail = s.slice(2, 10);
+        assert_eq!(tail.values(), &[2.0, 3.0]);
+        assert_eq!(tail.t0(), 2.0);
+        let empty = s.slice(10, 2);
+        assert!(empty.is_empty());
+    }
+}

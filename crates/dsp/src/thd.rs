@@ -1,0 +1,134 @@
+//! Total harmonic distortion — the return value of the paper's test
+//! configuration #3 (the tps-graphs of Figs. 2–4 plot sensitivity of a
+//! THD measurement).
+
+use crate::{goertzel, UniformSamples};
+
+/// Amplitudes of the fundamental and its first `n_harmonics − 1`
+/// overtones: index 0 is the fundamental at `f0`, index 1 the component
+/// at `2·f0`, and so on.
+///
+/// Harmonics at or above Nyquist are reported as `0.0` (they cannot be
+/// measured at the given sample rate).
+///
+/// Returns `None` when the record is empty, `f0` is non-positive, or the
+/// fundamental itself is not measurable.
+pub fn harmonic_magnitudes(
+    samples: &UniformSamples,
+    f0: f64,
+    n_harmonics: usize,
+) -> Option<Vec<f64>> {
+    if n_harmonics == 0 {
+        return Some(Vec::new());
+    }
+    let mut out = Vec::with_capacity(n_harmonics);
+    for k in 1..=n_harmonics {
+        match goertzel(samples, f0 * k as f64) {
+            Some(g) => out.push(g.amplitude),
+            None if k == 1 => return None,
+            None => out.push(0.0),
+        }
+    }
+    Some(out)
+}
+
+/// Total harmonic distortion in percent:
+/// `100 · sqrt(Σ_{k=2..n} A_k²) / A_1`.
+///
+/// `n_harmonics` counts the fundamental, so `thd(s, f0, 5)` uses
+/// harmonics 2–5. Returns `None` if the fundamental is unmeasurable or
+/// its amplitude is numerically zero.
+pub fn thd(samples: &UniformSamples, f0: f64, n_harmonics: usize) -> Option<f64> {
+    let mags = harmonic_magnitudes(samples, f0, n_harmonics.max(1))?;
+    let fund = mags[0];
+    if fund <= 0.0 || !fund.is_finite() {
+        return None;
+    }
+    let distortion: f64 = mags[1..].iter().map(|a| a * a).sum::<f64>().sqrt();
+    Some(100.0 * distortion / fund)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn record<F: Fn(f64) -> f64>(f: F, fs: f64, n: usize) -> UniformSamples {
+        UniformSamples::new(0.0, 1.0 / fs, (0..n).map(|k| f(k as f64 / fs)).collect())
+    }
+
+    #[test]
+    fn pure_sine_has_negligible_thd() {
+        let s = record(|t| (2.0 * PI * 1e3 * t).sin(), 128e3, 1280);
+        let d = thd(&s, 1e3, 5).unwrap();
+        assert!(d < 1e-6, "thd {d}");
+    }
+
+    #[test]
+    fn known_harmonic_mix_gives_exact_thd() {
+        // 3 % second + 4 % third harmonic → THD = 5 %.
+        let s = record(
+            |t| {
+                (2.0 * PI * 1e3 * t).sin()
+                    + 0.03 * (2.0 * PI * 2e3 * t).sin()
+                    + 0.04 * (2.0 * PI * 3e3 * t).sin()
+            },
+            128e3,
+            1280,
+        );
+        let d = thd(&s, 1e3, 5).unwrap();
+        assert!((d - 5.0).abs() < 1e-6, "thd {d}");
+    }
+
+    #[test]
+    fn clipped_sine_has_large_thd() {
+        let s = record(|t| (2.0 * PI * 1e3 * t).sin().clamp(-0.5, 0.5), 128e3, 1280);
+        let d = thd(&s, 1e3, 7).unwrap();
+        assert!(d > 10.0, "thd {d}");
+    }
+
+    #[test]
+    fn symmetric_clipping_produces_only_odd_harmonics() {
+        let s = record(|t| (2.0 * PI * 1e3 * t).sin().clamp(-0.7, 0.7), 128e3, 1280);
+        let mags = harmonic_magnitudes(&s, 1e3, 5).unwrap();
+        assert!(mags[1] < 1e-9, "even harmonic {}", mags[1]); // 2nd
+        assert!(mags[2] > 1e-3, "3rd harmonic {}", mags[2]);
+        assert!(mags[3] < 1e-9, "even harmonic {}", mags[3]); // 4th
+    }
+
+    #[test]
+    fn asymmetric_nonlinearity_produces_even_harmonics() {
+        let s = record(
+            |t| {
+                let x = (2.0 * PI * 1e3 * t).sin();
+                x + 0.1 * x * x
+            },
+            128e3,
+            1280,
+        );
+        let mags = harmonic_magnitudes(&s, 1e3, 3).unwrap();
+        assert!(mags[1] > 1e-3, "2nd harmonic {}", mags[1]);
+    }
+
+    #[test]
+    fn harmonics_above_nyquist_count_as_zero() {
+        let s = record(|t| (2.0 * PI * 10e3 * t).sin(), 64e3, 640);
+        // 4th harmonic = 40 kHz > 32 kHz Nyquist.
+        let mags = harmonic_magnitudes(&s, 10e3, 5).unwrap();
+        assert_eq!(mags[3], 0.0);
+        assert_eq!(mags[4], 0.0);
+        assert!(thd(&s, 10e3, 5).is_some());
+    }
+
+    #[test]
+    fn zero_signal_yields_none() {
+        let s = UniformSamples::new(0.0, 1.0 / 64e3, vec![0.0; 640]);
+        assert!(thd(&s, 1e3, 5).is_none());
+    }
+
+    #[test]
+    fn zero_harmonic_request_is_empty() {
+        let s = record(|t| (2.0 * PI * 1e3 * t).sin(), 64e3, 640);
+        assert_eq!(harmonic_magnitudes(&s, 1e3, 0).unwrap(), Vec::<f64>::new());
+    }
+}

@@ -1,0 +1,78 @@
+//! Window functions for spectral measurements on non-coherent records.
+//!
+//! The THD configuration arranges coherent sampling (an integer number of
+//! stimulus periods), so the rectangular window is exact there; the Hann
+//! window is provided for measurements where the record length cannot be
+//! matched to the signal period.
+
+use crate::UniformSamples;
+
+/// Hann window coefficients of length `n`.
+pub fn hann(n: usize) -> Vec<f64> {
+    match n {
+        0 => Vec::new(),
+        1 => vec![1.0],
+        _ => (0..n)
+            .map(|k| {
+                let x = std::f64::consts::PI * k as f64 / (n - 1) as f64;
+                x.sin().powi(2)
+            })
+            .collect(),
+    }
+}
+
+/// Returns a copy of the record multiplied by the Hann window, scaled by
+/// 2 so that the amplitude of a coherent sine is preserved (the Hann
+/// window's coherent gain is 0.5).
+pub fn apply_hann(s: &UniformSamples) -> UniformSamples {
+    let w = hann(s.len());
+    let vals = s.values().iter().zip(&w).map(|(v, wk)| 2.0 * v * wk).collect();
+    UniformSamples::new(s.t0(), s.dt(), vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::goertzel;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn hann_endpoints_are_zero_and_center_is_one() {
+        let w = hann(101);
+        assert!(w[0].abs() < 1e-12);
+        assert!(w[100].abs() < 1e-12);
+        assert!((w[50] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hann_degenerate_lengths() {
+        assert!(hann(0).is_empty());
+        assert_eq!(hann(1), vec![1.0]);
+    }
+
+    #[test]
+    fn windowing_tames_leakage_for_noncoherent_record() {
+        // 1.05 kHz sine in a 10 ms record: 10.5 periods — non-coherent.
+        let fs = 64e3;
+        let n = 640;
+        let vals: Vec<f64> = (0..n).map(|k| (2.0 * PI * 1_050.0 * k as f64 / fs).sin()).collect();
+        let s = UniformSamples::new(0.0, 1.0 / fs, vals);
+        // Probe a far sidelobe (9.5 bins away from the tone): the
+        // rectangular window leaks ~1/(π·9.5) there, Hann almost nothing.
+        let raw = goertzel(&s, 2_000.0).unwrap().amplitude;
+        let windowed = goertzel(&apply_hann(&s), 2_000.0).unwrap().amplitude;
+        assert!(
+            windowed < raw / 10.0,
+            "window must reduce leakage: {windowed} !< {raw} / 10"
+        );
+    }
+
+    #[test]
+    fn windowed_amplitude_of_coherent_sine_is_preserved() {
+        let fs = 64e3;
+        let vals: Vec<f64> = (0..640).map(|k| (2.0 * PI * 1e3 * k as f64 / fs).sin()).collect();
+        let s = UniformSamples::new(0.0, 1.0 / fs, vals);
+        let g = goertzel(&apply_hann(&s), 1e3).unwrap();
+        assert!((g.amplitude - 1.0).abs() < 0.01, "amp {}", g.amplitude);
+    }
+}

@@ -1,0 +1,85 @@
+use std::error::Error;
+use std::fmt;
+
+use castg_spice::SpiceError;
+
+/// Errors produced while injecting faults into netlists.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FaultError {
+    /// A bridge endpoint names a node absent from the target circuit.
+    UnknownNode {
+        /// The missing node name.
+        name: String,
+    },
+    /// A pinhole fault targets a device absent from the circuit.
+    UnknownDevice {
+        /// The missing device name.
+        name: String,
+    },
+    /// A pinhole fault targets a device that is not a MOSFET.
+    NotAMosfet {
+        /// The offending device name.
+        name: String,
+    },
+    /// A bridge fault's two endpoints are the same node.
+    DegenerateBridge {
+        /// The node name given for both endpoints.
+        name: String,
+    },
+    /// An underlying netlist error while building the faulty circuit
+    /// (duplicate device names, invalid values).
+    Netlist(SpiceError),
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::UnknownNode { name } => {
+                write!(f, "fault references unknown node `{name}`")
+            }
+            FaultError::UnknownDevice { name } => {
+                write!(f, "fault references unknown device `{name}`")
+            }
+            FaultError::NotAMosfet { name } => {
+                write!(f, "pinhole fault target `{name}` is not a mosfet")
+            }
+            FaultError::DegenerateBridge { name } => {
+                write!(f, "bridge fault endpoints are both `{name}`")
+            }
+            FaultError::Netlist(e) => write!(f, "netlist error during injection: {e}"),
+        }
+    }
+}
+
+impl Error for FaultError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FaultError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpiceError> for FaultError {
+    fn from(e: SpiceError) -> Self {
+        FaultError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_offender() {
+        assert!(FaultError::UnknownNode { name: "x".into() }.to_string().contains("`x`"));
+        assert!(FaultError::NotAMosfet { name: "R1".into() }.to_string().contains("`R1`"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FaultError>();
+    }
+}

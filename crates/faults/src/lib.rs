@@ -1,0 +1,50 @@
+//! Structural analog fault models for `castg`.
+//!
+//! The paper's experiment uses an exhaustive dictionary of two fault
+//! types on the IV-converter macro (§3.4):
+//!
+//! * **Bridging faults** — a resistor between two circuit nodes, 45 of
+//!   them (every pair of the macro's 10 fault-site nodes), initial
+//!   impact 10 kΩ;
+//! * **Pinhole faults** — a gate-oxide short, modeled per Eckersall et
+//!   al. by splitting the transistor channel and shunting the gate to
+//!   the split point through a resistance, positioned at 25 % of the
+//!   channel length from the drain; 10 of them (one per transistor),
+//!   initial shunt 2 kΩ.
+//!
+//! Both models carry a single *impact* parameter — a resistance — that
+//! the generation algorithm tunes: **weakening** a fault raises the
+//! resistance (a smaller physical defect), **intensifying** lowers it.
+//! [`Fault::with_impact_scale`] expresses this as a multiplicative scale
+//! on the dictionary resistance, which is what the critical-impact
+//! search of the paper's Fig. 6 manipulates.
+//!
+//! # Example
+//!
+//! ```
+//! use castg_faults::Fault;
+//! use castg_spice::{Circuit, Waveform};
+//!
+//! let mut c = Circuit::new();
+//! let a = c.node("a");
+//! let b = c.node("b");
+//! c.add_vsource("V1", a, Circuit::GROUND, Waveform::dc(1.0))?;
+//! c.add_resistor("R1", a, b, 1e3)?;
+//! c.add_resistor("R2", b, Circuit::GROUND, 1e3)?;
+//!
+//! let fault = Fault::bridge("a", "b", 10e3);
+//! let faulty = fault.inject(&c)?;
+//! assert_eq!(faulty.devices().len(), c.devices().len() + 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod list;
+mod model;
+
+pub use error::FaultError;
+pub use list::{exhaustive_bridge_faults, exhaustive_pinhole_faults, FaultDictionary};
+pub use model::{Fault, FaultKind, PINHOLE_POSITION_FROM_DRAIN};

@@ -1,0 +1,92 @@
+//! Property-based tests of fault injection invariants.
+
+use castg_faults::{exhaustive_bridge_faults, Fault};
+use castg_spice::{Circuit, MosParams, MosPolarity, Waveform};
+use proptest::prelude::*;
+
+fn ladder(n: usize) -> Circuit {
+    let mut c = Circuit::new();
+    let top = c.node("n0");
+    c.add_vsource("V1", top, Circuit::GROUND, Waveform::dc(5.0)).unwrap();
+    let mut prev = top;
+    for i in 1..n {
+        let next = c.node(&format!("n{i}"));
+        c.add_resistor(&format!("R{i}"), prev, next, 1e3).unwrap();
+        prev = next;
+    }
+    c.add_resistor("Rend", prev, Circuit::GROUND, 1e3).unwrap();
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Exhaustive bridge enumeration has exactly C(n,2) members with
+    /// unique names for any node count.
+    #[test]
+    fn bridge_count_is_choose_two(n in 2usize..12) {
+        let names: Vec<String> = (0..n).map(|i| format!("n{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let faults = exhaustive_bridge_faults(&refs, 10e3);
+        prop_assert_eq!(faults.len(), n * (n - 1) / 2);
+        let mut unique: Vec<String> = faults.iter().map(Fault::name).collect();
+        unique.sort();
+        unique.dedup();
+        prop_assert_eq!(unique.len(), faults.len());
+    }
+
+    /// Injecting a bridge adds exactly one device and no nodes; the
+    /// original circuit is untouched.
+    #[test]
+    fn bridge_injection_shape(n in 3usize..8, a in 0usize..8, b in 0usize..8) {
+        prop_assume!(a < n && b < n && a != b);
+        let c = ladder(n);
+        let before_devices = c.devices().len();
+        let before_nodes = c.node_count();
+        let fault = Fault::bridge(format!("n{a}"), format!("n{b}"), 10e3);
+        let faulty = fault.inject(&c).unwrap();
+        prop_assert_eq!(faulty.devices().len(), before_devices + 1);
+        prop_assert_eq!(faulty.node_count(), before_nodes);
+        prop_assert_eq!(c.devices().len(), before_devices);
+    }
+
+    /// Pinhole injection conserves the channel: the two segment lengths
+    /// sum to the original length for any position.
+    #[test]
+    fn pinhole_conserves_channel_length(pos in 0.05f64..0.95) {
+        let mut c = Circuit::new();
+        let d = c.node("d");
+        let g = c.node("g");
+        c.add_vsource("VD", d, Circuit::GROUND, Waveform::dc(3.0)).unwrap();
+        c.add_vsource("VG", g, Circuit::GROUND, Waveform::dc(2.0)).unwrap();
+        let l0 = 2e-6;
+        c.add_mosfet(
+            "M1", d, g, Circuit::GROUND, Circuit::GROUND,
+            MosPolarity::Nmos, MosParams::nmos_default(10e-6, l0),
+        ).unwrap();
+        let faulty = Fault::pinhole_at("M1", 2e3, pos).inject(&c).unwrap();
+        let seg = |name: &str| -> f64 {
+            match faulty.device(name).unwrap().kind() {
+                castg_spice::DeviceKind::Mosfet { params, .. } => params.l,
+                _ => panic!("expected mosfet"),
+            }
+        };
+        prop_assert!((seg("M1__d") + seg("M1__s") - l0).abs() < 1e-18);
+        prop_assert!((seg("M1__d") - pos * l0).abs() < 1e-18);
+    }
+
+    /// Impact scaling commutes with injection: the injected bridge
+    /// resistor equals base × scale.
+    #[test]
+    fn injected_resistance_matches_scale(scale in 0.01f64..100.0) {
+        let c = ladder(3);
+        let fault = Fault::bridge("n0", "n1", 10e3).with_impact_scale(scale);
+        let faulty = fault.inject(&c).unwrap();
+        match faulty.device("F_bridge").unwrap().kind() {
+            castg_spice::DeviceKind::Resistor { ohms, .. } => {
+                prop_assert!((ohms - 10e3 * scale).abs() < 1e-6 * ohms);
+            }
+            _ => prop_assert!(false, "bridge must be a resistor"),
+        }
+    }
+}

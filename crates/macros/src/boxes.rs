@@ -1,0 +1,274 @@
+//! Box-functions: cheap estimators of the tolerance-box value at any
+//! test-parameter vector (§3.4: "for each test configuration so-called
+//! box-functions have been determined estimating the (single)
+//! tolerance-box value given a test parameter value set within the
+//! allowed range").
+//!
+//! Calibration runs fault-free Monte-Carlo process samples over a coarse
+//! parameter grid, records the worst return-value deviation per grid
+//! point, and interpolates multilinearly at query time. A safety margin
+//! and the equipment-accuracy floor are folded in.
+
+use castg_core::{CoreError, Measurement, TestConfiguration};
+use castg_numeric::grid::linspace;
+use castg_spice::Circuit;
+
+use crate::ProcessVariation;
+
+/// How a configuration obtains its tolerance box.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BoxPolicy {
+    /// `box = rel · |r_nom| + abs` — no calibration, instant; used by
+    /// unit tests and quick experiments.
+    Analytic {
+        /// Relative part (fraction of the nominal return value).
+        rel: f64,
+        /// Absolute floor.
+        abs: f64,
+    },
+    /// Monte-Carlo calibrated grid (the paper's box-functions).
+    Calibrated {
+        /// Grid points per parameter dimension.
+        grid_points: usize,
+        /// Monte-Carlo samples per grid point.
+        mc_samples: usize,
+        /// RNG seed for the process samples.
+        seed: u64,
+        /// Multiplier on the observed spread (safety margin).
+        margin: f64,
+    },
+}
+
+impl BoxPolicy {
+    /// The default calibrated policy used by the IV-converter macro.
+    pub fn calibrated_default() -> Self {
+        BoxPolicy::Calibrated { grid_points: 3, mc_samples: 6, seed: 0xCA57, margin: 1.2 }
+    }
+}
+
+/// A multilinearly interpolated scalar field over a rectangular
+/// parameter grid — the calibrated box-function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxGrid {
+    axes: Vec<Vec<f64>>,
+    /// Row-major over the axes (last axis fastest).
+    values: Vec<f64>,
+    /// Absolute floor added to every query.
+    floor: f64,
+}
+
+impl BoxGrid {
+    /// Builds a grid from axes and values (last axis fastest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the grid size or any
+    /// axis is empty.
+    pub fn new(axes: Vec<Vec<f64>>, values: Vec<f64>, floor: f64) -> Self {
+        let expect: usize = axes.iter().map(Vec::len).product();
+        assert!(axes.iter().all(|a| !a.is_empty()), "axes must be non-empty");
+        assert_eq!(values.len(), expect, "value count must match grid size");
+        BoxGrid { axes, values, floor }
+    }
+
+    /// Queries the box value at `params` (clamped into the grid).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` has the wrong dimension.
+    pub fn query(&self, params: &[f64]) -> f64 {
+        assert_eq!(params.len(), self.axes.len(), "dimension mismatch");
+        self.interp(0, 0, params) + self.floor
+    }
+
+    /// Recursive multilinear interpolation. `offset` indexes the value
+    /// array for the axes already fixed.
+    fn interp(&self, dim: usize, offset: usize, params: &[f64]) -> f64 {
+        if dim == self.axes.len() {
+            return self.values[offset];
+        }
+        let axis = &self.axes[dim];
+        let stride: usize = self.axes[dim + 1..].iter().map(Vec::len).product();
+        let x = params[dim].clamp(axis[0], axis[axis.len() - 1]);
+        if axis.len() == 1 {
+            return self.interp(dim + 1, offset, params);
+        }
+        let mut i = axis.partition_point(|a| *a <= x).saturating_sub(1);
+        i = i.min(axis.len() - 2);
+        let (x0, x1) = (axis[i], axis[i + 1]);
+        let t = if x1 > x0 { (x - x0) / (x1 - x0) } else { 0.0 };
+        let v0 = self.interp(dim + 1, offset + i * stride, params);
+        let v1 = self.interp(dim + 1, offset + (i + 1) * stride, params);
+        v0 + t * (v1 - v0)
+    }
+}
+
+/// Calibrates a box-function for `config` on the given nominal circuit:
+/// runs `mc_samples` fault-free process samples at each grid point and
+/// records `margin · max |r_sample − r_nom|` (worst over return values),
+/// plus `floor`.
+///
+/// # Errors
+///
+/// Propagates nominal-measurement failures; individual process-sample
+/// failures are skipped (a sample that refuses to converge everywhere
+/// would leave that grid point with just the floor).
+pub fn calibrate_box(
+    config: &dyn TestConfiguration,
+    nominal: &Circuit,
+    process: &ProcessVariation,
+    grid_points: usize,
+    mc_samples: usize,
+    seed: u64,
+    margin: f64,
+    floor: f64,
+) -> Result<BoxGrid, CoreError> {
+    let space = config.space();
+    let axes: Vec<Vec<f64>> = (0..space.dim())
+        .map(|d| linspace(space.bounds(d).lo(), space.bounds(d).hi(), grid_points.max(2)))
+        .collect();
+    let samples = process.samples(nominal, seed, mc_samples);
+
+    let mut values = Vec::new();
+    let mut point = vec![0.0; space.dim()];
+    fill_grid(config, nominal, &samples, &axes, 0, &mut point, margin, &mut values)?;
+    Ok(BoxGrid::new(axes, values, floor))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn fill_grid(
+    config: &dyn TestConfiguration,
+    nominal: &Circuit,
+    samples: &[Circuit],
+    axes: &[Vec<f64>],
+    dim: usize,
+    point: &mut Vec<f64>,
+    margin: f64,
+    out: &mut Vec<f64>,
+) -> Result<(), CoreError> {
+    if dim == axes.len() {
+        out.push(margin * spread_at(config, nominal, samples, point)?);
+        return Ok(());
+    }
+    for x in &axes[dim] {
+        point[dim] = *x;
+        fill_grid(config, nominal, samples, axes, dim + 1, point, margin, out)?;
+    }
+    Ok(())
+}
+
+/// Worst |r_sample − r_nom| over process samples and return values.
+fn spread_at(
+    config: &dyn TestConfiguration,
+    nominal: &Circuit,
+    samples: &[Circuit],
+    params: &[f64],
+) -> Result<f64, CoreError> {
+    let m_nom = config.measure(nominal, params)?;
+    let r_nom = config.return_values(&m_nom, &m_nom);
+    let mut worst = 0.0_f64;
+    for s in samples {
+        let Ok(m_s) = config.measure(s, params) else {
+            continue; // a non-converging process sample is skipped
+        };
+        let r_s = config.return_values(&m_s, &m_nom);
+        for (rs, rn) in r_s.iter().zip(&r_nom) {
+            let dev = (rs - rn).abs();
+            if dev.is_finite() {
+                worst = worst.max(dev);
+            }
+        }
+    }
+    Ok(worst)
+}
+
+/// Convenience: evaluate a measurement deviation-based [`Measurement`]
+/// pair the way the calibration does (exposed for tests).
+pub(crate) fn _measurement_deviation(
+    config: &dyn TestConfiguration,
+    sample: &Measurement,
+    nominal: &Measurement,
+) -> f64 {
+    let r_n = config.return_values(nominal, nominal);
+    let r_s = config.return_values(sample, nominal);
+    r_s.iter().zip(&r_n).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_1d_interpolates_linearly() {
+        let g = BoxGrid::new(vec![vec![0.0, 1.0]], vec![0.0, 10.0], 0.5);
+        assert_eq!(g.query(&[0.0]), 0.5);
+        assert_eq!(g.query(&[0.5]), 5.5);
+        assert_eq!(g.query(&[1.0]), 10.5);
+        // Clamped outside.
+        assert_eq!(g.query(&[-5.0]), 0.5);
+        assert_eq!(g.query(&[5.0]), 10.5);
+    }
+
+    #[test]
+    fn grid_2d_bilinear() {
+        // Values laid out with the last axis fastest: rows over x, cols y.
+        let g = BoxGrid::new(
+            vec![vec![0.0, 1.0], vec![0.0, 1.0]],
+            vec![0.0, 1.0, 2.0, 3.0], // f(x,y) = 2x + y
+            0.0,
+        );
+        assert_eq!(g.query(&[0.0, 0.0]), 0.0);
+        assert_eq!(g.query(&[0.0, 1.0]), 1.0);
+        assert_eq!(g.query(&[1.0, 0.0]), 2.0);
+        assert_eq!(g.query(&[1.0, 1.0]), 3.0);
+        assert_eq!(g.query(&[0.5, 0.5]), 1.5);
+    }
+
+    #[test]
+    fn single_point_axis_is_constant() {
+        let g = BoxGrid::new(vec![vec![2.0]], vec![7.0], 1.0);
+        assert_eq!(g.query(&[0.0]), 8.0);
+        assert_eq!(g.query(&[100.0]), 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "value count")]
+    fn grid_validates_sizes() {
+        BoxGrid::new(vec![vec![0.0, 1.0]], vec![1.0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn query_validates_dimension() {
+        let g = BoxGrid::new(vec![vec![0.0, 1.0]], vec![0.0, 1.0], 0.0);
+        g.query(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn calibration_on_synthetic_macro_produces_positive_boxes() {
+        use castg_core::synthetic::DividerMacro;
+        use castg_core::AnalogMacro;
+        let mac = DividerMacro::new();
+        let circuit = mac.nominal_circuit();
+        let configs = mac.configurations();
+        let process = ProcessVariation::default();
+        let grid = calibrate_box(
+            configs[0].as_ref(),
+            &circuit,
+            &process,
+            3,
+            4,
+            42,
+            1.2,
+            1e-3,
+        )
+        .unwrap();
+        // Divider with ±8 % resistors: the output delta spread at 5 V is
+        // on the order of tens of millivolts.
+        let b = grid.query(&[5.0]);
+        assert!(b > 1e-3, "box {b} must exceed the floor");
+        assert!(b < 1.0, "box {b} implausibly large");
+        // More drive → more spread (monotone within the grid).
+        assert!(grid.query(&[8.0]) >= grid.query(&[1.0]));
+    }
+}

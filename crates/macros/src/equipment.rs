@@ -1,0 +1,70 @@
+//! Test-equipment accuracy model.
+//!
+//! §2.2: "In this paper we also include the accuracy specifications of
+//! test equipment, as it would be useful to construct an envelope which
+//! boxes in an area where fault-detection can not be guaranteed." These
+//! floors are added to the Monte-Carlo process spread when the
+//! box-functions are calibrated.
+
+/// Measurement-accuracy floors of the (virtual) test equipment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Equipment {
+    /// Absolute voltage accuracy (V).
+    pub voltage_floor: f64,
+    /// Absolute current accuracy (A).
+    pub current_floor: f64,
+    /// Absolute THD accuracy (percentage points).
+    pub thd_floor: f64,
+    /// Relative accuracy applied to any reading.
+    pub relative: f64,
+}
+
+impl Default for Equipment {
+    fn default() -> Self {
+        // A mid-1990s mixed-signal tester: mV-class DC accuracy, tens of
+        // nA current resolution, ~0.05 % THD floor.
+        Equipment {
+            voltage_floor: 1e-3,
+            current_floor: 50e-9,
+            thd_floor: 0.05,
+            relative: 0.005,
+        }
+    }
+}
+
+impl Equipment {
+    /// Accuracy floor for a voltage reading of magnitude `v`.
+    pub fn voltage_accuracy(&self, v: f64) -> f64 {
+        self.voltage_floor + self.relative * v.abs()
+    }
+
+    /// Accuracy floor for a current reading of magnitude `i`.
+    pub fn current_accuracy(&self, i: f64) -> f64 {
+        self.current_floor + self.relative * i.abs()
+    }
+
+    /// Accuracy floor for a THD reading (percent) of magnitude `d`.
+    pub fn thd_accuracy(&self, d: f64) -> f64 {
+        self.thd_floor + self.relative * d.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floors_are_positive_and_monotone() {
+        let e = Equipment::default();
+        assert!(e.voltage_accuracy(0.0) > 0.0);
+        assert!(e.voltage_accuracy(5.0) > e.voltage_accuracy(0.1));
+        assert!(e.current_accuracy(1e-3) > e.current_accuracy(0.0));
+        assert!(e.thd_accuracy(10.0) > e.thd_accuracy(0.0));
+    }
+
+    #[test]
+    fn accuracy_is_symmetric_in_sign() {
+        let e = Equipment::default();
+        assert_eq!(e.voltage_accuracy(-2.0), e.voltage_accuracy(2.0));
+    }
+}

@@ -1,0 +1,203 @@
+//! Process-variation model for tolerance-box calibration.
+//!
+//! The paper's tolerance boxes "box in expectable response values based
+//! on known variations on process parameters" (§2.2). This model applies
+//! a correlated lot-level shift plus uncorrelated per-device mismatch to
+//! every MOSFET, resistor and capacitor of a netlist, producing the
+//! fault-free circuit population whose response spread defines the box.
+
+use castg_spice::{Circuit, DeviceKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Gaussian-ish (sum of uniforms) sampler in ±3σ, avoiding extreme tails
+/// that would blow up the boxes.
+fn noise(rng: &mut StdRng, sigma: f64) -> f64 {
+    // Irwin–Hall with n = 12 approximates a unit normal well.
+    let sum: f64 = (0..12).map(|_| rng.gen::<f64>()).sum();
+    (sum - 6.0).clamp(-3.0, 3.0) * sigma
+}
+
+/// Lot-plus-mismatch variation magnitudes (1σ each).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessVariation {
+    /// Lot-level threshold-voltage shift (V), common to all devices of a
+    /// polarity.
+    pub vt0_lot_sigma: f64,
+    /// Per-device threshold mismatch (V).
+    pub vt0_mismatch_sigma: f64,
+    /// Lot-level relative KP variation.
+    pub kp_lot_sigma: f64,
+    /// Per-device relative KP mismatch.
+    pub kp_mismatch_sigma: f64,
+    /// Lot-level relative sheet-resistance variation (applies to all
+    /// resistors together).
+    pub r_lot_sigma: f64,
+    /// Per-resistor relative mismatch.
+    pub r_mismatch_sigma: f64,
+    /// Lot-level relative capacitance variation.
+    pub c_lot_sigma: f64,
+}
+
+impl Default for ProcessVariation {
+    fn default() -> Self {
+        ProcessVariation {
+            vt0_lot_sigma: 0.030,
+            vt0_mismatch_sigma: 0.005,
+            kp_lot_sigma: 0.05,
+            kp_mismatch_sigma: 0.01,
+            r_lot_sigma: 0.08,
+            r_mismatch_sigma: 0.01,
+            c_lot_sigma: 0.08,
+        }
+    }
+}
+
+impl ProcessVariation {
+    /// Produces one process-perturbed copy of `circuit`. Deterministic in
+    /// `seed`.
+    pub fn sample(&self, circuit: &Circuit, seed: u64) -> Circuit {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Lot-level (correlated) shifts drawn once per sample.
+        let vt_lot_n = noise(&mut rng, self.vt0_lot_sigma);
+        let vt_lot_p = noise(&mut rng, self.vt0_lot_sigma);
+        let kp_lot_n = noise(&mut rng, self.kp_lot_sigma);
+        let kp_lot_p = noise(&mut rng, self.kp_lot_sigma);
+        let r_lot = noise(&mut rng, self.r_lot_sigma);
+        let c_lot = noise(&mut rng, self.c_lot_sigma);
+
+        let mut out = circuit.clone();
+        let names: Vec<String> =
+            circuit.devices().iter().map(|d| d.name().to_string()).collect();
+        for name in names {
+            let Some(dev) = out.device_mut(&name) else { continue };
+            match dev.kind_mut() {
+                DeviceKind::Mosfet { polarity, params, .. } => {
+                    let (vt_lot, kp_lot) = match polarity {
+                        castg_spice::MosPolarity::Nmos => (vt_lot_n, kp_lot_n),
+                        castg_spice::MosPolarity::Pmos => (vt_lot_p, kp_lot_p),
+                    };
+                    // NMOS vt0 > 0 shifts up; PMOS vt0 < 0 shifts down in
+                    // magnitude with the same lot draw.
+                    let shift = vt_lot + noise(&mut rng, self.vt0_mismatch_sigma);
+                    params.vt0 += shift * params.vt0.signum();
+                    let kp_rel = kp_lot + noise(&mut rng, self.kp_mismatch_sigma);
+                    params.kp *= (1.0 + kp_rel).max(0.5);
+                }
+                DeviceKind::Resistor { ohms, .. } => {
+                    let rel = r_lot + noise(&mut rng, self.r_mismatch_sigma);
+                    *ohms *= (1.0 + rel).max(0.5);
+                }
+                DeviceKind::Capacitor { farads, .. } => {
+                    *farads *= (1.0 + c_lot).max(0.5);
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Produces `n` perturbed copies with seeds `base_seed..base_seed+n`.
+    pub fn samples(&self, circuit: &Circuit, base_seed: u64, n: usize) -> Vec<Circuit> {
+        (0..n).map(|i| self.sample(circuit, base_seed + i as u64)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castg_spice::{MosParams, MosPolarity, Waveform};
+
+    fn test_circuit() -> Circuit {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("V1", a, Circuit::GROUND, Waveform::dc(5.0)).unwrap();
+        c.add_resistor("R1", a, b, 1e3).unwrap();
+        c.add_capacitor("C1", b, Circuit::GROUND, 1e-12).unwrap();
+        c.add_mosfet(
+            "M1",
+            b,
+            a,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            MosPolarity::Nmos,
+            MosParams::nmos_default(10e-6, 2e-6),
+        )
+        .unwrap();
+        c
+    }
+
+    fn resistance(c: &Circuit, name: &str) -> f64 {
+        match c.device(name).unwrap().kind() {
+            DeviceKind::Resistor { ohms, .. } => *ohms,
+            _ => panic!("not a resistor"),
+        }
+    }
+
+    fn vt0(c: &Circuit, name: &str) -> f64 {
+        match c.device(name).unwrap().kind() {
+            DeviceKind::Mosfet { params, .. } => params.vt0,
+            _ => panic!("not a mosfet"),
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_in_seed() {
+        let c = test_circuit();
+        let p = ProcessVariation::default();
+        let a = p.sample(&c, 7);
+        let b = p.sample(&c, 7);
+        assert_eq!(a, b);
+        let d = p.sample(&c, 8);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn perturbations_are_bounded() {
+        let c = test_circuit();
+        let p = ProcessVariation::default();
+        for seed in 0..50 {
+            let s = p.sample(&c, seed);
+            let r = resistance(&s, "R1");
+            assert!((r / 1e3 - 1.0).abs() < 0.35, "resistor drifted too far: {r}");
+            let v = vt0(&s, "M1");
+            assert!((v - 0.75).abs() < 0.15, "vt0 drifted too far: {v}");
+            assert!(v > 0.0, "NMOS threshold must stay positive");
+        }
+    }
+
+    #[test]
+    fn variation_actually_varies() {
+        let c = test_circuit();
+        let p = ProcessVariation::default();
+        let rs: Vec<f64> = (0..20).map(|s| resistance(&p.sample(&c, s), "R1")).collect();
+        let spread = rs.iter().cloned().fold(f64::MIN, f64::max)
+            - rs.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread > 10.0, "spread {spread} too small for 8 % lot sigma");
+    }
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let c = test_circuit();
+        let p = ProcessVariation {
+            vt0_lot_sigma: 0.0,
+            vt0_mismatch_sigma: 0.0,
+            kp_lot_sigma: 0.0,
+            kp_mismatch_sigma: 0.0,
+            r_lot_sigma: 0.0,
+            r_mismatch_sigma: 0.0,
+            c_lot_sigma: 0.0,
+        };
+        assert_eq!(p.sample(&c, 3), c);
+    }
+
+    #[test]
+    fn samples_produces_n_distinct_circuits() {
+        let c = test_circuit();
+        let p = ProcessVariation::default();
+        let v = p.samples(&c, 100, 4);
+        assert_eq!(v.len(), 4);
+        assert_ne!(v[0], v[1]);
+    }
+}

@@ -1,0 +1,286 @@
+use crate::NumericError;
+
+/// A closed interval `[lo, hi]` bounding one test parameter.
+///
+/// The paper requires every test parameter to stay inside constraint
+/// values "determined by the specifications of the macro and the test
+/// equipment" (§3.1); `Bounds` is that constraint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bounds {
+    lo: f64,
+    hi: f64,
+}
+
+impl Bounds {
+    /// Creates a bound, validating `lo <= hi` and finiteness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidInterval`] if the interval is
+    /// inverted or non-finite.
+    pub fn new(lo: f64, hi: f64) -> Result<Self, NumericError> {
+        if !(lo.is_finite() && hi.is_finite() && lo <= hi) {
+            return Err(NumericError::InvalidInterval { lo, hi });
+        }
+        Ok(Bounds { lo, hi })
+    }
+
+    /// Lower edge.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper edge.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Interval width (`hi - lo`).
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Midpoint of the interval.
+    pub fn mid(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// Whether `x` lies inside the closed interval.
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo && x <= self.hi
+    }
+
+    /// Clamps `x` into the interval.
+    pub fn clamp(&self, x: f64) -> f64 {
+        x.clamp(self.lo, self.hi)
+    }
+
+    /// Maps `x` to `[0, 1]` (0 at `lo`, 1 at `hi`).
+    ///
+    /// A degenerate interval maps every point to `0`.
+    pub fn normalize(&self, x: f64) -> f64 {
+        if self.width() == 0.0 {
+            0.0
+        } else {
+            (x - self.lo) / self.width()
+        }
+    }
+
+    /// Inverse of [`Bounds::normalize`].
+    pub fn denormalize(&self, u: f64) -> f64 {
+        self.lo + u * self.width()
+    }
+}
+
+/// A rectangular domain for a vector of test parameters.
+///
+/// # Example
+///
+/// ```
+/// use castg_numeric::{Bounds, ParamSpace};
+///
+/// let space = ParamSpace::new(vec![
+///     Bounds::new(0.0, 40e-6)?,   // Iin_dc
+///     Bounds::new(1e3, 100e3)?,   // freq
+/// ]);
+/// assert_eq!(space.dim(), 2);
+/// assert!(space.contains(&[20e-6, 50e3]));
+/// assert!(!space.contains(&[20e-6, 200e3]));
+/// # Ok::<(), castg_numeric::NumericError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamSpace {
+    dims: Vec<Bounds>,
+}
+
+impl ParamSpace {
+    /// Creates a parameter space from per-dimension bounds.
+    pub fn new(dims: Vec<Bounds>) -> Self {
+        ParamSpace { dims }
+    }
+
+    /// Number of parameters.
+    pub fn dim(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Bounds of dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bounds(&self, i: usize) -> Bounds {
+        self.dims[i]
+    }
+
+    /// Iterates over the per-dimension bounds.
+    pub fn iter(&self) -> impl Iterator<Item = &Bounds> {
+        self.dims.iter()
+    }
+
+    /// Whether the point lies inside the domain (and has the right
+    /// dimension).
+    pub fn contains(&self, x: &[f64]) -> bool {
+        x.len() == self.dims.len() && x.iter().zip(&self.dims).all(|(xi, b)| b.contains(*xi))
+    }
+
+    /// Clamps every coordinate into its bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong dimension.
+    pub fn clamp(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dims.len(), "dimension mismatch");
+        x.iter().zip(&self.dims).map(|(xi, b)| b.clamp(*xi)).collect()
+    }
+
+    /// Center of the domain.
+    pub fn center(&self) -> Vec<f64> {
+        self.dims.iter().map(Bounds::mid).collect()
+    }
+
+    /// Maps a point to the unit hypercube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong dimension.
+    pub fn normalize(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dims.len(), "dimension mismatch");
+        x.iter().zip(&self.dims).map(|(xi, b)| b.normalize(*xi)).collect()
+    }
+
+    /// Inverse of [`ParamSpace::normalize`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` has the wrong dimension.
+    pub fn denormalize(&self, u: &[f64]) -> Vec<f64> {
+        assert_eq!(u.len(), self.dims.len(), "dimension mismatch");
+        u.iter().zip(&self.dims).map(|(ui, b)| b.denormalize(*ui)).collect()
+    }
+
+    /// Largest `t`-interval `[t_lo, t_hi]` such that `x + t·d` stays inside
+    /// the domain for all `t` in the interval. Returns `None` if `x` itself
+    /// is outside, or if `d` is (numerically) the zero direction.
+    ///
+    /// This is how the bounded Powell line search restricts Brent's method
+    /// to the feasible segment.
+    pub fn line_extent(&self, x: &[f64], d: &[f64]) -> Option<(f64, f64)> {
+        if !self.contains(x) {
+            return None;
+        }
+        let mut t_lo = f64::NEG_INFINITY;
+        let mut t_hi = f64::INFINITY;
+        let mut any_direction = false;
+        for ((xi, di), b) in x.iter().zip(d).zip(&self.dims) {
+            if di.abs() < 1e-300 {
+                continue;
+            }
+            any_direction = true;
+            let t1 = (b.lo() - xi) / di;
+            let t2 = (b.hi() - xi) / di;
+            let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+            t_lo = t_lo.max(lo);
+            t_hi = t_hi.min(hi);
+        }
+        if !any_direction || t_lo > t_hi {
+            None
+        } else {
+            Some((t_lo, t_hi))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space2() -> ParamSpace {
+        ParamSpace::new(vec![Bounds::new(0.0, 10.0).unwrap(), Bounds::new(-1.0, 1.0).unwrap()])
+    }
+
+    #[test]
+    fn bounds_rejects_inverted_and_nonfinite() {
+        assert!(Bounds::new(1.0, 0.0).is_err());
+        assert!(Bounds::new(f64::NAN, 1.0).is_err());
+        assert!(Bounds::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn bounds_basic_queries() {
+        let b = Bounds::new(2.0, 6.0).unwrap();
+        assert_eq!(b.width(), 4.0);
+        assert_eq!(b.mid(), 4.0);
+        assert!(b.contains(2.0) && b.contains(6.0));
+        assert!(!b.contains(6.0001));
+        assert_eq!(b.clamp(100.0), 6.0);
+        assert_eq!(b.clamp(-100.0), 2.0);
+    }
+
+    #[test]
+    fn normalize_roundtrip() {
+        let b = Bounds::new(-3.0, 5.0).unwrap();
+        for x in [-3.0, 0.0, 2.5, 5.0] {
+            let u = b.normalize(x);
+            assert!((0.0..=1.0).contains(&u));
+            assert!((b.denormalize(u) - x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn degenerate_bounds_normalize_to_zero() {
+        let b = Bounds::new(4.0, 4.0).unwrap();
+        assert_eq!(b.normalize(4.0), 0.0);
+        assert_eq!(b.denormalize(0.7), 4.0);
+    }
+
+    #[test]
+    fn space_contains_and_clamp() {
+        let s = space2();
+        assert!(s.contains(&[5.0, 0.0]));
+        assert!(!s.contains(&[5.0, 2.0]));
+        assert!(!s.contains(&[5.0])); // wrong dimension
+        assert_eq!(s.clamp(&[20.0, -5.0]), vec![10.0, -1.0]);
+        assert_eq!(s.center(), vec![5.0, 0.0]);
+    }
+
+    #[test]
+    fn space_normalize_roundtrip() {
+        let s = space2();
+        let x = vec![7.5, -0.25];
+        let u = s.normalize(&x);
+        let back = s.denormalize(&u);
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn line_extent_axis_aligned() {
+        let s = space2();
+        let (lo, hi) = s.line_extent(&[5.0, 0.0], &[1.0, 0.0]).unwrap();
+        assert_eq!((lo, hi), (-5.0, 5.0));
+    }
+
+    #[test]
+    fn line_extent_diagonal() {
+        let s = space2();
+        let (lo, hi) = s.line_extent(&[5.0, 0.0], &[1.0, 1.0]).unwrap();
+        // x stays in [0,10] for t in [-5,5]; y stays in [-1,1] for t in [-1,1].
+        assert_eq!((lo, hi), (-1.0, 1.0));
+    }
+
+    #[test]
+    fn line_extent_from_edge_is_one_sided() {
+        let s = space2();
+        let (lo, hi) = s.line_extent(&[0.0, 0.0], &[1.0, 0.0]).unwrap();
+        assert_eq!((lo, hi), (0.0, 10.0));
+    }
+
+    #[test]
+    fn line_extent_rejects_outside_point_and_zero_direction() {
+        let s = space2();
+        assert!(s.line_extent(&[50.0, 0.0], &[1.0, 0.0]).is_none());
+        assert!(s.line_extent(&[5.0, 0.0], &[0.0, 0.0]).is_none());
+    }
+}

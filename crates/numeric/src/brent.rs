@@ -1,0 +1,303 @@
+//! Brent's derivative-free one-dimensional minimization.
+//!
+//! The paper optimizes single-parameter test configurations with Brent's
+//! method (R. P. Brent, *Algorithms for Minimization without Derivatives*,
+//! 1973, ch. 5) and uses the same routine for the line searches inside
+//! Powell's method.
+
+/// Result of a one-dimensional minimization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Minimum {
+    /// Abscissa of the located minimum.
+    pub x: f64,
+    /// Objective value at [`Minimum::x`].
+    pub value: f64,
+    /// Number of objective evaluations spent.
+    pub evaluations: usize,
+    /// Whether the tolerance was reached before the iteration cap.
+    pub converged: bool,
+}
+
+/// Options controlling [`brent_min`] and [`golden_section_min`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BrentOptions {
+    /// Relative tolerance on the abscissa. Should be no smaller than the
+    /// square root of machine epsilon (~1.5e-8) — below that the parabola
+    /// fits are dominated by rounding noise.
+    pub tol: f64,
+    /// Hard cap on iterations.
+    pub max_iter: usize,
+}
+
+impl Default for BrentOptions {
+    fn default() -> Self {
+        // sqrt(machine eps) is the classical floor for Brent's tolerance.
+        BrentOptions { tol: 3e-8, max_iter: 100 }
+    }
+}
+
+const GOLDEN: f64 = 0.381_966_011_250_105_1; // (3 - sqrt(5)) / 2
+const TINY: f64 = 1e-21;
+
+/// Minimizes `f` over the closed interval `[a, b]` with Brent's method.
+///
+/// The routine combines golden-section steps (guaranteed linear
+/// convergence) with parabolic interpolation (superlinear near a smooth
+/// minimum) and never evaluates outside `[a, b]`. Non-finite objective
+/// values are treated as `+inf`, so the minimizer simply avoids those
+/// regions — the circuit simulator occasionally fails to converge for
+/// grossly faulted circuits and this keeps the search robust.
+///
+/// # Panics
+///
+/// Panics if `a > b` or either bound is non-finite.
+///
+/// # Example
+///
+/// ```
+/// use castg_numeric::{brent_min, BrentOptions};
+///
+/// let m = brent_min(|x| x * x * (x - 1.0), 0.2, 2.0, &BrentOptions::default());
+/// assert!((m.x - 2.0 / 3.0).abs() < 1e-7); // local minimum of x^3 - x^2
+/// ```
+pub fn brent_min<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, opts: &BrentOptions) -> Minimum {
+    assert!(a.is_finite() && b.is_finite() && a <= b, "invalid interval [{a}, {b}]");
+    let mut evaluations = 0usize;
+    let mut eval = |x: f64| {
+        evaluations += 1;
+        let v = f(x);
+        if v.is_finite() {
+            v
+        } else {
+            f64::INFINITY
+        }
+    };
+
+    let (mut lo, mut hi) = (a, b);
+    let mut x = lo + GOLDEN * (hi - lo);
+    let mut w = x;
+    let mut v = x;
+    let mut fx = eval(x);
+    let mut fw = fx;
+    let mut fv = fx;
+    let mut d = 0.0_f64;
+    let mut e = 0.0_f64; // step taken two iterations ago
+
+    for _ in 0..opts.max_iter {
+        let m = 0.5 * (lo + hi);
+        let tol1 = opts.tol * x.abs() + TINY;
+        let tol2 = 2.0 * tol1;
+        if (x - m).abs() <= tol2 - 0.5 * (hi - lo) {
+            return Minimum { x, value: fx, evaluations, converged: true };
+        }
+
+        let mut use_golden = true;
+        if e.abs() > tol1 {
+            // Fit a parabola through (v, fv), (w, fw), (x, fx).
+            let r = (x - w) * (fx - fv);
+            let q0 = (x - v) * (fx - fw);
+            let mut p = (x - v) * q0 - (x - w) * r;
+            let mut q = 2.0 * (q0 - r);
+            if q > 0.0 {
+                p = -p;
+            }
+            q = q.abs();
+            let e_prev = e;
+            e = d;
+            // Accept the parabolic step only if it falls inside the
+            // interval and represents less than half the step before last.
+            if p.abs() < (0.5 * q * e_prev).abs() && p > q * (lo - x) && p < q * (hi - x) {
+                d = p / q;
+                let u = x + d;
+                if (u - lo) < tol2 || (hi - u) < tol2 {
+                    d = if m > x { tol1 } else { -tol1 };
+                }
+                use_golden = false;
+            }
+        }
+        if use_golden {
+            e = if x < m { hi - x } else { lo - x };
+            d = GOLDEN * e;
+        }
+
+        let u = if d.abs() >= tol1 { x + d } else { x + if d > 0.0 { tol1 } else { -tol1 } };
+        let fu = eval(u);
+
+        if fu <= fx {
+            if u < x {
+                hi = x;
+            } else {
+                lo = x;
+            }
+            v = w;
+            fv = fw;
+            w = x;
+            fw = fx;
+            x = u;
+            fx = fu;
+        } else {
+            if u < x {
+                lo = u;
+            } else {
+                hi = u;
+            }
+            if fu <= fw || w == x {
+                v = w;
+                fv = fw;
+                w = u;
+                fw = fu;
+            } else if fu <= fv || v == x || v == w {
+                v = u;
+                fv = fu;
+            }
+        }
+    }
+    Minimum { x, value: fx, evaluations, converged: false }
+}
+
+/// Pure golden-section minimization over `[a, b]`.
+///
+/// Slower than [`brent_min`] but immune to pathological parabola fits;
+/// used as a cross-check in tests and available to callers that prefer
+/// the guaranteed reduction rate.
+///
+/// # Panics
+///
+/// Panics if `a > b` or either bound is non-finite.
+pub fn golden_section_min<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a: f64,
+    b: f64,
+    opts: &BrentOptions,
+) -> Minimum {
+    assert!(a.is_finite() && b.is_finite() && a <= b, "invalid interval [{a}, {b}]");
+    let mut evaluations = 0usize;
+    let mut eval = |x: f64| {
+        evaluations += 1;
+        let v = f(x);
+        if v.is_finite() {
+            v
+        } else {
+            f64::INFINITY
+        }
+    };
+    let (mut lo, mut hi) = (a, b);
+    let mut x1 = lo + GOLDEN * (hi - lo);
+    let mut x2 = hi - GOLDEN * (hi - lo);
+    let mut f1 = eval(x1);
+    let mut f2 = eval(x2);
+    for _ in 0..opts.max_iter {
+        if (hi - lo).abs() <= opts.tol * (x1.abs() + x2.abs()).max(1.0) {
+            break;
+        }
+        if f1 < f2 {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = lo + GOLDEN * (hi - lo);
+            f1 = eval(x1);
+        } else {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = hi - GOLDEN * (hi - lo);
+            f2 = eval(x2);
+        }
+    }
+    if f1 < f2 {
+        Minimum { x: x1, value: f1, evaluations, converged: true }
+    } else {
+        Minimum { x: x2, value: f2, evaluations, converged: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_quadratic_minimum() {
+        let m = brent_min(|x| (x - 3.0).powi(2), -10.0, 10.0, &BrentOptions::default());
+        assert!(m.converged);
+        assert!((m.x - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn finds_minimum_at_interval_edge() {
+        // Monotone decreasing on the interval: minimum is at the right edge.
+        let m = brent_min(|x| -x, 0.0, 1.0, &BrentOptions::default());
+        assert!((m.x - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn handles_non_smooth_objective() {
+        let m = brent_min(|x: f64| (x - 0.7).abs(), 0.0, 2.0, &BrentOptions::default());
+        assert!((m.x - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn treats_nan_as_infinite() {
+        // NaN pocket in the middle; minimum at x = 1.5 is still found.
+        let m = brent_min(
+            |x: f64| if (0.2..0.4).contains(&x) { f64::NAN } else { (x - 1.5).powi(2) },
+            0.0,
+            2.0,
+            &BrentOptions::default(),
+        );
+        assert!((m.x - 1.5).abs() < 1e-6);
+        assert!(m.value.is_finite());
+    }
+
+    #[test]
+    fn respects_iteration_cap() {
+        let opts = BrentOptions { tol: 1e-15, max_iter: 3 };
+        let m = brent_min(|x| (x - 3.0).powi(2), -1e6, 1e6, &opts);
+        assert!(!m.converged);
+        assert!(m.evaluations <= 6);
+    }
+
+    #[test]
+    fn golden_section_agrees_with_brent() {
+        let opts = BrentOptions::default();
+        let f = |x: f64| (x - 1.2).powi(4) + 0.5 * x;
+        let b = brent_min(f, -4.0, 4.0, &opts);
+        let g = golden_section_min(f, -4.0, 4.0, &opts);
+        assert!((b.x - g.x).abs() < 1e-4, "brent {} vs golden {}", b.x, g.x);
+    }
+
+    #[test]
+    fn brent_uses_fewer_evaluations_than_golden_on_smooth_function() {
+        let f = |x: f64| (x - 0.321).powi(2) + 1.0;
+        let opts = BrentOptions { tol: 1e-10, max_iter: 200 };
+        let b = brent_min(f, -10.0, 10.0, &opts);
+        let g = golden_section_min(f, -10.0, 10.0, &opts);
+        assert!(b.evaluations < g.evaluations, "{} !< {}", b.evaluations, g.evaluations);
+    }
+
+    #[test]
+    fn never_evaluates_outside_interval() {
+        let (lo, hi) = (-0.5, 0.25);
+        brent_min(
+            |x| {
+                assert!((lo..=hi).contains(&x), "evaluated at {x}");
+                x.sin()
+            },
+            lo,
+            hi,
+            &BrentOptions::default(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid interval")]
+    fn rejects_inverted_interval() {
+        brent_min(|x| x, 1.0, 0.0, &BrentOptions::default());
+    }
+
+    #[test]
+    fn degenerate_interval_returns_the_point() {
+        let m = brent_min(|x| x * x, 2.0, 2.0, &BrentOptions::default());
+        assert_eq!(m.x, 2.0);
+        assert_eq!(m.value, 4.0);
+    }
+}

@@ -1,0 +1,305 @@
+//! Minimal complex arithmetic and a complex-valued LU solver for AC
+//! (small-signal) circuit analysis.
+//!
+//! The AC system `(G + jωC)·x = b` is dense and small, mirroring the
+//! real-valued MNA system, so the solver mirrors [`crate::LuFactors`].
+
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+use crate::NumericError;
+
+/// A complex number in rectangular form.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const J: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates `re + j·im`.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// A purely real value.
+    pub fn real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(&self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Phase in radians.
+    pub fn arg(&self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(&self) -> Complex {
+        Complex { re: self.re, im: -self.im }
+    }
+
+    /// Whether both parts are finite.
+    pub fn is_finite(&self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, o: Complex) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    fn mul(self, s: f64) -> Complex {
+        Complex::new(self.re * s, self.im * s)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    fn div(self, o: Complex) -> Complex {
+        // Smith's algorithm avoids overflow for extreme magnitudes.
+        if o.re.abs() >= o.im.abs() {
+            let r = o.im / o.re;
+            let d = o.re + o.im * r;
+            Complex::new((self.re + self.im * r) / d, (self.im - self.re * r) / d)
+        } else {
+            let r = o.re / o.im;
+            let d = o.re * r + o.im;
+            Complex::new((self.re * r + self.im) / d, (self.im * r - self.re) / d)
+        }
+    }
+}
+
+/// A dense row-major complex matrix with in-place LU solving, used for
+/// the AC MNA system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CMatrix {
+    n: usize,
+    data: Vec<Complex>,
+}
+
+impl CMatrix {
+    /// Creates an `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        CMatrix { n, data: vec![Complex::ZERO; n * n] }
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Entry accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> Complex {
+        assert!(r < self.n && c < self.n);
+        self.data[r * self.n + c]
+    }
+
+    /// Adds `v` to entry `(r, c)` (MNA stamping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn add(&mut self, r: usize, c: usize, v: Complex) {
+        assert!(r < self.n && c < self.n);
+        self.data[r * self.n + c] += v;
+    }
+
+    /// Solves `A·x = b` in place by LU with partial pivoting (consumes
+    /// the matrix).
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::SingularMatrix`] when no usable pivot exists;
+    /// [`NumericError::DimensionMismatch`] for a wrong-sized `b`.
+    pub fn solve(mut self, b: &[Complex]) -> Result<Vec<Complex>, NumericError> {
+        let n = self.n;
+        if b.len() != n {
+            return Err(NumericError::DimensionMismatch { expected: n, actual: b.len() });
+        }
+        let mut x: Vec<Complex> = b.to_vec();
+        // Elimination with partial pivoting on |pivot|.
+        for k in 0..n {
+            let mut p = k;
+            let mut best = self.get(k, k).abs();
+            for i in k + 1..n {
+                let m = self.get(i, k).abs();
+                if m > best {
+                    best = m;
+                    p = i;
+                }
+            }
+            if !(best.is_finite()) || best < 1e-300 {
+                return Err(NumericError::SingularMatrix { pivot: k });
+            }
+            if p != k {
+                for c in 0..n {
+                    self.data.swap(k * n + c, p * n + c);
+                }
+                x.swap(k, p);
+            }
+            let pivot = self.get(k, k);
+            for i in k + 1..n {
+                let f = self.get(i, k) / pivot;
+                if f.abs() == 0.0 {
+                    continue;
+                }
+                for c in k..n {
+                    let v = self.get(k, c) * f;
+                    self.data[i * n + c] = self.data[i * n + c] - v;
+                }
+                x[i] = x[i] - x[k] * f;
+            }
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for c in i + 1..n {
+                acc = acc - self.get(i, c) * x[c];
+            }
+            x[i] = acc / self.get(i, i);
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: Complex, b: Complex, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex::new(3.0, -4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert!(approx(z * Complex::ONE, z, 1e-15));
+        assert!(approx(z + Complex::ZERO, z, 1e-15));
+        assert!(approx(z / z, Complex::ONE, 1e-12));
+        assert!(approx(Complex::J * Complex::J, -Complex::ONE, 1e-15));
+        assert!(approx(z.conj().conj(), z, 1e-15));
+    }
+
+    #[test]
+    fn division_extreme_magnitudes() {
+        let a = Complex::new(1e200, 1e200);
+        let b = Complex::new(1e200, -1e200);
+        let q = a / b;
+        assert!(q.is_finite());
+        assert!(approx(q, Complex::new(0.0, 1.0), 1e-12), "{q:?}");
+    }
+
+    #[test]
+    fn solves_complex_2x2() {
+        // (1+j)x + 2y = 5+3j ; 3x + (1-j)y = 4
+        let mut m = CMatrix::zeros(2);
+        m.add(0, 0, Complex::new(1.0, 1.0));
+        m.add(0, 1, Complex::real(2.0));
+        m.add(1, 0, Complex::real(3.0));
+        m.add(1, 1, Complex::new(1.0, -1.0));
+        let b = [Complex::new(5.0, 3.0), Complex::real(4.0)];
+        let m2 = m.clone();
+        let x = m.solve(&b).unwrap();
+        // Verify by substitution.
+        for r in 0..2 {
+            let mut acc = Complex::ZERO;
+            for c in 0..2 {
+                acc += m2.get(r, c) * x[c];
+            }
+            assert!(approx(acc, b[r], 1e-12), "row {r}: {acc:?} vs {:?}", b[r]);
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let mut m = CMatrix::zeros(2);
+        m.add(0, 1, Complex::ONE);
+        m.add(1, 0, Complex::ONE);
+        let x = m.solve(&[Complex::real(2.0), Complex::real(3.0)]).unwrap();
+        assert!(approx(x[0], Complex::real(3.0), 1e-12));
+        assert!(approx(x[1], Complex::real(2.0), 1e-12));
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let m = CMatrix::zeros(2);
+        assert!(matches!(
+            m.solve(&[Complex::ZERO, Complex::ZERO]),
+            Err(NumericError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_rhs_length_rejected() {
+        let m = CMatrix::zeros(2);
+        assert!(matches!(
+            m.solve(&[Complex::ZERO]),
+            Err(NumericError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rc_divider_impedance() {
+        // Series R with shunt C: v_out/v_in = (1/jwC)/(R + 1/jwC).
+        // At w = 1/(RC): |H| = 1/sqrt(2).
+        let r = 1e3;
+        let c = 1e-9;
+        let w = 1.0 / (r * c);
+        // MNA: node equation (1/R + jwC) v = (1/R) vin
+        let mut m = CMatrix::zeros(1);
+        m.add(0, 0, Complex::new(1.0 / r, w * c));
+        let x = m.solve(&[Complex::real(1.0 / r)]).unwrap();
+        assert!((x[0].abs() - 1.0 / 2.0_f64.sqrt()).abs() < 1e-12);
+        assert!((x[0].arg() + std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+    }
+}

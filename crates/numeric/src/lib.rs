@@ -1,0 +1,50 @@
+//! Dense linear algebra and derivative-free minimization for `castg`.
+//!
+//! This crate provides the numerical substrate used by the rest of the
+//! workspace:
+//!
+//! * [`Matrix`] — a small dense row-major matrix with an in-place LU
+//!   factorization ([`LuFactors`]) used by the MNA circuit simulator.
+//! * [`brent_min`] — Brent's derivative-free one-dimensional minimizer
+//!   (golden-section with parabolic interpolation), the method the paper
+//!   uses for single-parameter test configurations.
+//! * [`powell_min`] — Powell's direction-set method for multi-parameter
+//!   configurations, with bound constraints handled by restricting every
+//!   line search to the feasible segment.
+//! * [`Bounds`] / [`ParamSpace`] — rectangular parameter domains with
+//!   normalization helpers.
+//! * [`grid`] — sweep helpers used to compute tps-graphs.
+//! * [`stats`] — small statistics helpers (mean, standard deviation,
+//!   percentiles) used by the tolerance-box calibration.
+//!
+//! # Example
+//!
+//! ```
+//! use castg_numeric::{brent_min, BrentOptions};
+//!
+//! let f = |x: f64| (x - 2.0).powi(2) + 1.0;
+//! let m = brent_min(f, 0.0, 5.0, &BrentOptions::default());
+//! assert!((m.x - 2.0).abs() < 1e-8);
+//! assert!((m.value - 1.0).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bounds;
+mod brent;
+pub mod complex;
+mod error;
+pub mod grid;
+mod lu;
+mod matrix;
+mod powell;
+pub mod stats;
+
+pub use bounds::{Bounds, ParamSpace};
+pub use brent::{brent_min, golden_section_min, BrentOptions, Minimum};
+pub use complex::{CMatrix, Complex};
+pub use error::NumericError;
+pub use lu::LuFactors;
+pub use matrix::Matrix;
+pub use powell::{powell_min, PowellOptions, PowellResult};

@@ -1,0 +1,224 @@
+use crate::{Matrix, NumericError};
+
+/// LU factorization with partial (row) pivoting: `P·A = L·U`.
+///
+/// This is the linear solver behind every Newton–Raphson iteration of the
+/// circuit simulator. The factors are stored packed in a single matrix
+/// (unit lower triangle implicit), alongside the row permutation.
+///
+/// # Example
+///
+/// ```
+/// use castg_numeric::{LuFactors, Matrix};
+///
+/// let a = Matrix::from_rows(&[&[4.0, 3.0], &[6.0, 3.0]]);
+/// let lu = LuFactors::factor(a)?;
+/// let x = lu.solve(&[10.0, 12.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 2.0).abs() < 1e-12);
+/// # Ok::<(), castg_numeric::NumericError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    lu: Matrix,
+    perm: Vec<usize>,
+    /// Sign of the permutation; kept so a determinant can be recovered.
+    perm_sign: f64,
+}
+
+/// Pivots with absolute value below this threshold are treated as zero.
+const PIVOT_EPS: f64 = 1e-300;
+
+impl LuFactors {
+    /// Factors a square matrix, consuming it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] for a non-square input
+    /// and [`NumericError::SingularMatrix`] when no usable pivot exists in
+    /// some column.
+    pub fn factor(mut a: Matrix) -> Result<Self, NumericError> {
+        let n = a.rows();
+        if a.cols() != n {
+            return Err(NumericError::DimensionMismatch { expected: n, actual: a.cols() });
+        }
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+        let mut pivot_buf: Vec<f64> = Vec::with_capacity(n);
+
+        for k in 0..n {
+            // Partial pivoting: bring the largest entry of column k (at or
+            // below the diagonal) onto the diagonal.
+            let mut pivot_row = k;
+            let mut pivot_val = a[(k, k)].abs();
+            for i in k + 1..n {
+                let v = a[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if !pivot_val.is_finite() || pivot_val < PIVOT_EPS {
+                return Err(NumericError::SingularMatrix { pivot: k });
+            }
+            if pivot_row != k {
+                a.swap_rows(k, pivot_row);
+                perm.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+            }
+
+            let inv_pivot = 1.0 / a[(k, k)];
+            // One copy of the pivot row per column keeps the row update
+            // borrow-checker friendly without unsafe; the O(n) copy is
+            // dominated by the O(n^2) elimination work below it.
+            pivot_buf.clear();
+            pivot_buf.extend_from_slice(&a.row(k)[k + 1..]);
+            for i in k + 1..n {
+                let factor = a[(i, k)] * inv_pivot;
+                a[(i, k)] = factor;
+                if factor != 0.0 {
+                    let lower = a.row_mut(i);
+                    for (dst, src) in lower[k + 1..].iter_mut().zip(&pivot_buf) {
+                        *dst -= factor * src;
+                    }
+                }
+            }
+        }
+        Ok(LuFactors { lu: a, perm, perm_sign })
+    }
+
+    /// Solves `A·x = b` using the stored factors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `b` has the wrong
+    /// length.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumericError> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(NumericError::DimensionMismatch { expected: n, actual: b.len() });
+        }
+        // Apply permutation: y = P·b, then forward substitution (L has an
+        // implicit unit diagonal).
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let row = self.lu.row(i);
+            let dot: f64 = row[..i].iter().zip(&x[..i]).map(|(l, v)| l * v).sum();
+            x[i] -= dot;
+        }
+        // Backward substitution with U.
+        for i in (0..n).rev() {
+            let row = self.lu.row(i);
+            let dot: f64 = row[i + 1..].iter().zip(&x[i + 1..]).map(|(u, v)| u * v).sum();
+            x[i] = (x[i] - dot) / row[i];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the original matrix, computed from the factors.
+    pub fn det(&self) -> f64 {
+        let mut d = self.perm_sign;
+        for i in 0..self.lu.rows() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Dimension of the factored system.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve_once(rows: &[&[f64]], b: &[f64]) -> Vec<f64> {
+        LuFactors::factor(Matrix::from_rows(rows)).unwrap().solve(b).unwrap()
+    }
+
+    #[test]
+    fn solves_identity() {
+        let x = solve_once(&[&[1.0, 0.0], &[0.0, 1.0]], &[3.0, -4.0]);
+        assert_eq!(x, vec![3.0, -4.0]);
+    }
+
+    #[test]
+    fn solves_2x2_requiring_pivot() {
+        // Leading zero forces a row swap.
+        let x = solve_once(&[&[0.0, 2.0], &[3.0, 1.0]], &[4.0, 5.0]);
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_3x3_known_system() {
+        let x = solve_once(
+            &[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]],
+            &[8.0, -11.0, -3.0],
+        );
+        let expected = [2.0, 3.0, -1.0];
+        for (xi, ei) in x.iter().zip(&expected) {
+            assert!((xi - ei).abs() < 1e-12, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_singular_matrix() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let err = LuFactors::factor(a).unwrap_err();
+        assert!(matches!(err, NumericError::SingularMatrix { .. }));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        let err = LuFactors::factor(a).unwrap_err();
+        assert!(matches!(err, NumericError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_wrong_rhs_length() {
+        let lu = LuFactors::factor(Matrix::identity(3)).unwrap();
+        assert!(lu.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn determinant_of_known_matrix() {
+        let lu = LuFactors::factor(Matrix::from_rows(&[&[4.0, 3.0], &[6.0, 3.0]])).unwrap();
+        assert!((lu.det() - (-6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_sign_survives_pivoting() {
+        let lu = LuFactors::factor(Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]])).unwrap();
+        assert!((lu.det() - (-1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_random_system_has_small_residual() {
+        // Deterministic pseudo-random fill; no rand dependency needed here.
+        let n = 25;
+        let mut seed = 0x9e3779b97f4a7c15_u64;
+        let mut next = || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = next();
+            }
+            a[(i, i)] += n as f64; // diagonally dominant => well conditioned
+        }
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let a_copy = a.clone();
+        let x = LuFactors::factor(a).unwrap().solve(&b).unwrap();
+        let r = a_copy.mul_vec(&x).unwrap();
+        let resid = r.iter().zip(&b).map(|(ri, bi)| (ri - bi).abs()).fold(0.0_f64, f64::max);
+        assert!(resid < 1e-10, "residual too large: {resid}");
+    }
+}

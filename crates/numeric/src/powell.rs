@@ -1,0 +1,342 @@
+//! Powell's direction-set minimization with rectangular bounds.
+//!
+//! The paper optimizes multi-parameter test configurations with Powell's
+//! method (per F. S. Acton, *Numerical Methods that Work*, pp. 264–267),
+//! using Brent's method to explore the one-dimensional search directions.
+//! Bounds are honoured by restricting every line search to the feasible
+//! segment of the search line, so the objective is never evaluated outside
+//! the parameter constraints (§3.1 of the paper requires this).
+
+use crate::{brent_min, BrentOptions, ParamSpace};
+
+/// Options controlling [`powell_min`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowellOptions {
+    /// Relative tolerance on the objective decrease per outer iteration.
+    pub ftol: f64,
+    /// Maximum number of outer iterations (full direction sweeps).
+    pub max_iter: usize,
+    /// Options for the inner Brent line searches.
+    pub line: BrentOptions,
+}
+
+impl Default for PowellOptions {
+    fn default() -> Self {
+        PowellOptions {
+            ftol: 1e-6,
+            max_iter: 40,
+            line: BrentOptions { tol: 1e-6, max_iter: 60 },
+        }
+    }
+}
+
+/// Result of a Powell minimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowellResult {
+    /// Location of the located minimum (always inside the bounds).
+    pub x: Vec<f64>,
+    /// Objective value at [`PowellResult::x`].
+    pub value: f64,
+    /// Total number of objective evaluations.
+    pub evaluations: usize,
+    /// Number of outer iterations performed.
+    pub iterations: usize,
+    /// Whether the tolerance was met before the iteration cap.
+    pub converged: bool,
+}
+
+/// Minimizes `f` over the rectangular domain `space`, starting from `x0`.
+///
+/// Directions are maintained in the *normalized* unit-cube coordinates of
+/// the domain so that parameters with wildly different magnitudes (e.g.
+/// amperes vs. hertz) are search-conditioned equally. The classic Powell
+/// update replaces the direction of largest decrease with the overall
+/// displacement direction after each sweep; directions are reset to the
+/// coordinate axes when they threaten to become linearly dependent.
+///
+/// Non-finite objective values are treated as `+inf` (see [`brent_min`]).
+///
+/// # Panics
+///
+/// Panics if `x0` has a different dimension than `space` or lies outside
+/// it (callers should clamp first — a seed outside the constraint box is
+/// a configuration bug worth failing loudly on).
+///
+/// # Example
+///
+/// ```
+/// use castg_numeric::{powell_min, Bounds, ParamSpace, PowellOptions};
+///
+/// let space = ParamSpace::new(vec![
+///     Bounds::new(-5.0, 5.0)?,
+///     Bounds::new(-5.0, 5.0)?,
+/// ]);
+/// // Shifted quadratic bowl with minimum at (1, -2).
+/// let f = |x: &[f64]| (x[0] - 1.0).powi(2) + 2.0 * (x[1] + 2.0).powi(2);
+/// let r = powell_min(f, &[0.0, 0.0], &space, &PowellOptions::default());
+/// assert!((r.x[0] - 1.0).abs() < 1e-4);
+/// assert!((r.x[1] + 2.0).abs() < 1e-4);
+/// # Ok::<(), castg_numeric::NumericError>(())
+/// ```
+pub fn powell_min<F: FnMut(&[f64]) -> f64>(
+    mut f: F,
+    x0: &[f64],
+    space: &ParamSpace,
+    opts: &PowellOptions,
+) -> PowellResult {
+    let n = space.dim();
+    assert_eq!(x0.len(), n, "seed dimension {} != space dimension {n}", x0.len());
+    assert!(space.contains(x0), "seed {x0:?} lies outside the parameter bounds");
+
+    let mut evaluations = 0usize;
+    // Work in normalized coordinates; evaluate in physical coordinates.
+    let unit = ParamSpace::new(
+        (0..n).map(|_| crate::Bounds::new(0.0, 1.0).expect("unit bounds")).collect(),
+    );
+    let mut eval_unit = |u: &[f64]| {
+        evaluations += 1;
+        let v = f(&space.denormalize(u));
+        if v.is_finite() {
+            v
+        } else {
+            f64::INFINITY
+        }
+    };
+
+    let mut x = space.normalize(x0);
+    let mut fx = eval_unit(&x);
+    if n == 0 {
+        return PowellResult { x: x0.to_vec(), value: fx, evaluations, iterations: 0, converged: true };
+    }
+
+    // Initial directions: the coordinate axes of the unit cube.
+    let mut dirs: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..n).map(|j| if i == j { 1.0 } else { 0.0 }).collect())
+        .collect();
+
+    let mut iterations = 0usize;
+    for iter in 0..opts.max_iter {
+        iterations = iter + 1;
+        let x_start = x.clone();
+        let f_start = fx;
+        let mut biggest_drop = 0.0_f64;
+        let mut biggest_dir = 0usize;
+
+        for (idx, d) in dirs.iter().enumerate() {
+            let f_before = fx;
+            let (x_new, f_new) = line_minimize(&mut eval_unit, &unit, &x, d, fx, &opts.line);
+            x = x_new;
+            fx = f_new;
+            if f_before - fx > biggest_drop {
+                biggest_drop = f_before - fx;
+                biggest_dir = idx;
+            }
+        }
+
+        // Convergence: relative decrease of the whole sweep.
+        if 2.0 * (f_start - fx).abs() <= opts.ftol * (f_start.abs() + fx.abs()) + 1e-25 {
+            return PowellResult {
+                x: space.denormalize(&x),
+                value: fx,
+                evaluations,
+                iterations,
+                converged: true,
+            };
+        }
+
+        // Powell's update: try the average displacement direction.
+        let disp: Vec<f64> = x.iter().zip(&x_start).map(|(a, b)| a - b).collect();
+        let disp_norm: f64 = disp.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if disp_norm > 1e-14 {
+            // Extrapolated point x + disp (clamped into the cube).
+            let x_e: Vec<f64> =
+                x.iter().zip(&disp).map(|(a, d)| (a + d).clamp(0.0, 1.0)).collect();
+            let f_e = eval_unit(&x_e);
+            if f_e < f_start {
+                // Acton/NR criterion for replacing a direction.
+                let t = 2.0 * (f_start - 2.0 * fx + f_e)
+                    * (f_start - fx - biggest_drop).powi(2)
+                    - biggest_drop * (f_start - f_e).powi(2);
+                if t < 0.0 {
+                    let d_new: Vec<f64> = disp.iter().map(|v| v / disp_norm).collect();
+                    let (x_new, f_new) =
+                        line_minimize(&mut eval_unit, &unit, &x, &d_new, fx, &opts.line);
+                    x = x_new;
+                    fx = f_new;
+                    dirs.remove(biggest_dir);
+                    dirs.push(d_new);
+                }
+            }
+        }
+
+        // Re-orthogonalize periodically to avoid degenerate direction sets.
+        if (iter + 1) % (2 * n.max(1)) == 0 {
+            for (i, d) in dirs.iter_mut().enumerate() {
+                for (j, v) in d.iter_mut().enumerate() {
+                    *v = if i == j { 1.0 } else { 0.0 };
+                }
+            }
+        }
+    }
+
+    PowellResult { x: space.denormalize(&x), value: fx, evaluations, iterations, converged: false }
+}
+
+/// One bounded line minimization: Brent over the feasible `t`-segment of
+/// `x + t·d`. Returns the (possibly unchanged) point and value.
+fn line_minimize<F: FnMut(&[f64]) -> f64>(
+    eval: &mut F,
+    space: &ParamSpace,
+    x: &[f64],
+    d: &[f64],
+    fx: f64,
+    line_opts: &BrentOptions,
+) -> (Vec<f64>, f64) {
+    let Some((t_lo, t_hi)) = space.line_extent(x, d) else {
+        return (x.to_vec(), fx);
+    };
+    if t_hi - t_lo < 1e-14 {
+        return (x.to_vec(), fx);
+    }
+    let m = brent_min(
+        |t| {
+            let p: Vec<f64> =
+                x.iter().zip(d).map(|(xi, di)| (xi + t * di).clamp(0.0, 1.0)).collect();
+            eval(&p)
+        },
+        t_lo,
+        t_hi,
+        line_opts,
+    );
+    if m.value < fx {
+        let p: Vec<f64> =
+            x.iter().zip(d).map(|(xi, di)| (xi + m.x * di).clamp(0.0, 1.0)).collect();
+        (p, m.value)
+    } else {
+        (x.to_vec(), fx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Bounds;
+
+    fn cube(n: usize, lo: f64, hi: f64) -> ParamSpace {
+        ParamSpace::new((0..n).map(|_| Bounds::new(lo, hi).unwrap()).collect())
+    }
+
+    #[test]
+    fn minimizes_sphere() {
+        let space = cube(3, -10.0, 10.0);
+        let r = powell_min(
+            |x| x.iter().map(|v| v * v).sum(),
+            &[5.0, -7.0, 2.0],
+            &space,
+            &PowellOptions::default(),
+        );
+        assert!(r.converged);
+        for xi in &r.x {
+            assert!(xi.abs() < 1e-3, "{:?}", r.x);
+        }
+    }
+
+    #[test]
+    fn minimizes_rosenbrock() {
+        let space = cube(2, -2.0, 2.0);
+        let rosen = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let opts = PowellOptions { max_iter: 200, ..PowellOptions::default() };
+        let r = powell_min(rosen, &[-1.2, 1.0], &space, &opts);
+        assert!(r.value < 1e-4, "value {}", r.value);
+        assert!((r.x[0] - 1.0).abs() < 0.05, "{:?}", r.x);
+        assert!((r.x[1] - 1.0).abs() < 0.05, "{:?}", r.x);
+    }
+
+    #[test]
+    fn respects_bounds_when_minimum_is_outside() {
+        // Unconstrained minimum at (8, 8); box caps at 5.
+        let space = cube(2, 0.0, 5.0);
+        let f = |x: &[f64]| (x[0] - 8.0).powi(2) + (x[1] - 8.0).powi(2);
+        let r = powell_min(f, &[1.0, 1.0], &space, &PowellOptions::default());
+        assert!((r.x[0] - 5.0).abs() < 1e-4, "{:?}", r.x);
+        assert!((r.x[1] - 5.0).abs() < 1e-4, "{:?}", r.x);
+        assert!(space.contains(&r.x));
+    }
+
+    #[test]
+    fn never_evaluates_outside_bounds() {
+        let space = cube(2, -1.0, 1.0);
+        let r = powell_min(
+            |x| {
+                assert!(
+                    x.iter().all(|v| (-1.0 - 1e-9..=1.0 + 1e-9).contains(v)),
+                    "evaluated outside box: {x:?}"
+                );
+                (x[0] - 0.3).powi(2) + (x[1] + 0.4).powi(2)
+            },
+            &[0.0, 0.0],
+            &space,
+            &PowellOptions::default(),
+        );
+        assert!((r.x[0] - 0.3).abs() < 1e-4);
+    }
+
+    #[test]
+    fn handles_anisotropic_scaling() {
+        // One parameter in microamps, one in hertz — like config #3.
+        let space = ParamSpace::new(vec![
+            Bounds::new(0.0, 40e-6).unwrap(),
+            Bounds::new(1e3, 100e3).unwrap(),
+        ]);
+        let f = |x: &[f64]| {
+            let a = (x[0] - 25e-6) / 40e-6;
+            let b = (x[1] - 60e3) / 99e3;
+            a * a + b * b
+        };
+        let r = powell_min(f, &[10e-6, 10e3], &space, &PowellOptions::default());
+        assert!((r.x[0] - 25e-6).abs() < 1e-7, "{:?}", r.x);
+        assert!((r.x[1] - 60e3).abs() < 500.0, "{:?}", r.x);
+    }
+
+    #[test]
+    fn one_dimensional_space_degenerates_to_line_search() {
+        let space = cube(1, -4.0, 4.0);
+        let r = powell_min(|x| (x[0] + 3.0).powi(2), &[0.0], &space, &PowellOptions::default());
+        assert!((r.x[0] + 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn survives_nan_regions() {
+        let space = cube(2, -2.0, 2.0);
+        let f = |x: &[f64]| {
+            if x[0] > 1.5 {
+                f64::NAN
+            } else {
+                (x[0] - 1.0).powi(2) + x[1].powi(2)
+            }
+        };
+        let r = powell_min(f, &[-1.0, 1.0], &space, &PowellOptions::default());
+        assert!(r.value.is_finite());
+        assert!((r.x[0] - 1.0).abs() < 1e-3, "{:?}", r.x);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the parameter bounds")]
+    fn rejects_seed_outside_bounds() {
+        let space = cube(2, 0.0, 1.0);
+        powell_min(|x| x[0], &[2.0, 0.5], &space, &PowellOptions::default());
+    }
+
+    #[test]
+    fn reports_evaluation_count() {
+        let space = cube(2, -1.0, 1.0);
+        let r = powell_min(
+            |x| x[0] * x[0] + x[1] * x[1],
+            &[0.5, 0.5],
+            &space,
+            &PowellOptions::default(),
+        );
+        assert!(r.evaluations > 0);
+        assert!(r.iterations >= 1);
+    }
+}

@@ -1,0 +1,100 @@
+//! Small statistics helpers used by the tolerance-box calibration.
+
+/// Arithmetic mean; `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Sample standard deviation (Bessel-corrected); `None` for fewer than two
+/// samples.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    Some(var.sqrt())
+}
+
+/// Maximum absolute value; `0.0` for an empty slice.
+pub fn max_abs(xs: &[f64]) -> f64 {
+    xs.iter().fold(0.0_f64, |m, x| m.max(x.abs()))
+}
+
+/// Linearly interpolated percentile `p ∈ [0, 100]` of the samples.
+///
+/// Returns `None` for an empty slice. NaN samples are excluded; if all
+/// samples are NaN the result is `None`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]`.
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&p), "percentile {p} outside [0, 100]");
+    let mut v: Vec<f64> = xs.iter().copied().filter(|x| !x.is_nan()).collect();
+    if v.is_empty() {
+        return None;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaNs were filtered"));
+    let rank = p / 100.0 * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(v[lo] + (v[hi] - v[lo]) * frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_known_values() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn std_dev_of_known_values() {
+        // Sample std-dev of {2, 4, 4, 4, 5, 5, 7, 9} is ~2.138.
+        let s = std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s - 2.138).abs() < 1e-3);
+        assert_eq!(std_dev(&[1.0]), None);
+    }
+
+    #[test]
+    fn max_abs_handles_negatives() {
+        assert_eq!(max_abs(&[-3.0, 2.0]), 3.0);
+        assert_eq!(max_abs(&[]), 0.0);
+    }
+
+    #[test]
+    fn percentile_median_and_extremes() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&xs, 50.0), Some(3.0));
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 100.0), Some(5.0));
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert_eq!(percentile(&xs, 25.0), Some(2.5));
+    }
+
+    #[test]
+    fn percentile_skips_nan() {
+        let xs = [f64::NAN, 1.0, 2.0];
+        assert_eq!(percentile(&xs, 100.0), Some(2.0));
+        assert_eq!(percentile(&[f64::NAN], 50.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn percentile_validates_p() {
+        percentile(&[1.0], 150.0);
+    }
+}

@@ -1,0 +1,313 @@
+//! AC small-signal analysis.
+//!
+//! Linearizes the circuit around its DC operating point and solves the
+//! complex MNA system `(G + jωC)·x = b` per frequency point. This is the
+//! substrate for frequency-domain test configurations (gain, bandwidth,
+//! phase margin) — a natural extension of the paper's configuration set,
+//! exercised by the `ac_gain` extension experiments.
+//!
+//! `G` is the Jacobian of the static stamps at the operating point (the
+//! same matrix the final Newton iteration used), `C` collects explicit
+//! capacitors plus the MOSFETs' intrinsic gate capacitances, and `b`
+//! holds unit-magnitude excitations on caller-designated independent
+//! sources.
+
+use castg_numeric::{CMatrix, Complex, Matrix};
+
+use crate::analysis::AnalysisOptions;
+use crate::circuit::Circuit;
+use crate::dc::DcAnalysis;
+use crate::device::DeviceKind;
+use crate::node::NodeId;
+use crate::stamp;
+use crate::SpiceError;
+
+/// One AC excitation: a named independent source driven with the given
+/// small-signal magnitude (phase 0).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcSource {
+    /// Name of the independent voltage or current source.
+    pub name: String,
+    /// Small-signal magnitude (volts or amperes).
+    pub magnitude: f64,
+}
+
+/// Result of an AC sweep: complex node voltages per frequency.
+#[derive(Debug, Clone)]
+pub struct AcSweep {
+    freqs: Vec<f64>,
+    /// `solutions[i][n]` is the phasor of MNA unknown `n` at `freqs[i]`.
+    solutions: Vec<Vec<Complex>>,
+    n_nodes: usize,
+}
+
+impl AcSweep {
+    /// The sweep frequencies.
+    pub fn freqs(&self) -> &[f64] {
+        &self.freqs
+    }
+
+    /// Phasor of a node voltage at frequency index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index or node is out of range.
+    pub fn voltage(&self, i: usize, node: NodeId) -> Complex {
+        if node.is_ground() {
+            Complex::ZERO
+        } else {
+            self.solutions[i][node.index() - 1]
+        }
+    }
+
+    /// Magnitude response of a node over the sweep.
+    pub fn magnitude(&self, node: NodeId) -> Vec<f64> {
+        (0..self.freqs.len()).map(|i| self.voltage(i, node).abs()).collect()
+    }
+
+    /// Phase response (radians) of a node over the sweep.
+    pub fn phase(&self, node: NodeId) -> Vec<f64> {
+        (0..self.freqs.len()).map(|i| self.voltage(i, node).arg()).collect()
+    }
+
+    /// Number of node-voltage unknowns the sweep solved for.
+    pub fn node_count(&self) -> usize {
+        self.n_nodes
+    }
+}
+
+/// AC small-signal solver.
+///
+/// # Example
+///
+/// ```
+/// use castg_spice::{AcAnalysis, AcSource, Circuit, Waveform};
+///
+/// // RC low-pass: |H| = 1/√2 at the pole frequency.
+/// let mut c = Circuit::new();
+/// let vin = c.node("in");
+/// let out = c.node("out");
+/// c.add_vsource("V1", vin, Circuit::GROUND, Waveform::dc(0.0))?;
+/// c.add_resistor("R1", vin, out, 1e3)?;
+/// c.add_capacitor("C1", out, Circuit::GROUND, 1e-9)?;
+/// let f0 = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e-9);
+/// let sweep = AcAnalysis::new(&c)
+///     .source(AcSource { name: "V1".into(), magnitude: 1.0 })
+///     .run(&[f0])?;
+/// let h = sweep.voltage(0, out).abs();
+/// assert!((h - 1.0 / 2.0_f64.sqrt()).abs() < 1e-6);
+/// # Ok::<(), castg_spice::SpiceError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AcAnalysis<'c> {
+    circuit: &'c Circuit,
+    options: AnalysisOptions,
+    sources: Vec<AcSource>,
+}
+
+impl<'c> AcAnalysis<'c> {
+    /// Creates an AC solver with default options and no excitations.
+    pub fn new(circuit: &'c Circuit) -> Self {
+        AcAnalysis { circuit, options: AnalysisOptions::default(), sources: Vec::new() }
+    }
+
+    /// Creates an AC solver with explicit options.
+    pub fn with_options(circuit: &'c Circuit, options: AnalysisOptions) -> Self {
+        AcAnalysis { circuit, options, sources: Vec::new() }
+    }
+
+    /// Adds an AC excitation on a named independent source.
+    pub fn source(mut self, source: AcSource) -> Self {
+        self.sources.push(source);
+        self
+    }
+
+    /// Solves the sweep at the given frequencies.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::InvalidAnalysis`] when no excitation was configured
+    /// or a frequency is not positive; [`SpiceError::UnknownDevice`]
+    /// when an excitation names a missing or non-source device; DC
+    /// operating-point failures propagate.
+    pub fn run(&self, freqs: &[f64]) -> Result<AcSweep, SpiceError> {
+        if self.sources.is_empty() {
+            return Err(SpiceError::InvalidAnalysis {
+                reason: "ac analysis needs at least one excitation source".to_string(),
+            });
+        }
+        if let Some(bad) = freqs.iter().find(|f| !(**f > 0.0 && f.is_finite())) {
+            return Err(SpiceError::InvalidAnalysis {
+                reason: format!("ac frequency must be positive and finite, got {bad}"),
+            });
+        }
+
+        let dc = DcAnalysis::with_options(self.circuit, self.options).solve()?;
+        let n = self.circuit.unknown_count();
+        let n_nodes = self.circuit.node_count() - 1;
+
+        // G: the static Jacobian at the operating point (rhs discarded).
+        let mut g = Matrix::zeros(n, n);
+        let mut scratch_rhs = vec![0.0; n];
+        stamp::assemble_static(
+            self.circuit,
+            dc.state(),
+            &mut g,
+            &mut scratch_rhs,
+            self.options.gmin,
+            |w| w.dc_value(),
+        );
+
+        // C: capacitive stamps (explicit capacitors + MOS gate caps).
+        let mut cap = Matrix::zeros(n, n);
+        for dev in self.circuit.devices() {
+            match dev.kind() {
+                DeviceKind::Capacitor { a, b, farads } => {
+                    stamp::stamp_conductance(&mut cap, *a, *b, *farads);
+                }
+                DeviceKind::Mosfet { d, g: gate, s, params, .. } => {
+                    stamp::stamp_conductance(&mut cap, *gate, *s, params.cgs());
+                    stamp::stamp_conductance(&mut cap, *gate, *d, params.cgd());
+                }
+                _ => {}
+            }
+        }
+
+        // b: unit excitations (validated up front).
+        let mut b = vec![Complex::ZERO; n];
+        for src in &self.sources {
+            let dev = self
+                .circuit
+                .device(&src.name)
+                .ok_or_else(|| SpiceError::UnknownDevice { name: src.name.clone() })?;
+            match dev.kind() {
+                DeviceKind::Isource { from, to, .. } => {
+                    if let Some(i) = stamp::idx(*from) {
+                        b[i].re -= src.magnitude;
+                    }
+                    if let Some(i) = stamp::idx(*to) {
+                        b[i].re += src.magnitude;
+                    }
+                }
+                DeviceKind::Vsource { .. } => {
+                    let br = self
+                        .circuit
+                        .branch_index(&src.name)
+                        .expect("vsource has a branch index");
+                    b[n_nodes + br].re += src.magnitude;
+                }
+                _ => {
+                    return Err(SpiceError::InvalidValue {
+                        device: src.name.clone(),
+                        reason: "ac excitation requires an independent source".to_string(),
+                    })
+                }
+            }
+        }
+
+        let mut solutions = Vec::with_capacity(freqs.len());
+        for f in freqs {
+            let omega = 2.0 * std::f64::consts::PI * f;
+            let mut m = CMatrix::zeros(n);
+            for r in 0..n {
+                for c in 0..n {
+                    let v = Complex::new(g[(r, c)], omega * cap[(r, c)]);
+                    if v.re != 0.0 || v.im != 0.0 {
+                        m.add(r, c, v);
+                    }
+                }
+            }
+            solutions.push(m.solve(&b)?);
+        }
+        Ok(AcSweep { freqs: freqs.to_vec(), solutions, n_nodes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Waveform;
+    use std::f64::consts::PI;
+
+    fn rc(r: f64, c: f64) -> (Circuit, NodeId) {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add_vsource("V1", vin, Circuit::GROUND, Waveform::dc(0.0)).unwrap();
+        ckt.add_resistor("R1", vin, out, r).unwrap();
+        ckt.add_capacitor("C1", out, Circuit::GROUND, c).unwrap();
+        (ckt, out)
+    }
+
+    #[test]
+    fn rc_magnitude_and_phase_match_transfer_function() {
+        let (ckt, out) = rc(1e3, 1e-9);
+        let f0 = 1.0 / (2.0 * PI * 1e3 * 1e-9);
+        let sweep = AcAnalysis::new(&ckt)
+            .source(AcSource { name: "V1".into(), magnitude: 1.0 })
+            .run(&[f0 / 10.0, f0, f0 * 10.0])
+            .unwrap();
+        let mags = sweep.magnitude(out);
+        let phases = sweep.phase(out);
+        // Passband ≈ 1, pole = 1/√2 @ −45°, decade above ≈ −20 dB.
+        assert!((mags[0] - 1.0).abs() < 0.01, "{mags:?}");
+        assert!((mags[1] - 1.0 / 2.0_f64.sqrt()).abs() < 1e-6);
+        assert!((phases[1] + PI / 4.0).abs() < 1e-6);
+        assert!((mags[2] - 0.0995).abs() < 1e-3, "{mags:?}");
+    }
+
+    #[test]
+    fn current_source_excitation_sees_impedance() {
+        // 1 A AC into R ∥ C: |Z| at the pole = R/√2.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_isource("I1", Circuit::GROUND, a, Waveform::dc(0.0)).unwrap();
+        ckt.add_resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
+        ckt.add_capacitor("C1", a, Circuit::GROUND, 1e-9).unwrap();
+        let f0 = 1.0 / (2.0 * PI * 1e3 * 1e-9);
+        let sweep = AcAnalysis::new(&ckt)
+            .source(AcSource { name: "I1".into(), magnitude: 1.0 })
+            .run(&[f0])
+            .unwrap();
+        assert!((sweep.voltage(0, a).abs() - 1e3 / 2.0_f64.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn errors_on_missing_or_invalid_excitation() {
+        let (ckt, _) = rc(1e3, 1e-9);
+        assert!(matches!(
+            AcAnalysis::new(&ckt).run(&[1e3]),
+            Err(SpiceError::InvalidAnalysis { .. })
+        ));
+        assert!(matches!(
+            AcAnalysis::new(&ckt)
+                .source(AcSource { name: "nope".into(), magnitude: 1.0 })
+                .run(&[1e3]),
+            Err(SpiceError::UnknownDevice { .. })
+        ));
+        assert!(matches!(
+            AcAnalysis::new(&ckt)
+                .source(AcSource { name: "R1".into(), magnitude: 1.0 })
+                .run(&[1e3]),
+            Err(SpiceError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            AcAnalysis::new(&ckt)
+                .source(AcSource { name: "V1".into(), magnitude: 1.0 })
+                .run(&[0.0]),
+            Err(SpiceError::InvalidAnalysis { .. })
+        ));
+    }
+
+    #[test]
+    fn ground_voltage_is_zero() {
+        let (ckt, _) = rc(1e3, 1e-9);
+        let sweep = AcAnalysis::new(&ckt)
+            .source(AcSource { name: "V1".into(), magnitude: 1.0 })
+            .run(&[1e3])
+            .unwrap();
+        assert_eq!(sweep.voltage(0, NodeId::GROUND), Complex::ZERO);
+        assert_eq!(sweep.freqs(), &[1e3]);
+        assert_eq!(sweep.node_count(), 2);
+    }
+}

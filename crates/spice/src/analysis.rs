@@ -1,0 +1,50 @@
+/// Tolerances and iteration limits shared by the DC and transient solvers.
+///
+/// The defaults mirror common SPICE practice and are adequate for the
+/// IV-converter macro; tighten `reltol`/`vntol` for precision work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalysisOptions {
+    /// Relative convergence tolerance on solution updates.
+    pub reltol: f64,
+    /// Absolute voltage tolerance (volts).
+    pub vntol: f64,
+    /// Absolute current tolerance for branch currents (amperes).
+    pub abstol: f64,
+    /// Maximum Newton iterations per solve.
+    pub max_iter: usize,
+    /// Conductance added from every node to ground; keeps otherwise
+    /// floating nodes (capacitor-only or gate-only nodes) well posed.
+    pub gmin: f64,
+    /// Newton damping: the largest voltage change accepted per iteration
+    /// and per node (volts). Prevents the exponential-free but still
+    /// stiff MOS model from overshooting.
+    pub max_step_v: f64,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        AnalysisOptions {
+            reltol: 1e-4,
+            vntol: 1e-6,
+            abstol: 1e-12,
+            max_iter: 120,
+            gmin: 1e-12,
+            max_step_v: 0.5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = AnalysisOptions::default();
+        assert!(o.reltol > 0.0 && o.reltol < 1e-2);
+        assert!(o.vntol > 0.0);
+        assert!(o.max_iter >= 50);
+        assert!(o.gmin > 0.0 && o.gmin < 1e-9);
+        assert!(o.max_step_v > 0.0);
+    }
+}

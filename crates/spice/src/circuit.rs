@@ -1,0 +1,444 @@
+use std::collections::HashMap;
+
+use crate::device::{Device, DeviceKind};
+use crate::mos::{MosParams, MosPolarity};
+use crate::node::NodeId;
+use crate::stimulus::Waveform;
+use crate::SpiceError;
+
+/// A netlist: interned named nodes plus named devices.
+///
+/// Node `0` is always ground (named `"0"`). Device names are unique and
+/// are the handle used for probing, stimulus substitution, and fault
+/// injection.
+///
+/// # Example
+///
+/// ```
+/// use castg_spice::{Circuit, Waveform};
+///
+/// let mut c = Circuit::new();
+/// let vdd = c.node("vdd");
+/// let out = c.node("out");
+/// c.add_vsource("VDD", vdd, Circuit::GROUND, Waveform::dc(5.0))?;
+/// c.add_resistor("RL", vdd, out, 10e3)?;
+/// assert_eq!(c.node_count(), 3); // ground, vdd, out
+/// assert!(c.device("RL").is_some());
+/// # Ok::<(), castg_spice::SpiceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Circuit {
+    node_names: Vec<String>,
+    node_index: HashMap<String, NodeId>,
+    devices: Vec<Device>,
+    device_index: HashMap<String, usize>,
+}
+
+impl Circuit {
+    /// The ground node, present in every circuit.
+    pub const GROUND: NodeId = NodeId::GROUND;
+
+    /// Creates an empty circuit containing only the ground node.
+    pub fn new() -> Self {
+        let mut node_index = HashMap::new();
+        node_index.insert("0".to_string(), NodeId::GROUND);
+        Circuit {
+            node_names: vec!["0".to_string()],
+            node_index,
+            devices: Vec::new(),
+            device_index: HashMap::new(),
+        }
+    }
+
+    /// Returns the node with the given name, creating it if needed.
+    /// `"0"` and `"gnd"` both resolve to ground.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        let canonical = if name.eq_ignore_ascii_case("gnd") { "0" } else { name };
+        if let Some(&id) = self.node_index.get(canonical) {
+            return id;
+        }
+        let id = NodeId(self.node_names.len());
+        self.node_names.push(canonical.to_string());
+        self.node_index.insert(canonical.to_string(), id);
+        id
+    }
+
+    /// Looks up an existing node by name without creating it.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        let canonical = if name.eq_ignore_ascii_case("gnd") { "0" } else { name };
+        self.node_index.get(canonical).copied()
+    }
+
+    /// Name of a node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this circuit.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.node_names[id.0]
+    }
+
+    /// Total number of nodes including ground.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// All node ids except ground.
+    pub fn non_ground_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (1..self.node_names.len()).map(NodeId)
+    }
+
+    /// The devices in insertion order.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Looks up a device by name.
+    pub fn device(&self, name: &str) -> Option<&Device> {
+        self.device_index.get(name).map(|&i| &self.devices[i])
+    }
+
+    /// Mutable lookup of a device by name.
+    pub fn device_mut(&mut self, name: &str) -> Option<&mut Device> {
+        match self.device_index.get(name) {
+            Some(&i) => Some(&mut self.devices[i]),
+            None => None,
+        }
+    }
+
+    /// Adds a fully-formed device, validating its nodes and name
+    /// uniqueness.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::DuplicateDevice`] if the name exists,
+    /// [`SpiceError::UnknownNode`] if a terminal references a node that
+    /// was never interned.
+    pub fn add(&mut self, device: Device) -> Result<(), SpiceError> {
+        if self.device_index.contains_key(device.name()) {
+            return Err(SpiceError::DuplicateDevice { name: device.name().to_string() });
+        }
+        for n in device.nodes() {
+            if n.0 >= self.node_names.len() {
+                return Err(SpiceError::UnknownNode {
+                    node: n.0,
+                    device: device.name().to_string(),
+                });
+            }
+        }
+        self.device_index.insert(device.name().to_string(), self.devices.len());
+        self.devices.push(device);
+        Ok(())
+    }
+
+    /// Removes a device by name, returning it.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::UnknownDevice`] if no such device exists.
+    pub fn remove(&mut self, name: &str) -> Result<Device, SpiceError> {
+        let idx = self
+            .device_index
+            .remove(name)
+            .ok_or_else(|| SpiceError::UnknownDevice { name: name.to_string() })?;
+        let dev = self.devices.remove(idx);
+        // Reindex devices after the removed one.
+        for (i, d) in self.devices.iter().enumerate().skip(idx) {
+            self.device_index.insert(d.name().to_string(), i);
+        }
+        Ok(dev)
+    }
+
+    /// Adds a resistor (`ohms > 0` and finite).
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::InvalidValue`] on a non-positive or non-finite value,
+    /// plus the errors of [`Circuit::add`].
+    pub fn add_resistor(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        ohms: f64,
+    ) -> Result<(), SpiceError> {
+        if !(ohms.is_finite() && ohms > 0.0) {
+            return Err(SpiceError::InvalidValue {
+                device: name.to_string(),
+                reason: format!("resistance must be positive and finite, got {ohms}"),
+            });
+        }
+        self.add(Device::new(name, DeviceKind::Resistor { a, b, ohms }))
+    }
+
+    /// Adds a capacitor (`farads > 0` and finite).
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::InvalidValue`] on a non-positive or non-finite value,
+    /// plus the errors of [`Circuit::add`].
+    pub fn add_capacitor(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        farads: f64,
+    ) -> Result<(), SpiceError> {
+        if !(farads.is_finite() && farads > 0.0) {
+            return Err(SpiceError::InvalidValue {
+                device: name.to_string(),
+                reason: format!("capacitance must be positive and finite, got {farads}"),
+            });
+        }
+        self.add(Device::new(name, DeviceKind::Capacitor { a, b, farads }))
+    }
+
+    /// Adds an independent voltage source (`pos` → `neg`).
+    ///
+    /// # Errors
+    ///
+    /// See [`Circuit::add`].
+    pub fn add_vsource(
+        &mut self,
+        name: &str,
+        pos: NodeId,
+        neg: NodeId,
+        wave: Waveform,
+    ) -> Result<(), SpiceError> {
+        self.add(Device::new(name, DeviceKind::Vsource { pos, neg, wave }))
+    }
+
+    /// Adds an independent current source pulling current out of `from`
+    /// and pushing it into `to`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Circuit::add`].
+    pub fn add_isource(
+        &mut self,
+        name: &str,
+        from: NodeId,
+        to: NodeId,
+        wave: Waveform,
+    ) -> Result<(), SpiceError> {
+        self.add(Device::new(name, DeviceKind::Isource { from, to, wave }))
+    }
+
+    /// Adds a Level-1 MOSFET. Width and length must be positive.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::InvalidValue`] on non-positive geometry, plus the
+    /// errors of [`Circuit::add`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_mosfet(
+        &mut self,
+        name: &str,
+        d: NodeId,
+        g: NodeId,
+        s: NodeId,
+        b: NodeId,
+        polarity: MosPolarity,
+        params: MosParams,
+    ) -> Result<(), SpiceError> {
+        if !(params.w > 0.0 && params.l > 0.0) {
+            return Err(SpiceError::InvalidValue {
+                device: name.to_string(),
+                reason: format!("W and L must be positive, got W={} L={}", params.w, params.l),
+            });
+        }
+        self.add(Device::new(name, DeviceKind::Mosfet { d, g, s, b, polarity, params }))
+    }
+
+    /// Adds a voltage-controlled voltage source.
+    ///
+    /// # Errors
+    ///
+    /// See [`Circuit::add`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_vcvs(
+        &mut self,
+        name: &str,
+        pos: NodeId,
+        neg: NodeId,
+        cp: NodeId,
+        cn: NodeId,
+        gain: f64,
+    ) -> Result<(), SpiceError> {
+        self.add(Device::new(name, DeviceKind::Vcvs { pos, neg, cp, cn, gain }))
+    }
+
+    /// Replaces the waveform of a named independent source; used by test
+    /// configurations to attach their stimulus to the macro's input node.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::UnknownDevice`] if the device does not exist or is
+    /// not an independent source.
+    pub fn set_stimulus(&mut self, name: &str, wave: Waveform) -> Result<(), SpiceError> {
+        let dev = self
+            .device_mut(name)
+            .ok_or_else(|| SpiceError::UnknownDevice { name: name.to_string() })?;
+        match dev.kind_mut() {
+            DeviceKind::Vsource { wave: w, .. } | DeviceKind::Isource { wave: w, .. } => {
+                *w = wave;
+                Ok(())
+            }
+            _ => Err(SpiceError::InvalidValue {
+                device: name.to_string(),
+                reason: "set_stimulus requires an independent source".to_string(),
+            }),
+        }
+    }
+
+    /// Names of all MOSFET devices (in insertion order); the pinhole fault
+    /// universe of the paper is one fault per transistor.
+    pub fn mosfet_names(&self) -> Vec<String> {
+        self.devices
+            .iter()
+            .filter(|d| matches!(d.kind(), DeviceKind::Mosfet { .. }))
+            .map(|d| d.name().to_string())
+            .collect()
+    }
+
+    /// Number of MNA unknowns: non-ground nodes plus branch currents.
+    pub fn unknown_count(&self) -> usize {
+        self.node_count() - 1 + self.branch_count()
+    }
+
+    /// Number of branch-current unknowns (voltage-defined devices).
+    pub fn branch_count(&self) -> usize {
+        self.devices.iter().filter(|d| d.has_branch_current()).count()
+    }
+
+    /// Index of the branch-current unknown belonging to a voltage-defined
+    /// device, if it has one. Indices are assigned in device insertion
+    /// order.
+    pub fn branch_index(&self, name: &str) -> Option<usize> {
+        let mut idx = 0;
+        for d in &self.devices {
+            if d.has_branch_current() {
+                if d.name() == name {
+                    return Some(idx);
+                }
+                idx += 1;
+            }
+        }
+        None
+    }
+}
+
+impl Default for Circuit {
+    fn default() -> Self {
+        Circuit::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_exists_and_gnd_aliases() {
+        let mut c = Circuit::new();
+        assert_eq!(c.node_count(), 1);
+        assert_eq!(c.node("gnd"), Circuit::GROUND);
+        assert_eq!(c.node("GND"), Circuit::GROUND);
+        assert_eq!(c.node("0"), Circuit::GROUND);
+        assert_eq!(c.node_count(), 1);
+    }
+
+    #[test]
+    fn node_interning_is_stable() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        assert_ne!(a, b);
+        assert_eq!(c.node("a"), a);
+        assert_eq!(c.node_name(a), "a");
+        assert_eq!(c.find_node("b"), Some(b));
+        assert_eq!(c.find_node("missing"), None);
+    }
+
+    #[test]
+    fn duplicate_device_rejected() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_resistor("R1", a, Circuit::GROUND, 1.0).unwrap();
+        let err = c.add_resistor("R1", a, Circuit::GROUND, 2.0).unwrap_err();
+        assert!(matches!(err, SpiceError::DuplicateDevice { .. }));
+    }
+
+    #[test]
+    fn invalid_values_rejected() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        assert!(c.add_resistor("R1", a, Circuit::GROUND, 0.0).is_err());
+        assert!(c.add_resistor("R2", a, Circuit::GROUND, -5.0).is_err());
+        assert!(c.add_resistor("R3", a, Circuit::GROUND, f64::NAN).is_err());
+        assert!(c.add_capacitor("C1", a, Circuit::GROUND, 0.0).is_err());
+        let bad = MosParams { w: 0.0, ..MosParams::nmos_default(1e-6, 1e-6) };
+        assert!(c
+            .add_mosfet("M1", a, a, Circuit::GROUND, Circuit::GROUND, MosPolarity::Nmos, bad)
+            .is_err());
+    }
+
+    #[test]
+    fn remove_reindexes_lookup() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_resistor("R1", a, Circuit::GROUND, 1.0).unwrap();
+        c.add_resistor("R2", a, Circuit::GROUND, 2.0).unwrap();
+        c.add_resistor("R3", a, Circuit::GROUND, 3.0).unwrap();
+        let removed = c.remove("R2").unwrap();
+        assert_eq!(removed.name(), "R2");
+        assert!(c.device("R2").is_none());
+        // R3 must still resolve correctly after reindexing.
+        match c.device("R3").unwrap().kind() {
+            DeviceKind::Resistor { ohms, .. } => assert_eq!(*ohms, 3.0),
+            other => panic!("unexpected kind {other:?}"),
+        }
+        assert!(matches!(c.remove("R2"), Err(SpiceError::UnknownDevice { .. })));
+    }
+
+    #[test]
+    fn set_stimulus_replaces_waveform() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_isource("Iin", a, Circuit::GROUND, Waveform::dc(0.0)).unwrap();
+        c.set_stimulus("Iin", Waveform::dc(1e-6)).unwrap();
+        match c.device("Iin").unwrap().kind() {
+            DeviceKind::Isource { wave, .. } => assert_eq!(wave, &Waveform::dc(1e-6)),
+            other => panic!("unexpected kind {other:?}"),
+        }
+        c.add_resistor("R1", a, Circuit::GROUND, 1.0).unwrap();
+        assert!(c.set_stimulus("R1", Waveform::dc(0.0)).is_err());
+        assert!(c.set_stimulus("nope", Waveform::dc(0.0)).is_err());
+    }
+
+    #[test]
+    fn unknown_and_branch_counts() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("V1", a, Circuit::GROUND, Waveform::dc(1.0)).unwrap();
+        c.add_resistor("R1", a, b, 1.0).unwrap();
+        c.add_vcvs("E1", b, Circuit::GROUND, a, Circuit::GROUND, 2.0).unwrap();
+        assert_eq!(c.branch_count(), 2);
+        assert_eq!(c.unknown_count(), 2 + 2);
+        assert_eq!(c.branch_index("V1"), Some(0));
+        assert_eq!(c.branch_index("E1"), Some(1));
+        assert_eq!(c.branch_index("R1"), None);
+    }
+
+    #[test]
+    fn mosfet_names_lists_transistors_in_order() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let p = MosParams::nmos_default(1e-6, 1e-6);
+        c.add_mosfet("M2", a, a, Circuit::GROUND, Circuit::GROUND, MosPolarity::Nmos, p).unwrap();
+        c.add_resistor("R1", a, Circuit::GROUND, 1.0).unwrap();
+        c.add_mosfet("M1", a, a, Circuit::GROUND, Circuit::GROUND, MosPolarity::Nmos, p).unwrap();
+        assert_eq!(c.mosfet_names(), vec!["M2".to_string(), "M1".to_string()]);
+    }
+}

@@ -1,0 +1,359 @@
+//! DC operating-point analysis.
+//!
+//! A damped Newton–Raphson iteration over the MNA system, with two
+//! fallbacks when the plain iteration diverges: *gmin stepping* (start
+//! with a large conductance to ground everywhere and relax it decade by
+//! decade) and *source stepping* (ramp all independent sources from zero).
+//! Real CMOS operating points — including grossly faulted ones — almost
+//! always yield to one of the three.
+
+use castg_numeric::{LuFactors, Matrix};
+
+use crate::analysis::AnalysisOptions;
+use crate::circuit::Circuit;
+use crate::node::NodeId;
+use crate::stamp;
+use crate::SpiceError;
+
+/// A converged DC solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcSolution {
+    /// Node voltages indexed by [`NodeId::index`]; entry 0 (ground) is 0.
+    voltages: Vec<f64>,
+    /// `(device name, branch current)` for every voltage-defined device,
+    /// in device order. Current flows from the positive terminal through
+    /// the device (SPICE convention).
+    branch_currents: Vec<(String, f64)>,
+    /// Raw MNA unknown vector (used to warm-start transient analysis).
+    state: Vec<f64>,
+}
+
+impl DcSolution {
+    /// Voltage of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is out of range for the solved circuit.
+    pub fn voltage(&self, node: NodeId) -> f64 {
+        self.voltages[node.index()]
+    }
+
+    /// All node voltages (index 0 is ground).
+    pub fn voltages(&self) -> &[f64] {
+        &self.voltages
+    }
+
+    /// Branch current through a named voltage-defined device (voltage
+    /// source or VCVS), if present.
+    pub fn source_current(&self, name: &str) -> Option<f64> {
+        self.branch_currents.iter().find(|(n, _)| n == name).map(|(_, i)| *i)
+    }
+
+    /// The raw MNA state vector (node voltages then branch currents).
+    pub fn state(&self) -> &[f64] {
+        &self.state
+    }
+}
+
+/// DC operating-point solver for a [`Circuit`].
+#[derive(Debug, Clone)]
+pub struct DcAnalysis<'c> {
+    circuit: &'c Circuit,
+    options: AnalysisOptions,
+}
+
+impl<'c> DcAnalysis<'c> {
+    /// Creates a solver with default [`AnalysisOptions`].
+    pub fn new(circuit: &'c Circuit) -> Self {
+        DcAnalysis { circuit, options: AnalysisOptions::default() }
+    }
+
+    /// Creates a solver with explicit options.
+    pub fn with_options(circuit: &'c Circuit, options: AnalysisOptions) -> Self {
+        DcAnalysis { circuit, options }
+    }
+
+    /// Solves the operating point (sources at their `t = 0` values).
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::NoConvergence`] if Newton, gmin stepping and source
+    /// stepping all fail; [`SpiceError::Numeric`] if the MNA matrix is
+    /// structurally singular (floating subcircuit, voltage-source loop).
+    pub fn solve(&self) -> Result<DcSolution, SpiceError> {
+        let x0 = vec![0.0; self.circuit.unknown_count()];
+        self.solve_from(&x0)
+    }
+
+    /// Solves the operating point starting from a caller-supplied state
+    /// (useful to warm-start a slightly perturbed circuit).
+    ///
+    /// # Errors
+    ///
+    /// As for [`DcAnalysis::solve`]; additionally
+    /// [`SpiceError::InvalidAnalysis`] if `initial` has the wrong length.
+    pub fn solve_from(&self, initial: &[f64]) -> Result<DcSolution, SpiceError> {
+        let n = self.circuit.unknown_count();
+        if initial.len() != n {
+            return Err(SpiceError::InvalidAnalysis {
+                reason: format!("initial state length {} != unknown count {n}", initial.len()),
+            });
+        }
+        if n == 0 {
+            return Ok(self.package(Vec::new()));
+        }
+
+        // 1. Plain Newton from the provided start.
+        if let Ok(x) = self.newton(initial, self.options.gmin, 1.0) {
+            return Ok(self.package(x));
+        }
+
+        // 2. gmin stepping: relax a strong shunt decade by decade.
+        let mut x = initial.to_vec();
+        let mut ok = true;
+        let mut gmin = 1e-2;
+        while gmin > self.options.gmin {
+            match self.newton(&x, gmin, 1.0) {
+                Ok(next) => x = next,
+                Err(_) => {
+                    ok = false;
+                    break;
+                }
+            }
+            gmin /= 10.0;
+        }
+        if ok {
+            if let Ok(xf) = self.newton(&x, self.options.gmin, 1.0) {
+                return Ok(self.package(xf));
+            }
+        }
+
+        // 3. Source stepping: ramp all sources from 0 to 100 %.
+        let mut x = vec![0.0; n];
+        let steps = 25;
+        for k in 1..=steps {
+            let scale = k as f64 / steps as f64;
+            match self.newton(&x, self.options.gmin, scale) {
+                Ok(next) => x = next,
+                Err(e) => {
+                    return Err(match e {
+                        SpiceError::Numeric(n) => SpiceError::Numeric(n),
+                        _ => SpiceError::NoConvergence {
+                            analysis: format!(
+                                "dc operating point (source stepping stalled at {:.0} %)",
+                                scale * 100.0
+                            ),
+                            iterations: self.options.max_iter,
+                        },
+                    });
+                }
+            }
+        }
+        Ok(self.package(x))
+    }
+
+    /// Damped Newton iteration at fixed `gmin` and source scale.
+    fn newton(&self, x0: &[f64], gmin: f64, source_scale: f64) -> Result<Vec<f64>, SpiceError> {
+        let n = self.circuit.unknown_count();
+        let n_nodes = self.circuit.node_count() - 1;
+        let mut x = x0.to_vec();
+        let mut mat = Matrix::zeros(n, n);
+        let mut rhs = vec![0.0; n];
+        let opts = &self.options;
+
+        for _iter in 0..opts.max_iter {
+            stamp::assemble_static(self.circuit, &x, &mut mat, &mut rhs, gmin, |w| {
+                source_scale * w.dc_value()
+            });
+            let lu = LuFactors::factor(mat.clone())?;
+            let x_new = lu.solve(&rhs)?;
+
+            // Damping: clamp the per-node voltage update.
+            let mut converged = true;
+            for i in 0..n {
+                let mut delta = x_new[i] - x[i];
+                if !delta.is_finite() {
+                    return Err(SpiceError::NoConvergence {
+                        analysis: "dc newton (non-finite update)".to_string(),
+                        iterations: opts.max_iter,
+                    });
+                }
+                let (tol, clamp) = if i < n_nodes {
+                    (opts.vntol + opts.reltol * x_new[i].abs().max(x[i].abs()), opts.max_step_v)
+                } else {
+                    (opts.abstol + opts.reltol * x_new[i].abs().max(x[i].abs()), f64::INFINITY)
+                };
+                if delta.abs() > tol {
+                    converged = false;
+                }
+                if delta.abs() > clamp {
+                    delta = clamp.copysign(delta);
+                }
+                x[i] += delta;
+            }
+            if converged {
+                return Ok(x);
+            }
+        }
+        Err(SpiceError::NoConvergence {
+            analysis: "dc newton".to_string(),
+            iterations: opts.max_iter,
+        })
+    }
+
+    fn package(&self, state: Vec<f64>) -> DcSolution {
+        let n_nodes = self.circuit.node_count() - 1;
+        let mut voltages = vec![0.0; self.circuit.node_count()];
+        for i in 0..n_nodes {
+            voltages[i + 1] = state[i];
+        }
+        let mut branch_currents = Vec::new();
+        let mut br = n_nodes;
+        for dev in self.circuit.devices() {
+            if dev.has_branch_current() {
+                branch_currents.push((dev.name().to_string(), state[br]));
+                br += 1;
+            }
+        }
+        DcSolution { voltages, branch_currents, state }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mos::{MosParams, MosPolarity};
+    use crate::Waveform;
+
+    #[test]
+    fn resistor_divider() {
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let out = c.node("out");
+        c.add_vsource("V1", vin, Circuit::GROUND, Waveform::dc(10.0)).unwrap();
+        c.add_resistor("R1", vin, out, 1e3).unwrap();
+        c.add_resistor("R2", out, Circuit::GROUND, 1e3).unwrap();
+        let sol = DcAnalysis::new(&c).solve().unwrap();
+        assert!((sol.voltage(out) - 5.0).abs() < 1e-6);
+        assert!((sol.voltage(vin) - 10.0).abs() < 1e-9);
+        // Source sees 5 mA flowing + -> - through the external circuit,
+        // i.e. +5 mA through the source in SPICE convention.
+        let i = sol.source_current("V1").unwrap();
+        assert!((i + 5e-3).abs() < 1e-6, "i = {i}");
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        // 1 mA pulled out of ground into node a → V(a) = +1 V over 1 kΩ.
+        c.add_isource("I1", Circuit::GROUND, a, Waveform::dc(1e-3)).unwrap();
+        c.add_resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
+        let sol = DcAnalysis::new(&c).solve().unwrap();
+        assert!((sol.voltage(a) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vcvs_amplifies() {
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.add_vsource("V1", inp, Circuit::GROUND, Waveform::dc(0.25)).unwrap();
+        c.add_vcvs("E1", out, Circuit::GROUND, inp, Circuit::GROUND, 4.0).unwrap();
+        c.add_resistor("RL", out, Circuit::GROUND, 1e3).unwrap();
+        let sol = DcAnalysis::new(&c).solve().unwrap();
+        assert!((sol.voltage(out) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn floating_node_is_held_by_gmin() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("float");
+        c.add_vsource("V1", a, Circuit::GROUND, Waveform::dc(1.0)).unwrap();
+        c.add_resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
+        c.add_capacitor("C1", b, Circuit::GROUND, 1e-12).unwrap();
+        let sol = DcAnalysis::new(&c).solve().unwrap();
+        assert!(sol.voltage(b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nmos_diode_connected_operating_point() {
+        // Diode-connected NMOS fed by a current source: vgs solves
+        // I = β/2 (vgs − vt)² (1 + λ·vgs).
+        let mut c = Circuit::new();
+        let d = c.node("d");
+        let params = MosParams::nmos_default(10e-6, 1e-6);
+        c.add_isource("Ib", Circuit::GROUND, d, Waveform::dc(100e-6)).unwrap();
+        c.add_mosfet("M1", d, d, Circuit::GROUND, Circuit::GROUND, MosPolarity::Nmos, params)
+            .unwrap();
+        let sol = DcAnalysis::new(&c).solve().unwrap();
+        let v = sol.voltage(d);
+        assert!(v > params.vt0, "v = {v}");
+        let beta = params.beta();
+        let i_model = 0.5 * beta * (v - params.vt0).powi(2) * (1.0 + params.lambda * v);
+        assert!((i_model - 100e-6).abs() / 100e-6 < 1e-3, "v={v}, i={i_model}");
+    }
+
+    #[test]
+    fn nmos_common_source_amplifier_pulls_down() {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let g = c.node("g");
+        let d = c.node("d");
+        c.add_vsource("VDD", vdd, Circuit::GROUND, Waveform::dc(5.0)).unwrap();
+        c.add_vsource("VG", g, Circuit::GROUND, Waveform::dc(2.0)).unwrap();
+        c.add_resistor("RD", vdd, d, 50e3).unwrap();
+        c.add_mosfet(
+            "M1",
+            d,
+            g,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            MosPolarity::Nmos,
+            MosParams::nmos_default(10e-6, 1e-6),
+        )
+        .unwrap();
+        let sol = DcAnalysis::new(&c).solve().unwrap();
+        let vd = sol.voltage(d);
+        // With vgs = 2 V the device sinks on the order of 1 mA: the drain
+        // is pulled into triode, well below VDD.
+        assert!(vd < 1.0, "vd = {vd}");
+        assert!(vd > 0.0);
+    }
+
+    #[test]
+    fn pmos_mirror_copies_current() {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let bias = c.node("bias");
+        let out = c.node("out");
+        let p = MosParams::pmos_default(20e-6, 2e-6);
+        c.add_vsource("VDD", vdd, Circuit::GROUND, Waveform::dc(5.0)).unwrap();
+        // Diode-connected reference leg: 50 µA pulled down from bias node.
+        c.add_mosfet("M1", bias, bias, vdd, vdd, MosPolarity::Pmos, p).unwrap();
+        c.add_isource("Iref", bias, Circuit::GROUND, Waveform::dc(50e-6)).unwrap();
+        // Mirror leg into a load resistor.
+        c.add_mosfet("M2", out, bias, vdd, vdd, MosPolarity::Pmos, p).unwrap();
+        c.add_resistor("RL", out, Circuit::GROUND, 10e3).unwrap();
+        let sol = DcAnalysis::new(&c).solve().unwrap();
+        let i_out = sol.voltage(out) / 10e3;
+        assert!((i_out - 50e-6).abs() / 50e-6 < 0.15, "i_out = {i_out}");
+    }
+
+    #[test]
+    fn wrong_initial_length_is_rejected() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_resistor("R1", a, Circuit::GROUND, 1.0).unwrap();
+        let err = DcAnalysis::new(&c).solve_from(&[0.0, 0.0]).unwrap_err();
+        assert!(matches!(err, SpiceError::InvalidAnalysis { .. }));
+    }
+
+    #[test]
+    fn empty_circuit_solves_trivially() {
+        let c = Circuit::new();
+        let sol = DcAnalysis::new(&c).solve().unwrap();
+        assert_eq!(sol.voltages().len(), 1);
+    }
+}

@@ -1,0 +1,66 @@
+//! A from-scratch analog circuit simulator for `castg`.
+//!
+//! The paper drives its test-generation loop with HSPICE; this crate is the
+//! substitute substrate: a modified-nodal-analysis (MNA) simulator with
+//!
+//! * [`Circuit`] — a named-node netlist of [`Device`]s (resistors,
+//!   capacitors, independent voltage/current sources, Level-1 MOSFETs and
+//!   voltage-controlled voltage sources),
+//! * [`Waveform`] — stimulus descriptions (DC, sine, step, pulse, PWL)
+//!   matching the test-configuration stimuli of the paper's Table 1,
+//! * [`DcAnalysis`] — Newton–Raphson operating-point solve with damping,
+//!   gmin stepping and source stepping fallbacks,
+//! * [`TranAnalysis`] — fixed-step transient analysis (trapezoidal with a
+//!   backward-Euler start) recording [`Probe`]d quantities into a
+//!   [`Trace`],
+//! * [`AcAnalysis`] — small-signal frequency sweeps around the DC
+//!   operating point (the substrate for gain/bandwidth-style extension
+//!   test configurations).
+//!
+//! The simulator is deliberately small (dense LU, fixed timestep, Level-1
+//! MOS) but numerically honest: every nonlinear solve either converges to
+//! the requested tolerances or reports [`SpiceError::NoConvergence`].
+//!
+//! # Example: resistor divider
+//!
+//! ```
+//! use castg_spice::{Circuit, DcAnalysis, Waveform};
+//!
+//! let mut c = Circuit::new();
+//! let vin = c.node("vin");
+//! let out = c.node("out");
+//! c.add_vsource("V1", vin, Circuit::GROUND, Waveform::dc(10.0))?;
+//! c.add_resistor("R1", vin, out, 1_000.0)?;
+//! c.add_resistor("R2", out, Circuit::GROUND, 3_000.0)?;
+//! let sol = DcAnalysis::new(&c).solve()?;
+//! assert!((sol.voltage(out) - 7.5).abs() < 1e-6);
+//! # Ok::<(), castg_spice::SpiceError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ac;
+mod analysis;
+mod circuit;
+mod dc;
+mod device;
+mod error;
+mod mos;
+mod node;
+mod probe;
+mod stamp;
+mod stimulus;
+mod transient;
+
+pub use ac::{AcAnalysis, AcSource, AcSweep};
+pub use analysis::AnalysisOptions;
+pub use circuit::Circuit;
+pub use dc::{DcAnalysis, DcSolution};
+pub use device::{Device, DeviceKind};
+pub use error::SpiceError;
+pub use mos::{MosOperatingPoint, MosParams, MosPolarity, MosRegion};
+pub use node::NodeId;
+pub use probe::{Probe, Trace};
+pub use stimulus::Waveform;
+pub use transient::{IntegrationMethod, TranAnalysis};

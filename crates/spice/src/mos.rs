@@ -1,0 +1,373 @@
+//! Level-1 (Shichman–Hodges) MOSFET model with body effect and
+//! channel-length modulation.
+//!
+//! The paper's IV-converter is a CMOS macro simulated in HSPICE; this
+//! model reproduces the qualitative device behaviour that drives fault
+//! detection — operating-point shifts, clipping, and slewing — with
+//! analytically consistent small-signal derivatives for the Newton solver.
+
+/// Channel polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MosPolarity {
+    /// N-channel device.
+    Nmos,
+    /// P-channel device.
+    Pmos,
+}
+
+/// Operating region of the channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MosRegion {
+    /// `|vgs| <= |vth|`: channel off.
+    Cutoff,
+    /// `|vds| < |vgs - vth|`: resistive/linear region.
+    Triode,
+    /// `|vds| >= |vgs - vth|`: current saturation.
+    Saturation,
+}
+
+/// Level-1 model parameters.
+///
+/// Defaults model a generic 0.7 µm-era CMOS process, consistent with the
+/// paper's 1997 context.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosParams {
+    /// Zero-bias threshold voltage (positive for NMOS, negative for PMOS).
+    pub vt0: f64,
+    /// Transconductance parameter `KP = µ·Cox` in A/V².
+    pub kp: f64,
+    /// Channel-length modulation in 1/V.
+    pub lambda: f64,
+    /// Body-effect coefficient in V^0.5.
+    pub gamma: f64,
+    /// Surface potential `2·φF` in V.
+    pub phi: f64,
+    /// Channel width in meters.
+    pub w: f64,
+    /// Channel length in meters.
+    pub l: f64,
+    /// Gate-oxide capacitance per area in F/m² (used for transient gate
+    /// capacitances).
+    pub cox: f64,
+    /// Gate-source/drain overlap capacitance per width in F/m.
+    pub cgso: f64,
+}
+
+impl MosParams {
+    /// Generic NMOS parameters for a 0.7 µm-class process.
+    pub fn nmos_default(w: f64, l: f64) -> Self {
+        MosParams {
+            vt0: 0.75,
+            kp: 110e-6,
+            lambda: 0.04,
+            gamma: 0.50,
+            phi: 0.70,
+            w,
+            l,
+            cox: 2.3e-3,
+            cgso: 3.0e-10,
+        }
+    }
+
+    /// Generic PMOS parameters for a 0.7 µm-class process.
+    pub fn pmos_default(w: f64, l: f64) -> Self {
+        MosParams {
+            vt0: -0.90,
+            kp: 38e-6,
+            lambda: 0.05,
+            gamma: 0.45,
+            phi: 0.70,
+            w,
+            l,
+            cox: 2.3e-3,
+            cgso: 3.0e-10,
+        }
+    }
+
+    /// `β = KP·W/L`.
+    pub fn beta(&self) -> f64 {
+        self.kp * self.w / self.l
+    }
+
+    /// Intrinsic gate-source capacitance (2/3 of the channel in
+    /// saturation, plus overlap), used as a constant transient cap.
+    pub fn cgs(&self) -> f64 {
+        2.0 / 3.0 * self.cox * self.w * self.l + self.cgso * self.w
+    }
+
+    /// Gate-drain overlap capacitance.
+    pub fn cgd(&self) -> f64 {
+        self.cgso * self.w
+    }
+}
+
+/// Linearized operating point of a MOSFET, expressed with respect to the
+/// *original* terminal voltages (no polarity or drain/source swap visible
+/// to the caller).
+///
+/// `ids` is the current flowing into the drain terminal and out of the
+/// source terminal; `gm = ∂ids/∂vgs`, `gds = ∂ids/∂vds`,
+/// `gmb = ∂ids/∂vbs`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosOperatingPoint {
+    /// Drain current (A), positive into the drain for a conducting NMOS.
+    pub ids: f64,
+    /// Transconductance ∂ids/∂vgs (A/V).
+    pub gm: f64,
+    /// Output conductance ∂ids/∂vds (A/V).
+    pub gds: f64,
+    /// Body transconductance ∂ids/∂vbs (A/V).
+    pub gmb: f64,
+    /// Operating region (of the effective, swap-corrected device).
+    pub region: MosRegion,
+}
+
+/// Evaluates the Level-1 model at absolute terminal voltages
+/// `(vd, vg, vs, vb)`.
+///
+/// Handles PMOS by sign reflection and drain/source interchange when
+/// `vds < 0` (the Level-1 channel is symmetric), so the returned
+/// derivatives are always consistent with the original terminals — this
+/// is verified against finite differences in the tests.
+pub fn evaluate(
+    params: &MosParams,
+    polarity: MosPolarity,
+    vd: f64,
+    vg: f64,
+    vs: f64,
+    vb: f64,
+) -> MosOperatingPoint {
+    // Reflect PMOS into the NMOS frame: all voltages negate, |vt0|.
+    let sign = match polarity {
+        MosPolarity::Nmos => 1.0,
+        MosPolarity::Pmos => -1.0,
+    };
+    let (nd, ng, ns, nb) = (sign * vd, sign * vg, sign * vs, sign * vb);
+
+    // Channel symmetry: if vds < 0 in the NMOS frame, swap drain/source.
+    let swapped = nd < ns;
+    let (ed, es) = if swapped { (ns, nd) } else { (nd, ns) };
+    let vgs = ng - es;
+    let vds = ed - es;
+    let vbs = nb - es;
+
+    let eff = evaluate_nmos_frame(params, vgs, vds, vbs);
+
+    // Undo the swap: the current into the original drain negates, and the
+    // chain rule maps the derivatives. With the swapped-frame variables
+    // (vgs', vds', vbs') = (vgs − vds, −vds, vbs − vds) and
+    // ids = −ids'(vgs', vds', vbs'):
+    //   ∂ids/∂vgs = −gm'
+    //   ∂ids/∂vds = gm' + gds' + gmb'
+    //   ∂ids/∂vbs = −gmb'
+    let (ids_n, gm_n, gds_n, gmb_n) = if swapped {
+        (-eff.ids, -eff.gm, eff.gm + eff.gds + eff.gmb, -eff.gmb)
+    } else {
+        (eff.ids, eff.gm, eff.gds, eff.gmb)
+    };
+
+    // Undo PMOS reflection: ids(v) = −ids_n(−v) ⇒ derivatives are
+    // preserved, current negates.
+    MosOperatingPoint {
+        ids: sign * ids_n,
+        gm: gm_n,
+        gds: gds_n,
+        gmb: gmb_n,
+        region: eff.region,
+    }
+}
+
+struct NmosFrameEval {
+    ids: f64,
+    gm: f64,
+    gds: f64,
+    gmb: f64,
+    region: MosRegion,
+}
+
+/// Core Shichman–Hodges equations for an NMOS with `vds >= 0`.
+fn evaluate_nmos_frame(params: &MosParams, vgs: f64, vds: f64, vbs: f64) -> NmosFrameEval {
+    debug_assert!(vds >= -1e-12);
+    let beta = params.beta();
+    let vt0 = params.vt0.abs();
+
+    // Body effect. vsb = −vbs; clamp the sqrt argument to keep the model
+    // defined under (mild, nonphysical mid-iteration) forward body bias.
+    let sqrt_arg = (params.phi - vbs).max(1e-3);
+    let sqrt_term = sqrt_arg.sqrt();
+    let vth = vt0 + params.gamma * (sqrt_term - params.phi.sqrt());
+    // ∂vth/∂vbs = −γ / (2·sqrt(φ − vbs))
+    let dvth_dvbs = -params.gamma / (2.0 * sqrt_term);
+
+    let vov = vgs - vth;
+    if vov <= 0.0 {
+        return NmosFrameEval { ids: 0.0, gm: 0.0, gds: 0.0, gmb: 0.0, region: MosRegion::Cutoff };
+    }
+    let clm = 1.0 + params.lambda * vds;
+    if vds < vov {
+        // Triode.
+        let core = vov * vds - 0.5 * vds * vds;
+        let ids = beta * core * clm;
+        let gm = beta * vds * clm;
+        let gds = beta * ((vov - vds) * clm + core * params.lambda);
+        let gmb = -gm_dvth(beta, vds, clm) * dvth_dvbs;
+        NmosFrameEval { ids, gm, gds, gmb, region: MosRegion::Triode }
+    } else {
+        // Saturation.
+        let ids = 0.5 * beta * vov * vov * clm;
+        let gm = beta * vov * clm;
+        let gds = 0.5 * beta * vov * vov * params.lambda;
+        let gmb = -gm * dvth_dvbs;
+        NmosFrameEval { ids, gm, gds, gmb, region: MosRegion::Saturation }
+    }
+}
+
+/// ∂ids/∂vth in triode is −β·vds·(1+λvds) = −gm; returns the magnitude
+/// used for the gmb chain rule.
+fn gm_dvth(beta: f64, vds: f64, clm: f64) -> f64 {
+    beta * vds * clm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nmos() -> MosParams {
+        MosParams::nmos_default(10e-6, 1e-6)
+    }
+
+    fn pmos() -> MosParams {
+        MosParams::pmos_default(10e-6, 1e-6)
+    }
+
+    #[test]
+    fn cutoff_carries_no_current() {
+        let op = evaluate(&nmos(), MosPolarity::Nmos, 2.0, 0.3, 0.0, 0.0);
+        assert_eq!(op.region, MosRegion::Cutoff);
+        assert_eq!(op.ids, 0.0);
+        assert_eq!(op.gm, 0.0);
+    }
+
+    #[test]
+    fn saturation_current_matches_square_law() {
+        let p = nmos();
+        // vgs = 2, vth = vt0 (vbs = 0), vds = 3 > vov
+        let op = evaluate(&p, MosPolarity::Nmos, 3.0, 2.0, 0.0, 0.0);
+        assert_eq!(op.region, MosRegion::Saturation);
+        let vov: f64 = 2.0 - p.vt0;
+        let expected = 0.5 * p.beta() * vov.powi(2) * (1.0 + p.lambda * 3.0);
+        assert!((op.ids - expected).abs() < 1e-12);
+        assert!(op.ids > 0.0);
+    }
+
+    #[test]
+    fn triode_region_detected() {
+        let op = evaluate(&nmos(), MosPolarity::Nmos, 0.1, 3.0, 0.0, 0.0);
+        assert_eq!(op.region, MosRegion::Triode);
+        assert!(op.ids > 0.0);
+        assert!(op.gds > 0.0);
+    }
+
+    #[test]
+    fn current_is_continuous_across_triode_saturation_boundary() {
+        let p = nmos();
+        let vov = 2.0 - p.vt0;
+        let below = evaluate(&p, MosPolarity::Nmos, vov - 1e-9, 2.0, 0.0, 0.0);
+        let above = evaluate(&p, MosPolarity::Nmos, vov + 1e-9, 2.0, 0.0, 0.0);
+        assert!((below.ids - above.ids).abs() < 1e-9 * below.ids.abs().max(1e-12));
+        assert!((below.gm - above.gm).abs() / above.gm < 1e-6);
+    }
+
+    #[test]
+    fn reverse_vds_mirrors_current() {
+        let p = nmos();
+        // Same |vds| but reversed: with vgs measured from the *effective*
+        // source, a symmetric device gives the negated current.
+        let fwd = evaluate(&p, MosPolarity::Nmos, 0.2, 2.0, 0.0, 0.0);
+        let rev = evaluate(&p, MosPolarity::Nmos, -0.2, 1.8, 0.0, -0.2);
+        // rev has effective source = drain terminal at −0.2 V, so the
+        // effective vgs/vds/vbs equal the forward case and ids negates.
+        assert!((fwd.ids + rev.ids).abs() < 1e-12, "{} vs {}", fwd.ids, rev.ids);
+    }
+
+    #[test]
+    fn pmos_conducts_with_negative_vgs() {
+        let op = evaluate(&pmos(), MosPolarity::Pmos, 0.0, 3.0, 5.0, 5.0);
+        // Source at 5 V, gate at 3 V → vgs = −2 V < vt0 = −0.9: on.
+        assert_ne!(op.region, MosRegion::Cutoff);
+        // Current flows source→drain, i.e. *out* of the drain terminal:
+        // ids (into drain) is negative.
+        assert!(op.ids < 0.0);
+        assert!(op.gm > 0.0);
+    }
+
+    #[test]
+    fn pmos_cutoff_when_gate_high() {
+        let op = evaluate(&pmos(), MosPolarity::Pmos, 0.0, 5.0, 5.0, 5.0);
+        assert_eq!(op.region, MosRegion::Cutoff);
+        assert_eq!(op.ids, 0.0);
+    }
+
+    #[test]
+    fn body_effect_raises_threshold() {
+        let p = nmos();
+        let no_body = evaluate(&p, MosPolarity::Nmos, 3.0, 1.5, 0.0, 0.0);
+        // Same vgs but source lifted above body (vsb = 1): less current.
+        let with_body = evaluate(&p, MosPolarity::Nmos, 4.0, 2.5, 1.0, 0.0);
+        assert!(with_body.ids < no_body.ids);
+        assert!(with_body.gmb > 0.0);
+    }
+
+    /// Central-difference check of all three derivatives over a grid of
+    /// bias points, both polarities, including swapped (vds < 0) cases.
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let h = 1e-6;
+        for (params, pol) in [(nmos(), MosPolarity::Nmos), (pmos(), MosPolarity::Pmos)] {
+            for &vd in &[-0.3, 0.05, 0.8, 2.0, 4.5] {
+                for &vg in &[0.0, 0.9, 1.8, 3.1, 5.0] {
+                    for &vs in &[0.0, 0.4, 1.1] {
+                        let vb = if pol == MosPolarity::Nmos { 0.0 } else { 5.0 };
+                        let op = evaluate(&params, pol, vd, vg, vs, vb);
+                        let f = |vd: f64, vg: f64, vs: f64, vb: f64| {
+                            evaluate(&params, pol, vd, vg, vs, vb).ids
+                        };
+                        // gm: vary gate
+                        let gm_fd = (f(vd, vg + h, vs, vb) - f(vd, vg - h, vs, vb)) / (2.0 * h);
+                        // gds: vary drain
+                        let gds_fd = (f(vd + h, vg, vs, vb) - f(vd - h, vg, vs, vb)) / (2.0 * h);
+                        // gmb: vary body
+                        let gmb_fd = (f(vd, vg, vs, vb + h) - f(vd, vg, vs, vb - h)) / (2.0 * h);
+                        let scale = op.ids.abs().max(1e-6);
+                        assert!(
+                            (op.gm - gm_fd).abs() < 1e-3 * scale.max(op.gm.abs()) + 1e-9,
+                            "gm mismatch at ({pol:?}, vd={vd}, vg={vg}, vs={vs}): {} vs fd {}",
+                            op.gm,
+                            gm_fd
+                        );
+                        assert!(
+                            (op.gds - gds_fd).abs() < 1e-3 * scale.max(op.gds.abs()) + 1e-9,
+                            "gds mismatch at ({pol:?}, vd={vd}, vg={vg}, vs={vs}): {} vs fd {}",
+                            op.gds,
+                            gds_fd
+                        );
+                        assert!(
+                            (op.gmb - gmb_fd).abs() < 1e-3 * scale.max(op.gmb.abs()) + 1e-9,
+                            "gmb mismatch at ({pol:?}, vd={vd}, vg={vg}, vs={vs}): {} vs fd {}",
+                            op.gmb,
+                            gmb_fd
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn capacitance_helpers_are_positive() {
+        let p = nmos();
+        assert!(p.cgs() > 0.0);
+        assert!(p.cgd() > 0.0);
+        assert!(p.cgs() > p.cgd());
+    }
+}

@@ -1,0 +1,48 @@
+use std::fmt;
+
+/// An interned circuit node.
+///
+/// Node ids are created by [`Circuit::node`](crate::Circuit::node); id `0`
+/// is always the ground node. The paper's methodology standardizes node
+/// names per macro type ("Node names should however be standardized",
+/// §2.1) — names are the stable identity, ids are per-circuit indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The ground (reference) node, always present in every circuit.
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// Raw index of this node inside its circuit.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+
+    /// Whether this is the ground node.
+    pub fn is_ground(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_is_zero() {
+        assert_eq!(NodeId::GROUND.index(), 0);
+        assert!(NodeId::GROUND.is_ground());
+        assert!(!NodeId(3).is_ground());
+    }
+
+    #[test]
+    fn display_shows_index() {
+        assert_eq!(NodeId(7).to_string(), "n7");
+    }
+}

@@ -1,0 +1,233 @@
+//! MNA matrix assembly (device "stamps").
+//!
+//! Unknown ordering: the `N − 1` non-ground node voltages first (node id
+//! `n` lives at index `n − 1`), followed by one branch current per
+//! voltage-defined device (voltage sources and VCVS), in device insertion
+//! order. KCL rows are written as "sum of currents *leaving* the node
+//! equals zero" with constant terms moved to the right-hand side.
+
+use castg_numeric::Matrix;
+
+use crate::circuit::Circuit;
+use crate::device::DeviceKind;
+use crate::mos;
+use crate::node::NodeId;
+use crate::stimulus::Waveform;
+
+/// Maps a node to its matrix index (`None` for ground).
+#[inline]
+pub(crate) fn idx(n: NodeId) -> Option<usize> {
+    if n.is_ground() {
+        None
+    } else {
+        Some(n.index() - 1)
+    }
+}
+
+/// Voltage of a node under the candidate solution `x` (ground is 0).
+#[inline]
+pub(crate) fn voltage_of(x: &[f64], n: NodeId) -> f64 {
+    match idx(n) {
+        Some(i) => x[i],
+        None => 0.0,
+    }
+}
+
+/// Adds `g` as a two-terminal conductance stamp between `a` and `b`.
+pub(crate) fn stamp_conductance(mat: &mut Matrix, a: NodeId, b: NodeId, g: f64) {
+    if let Some(i) = idx(a) {
+        mat.add(i, i, g);
+        if let Some(j) = idx(b) {
+            mat.add(i, j, -g);
+        }
+    }
+    if let Some(j) = idx(b) {
+        mat.add(j, j, g);
+        if let Some(i) = idx(a) {
+            mat.add(j, i, -g);
+        }
+    }
+}
+
+/// Adds a constant current `i` flowing out of node `from` into node `to`
+/// (through the element being stamped).
+pub(crate) fn stamp_current(rhs: &mut [f64], from: NodeId, to: NodeId, i: f64) {
+    if let Some(a) = idx(from) {
+        rhs[a] -= i;
+    }
+    if let Some(b) = idx(to) {
+        rhs[b] += i;
+    }
+}
+
+/// Assembles the static (non-capacitive) part of the MNA system,
+/// linearizing nonlinear devices around the candidate solution `x`.
+///
+/// * `source_value` maps a stimulus waveform to its present value — DC
+///   analysis passes `|w| scale * w.dc_value()`, transient passes
+///   `|w| w.eval(t)`.
+/// * `gmin` is stamped from every non-ground node to ground.
+///
+/// Capacitors are *not* stamped here: DC treats them as open, and the
+/// transient engine stamps their companion models itself (it also owns
+/// the MOS intrinsic capacitances).
+pub(crate) fn assemble_static<F: Fn(&Waveform) -> f64>(
+    circuit: &Circuit,
+    x: &[f64],
+    mat: &mut Matrix,
+    rhs: &mut [f64],
+    gmin: f64,
+    source_value: F,
+) {
+    let n_nodes = circuit.node_count() - 1;
+    mat.clear();
+    rhs.fill(0.0);
+
+    for i in 0..n_nodes {
+        mat.add(i, i, gmin);
+    }
+
+    let mut branch = n_nodes; // next branch-current row/column
+    for dev in circuit.devices() {
+        match dev.kind() {
+            DeviceKind::Resistor { a, b, ohms } => {
+                stamp_conductance(mat, *a, *b, 1.0 / ohms);
+            }
+            DeviceKind::Capacitor { .. } => {
+                // Open in DC; transient stamps companions separately.
+            }
+            DeviceKind::Isource { from, to, wave } => {
+                stamp_current(rhs, *from, *to, source_value(wave));
+            }
+            DeviceKind::Vsource { pos, neg, wave } => {
+                let br = branch;
+                branch += 1;
+                if let Some(p) = idx(*pos) {
+                    mat.add(p, br, 1.0);
+                    mat.add(br, p, 1.0);
+                }
+                if let Some(n) = idx(*neg) {
+                    mat.add(n, br, -1.0);
+                    mat.add(br, n, -1.0);
+                }
+                rhs[br] = source_value(wave);
+            }
+            DeviceKind::Vcvs { pos, neg, cp, cn, gain } => {
+                let br = branch;
+                branch += 1;
+                if let Some(p) = idx(*pos) {
+                    mat.add(p, br, 1.0);
+                    mat.add(br, p, 1.0);
+                }
+                if let Some(n) = idx(*neg) {
+                    mat.add(n, br, -1.0);
+                    mat.add(br, n, -1.0);
+                }
+                if let Some(c) = idx(*cp) {
+                    mat.add(br, c, -gain);
+                }
+                if let Some(c) = idx(*cn) {
+                    mat.add(br, c, *gain);
+                }
+            }
+            DeviceKind::Mosfet { d, g, s, b, polarity, params } => {
+                let vd = voltage_of(x, *d);
+                let vg = voltage_of(x, *g);
+                let vs = voltage_of(x, *s);
+                let vb = voltage_of(x, *b);
+                let op = mos::evaluate(params, *polarity, vd, vg, vs, vb);
+                // Linearization: id ≈ gm·vg + gds·vd + gmb·vb
+                //                    − (gm+gds+gmb)·vs + i_rhs
+                let gsum = op.gm + op.gds + op.gmb;
+                let i_rhs =
+                    op.ids - op.gm * (vg - vs) - op.gds * (vd - vs) - op.gmb * (vb - vs);
+                if let Some(di) = idx(*d) {
+                    if let Some(gi) = idx(*g) {
+                        mat.add(di, gi, op.gm);
+                    }
+                    mat.add(di, di, op.gds);
+                    if let Some(bi) = idx(*b) {
+                        mat.add(di, bi, op.gmb);
+                    }
+                    if let Some(si) = idx(*s) {
+                        mat.add(di, si, -gsum);
+                    }
+                }
+                if let Some(si) = idx(*s) {
+                    if let Some(gi) = idx(*g) {
+                        mat.add(si, gi, -op.gm);
+                    }
+                    if let Some(di) = idx(*d) {
+                        mat.add(si, di, -op.gds);
+                    }
+                    if let Some(bi) = idx(*b) {
+                        mat.add(si, bi, -op.gmb);
+                    }
+                    mat.add(si, si, gsum);
+                }
+                stamp_current(rhs, *d, *s, i_rhs);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Circuit;
+
+    #[test]
+    fn idx_maps_ground_to_none() {
+        assert_eq!(idx(NodeId::GROUND), None);
+        assert_eq!(idx(NodeId(3)), Some(2));
+    }
+
+    #[test]
+    fn conductance_stamp_is_symmetric() {
+        let mut m = Matrix::zeros(2, 2);
+        stamp_conductance(&mut m, NodeId(1), NodeId(2), 0.5);
+        assert_eq!(m[(0, 0)], 0.5);
+        assert_eq!(m[(1, 1)], 0.5);
+        assert_eq!(m[(0, 1)], -0.5);
+        assert_eq!(m[(1, 0)], -0.5);
+    }
+
+    #[test]
+    fn conductance_to_ground_only_touches_diagonal() {
+        let mut m = Matrix::zeros(1, 1);
+        stamp_conductance(&mut m, NodeId(1), NodeId::GROUND, 2.0);
+        assert_eq!(m[(0, 0)], 2.0);
+    }
+
+    #[test]
+    fn current_stamp_signs() {
+        let mut rhs = vec![0.0, 0.0];
+        stamp_current(&mut rhs, NodeId(1), NodeId(2), 1e-3);
+        assert_eq!(rhs, vec![-1e-3, 1e-3]);
+        stamp_current(&mut rhs, NodeId::GROUND, NodeId(1), 1e-3);
+        assert_eq!(rhs, vec![0.0, 1e-3]);
+    }
+
+    #[test]
+    fn resistor_divider_assembly_matches_hand_stamp() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("V1", a, Circuit::GROUND, Waveform::dc(10.0)).unwrap();
+        c.add_resistor("R1", a, b, 1000.0).unwrap();
+        c.add_resistor("R2", b, Circuit::GROUND, 1000.0).unwrap();
+        let n = c.unknown_count();
+        let mut mat = Matrix::zeros(n, n);
+        let mut rhs = vec![0.0; n];
+        assemble_static(&c, &vec![0.0; n], &mut mat, &mut rhs, 0.0, |w| w.dc_value());
+        // Node a row: g(R1) + vsource branch column.
+        assert!((mat[(0, 0)] - 1e-3).abs() < 1e-15);
+        assert!((mat[(0, 1)] + 1e-3).abs() < 1e-15);
+        assert_eq!(mat[(0, 2)], 1.0);
+        // Node b row: both resistors.
+        assert!((mat[(1, 1)] - 2e-3).abs() < 1e-15);
+        // Branch row: v(a) = 10.
+        assert_eq!(mat[(2, 0)], 1.0);
+        assert_eq!(rhs[2], 10.0);
+    }
+}

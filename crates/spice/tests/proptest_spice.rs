@@ -1,0 +1,110 @@
+//! Property-based tests of the simulator against closed-form circuit
+//! theory on randomly generated linear networks.
+
+use castg_spice::{Circuit, DcAnalysis, Probe, TranAnalysis, Waveform};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A two-resistor divider matches v·r2/(r1+r2) for any positive
+    /// resistor values across six orders of magnitude.
+    #[test]
+    fn divider_ratio_matches_theory(
+        v in 0.1f64..100.0,
+        r1 in 1.0f64..1e6,
+        r2 in 1.0f64..1e6,
+    ) {
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let out = c.node("out");
+        c.add_vsource("V1", vin, Circuit::GROUND, Waveform::dc(v)).unwrap();
+        c.add_resistor("R1", vin, out, r1).unwrap();
+        c.add_resistor("R2", out, Circuit::GROUND, r2).unwrap();
+        let sol = DcAnalysis::new(&c).solve().unwrap();
+        let expected = v * r2 / (r1 + r2);
+        let got = sol.voltage(out);
+        prop_assert!((got - expected).abs() < 1e-6 * expected.abs().max(1.0) + 1e-5,
+            "got {got}, expected {expected}");
+    }
+
+    /// A ladder of series resistors conserves current: the source branch
+    /// current equals v / ΣR.
+    #[test]
+    fn series_ladder_current(
+        v in 0.5f64..50.0,
+        rs in prop::collection::vec(10.0f64..1e5, 2..8),
+    ) {
+        let mut c = Circuit::new();
+        let top = c.node("n0");
+        c.add_vsource("V1", top, Circuit::GROUND, Waveform::dc(v)).unwrap();
+        let mut prev = top;
+        for (i, r) in rs.iter().enumerate() {
+            let next = if i + 1 == rs.len() {
+                Circuit::GROUND
+            } else {
+                c.node(&format!("n{}", i + 1))
+            };
+            c.add_resistor(&format!("R{i}"), prev, next, *r).unwrap();
+            prev = next;
+        }
+        let sol = DcAnalysis::new(&c).solve().unwrap();
+        let total: f64 = rs.iter().sum();
+        let i_src = sol.source_current("V1").unwrap();
+        // SPICE convention: current + → − through the source is −v/ΣR.
+        prop_assert!((i_src + v / total).abs() < 1e-6 * (v / total) + 1e-9,
+            "i = {i_src}, expected {}", -v / total);
+    }
+
+    /// Current sources into resistive loads obey Ohm's law.
+    #[test]
+    fn isource_ohms_law(i in 1e-6f64..1e-2, r in 10.0f64..1e5) {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_isource("I1", Circuit::GROUND, a, Waveform::dc(i)).unwrap();
+        c.add_resistor("R1", a, Circuit::GROUND, r).unwrap();
+        let sol = DcAnalysis::new(&c).solve().unwrap();
+        prop_assert!((sol.voltage(a) - i * r).abs() < 1e-6 * i * r + 1e-9);
+    }
+
+    /// An RC step response never overshoots and ends between the rails.
+    #[test]
+    fn rc_step_is_monotone_and_bounded(
+        r in 100.0f64..10e3,
+        cap in 1e-10f64..1e-8,
+        v in 0.5f64..10.0,
+    ) {
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let out = c.node("out");
+        c.add_vsource("V1", vin, Circuit::GROUND, Waveform::step(0.0, v, 0.0, 1e-9)).unwrap();
+        c.add_resistor("R1", vin, out, r).unwrap();
+        c.add_capacitor("C1", out, Circuit::GROUND, cap).unwrap();
+        let tau = r * cap;
+        let trace = TranAnalysis::new(&c)
+            .run(5.0 * tau, tau / 40.0, &[Probe::NodeVoltage(out)])
+            .unwrap();
+        let vals = trace.column(0);
+        for w in vals.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-6 * v, "non-monotone: {} -> {}", w[0], w[1]);
+        }
+        for val in vals {
+            prop_assert!(*val >= -1e-6 && *val <= v * (1.0 + 1e-6));
+        }
+        // After 5τ the output is within 1 % of the rail.
+        prop_assert!((vals.last().unwrap() - v).abs() < 0.011 * v);
+    }
+
+    /// VCVS gain is exact for arbitrary gains.
+    #[test]
+    fn vcvs_gain_exact(vin in -5.0f64..5.0, gain in -50.0f64..50.0) {
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.add_vsource("V1", inp, Circuit::GROUND, Waveform::dc(vin)).unwrap();
+        c.add_vcvs("E1", out, Circuit::GROUND, inp, Circuit::GROUND, gain).unwrap();
+        c.add_resistor("RL", out, Circuit::GROUND, 1e3).unwrap();
+        let sol = DcAnalysis::new(&c).solve().unwrap();
+        prop_assert!((sol.voltage(out) - gain * vin).abs() < 1e-6 * (gain * vin).abs() + 1e-6);
+    }
+}

@@ -1,0 +1,57 @@
+//! The framework is macro-type agnostic: run the identical generation +
+//! compaction pipeline on a different macro — a five-transistor OTA
+//! unity-gain buffer with its own (DC-only, fast) configuration set.
+//!
+//! ```sh
+//! cargo run --release --example custom_macro
+//! ```
+
+use castg::core::{compact, AnalogMacro, CompactionOptions, Generator, NominalCache};
+use castg::macros::OtaBuffer;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ota = OtaBuffer::new();
+    let dict = ota.fault_dictionary();
+    println!(
+        "macro `{}` ({}): {} faults ({} configurations)",
+        ota.name(),
+        ota.macro_type(),
+        dict.len(),
+        ota.configurations().len()
+    );
+
+    let cache = NominalCache::new();
+    let generator = Generator::new(&ota, &cache);
+    let report = generator.generate(&dict);
+    println!(
+        "generated {} best tests in {:?} ({} failures)",
+        report.tests.len(),
+        report.wall_time,
+        report.failures.len()
+    );
+    for row in report.distribution() {
+        println!(
+            "  config #{} {:<14} detects best: {} bridges, {} pinholes",
+            row.config_id, row.config_name, row.bridge, row.pinhole
+        );
+    }
+    let undetected = report.undetected();
+    println!("undetectable at dictionary impact: {}", undetected.len());
+
+    let compaction = compact(&ota, &cache, &report, &CompactionOptions::default())?;
+    println!(
+        "compacted test set: {} → {} tests (ratio {:.1}x)",
+        compaction.original_count,
+        compaction.tests.len(),
+        compaction.ratio()
+    );
+    for (i, t) in compaction.tests.iter().enumerate() {
+        println!(
+            "  T{i}: config #{} vin = {:.3} V covers {} fault(s)",
+            t.config_id,
+            t.params[0],
+            t.covered_faults.len()
+        );
+    }
+    Ok(())
+}

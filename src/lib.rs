@@ -1,0 +1,50 @@
+//! `castg` — Compact Analog Structural Test Generation.
+//!
+//! Meta-crate bundling the full workspace reproduction of Kaal &
+//! Kerkhoff, *"Compact Structural Test Generation for Analog Macros"*
+//! (ED&TC 1997). Each subsystem lives in its own crate and is re-exported
+//! here under a short name:
+//!
+//! * [`core`] (`castg-core`) — the paper's contribution: sensitivity,
+//!   tps-graphs, per-fault optimal test generation, compaction,
+//!   baselines and reporting.
+//! * [`macros`] (`castg-macros`) — the devices under test (the
+//!   IV-converter with its five Table-1 test configurations, plus an
+//!   OTA buffer) with tolerance-box calibration.
+//! * [`faults`] (`castg-faults`) — bridge and pinhole fault models with
+//!   tunable impact, and exhaustive fault lists.
+//! * [`spice`] (`castg-spice`) — the built-in MNA circuit simulator
+//!   (DC Newton–Raphson, fixed-step transient, Level-1 MOSFETs).
+//! * [`dsp`] (`castg-dsp`) — waveform post-processing (Goertzel, THD,
+//!   deviation metrics).
+//! * [`numeric`] (`castg-numeric`) — dense LU, Brent and bounded Powell
+//!   minimization, parameter spaces, sweep grids.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use castg::core::{AnalogMacro, Generator, NominalCache};
+//! use castg::core::synthetic::DividerMacro;
+//!
+//! let mac = DividerMacro::new();
+//! let cache = NominalCache::new();
+//! let generator = Generator::new(&mac, &cache);
+//! let fault = castg::faults::Fault::bridge("out", "0", 10e3);
+//! let best = generator.generate_for_fault(&fault)?;
+//! assert!(best.detected_at_dictionary);
+//! # Ok::<(), castg::core::CoreError>(())
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and the
+//! `castg-bench` crate for the binaries regenerating every table and
+//! figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use castg_core as core;
+pub use castg_dsp as dsp;
+pub use castg_faults as faults;
+pub use castg_macros as macros;
+pub use castg_numeric as numeric;
+pub use castg_spice as spice;

@@ -1,0 +1,118 @@
+//! Cross-crate property-based tests of the pipeline's core invariants.
+
+use castg::core::{sensitivity, ConfigDescription};
+use castg::faults::Fault;
+use castg::numeric::{Bounds, ParamSpace};
+use castg::spice::Waveform;
+use proptest::prelude::*;
+
+proptest! {
+    /// S = 1 − |Δ|/box exactly in the single-return case.
+    #[test]
+    fn sensitivity_matches_closed_form(dev in -1e6f64..1e6, boxw in 1e-9f64..1e6) {
+        let s = sensitivity(&[dev], &[boxw]);
+        let expected = 1.0 - dev.abs() / boxw;
+        prop_assert!((s - expected).abs() <= 1e-9 * expected.abs().max(1.0));
+    }
+
+    /// Sensitivity is monotonically non-increasing in |deviation| and
+    /// non-decreasing in the box width.
+    #[test]
+    fn sensitivity_monotonicity(dev in 0.0f64..1e3, extra in 0.0f64..1e3, boxw in 1e-6f64..1e3) {
+        let s1 = sensitivity(&[dev], &[boxw]);
+        let s2 = sensitivity(&[dev + extra], &[boxw]);
+        prop_assert!(s2 <= s1 + 1e-12);
+        let s3 = sensitivity(&[dev], &[boxw * 2.0]);
+        prop_assert!(s3 >= s1 - 1e-12);
+    }
+
+    /// Multi-return sensitivity is the minimum of the single-return ones.
+    #[test]
+    fn sensitivity_is_min_over_returns(
+        devs in prop::collection::vec(-1e3f64..1e3, 1..6),
+        boxw in 1e-3f64..1e3,
+    ) {
+        let boxes = vec![boxw; devs.len()];
+        let combined = sensitivity(&devs, &boxes);
+        let min_single = devs
+            .iter()
+            .map(|d| sensitivity(&[*d], &[boxw]))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((combined - min_single).abs() < 1e-9);
+    }
+
+    /// Impact scaling of faults is exactly multiplicative and never
+    /// mutates the original.
+    #[test]
+    fn fault_impact_scaling(r0 in 1.0f64..1e9, w in 1.001f64..1e3) {
+        let f = Fault::bridge("a", "b", r0);
+        prop_assert_eq!(f.effective_resistance(), r0);
+        let weak = f.weakened(w);
+        let strong = f.intensified(w);
+        prop_assert!((weak.effective_resistance() - r0 * w).abs() < 1e-6 * r0 * w);
+        prop_assert!((strong.effective_resistance() - r0 / w).abs() < 1e-6 * r0 / w);
+        prop_assert_eq!(f.impact_scale(), 1.0);
+        // Weakening then intensifying by the same factor round-trips.
+        let rt = weak.intensified(w);
+        prop_assert!((rt.effective_resistance() - r0).abs() < 1e-6 * r0);
+    }
+
+    /// Parameter-space normalization round-trips inside the bounds.
+    #[test]
+    fn param_space_roundtrip(
+        lo in -1e3f64..0.0,
+        width in 1e-3f64..1e3,
+        u in 0.0f64..1.0,
+    ) {
+        let space = ParamSpace::new(vec![Bounds::new(lo, lo + width).unwrap()]);
+        let x = space.denormalize(&[u]);
+        prop_assert!(space.contains(&x));
+        let back = space.normalize(&x);
+        prop_assert!((back[0] - u).abs() < 1e-9);
+    }
+
+    /// A sine waveform never leaves `offset ± amplitude`.
+    #[test]
+    fn sine_is_bounded(
+        offset in -10.0f64..10.0,
+        amp in 0.0f64..10.0,
+        freq in 1.0f64..1e6,
+        t in 0.0f64..1.0,
+    ) {
+        let w = Waveform::sine(offset, amp, freq);
+        let v = w.eval(t);
+        prop_assert!(v >= offset - amp - 1e-9 && v <= offset + amp + 1e-9);
+    }
+
+    /// A step waveform is monotone between its endpoints for positive
+    /// elevation and stays within [base, base+elev].
+    #[test]
+    fn step_is_bounded(
+        base in -5.0f64..5.0,
+        elev in 0.0f64..5.0,
+        t in 0.0f64..1e-3,
+    ) {
+        let w = Waveform::step(base, elev, 1e-6, 1e-7);
+        let v = w.eval(t);
+        prop_assert!(v >= base - 1e-12 && v <= base + elev + 1e-12);
+    }
+
+    /// Config descriptions round-trip through the Fig.-1 text format for
+    /// arbitrary parameter bounds and seeds.
+    #[test]
+    fn description_roundtrip(
+        lo in -1e3f64..0.0,
+        width in 1e-6f64..1e3,
+        seed_frac in 0.0f64..1.0,
+    ) {
+        let hi = lo + width;
+        let seed = lo + seed_frac * width;
+        let text = format!(
+            "macro type: X\ntest configuration: T\ncontrol a: dc(p)\nobserve b: dc()\n\
+             return: dV(b)\nparameter p: {lo:e} .. {hi:e}\nseed p: {seed:e}\n"
+        );
+        let d = ConfigDescription::parse(&text).unwrap();
+        let d2 = ConfigDescription::parse(&d.to_string()).unwrap();
+        prop_assert_eq!(d, d2);
+    }
+}
