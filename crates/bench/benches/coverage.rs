@@ -1,0 +1,60 @@
+//! Criterion benches for test-set coverage evaluation
+//! ([`castg_core::evaluate_test_set`]): the full fault × test
+//! sensitivity sweep that scores a compacted test set against a fault
+//! dictionary. This is the evaluate half of the generate→evaluate hot
+//! path; the generation half lives in `generation.rs`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use castg_core::synthetic::DividerMacro;
+use castg_core::{
+    evaluate_test_set, evaluate_test_set_with_threads, AnalogMacro, NominalCache, TestInstance,
+};
+
+/// Builds a test set that pairs every configuration of the macro with a
+/// few parameter points, so the coverage sweep exercises a realistic
+/// tests × faults grid without depending on generator randomness.
+fn divider_test_set(mac: &DividerMacro) -> Vec<TestInstance> {
+    let mut tests = Vec::new();
+    for config in AnalogMacro::configurations(mac) {
+        for scale in [0.25, 0.5, 1.0] {
+            let params: Vec<f64> = config.seed().iter().map(|p| p * scale).collect();
+            tests.push(TestInstance { config: Arc::clone(&config), params });
+        }
+    }
+    tests
+}
+
+fn bench_coverage_divider(c: &mut Criterion) {
+    let mac = DividerMacro::new();
+    let cache = NominalCache::new();
+    let dict = mac.fault_dictionary();
+    let tests = divider_test_set(&mac);
+    // Warm the nominal cache so the bench isolates the faulty solves.
+    evaluate_test_set(&mac, &cache, &tests, &dict).unwrap();
+    let mut group = c.benchmark_group("coverage");
+    group.bench_function("evaluate_test_set_divider", |b| {
+        b.iter(|| {
+            let report =
+                evaluate_test_set(black_box(&mac), &cache, &tests, &dict).unwrap();
+            black_box(report.detected());
+        })
+    });
+    // Serial path isolates the per-simulation hot-path cost from the
+    // worker fan-out (the divider's 3-fault dictionary is too small to
+    // amortize thread spawns well; real dictionaries are larger).
+    group.bench_function("evaluate_test_set_divider_serial", |b| {
+        b.iter(|| {
+            let report =
+                evaluate_test_set_with_threads(black_box(&mac), &cache, &tests, &dict, 1)
+                    .unwrap();
+            black_box(report.detected());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_coverage_divider);
+criterion_main!(benches);

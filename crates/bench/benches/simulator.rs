@@ -60,7 +60,7 @@ fn bench_transient_methods(c: &mut Criterion) {
 }
 
 fn bench_thd_measurement(c: &mut Criterion) {
-    use castg_core::{AnalogMacro, TestConfiguration};
+    use castg_core::AnalogMacro;
     let iv = IvConverter::with_analytic_boxes();
     let circuit = iv.nominal_circuit();
     let configs = iv.configurations();

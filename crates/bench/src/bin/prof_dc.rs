@@ -1,0 +1,21 @@
+//! Quick wall-clock profile of the DC operating-point hot path on the
+//! IV-converter — a cargo-runnable sanity check between full criterion
+//! runs (`cargo run --release --bin prof_dc`).
+
+use castg_macros::IvConverter;
+use castg_spice::DcAnalysis;
+use std::time::Instant;
+
+fn main() {
+    let iv = IvConverter::with_analytic_boxes();
+    let circuit = iv.build_circuit();
+    println!("nodes={} unknowns={}", circuit.node_count(), circuit.unknown_count());
+    let t0 = Instant::now();
+    let mut acc = 0.0;
+    let reps = 20_000;
+    for _ in 0..reps {
+        let sol = DcAnalysis::new(std::hint::black_box(&circuit)).solve().unwrap();
+        acc += sol.voltages()[1];
+    }
+    println!("acc={acc} per-solve={:?}", t0.elapsed() / reps);
+}

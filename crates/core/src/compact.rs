@@ -109,7 +109,7 @@ pub fn compact(
             reason: format!("delta must be in [0, 1), got {}", options.delta),
         });
     }
-    if !(options.radius > 0.0) {
+    if options.radius <= 0.0 || options.radius.is_nan() {
         return Err(CoreError::InvalidOptions {
             reason: format!("radius must be positive, got {}", options.radius),
         });

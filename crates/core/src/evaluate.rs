@@ -1,9 +1,23 @@
 //! Test-set quality evaluation: fault coverage of an arbitrary test set
 //! against a fault dictionary.
+//!
+//! Coverage evaluation is the second compute-bound half of the
+//! generate→evaluate pipeline: every fault × test pair costs one full
+//! faulty-circuit simulation. Two structural choices keep it cheap:
+//! the faulted circuit is injected **once per fault** and reused across
+//! all tests (injection is configuration-independent), and the faults
+//! are fanned out over a crossbeam worker queue exactly like
+//! [`Generator::generate`](crate::Generator::generate). Worker results
+//! land in per-fault slots, so the report is in dictionary order and
+//! identical — test indices, sensitivities, everything — to a serial
+//! evaluation.
 
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use castg_faults::FaultDictionary;
+use castg_faults::{Fault, FaultDictionary};
+use castg_spice::Circuit;
+use parking_lot::Mutex;
 
 use crate::cache::NominalCache;
 use crate::compact::CompactionReport;
@@ -84,8 +98,40 @@ impl CoverageReport {
     }
 }
 
+/// Scores one fault against every test: injects the faulted circuit
+/// once, then sweeps the tests over that single injection. Injection is
+/// skipped entirely for an empty test set (nothing can detect, and a
+/// fault that fails to inject must not fail the evaluation then).
+fn coverage_for_fault(
+    nominal: &Circuit,
+    cache: &NominalCache,
+    tests: &[TestInstance],
+    fault: &Fault,
+) -> Result<FaultCoverage, CoreError> {
+    let mut best = (0usize, f64::INFINITY);
+    if !tests.is_empty() {
+        let faulty = fault.inject(nominal)?;
+        for (i, t) in tests.iter().enumerate() {
+            let ev = Evaluator::new(t.config.as_ref(), nominal, cache);
+            let s = ev.sensitivity_of(&faulty, &t.params)?;
+            if s < best.1 {
+                best = (i, s);
+            }
+        }
+    }
+    Ok(FaultCoverage {
+        fault: fault.name(),
+        best_sensitivity: best.1,
+        best_test: best.0,
+        detected: is_detected(best.1),
+    })
+}
+
 /// Evaluates a test set's coverage of `dictionary` (faults at their
-/// dictionary impact).
+/// dictionary impact), fanning the faults out over all available cores.
+///
+/// Equivalent to [`evaluate_test_set_with_threads`] with the hardware
+/// thread count.
 ///
 /// # Errors
 ///
@@ -97,25 +143,90 @@ pub fn evaluate_test_set(
     tests: &[TestInstance],
     dictionary: &FaultDictionary,
 ) -> Result<CoverageReport, CoreError> {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    evaluate_test_set_with_threads(macro_def, cache, tests, dictionary, threads)
+}
+
+/// [`evaluate_test_set`] with an explicit worker-thread count.
+///
+/// Faults are independent, so they are distributed over a worker queue
+/// (the same crossbeam pattern as
+/// [`Generator::generate`](crate::Generator::generate)); each worker
+/// claims the next undone fault, injects it once and scores every test
+/// against that one faulted circuit. `threads = 1` degenerates to a
+/// fully serial evaluation; any thread count produces the identical
+/// report.
+///
+/// # Errors
+///
+/// As for [`evaluate_test_set`]. A failing fault aborts the remaining
+/// queue (fail-fast, like the serial path); among the faults that were
+/// evaluated, the earliest failure in dictionary order is returned.
+pub fn evaluate_test_set_with_threads(
+    macro_def: &dyn AnalogMacro,
+    cache: &NominalCache,
+    tests: &[TestInstance],
+    dictionary: &FaultDictionary,
+    threads: usize,
+) -> Result<CoverageReport, CoreError> {
     let nominal = macro_def.nominal_circuit();
+    let n = dictionary.len();
     let mut report = CoverageReport { test_count: tests.len(), ..Default::default() };
-    for fault in dictionary.iter() {
-        let mut best = (0usize, f64::INFINITY);
-        for (i, t) in tests.iter().enumerate() {
-            let ev = Evaluator::new(t.config.as_ref(), &nominal, cache);
-            let circuit = ev.inject(fault)?;
-            let s = ev.sensitivity_of(&circuit, &t.params)?;
-            if s < best.1 {
-                best = (i, s);
+
+    let workers = threads.clamp(1, n.max(1));
+    // Fanning out costs a few thread spawns; below a handful of
+    // simulations the serial sweep wins outright.
+    if workers <= 1 || n <= 1 || n * tests.len() < 8 {
+        for fault in dictionary.iter() {
+            report.per_fault.push(coverage_for_fault(&nominal, cache, tests, fault)?);
+        }
+        return Ok(report);
+    }
+
+    let results: Vec<Mutex<Option<Result<FaultCoverage, CoreError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    let counter = AtomicUsize::new(0);
+    // A failed fault aborts the queue so the error surfaces without
+    // paying for the remaining simulations (matching the serial
+    // path's fail-fast behavior; in-flight faults still finish).
+    let failed = AtomicBool::new(false);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = counter.fetch_add(1, Ordering::Relaxed);
+                if i >= n || failed.load(Ordering::Relaxed) {
+                    break;
+                }
+                let fault = &dictionary.faults()[i];
+                let outcome = coverage_for_fault(&nominal, cache, tests, fault);
+                if outcome.is_err() {
+                    failed.store(true, Ordering::Relaxed);
+                }
+                *results[i].lock() = Some(outcome);
+            });
+        }
+    })
+    .expect("coverage workers must not panic");
+
+    let aborted = failed.load(Ordering::Relaxed);
+    for (i, slot) in results.into_iter().enumerate() {
+        match slot.into_inner() {
+            Some(outcome) => report.per_fault.push(outcome?),
+            // A slot can be empty only because the queue aborted
+            // before its worker claimed it; the stored error below (or
+            // above) is returned instead of a partial report.
+            None if aborted => continue,
+            None => {
+                return Err(CoreError::InvalidOptions {
+                    reason: format!(
+                        "coverage worker never ran fault {}",
+                        dictionary.faults()[i].name()
+                    ),
+                })
             }
         }
-        report.per_fault.push(FaultCoverage {
-            fault: fault.name(),
-            best_sensitivity: best.1,
-            best_test: best.0,
-            detected: is_detected(best.1),
-        });
     }
+    debug_assert!(!aborted, "an aborted run always stores at least one error");
     Ok(report)
 }
 
@@ -184,6 +295,30 @@ mod tests {
         assert_eq!(coverage.detected(), dict.len(), "escapes: {:?}", coverage.escapes());
         assert!(coverage.coverage() > 0.99);
         assert!(coverage.mean_best_sensitivity() < 0.0);
+    }
+
+    /// The parallel fan-out must reproduce the serial (threads = 1)
+    /// report exactly: same fault order, same best test indices, same
+    /// best sensitivities bit for bit.
+    #[test]
+    fn parallel_coverage_matches_serial() {
+        let mac = DividerMacro::new();
+        let cache = NominalCache::new();
+        let gen = Generator::with_options(&mac, &cache, quick_options());
+        let dict = mac.fault_dictionary();
+        let report = gen.generate(&dict);
+        let comp = compact(&mac, &cache, &report, &CompactionOptions::default()).unwrap();
+        let tests = test_instances_from_compaction(&mac, &comp).unwrap();
+
+        let serial =
+            evaluate_test_set_with_threads(&mac, &cache, &tests, &dict, 1).unwrap();
+        for threads in [2, 4, 8] {
+            let parallel =
+                evaluate_test_set_with_threads(&mac, &cache, &tests, &dict, threads)
+                    .unwrap();
+            assert_eq!(parallel.test_count, serial.test_count);
+            assert_eq!(parallel.per_fault, serial.per_fault, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -395,12 +395,9 @@ impl<'a> Generator<'a> {
         let evals = AtomicUsize::new(0);
         let objective = |params: &[f64]| -> f64 {
             evals.fetch_add(1, Ordering::Relaxed);
-            match ev.sensitivity_of(&faulty, params) {
-                Ok(s) => s,
-                // Injection cannot fail here (already injected); nominal
-                // failure means this parameter region is unusable.
-                Err(_) => f64::INFINITY,
-            }
+            // Injection cannot fail here (already injected); nominal
+            // failure means this parameter region is unusable.
+            ev.sensitivity_of(&faulty, params).unwrap_or(f64::INFINITY)
         };
 
         let seed = space.clamp(&config.seed());

@@ -67,8 +67,8 @@ pub use config::{check_params, Measurement, TestConfiguration};
 pub use descr::{ConfigDescription, ParamSpec, PortAction};
 pub use error::CoreError;
 pub use evaluate::{
-    evaluate_test_set, test_instances_from_compaction, CoverageReport, FaultCoverage,
-    TestInstance,
+    evaluate_test_set, evaluate_test_set_with_threads, test_instances_from_compaction,
+    CoverageReport, FaultCoverage, TestInstance,
 };
 pub use generate::{
     BestTest, DistributionRow, GenerationReport, Generator, GeneratorOptions, SelectionMethod,

@@ -113,6 +113,7 @@ impl BoxGrid {
 /// Propagates nominal-measurement failures; individual process-sample
 /// failures are skipped (a sample that refuses to converge everywhere
 /// would leave that grid point with just the floor).
+#[allow(clippy::too_many_arguments)] // calibration knobs are genuinely independent
 pub fn calibrate_box(
     config: &dyn TestConfiguration,
     nominal: &Circuit,

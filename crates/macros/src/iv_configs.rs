@@ -521,7 +521,7 @@ mod tests {
         let thd_cfg = &configs[2];
         let mid = thd_cfg.measure(&circuit, &[10e-6, 10e3]).unwrap().as_scalars().unwrap()[0];
         let edge = thd_cfg.measure(&circuit, &[40e-6, 10e3]).unwrap().as_scalars().unwrap()[0];
-        assert!(mid >= 0.0 && mid < 10.0, "mid-range THD {mid}");
+        assert!((0.0..10.0).contains(&mid), "mid-range THD {mid}");
         assert!(edge > mid, "clipping must raise THD: {edge} !> {mid}");
     }
 

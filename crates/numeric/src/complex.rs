@@ -153,6 +153,12 @@ impl CMatrix {
         self.data[r * self.n + c] += v;
     }
 
+    /// Resets every entry to zero, keeping the allocation — so one
+    /// matrix can be refilled and re-solved per frequency point.
+    pub fn clear(&mut self) {
+        self.data.fill(Complex::ZERO);
+    }
+
     /// Solves `A·x = b` in place by LU with partial pivoting (consumes
     /// the matrix).
     ///
@@ -166,6 +172,26 @@ impl CMatrix {
             return Err(NumericError::DimensionMismatch { expected: n, actual: b.len() });
         }
         let mut x: Vec<Complex> = b.to_vec();
+        self.solve_in_place(&mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A·x = rhs` where `rhs` enters holding the right-hand side
+    /// and exits holding the solution. Destroys the matrix contents
+    /// (callers [`clear`](CMatrix::clear) and refill for the next
+    /// system), but keeps every allocation — this is the hot path of
+    /// the AC frequency sweep.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::SingularMatrix`] when no usable pivot exists;
+    /// [`NumericError::DimensionMismatch`] for a wrong-sized `rhs`.
+    pub fn solve_in_place(&mut self, rhs: &mut [Complex]) -> Result<(), NumericError> {
+        let n = self.n;
+        if rhs.len() != n {
+            return Err(NumericError::DimensionMismatch { expected: n, actual: rhs.len() });
+        }
+        let x = rhs;
         // Elimination with partial pivoting on |pivot|.
         for k in 0..n {
             let mut p = k;
@@ -202,12 +228,12 @@ impl CMatrix {
         // Back substitution.
         for i in (0..n).rev() {
             let mut acc = x[i];
-            for c in i + 1..n {
-                acc = acc - self.get(i, c) * x[c];
+            for (c, xc) in x.iter().enumerate().skip(i + 1) {
+                acc = acc - self.get(i, c) * *xc;
             }
             x[i] = acc / self.get(i, i);
         }
-        Ok(x)
+        Ok(())
     }
 }
 
@@ -251,12 +277,12 @@ mod tests {
         let m2 = m.clone();
         let x = m.solve(&b).unwrap();
         // Verify by substitution.
-        for r in 0..2 {
+        for (r, br) in b.iter().enumerate() {
             let mut acc = Complex::ZERO;
-            for c in 0..2 {
-                acc += m2.get(r, c) * x[c];
+            for (c, xc) in x.iter().enumerate() {
+                acc += m2.get(r, c) * *xc;
             }
-            assert!(approx(acc, b[r], 1e-12), "row {r}: {acc:?} vs {:?}", b[r]);
+            assert!(approx(acc, *br, 1e-12), "row {r}: {acc:?} vs {br:?}");
         }
     }
 
@@ -268,6 +294,39 @@ mod tests {
         let x = m.solve(&[Complex::real(2.0), Complex::real(3.0)]).unwrap();
         assert!(approx(x[0], Complex::real(3.0), 1e-12));
         assert!(approx(x[1], Complex::real(2.0), 1e-12));
+    }
+
+    #[test]
+    fn cleared_matrix_is_reusable_in_place() {
+        // Two systems through one matrix allocation, as the AC sweep
+        // does per frequency point.
+        let mut m = CMatrix::zeros(2);
+        m.add(0, 0, Complex::real(2.0));
+        m.add(1, 1, Complex::real(4.0));
+        let mut x = [Complex::real(2.0), Complex::real(8.0)];
+        m.solve_in_place(&mut x).unwrap();
+        assert!(approx(x[0], Complex::real(1.0), 1e-12));
+        assert!(approx(x[1], Complex::real(2.0), 1e-12));
+
+        m.clear();
+        m.add(0, 1, Complex::ONE);
+        m.add(1, 0, Complex::ONE);
+        let mut y = [Complex::real(5.0), Complex::real(6.0)];
+        m.solve_in_place(&mut y).unwrap();
+        assert!(approx(y[0], Complex::real(6.0), 1e-12));
+        assert!(approx(y[1], Complex::real(5.0), 1e-12));
+    }
+
+    #[test]
+    fn solve_in_place_rejects_wrong_rhs_length() {
+        let mut m = CMatrix::zeros(2);
+        m.add(0, 0, Complex::ONE);
+        m.add(1, 1, Complex::ONE);
+        let mut short = [Complex::ZERO];
+        assert!(matches!(
+            m.solve_in_place(&mut short),
+            Err(NumericError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

@@ -31,6 +31,9 @@ pub enum NumericError {
         /// A human-readable description of where the evaluation happened.
         at: String,
     },
+    /// A solve was requested from a workspace that holds no (successful)
+    /// factorization.
+    NotFactored,
 }
 
 impl fmt::Display for NumericError {
@@ -47,6 +50,9 @@ impl fmt::Display for NumericError {
             }
             NumericError::NonFiniteObjective { at } => {
                 write!(f, "objective returned a non-finite value at {at}")
+            }
+            NumericError::NotFactored => {
+                write!(f, "workspace holds no factorization (factor_in_place first)")
             }
         }
     }
@@ -65,6 +71,7 @@ mod tests {
             NumericError::DimensionMismatch { expected: 4, actual: 2 },
             NumericError::InvalidInterval { lo: 1.0, hi: 0.0 },
             NumericError::NonFiniteObjective { at: "x = [0, 1]".into() },
+            NumericError::NotFactored,
         ];
         for e in errs {
             let s = e.to_string();

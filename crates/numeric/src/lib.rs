@@ -5,6 +5,9 @@
 //!
 //! * [`Matrix`] — a small dense row-major matrix with an in-place LU
 //!   factorization ([`LuFactors`]) used by the MNA circuit simulator.
+//! * [`LuWorkspace`] — reusable factor/solve buffers for hot loops
+//!   (Newton iterations re-factor the same-sized system hundreds of
+//!   times; the workspace makes each cycle allocation-free).
 //! * [`brent_min`] — Brent's derivative-free one-dimensional minimizer
 //!   (golden-section with parabolic interpolation), the method the paper
 //!   uses for single-parameter test configurations.
@@ -45,6 +48,6 @@ pub use bounds::{Bounds, ParamSpace};
 pub use brent::{brent_min, golden_section_min, BrentOptions, Minimum};
 pub use complex::{CMatrix, Complex};
 pub use error::NumericError;
-pub use lu::LuFactors;
+pub use lu::{LuFactors, LuWorkspace};
 pub use matrix::Matrix;
 pub use powell::{powell_min, PowellOptions, PowellResult};

@@ -20,11 +20,25 @@ use crate::NumericError;
 /// assert_eq!(m[(0, 0)], 2.0);
 /// assert_eq!(m.rows(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f64>,
+}
+
+impl Clone for Matrix {
+    fn clone(&self) -> Self {
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.clone() }
+    }
+
+    /// Reuses the existing storage when the element counts match, so
+    /// hot loops can refresh a scratch matrix without reallocating.
+    fn clone_from(&mut self, source: &Self) {
+        self.rows = source.rows;
+        self.cols = source.cols;
+        self.data.clone_from(&source.data);
+    }
 }
 
 impl Matrix {
@@ -59,16 +73,19 @@ impl Matrix {
     }
 
     /// Number of rows.
+    #[inline]
     pub fn rows(&self) -> usize {
         self.rows
     }
 
     /// Number of columns.
+    #[inline]
     pub fn cols(&self) -> usize {
         self.cols
     }
 
     /// Resets every entry to zero, keeping the allocation.
+    #[inline]
     pub fn clear(&mut self) {
         self.data.fill(0.0);
     }
@@ -96,9 +113,10 @@ impl Matrix {
             return Err(NumericError::DimensionMismatch { expected: self.cols, actual: x.len() });
         }
         let mut y = vec![0.0; self.rows];
-        for i in 0..self.rows {
-            let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        if self.cols > 0 {
+            for (yi, row) in y.iter_mut().zip(self.data.chunks_exact(self.cols)) {
+                *yi = row.iter().zip(x).map(|(a, b)| a * b).sum();
+            }
         }
         Ok(y)
     }
@@ -114,23 +132,24 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `i >= rows`.
+    #[inline]
     pub fn row(&self, i: usize) -> &[f64] {
         assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
         &self.data[i * self.cols..(i + 1) * self.cols]
     }
 
-    pub(crate) fn row_mut(&mut self, i: usize) -> &mut [f64] {
-        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    /// Raw row-major storage, for in-crate kernels that stride it flat.
+    #[inline]
+    pub(crate) fn data(&self) -> &[f64] {
+        &self.data
     }
 
-    pub(crate) fn swap_rows(&mut self, a: usize, b: usize) {
-        if a == b {
-            return;
-        }
-        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
-        let (head, tail) = self.data.split_at_mut(hi * self.cols);
-        head[lo * self.cols..(lo + 1) * self.cols].swap_with_slice(&mut tail[..self.cols]);
+    /// Mutable raw row-major storage, for in-crate kernels.
+    #[inline]
+    pub(crate) fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
     }
+
 }
 
 impl Index<(usize, usize)> for Matrix {
@@ -219,20 +238,22 @@ mod tests {
     }
 
     #[test]
+    fn clone_from_reuses_storage_and_copies_contents() {
+        let src = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let mut dst = Matrix::zeros(2, 2);
+        dst.clone_from(&src);
+        assert_eq!(dst, src);
+        // Dimension changes are handled too.
+        let mut small = Matrix::zeros(1, 1);
+        small.clone_from(&src);
+        assert_eq!(small, src);
+    }
+
+    #[test]
     fn mul_vec_rejects_wrong_dimension() {
         let m = Matrix::zeros(2, 3);
         let err = m.mul_vec(&[1.0]).unwrap_err();
         assert_eq!(err, NumericError::DimensionMismatch { expected: 3, actual: 1 });
-    }
-
-    #[test]
-    fn swap_rows_swaps_contents() {
-        let mut m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
-        m.swap_rows(0, 1);
-        assert_eq!(m.row(0), &[3.0, 4.0]);
-        assert_eq!(m.row(1), &[1.0, 2.0]);
-        m.swap_rows(1, 1);
-        assert_eq!(m.row(1), &[1.0, 2.0]);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Property-based tests for the numeric substrate.
 
 use castg_numeric::{
-    brent_min, golden_section_min, powell_min, BrentOptions, Bounds, LuFactors, Matrix,
-    ParamSpace, PowellOptions,
+    brent_min, golden_section_min, powell_min, BrentOptions, Bounds, LuFactors, LuWorkspace,
+    Matrix, ParamSpace, PowellOptions,
 };
 use proptest::prelude::*;
 
@@ -36,6 +36,65 @@ proptest! {
         let r = a.mul_vec(&x).unwrap();
         for (ri, bi) in r.iter().zip(&b) {
             prop_assert!((ri - bi).abs() < 1e-9, "residual {}", (ri - bi).abs());
+        }
+    }
+
+    /// The zero-allocation workspace path (`factor_in_place` +
+    /// `solve_into`) is bit-identical to the allocating `LuFactors`
+    /// path on random well-conditioned systems — both run the same
+    /// elimination kernel, so not even the last ulp may differ.
+    #[test]
+    fn workspace_solve_is_bit_identical_to_factors(
+        n in 2usize..12,
+        seed_entries in prop::collection::vec(-1.0f64..1.0, 144),
+        rhs_entries in prop::collection::vec(-10.0f64..10.0, 12),
+    ) {
+        let a = dominant_matrix(&seed_entries[..n * n], n);
+        let b = rhs_entries[..n].to_vec();
+        let lu = LuFactors::factor(a.clone()).unwrap();
+        let reference = lu.solve(&b).unwrap();
+
+        let mut ws = LuWorkspace::new(n);
+        let mut scratch = a;
+        let mut x = vec![0.0; n];
+        ws.factor_in_place(&mut scratch).unwrap();
+        ws.solve_into(&b, &mut x).unwrap();
+
+        for (i, (got, want)) in x.iter().zip(&reference).enumerate() {
+            prop_assert_eq!(got.to_bits(), want.to_bits(),
+                "solution differs at {} ({} vs {})", i, got, want);
+        }
+        prop_assert_eq!(ws.det().unwrap().to_bits(), lu.det().to_bits());
+    }
+
+    /// A single workspace reused across randomly varying dimensions
+    /// (regrowing and shrinking between factorizations) keeps producing
+    /// the exact `LuFactors` results — stale state from a previous size
+    /// must never leak into a solve.
+    #[test]
+    fn workspace_reuse_across_dimension_changes_is_exact(
+        sizes in prop::collection::vec(2usize..10, 1..6),
+        seed_entries in prop::collection::vec(-1.0f64..1.0, 100),
+        rhs_entries in prop::collection::vec(-10.0f64..10.0, 10),
+    ) {
+        let mut ws = LuWorkspace::new(sizes[0]);
+        let mut x = Vec::new();
+        for (round, &n) in sizes.iter().enumerate() {
+            let a = dominant_matrix(&seed_entries[..n * n], n);
+            let b = &rhs_entries[..n];
+            let reference = LuFactors::factor(a.clone()).unwrap().solve(b).unwrap();
+
+            let mut scratch = a;
+            ws.factor_in_place(&mut scratch).unwrap();
+            prop_assert_eq!(ws.dim(), n);
+            prop_assert_eq!(scratch.rows(), n, "scratch must match the new dimension");
+            prop_assert_eq!(scratch.cols(), n);
+            x.clear();
+            x.resize(n, 0.0);
+            ws.solve_into(b, &mut x).unwrap();
+            for (got, want) in x.iter().zip(&reference) {
+                prop_assert_eq!(got.to_bits(), want.to_bits(), "round {}", round);
+            }
         }
     }
 

@@ -146,17 +146,14 @@ impl<'c> AcAnalysis<'c> {
         let n = self.circuit.unknown_count();
         let n_nodes = self.circuit.node_count() - 1;
 
-        // G: the static Jacobian at the operating point (rhs discarded).
+        // G: the static Jacobian at the operating point (rhs discarded),
+        // assembled through the compiled stamp plan.
+        let plan = self.circuit.plan();
         let mut g = Matrix::zeros(n, n);
         let mut scratch_rhs = vec![0.0; n];
-        stamp::assemble_static(
-            self.circuit,
-            dc.state(),
-            &mut g,
-            &mut scratch_rhs,
-            self.options.gmin,
-            |w| w.dc_value(),
-        );
+        let mut src_vals = Vec::new();
+        plan.source_values(&mut src_vals, |w| w.dc_value());
+        plan.assemble_into(dc.state(), &mut g, &mut scratch_rhs, self.options.gmin, &src_vals);
 
         // C: capacitive stamps (explicit capacitors + MOS gate caps).
         let mut cap = Matrix::zeros(n, n);
@@ -205,10 +202,14 @@ impl<'c> AcAnalysis<'c> {
             }
         }
 
+        // One complex matrix reused (cleared and refilled) for every
+        // frequency point; only the retained solution vector is
+        // allocated per point.
         let mut solutions = Vec::with_capacity(freqs.len());
+        let mut m = CMatrix::zeros(n);
         for f in freqs {
             let omega = 2.0 * std::f64::consts::PI * f;
-            let mut m = CMatrix::zeros(n);
+            m.clear();
             for r in 0..n {
                 for c in 0..n {
                     let v = Complex::new(g[(r, c)], omega * cap[(r, c)]);
@@ -217,7 +218,9 @@ impl<'c> AcAnalysis<'c> {
                     }
                 }
             }
-            solutions.push(m.solve(&b)?);
+            let mut x = b.clone();
+            m.solve_in_place(&mut x)?;
+            solutions.push(x);
         }
         Ok(AcSweep { freqs: freqs.to_vec(), solutions, n_nodes })
     }

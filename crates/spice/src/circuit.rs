@@ -32,6 +32,24 @@ pub struct Circuit {
     node_index: HashMap<String, NodeId>,
     devices: Vec<Device>,
     device_index: HashMap<String, usize>,
+    /// Lazily compiled assembly schedule, shared by every analysis of
+    /// this circuit and invalidated by any mutation. Compiling resolves
+    /// node ids to matrix slots and splits devices into constant /
+    /// stimulus / nonlinear contributions once, so repeated solves
+    /// (sensitivity sweeps hammer the same circuit thousands of times)
+    /// skip straight to the flat replay.
+    plan: PlanCache,
+}
+
+/// Interior cache for the compiled [`StampPlan`]. Equality-transparent:
+/// two circuits are equal regardless of which has compiled its plan.
+#[derive(Debug, Clone, Default)]
+struct PlanCache(std::sync::OnceLock<std::sync::Arc<crate::stamp::StampPlan>>);
+
+impl PartialEq for PlanCache {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
 }
 
 impl Circuit {
@@ -47,7 +65,22 @@ impl Circuit {
             node_index,
             devices: Vec::new(),
             device_index: HashMap::new(),
+            plan: PlanCache::default(),
         }
+    }
+
+    /// The compiled assembly schedule for this circuit, building it on
+    /// first use. Cheap to call afterwards (one `Arc` clone).
+    pub(crate) fn plan(&self) -> std::sync::Arc<crate::stamp::StampPlan> {
+        std::sync::Arc::clone(
+            self.plan.0.get_or_init(|| std::sync::Arc::new(crate::stamp::StampPlan::build(self))),
+        )
+    }
+
+    /// Drops the compiled plan; called by every `&mut self` entry point
+    /// so a mutated circuit recompiles on its next analysis.
+    fn invalidate_plan(&mut self) {
+        self.plan.0.take();
     }
 
     /// Returns the node with the given name, creating it if needed.
@@ -57,6 +90,7 @@ impl Circuit {
         if let Some(&id) = self.node_index.get(canonical) {
             return id;
         }
+        self.invalidate_plan();
         let id = NodeId(self.node_names.len());
         self.node_names.push(canonical.to_string());
         self.node_index.insert(canonical.to_string(), id);
@@ -101,7 +135,12 @@ impl Circuit {
     /// Mutable lookup of a device by name.
     pub fn device_mut(&mut self, name: &str) -> Option<&mut Device> {
         match self.device_index.get(name) {
-            Some(&i) => Some(&mut self.devices[i]),
+            Some(&i) => {
+                // The returned reference is the only mutation path, so
+                // only a successful lookup needs to drop the plan.
+                self.invalidate_plan();
+                Some(&mut self.devices[i])
+            }
             None => None,
         }
     }
@@ -118,6 +157,7 @@ impl Circuit {
         if self.device_index.contains_key(device.name()) {
             return Err(SpiceError::DuplicateDevice { name: device.name().to_string() });
         }
+        self.invalidate_plan();
         for n in device.nodes() {
             if n.0 >= self.node_names.len() {
                 return Err(SpiceError::UnknownNode {
@@ -137,6 +177,7 @@ impl Circuit {
     ///
     /// [`SpiceError::UnknownDevice`] if no such device exists.
     pub fn remove(&mut self, name: &str) -> Result<Device, SpiceError> {
+        self.invalidate_plan();
         let idx = self
             .device_index
             .remove(name)

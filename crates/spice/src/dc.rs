@@ -7,13 +7,44 @@
 //! Real CMOS operating points — including grossly faulted ones — almost
 //! always yield to one of the three.
 
-use castg_numeric::{LuFactors, Matrix};
+use castg_numeric::{LuWorkspace, Matrix};
 
 use crate::analysis::AnalysisOptions;
 use crate::circuit::Circuit;
 use crate::node::NodeId;
-use crate::stamp;
+use crate::stamp::StampPlan;
 use crate::SpiceError;
+
+/// Reusable per-solve state: the compiled stamp plan plus the matrix,
+/// right-hand side, LU workspace and Newton update buffer. Created once
+/// per analysis so the Newton iteration itself performs zero heap
+/// allocations.
+#[derive(Debug, Clone)]
+pub(crate) struct NewtonScratch {
+    pub(crate) plan: std::sync::Arc<StampPlan>,
+    pub(crate) mat: Matrix,
+    pub(crate) rhs: Vec<f64>,
+    pub(crate) lu: LuWorkspace,
+    pub(crate) x_new: Vec<f64>,
+    /// Stimulus values for the solve in progress (constant across the
+    /// Newton iterations of one solve; refreshed per solve/timestep).
+    pub(crate) src_vals: Vec<f64>,
+}
+
+impl NewtonScratch {
+    pub(crate) fn new(circuit: &Circuit) -> Self {
+        let plan = circuit.plan();
+        let n = plan.dim();
+        NewtonScratch {
+            plan,
+            mat: Matrix::zeros(n, n),
+            rhs: vec![0.0; n],
+            lu: LuWorkspace::new(n),
+            x_new: vec![0.0; n],
+            src_vals: Vec::new(),
+        }
+    }
+}
 
 /// A converged DC solution.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,72 +134,81 @@ impl<'c> DcAnalysis<'c> {
             return Ok(self.package(Vec::new()));
         }
 
+        // One compiled plan + one set of solver buffers for the whole
+        // solve, shared across all fallback strategies; one state
+        // vector mutated in place by the Newton iterations.
+        let mut scratch = NewtonScratch::new(self.circuit);
+        let mut x = initial.to_vec();
+
         // 1. Plain Newton from the provided start.
-        if let Ok(x) = self.newton(initial, self.options.gmin, 1.0) {
+        if self.newton(&mut x, &mut scratch, self.options.gmin, 1.0).is_ok() {
             return Ok(self.package(x));
         }
 
         // 2. gmin stepping: relax a strong shunt decade by decade.
-        let mut x = initial.to_vec();
+        x.copy_from_slice(initial);
         let mut ok = true;
         let mut gmin = 1e-2;
         while gmin > self.options.gmin {
-            match self.newton(&x, gmin, 1.0) {
-                Ok(next) => x = next,
-                Err(_) => {
-                    ok = false;
-                    break;
-                }
+            if self.newton(&mut x, &mut scratch, gmin, 1.0).is_err() {
+                ok = false;
+                break;
             }
             gmin /= 10.0;
         }
-        if ok {
-            if let Ok(xf) = self.newton(&x, self.options.gmin, 1.0) {
-                return Ok(self.package(xf));
-            }
+        if ok && self.newton(&mut x, &mut scratch, self.options.gmin, 1.0).is_ok() {
+            return Ok(self.package(x));
         }
 
         // 3. Source stepping: ramp all sources from 0 to 100 %.
-        let mut x = vec![0.0; n];
+        x.fill(0.0);
         let steps = 25;
         for k in 1..=steps {
             let scale = k as f64 / steps as f64;
-            match self.newton(&x, self.options.gmin, scale) {
-                Ok(next) => x = next,
-                Err(e) => {
-                    return Err(match e {
-                        SpiceError::Numeric(n) => SpiceError::Numeric(n),
-                        _ => SpiceError::NoConvergence {
-                            analysis: format!(
-                                "dc operating point (source stepping stalled at {:.0} %)",
-                                scale * 100.0
-                            ),
-                            iterations: self.options.max_iter,
-                        },
-                    });
-                }
+            if let Err(e) = self.newton(&mut x, &mut scratch, self.options.gmin, scale) {
+                return Err(match e {
+                    SpiceError::Numeric(n) => SpiceError::Numeric(n),
+                    _ => SpiceError::NoConvergence {
+                        analysis: format!(
+                            "dc operating point (source stepping stalled at {:.0} %)",
+                            scale * 100.0
+                        ),
+                        iterations: self.options.max_iter,
+                    },
+                });
             }
         }
         Ok(self.package(x))
     }
 
-    /// Damped Newton iteration at fixed `gmin` and source scale.
-    fn newton(&self, x0: &[f64], gmin: f64, source_scale: f64) -> Result<Vec<f64>, SpiceError> {
-        let n = self.circuit.unknown_count();
+    /// Damped Newton iteration at fixed `gmin` and source scale,
+    /// advancing `x` in place. On error `x` holds the last iterate and
+    /// the caller decides whether to restart it. The loop allocates
+    /// nothing: assembly replays the compiled plan, the factorization
+    /// swaps buffers with the LU workspace and the solve substitutes
+    /// into a reused update vector.
+    fn newton(
+        &self,
+        x: &mut [f64],
+        scratch: &mut NewtonScratch,
+        gmin: f64,
+        source_scale: f64,
+    ) -> Result<(), SpiceError> {
+        let NewtonScratch { plan, mat, rhs, lu, x_new, src_vals } = scratch;
+        let n = plan.dim();
         let n_nodes = self.circuit.node_count() - 1;
-        let mut x = x0.to_vec();
-        let mut mat = Matrix::zeros(n, n);
-        let mut rhs = vec![0.0; n];
         let opts = &self.options;
+        plan.source_values(src_vals, |w| source_scale * w.dc_value());
+        let damped = plan.damped();
 
         for _iter in 0..opts.max_iter {
-            stamp::assemble_static(self.circuit, &x, &mut mat, &mut rhs, gmin, |w| {
-                source_scale * w.dc_value()
-            });
-            let lu = LuFactors::factor(mat.clone())?;
-            let x_new = lu.solve(&rhs)?;
+            plan.assemble_into(x, mat, rhs, gmin, src_vals);
+            lu.factor_in_place(mat)?;
+            lu.solve_into(rhs, x_new)?;
 
-            // Damping: clamp the per-node voltage update.
+            // Damping: clamp the per-iteration update of
+            // nonlinear-device terminals (linear nodes and branch
+            // currents take the exact Newton step).
             let mut converged = true;
             for i in 0..n {
                 let mut delta = x_new[i] - x[i];
@@ -179,7 +219,8 @@ impl<'c> DcAnalysis<'c> {
                     });
                 }
                 let (tol, clamp) = if i < n_nodes {
-                    (opts.vntol + opts.reltol * x_new[i].abs().max(x[i].abs()), opts.max_step_v)
+                    let clamp = if damped[i] { opts.max_step_v } else { f64::INFINITY };
+                    (opts.vntol + opts.reltol * x_new[i].abs().max(x[i].abs()), clamp)
                 } else {
                     (opts.abstol + opts.reltol * x_new[i].abs().max(x[i].abs()), f64::INFINITY)
                 };
@@ -192,7 +233,7 @@ impl<'c> DcAnalysis<'c> {
                 x[i] += delta;
             }
             if converged {
-                return Ok(x);
+                return Ok(());
             }
         }
         Err(SpiceError::NoConvergence {
@@ -204,9 +245,7 @@ impl<'c> DcAnalysis<'c> {
     fn package(&self, state: Vec<f64>) -> DcSolution {
         let n_nodes = self.circuit.node_count() - 1;
         let mut voltages = vec![0.0; self.circuit.node_count()];
-        for i in 0..n_nodes {
-            voltages[i + 1] = state[i];
-        }
+        voltages[1..=n_nodes].copy_from_slice(&state[..n_nodes]);
         let mut branch_currents = Vec::new();
         let mut br = n_nodes;
         for dev in self.circuit.devices() {

@@ -21,6 +21,31 @@
 //! MOS) but numerically honest: every nonlinear solve either converges to
 //! the requested tolerances or reports [`SpiceError::NoConvergence`].
 //!
+//! # Hot-path architecture: stamp plans + LU workspaces
+//!
+//! Test generation hammers this crate with millions of Newton solves, so
+//! the per-iteration path is engineered to perform **zero heap
+//! allocations after setup**:
+//!
+//! * **Stamp plans.** Each analysis compiles its [`Circuit`] once into a
+//!   `StampPlan` — node ids resolved to matrix slots, branch rows
+//!   assigned, constant stamp values precomputed. Every Newton iteration
+//!   then *replays* the flat op list into a reused matrix/RHS pair: no
+//!   device dispatch, no node-index arithmetic, no allocation. One plan
+//!   is shared across Newton iterations, gmin/source-stepping ladders,
+//!   and all timesteps of a transient run.
+//! * **LU workspaces.** The factor/solve cycle runs through
+//!   `castg_numeric::LuWorkspace`: the assembled matrix is *swapped*
+//!   into the workspace (O(1)), eliminated in place, and the solution
+//!   substituted into a reused buffer. The caller gets the previous
+//!   buffer back as scratch for the next assembly, so the matrix storage
+//!   ping-pongs between assembly and factorization for the whole
+//!   analysis.
+//!
+//! Both layers are bit-identical to their naive counterparts (direct
+//! device walk, allocating `LuFactors`), which the test suites assert
+//! exactly.
+//!
 //! # Example: resistor divider
 //!
 //! ```

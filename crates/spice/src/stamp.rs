@@ -5,12 +5,23 @@
 //! voltage-defined device (voltage sources and VCVS), in device insertion
 //! order. KCL rows are written as "sum of currents *leaving* the node
 //! equals zero" with constant terms moved to the right-hand side.
+//!
+//! Assembly is two-phase: [`StampPlan::build`] walks the device list
+//! *once* per circuit, resolving every node to its matrix slot and
+//! precomputing all constant stamp values; [`StampPlan::assemble_into`]
+//! then replays the flat op list per Newton iteration with no device
+//! dispatch, no node-index arithmetic and no allocation. The plan is
+//! shared across Newton iterations, gmin/source stepping ladders,
+//! transient timesteps, and AC operating-point linearization. The
+//! replay applies ops in device order, so the floating-point
+//! accumulation order (and therefore the result, bit for bit) matches a
+//! direct device-by-device assembly.
 
 use castg_numeric::Matrix;
 
 use crate::circuit::Circuit;
 use crate::device::DeviceKind;
-use crate::mos;
+use crate::mos::{self, MosParams, MosPolarity};
 use crate::node::NodeId;
 use crate::stimulus::Waveform;
 
@@ -28,6 +39,15 @@ pub(crate) fn idx(n: NodeId) -> Option<usize> {
 #[inline]
 pub(crate) fn voltage_of(x: &[f64], n: NodeId) -> f64 {
     match idx(n) {
+        Some(i) => x[i],
+        None => 0.0,
+    }
+}
+
+/// Voltage of a resolved matrix slot under the candidate solution `x`.
+#[inline]
+fn slot_voltage(x: &[f64], slot: Option<usize>) -> f64 {
+    match slot {
         Some(i) => x[i],
         None => 0.0,
     }
@@ -60,17 +80,266 @@ pub(crate) fn stamp_current(rhs: &mut [f64], from: NodeId, to: NodeId, i: f64) {
     }
 }
 
+/// One replayable assembly operation with fully resolved slots.
+#[derive(Debug, Clone)]
+enum PlanOp {
+    /// Add a precomputed constant to one matrix slot (resistors and the
+    /// ±1/±gain patterns of voltage-defined devices).
+    Mat { row: usize, col: usize, value: f64 },
+    /// Independent current source: waveform value into the KCL rows.
+    Current { from: Option<usize>, to: Option<usize>, wave: usize },
+    /// Voltage-defined device: waveform value onto the branch row.
+    SourceRow { row: usize, wave: usize },
+    /// Level-1 MOSFET, linearized around the candidate solution at
+    /// replay time.
+    Mos {
+        d: Option<usize>,
+        g: Option<usize>,
+        s: Option<usize>,
+        b: Option<usize>,
+        polarity: MosPolarity,
+        params: MosParams,
+    },
+}
+
+/// A precompiled assembly schedule for one [`Circuit`].
+///
+/// Building the plan resolves node ids to matrix slots, assigns branch
+/// rows and splits every device into constant matrix contributions,
+/// waveform-driven right-hand-side contributions and nonlinear (MOSFET)
+/// linearization sites. Replaying it is a single flat pass — the hot
+/// loop of every analysis.
+#[derive(Debug, Clone)]
+pub(crate) struct StampPlan {
+    n: usize,
+    n_nodes: usize,
+    ops: Vec<PlanOp>,
+    waves: Vec<Waveform>,
+    /// `damped[i]` is true when unknown `i` is a terminal of a nonlinear
+    /// device: only those update components need Newton damping. Linear
+    /// nodes (and branch currents) take the full, exact Newton step —
+    /// clamping them would just make a supply node crawl to its source
+    /// voltage half a volt per iteration.
+    damped: Vec<bool>,
+}
+
+impl StampPlan {
+    /// Compiles the assembly schedule for `circuit`.
+    pub(crate) fn build(circuit: &Circuit) -> Self {
+        let n_nodes = circuit.node_count() - 1;
+        let n = circuit.unknown_count();
+        let mut ops = Vec::new();
+        let mut waves = Vec::new();
+        let mat = |ops: &mut Vec<PlanOp>, row: usize, col: usize, value: f64| {
+            ops.push(PlanOp::Mat { row, col, value });
+        };
+        // Emit conductance stamps in exactly the add order of
+        // `stamp_conductance` so replay accumulates identically.
+        let conductance = |ops: &mut Vec<PlanOp>, a: NodeId, b: NodeId, g: f64| {
+            if let Some(i) = idx(a) {
+                ops.push(PlanOp::Mat { row: i, col: i, value: g });
+                if let Some(j) = idx(b) {
+                    ops.push(PlanOp::Mat { row: i, col: j, value: -g });
+                }
+            }
+            if let Some(j) = idx(b) {
+                ops.push(PlanOp::Mat { row: j, col: j, value: g });
+                if let Some(i) = idx(a) {
+                    ops.push(PlanOp::Mat { row: j, col: i, value: -g });
+                }
+            }
+        };
+
+        let mut branch = n_nodes; // next branch-current row/column
+        for dev in circuit.devices() {
+            match dev.kind() {
+                DeviceKind::Resistor { a, b, ohms } => {
+                    conductance(&mut ops, *a, *b, 1.0 / ohms);
+                }
+                DeviceKind::Capacitor { .. } => {
+                    // Open in DC; transient stamps companions separately.
+                }
+                DeviceKind::Isource { from, to, wave } => {
+                    waves.push(wave.clone());
+                    ops.push(PlanOp::Current {
+                        from: idx(*from),
+                        to: idx(*to),
+                        wave: waves.len() - 1,
+                    });
+                }
+                DeviceKind::Vsource { pos, neg, wave } => {
+                    let br = branch;
+                    branch += 1;
+                    if let Some(p) = idx(*pos) {
+                        mat(&mut ops, p, br, 1.0);
+                        mat(&mut ops, br, p, 1.0);
+                    }
+                    if let Some(ng) = idx(*neg) {
+                        mat(&mut ops, ng, br, -1.0);
+                        mat(&mut ops, br, ng, -1.0);
+                    }
+                    waves.push(wave.clone());
+                    ops.push(PlanOp::SourceRow { row: br, wave: waves.len() - 1 });
+                }
+                DeviceKind::Vcvs { pos, neg, cp, cn, gain } => {
+                    let br = branch;
+                    branch += 1;
+                    if let Some(p) = idx(*pos) {
+                        mat(&mut ops, p, br, 1.0);
+                        mat(&mut ops, br, p, 1.0);
+                    }
+                    if let Some(ng) = idx(*neg) {
+                        mat(&mut ops, ng, br, -1.0);
+                        mat(&mut ops, br, ng, -1.0);
+                    }
+                    if let Some(c) = idx(*cp) {
+                        mat(&mut ops, br, c, -gain);
+                    }
+                    if let Some(c) = idx(*cn) {
+                        mat(&mut ops, br, c, *gain);
+                    }
+                }
+                DeviceKind::Mosfet { d, g, s, b, polarity, params } => {
+                    ops.push(PlanOp::Mos {
+                        d: idx(*d),
+                        g: idx(*g),
+                        s: idx(*s),
+                        b: idx(*b),
+                        polarity: *polarity,
+                        params: *params,
+                    });
+                }
+            }
+        }
+        let mut damped = vec![false; n];
+        for op in &ops {
+            if let PlanOp::Mos { d, g, s, b, .. } = op {
+                for slot in [d, g, s, b].into_iter().flatten() {
+                    damped[*slot] = true;
+                }
+            }
+        }
+        StampPlan { n, n_nodes, ops, waves, damped }
+    }
+
+    /// Which unknowns are nonlinear-device terminals and therefore
+    /// subject to per-iteration update damping.
+    pub(crate) fn damped(&self) -> &[bool] {
+        &self.damped
+    }
+
+    /// Number of MNA unknowns the plan assembles.
+    pub(crate) fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Evaluates every stimulus waveform through `f` into `vals` (a
+    /// reused buffer). Source values are constant across the Newton
+    /// iterations of one solve, so callers evaluate once per
+    /// solve/timestep and replay the cached values every iteration.
+    pub(crate) fn source_values<F: Fn(&Waveform) -> f64>(&self, vals: &mut Vec<f64>, f: F) {
+        vals.clear();
+        vals.extend(self.waves.iter().map(f));
+    }
+
+    /// Replays the schedule: assembles the static (non-capacitive) MNA
+    /// system into `mat`/`rhs`, linearizing MOSFETs around the candidate
+    /// solution `x`.
+    ///
+    /// * `source_vals` holds the present value of every stimulus
+    ///   waveform, as produced by
+    ///   [`source_values`](StampPlan::source_values) — DC analysis uses
+    ///   `|w| scale * w.dc_value()`, transient `|w| w.eval(t)`.
+    /// * `gmin` is stamped from every non-ground node to ground.
+    ///
+    /// Capacitors are *not* stamped here: DC treats them as open, and
+    /// the transient engine stamps their companion models itself (it
+    /// also owns the MOS intrinsic capacitances).
+    pub(crate) fn assemble_into(
+        &self,
+        x: &[f64],
+        mat: &mut Matrix,
+        rhs: &mut [f64],
+        gmin: f64,
+        source_vals: &[f64],
+    ) {
+        mat.clear();
+        rhs.fill(0.0);
+        for i in 0..self.n_nodes {
+            mat.add(i, i, gmin);
+        }
+        for op in &self.ops {
+            match op {
+                PlanOp::Mat { row, col, value } => mat.add(*row, *col, *value),
+                PlanOp::Current { from, to, wave } => {
+                    let i = source_vals[*wave];
+                    if let Some(a) = from {
+                        rhs[*a] -= i;
+                    }
+                    if let Some(b) = to {
+                        rhs[*b] += i;
+                    }
+                }
+                PlanOp::SourceRow { row, wave } => {
+                    rhs[*row] = source_vals[*wave];
+                }
+                PlanOp::Mos { d, g, s, b, polarity, params } => {
+                    let vd = slot_voltage(x, *d);
+                    let vg = slot_voltage(x, *g);
+                    let vs = slot_voltage(x, *s);
+                    let vb = slot_voltage(x, *b);
+                    let op = mos::evaluate(params, *polarity, vd, vg, vs, vb);
+                    // Linearization: id ≈ gm·vg + gds·vd + gmb·vb
+                    //                    − (gm+gds+gmb)·vs + i_rhs
+                    let gsum = op.gm + op.gds + op.gmb;
+                    let i_rhs =
+                        op.ids - op.gm * (vg - vs) - op.gds * (vd - vs) - op.gmb * (vb - vs);
+                    if let Some(di) = *d {
+                        if let Some(gi) = *g {
+                            mat.add(di, gi, op.gm);
+                        }
+                        mat.add(di, di, op.gds);
+                        if let Some(bi) = *b {
+                            mat.add(di, bi, op.gmb);
+                        }
+                        if let Some(si) = *s {
+                            mat.add(di, si, -gsum);
+                        }
+                    }
+                    if let Some(si) = *s {
+                        if let Some(gi) = *g {
+                            mat.add(si, gi, -op.gm);
+                        }
+                        if let Some(di) = *d {
+                            mat.add(si, di, -op.gds);
+                        }
+                        if let Some(bi) = *b {
+                            mat.add(si, bi, -op.gmb);
+                        }
+                        mat.add(si, si, gsum);
+                    }
+                    // Drain-to-source RHS current (stamp_current inlined
+                    // on resolved slots).
+                    if let Some(di) = *d {
+                        rhs[di] -= i_rhs;
+                    }
+                    if let Some(si) = *s {
+                        rhs[si] += i_rhs;
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Assembles the static (non-capacitive) part of the MNA system,
 /// linearizing nonlinear devices around the candidate solution `x`.
 ///
-/// * `source_value` maps a stimulus waveform to its present value — DC
-///   analysis passes `|w| scale * w.dc_value()`, transient passes
-///   `|w| w.eval(t)`.
-/// * `gmin` is stamped from every non-ground node to ground.
-///
-/// Capacitors are *not* stamped here: DC treats them as open, and the
-/// transient engine stamps their companion models itself (it also owns
-/// the MOS intrinsic capacitances).
+/// One-shot convenience over [`StampPlan`]: builds the plan and replays
+/// it once. Repeated assemblies of the same circuit (every Newton loop)
+/// should build the plan once and call
+/// [`StampPlan::assemble_into`] directly.
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn assemble_static<F: Fn(&Waveform) -> f64>(
     circuit: &Circuit,
     x: &[f64],
@@ -79,101 +348,16 @@ pub(crate) fn assemble_static<F: Fn(&Waveform) -> f64>(
     gmin: f64,
     source_value: F,
 ) {
-    let n_nodes = circuit.node_count() - 1;
-    mat.clear();
-    rhs.fill(0.0);
-
-    for i in 0..n_nodes {
-        mat.add(i, i, gmin);
-    }
-
-    let mut branch = n_nodes; // next branch-current row/column
-    for dev in circuit.devices() {
-        match dev.kind() {
-            DeviceKind::Resistor { a, b, ohms } => {
-                stamp_conductance(mat, *a, *b, 1.0 / ohms);
-            }
-            DeviceKind::Capacitor { .. } => {
-                // Open in DC; transient stamps companions separately.
-            }
-            DeviceKind::Isource { from, to, wave } => {
-                stamp_current(rhs, *from, *to, source_value(wave));
-            }
-            DeviceKind::Vsource { pos, neg, wave } => {
-                let br = branch;
-                branch += 1;
-                if let Some(p) = idx(*pos) {
-                    mat.add(p, br, 1.0);
-                    mat.add(br, p, 1.0);
-                }
-                if let Some(n) = idx(*neg) {
-                    mat.add(n, br, -1.0);
-                    mat.add(br, n, -1.0);
-                }
-                rhs[br] = source_value(wave);
-            }
-            DeviceKind::Vcvs { pos, neg, cp, cn, gain } => {
-                let br = branch;
-                branch += 1;
-                if let Some(p) = idx(*pos) {
-                    mat.add(p, br, 1.0);
-                    mat.add(br, p, 1.0);
-                }
-                if let Some(n) = idx(*neg) {
-                    mat.add(n, br, -1.0);
-                    mat.add(br, n, -1.0);
-                }
-                if let Some(c) = idx(*cp) {
-                    mat.add(br, c, -gain);
-                }
-                if let Some(c) = idx(*cn) {
-                    mat.add(br, c, *gain);
-                }
-            }
-            DeviceKind::Mosfet { d, g, s, b, polarity, params } => {
-                let vd = voltage_of(x, *d);
-                let vg = voltage_of(x, *g);
-                let vs = voltage_of(x, *s);
-                let vb = voltage_of(x, *b);
-                let op = mos::evaluate(params, *polarity, vd, vg, vs, vb);
-                // Linearization: id ≈ gm·vg + gds·vd + gmb·vb
-                //                    − (gm+gds+gmb)·vs + i_rhs
-                let gsum = op.gm + op.gds + op.gmb;
-                let i_rhs =
-                    op.ids - op.gm * (vg - vs) - op.gds * (vd - vs) - op.gmb * (vb - vs);
-                if let Some(di) = idx(*d) {
-                    if let Some(gi) = idx(*g) {
-                        mat.add(di, gi, op.gm);
-                    }
-                    mat.add(di, di, op.gds);
-                    if let Some(bi) = idx(*b) {
-                        mat.add(di, bi, op.gmb);
-                    }
-                    if let Some(si) = idx(*s) {
-                        mat.add(di, si, -gsum);
-                    }
-                }
-                if let Some(si) = idx(*s) {
-                    if let Some(gi) = idx(*g) {
-                        mat.add(si, gi, -op.gm);
-                    }
-                    if let Some(di) = idx(*d) {
-                        mat.add(si, di, -op.gds);
-                    }
-                    if let Some(bi) = idx(*b) {
-                        mat.add(si, bi, -op.gmb);
-                    }
-                    mat.add(si, si, gsum);
-                }
-                stamp_current(rhs, *d, *s, i_rhs);
-            }
-        }
-    }
+    let plan = StampPlan::build(circuit);
+    let mut vals = Vec::new();
+    plan.source_values(&mut vals, source_value);
+    plan.assemble_into(x, mat, rhs, gmin, &vals);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mos::{MosParams, MosPolarity};
     use crate::Circuit;
 
     #[test]
@@ -229,5 +413,147 @@ mod tests {
         // Branch row: v(a) = 10.
         assert_eq!(mat[(2, 0)], 1.0);
         assert_eq!(rhs[2], 10.0);
+    }
+
+    /// The compiled plan must replay to the bit-identical system a
+    /// direct device walk produces, for a circuit exercising every
+    /// device kind (including a MOSFET linearized off a nonzero
+    /// candidate solution).
+    #[test]
+    fn plan_replay_matches_direct_assembly_bitwise() {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let g = c.node("g");
+        let d = c.node("d");
+        let o = c.node("o");
+        c.add_vsource("VDD", vdd, Circuit::GROUND, Waveform::dc(5.0)).unwrap();
+        c.add_resistor("RD", vdd, d, 50e3).unwrap();
+        c.add_isource("IB", Circuit::GROUND, g, Waveform::dc(1e-5)).unwrap();
+        c.add_resistor("RG", g, Circuit::GROUND, 200e3).unwrap();
+        c.add_capacitor("CL", d, Circuit::GROUND, 1e-12).unwrap();
+        c.add_mosfet(
+            "M1",
+            d,
+            g,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            MosPolarity::Nmos,
+            MosParams::nmos_default(10e-6, 1e-6),
+        )
+        .unwrap();
+        c.add_vcvs("E1", o, Circuit::GROUND, d, Circuit::GROUND, -3.0).unwrap();
+
+        let n = c.unknown_count();
+        let x: Vec<f64> = (0..n).map(|i| 0.3 * i as f64 - 0.4).collect();
+        let gmin = 1e-12;
+
+        // Direct device-by-device walk (the pre-plan reference).
+        let mut mat_ref = Matrix::zeros(n, n);
+        let mut rhs_ref = vec![0.0; n];
+        mat_ref.clear();
+        rhs_ref.fill(0.0);
+        for i in 0..c.node_count() - 1 {
+            mat_ref.add(i, i, gmin);
+        }
+        let mut branch = c.node_count() - 1;
+        for dev in c.devices() {
+            match dev.kind() {
+                DeviceKind::Resistor { a, b, ohms } => {
+                    stamp_conductance(&mut mat_ref, *a, *b, 1.0 / ohms);
+                }
+                DeviceKind::Capacitor { .. } => {}
+                DeviceKind::Isource { from, to, wave } => {
+                    stamp_current(&mut rhs_ref, *from, *to, wave.dc_value());
+                }
+                DeviceKind::Vsource { pos, neg, wave } => {
+                    let br = branch;
+                    branch += 1;
+                    if let Some(p) = idx(*pos) {
+                        mat_ref.add(p, br, 1.0);
+                        mat_ref.add(br, p, 1.0);
+                    }
+                    if let Some(ng) = idx(*neg) {
+                        mat_ref.add(ng, br, -1.0);
+                        mat_ref.add(br, ng, -1.0);
+                    }
+                    rhs_ref[br] = wave.dc_value();
+                }
+                DeviceKind::Vcvs { pos, neg, cp, cn, gain } => {
+                    let br = branch;
+                    branch += 1;
+                    if let Some(p) = idx(*pos) {
+                        mat_ref.add(p, br, 1.0);
+                        mat_ref.add(br, p, 1.0);
+                    }
+                    if let Some(ng) = idx(*neg) {
+                        mat_ref.add(ng, br, -1.0);
+                        mat_ref.add(br, ng, -1.0);
+                    }
+                    if let Some(cc) = idx(*cp) {
+                        mat_ref.add(br, cc, -gain);
+                    }
+                    if let Some(cc) = idx(*cn) {
+                        mat_ref.add(br, cc, *gain);
+                    }
+                }
+                DeviceKind::Mosfet { d, g, s, b, polarity, params } => {
+                    let vd = voltage_of(&x, *d);
+                    let vg = voltage_of(&x, *g);
+                    let vs = voltage_of(&x, *s);
+                    let vb = voltage_of(&x, *b);
+                    let op = mos::evaluate(params, *polarity, vd, vg, vs, vb);
+                    let gsum = op.gm + op.gds + op.gmb;
+                    let i_rhs =
+                        op.ids - op.gm * (vg - vs) - op.gds * (vd - vs) - op.gmb * (vb - vs);
+                    if let Some(di) = idx(*d) {
+                        if let Some(gi) = idx(*g) {
+                            mat_ref.add(di, gi, op.gm);
+                        }
+                        mat_ref.add(di, di, op.gds);
+                        if let Some(bi) = idx(*b) {
+                            mat_ref.add(di, bi, op.gmb);
+                        }
+                        if let Some(si) = idx(*s) {
+                            mat_ref.add(di, si, -gsum);
+                        }
+                    }
+                    if let Some(si) = idx(*s) {
+                        if let Some(gi) = idx(*g) {
+                            mat_ref.add(si, gi, -op.gm);
+                        }
+                        if let Some(di) = idx(*d) {
+                            mat_ref.add(si, di, -op.gds);
+                        }
+                        if let Some(bi) = idx(*b) {
+                            mat_ref.add(si, bi, -op.gmb);
+                        }
+                        mat_ref.add(si, si, gsum);
+                    }
+                    stamp_current(&mut rhs_ref, *d, *s, i_rhs);
+                }
+            }
+        }
+
+        let plan = StampPlan::build(&c);
+        assert_eq!(plan.dim(), n);
+        let mut mat = Matrix::zeros(n, n);
+        let mut rhs = vec![0.0; n];
+        let mut vals = Vec::new();
+        plan.source_values(&mut vals, |w| w.dc_value());
+        // Replay twice into dirty buffers: the plan must clear them.
+        for _ in 0..2 {
+            plan.assemble_into(&x, &mut mat, &mut rhs, gmin, &vals);
+        }
+
+        for r in 0..n {
+            for cidx in 0..n {
+                assert_eq!(
+                    mat[(r, cidx)].to_bits(),
+                    mat_ref[(r, cidx)].to_bits(),
+                    "matrix mismatch at ({r},{cidx})"
+                );
+            }
+            assert_eq!(rhs[r].to_bits(), rhs_ref[r].to_bits(), "rhs mismatch at {r}");
+        }
     }
 }

@@ -14,11 +14,9 @@
 //! (up to 512x), which copes with steep stimulus ramps and with
 //! operating-branch snaps such as an op-amp entering clipping.
 
-use castg_numeric::{LuFactors, Matrix};
-
 use crate::analysis::AnalysisOptions;
 use crate::circuit::Circuit;
-use crate::dc::DcAnalysis;
+use crate::dc::{DcAnalysis, NewtonScratch};
 use crate::device::DeviceKind;
 use crate::node::NodeId;
 use crate::probe::{Probe, Trace};
@@ -59,6 +57,35 @@ struct DynElement {
     v_prev: f64,
     /// Current through the element at the previous accepted timepoint.
     i_prev: f64,
+}
+
+/// Per-run solver state: the shared Newton scratch (compiled stamp
+/// plan, matrix, rhs, LU workspace, update vector) plus the
+/// transient-specific staging buffers. Allocated once in
+/// [`TranAnalysis::run`]; every timestep and every Newton iteration
+/// inside it then reuses these buffers.
+#[derive(Debug)]
+struct TranScratch {
+    newton: NewtonScratch,
+    /// Newton working state (candidate solution being iterated).
+    x_iter: Vec<f64>,
+    /// gmin-ladder stage state.
+    x_stage: Vec<f64>,
+    /// Per-element companion `(geq, i_hist)` for the current step.
+    companions: Vec<(f64, f64)>,
+}
+
+impl TranScratch {
+    fn new(circuit: &Circuit, n_dyns: usize) -> Self {
+        let newton = NewtonScratch::new(circuit);
+        let n = newton.plan.dim();
+        TranScratch {
+            newton,
+            x_iter: vec![0.0; n],
+            x_stage: vec![0.0; n],
+            companions: Vec::with_capacity(n_dyns),
+        }
+    }
 }
 
 /// Fixed-step transient simulator for a [`Circuit`].
@@ -115,7 +142,7 @@ impl<'c> TranAnalysis<'c> {
     /// [`SpiceError::InvalidAnalysis`] for non-positive `t_stop`/`dt`,
     /// plus any DC or per-step convergence failure.
     pub fn run(&self, t_stop: f64, dt: f64, probes: &[Probe]) -> Result<Trace, SpiceError> {
-        if !(t_stop > 0.0 && t_stop.is_finite()) || !(dt > 0.0 && dt.is_finite()) {
+        if !(t_stop > 0.0 && t_stop.is_finite() && dt > 0.0 && dt.is_finite()) {
             return Err(SpiceError::InvalidAnalysis {
                 reason: format!("need positive t_stop and dt, got t_stop={t_stop}, dt={dt}"),
             });
@@ -138,59 +165,55 @@ impl<'c> TranAnalysis<'c> {
         trace.push_row(0.0, &row);
 
         let n_steps = (t_stop / dt - 1e-9).ceil().max(1.0) as usize;
-        let n = self.circuit.unknown_count();
-        let mut mat = Matrix::zeros(n, n);
-        let mut rhs = vec![0.0; n];
+        let mut scratch = TranScratch::new(self.circuit, dyns.len());
 
         for k in 1..=n_steps {
             let t1 = (k as f64) * dt;
             let t0 = t1 - dt;
             let method = if k == 1 { IntegrationMethod::BackwardEuler } else { self.method };
-            x = self.advance(&x, &mut dyns, t0, t1, method, RETRY_DEPTH, &mut mat, &mut rhs)?;
+            self.advance(&mut x, &mut dyns, t0, t1, method, RETRY_DEPTH, &mut scratch)?;
             self.record(probes, &x, &mut row)?;
             trace.push_row(t1, &row);
         }
         Ok(trace)
     }
 
-    /// Advances from `t0` to `t1` in one step, recursively cutting the
-    /// interval into eight backward-Euler sub-steps on convergence
+    /// Advances `x` from `t0` to `t1` in one step, recursively cutting
+    /// the interval into eight backward-Euler sub-steps on convergence
     /// failure (each cut multiplies the capacitive companion
     /// conductances by eight, anchoring the iteration; two levels give
-    /// an effective 64× step reduction).
+    /// an effective 64× step reduction). `x` is updated in place on
+    /// success and left at the last accepted state on failure.
     #[allow(clippy::too_many_arguments)]
     fn advance(
         &self,
-        x: &[f64],
-        dyns: &mut Vec<DynElement>,
+        x: &mut [f64],
+        dyns: &mut [DynElement],
         t0: f64,
         t1: f64,
         method: IntegrationMethod,
         depth: usize,
-        mat: &mut Matrix,
-        rhs: &mut [f64],
-    ) -> Result<Vec<f64>, SpiceError> {
-        match self.step(x, dyns, t1, t1 - t0, method, mat, rhs) {
-            Ok(next) => Ok(next),
+        scratch: &mut TranScratch,
+    ) -> Result<(), SpiceError> {
+        match self.step(x, dyns, t1, t1 - t0, method, scratch) {
+            Ok(()) => Ok(()),
             Err(SpiceError::NoConvergence { .. }) if depth > 0 => {
                 let sub = 8;
                 let h = (t1 - t0) / sub as f64;
-                let mut xc = x.to_vec();
                 for j in 1..=sub {
                     let ta = t0 + h * (j - 1) as f64;
                     let tb = if j == sub { t1 } else { t0 + h * j as f64 };
-                    xc = self.advance(
-                        &xc,
+                    self.advance(
+                        x,
                         dyns,
                         ta,
                         tb,
                         IntegrationMethod::BackwardEuler,
                         depth - 1,
-                        mat,
-                        rhs,
+                        scratch,
                     )?;
                 }
-                Ok(xc)
+                Ok(())
             }
             Err(e) => Err(e),
         }
@@ -230,45 +253,43 @@ impl<'c> TranAnalysis<'c> {
         dyns
     }
 
-    /// One Newton solve at time `t1` with step `h`; on success updates the
-    /// dynamic-element states and returns the new MNA vector.
+    /// One Newton solve at time `t1` with step `h`; on success updates
+    /// the dynamic-element states and `x` in place. On failure `x` is
+    /// left untouched.
     ///
     /// If the warm-started Newton fails (e.g. the circuit snaps between
     /// operating branches, as an op-amp entering clipping does), the step
     /// is retried with a gmin-stepping ladder on the companion-augmented
     /// system before giving up.
-    #[allow(clippy::too_many_arguments)]
     fn step(
         &self,
-        x_prev: &[f64],
+        x: &mut [f64],
         dyns: &mut [DynElement],
         t1: f64,
         h: f64,
         method: IntegrationMethod,
-        mat: &mut Matrix,
-        rhs: &mut [f64],
-    ) -> Result<Vec<f64>, SpiceError> {
+        scratch: &mut TranScratch,
+    ) -> Result<(), SpiceError> {
         let opts = &self.options;
+        let TranScratch { newton, x_iter, x_stage, companions } = scratch;
 
-        // Companion parameters per element.
-        let companions: Vec<(f64, f64)> = dyns
-            .iter()
-            .map(|el| match method {
-                IntegrationMethod::BackwardEuler => {
-                    let geq = el.farads / h;
-                    (geq, geq * el.v_prev)
-                }
-                IntegrationMethod::Trapezoidal => {
-                    let geq = 2.0 * el.farads / h;
-                    (geq, geq * el.v_prev + el.i_prev)
-                }
-            })
-            .collect();
+        // Companion parameters per element (buffer reused across steps).
+        companions.clear();
+        companions.extend(dyns.iter().map(|el| match method {
+            IntegrationMethod::BackwardEuler => {
+                let geq = el.farads / h;
+                (geq, geq * el.v_prev)
+            }
+            IntegrationMethod::Trapezoidal => {
+                let geq = 2.0 * el.farads / h;
+                (geq, geq * el.v_prev + el.i_prev)
+            }
+        }));
 
         let normal = (opts.max_step_v, opts.max_iter);
-        let x = match self.newton_step(x_prev, &companions, dyns, t1, opts.gmin, normal, mat, rhs)
-        {
-            Ok(x) => x,
+        x_iter.copy_from_slice(x);
+        match self.newton_step(x_iter, companions, dyns, t1, opts.gmin, normal, newton) {
+            Ok(()) => {}
             Err(SpiceError::NoConvergence { .. }) => {
                 // gmin ladder: solve a heavily shunted version first and
                 // relax decade by decade, warm-starting each stage. The
@@ -283,13 +304,14 @@ impl<'c> TranAnalysis<'c> {
                     iterations: opts.max_iter,
                 });
                 'attempt: for (g_start, damp, iters) in attempts {
-                    let mut x = x_prev.to_vec();
+                    x_stage.copy_from_slice(x);
                     let mut gmin = g_start;
                     while gmin > opts.gmin {
+                        x_iter.copy_from_slice(x_stage);
                         match self
-                            .newton_step(&x, &companions, dyns, t1, gmin, (damp, iters), mat, rhs)
+                            .newton_step(x_iter, companions, dyns, t1, gmin, (damp, iters), newton)
                         {
-                            Ok(next) => x = next,
+                            Ok(()) => x_stage.copy_from_slice(x_iter),
                             Err(e) => {
                                 result = Err(ladder_error(e, t1));
                                 continue 'attempt;
@@ -297,11 +319,18 @@ impl<'c> TranAnalysis<'c> {
                         }
                         gmin /= 10.0;
                     }
-                    match self
-                        .newton_step(&x, &companions, dyns, t1, opts.gmin, (damp, iters), mat, rhs)
-                    {
-                        Ok(x) => {
-                            result = Ok(x);
+                    x_iter.copy_from_slice(x_stage);
+                    match self.newton_step(
+                        x_iter,
+                        companions,
+                        dyns,
+                        t1,
+                        opts.gmin,
+                        (damp, iters),
+                        newton,
+                    ) {
+                        Ok(()) => {
+                            result = Ok(());
                             break 'attempt;
                         }
                         Err(e) => result = Err(ladder_error(e, t1)),
@@ -310,45 +339,50 @@ impl<'c> TranAnalysis<'c> {
                 result?
             }
             Err(other) => return Err(other),
-        };
+        }
 
-        // Accept: update element histories from the converged solution.
-        for (el, (geq, i_hist)) in dyns.iter_mut().zip(&companions) {
-            let v_new = stamp::voltage_of(&x, el.a) - stamp::voltage_of(&x, el.b);
+        // Accept: the converged solution is in x_iter.
+        x.copy_from_slice(x_iter);
+        // Update element histories from the converged solution.
+        for (el, (geq, i_hist)) in dyns.iter_mut().zip(companions.iter()) {
+            let v_new = stamp::voltage_of(x, el.a) - stamp::voltage_of(x, el.b);
             el.i_prev = geq * v_new - i_hist;
             el.v_prev = v_new;
         }
-        Ok(x)
+        Ok(())
     }
 
     /// The damped Newton iteration for one timepoint at fixed `gmin`,
-    /// with explicit `(max_step_v, max_iter)` damping control.
+    /// with explicit `(max_step_v, max_iter)` damping control. Iterates
+    /// `x` in place, allocating nothing: the compiled stamp plan is
+    /// replayed into the reused matrix, companions are added on top, and
+    /// the LU workspace factors and solves into reused buffers.
     #[allow(clippy::too_many_arguments)]
     fn newton_step(
         &self,
-        x_start: &[f64],
+        x: &mut [f64],
         companions: &[(f64, f64)],
         dyns: &[DynElement],
         t1: f64,
         gmin: f64,
         (max_step_v, max_iter): (f64, usize),
-        mat: &mut Matrix,
-        rhs: &mut [f64],
-    ) -> Result<Vec<f64>, SpiceError> {
-        let n = self.circuit.unknown_count();
+        scratch: &mut NewtonScratch,
+    ) -> Result<(), SpiceError> {
+        let NewtonScratch { plan, mat, rhs, lu, x_new, src_vals } = scratch;
+        let n = plan.dim();
         let n_nodes = self.circuit.node_count() - 1;
         let opts = &self.options;
-        let mut x = x_start.to_vec();
+        plan.source_values(src_vals, |w| w.eval(t1));
 
         for _ in 0..max_iter {
-            stamp::assemble_static(self.circuit, &x, mat, rhs, gmin, |w| w.eval(t1));
+            plan.assemble_into(x, mat, rhs, gmin, src_vals);
             for (el, (geq, i_hist)) in dyns.iter().zip(companions) {
                 stamp::stamp_conductance(mat, el.a, el.b, *geq);
                 // The history term acts as a current source from b to a.
                 stamp::stamp_current(rhs, el.b, el.a, *i_hist);
             }
-            let lu = LuFactors::factor(mat.clone())?;
-            let x_new = lu.solve(rhs)?;
+            lu.factor_in_place(mat)?;
+            lu.solve_into(rhs, x_new)?;
 
             let mut converged = true;
             for i in 0..n {
@@ -359,8 +393,10 @@ impl<'c> TranAnalysis<'c> {
                         iterations: max_iter,
                     });
                 }
+                // As in DC: only nonlinear-device terminals are damped.
                 let (tol, clamp) = if i < n_nodes {
-                    (opts.vntol + opts.reltol * x_new[i].abs().max(x[i].abs()), max_step_v)
+                    let clamp = if plan.damped()[i] { max_step_v } else { f64::INFINITY };
+                    (opts.vntol + opts.reltol * x_new[i].abs().max(x[i].abs()), clamp)
                 } else {
                     (opts.abstol + opts.reltol * x_new[i].abs().max(x[i].abs()), f64::INFINITY)
                 };
@@ -373,7 +409,7 @@ impl<'c> TranAnalysis<'c> {
                 x[i] += delta;
             }
             if converged {
-                return Ok(x);
+                return Ok(());
             }
         }
         Err(SpiceError::NoConvergence {

@@ -14,11 +14,20 @@
 //! * [`faults`] (`castg-faults`) — bridge and pinhole fault models with
 //!   tunable impact, and exhaustive fault lists.
 //! * [`spice`] (`castg-spice`) — the built-in MNA circuit simulator
-//!   (DC Newton–Raphson, fixed-step transient, Level-1 MOSFETs).
+//!   (DC Newton–Raphson, fixed-step transient, Level-1 MOSFETs). Its
+//!   Newton loops run allocation-free: circuits compile once into stamp
+//!   plans that are replayed per iteration (see the crate docs).
 //! * [`dsp`] (`castg-dsp`) — waveform post-processing (Goertzel, THD,
 //!   deviation metrics).
-//! * [`numeric`] (`castg-numeric`) — dense LU, Brent and bounded Powell
-//!   minimization, parameter spaces, sweep grids.
+//! * [`numeric`] (`castg-numeric`) — dense LU (including the reusable
+//!   in-place `LuWorkspace` behind the simulator hot path), Brent and
+//!   bounded Powell minimization, parameter spaces, sweep grids.
+//!
+//! The compute-bound pipeline halves — per-fault generation
+//! ([`core::Generator::generate`]) and test-set coverage
+//! ([`core::evaluate_test_set`]) — both fan their independent faults
+//! out over crossbeam worker queues and share one nominal-measurement
+//! cache across threads.
 //!
 //! # Quickstart
 //!

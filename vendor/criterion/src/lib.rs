@@ -1,0 +1,192 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace benches use — [`Criterion`],
+//! `bench_function`, `benchmark_group`/`sample_size`/`finish`, the
+//! [`criterion_group!`]/[`criterion_main!`] macros — with a simple but
+//! honest wall-clock measurement loop: per sample, the closure is
+//! batched to a minimum duration and the per-iteration time recorded;
+//! the harness reports min/median/mean over the samples. Good enough to
+//! track order-of-magnitude hot-path improvements without registry
+//! access; not a replacement for criterion's statistics.
+
+use std::time::{Duration, Instant};
+
+/// Drives timed iterations of one benchmark body.
+pub struct Bencher {
+    samples: usize,
+    /// Per-iteration nanoseconds, one entry per sample.
+    per_iter_ns: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher { samples, per_iter_ns: Vec::with_capacity(samples) }
+    }
+
+    /// Times `f`, batching iterations so each sample spans at least a
+    /// few milliseconds.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch sizing: run until ~5 ms or 64 iters.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < Duration::from_millis(5) && warm_iters < 64 {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let warm_ns = warm_start.elapsed().as_nanos().max(1) as f64 / warm_iters as f64;
+        // Aim for ~10 ms per sample, clamped to keep total runtime sane.
+        let batch = ((10e6 / warm_ns).ceil() as u64).clamp(1, 100_000);
+
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / batch as f64;
+            self.per_iter_ns.push(ns);
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn report(name: &str, mut per_iter_ns: Vec<f64>) {
+    if per_iter_ns.is_empty() {
+        println!("{name:<50} no samples");
+        return;
+    }
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let min = per_iter_ns[0];
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    println!(
+        "{name:<50} median {:>12}  (min {:>12}, mean {:>12})",
+        fmt_ns(median),
+        fmt_ns(min),
+        fmt_ns(mean)
+    );
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        report(&name, bencher.per_iter_ns);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        report(&full, bencher.per_iter_ns);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion { sample_size: 2 };
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn group_applies_sample_size() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3).bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    #[test]
+    fn formats_time_scales() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12e3).ends_with("µs"));
+        assert!(fmt_ns(12e6).ends_with("ms"));
+        assert!(fmt_ns(12e9).ends_with(" s"));
+    }
+}

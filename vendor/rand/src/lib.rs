@@ -1,0 +1,127 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements the subset the workspace uses: `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64` and `Rng::gen` for `f64`/`u64`. The
+//! generator is xoshiro256++ seeded through splitmix64 — deterministic
+//! for a given seed, which is all the Monte-Carlo process-variation
+//! model needs.
+
+/// Types that can be sampled uniformly by an [`Rng`].
+pub trait Sample: Sized {
+    /// Draws one value from `rng`.
+    fn sample(rng: &mut impl RngCore) -> Self;
+}
+
+impl Sample for u64 {
+    fn sample(rng: &mut impl RngCore) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Sample for f64 {
+    fn sample(rng: &mut impl RngCore) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Core trait: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// Next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Convenience sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore + Sized {
+    /// Draws a uniform value of type `T` (for `f64`: in `[0, 1)`).
+    fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore + Sized> Rng for R {}
+
+/// Construction from seeds, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — a small, fast, high-quality PRNG.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result =
+                self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval_with_spread() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let vals: Vec<f64> = (0..1000).map(|_| rng.gen::<f64>()).collect();
+        assert!(vals.iter().all(|v| (0.0..1.0).contains(v)));
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+    }
+}
