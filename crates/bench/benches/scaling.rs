@@ -1,0 +1,56 @@
+//! Dense-vs-sparse scaling benches on the `LadderMacro` family.
+//!
+//! The DC operating point of an `n`-unknown ladder costs the dense path
+//! O(n²) assembly-clear + O(n³) factorization per Newton iteration; the
+//! sparse path pays O(nnz) for both (the ladder's MNA matrix is
+//! tridiagonal plus one branch row, and the symbolic analysis is reused
+//! across iterations). The curves cross around the `Auto` threshold
+//! (n = 64); by n = 512 the sparse path must be ≥ 5× faster — the
+//! acceptance bar for the sparse-solver PR — and in practice it is
+//! orders of magnitude ahead.
+//!
+//! The dense arm is capped at n = 512: one dense solve at n = 1024 runs
+//! for seconds, which is exactly the point of the sparse path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use castg_core::synthetic::LadderMacro;
+use castg_core::AnalogMacro;
+use castg_spice::{AnalysisOptions, DcAnalysis, SolverKind};
+
+fn opts(solver: SolverKind) -> AnalysisOptions {
+    AnalysisOptions { solver, ..AnalysisOptions::default() }
+}
+
+fn bench_dc_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ladder_dc_operating_point");
+    group.sample_size(10);
+    for n in [64usize, 256, 512, 1024] {
+        let mac = LadderMacro::with_unknowns(n);
+        let circuit = mac.nominal_circuit();
+
+        if n <= 512 {
+            group.bench_function(format!("dense_n{n}"), |b| {
+                b.iter(|| {
+                    let sol = DcAnalysis::with_options(black_box(&circuit), opts(SolverKind::Dense))
+                        .solve()
+                        .unwrap();
+                    black_box(sol.state()[0]);
+                })
+            });
+        }
+        group.bench_function(format!("sparse_n{n}"), |b| {
+            b.iter(|| {
+                let sol = DcAnalysis::with_options(black_box(&circuit), opts(SolverKind::Sparse))
+                    .solve()
+                    .unwrap();
+                black_box(sol.state()[0]);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dc_scaling);
+criterion_main!(benches);

@@ -1,4 +1,6 @@
-//! Regenerates every table and figure of the paper in order.
+//! Regenerates every table and figure of the paper in order, then the
+//! golden-report fixtures under `tests/golden/` (the byte-stable
+//! pipeline renderings asserted by `tests/golden_reports.rs`).
 //! Flags: --fresh (ignore the generation cache), --calibrated
 //! (Monte-Carlo box-functions instead of analytic ones).
 fn main() {
@@ -16,5 +18,10 @@ fn main() {
     ex::compaction_sweep(false, calibrated);
     ex::baseline_ablation(false, calibrated);
     ex::tps_profiles_1param();
+    let golden_dir = castg_bench::results_dir()
+        .parent()
+        .expect("results/ lives under the workspace root")
+        .join("tests/golden");
+    castg_bench::golden::write_fixtures(&golden_dir);
     println!("\nall artifacts regenerated into results/");
 }

@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod golden;
 mod persist;
 
 pub use persist::{load_generation, save_generation};

@@ -1,17 +1,28 @@
-//! A tiny synthetic macro for tests, documentation and quick starts.
+//! Synthetic macros for tests, documentation, quick starts — and
+//! scaling work.
 //!
 //! The real device under test (the paper's CMOS IV-converter) lives in
-//! `castg-macros`; this module provides a resistor-divider "macro" whose
-//! simulations are near-instant, so the generation and compaction
-//! algorithms can be exercised and unit-tested without transistor-level
-//! simulation cost.
+//! `castg-macros`; this module provides
+//!
+//! * [`DividerMacro`] — a three-node resistor divider whose simulations
+//!   are near-instant, so the generation and compaction algorithms can
+//!   be exercised and unit-tested without transistor-level cost;
+//! * [`LadderMacro`] — a parameterized RC ladder generating circuits of
+//!   **arbitrary unknown count** (tens to thousands). Its MNA matrix is
+//!   tridiagonal-plus-a-branch-row, the canonical large-sparse shape,
+//!   which makes it the workload for benchmarking the dense-vs-sparse
+//!   solver dispatch and for exercising generation/compaction/coverage
+//!   at n = 16…1024;
+//! * [`OtaChainMacro`] — a chain of MOS common-source stages: the
+//!   *nonlinear* scalable family, driving many-transistor Newton solves
+//!   through the same dispatch.
 
 use std::sync::Arc;
 
 use castg_dsp::metrics;
-use castg_faults::{exhaustive_bridge_faults, FaultDictionary};
+use castg_faults::{exhaustive_bridge_faults, Fault, FaultDictionary};
 use castg_numeric::{Bounds, ParamSpace};
-use castg_spice::{Circuit, DcAnalysis, Probe, TranAnalysis, Waveform};
+use castg_spice::{Circuit, DcAnalysis, MosParams, MosPolarity, Probe, TranAnalysis, Waveform};
 
 use crate::config::{check_params, Measurement};
 use crate::descr::{ConfigDescription, ParamSpec, PortAction};
@@ -233,6 +244,508 @@ impl TestConfiguration for DividerStepConfig {
     }
 }
 
+/// A parameterized RC ladder macro: `sections` identical cells of a
+/// 1 kΩ series resistor with a 1 GΩ ∥ 10 pF shunt, driven by a voltage
+/// source `V1` through a 1 kΩ source resistance into node `in`; the
+/// last tap is node `out`. The shunt is deliberately huge: a resistive
+/// ladder attenuates like `exp(−sections/√(Rp/Rs))`, and √(Rp/Rs) =
+/// 1000 sections keeps the far end of even a 1022-section ladder at a
+/// measurable level. The source resistance makes even a bridge from
+/// `in` to ground observable at `out` (an ideal source would simply
+/// absorb it), so every dictionary fault is detectable at every size
+/// in the family.
+///
+/// The MNA matrix is tridiagonal plus one source branch row — the
+/// canonical sparse structure — and the section count maps directly to
+/// the unknown count ([`LadderMacro::unknowns`] = `sections + 3`), so
+/// one constructor argument dials any system size from toy to
+/// thousands of nodes. Fault sites are a fixed number of evenly spaced
+/// taps; the dictionary holds all tap-pair bridges plus each tap
+/// bridged to ground, all at 10 kΩ.
+///
+/// # Example
+///
+/// ```
+/// use castg_core::synthetic::LadderMacro;
+/// use castg_core::AnalogMacro;
+///
+/// let m = LadderMacro::new(253); // 256 MNA unknowns
+/// assert_eq!(m.unknowns(), 256);
+/// assert!(!m.fault_dictionary().is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct LadderMacro {
+    sections: usize,
+}
+
+impl LadderMacro {
+    /// Source resistance between `V1` and node `in` (ohms).
+    pub const R_SOURCE: f64 = 1e3;
+    /// Series resistance per section (ohms).
+    pub const R_SERIES: f64 = 1e3;
+    /// Shunt resistance per section (ohms).
+    pub const R_SHUNT: f64 = 1e9;
+    /// Shunt capacitance per section (farads).
+    pub const C_SHUNT: f64 = 10e-12;
+    /// Dictionary resistance of every bridge fault (ohms).
+    pub const BRIDGE_R0: f64 = 10e3;
+    /// Number of evenly spaced fault-site taps.
+    const FAULT_TAPS: usize = 4;
+
+    /// Creates a ladder with the given number of sections (at least 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sections < 2`.
+    pub fn new(sections: usize) -> Self {
+        assert!(sections >= 2, "a ladder needs at least 2 sections");
+        LadderMacro { sections }
+    }
+
+    /// Creates the smallest ladder with at least `n` MNA unknowns.
+    pub fn with_unknowns(n: usize) -> Self {
+        LadderMacro::new(n.saturating_sub(3).max(2))
+    }
+
+    /// Number of sections.
+    pub fn sections(&self) -> usize {
+        self.sections
+    }
+
+    /// MNA unknown count of the nominal circuit: `sections` tap nodes
+    /// plus the `src` and `in` nodes plus the source branch current.
+    pub fn unknowns(&self) -> usize {
+        self.sections + 3
+    }
+
+    /// Name of tap `i` (`1 ≤ i ≤ sections`); the last tap is `"out"`.
+    fn tap_name(&self, i: usize) -> String {
+        if i == self.sections {
+            "out".to_string()
+        } else {
+            format!("n{i}")
+        }
+    }
+}
+
+impl AnalogMacro for LadderMacro {
+    fn name(&self) -> &str {
+        "ladder"
+    }
+
+    fn macro_type(&self) -> &str {
+        "RC-ladder"
+    }
+
+    fn nominal_circuit(&self) -> Circuit {
+        let mut c = Circuit::new();
+        let src = c.node("src");
+        let mut prev = c.node("in");
+        c.add_vsource("V1", src, Circuit::GROUND, Waveform::dc(5.0)).expect("fresh netlist");
+        c.add_resistor("Rsrc", src, prev, Self::R_SOURCE).expect("fresh netlist");
+        for i in 1..=self.sections {
+            let tap = c.node(&self.tap_name(i));
+            c.add_resistor(&format!("Rs{i}"), prev, tap, Self::R_SERIES)
+                .expect("fresh netlist");
+            c.add_resistor(&format!("Rp{i}"), tap, Circuit::GROUND, Self::R_SHUNT)
+                .expect("fresh netlist");
+            c.add_capacitor(&format!("Cp{i}"), tap, Circuit::GROUND, Self::C_SHUNT)
+                .expect("fresh netlist");
+            prev = tap;
+        }
+        c
+    }
+
+    fn fault_site_nodes(&self) -> Vec<String> {
+        // `in` plus FAULT_TAPS evenly spaced taps (the last is `out`).
+        // Round up: taps are numbered from 1, so flooring would name a
+        // nonexistent `n0` on ladders shorter than FAULT_TAPS sections.
+        let mut sites = vec!["in".to_string()];
+        for k in 1..=Self::FAULT_TAPS {
+            sites.push(self.tap_name((k * self.sections).div_ceil(Self::FAULT_TAPS)));
+        }
+        sites.dedup();
+        sites
+    }
+
+    fn fault_dictionary(&self) -> FaultDictionary {
+        let nodes = self.fault_site_nodes();
+        let refs: Vec<&str> = nodes.iter().map(String::as_str).collect();
+        let mut faults = exhaustive_bridge_faults(&refs, Self::BRIDGE_R0);
+        faults.extend(nodes.iter().map(|n| Fault::bridge(n.clone(), "0", Self::BRIDGE_R0)));
+        FaultDictionary::new(faults)
+    }
+
+    fn configurations(&self) -> Vec<Arc<dyn TestConfiguration>> {
+        vec![
+            Arc::new(LadderDcConfig { sections: self.sections }),
+            Arc::new(LadderStepConfig { sections: self.sections }),
+        ]
+    }
+}
+
+/// Ladder configuration #1: drive `V1` with DC level `lev`, return
+/// `ΔV(out)`.
+#[derive(Debug, Clone)]
+pub struct LadderDcConfig {
+    sections: usize,
+}
+
+impl TestConfiguration for LadderDcConfig {
+    fn id(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> &str {
+        "dc_out"
+    }
+
+    fn param_names(&self) -> Vec<String> {
+        vec!["lev".into()]
+    }
+
+    fn space(&self) -> ParamSpace {
+        ParamSpace::new(vec![Bounds::new(1.0, 8.0).expect("static bounds")])
+    }
+
+    fn seed(&self) -> Vec<f64> {
+        vec![5.0]
+    }
+
+    fn measure(&self, circuit: &Circuit, params: &[f64]) -> Result<Measurement, CoreError> {
+        check_params(self, params)?;
+        let mut c = circuit.clone();
+        c.set_stimulus("V1", Waveform::dc(params[0]))?;
+        let sol = DcAnalysis::new(&c).solve()?;
+        let out = c.find_node("out").ok_or_else(|| CoreError::Configuration {
+            config: self.name().to_string(),
+            reason: "macro has no `out` node".to_string(),
+        })?;
+        Ok(Measurement::scalar(sol.voltage(out)))
+    }
+
+    fn return_values(&self, measured: &Measurement, nominal: &Measurement) -> Vec<f64> {
+        match (measured.as_scalars(), nominal.as_scalars()) {
+            (Some(m), Some(n)) => vec![m[0] - n[0]],
+            _ => vec![f64::NAN],
+        }
+    }
+
+    fn tolerance_box(&self, params: &[f64], _nominal_returns: &[f64]) -> Vec<f64> {
+        // 2 % of the expected output level plus a 1 mV meter floor.
+        vec![0.02 * params[0] * 0.5 + 1e-3]
+    }
+
+    fn description(&self) -> ConfigDescription {
+        ConfigDescription {
+            macro_type: "RC-ladder".into(),
+            title: format!("DC output ({} sections)", self.sections),
+            controls: vec![PortAction { node: "in".into(), action: "dc(lev)".into() }],
+            observes: vec![PortAction { node: "out".into(), action: "dc()".into() }],
+            return_value: "dV(out)".into(),
+            parameters: vec![ParamSpec { name: "lev".into(), lo: 1.0, hi: 8.0 }],
+            variables: vec![],
+            seed: vec![("lev".into(), 5.0)],
+        }
+    }
+}
+
+/// Ladder configuration #2: step `V1` from `base` to `base + elev` and
+/// return the maximum absolute deviation of `v(out)` from nominal.
+#[derive(Debug, Clone)]
+pub struct LadderStepConfig {
+    sections: usize,
+}
+
+impl LadderStepConfig {
+    const T_STOP: f64 = 2e-6;
+    const DT: f64 = 0.05e-6;
+}
+
+impl TestConfiguration for LadderStepConfig {
+    fn id(&self) -> usize {
+        2
+    }
+
+    fn name(&self) -> &str {
+        "step_dev"
+    }
+
+    fn param_names(&self) -> Vec<String> {
+        vec!["base".into(), "elev".into()]
+    }
+
+    fn space(&self) -> ParamSpace {
+        ParamSpace::new(vec![
+            Bounds::new(0.0, 4.0).expect("static bounds"),
+            Bounds::new(-4.0, 4.0).expect("static bounds"),
+        ])
+    }
+
+    fn seed(&self) -> Vec<f64> {
+        vec![1.0, 2.0]
+    }
+
+    fn measure(&self, circuit: &Circuit, params: &[f64]) -> Result<Measurement, CoreError> {
+        check_params(self, params)?;
+        let mut c = circuit.clone();
+        c.set_stimulus("V1", Waveform::step(params[0], params[1], 0.2e-6, 0.05e-6))?;
+        let out = c.find_node("out").ok_or_else(|| CoreError::Configuration {
+            config: self.name().to_string(),
+            reason: "macro has no `out` node".to_string(),
+        })?;
+        let trace =
+            TranAnalysis::new(&c).run(Self::T_STOP, Self::DT, &[Probe::NodeVoltage(out)])?;
+        Ok(Measurement::Waveform(castg_dsp::UniformSamples::new(
+            0.0,
+            Self::DT,
+            trace.column(0).to_vec(),
+        )))
+    }
+
+    fn return_values(&self, measured: &Measurement, nominal: &Measurement) -> Vec<f64> {
+        match (measured.as_waveform(), nominal.as_waveform()) {
+            (Some(m), Some(n)) => vec![metrics::max_abs_deviation(m, n)],
+            _ => vec![f64::NAN],
+        }
+    }
+
+    fn tolerance_box(&self, params: &[f64], _nominal_returns: &[f64]) -> Vec<f64> {
+        vec![0.02 * (params[0].abs() + params[1].abs()).max(0.5) * 0.5 + 1e-3]
+    }
+
+    fn description(&self) -> ConfigDescription {
+        ConfigDescription {
+            macro_type: "RC-ladder".into(),
+            title: format!("Step response ({} sections)", self.sections),
+            controls: vec![PortAction {
+                node: "in".into(),
+                action: "step(base, elev, slew_rate=sl)".into(),
+            }],
+            observes: vec![PortAction {
+                node: "out".into(),
+                action: "sample(rate=sa, time=t)".into(),
+            }],
+            return_value: "Max(dV(out))".into(),
+            parameters: vec![
+                ParamSpec { name: "base".into(), lo: 0.0, hi: 4.0 },
+                ParamSpec { name: "elev".into(), lo: -4.0, hi: 4.0 },
+            ],
+            variables: vec![("sl".into(), 0.05e-6), ("sa".into(), 20e6), ("t".into(), 2e-6)],
+            seed: vec![("base".into(), 1.0), ("elev".into(), 2.0)],
+        }
+    }
+}
+
+/// A chain of NMOS common-source stages: the *nonlinear* scalable
+/// synthetic macro.
+///
+/// Each stage is a resistively biased common-source amplifier (1 MΩ
+/// divider to ≈2.5 V, 100 kΩ coupling from the previous drain, 50 kΩ
+/// drain load, 1 pF load capacitor); the input source `VIN` drives the
+/// first gate and the last drain is node `out`. Every stage adds one
+/// MOSFET and two nodes, so [`OtaChainMacro::unknowns`] = `2·stages +
+/// 4` scales the many-transistor Newton workload directly. The fault
+/// dictionary mixes drain-pair bridges with gate-oxide pinholes in
+/// evenly spaced transistors.
+///
+/// # Example
+///
+/// ```
+/// use castg_core::synthetic::OtaChainMacro;
+/// use castg_core::AnalogMacro;
+///
+/// let m = OtaChainMacro::new(6); // 16 MNA unknowns
+/// assert_eq!(m.unknowns(), 16);
+/// assert_eq!(m.nominal_circuit().mosfet_names().len(), 6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OtaChainMacro {
+    stages: usize,
+}
+
+impl OtaChainMacro {
+    /// Dictionary resistance of bridge faults (ohms).
+    pub const BRIDGE_R0: f64 = 10e3;
+    /// Dictionary resistance of pinhole faults (ohms).
+    pub const PINHOLE_R0: f64 = 2e3;
+    /// Number of fault-site stages (drains / transistors).
+    const FAULT_STAGES: usize = 3;
+
+    /// Creates a chain with the given number of stages (at least 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages < 2`.
+    pub fn new(stages: usize) -> Self {
+        assert!(stages >= 2, "a chain needs at least 2 stages");
+        OtaChainMacro { stages }
+    }
+
+    /// Creates the smallest chain with at least `n` MNA unknowns.
+    pub fn with_unknowns(n: usize) -> Self {
+        OtaChainMacro::new(n.saturating_sub(4).div_ceil(2).max(2))
+    }
+
+    /// Number of stages.
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// MNA unknown count: two nodes per stage (gate, drain) plus `vdd`
+    /// and `vin` plus the two source branch currents.
+    pub fn unknowns(&self) -> usize {
+        2 * self.stages + 4
+    }
+
+    /// Name of stage `i`'s drain (`1 ≤ i ≤ stages`); the last is `"out"`.
+    fn drain_name(&self, i: usize) -> String {
+        if i == self.stages {
+            "out".to_string()
+        } else {
+            format!("d{i}")
+        }
+    }
+
+    /// Stage indices carrying fault sites (evenly spaced, ending at the
+    /// last stage). Rounded up: stages are numbered from 1, so flooring
+    /// would name a nonexistent `d0`/`M0` on chains shorter than
+    /// FAULT_STAGES stages.
+    fn fault_stages(&self) -> Vec<usize> {
+        let mut stages: Vec<usize> = (1..=Self::FAULT_STAGES)
+            .map(|k| (k * self.stages).div_ceil(Self::FAULT_STAGES))
+            .collect();
+        stages.dedup();
+        stages
+    }
+}
+
+impl AnalogMacro for OtaChainMacro {
+    fn name(&self) -> &str {
+        "ota_chain"
+    }
+
+    fn macro_type(&self) -> &str {
+        "OTA-chain"
+    }
+
+    fn nominal_circuit(&self) -> Circuit {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let vin = c.node("vin");
+        c.add_vsource("VDD", vdd, Circuit::GROUND, Waveform::dc(5.0)).expect("fresh netlist");
+        c.add_vsource("VIN", vin, Circuit::GROUND, Waveform::dc(2.0)).expect("fresh netlist");
+        let mut prev = vin;
+        for i in 1..=self.stages {
+            let g = c.node(&format!("g{i}"));
+            let d = c.node(&self.drain_name(i));
+            c.add_resistor(&format!("RB1_{i}"), vdd, g, 1e6).expect("fresh netlist");
+            c.add_resistor(&format!("RB2_{i}"), g, Circuit::GROUND, 1e6)
+                .expect("fresh netlist");
+            c.add_resistor(&format!("RC_{i}"), prev, g, 100e3).expect("fresh netlist");
+            c.add_mosfet(
+                &format!("M{i}"),
+                d,
+                g,
+                Circuit::GROUND,
+                Circuit::GROUND,
+                MosPolarity::Nmos,
+                MosParams::nmos_default(10e-6, 1e-6),
+            )
+            .expect("fresh netlist");
+            c.add_resistor(&format!("RD_{i}"), vdd, d, 50e3).expect("fresh netlist");
+            c.add_capacitor(&format!("CL_{i}"), d, Circuit::GROUND, 1e-12)
+                .expect("fresh netlist");
+            prev = d;
+        }
+        c
+    }
+
+    fn fault_site_nodes(&self) -> Vec<String> {
+        self.fault_stages().iter().map(|&i| self.drain_name(i)).collect()
+    }
+
+    fn fault_dictionary(&self) -> FaultDictionary {
+        let nodes = self.fault_site_nodes();
+        let refs: Vec<&str> = nodes.iter().map(String::as_str).collect();
+        let mut faults = exhaustive_bridge_faults(&refs, Self::BRIDGE_R0);
+        faults.extend(
+            self.fault_stages().iter().map(|&i| Fault::pinhole(format!("M{i}"), Self::PINHOLE_R0)),
+        );
+        FaultDictionary::new(faults)
+    }
+
+    fn configurations(&self) -> Vec<Arc<dyn TestConfiguration>> {
+        vec![Arc::new(OtaChainDcConfig { stages: self.stages })]
+    }
+}
+
+/// OTA-chain configuration #1: drive `VIN` with DC level `lev`, return
+/// `ΔV(out)`.
+#[derive(Debug, Clone)]
+pub struct OtaChainDcConfig {
+    stages: usize,
+}
+
+impl TestConfiguration for OtaChainDcConfig {
+    fn id(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> &str {
+        "dc_out"
+    }
+
+    fn param_names(&self) -> Vec<String> {
+        vec!["lev".into()]
+    }
+
+    fn space(&self) -> ParamSpace {
+        ParamSpace::new(vec![Bounds::new(0.0, 5.0).expect("static bounds")])
+    }
+
+    fn seed(&self) -> Vec<f64> {
+        vec![2.0]
+    }
+
+    fn measure(&self, circuit: &Circuit, params: &[f64]) -> Result<Measurement, CoreError> {
+        check_params(self, params)?;
+        let mut c = circuit.clone();
+        c.set_stimulus("VIN", Waveform::dc(params[0]))?;
+        let sol = DcAnalysis::new(&c).solve()?;
+        let out = c.find_node("out").ok_or_else(|| CoreError::Configuration {
+            config: self.name().to_string(),
+            reason: "macro has no `out` node".to_string(),
+        })?;
+        Ok(Measurement::scalar(sol.voltage(out)))
+    }
+
+    fn return_values(&self, measured: &Measurement, nominal: &Measurement) -> Vec<f64> {
+        match (measured.as_scalars(), nominal.as_scalars()) {
+            (Some(m), Some(n)) => vec![m[0] - n[0]],
+            _ => vec![f64::NAN],
+        }
+    }
+
+    fn tolerance_box(&self, _params: &[f64], _nominal_returns: &[f64]) -> Vec<f64> {
+        // 50 mV on a 0–5 V output swing.
+        vec![0.05]
+    }
+
+    fn description(&self) -> ConfigDescription {
+        ConfigDescription {
+            macro_type: "OTA-chain".into(),
+            title: format!("DC output ({} stages)", self.stages),
+            controls: vec![PortAction { node: "vin".into(), action: "dc(lev)".into() }],
+            observes: vec![PortAction { node: "out".into(), action: "dc()".into() }],
+            return_value: "dV(out)".into(),
+            parameters: vec![ParamSpec { name: "lev".into(), lo: 0.0, hi: 5.0 }],
+            variables: vec![],
+            seed: vec![("lev".into(), 2.0)],
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,5 +806,118 @@ mod tests {
             let parsed = ConfigDescription::parse(&text).unwrap();
             assert_eq!(d, parsed, "config {} description must round-trip", cfg.name());
         }
+    }
+
+    #[test]
+    fn ladder_unknown_count_matches_circuit() {
+        for n in [16, 64, 256] {
+            let m = LadderMacro::with_unknowns(n);
+            let c = m.nominal_circuit();
+            assert_eq!(c.unknown_count(), m.unknowns());
+            assert!(m.unknowns() >= n);
+        }
+    }
+
+    #[test]
+    fn ladder_dc_attenuates_mildly() {
+        let m = LadderMacro::new(64);
+        let c = m.nominal_circuit();
+        let sol = DcAnalysis::new(&c).solve().unwrap();
+        let v_out = sol.voltage(c.find_node("out").unwrap());
+        // 64 sections of 1 kΩ over 1 GΩ shunts: sub-percent droop.
+        assert!(v_out > 4.5 && v_out < 5.0, "v_out = {v_out}");
+    }
+
+    #[test]
+    fn ladder_faults_inject_and_perturb_output() {
+        let m = LadderMacro::new(32);
+        let c = m.nominal_circuit();
+        let nominal = DcAnalysis::new(&c).solve().unwrap();
+        let out = c.find_node("out").unwrap();
+        for fault in m.fault_dictionary().iter() {
+            let faulty = fault.inject(&c).unwrap();
+            let sol = DcAnalysis::new(&faulty).solve().unwrap();
+            // A ground bridge collapses the output; tap-tap bridges
+            // shift it measurably. Either way the circuit stays
+            // solvable.
+            assert!(sol.voltage(out).is_finite(), "{}", fault.name());
+        }
+        // At least the out-to-ground bridge must move the output a lot.
+        let gnd_bridge = Fault::bridge("out", "0", LadderMacro::BRIDGE_R0);
+        let sol = DcAnalysis::new(&gnd_bridge.inject(&c).unwrap()).solve().unwrap();
+        assert!((sol.voltage(out) - nominal.voltage(out)).abs() > 0.5);
+    }
+
+    #[test]
+    fn ladder_configs_measure_and_roundtrip() {
+        let m = LadderMacro::new(16);
+        let c = m.nominal_circuit();
+        for cfg in m.configurations() {
+            let meas = cfg.measure(&c, &cfg.seed()).unwrap();
+            let rv = cfg.return_values(&meas, &meas);
+            assert!(rv.iter().all(|v| v.abs() < 1e-12), "{rv:?}");
+            let d = cfg.description();
+            assert_eq!(d, ConfigDescription::parse(&d.to_string()).unwrap());
+        }
+    }
+
+    #[test]
+    fn ota_chain_unknowns_and_convergence() {
+        let m = OtaChainMacro::with_unknowns(32);
+        let c = m.nominal_circuit();
+        assert_eq!(c.unknown_count(), m.unknowns());
+        let sol = DcAnalysis::new(&c).solve().unwrap();
+        let out = sol.voltage(c.find_node("out").unwrap());
+        assert!((0.0..=5.0).contains(&out), "out = {out}");
+    }
+
+    #[test]
+    fn ota_chain_fault_dictionary_injects() {
+        let m = OtaChainMacro::new(8);
+        let c = m.nominal_circuit();
+        let dict = m.fault_dictionary();
+        assert!(!dict.is_empty());
+        for fault in dict.iter() {
+            fault.inject(&c).unwrap();
+        }
+    }
+
+    /// The smallest sizes the constructors permit must still produce
+    /// injectable dictionaries (fault sites are rounded *up* to
+    /// existing taps/stages — flooring used to name a nonexistent
+    /// `n0`/`d0`/`M0`).
+    #[test]
+    fn minimum_size_macros_have_injectable_dictionaries() {
+        for sections in 2..=5 {
+            let m = LadderMacro::new(sections);
+            let c = m.nominal_circuit();
+            let dict = m.fault_dictionary();
+            assert!(!dict.is_empty(), "sections={sections}");
+            for fault in dict.iter() {
+                fault.inject(&c).unwrap_or_else(|e| {
+                    panic!("sections={sections}, fault {}: {e}", fault.name())
+                });
+            }
+        }
+        for stages in 2..=4 {
+            let m = OtaChainMacro::new(stages);
+            let c = m.nominal_circuit();
+            for fault in m.fault_dictionary().iter() {
+                fault.inject(&c).unwrap_or_else(|e| {
+                    panic!("stages={stages}, fault {}: {e}", fault.name())
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn ota_chain_dc_config_responds_to_input() {
+        let m = OtaChainMacro::new(4);
+        let c = m.nominal_circuit();
+        let cfg = OtaChainDcConfig { stages: 4 };
+        let lo = cfg.measure(&c, &[0.5]).unwrap();
+        let hi = cfg.measure(&c, &[3.5]).unwrap();
+        let d = (lo.as_scalars().unwrap()[0] - hi.as_scalars().unwrap()[0]).abs();
+        assert!(d > 0.01, "chain output must depend on the input, moved {d}");
     }
 }

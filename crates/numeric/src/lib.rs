@@ -1,13 +1,21 @@
-//! Dense linear algebra and derivative-free minimization for `castg`.
+//! Dense *and sparse* linear algebra plus derivative-free minimization
+//! for `castg`.
 //!
 //! This crate provides the numerical substrate used by the rest of the
 //! workspace:
 //!
 //! * [`Matrix`] — a small dense row-major matrix with an in-place LU
 //!   factorization ([`LuFactors`]) used by the MNA circuit simulator.
-//! * [`LuWorkspace`] — reusable factor/solve buffers for hot loops
-//!   (Newton iterations re-factor the same-sized system hundreds of
-//!   times; the workspace makes each cycle allocation-free).
+//! * [`LuWorkspace`] — reusable dense factor/solve buffers for hot
+//!   loops (Newton iterations re-factor the same-sized system hundreds
+//!   of times; the workspace makes each cycle allocation-free).
+//! * [`SparseMatrix`] / [`SparseLu`] — the sparse (CSC) counterpart for
+//!   large systems: a pattern-fixed stamping target plus a left-looking
+//!   LU with threshold partial pivoting and KLU-style numeric
+//!   refactorization (symbolic analysis reused across factorizations of
+//!   the same pattern). See [`sparse`] for the architecture notes.
+//! * [`StampTarget`] — the stamping abstraction both matrix types
+//!   implement, so one circuit-assembly routine drives either solver.
 //! * [`brent_min`] — Brent's derivative-free one-dimensional minimizer
 //!   (golden-section with parabolic interpolation), the method the paper
 //!   uses for single-parameter test configurations.
@@ -19,6 +27,23 @@
 //! * [`grid`] — sweep helpers used to compute tps-graphs.
 //! * [`stats`] — small statistics helpers (mean, standard deviation,
 //!   percentiles) used by the tolerance-box calibration.
+//!
+//! # Dense or sparse?
+//!
+//! Dense LU is O(n³) with tiny constants — unbeatable for macro-sized
+//! MNA systems (n ≲ 64–128), where the whole matrix fits in L1/L2 and
+//! index chasing would dominate. The sparse path wins when the system
+//! is both *large* and *structurally sparse*: assembly touches O(nnz)
+//! slots instead of clearing n² entries, factorization cost follows the
+//! fill (linear in n for the banded/tree-like matrices real netlists
+//! produce), and the symbolic skeleton — fill pattern, pivot order,
+//! traversal order — is computed once per pattern and replayed
+//! numerically by every subsequent factorization. The circuit simulator
+//! (`castg-spice`) automates the choice per circuit: sparse iff
+//! `n ≥ 64` and `nnz/n² ≤ 0.25`, overridable through its
+//! `AnalysisOptions::solver`. A differential test harness
+//! (`tests/sparse_differential.rs`, `crates/numeric/tests/
+//! proptest_sparse.rs`) pins the two paths to 1e-9 relative agreement.
 //!
 //! # Example
 //!
@@ -42,6 +67,7 @@ pub mod grid;
 mod lu;
 mod matrix;
 mod powell;
+pub mod sparse;
 pub mod stats;
 
 pub use bounds::{Bounds, ParamSpace};
@@ -51,3 +77,4 @@ pub use error::NumericError;
 pub use lu::{LuFactors, LuWorkspace};
 pub use matrix::Matrix;
 pub use powell::{powell_min, PowellOptions, PowellResult};
+pub use sparse::{SparseLu, SparseMatrix, SparsePattern, StampTarget};

@@ -11,8 +11,16 @@
 //! capacitors plus the MOSFETs' intrinsic gate capacitances, and `b`
 //! holds unit-magnitude excitations on caller-designated independent
 //! sources.
+//!
+//! Solver dispatch: small systems go through the dense complex LU
+//! ([`CMatrix`]); large sparse systems (per
+//! [`SolverKind`](crate::SolverKind) resolution) solve the equivalent
+//! real 2n×2n system `[[G, −ωC], [ωC, G]] · [Re x; Im x] = [Re b; Im b]`
+//! with the sparse real LU, whose symbolic analysis is shared across
+//! all frequency points of the sweep (the pattern never changes — only
+//! ω scales the capacitive entries).
 
-use castg_numeric::{CMatrix, Complex, Matrix};
+use castg_numeric::{CMatrix, Complex, Matrix, SparseLu, SparseMatrix, StampTarget};
 
 use crate::analysis::AnalysisOptions;
 use crate::circuit::Circuit;
@@ -146,30 +154,6 @@ impl<'c> AcAnalysis<'c> {
         let n = self.circuit.unknown_count();
         let n_nodes = self.circuit.node_count() - 1;
 
-        // G: the static Jacobian at the operating point (rhs discarded),
-        // assembled through the compiled stamp plan.
-        let plan = self.circuit.plan();
-        let mut g = Matrix::zeros(n, n);
-        let mut scratch_rhs = vec![0.0; n];
-        let mut src_vals = Vec::new();
-        plan.source_values(&mut src_vals, |w| w.dc_value());
-        plan.assemble_into(dc.state(), &mut g, &mut scratch_rhs, self.options.gmin, &src_vals);
-
-        // C: capacitive stamps (explicit capacitors + MOS gate caps).
-        let mut cap = Matrix::zeros(n, n);
-        for dev in self.circuit.devices() {
-            match dev.kind() {
-                DeviceKind::Capacitor { a, b, farads } => {
-                    stamp::stamp_conductance(&mut cap, *a, *b, *farads);
-                }
-                DeviceKind::Mosfet { d, g: gate, s, params, .. } => {
-                    stamp::stamp_conductance(&mut cap, *gate, *s, params.cgs());
-                    stamp::stamp_conductance(&mut cap, *gate, *d, params.cgd());
-                }
-                _ => {}
-            }
-        }
-
         // b: unit excitations (validated up front).
         let mut b = vec![Complex::ZERO; n];
         for src in &self.sources {
@@ -202,6 +186,37 @@ impl<'c> AcAnalysis<'c> {
             }
         }
 
+        let plan = self.circuit.plan();
+        let solutions = if self.options.solver.use_sparse(plan.as_ref()) {
+            self.sweep_sparse(&dc, &b, freqs)?
+        } else {
+            self.sweep_dense(&dc, &b, freqs)?
+        };
+        Ok(AcSweep { freqs: freqs.to_vec(), solutions, n_nodes })
+    }
+
+    /// Dense sweep: complex `n × n` LU per frequency point.
+    fn sweep_dense(
+        &self,
+        dc: &crate::DcSolution,
+        b: &[Complex],
+        freqs: &[f64],
+    ) -> Result<Vec<Vec<Complex>>, SpiceError> {
+        let n = self.circuit.unknown_count();
+
+        // G: the static Jacobian at the operating point (rhs discarded),
+        // assembled through the compiled stamp plan.
+        let plan = self.circuit.plan();
+        let mut g = Matrix::zeros(n, n);
+        let mut scratch_rhs = vec![0.0; n];
+        let mut src_vals = Vec::new();
+        plan.source_values(&mut src_vals, |w| w.dc_value());
+        plan.assemble_into(dc.state(), &mut g, &mut scratch_rhs, self.options.gmin, &src_vals);
+
+        // C: capacitive stamps (explicit capacitors + MOS gate caps).
+        let mut cap = Matrix::zeros(n, n);
+        self.stamp_capacitances(&mut cap);
+
         // One complex matrix reused (cleared and refilled) for every
         // frequency point; only the retained solution vector is
         // allocated per point.
@@ -218,11 +233,96 @@ impl<'c> AcAnalysis<'c> {
                     }
                 }
             }
-            let mut x = b.clone();
+            let mut x = b.to_vec();
             m.solve_in_place(&mut x)?;
             solutions.push(x);
         }
-        Ok(AcSweep { freqs: freqs.to_vec(), solutions, n_nodes })
+        Ok(solutions)
+    }
+
+    /// Sparse sweep: the complex system is embedded as the real
+    /// `2n × 2n` system `[[G, −ωC], [ωC, G]]` over `[Re x; Im x]` and
+    /// solved with the sparse LU. The embedding's pattern is frequency-
+    /// independent, so the symbolic factorization from the first point
+    /// is refactored numerically for every further point.
+    fn sweep_sparse(
+        &self,
+        dc: &crate::DcSolution,
+        b: &[Complex],
+        freqs: &[f64],
+    ) -> Result<Vec<Vec<Complex>>, SpiceError> {
+        let n = self.circuit.unknown_count();
+        let plan = self.circuit.plan();
+
+        // G in sparse form via the plan's cached template (the template
+        // pattern also covers the capacitive slots; their G values stay
+        // structurally zero).
+        let mut g = plan.sparse_template().clone();
+        let mut scratch_rhs = vec![0.0; n];
+        let mut src_vals = Vec::new();
+        plan.source_values(&mut src_vals, |w| w.dc_value());
+        plan.assemble_into(dc.state(), &mut g, &mut scratch_rhs, self.options.gmin, &src_vals);
+
+        // C over the dynamic (capacitive) slots only.
+        let mut cap = SparseMatrix::from_entries(n, plan.dynamic_slots());
+        self.stamp_capacitances(&mut cap);
+
+        // Pattern of the real embedding: G's slots in both diagonal
+        // blocks, C's slots in both off-diagonal blocks.
+        let mut slots = Vec::with_capacity(2 * (g.nnz() + cap.nnz()));
+        for (r, c, _) in g.entries() {
+            slots.push((r, c));
+            slots.push((n + r, n + c));
+        }
+        for (r, c, _) in cap.entries() {
+            slots.push((r, n + c));
+            slots.push((n + r, c));
+        }
+        let mut big = SparseMatrix::from_entries(2 * n, &slots);
+        let mut lu = SparseLu::new();
+
+        let mut rhs = vec![0.0; 2 * n];
+        for (i, bi) in b.iter().enumerate() {
+            rhs[i] = bi.re;
+            rhs[n + i] = bi.im;
+        }
+
+        let mut solutions = Vec::with_capacity(freqs.len());
+        let mut xy = vec![0.0; 2 * n];
+        for f in freqs {
+            let omega = 2.0 * std::f64::consts::PI * f;
+            big.clear();
+            for (r, c, v) in g.entries() {
+                big.add(r, c, v);
+                big.add(n + r, n + c, v);
+            }
+            for (r, c, v) in cap.entries() {
+                big.add(r, n + c, -omega * v);
+                big.add(n + r, c, omega * v);
+            }
+            lu.factor(&big)?;
+            lu.solve_into(&rhs, &mut xy)?;
+            solutions
+                .push((0..n).map(|i| Complex::new(xy[i], xy[n + i])).collect());
+        }
+        Ok(solutions)
+    }
+
+    /// Stamps every capacitance (explicit capacitors plus MOS gate
+    /// capacitances) into `cap` as conductance-shaped entries.
+    fn stamp_capacitances<M: StampTarget + ?Sized>(&self, cap: &mut M) {
+        for dev in self.circuit.devices() {
+            match dev.kind() {
+                DeviceKind::Capacitor { a, b, farads } => {
+                    stamp::stamp_conductance(cap, *a, *b, *farads);
+                }
+                DeviceKind::Mosfet { d, g: gate, s, params, .. } => {
+                    stamp::stamp_conductance(cap, *gate, *s, params.cgs());
+                    stamp::stamp_conductance(cap, *gate, *d, params.cgd());
+                }
+                _ => {}
+            }
+        }
     }
 }
 

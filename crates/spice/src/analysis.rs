@@ -1,3 +1,5 @@
+use crate::solver::SolverKind;
+
 /// Tolerances and iteration limits shared by the DC and transient solvers.
 ///
 /// The defaults mirror common SPICE practice and are adequate for the
@@ -19,6 +21,11 @@ pub struct AnalysisOptions {
     /// and per node (volts). Prevents the exponential-free but still
     /// stiff MOS model from overshooting.
     pub max_step_v: f64,
+    /// Linear-solver path for the MNA systems. `Auto` (the default)
+    /// picks dense LU for macro-sized circuits and the sparse path for
+    /// large, structurally sparse ones; `Dense`/`Sparse` force a path
+    /// (the differential tests cross-check the two).
+    pub solver: SolverKind,
 }
 
 impl Default for AnalysisOptions {
@@ -30,6 +37,7 @@ impl Default for AnalysisOptions {
             max_iter: 120,
             gmin: 1e-12,
             max_step_v: 0.5,
+            solver: SolverKind::Auto,
         }
     }
 }

@@ -7,24 +7,23 @@
 //! Real CMOS operating points — including grossly faulted ones — almost
 //! always yield to one of the three.
 
-use castg_numeric::{LuWorkspace, Matrix};
-
 use crate::analysis::AnalysisOptions;
 use crate::circuit::Circuit;
 use crate::node::NodeId;
+use crate::solver::{MnaSolver, SolverKind};
 use crate::stamp::StampPlan;
 use crate::SpiceError;
 
-/// Reusable per-solve state: the compiled stamp plan plus the matrix,
-/// right-hand side, LU workspace and Newton update buffer. Created once
+/// Reusable per-solve state: the compiled stamp plan plus the
+/// dispatched linear solver (dense or sparse matrix + factorization
+/// workspace), right-hand side and Newton update buffer. Created once
 /// per analysis so the Newton iteration itself performs zero heap
 /// allocations.
 #[derive(Debug, Clone)]
 pub(crate) struct NewtonScratch {
     pub(crate) plan: std::sync::Arc<StampPlan>,
-    pub(crate) mat: Matrix,
+    pub(crate) solver: MnaSolver,
     pub(crate) rhs: Vec<f64>,
-    pub(crate) lu: LuWorkspace,
     pub(crate) x_new: Vec<f64>,
     /// Stimulus values for the solve in progress (constant across the
     /// Newton iterations of one solve; refreshed per solve/timestep).
@@ -32,14 +31,14 @@ pub(crate) struct NewtonScratch {
 }
 
 impl NewtonScratch {
-    pub(crate) fn new(circuit: &Circuit) -> Self {
+    pub(crate) fn new(circuit: &Circuit, kind: SolverKind) -> Self {
         let plan = circuit.plan();
         let n = plan.dim();
+        let solver = MnaSolver::for_plan(&plan, kind);
         NewtonScratch {
             plan,
-            mat: Matrix::zeros(n, n),
+            solver,
             rhs: vec![0.0; n],
-            lu: LuWorkspace::new(n),
             x_new: vec![0.0; n],
             src_vals: Vec::new(),
         }
@@ -137,7 +136,7 @@ impl<'c> DcAnalysis<'c> {
         // One compiled plan + one set of solver buffers for the whole
         // solve, shared across all fallback strategies; one state
         // vector mutated in place by the Newton iterations.
-        let mut scratch = NewtonScratch::new(self.circuit);
+        let mut scratch = NewtonScratch::new(self.circuit, self.options.solver);
         let mut x = initial.to_vec();
 
         // 1. Plain Newton from the provided start.
@@ -194,7 +193,7 @@ impl<'c> DcAnalysis<'c> {
         gmin: f64,
         source_scale: f64,
     ) -> Result<(), SpiceError> {
-        let NewtonScratch { plan, mat, rhs, lu, x_new, src_vals } = scratch;
+        let NewtonScratch { plan, solver, rhs, x_new, src_vals } = scratch;
         let n = plan.dim();
         let n_nodes = self.circuit.node_count() - 1;
         let opts = &self.options;
@@ -202,9 +201,8 @@ impl<'c> DcAnalysis<'c> {
         let damped = plan.damped();
 
         for _iter in 0..opts.max_iter {
-            plan.assemble_into(x, mat, rhs, gmin, src_vals);
-            lu.factor_in_place(mat)?;
-            lu.solve_into(rhs, x_new)?;
+            solver.assemble_and_factor(plan, x, rhs, gmin, src_vals, |_| {})?;
+            solver.solve_into(rhs, x_new)?;
 
             // Damping: clamp the per-iteration update of
             // nonlinear-device terminals (linear nodes and branch

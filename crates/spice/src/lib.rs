@@ -17,9 +17,9 @@
 //!   operating point (the substrate for gain/bandwidth-style extension
 //!   test configurations).
 //!
-//! The simulator is deliberately small (dense LU, fixed timestep, Level-1
-//! MOS) but numerically honest: every nonlinear solve either converges to
-//! the requested tolerances or reports [`SpiceError::NoConvergence`].
+//! The simulator is deliberately small (fixed timestep, Level-1 MOS) but
+//! numerically honest: every nonlinear solve either converges to the
+//! requested tolerances or reports [`SpiceError::NoConvergence`].
 //!
 //! # Hot-path architecture: stamp plans + LU workspaces
 //!
@@ -45,6 +45,31 @@
 //! Both layers are bit-identical to their naive counterparts (direct
 //! device walk, allocating `LuFactors`), which the test suites assert
 //! exactly.
+//!
+//! # Solver dispatch: dense vs sparse
+//!
+//! Each analysis routes its linear solves through a per-circuit solver
+//! selection ([`SolverKind`] in [`AnalysisOptions`]):
+//!
+//! * **Dense** (`castg_numeric::LuWorkspace`) — the default winner for
+//!   macro-sized systems; identical to the pre-dispatch hot path, bit
+//!   for bit.
+//! * **Sparse** (`castg_numeric::SparseLu`) — for large, structurally
+//!   sparse netlists. The compiled stamp plan records every matrix slot
+//!   any analysis can touch (static stamps, MOS linearization sites,
+//!   capacitor companion/AC slots) and caches a pattern-fixed CSC
+//!   template per circuit; assembly then costs O(nnz) per iteration and
+//!   the factorization reuses its symbolic skeleton across all Newton
+//!   iterations, stepping ladders and timesteps of an analysis. AC
+//!   sweeps solve the real `2n×2n` embedding `[[G, −ωC], [ωC, G]]`,
+//!   reusing one symbolic analysis across every frequency point.
+//! * **Auto** (default) picks sparse iff `n ≥` [`SPARSE_MIN_N`] and the
+//!   structural density is at most [`SPARSE_MAX_DENSITY`].
+//!
+//! The two paths are pinned against each other by a differential test
+//! harness (`tests/sparse_differential.rs`): identical circuits solved
+//! through both must agree to 1e-9 relative, nominal and after fault
+//! injection.
 //!
 //! # Example: resistor divider
 //!
@@ -74,6 +99,7 @@ mod error;
 mod mos;
 mod node;
 mod probe;
+mod solver;
 mod stamp;
 mod stimulus;
 mod transient;
@@ -87,5 +113,6 @@ pub use error::SpiceError;
 pub use mos::{MosOperatingPoint, MosParams, MosPolarity, MosRegion};
 pub use node::NodeId;
 pub use probe::{Probe, Trace};
+pub use solver::{SolverKind, SPARSE_MAX_DENSITY, SPARSE_MIN_N};
 pub use stimulus::Waveform;
 pub use transient::{IntegrationMethod, TranAnalysis};

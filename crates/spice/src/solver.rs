@@ -1,0 +1,202 @@
+//! Dense/sparse linear-solver dispatch for the MNA analyses.
+//!
+//! Every analysis (DC Newton, transient timesteps, the AC
+//! operating-point linearization) bottoms out in "assemble the MNA
+//! system, factor it, substitute". For macro-sized circuits the dense
+//! [`LuWorkspace`] is unbeatable — no indices, no indirection, hot in
+//! cache. Past a hundred-odd unknowns the O(n³) factor and the O(n²)
+//! per-iteration clear take over, and the sparse
+//! [`SparseLu`]/[`SparseMatrix`] path (O(nnz) assembly, fill-bounded
+//! factorization with symbolic reuse across iterations) wins by orders
+//! of magnitude.
+//!
+//! [`SolverKind`] selects the path: the default `Auto` picks sparse
+//! when the system is large **and** structurally sparse
+//! ([`SPARSE_MIN_N`], [`SPARSE_MAX_DENSITY`]); `Dense`/`Sparse` force a
+//! path, which the differential test harness uses to cross-check the
+//! two implementations against each other.
+
+use castg_numeric::{
+    LuWorkspace, Matrix, NumericError, SparseLu, SparseMatrix, StampTarget,
+};
+
+use crate::stamp::StampPlan;
+
+/// Below this unknown count `Auto` never considers the sparse path:
+/// dense LU on a macro-sized system beats any index-chasing.
+pub const SPARSE_MIN_N: usize = 64;
+
+/// `Auto` uses sparse only when the structural fill `nnz / n²` is at
+/// most this; denser systems gain nothing from sparse bookkeeping.
+pub const SPARSE_MAX_DENSITY: f64 = 0.25;
+
+/// Which linear-solver path an analysis uses for its MNA systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SolverKind {
+    /// Select per circuit: sparse iff `n ≥ 64` and structural density
+    /// `≤ 0.25`, dense otherwise. The right choice everywhere except
+    /// differential testing.
+    #[default]
+    Auto,
+    /// Always dense LU ([`castg_numeric::LuWorkspace`]).
+    Dense,
+    /// Always sparse LU ([`castg_numeric::SparseLu`]), regardless of
+    /// size.
+    Sparse,
+}
+
+impl SolverKind {
+    /// Resolves `self` against a circuit's compiled plan: `true` means
+    /// the sparse path.
+    pub(crate) fn use_sparse(self, plan: &StampPlan) -> bool {
+        match self {
+            SolverKind::Dense => false,
+            SolverKind::Sparse => true,
+            SolverKind::Auto => {
+                let n = plan.dim();
+                n >= SPARSE_MIN_N && plan.sparse_template().pattern().density() <= SPARSE_MAX_DENSITY
+            }
+        }
+    }
+}
+
+/// The per-analysis solver state behind the dispatch: assembly matrix
+/// plus factorization workspace for whichever path was selected.
+///
+/// Both arms follow the same lifecycle per Newton iteration: replay the
+/// stamp plan into the matrix, apply any extra stamps (transient
+/// companions), factor, substitute. The dense arm swaps the matrix into
+/// the LU workspace exactly as before this dispatch existed, so small
+/// circuits keep their bit-identical allocation-free hot path; the
+/// sparse arm clears O(nnz) values and refactors against the cached
+/// symbolic skeleton.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // one solver per analysis, not per element
+pub(crate) enum MnaSolver {
+    /// Dense path: assembled matrix + in-place LU workspace.
+    Dense { mat: Matrix, lu: LuWorkspace },
+    /// Sparse path: pattern-fixed CSC matrix + sparse LU with symbolic
+    /// reuse.
+    Sparse { mat: SparseMatrix, lu: SparseLu },
+}
+
+impl MnaSolver {
+    /// Creates the solver state `kind` resolves to for `plan`.
+    pub(crate) fn for_plan(plan: &StampPlan, kind: SolverKind) -> Self {
+        let n = plan.dim();
+        if kind.use_sparse(plan) {
+            MnaSolver::Sparse { mat: plan.sparse_template().clone(), lu: SparseLu::new() }
+        } else {
+            MnaSolver::Dense { mat: Matrix::zeros(n, n), lu: LuWorkspace::new(n) }
+        }
+    }
+
+    /// Whether this solver runs the sparse path.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn is_sparse(&self) -> bool {
+        matches!(self, MnaSolver::Sparse { .. })
+    }
+
+    /// One assembly + factorization: replays `plan` into the matrix,
+    /// lets `extra` add companion stamps, then factors. The plan replay
+    /// is monomorphized per arm; `extra` goes through a trait object
+    /// because companion stamping is a handful of adds per timestep.
+    ///
+    /// # Errors
+    ///
+    /// Factorization errors ([`NumericError::SingularMatrix`] for a
+    /// structurally singular system) propagate.
+    pub(crate) fn assemble_and_factor<F>(
+        &mut self,
+        plan: &StampPlan,
+        x: &[f64],
+        rhs: &mut [f64],
+        gmin: f64,
+        src_vals: &[f64],
+        extra: F,
+    ) -> Result<(), NumericError>
+    where
+        F: FnOnce(&mut dyn StampTarget),
+    {
+        match self {
+            MnaSolver::Dense { mat, lu } => {
+                plan.assemble_into(x, mat, rhs, gmin, src_vals);
+                extra(mat);
+                lu.factor_in_place(mat)
+            }
+            MnaSolver::Sparse { mat, lu } => {
+                plan.assemble_into(x, mat, rhs, gmin, src_vals);
+                extra(mat);
+                lu.factor(mat)
+            }
+        }
+    }
+
+    /// Substitutes against the last successful factorization.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::NotFactored`] before the first factorization;
+    /// [`NumericError::DimensionMismatch`] for wrong-sized buffers.
+    pub(crate) fn solve_into(&self, b: &[f64], x: &mut [f64]) -> Result<(), NumericError> {
+        match self {
+            MnaSolver::Dense { lu, .. } => lu.solve_into(b, x),
+            MnaSolver::Sparse { lu, .. } => lu.solve_into(b, x),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Circuit, Waveform};
+
+    fn ladder(sections: usize) -> Circuit {
+        let mut c = Circuit::new();
+        let mut prev = c.node("in");
+        c.add_vsource("V1", prev, Circuit::GROUND, Waveform::dc(1.0)).unwrap();
+        for i in 0..sections {
+            let next = c.node(&format!("n{i}"));
+            c.add_resistor(&format!("Rs{i}"), prev, next, 100.0).unwrap();
+            c.add_resistor(&format!("Rp{i}"), next, Circuit::GROUND, 1e6).unwrap();
+            prev = next;
+        }
+        c
+    }
+
+    #[test]
+    fn auto_is_dense_for_small_and_sparse_for_large() {
+        let small = ladder(4);
+        assert!(!SolverKind::Auto.use_sparse(&small.plan()));
+        let large = ladder(200);
+        assert!(SolverKind::Auto.use_sparse(&large.plan()));
+        assert!(SolverKind::Sparse.use_sparse(&small.plan()));
+        assert!(!SolverKind::Dense.use_sparse(&large.plan()));
+    }
+
+    #[test]
+    fn both_arms_solve_the_same_system() {
+        let c = ladder(24);
+        let plan = c.plan();
+        let n = plan.dim();
+        let x0 = vec![0.0; n];
+        let mut src = Vec::new();
+        plan.source_values(&mut src, |w| w.dc_value());
+
+        let mut solutions = Vec::new();
+        for kind in [SolverKind::Dense, SolverKind::Sparse] {
+            let mut solver = MnaSolver::for_plan(&plan, kind);
+            assert_eq!(solver.is_sparse(), kind == SolverKind::Sparse);
+            let mut rhs = vec![0.0; n];
+            let mut x = vec![0.0; n];
+            solver
+                .assemble_and_factor(&plan, &x0, &mut rhs, 1e-12, &src, |_| {})
+                .unwrap();
+            solver.solve_into(&rhs, &mut x).unwrap();
+            solutions.push(x);
+        }
+        for (d, s) in solutions[0].iter().zip(&solutions[1]) {
+            assert!((d - s).abs() <= 1e-9 * d.abs().max(1.0), "{d} vs {s}");
+        }
+    }
+}

@@ -17,7 +17,9 @@
 //! accumulation order (and therefore the result, bit for bit) matches a
 //! direct device-by-device assembly.
 
-use castg_numeric::Matrix;
+use std::sync::OnceLock;
+
+use castg_numeric::{Matrix, SparseMatrix, StampTarget};
 
 use crate::circuit::Circuit;
 use crate::device::DeviceKind;
@@ -54,7 +56,9 @@ fn slot_voltage(x: &[f64], slot: Option<usize>) -> f64 {
 }
 
 /// Adds `g` as a two-terminal conductance stamp between `a` and `b`.
-pub(crate) fn stamp_conductance(mat: &mut Matrix, a: NodeId, b: NodeId, g: f64) {
+/// Generic over the assembly target so the same stamp drives the dense
+/// and the sparse solver path.
+pub(crate) fn stamp_conductance<M: StampTarget + ?Sized>(mat: &mut M, a: NodeId, b: NodeId, g: f64) {
     if let Some(i) = idx(a) {
         mat.add(i, i, g);
         if let Some(j) = idx(b) {
@@ -121,6 +125,18 @@ pub(crate) struct StampPlan {
     /// clamping them would just make a supply node crawl to its source
     /// voltage half a volt per iteration.
     damped: Vec<bool>,
+    /// Every matrix slot the static (DC/Jacobian) assembly can touch:
+    /// gmin diagonal, constant stamps, MOS linearization sites.
+    static_slots: Vec<(usize, usize)>,
+    /// Slots touched only by capacitive stamps: transient companion
+    /// conductances and the AC `C` matrix (explicit capacitors plus MOS
+    /// gate capacitances).
+    dynamic_slots: Vec<(usize, usize)>,
+    /// Lazily built all-zero sparse matrix over the union of
+    /// `static_slots` and `dynamic_slots`; cloned (pattern shared, one
+    /// value vector each) by every sparse solver instance for this
+    /// circuit, so the pattern construction is paid once per plan.
+    sparse_template: OnceLock<SparseMatrix>,
 }
 
 impl StampPlan {
@@ -150,14 +166,33 @@ impl StampPlan {
             }
         };
 
+        // Slots a two-terminal conductance between resolved indices can
+        // touch (the sparsity-pattern counterpart of `stamp_conductance`).
+        let conductance_slots =
+            |slots: &mut Vec<(usize, usize)>, a: Option<usize>, b: Option<usize>| {
+                if let Some(i) = a {
+                    slots.push((i, i));
+                    if let Some(j) = b {
+                        slots.push((i, j));
+                        slots.push((j, i));
+                    }
+                }
+                if let Some(j) = b {
+                    slots.push((j, j));
+                }
+            };
+        let mut dynamic_slots = Vec::new();
+
         let mut branch = n_nodes; // next branch-current row/column
         for dev in circuit.devices() {
             match dev.kind() {
                 DeviceKind::Resistor { a, b, ohms } => {
                     conductance(&mut ops, *a, *b, 1.0 / ohms);
                 }
-                DeviceKind::Capacitor { .. } => {
-                    // Open in DC; transient stamps companions separately.
+                DeviceKind::Capacitor { a, b, .. } => {
+                    // Open in DC; transient stamps companions separately
+                    // (but their slots belong to the sparsity pattern).
+                    conductance_slots(&mut dynamic_slots, idx(*a), idx(*b));
                 }
                 DeviceKind::Isource { from, to, wave } => {
                     waves.push(wave.clone());
@@ -200,6 +235,10 @@ impl StampPlan {
                     }
                 }
                 DeviceKind::Mosfet { d, g, s, b, polarity, params } => {
+                    // Gate capacitances are stamped by the transient and
+                    // AC engines.
+                    conductance_slots(&mut dynamic_slots, idx(*g), idx(*s));
+                    conductance_slots(&mut dynamic_slots, idx(*g), idx(*d));
                     ops.push(PlanOp::Mos {
                         d: idx(*d),
                         g: idx(*g),
@@ -212,14 +251,53 @@ impl StampPlan {
             }
         }
         let mut damped = vec![false; n];
+        let mut static_slots: Vec<(usize, usize)> = (0..n_nodes).map(|i| (i, i)).collect();
         for op in &ops {
-            if let PlanOp::Mos { d, g, s, b, .. } = op {
-                for slot in [d, g, s, b].into_iter().flatten() {
-                    damped[*slot] = true;
+            match op {
+                PlanOp::Mos { d, g, s, b, .. } => {
+                    for slot in [d, g, s, b].into_iter().flatten() {
+                        damped[*slot] = true;
+                    }
+                    // The linearization writes the drain and source KCL
+                    // rows at every terminal column present.
+                    for row in [d, s].into_iter().flatten() {
+                        for col in [d, g, s, b].into_iter().flatten() {
+                            static_slots.push((*row, *col));
+                        }
+                    }
                 }
+                PlanOp::Mat { row, col, .. } => static_slots.push((*row, *col)),
+                PlanOp::Current { .. } | PlanOp::SourceRow { .. } => {}
             }
         }
-        StampPlan { n, n_nodes, ops, waves, damped }
+        StampPlan {
+            n,
+            n_nodes,
+            ops,
+            waves,
+            damped,
+            static_slots,
+            dynamic_slots,
+            sparse_template: OnceLock::new(),
+        }
+    }
+
+    /// Slots only capacitive stamps (companions, AC `C`) can touch.
+    pub(crate) fn dynamic_slots(&self) -> &[(usize, usize)] {
+        &self.dynamic_slots
+    }
+
+    /// The all-zero sparse assembly matrix over every slot any analysis
+    /// of this circuit can stamp (static + dynamic). Built on first use
+    /// and cached; callers clone it (the pattern is shared by `Arc`, so
+    /// a clone allocates only the value vector) and stamp into the
+    /// clone.
+    pub(crate) fn sparse_template(&self) -> &SparseMatrix {
+        self.sparse_template.get_or_init(|| {
+            let mut slots = self.static_slots.clone();
+            slots.extend_from_slice(&self.dynamic_slots);
+            SparseMatrix::from_entries(self.n, &slots)
+        })
     }
 
     /// Which unknowns are nonlinear-device terminals and therefore
@@ -255,10 +333,10 @@ impl StampPlan {
     /// Capacitors are *not* stamped here: DC treats them as open, and
     /// the transient engine stamps their companion models itself (it
     /// also owns the MOS intrinsic capacitances).
-    pub(crate) fn assemble_into(
+    pub(crate) fn assemble_into<M: StampTarget + ?Sized>(
         &self,
         x: &[f64],
-        mat: &mut Matrix,
+        mat: &mut M,
         rhs: &mut [f64],
         gmin: f64,
         source_vals: &[f64],

@@ -76,8 +76,8 @@ struct TranScratch {
 }
 
 impl TranScratch {
-    fn new(circuit: &Circuit, n_dyns: usize) -> Self {
-        let newton = NewtonScratch::new(circuit);
+    fn new(circuit: &Circuit, n_dyns: usize, solver: crate::solver::SolverKind) -> Self {
+        let newton = NewtonScratch::new(circuit, solver);
         let n = newton.plan.dim();
         TranScratch {
             newton,
@@ -165,7 +165,7 @@ impl<'c> TranAnalysis<'c> {
         trace.push_row(0.0, &row);
 
         let n_steps = (t_stop / dt - 1e-9).ceil().max(1.0) as usize;
-        let mut scratch = TranScratch::new(self.circuit, dyns.len());
+        let mut scratch = TranScratch::new(self.circuit, dyns.len(), self.options.solver);
 
         for k in 1..=n_steps {
             let t1 = (k as f64) * dt;
@@ -368,21 +368,23 @@ impl<'c> TranAnalysis<'c> {
         (max_step_v, max_iter): (f64, usize),
         scratch: &mut NewtonScratch,
     ) -> Result<(), SpiceError> {
-        let NewtonScratch { plan, mat, rhs, lu, x_new, src_vals } = scratch;
+        let NewtonScratch { plan, solver, rhs, x_new, src_vals } = scratch;
         let n = plan.dim();
         let n_nodes = self.circuit.node_count() - 1;
         let opts = &self.options;
         plan.source_values(src_vals, |w| w.eval(t1));
 
         for _ in 0..max_iter {
-            plan.assemble_into(x, mat, rhs, gmin, src_vals);
-            for (el, (geq, i_hist)) in dyns.iter().zip(companions) {
-                stamp::stamp_conductance(mat, el.a, el.b, *geq);
+            solver.assemble_and_factor(plan, x, rhs, gmin, src_vals, |mat| {
+                for (el, (geq, _)) in dyns.iter().zip(companions) {
+                    stamp::stamp_conductance(mat, el.a, el.b, *geq);
+                }
+            })?;
+            for (el, (_, i_hist)) in dyns.iter().zip(companions) {
                 // The history term acts as a current source from b to a.
                 stamp::stamp_current(rhs, el.b, el.a, *i_hist);
             }
-            lu.factor_in_place(mat)?;
-            lu.solve_into(rhs, x_new)?;
+            solver.solve_into(rhs, x_new)?;
 
             let mut converged = true;
             for i in 0..n {

@@ -20,8 +20,12 @@
 //! * [`dsp`] (`castg-dsp`) — waveform post-processing (Goertzel, THD,
 //!   deviation metrics).
 //! * [`numeric`] (`castg-numeric`) — dense LU (including the reusable
-//!   in-place `LuWorkspace` behind the simulator hot path), Brent and
-//!   bounded Powell minimization, parameter spaces, sweep grids.
+//!   in-place `LuWorkspace` behind the simulator hot path), the sparse
+//!   CSC LU with symbolic-factor reuse behind large-netlist analyses,
+//!   Brent and bounded Powell minimization, parameter spaces, sweep
+//!   grids. The simulator picks dense or sparse per circuit
+//!   (`spice::SolverKind`), and a differential test harness pins the
+//!   two paths to 1e-9 relative agreement.
 //!
 //! The compute-bound pipeline halves — per-fault generation
 //! ([`core::Generator::generate`]) and test-set coverage

@@ -1,0 +1,55 @@
+//! Golden-file regression tests: the generate → compact → evaluate
+//! pipeline's canonical report rendering must match the committed
+//! fixtures under `tests/golden/` **byte for byte**.
+//!
+//! The pipeline is deterministic (fixed seeds, deterministic
+//! optimizers, order-stable parallel fan-out), so any diff here means
+//! an algorithmic change — intended or not. To update the fixtures
+//! after an intentional change, run
+//!
+//! ```text
+//! cargo run --release -p castg-bench --bin regen_all
+//! ```
+//!
+//! which rewrites `tests/golden/*.txt`, and review the diff.
+
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn assert_matches_fixture(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); regenerate with \
+             `cargo run --release -p castg-bench --bin regen_all`",
+            path.display()
+        )
+    });
+    assert!(
+        expected == actual,
+        "golden report {name} diverged from its fixture.\n\
+         If the change is intentional, regenerate with\n\
+         `cargo run --release -p castg-bench --bin regen_all` and review the diff.\n\
+         --- fixture ---\n{expected}\n--- actual ---\n{actual}"
+    );
+}
+
+#[test]
+fn divider_generation_report_is_byte_stable() {
+    assert_matches_fixture("divider_generation.txt", &castg_bench::golden::divider_report());
+}
+
+/// Release-only: the IV-converter golden run optimizes transient-heavy
+/// configurations and takes ~50 s unoptimized. The CI release-test job
+/// runs it on every push; locally use
+/// `cargo test --release --test golden_reports`. The rendering is
+/// bit-identical between debug and release builds (no fast-math
+/// anywhere), so nothing is lost by asserting it in release only.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow unoptimized; run with --release")]
+fn iv_converter_generation_report_is_byte_stable() {
+    assert_matches_fixture("iv_generation.txt", &castg_bench::golden::iv_report());
+}

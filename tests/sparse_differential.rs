@@ -1,0 +1,229 @@
+//! Differential test harness: the sparse solver path against the dense
+//! one, end to end through the circuit simulator.
+//!
+//! Every analysis here is run twice — `SolverKind::Dense` forced and
+//! `SolverKind::Sparse` forced — on the same circuit, and the solutions
+//! must agree to 1e-9 *relative*. The circuits come from the scalable
+//! synthetic families (`LadderMacro`, `OtaChainMacro`) and from the
+//! paper's IV-converter, nominal **and** after fault injection, so the
+//! cross-check covers linear and MOS-nonlinear systems, DC, transient
+//! and AC, at sizes where `Auto` would pick either path.
+
+use castg::core::synthetic::{LadderMacro, OtaChainMacro};
+use castg::core::AnalogMacro;
+use castg::faults::Fault;
+use castg::macros::IvConverter;
+use castg::spice::{
+    AcAnalysis, AcSource, AnalysisOptions, Circuit, DcAnalysis, Probe, SolverKind, TranAnalysis,
+    Waveform,
+};
+use proptest::prelude::*;
+
+/// Relative agreement both solver paths must reach.
+const REL_TOL: f64 = 1e-9;
+
+fn opts(solver: SolverKind) -> AnalysisOptions {
+    AnalysisOptions { solver, ..AnalysisOptions::default() }
+}
+
+/// Options for the nonlinear (MOS) differential cases: Newton stops at
+/// `reltol`, so with the default 1e-4 the two solver paths can
+/// legitimately halt at iterates ~1e-4 apart. Driving the tolerances
+/// near machine precision pins both to the same fixed point, making the
+/// 1e-9 cross-check meaningful.
+fn tight_opts(solver: SolverKind) -> AnalysisOptions {
+    AnalysisOptions {
+        solver,
+        reltol: 1e-12,
+        vntol: 1e-13,
+        abstol: 1e-16,
+        max_iter: 400,
+        ..AnalysisOptions::default()
+    }
+}
+
+/// Solves the DC operating point through both paths and compares every
+/// MNA unknown.
+fn assert_dc_paths_agree(c: &Circuit, context: &str) {
+    assert_dc_paths_agree_with(c, context, opts, REL_TOL);
+}
+
+/// As [`assert_dc_paths_agree`], with explicit per-path options and
+/// agreement tolerance.
+fn assert_dc_paths_agree_with(
+    c: &Circuit,
+    context: &str,
+    make_opts: fn(SolverKind) -> AnalysisOptions,
+    tol: f64,
+) {
+    let dense = DcAnalysis::with_options(c, make_opts(SolverKind::Dense)).solve().unwrap();
+    let sparse = DcAnalysis::with_options(c, make_opts(SolverKind::Sparse)).solve().unwrap();
+    for (i, (d, s)) in dense.state().iter().zip(sparse.state()).enumerate() {
+        let scale = d.abs().max(s.abs()).max(1.0);
+        assert!(
+            (d - s).abs() <= tol * scale,
+            "{context}: unknown {i} diverges: dense {d} vs sparse {s}"
+        );
+    }
+}
+
+#[test]
+fn ladder_dc_dense_vs_sparse_across_sizes() {
+    for n in [16, 64, 256] {
+        let mac = LadderMacro::with_unknowns(n);
+        assert_dc_paths_agree(&mac.nominal_circuit(), &format!("ladder n={n}"));
+    }
+}
+
+#[test]
+fn ladder_dc_agrees_after_fault_injection() {
+    let mac = LadderMacro::with_unknowns(128);
+    let c = mac.nominal_circuit();
+    for fault in mac.fault_dictionary().iter() {
+        let faulty = fault.inject(&c).unwrap();
+        assert_dc_paths_agree(&faulty, &format!("ladder fault {}", fault.name()));
+    }
+}
+
+#[test]
+fn ota_chain_dc_dense_vs_sparse_nominal_and_faulted() {
+    let mac = OtaChainMacro::with_unknowns(48);
+    let c = mac.nominal_circuit();
+    assert_dc_paths_agree_with(&c, "ota chain nominal", tight_opts, REL_TOL);
+    for fault in mac.fault_dictionary().iter() {
+        let faulty = fault.inject(&c).unwrap();
+        assert_dc_paths_agree_with(
+            &faulty,
+            &format!("ota chain fault {}", fault.name()),
+            tight_opts,
+            REL_TOL,
+        );
+    }
+}
+
+#[test]
+fn iv_converter_dc_agrees_with_sparse_forced() {
+    // The paper's real macro: 10 MOSFETs at n = 11 — a size Auto solves
+    // densely, so forcing sparse here cross-checks the nonlinear path
+    // on the exact circuit the generation pipeline hammers.
+    let mac = IvConverter::with_analytic_boxes();
+    let mut c = mac.nominal_circuit();
+    c.set_stimulus("IIN", Waveform::dc(20e-6)).unwrap();
+    assert_dc_paths_agree_with(&c, "iv-converter nominal", tight_opts, REL_TOL);
+    // Faulted variants: some bridges (supply into the high-gain bias
+    // loop) drive the Jacobian's condition number to ~1e8, where two
+    // equally correct factorizations can only agree to κ·ε ≈ 1e-8 in
+    // f64 — so the faulted cross-check uses a conditioning-aware bound
+    // instead of the well-conditioned 1e-9.
+    for fault in mac.fault_dictionary().iter().take(12) {
+        let faulty = fault.inject(&c).unwrap();
+        assert_dc_paths_agree_with(
+            &faulty,
+            &format!("iv-converter fault {}", fault.name()),
+            tight_opts,
+            1e-6,
+        );
+    }
+}
+
+#[test]
+fn ladder_transient_dense_vs_sparse() {
+    let mac = LadderMacro::with_unknowns(96);
+    let mut c = mac.nominal_circuit();
+    c.set_stimulus("V1", Waveform::step(1.0, 2.0, 0.2e-6, 0.05e-6)).unwrap();
+    let out = c.find_node("out").unwrap();
+    let probes = [Probe::NodeVoltage(out)];
+    let run = |kind| {
+        TranAnalysis::with_options(&c, opts(kind), Default::default())
+            .run(2e-6, 0.05e-6, &probes)
+            .unwrap()
+    };
+    let dense = run(SolverKind::Dense);
+    let sparse = run(SolverKind::Sparse);
+    assert_eq!(dense.len(), sparse.len());
+    for (i, (d, s)) in dense.column(0).iter().zip(sparse.column(0)).enumerate() {
+        let scale = d.abs().max(s.abs()).max(1.0);
+        assert!(
+            (d - s).abs() <= REL_TOL * scale,
+            "transient t[{i}]: dense {d} vs sparse {s}"
+        );
+    }
+}
+
+#[test]
+fn ladder_ac_dense_vs_sparse() {
+    // The sparse AC path solves the real 2n×2n embedding; magnitudes
+    // and phases must match the dense complex solver.
+    let mac = LadderMacro::with_unknowns(80);
+    let c = mac.nominal_circuit();
+    let out = c.find_node("out").unwrap();
+    let freqs = [1e3, 100e3, 10e6];
+    let run = |kind| {
+        AcAnalysis::with_options(&c, opts(kind))
+            .source(AcSource { name: "V1".into(), magnitude: 1.0 })
+            .run(&freqs)
+            .unwrap()
+    };
+    let dense = run(SolverKind::Dense);
+    let sparse = run(SolverKind::Sparse);
+    for (i, f) in freqs.iter().enumerate() {
+        let d = dense.voltage(i, out);
+        let s = sparse.voltage(i, out);
+        let scale = d.abs().max(s.abs()).max(1.0);
+        assert!(
+            (d - s).abs() <= 1e-8 * scale,
+            "ac f={f}: dense {d:?} vs sparse {s:?}"
+        );
+    }
+}
+
+#[test]
+fn auto_matches_forced_paths_at_the_boundary() {
+    // Auto must agree with both forced paths regardless of which side
+    // of the selection threshold a circuit lands on.
+    for n in [32, 200] {
+        let mac = LadderMacro::with_unknowns(n);
+        let c = mac.nominal_circuit();
+        let auto = DcAnalysis::with_options(&c, opts(SolverKind::Auto)).solve().unwrap();
+        let dense = DcAnalysis::with_options(&c, opts(SolverKind::Dense)).solve().unwrap();
+        for (a, d) in auto.state().iter().zip(dense.state()) {
+            assert!((a - d).abs() <= REL_TOL * d.abs().max(1.0), "n={n}: {a} vs {d}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random `LadderMacro` instances — random size, stimulus level and
+    /// injected bridge fault — agree between the two solver paths at
+    /// the DC operating point.
+    #[test]
+    fn random_ladder_instances_agree(
+        sections in 8usize..220,
+        lev in 1.0f64..8.0,
+        fault_choice in 0usize..12,
+    ) {
+        let mac = LadderMacro::new(sections);
+        let mut c = mac.nominal_circuit();
+        c.set_stimulus("V1", Waveform::dc(lev)).unwrap();
+        let dict = mac.fault_dictionary();
+        let fault: &Fault = &dict.faults()[fault_choice % dict.len()];
+        let faulty = fault.inject(&c).unwrap();
+
+        for circuit in [&c, &faulty] {
+            let dense =
+                DcAnalysis::with_options(circuit, opts(SolverKind::Dense)).solve().unwrap();
+            let sparse =
+                DcAnalysis::with_options(circuit, opts(SolverKind::Sparse)).solve().unwrap();
+            for (d, s) in dense.state().iter().zip(sparse.state()) {
+                let scale = d.abs().max(s.abs()).max(1.0);
+                prop_assert!(
+                    (d - s).abs() <= REL_TOL * scale,
+                    "sections={}, lev={}, fault={}: {} vs {}",
+                    sections, lev, fault.name(), d, s
+                );
+            }
+        }
+    }
+}

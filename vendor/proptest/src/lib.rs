@@ -205,23 +205,29 @@ impl TestRunner {
 /// whole process) with an optional formatted message.
 #[macro_export]
 macro_rules! prop_assert {
-    ($cond:expr) => {
-        if !($cond) {
+    ($cond:expr) => {{
+        // Conditions are frequently float comparisons, where the
+        // negated form is the intended NaN-catching one.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        let failed = !($cond);
+        if failed {
             return Err($crate::TestCaseError::Fail(format!(
                 "assertion failed: {}",
                 stringify!($cond)
             )));
         }
-    };
-    ($cond:expr, $($fmt:tt)+) => {
-        if !($cond) {
+    }};
+    ($cond:expr, $($fmt:tt)+) => {{
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        let failed = !($cond);
+        if failed {
             return Err($crate::TestCaseError::Fail(format!(
                 "assertion failed: {}: {}",
                 stringify!($cond),
                 format!($($fmt)+)
             )));
         }
-    };
+    }};
 }
 
 /// Asserts equality inside a property.
@@ -257,11 +263,15 @@ macro_rules! prop_assert_eq {
 /// Skips the current case when its precondition does not hold.
 #[macro_export]
 macro_rules! prop_assume {
-    ($cond:expr) => {
-        if !($cond) {
+    ($cond:expr) => {{
+        // Comparisons here are frequently on floats, where `!(a > b)`
+        // is the intended NaN-rejecting form.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        let rejected = !($cond);
+        if rejected {
             return Err($crate::TestCaseError::Reject);
         }
-    };
+    }};
 }
 
 /// Declares property tests: `#[test]` functions whose arguments are
