@@ -1,0 +1,31 @@
+//! Criterion decomposition of one campaign cell on the n = 256 ladder:
+//! what a warm `(fault, test)` DC measurement spends its time on.
+
+use castg_core::synthetic::LadderMacro;
+use castg_core::AnalogMacro;
+use castg_spice::{DcAnalysis, Waveform};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mac = LadderMacro::with_unknowns(256);
+    let nominal = mac.nominal_circuit();
+    nominal.compile_plan();
+    let fault = castg_faults::Fault::bridge("out", "0", LadderMacro::BRIDGE_R0);
+    let variant = fault.inject(&nominal).unwrap();
+    let _ = DcAnalysis::new(&variant).solve().unwrap();
+
+    c.bench_function("ladder256_warm_cell_solve", |b| {
+        b.iter(|| {
+            DcAnalysis::new(std::hint::black_box(&variant))
+                .override_stimulus("V1", Waveform::dc(5.0))
+                .solve()
+                .unwrap()
+        })
+    });
+    c.bench_function("ladder256_delta_inject", |b| {
+        b.iter(|| fault.inject(std::hint::black_box(&nominal)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

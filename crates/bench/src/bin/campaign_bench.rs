@@ -1,0 +1,266 @@
+//! End-to-end fault-campaign throughput benchmark.
+//!
+//! Runs the full generate → inject → evaluate pipeline on the two
+//! canonical campaign workloads — the paper's IV-converter dictionary
+//! and the scalable RC ladder at n = 256 unknowns — and emits a
+//! machine-readable `BENCH_campaign.json` with wall time, a per-phase
+//! breakdown and the evaluation throughput in faults per second, so the
+//! perf trajectory of the campaign engine is trackable PR over PR.
+//!
+//! ```text
+//! cargo run --release -p castg-bench --bin campaign_bench -- \
+//!     [--quick] [--threads N] [--reps N] [--iv-faults N] [--out PATH]
+//! ```
+//!
+//! `--quick` is the CI smoke configuration: a small fault list, one
+//! repetition, same code paths. The binary exits nonzero if any
+//! workload produces a non-finite or zero throughput, so CI can gate on
+//! it without parsing the JSON.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use castg_core::synthetic::LadderMacro;
+use castg_core::{
+    compact, evaluate_test_set_with_threads, test_instances_from_compaction, AnalogMacro,
+    CompactionOptions, Generator, GeneratorOptions, NominalCache, TestInstance,
+};
+use castg_faults::FaultDictionary;
+use castg_macros::IvConverter;
+use castg_numeric::{BrentOptions, PowellOptions};
+
+/// One workload's timings, all in seconds.
+struct WorkloadResult {
+    name: String,
+    faults: usize,
+    tests: usize,
+    threads: usize,
+    reps: usize,
+    generate_s: f64,
+    compact_s: f64,
+    inject_s: f64,
+    /// Best-of-`reps` wall time of one full coverage evaluation.
+    evaluate_s: f64,
+    /// `faults / evaluate_s` for the best repetition.
+    faults_per_s: f64,
+    /// Fault × test simulation pairs per second for the best repetition.
+    pairs_per_s: f64,
+}
+
+fn frugal_options(threads: usize) -> GeneratorOptions {
+    GeneratorOptions {
+        threads,
+        powell: PowellOptions {
+            ftol: 1e-3,
+            max_iter: 6,
+            line: BrentOptions { tol: 5e-3, max_iter: 10 },
+        },
+        brent: BrentOptions { tol: 1e-3, max_iter: 20 },
+        ..GeneratorOptions::default()
+    }
+}
+
+/// Times one full campaign: generation over `dict`, compaction, one
+/// timed injection sweep, and `reps` coverage evaluations of the
+/// compacted set (best time kept).
+fn run_campaign(
+    name: &str,
+    mac: &dyn AnalogMacro,
+    dict: &FaultDictionary,
+    threads: usize,
+    reps: usize,
+) -> WorkloadResult {
+    let cache = NominalCache::new();
+
+    let t0 = Instant::now();
+    let generation = Generator::with_options(mac, &cache, frugal_options(threads)).generate(dict);
+    let generate_s = t0.elapsed().as_secs_f64();
+    assert!(
+        generation.failures.is_empty(),
+        "{name}: generation failed: {:?}",
+        generation.failures
+    );
+
+    let t0 = Instant::now();
+    let compaction =
+        compact(mac, &cache, &generation, &CompactionOptions::default()).expect("compaction");
+    let compact_s = t0.elapsed().as_secs_f64();
+    let tests = test_instances_from_compaction(mac, &compaction).expect("instances");
+
+    // Injection cost for the whole fault list (the campaign engine pays
+    // this once per evaluation, inside the evaluate phase).
+    let nominal = mac.nominal_circuit();
+    let t0 = Instant::now();
+    for fault in dict.iter() {
+        let _ = fault.inject(&nominal).expect("dictionary fault must inject");
+    }
+    let inject_s = t0.elapsed().as_secs_f64();
+
+    let mut evaluate_s = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let fresh_cache = NominalCache::new();
+        let t0 = Instant::now();
+        let coverage = evaluate_test_set_with_threads(mac, &fresh_cache, &tests, dict, threads)
+            .expect("coverage evaluation");
+        let dt = t0.elapsed().as_secs_f64();
+        assert_eq!(coverage.total(), dict.len());
+        evaluate_s = evaluate_s.min(dt);
+    }
+
+    WorkloadResult {
+        name: name.to_string(),
+        faults: dict.len(),
+        tests: tests.len(),
+        threads,
+        reps,
+        generate_s,
+        compact_s,
+        inject_s,
+        evaluate_s,
+        faults_per_s: dict.len() as f64 / evaluate_s,
+        pairs_per_s: (dict.len() * tests.len()) as f64 / evaluate_s,
+    }
+}
+
+/// Evaluation-only ladder campaign with synthetic DC test instances:
+/// isolates the inject + evaluate engine from optimizer noise, the way
+/// dictionary re-screens hammer it in production.
+fn run_ladder_eval(name: &str, unknowns: usize, threads: usize, reps: usize) -> WorkloadResult {
+    let mac = LadderMacro::with_unknowns(unknowns);
+    let dict = mac.fault_dictionary();
+    let config = mac
+        .configurations()
+        .into_iter()
+        .find(|c| c.name() == "dc_out")
+        .expect("ladder has a dc_out configuration");
+    let tests: Vec<TestInstance> = [2.0, 3.5, 5.0, 6.0, 7.0, 8.0]
+        .iter()
+        .map(|&lev| TestInstance { config: Arc::clone(&config), params: vec![lev] })
+        .collect();
+
+    let nominal = mac.nominal_circuit();
+    let t0 = Instant::now();
+    for fault in dict.iter() {
+        let _ = fault.inject(&nominal).expect("dictionary fault must inject");
+    }
+    let inject_s = t0.elapsed().as_secs_f64();
+
+    let mut evaluate_s = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let cache = NominalCache::new();
+        let t0 = Instant::now();
+        let coverage = evaluate_test_set_with_threads(&mac, &cache, &tests, &dict, threads)
+            .expect("coverage evaluation");
+        let dt = t0.elapsed().as_secs_f64();
+        assert_eq!(coverage.total(), dict.len());
+        evaluate_s = evaluate_s.min(dt);
+    }
+
+    WorkloadResult {
+        name: name.to_string(),
+        faults: dict.len(),
+        tests: tests.len(),
+        threads,
+        reps,
+        generate_s: 0.0,
+        compact_s: 0.0,
+        inject_s,
+        evaluate_s,
+        faults_per_s: dict.len() as f64 / evaluate_s,
+        pairs_per_s: (dict.len() * tests.len()) as f64 / evaluate_s,
+    }
+}
+
+fn render_json(results: &[WorkloadResult]) -> String {
+    let mut out = String::from("{\n  \"workloads\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"faults\": {}, \"tests\": {}, \"threads\": {}, \
+             \"reps\": {}, \"generate_s\": {:.6}, \"compact_s\": {:.6}, \
+             \"inject_s\": {:.6}, \"evaluate_s\": {:.6}, \"faults_per_s\": {:.3}, \
+             \"pairs_per_s\": {:.3}}}",
+            r.name,
+            r.faults,
+            r.tests,
+            r.threads,
+            r.reps,
+            r.generate_s,
+            r.compact_s,
+            r.inject_s,
+            r.evaluate_s,
+            r.faults_per_s,
+            r.pairs_per_s,
+        );
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut reps = 3usize;
+    let mut iv_faults = 12usize;
+    let mut out_path = String::from("BENCH_campaign.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--threads" => {
+                threads = it.next().and_then(|v| v.parse().ok()).expect("--threads N")
+            }
+            "--reps" => reps = it.next().and_then(|v| v.parse().ok()).expect("--reps N"),
+            "--iv-faults" => {
+                iv_faults = it.next().and_then(|v| v.parse().ok()).expect("--iv-faults N")
+            }
+            "--out" => out_path = it.next().expect("--out PATH").clone(),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    if quick {
+        reps = 1;
+        iv_faults = iv_faults.min(3);
+    }
+
+    let mut results = Vec::new();
+
+    // IV-converter: the paper's macro, full generate → inject → evaluate.
+    let mac = IvConverter::with_analytic_boxes();
+    let dict = FaultDictionary::new(
+        mac.fault_dictionary().iter().take(iv_faults).cloned().collect(),
+    );
+    results.push(run_campaign("iv_converter", &mac, &dict, threads, reps));
+
+    // Ladder n = 256: the sparse-path campaign workload.
+    if !quick {
+        let mac = LadderMacro::with_unknowns(256);
+        let dict = mac.fault_dictionary();
+        results.push(run_campaign("ladder_n256_pipeline", &mac, &dict, threads, reps));
+    }
+    results.push(run_ladder_eval(
+        "ladder_n256_eval",
+        256,
+        threads,
+        if quick { 1 } else { reps.max(5) },
+    ));
+
+    let json = render_json(&results);
+    std::fs::write(&out_path, &json).expect("write BENCH_campaign.json");
+    print!("{json}");
+
+    for r in &results {
+        eprintln!(
+            "{}: evaluate {:.4}s ({:.1} faults/s, {:.1} pairs/s), generate {:.2}s, inject {:.4}s",
+            r.name, r.evaluate_s, r.faults_per_s, r.pairs_per_s, r.generate_s, r.inject_s
+        );
+        assert!(
+            r.faults_per_s.is_finite() && r.faults_per_s > 0.0,
+            "{}: degenerate throughput",
+            r.name
+        );
+    }
+}

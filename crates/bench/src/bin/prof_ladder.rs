@@ -1,0 +1,126 @@
+//! Wall-clock decomposition of one ladder-campaign cell (n = 256): DC
+//! solve on the nominal vs a bridge-injected variant, with and without
+//! the shared-plan machinery warm. A scratch diagnostic, not a tracked
+//! benchmark (`cargo run --release -p castg-bench --bin prof_ladder`).
+
+use castg_core::synthetic::LadderMacro;
+use castg_core::AnalogMacro;
+use castg_spice::{DcAnalysis, Waveform};
+use std::time::Instant;
+
+fn main() {
+    let mac = LadderMacro::with_unknowns(256);
+    let nominal = mac.nominal_circuit();
+    nominal.compile_plan();
+    let fault = castg_faults::Fault::bridge("out", "0", LadderMacro::BRIDGE_R0);
+
+    let t0 = Instant::now();
+    let reps = 50u32;
+    for _ in 0..reps {
+        let _ = std::hint::black_box(fault.inject(&nominal).unwrap());
+    }
+    println!("inject (delta): {:?}", t0.elapsed() / reps);
+
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let _ = std::hint::black_box(nominal.clone());
+    }
+    println!("circuit clone:  {:?}", t0.elapsed() / reps);
+
+    let variant = fault.inject(&nominal).unwrap();
+    // Warm the variant's plan/template/symbolic.
+    let _ = DcAnalysis::new(&variant).solve().unwrap();
+
+    let reps = 2000u32;
+    let t0 = Instant::now();
+    let mut acc = 0.0;
+    for _ in 0..reps {
+        let sol = DcAnalysis::new(std::hint::black_box(&variant))
+            .override_stimulus("V1", Waveform::dc(5.0))
+            .solve()
+            .unwrap();
+        acc += sol.voltages()[1];
+    }
+    println!("warm variant solve: {:?} (acc={acc})", t0.elapsed() / reps);
+
+    let t0 = Instant::now();
+    let mut acc = 0.0;
+    for _ in 0..reps {
+        let sol = DcAnalysis::new(std::hint::black_box(&nominal)).solve().unwrap();
+        acc += sol.voltages()[1];
+    }
+    println!("warm nominal solve: {:?} (acc={acc})", t0.elapsed() / reps);
+
+    // First-solve cost of a fresh variant: template + canonical
+    // symbolic + first refactor (all one-time per campaign variant).
+    let reps2 = 200u32;
+    let t0 = Instant::now();
+    for _ in 0..reps2 {
+        let v = fault.inject(&nominal).unwrap();
+        let _ = std::hint::black_box(DcAnalysis::new(&v).solve().unwrap());
+    }
+    println!("inject + cold solve: {:?}", t0.elapsed() / reps2);
+
+    // Full evaluator cell on the warm variant (sensitivity_of).
+    {
+        use castg_core::{Evaluator, NominalCache};
+        let cache = NominalCache::new();
+        let config = mac
+            .configurations()
+            .into_iter()
+            .find(|c| c.name() == "dc_out")
+            .unwrap();
+        let ev = Evaluator::new(config.as_ref(), &nominal, &cache);
+        let _ = ev.sensitivity_of(&variant, &[5.0]).unwrap();
+        let t0 = Instant::now();
+        let mut acc = 0.0;
+        for _ in 0..reps {
+            acc += ev.sensitivity_of(std::hint::black_box(&variant), &[5.0]).unwrap();
+        }
+        println!("warm evaluator cell: {:?} (acc={acc})", t0.elapsed() / reps);
+    }
+
+    // One full campaign evaluation mirroring the bench workload.
+    use castg_core::{evaluate_test_set_with_threads, NominalCache, TestInstance};
+    use std::sync::Arc;
+    let dict = mac.fault_dictionary();
+    let config = mac
+        .configurations()
+        .into_iter()
+        .find(|c| c.name() == "dc_out")
+        .unwrap();
+    let tests: Vec<TestInstance> = [2.0, 3.5, 5.0, 6.0, 7.0, 8.0]
+        .iter()
+        .map(|&lev| TestInstance { config: Arc::clone(&config), params: vec![lev] })
+        .collect();
+    let t0 = Instant::now();
+    for _ in 0..20 {
+        let _ = std::hint::black_box(mac.nominal_circuit());
+    }
+    println!("nominal_circuit construction: {:?}", t0.elapsed() / 20);
+    let fresh = mac.nominal_circuit();
+    let t0 = Instant::now();
+    fresh.compile_plan();
+    println!("nominal plan compile: {:?}", t0.elapsed());
+    let t0 = Instant::now();
+    let variants: Vec<_> = dict.iter().map(|f| f.inject(&fresh).unwrap()).collect();
+    println!("inject all {}: {:?}", variants.len(), t0.elapsed());
+    let t0 = Instant::now();
+    for v in &variants {
+        let _ = DcAnalysis::new(v).solve().unwrap();
+    }
+    println!("first solves: {:?}", t0.elapsed());
+    let t0 = Instant::now();
+    for v in &variants {
+        let _ = DcAnalysis::new(v).solve().unwrap();
+    }
+    println!("second solves: {:?}", t0.elapsed());
+
+    let cache = NominalCache::new();
+    let t0 = Instant::now();
+    let cov = evaluate_test_set_with_threads(&mac, &cache, &tests, &dict, 1).unwrap();
+    println!("campaign evaluate (cold cache): {:?} ({} faults)", t0.elapsed(), cov.total());
+    let t0 = Instant::now();
+    let _ = evaluate_test_set_with_threads(&mac, &cache, &tests, &dict, 1).unwrap();
+    println!("campaign evaluate (warm cache): {:?}", t0.elapsed());
+}

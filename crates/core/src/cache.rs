@@ -4,6 +4,14 @@
 //! parameter vector — not on the fault — so one cache is shared across
 //! the whole (multi-threaded) generation run. With 55 faults probing
 //! overlapping parameter regions this roughly halves simulator work.
+//!
+//! The map is split into a fixed array of lock-sharded segments keyed
+//! by the key's hash: thousand-fault campaigns fan `(fault, test)` work
+//! items across every core, and all of them consult the nominal cache —
+//! a single `RwLock<HashMap>` serializes exactly the hottest moment
+//! (the warm-cache read storm right after the first tests complete).
+//! Sixteen shards make those reads effectively contention-free while
+//! keeping the type a drop-in replacement.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -12,6 +20,10 @@ use parking_lot::RwLock;
 
 use crate::config::Measurement;
 use crate::CoreError;
+
+/// Number of lock shards. A power of two so the shard pick is a mask;
+/// comfortably above any realistic worker count's collision rate.
+const SHARDS: usize = 16;
 
 /// Cache key: configuration id plus the exact bit patterns of the
 /// parameter vector (optimizers re-probe identical points across faults;
@@ -26,13 +38,33 @@ impl Key {
     fn new(config_id: usize, params: &[f64]) -> Self {
         Key { config_id, param_bits: params.iter().map(|p| p.to_bits()).collect() }
     }
+
+    /// Shard index of this key: a cheap FNV-style fold of the exact
+    /// parameter bits. Shard *selection* only needs to spread load, so
+    /// it must not pay a second full `SipHash` pass on top of the one
+    /// the shard's `HashMap` performs anyway.
+    fn shard(&self) -> usize {
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = (self.config_id as u64) ^ 0xcbf2_9ce4_8422_2325;
+        for bits in &self.param_bits {
+            h = (h ^ bits).wrapping_mul(FNV_PRIME);
+        }
+        // Top bits have the best mixing after the final multiply.
+        ((h >> 56) as usize) & (SHARDS - 1)
+    }
 }
 
-/// Thread-safe map from `(configuration, parameters)` to the nominal
-/// [`Measurement`].
-#[derive(Debug, Default)]
+/// Thread-safe, lock-sharded map from `(configuration, parameters)` to
+/// the nominal [`Measurement`].
+#[derive(Debug)]
 pub struct NominalCache {
-    map: RwLock<HashMap<Key, Arc<Measurement>>>,
+    shards: [RwLock<HashMap<Key, Arc<Measurement>>>; SHARDS],
+}
+
+impl Default for NominalCache {
+    fn default() -> Self {
+        NominalCache { shards: std::array::from_fn(|_| RwLock::new(HashMap::new())) }
+    }
 }
 
 impl NominalCache {
@@ -61,28 +93,31 @@ impl NominalCache {
         F: FnOnce() -> Result<Measurement, CoreError>,
     {
         let key = Key::new(config_id, params);
-        if let Some(hit) = self.map.read().get(&key) {
+        let shard = &self.shards[key.shard()];
+        if let Some(hit) = shard.read().get(&key) {
             return Ok(Arc::clone(hit));
         }
         let value = Arc::new(compute()?);
-        let mut guard = self.map.write();
+        let mut guard = shard.write();
         let entry = guard.entry(key).or_insert_with(|| Arc::clone(&value));
         Ok(Arc::clone(entry))
     }
 
     /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.map.read().len()
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.map.read().is_empty()
+        self.shards.iter().all(|s| s.read().is_empty())
     }
 
     /// Drops all entries.
     pub fn clear(&self) {
-        self.map.write().clear();
+        for shard in &self.shards {
+            shard.write().clear();
+        }
     }
 }
 

@@ -1,21 +1,32 @@
 //! Test-set quality evaluation: fault coverage of an arbitrary test set
-//! against a fault dictionary.
+//! against a fault dictionary, run as a structure-sharing **fault
+//! campaign**.
 //!
 //! Coverage evaluation is the second compute-bound half of the
 //! generate→evaluate pipeline: every fault × test pair costs one full
-//! faulty-circuit simulation. Two structural choices keep it cheap:
-//! the faulted circuit is injected **once per fault** and reused across
-//! all tests (injection is configuration-independent), and the faults
-//! are fanned out over a crossbeam worker queue exactly like
-//! [`Generator::generate`](crate::Generator::generate). Worker results
-//! land in per-fault slots, so the report is in dictionary order and
-//! identical — test indices, sensitivities, everything — to a serial
-//! evaluation.
+//! faulty-circuit simulation. The campaign engine keeps it cheap by
+//! amortizing every piece of per-circuit compilation across the run:
+//!
+//! * the nominal circuit's assembly plan is compiled **once** and
+//!   shared (immutably) by every nominal measurement on every worker;
+//! * every fault is injected **once per campaign**, by default through
+//!   the delta path ([`Fault::inject`] patching the nominal plan —
+//!   bridges are pure delta-stamps; see [`InjectionMode`]), and the
+//!   variant — circuit, plan, sparse template, symbolic analysis — is
+//!   shared read-only by all its tests;
+//! * workers pull `(fault, test)` **work items** from one queue, so a
+//!   campaign with few faults but many tests (or vice versa) still
+//!   saturates every core.
+//!
+//! Per-cell results land in per-pair slots and are reduced in
+//! dictionary order, so the report is identical — test indices,
+//! sensitivities, everything, bit for bit — at any worker count and
+//! under either injection mode.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use castg_faults::{Fault, FaultDictionary};
+use castg_faults::FaultDictionary;
 use castg_spice::Circuit;
 use parking_lot::Mutex;
 
@@ -23,6 +34,40 @@ use crate::cache::NominalCache;
 use crate::compact::CompactionReport;
 use crate::sensitivity::{is_detected, Evaluator};
 use crate::{AnalogMacro, CoreError, TestConfiguration};
+
+/// How the campaign engine materializes its faulted circuit variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InjectionMode {
+    /// Delta injection ([`Fault::inject`] on a plan-compiled nominal):
+    /// bridge variants patch the nominal circuit's compiled plan
+    /// (delta-stamps) instead of recompiling; structural faults
+    /// (pinholes) recompile once per campaign. The default.
+    #[default]
+    Delta,
+    /// Reference path ([`Fault::inject_rebuilt`]): every variant
+    /// recompiles plan, sparse template and symbolic analysis from its
+    /// netlist. Exists so differential harnesses can pin the delta
+    /// path's bit-identity; never faster.
+    Rebuild,
+}
+
+/// Options of a coverage-evaluation campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignOptions {
+    /// Worker threads pulling `(fault, test)` work items.
+    pub threads: usize,
+    /// Variant materialization path.
+    pub injection: InjectionMode,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            injection: InjectionMode::default(),
+        }
+    }
+}
 
 /// A concrete test: configuration plus parameter values.
 #[derive(Clone)]
@@ -98,40 +143,98 @@ impl CoverageReport {
     }
 }
 
-/// Scores one fault against every test: injects the faulted circuit
-/// once, then sweeps the tests over that single injection. Injection is
-/// skipped entirely for an empty test set (nothing can detect, and a
-/// fault that fails to inject must not fail the evaluation then).
-fn coverage_for_fault(
+/// One `(fault, test)` work item: scores one test against one shared
+/// injected variant.
+fn evaluate_cell(
     nominal: &Circuit,
     cache: &NominalCache,
-    tests: &[TestInstance],
-    fault: &Fault,
-) -> Result<FaultCoverage, CoreError> {
-    let mut best = (0usize, f64::INFINITY);
-    if !tests.is_empty() {
-        let faulty = fault.inject(nominal)?;
-        for (i, t) in tests.iter().enumerate() {
-            let ev = Evaluator::new(t.config.as_ref(), nominal, cache);
-            let s = ev.sensitivity_of(&faulty, &t.params)?;
-            if s < best.1 {
-                best = (i, s);
+    variant: &Circuit,
+    test: &TestInstance,
+) -> Result<f64, CoreError> {
+    Evaluator::new(test.config.as_ref(), nominal, cache).sensitivity_of(variant, &test.params)
+}
+
+/// Shared per-fault variant slot: injected lazily by the first work
+/// item that needs it, shared by `Arc` while cells are in flight, and
+/// retired (the circuit dropped) by the last cell — the heavy per-
+/// variant state is resident only for the faults currently being
+/// worked, not the whole dictionary, and injection itself happens
+/// inside the worker pool.
+struct VariantSlot {
+    state: Mutex<VariantState>,
+    /// Injection error parked for the reduce pass.
+    error: Mutex<Option<CoreError>>,
+    /// Cells of this fault not yet finished.
+    remaining: AtomicUsize,
+}
+
+enum VariantState {
+    /// Not yet injected.
+    Pending,
+    /// Injected and live; cells clone the `Arc`.
+    Ready(Arc<Circuit>),
+    /// Injection failed (error parked in `VariantSlot::error`).
+    Failed,
+    /// Every cell finished; the circuit has been dropped.
+    Retired,
+}
+
+impl VariantSlot {
+    fn new(cells: usize) -> Self {
+        VariantSlot {
+            state: Mutex::new(VariantState::Pending),
+            error: Mutex::new(None),
+            remaining: AtomicUsize::new(cells),
+        }
+    }
+
+    /// The shared injected variant, injecting on first use; `None`
+    /// after an injection failure.
+    fn acquire(
+        &self,
+        fault: &castg_faults::Fault,
+        nominal: &Circuit,
+        mode: InjectionMode,
+    ) -> Option<Arc<Circuit>> {
+        let mut state = self.state.lock();
+        match &*state {
+            VariantState::Pending => {
+                let injected = match mode {
+                    InjectionMode::Delta => fault.inject(nominal),
+                    InjectionMode::Rebuild => fault.inject_rebuilt(nominal),
+                };
+                match injected {
+                    Ok(circuit) => {
+                        let circuit = Arc::new(circuit);
+                        *state = VariantState::Ready(Arc::clone(&circuit));
+                        Some(circuit)
+                    }
+                    Err(e) => {
+                        *self.error.lock() = Some(e.into());
+                        *state = VariantState::Failed;
+                        None
+                    }
+                }
+            }
+            VariantState::Ready(circuit) => Some(Arc::clone(circuit)),
+            VariantState::Failed => None,
+            VariantState::Retired => {
+                unreachable!("every cell is claimed exactly once; none arrive after retirement")
             }
         }
     }
-    Ok(FaultCoverage {
-        fault: fault.name(),
-        best_sensitivity: best.1,
-        best_test: best.0,
-        detected: is_detected(best.1),
-    })
+
+    /// Marks one cell finished; the last one drops the circuit.
+    fn release(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            *self.state.lock() = VariantState::Retired;
+        }
+    }
 }
 
 /// Evaluates a test set's coverage of `dictionary` (faults at their
-/// dictionary impact), fanning the faults out over all available cores.
-///
-/// Equivalent to [`evaluate_test_set_with_threads`] with the hardware
-/// thread count.
+/// dictionary impact) with default [`CampaignOptions`] (all cores,
+/// delta injection).
 ///
 /// # Errors
 ///
@@ -143,25 +246,14 @@ pub fn evaluate_test_set(
     tests: &[TestInstance],
     dictionary: &FaultDictionary,
 ) -> Result<CoverageReport, CoreError> {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    evaluate_test_set_with_threads(macro_def, cache, tests, dictionary, threads)
+    evaluate_campaign(macro_def, cache, tests, dictionary, &CampaignOptions::default())
 }
 
 /// [`evaluate_test_set`] with an explicit worker-thread count.
 ///
-/// Faults are independent, so they are distributed over a worker queue
-/// (the same crossbeam pattern as
-/// [`Generator::generate`](crate::Generator::generate)); each worker
-/// claims the next undone fault, injects it once and scores every test
-/// against that one faulted circuit. `threads = 1` degenerates to a
-/// fully serial evaluation; any thread count produces the identical
-/// report.
-///
 /// # Errors
 ///
-/// As for [`evaluate_test_set`]. A failing fault aborts the remaining
-/// queue (fail-fast, like the serial path); among the faults that were
-/// evaluated, the earliest failure in dictionary order is returned.
+/// As for [`evaluate_test_set`].
 pub fn evaluate_test_set_with_threads(
     macro_def: &dyn AnalogMacro,
     cache: &NominalCache,
@@ -169,64 +261,152 @@ pub fn evaluate_test_set_with_threads(
     dictionary: &FaultDictionary,
     threads: usize,
 ) -> Result<CoverageReport, CoreError> {
+    evaluate_campaign(
+        macro_def,
+        cache,
+        tests,
+        dictionary,
+        &CampaignOptions { threads, ..CampaignOptions::default() },
+    )
+}
+
+/// The campaign engine behind every coverage evaluation.
+///
+/// Fans the full `fault × test` grid out as independent work items
+/// over [`CampaignOptions::threads`] workers. Each dictionary fault is
+/// injected exactly once per campaign (per
+/// [`CampaignOptions::injection`]), lazily, by whichever work item
+/// touches it first; the variant is shared read-only by its cells and
+/// dropped by the last one, so the heavy objects — circuits, plans,
+/// templates, symbolic analyses — are resident only for faults in
+/// flight (the per-cell scalar slots still span the whole grid until
+/// the reduce). Per-cell sensitivities land
+/// in per-pair slots and are reduced to per-fault outcomes in
+/// dictionary order, so the report — test indices, sensitivities,
+/// everything — is bit-identical at any worker count and under either
+/// injection mode. `threads = 1` (or a grid too small to be worth
+/// fanning out) degenerates to a serial sweep over the same work
+/// items.
+///
+/// # Errors
+///
+/// Fault-injection and nominal-simulation failures propagate; a failing
+/// work item aborts the remaining queue (fail-fast), and the earliest
+/// failure in `(fault, test)` dictionary order among the evaluated
+/// items is returned. Injection errors are skipped entirely — without
+/// failing — when the test set is empty (nothing can detect, and a
+/// fault that fails to inject must not fail the evaluation then).
+pub fn evaluate_campaign(
+    macro_def: &dyn AnalogMacro,
+    cache: &NominalCache,
+    tests: &[TestInstance],
+    dictionary: &FaultDictionary,
+    options: &CampaignOptions,
+) -> Result<CoverageReport, CoreError> {
     let nominal = macro_def.nominal_circuit();
     let n = dictionary.len();
-    let mut report = CoverageReport { test_count: tests.len(), ..Default::default() };
+    let t = tests.len();
+    let mut report = CoverageReport { test_count: t, ..Default::default() };
 
-    let workers = threads.clamp(1, n.max(1));
-    // Fanning out costs a few thread spawns; below a handful of
-    // simulations the serial sweep wins outright.
-    if workers <= 1 || n <= 1 || n * tests.len() < 8 {
+    if t == 0 {
+        // Nothing can detect anything; do not even inject.
         for fault in dictionary.iter() {
-            report.per_fault.push(coverage_for_fault(&nominal, cache, tests, fault)?);
+            report.per_fault.push(FaultCoverage {
+                fault: fault.name(),
+                best_sensitivity: f64::INFINITY,
+                best_test: 0,
+                detected: false,
+            });
         }
         return Ok(report);
     }
 
-    let results: Vec<Mutex<Option<Result<FaultCoverage, CoreError>>>> =
-        (0..n).map(|_| Mutex::new(None)).collect();
+    // Compile the nominal plan before anything forks: every nominal
+    // measurement shares it, and delta injection derives each variant's
+    // plan from it.
+    nominal.compile_plan();
+
+    // One injection per fault per campaign, performed lazily inside the
+    // worker pool by whichever work item touches the fault first; the
+    // variant is shared read-only by its cells and dropped by the last.
+    let variants: Vec<VariantSlot> = (0..n).map(|_| VariantSlot::new(t)).collect();
+
+    let total = n * t;
+    let workers = options.threads.clamp(1, total.max(1));
+    let cells: Vec<Mutex<Option<Result<f64, CoreError>>>> =
+        (0..total).map(|_| Mutex::new(None)).collect();
     let counter = AtomicUsize::new(0);
-    // A failed fault aborts the queue so the error surfaces without
-    // paying for the remaining simulations (matching the serial
-    // path's fail-fast behavior; in-flight faults still finish).
+    // A failed cell (or an injection failure) aborts the queue so the
+    // error surfaces without paying for the remaining simulations;
+    // in-flight cells still finish.
     let failed = AtomicBool::new(false);
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = counter.fetch_add(1, Ordering::Relaxed);
-                if i >= n || failed.load(Ordering::Relaxed) {
-                    break;
-                }
-                let fault = &dictionary.faults()[i];
-                let outcome = coverage_for_fault(&nominal, cache, tests, fault);
+    let work = || loop {
+        let i = counter.fetch_add(1, Ordering::Relaxed);
+        if i >= total || failed.load(Ordering::Relaxed) {
+            break;
+        }
+        let slot = &variants[i / t];
+        match slot.acquire(&dictionary.faults()[i / t], &nominal, options.injection) {
+            Some(variant) => {
+                let outcome = evaluate_cell(&nominal, cache, &variant, &tests[i % t]);
                 if outcome.is_err() {
                     failed.store(true, Ordering::Relaxed);
                 }
-                *results[i].lock() = Some(outcome);
-            });
+                *cells[i].lock() = Some(outcome);
+            }
+            None => failed.store(true, Ordering::Relaxed),
         }
-    })
-    .expect("coverage workers must not panic");
+        slot.release();
+    };
+    // Fanning out costs a few thread spawns; below a handful of
+    // simulations the serial sweep wins outright.
+    if workers <= 1 || total < 8 {
+        work();
+    } else {
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| work());
+            }
+        })
+        .expect("campaign workers must not panic");
+    }
 
-    let aborted = failed.load(Ordering::Relaxed);
-    for (i, slot) in results.into_iter().enumerate() {
-        match slot.into_inner() {
-            Some(outcome) => report.per_fault.push(outcome?),
-            // A slot can be empty only because the queue aborted
-            // before its worker claimed it; the stored error below (or
-            // above) is returned instead of a partial report.
-            None if aborted => continue,
-            None => {
-                return Err(CoreError::InvalidOptions {
-                    reason: format!(
-                        "coverage worker never ran fault {}",
-                        dictionary.faults()[i].name()
-                    ),
-                })
+    let mut outcomes = cells.into_iter().map(|m| m.into_inner());
+    if failed.load(Ordering::Relaxed) {
+        // Return the earliest failure in (fault, test) order: an
+        // injection error fails at its fault, a cell error at its pair
+        // (cells never evaluated because of the abort are skipped).
+        for slot in variants {
+            if let Some(e) = slot.error.into_inner() {
+                return Err(e);
+            }
+            for _ in 0..t {
+                if let Some(Err(e)) = outcomes.next().flatten() {
+                    return Err(e);
+                }
             }
         }
+        unreachable!("an aborted campaign always stores at least one error");
     }
-    debug_assert!(!aborted, "an aborted run always stores at least one error");
+    for fault in dictionary.iter() {
+        let mut best = (0usize, f64::INFINITY);
+        for ti in 0..t {
+            let s = outcomes.next().flatten().unwrap_or_else(|| {
+                Err(CoreError::InvalidOptions {
+                    reason: format!("campaign never ran fault {} test {ti}", fault.name()),
+                })
+            })?;
+            if s < best.1 {
+                best = (ti, s);
+            }
+        }
+        report.per_fault.push(FaultCoverage {
+            fault: fault.name(),
+            best_sensitivity: best.1,
+            best_test: best.0,
+            detected: is_detected(best.1),
+        });
+    }
     Ok(report)
 }
 

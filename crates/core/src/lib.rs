@@ -28,6 +28,20 @@
 //! [`ConfigDescription`] parses/serializes the textual configuration
 //! description format of Fig. 1.
 //!
+//! # Fault-campaign engine
+//!
+//! Coverage evaluation runs as a structure-sharing campaign
+//! ([`evaluate_campaign`], the engine under [`evaluate_test_set`] and
+//! [`evaluate_test_set_with_threads`]): the nominal circuit's compiled
+//! plan is shared immutably by every worker, each dictionary fault is
+//! injected exactly once — by default through the delta path, where
+//! bridge variants patch the nominal plan instead of recompiling
+//! (see [`InjectionMode`]) — and workers pull `(fault, test)` work
+//! items from one queue over a sharded [`NominalCache`]. Reports are
+//! bit-identical at any worker count and under either injection mode;
+//! `tests/campaign_differential.rs` pins that for the IV-converter and
+//! ladder-n=256 dictionaries on both solver paths.
+//!
 //! # Example (synthetic macro; see `castg-macros` for the real one)
 //!
 //! ```
@@ -67,8 +81,9 @@ pub use config::{check_params, Measurement, TestConfiguration};
 pub use descr::{ConfigDescription, ParamSpec, PortAction};
 pub use error::CoreError;
 pub use evaluate::{
-    evaluate_test_set, evaluate_test_set_with_threads, test_instances_from_compaction,
-    CoverageReport, FaultCoverage, TestInstance,
+    evaluate_campaign, evaluate_test_set, evaluate_test_set_with_threads,
+    test_instances_from_compaction, CampaignOptions, CoverageReport, FaultCoverage,
+    InjectionMode, TestInstance,
 };
 pub use generate::{
     BestTest, DistributionRow, GenerationReport, Generator, GeneratorOptions, SelectionMethod,

@@ -30,16 +30,24 @@ pub fn sensitivity(deviations: &[f64], boxes: &[f64]) -> f64 {
     debug_assert_eq!(deviations.len(), boxes.len());
     let mut s_min = 1.0_f64;
     for (dev, b) in deviations.iter().zip(boxes) {
-        let s = if *b > 0.0 && b.is_finite() {
-            1.0 - dev.abs() / b
-        } else if dev.abs() > 0.0 {
-            f64::NEG_INFINITY
-        } else {
-            1.0
-        };
-        s_min = s_min.min(s);
+        s_min = s_min.min(per_return_sensitivity(*dev, *b));
     }
     s_min
+}
+
+/// The per-return-value sensitivity term of `S_f(T)` — the single
+/// source of truth shared by [`sensitivity`] and the fold in
+/// [`Evaluator::sensitivity_of`], so the report path and the lean
+/// scalar path cannot drift apart.
+#[inline]
+fn per_return_sensitivity(dev: f64, b: f64) -> f64 {
+    if b > 0.0 && b.is_finite() {
+        1.0 - dev.abs() / b
+    } else if dev.abs() > 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        1.0
+    }
 }
 
 /// Whether a sensitivity value means the fault is detected.
@@ -129,6 +137,24 @@ impl<'a> Evaluator<'a> {
         self.evaluate_injected(&faulty_circuit, params)
     }
 
+    /// Measures the faulty circuit, mapping a simulation breakdown
+    /// (non-convergence / numerical failure — a grossly broken device)
+    /// to `Ok(None)`. The single home of the sim-failure error set,
+    /// shared by the report and the lean scalar path.
+    fn measure_faulty(
+        &self,
+        faulty_circuit: &Circuit,
+        params: &[f64],
+    ) -> Result<Option<Measurement>, CoreError> {
+        match self.config.measure(faulty_circuit, params) {
+            Ok(m) => Ok(Some(m)),
+            Err(CoreError::Simulation(
+                SpiceError::NoConvergence { .. } | SpiceError::Numeric(_),
+            )) => Ok(None),
+            Err(other) => Err(other),
+        }
+    }
+
     /// Like [`Evaluator::evaluate`] but takes an already injected faulty
     /// circuit (callers that sweep parameters reuse one injection).
     ///
@@ -144,8 +170,8 @@ impl<'a> Evaluator<'a> {
         let nominal_returns = self.config.return_values(&nominal_m, &nominal_m);
         let boxes = self.config.tolerance_box(params, &nominal_returns);
 
-        match self.config.measure(faulty_circuit, params) {
-            Ok(faulty_m) => {
+        match self.measure_faulty(faulty_circuit, params)? {
+            Some(faulty_m) => {
                 let faulty_returns = self.config.return_values(&faulty_m, &nominal_m);
                 let deviations: Vec<f64> = faulty_returns
                     .iter()
@@ -162,9 +188,7 @@ impl<'a> Evaluator<'a> {
                     sim_failure: false,
                 })
             }
-            Err(CoreError::Simulation(
-                SpiceError::NoConvergence { .. } | SpiceError::Numeric(_),
-            )) => Ok(SensitivityReport {
+            None => Ok(SensitivityReport {
                 params: params.to_vec(),
                 faulty_returns: vec![f64::NAN; nominal_returns.len()],
                 nominal_returns,
@@ -172,11 +196,17 @@ impl<'a> Evaluator<'a> {
                 sensitivity: SENSITIVITY_SIM_FAILURE,
                 sim_failure: true,
             }),
-            Err(other) => Err(other),
         }
     }
 
-    /// Just the sensitivity value (convenience for optimizer objectives).
+    /// Just the sensitivity value (the optimizer objective and the
+    /// campaign engine's work-item kernel).
+    ///
+    /// Identical — bit for bit — to
+    /// [`evaluate_injected`](Evaluator::evaluate_injected)`.sensitivity`,
+    /// but skips materializing the [`SensitivityReport`] (parameter
+    /// copies, deviation vectors): campaigns call this millions of
+    /// times and keep only the scalar.
     ///
     /// # Errors
     ///
@@ -186,7 +216,24 @@ impl<'a> Evaluator<'a> {
         faulty_circuit: &Circuit,
         params: &[f64],
     ) -> Result<f64, CoreError> {
-        Ok(self.evaluate_injected(faulty_circuit, params)?.sensitivity)
+        let nominal_m = self.nominal(params)?;
+        let nominal_returns = self.config.return_values(&nominal_m, &nominal_m);
+        let boxes = self.config.tolerance_box(params, &nominal_returns);
+        match self.measure_faulty(faulty_circuit, params)? {
+            Some(faulty_m) => {
+                let faulty_returns = self.config.return_values(&faulty_m, &nominal_m);
+                // Fold `sensitivity` over on-the-fly deviations: the
+                // same `f − n` pairs through the same per-return term,
+                // in the same order as the report path, so the fold
+                // rounds identically.
+                let mut s_min = 1.0_f64;
+                for ((f, n), b) in faulty_returns.iter().zip(&nominal_returns).zip(&boxes) {
+                    s_min = s_min.min(per_return_sensitivity(f - n, *b));
+                }
+                Ok(s_min)
+            }
+            None => Ok(SENSITIVITY_SIM_FAILURE),
+        }
     }
 }
 
@@ -254,6 +301,26 @@ mod tests {
         let fault = castg_faults::Fault::bridge("out", "0", 100e6);
         let report = ev.evaluate(&fault, &config.seed()).unwrap();
         assert!(report.sensitivity > 0.0, "S = {}", report.sensitivity);
+    }
+
+    /// The lean scalar path must agree bit for bit with the full
+    /// report path, detection and non-detection alike.
+    #[test]
+    fn sensitivity_of_matches_report_path_bitwise() {
+        let mac = DividerMacro::new();
+        let circuit = mac.nominal_circuit();
+        let cache = NominalCache::new();
+        let configs = mac.configurations();
+        for config in &configs {
+            let ev = Evaluator::new(config.as_ref(), &circuit, &cache);
+            for ohms in [100.0, 100e6] {
+                let fault = castg_faults::Fault::bridge("out", "0", ohms);
+                let faulty = ev.inject(&fault).unwrap();
+                let report = ev.evaluate_injected(&faulty, &config.seed()).unwrap();
+                let lean = ev.sensitivity_of(&faulty, &config.seed()).unwrap();
+                assert_eq!(report.sensitivity.to_bits(), lean.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -123,10 +123,10 @@ impl TestConfiguration for DividerDcConfig {
 
     fn measure(&self, circuit: &Circuit, params: &[f64]) -> Result<Measurement, CoreError> {
         check_params(self, params)?;
-        let mut c = circuit.clone();
-        c.set_stimulus("V1", Waveform::dc(params[0]))?;
-        let sol = DcAnalysis::new(&c).solve()?;
-        let out = c.find_node("out").ok_or_else(|| CoreError::Configuration {
+        let sol = DcAnalysis::new(circuit)
+            .override_stimulus("V1", Waveform::dc(params[0]))
+            .solve()?;
+        let out = circuit.find_node("out").ok_or_else(|| CoreError::Configuration {
             config: self.name().to_string(),
             reason: "macro has no `out` node".to_string(),
         })?;
@@ -196,13 +196,13 @@ impl TestConfiguration for DividerStepConfig {
 
     fn measure(&self, circuit: &Circuit, params: &[f64]) -> Result<Measurement, CoreError> {
         check_params(self, params)?;
-        let mut c = circuit.clone();
-        c.set_stimulus("V1", Waveform::step(params[0], params[1], 1e-6, 0.1e-6))?;
-        let out = c.find_node("out").ok_or_else(|| CoreError::Configuration {
+        let out = circuit.find_node("out").ok_or_else(|| CoreError::Configuration {
             config: self.name().to_string(),
             reason: "macro has no `out` node".to_string(),
         })?;
-        let trace = TranAnalysis::new(&c).run(Self::T_STOP, Self::DT, &[Probe::NodeVoltage(out)])?;
+        let trace = TranAnalysis::new(circuit)
+            .override_stimulus("V1", Waveform::step(params[0], params[1], 1e-6, 0.1e-6))
+            .run(Self::T_STOP, Self::DT, &[Probe::NodeVoltage(out)])?;
         Ok(Measurement::Waveform(castg_dsp::UniformSamples::new(
             0.0,
             Self::DT,
@@ -414,10 +414,10 @@ impl TestConfiguration for LadderDcConfig {
 
     fn measure(&self, circuit: &Circuit, params: &[f64]) -> Result<Measurement, CoreError> {
         check_params(self, params)?;
-        let mut c = circuit.clone();
-        c.set_stimulus("V1", Waveform::dc(params[0]))?;
-        let sol = DcAnalysis::new(&c).solve()?;
-        let out = c.find_node("out").ok_or_else(|| CoreError::Configuration {
+        let sol = DcAnalysis::new(circuit)
+            .override_stimulus("V1", Waveform::dc(params[0]))
+            .solve()?;
+        let out = circuit.find_node("out").ok_or_else(|| CoreError::Configuration {
             config: self.name().to_string(),
             reason: "macro has no `out` node".to_string(),
         })?;
@@ -488,14 +488,13 @@ impl TestConfiguration for LadderStepConfig {
 
     fn measure(&self, circuit: &Circuit, params: &[f64]) -> Result<Measurement, CoreError> {
         check_params(self, params)?;
-        let mut c = circuit.clone();
-        c.set_stimulus("V1", Waveform::step(params[0], params[1], 0.2e-6, 0.05e-6))?;
-        let out = c.find_node("out").ok_or_else(|| CoreError::Configuration {
+        let out = circuit.find_node("out").ok_or_else(|| CoreError::Configuration {
             config: self.name().to_string(),
             reason: "macro has no `out` node".to_string(),
         })?;
-        let trace =
-            TranAnalysis::new(&c).run(Self::T_STOP, Self::DT, &[Probe::NodeVoltage(out)])?;
+        let trace = TranAnalysis::new(circuit)
+            .override_stimulus("V1", Waveform::step(params[0], params[1], 0.2e-6, 0.05e-6))
+            .run(Self::T_STOP, Self::DT, &[Probe::NodeVoltage(out)])?;
         Ok(Measurement::Waveform(castg_dsp::UniformSamples::new(
             0.0,
             Self::DT,
@@ -710,10 +709,10 @@ impl TestConfiguration for OtaChainDcConfig {
 
     fn measure(&self, circuit: &Circuit, params: &[f64]) -> Result<Measurement, CoreError> {
         check_params(self, params)?;
-        let mut c = circuit.clone();
-        c.set_stimulus("VIN", Waveform::dc(params[0]))?;
-        let sol = DcAnalysis::new(&c).solve()?;
-        let out = c.find_node("out").ok_or_else(|| CoreError::Configuration {
+        let sol = DcAnalysis::new(circuit)
+            .override_stimulus("VIN", Waveform::dc(params[0]))
+            .solve()?;
+        let out = circuit.find_node("out").ok_or_else(|| CoreError::Configuration {
             config: self.name().to_string(),
             reason: "macro has no `out` node".to_string(),
         })?;

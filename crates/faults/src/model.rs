@@ -159,6 +159,20 @@ impl Fault {
     ///   `M__ph`) and shunts the gate to the joint through `F_pinhole`
     ///   (the Eckersall model of the paper's Fig. 7).
     ///
+    /// # Delta injection
+    ///
+    /// When `circuit` carries a compiled assembly schedule (see
+    /// [`Circuit::compile_plan`]), the variant *shares and patches* it
+    /// instead of recompiling: a **bridge** is a pure delta-stamp —
+    /// four conductance ops appended to the nominal plan, no netlist
+    /// walk, no sparse-pattern re-analysis beyond the template rebuild
+    /// its new slots force. A **pinhole** is structural (it interns the
+    /// mid-channel node, shifting every branch row), so its variant
+    /// recompiles once — amortized across all tests of a campaign. The
+    /// patched and recompiled variants are bit-identical; the campaign
+    /// differential harness pins this against
+    /// [`inject_rebuilt`](Fault::inject_rebuilt).
+    ///
     /// # Errors
     ///
     /// [`FaultError::UnknownNode`] / [`FaultError::UnknownDevice`] /
@@ -203,6 +217,24 @@ impl Fault {
                 faulty.add_resistor("F_pinhole", g, mid, self.effective_resistance())?;
             }
         }
+        Ok(faulty)
+    }
+
+    /// [`inject`](Fault::inject) through the recompile-from-netlist
+    /// path: the faulted copy drops any (patched) compiled plan, so its
+    /// first analysis rebuilds plan, sparse template and symbolic
+    /// analysis from the mutated netlist.
+    ///
+    /// This is the reference arm of the campaign differential harness —
+    /// the delta-injection fast path must match it bit for bit. There
+    /// is no other reason to prefer it.
+    ///
+    /// # Errors
+    ///
+    /// As for [`inject`](Fault::inject).
+    pub fn inject_rebuilt(&self, circuit: &Circuit) -> Result<Circuit, FaultError> {
+        let mut faulty = self.inject(circuit)?;
+        faulty.drop_compiled_plan();
         Ok(faulty)
     }
 }
@@ -345,6 +377,41 @@ mod tests {
         assert_eq!(p.name(), "pinhole(M3)");
         assert_eq!(p.kind(), FaultKind::Pinhole);
         assert_eq!(format!("{}", FaultKind::Pinhole), "pinhole");
+    }
+
+    /// Delta injection (patched plan, the default when the base is
+    /// compiled) must solve bit-identically to the recompile reference
+    /// path, for both fault models.
+    #[test]
+    fn delta_injection_matches_rebuilt_bitwise() {
+        let mut c = Circuit::new();
+        let d = c.node("d");
+        let g = c.node("g");
+        c.add_vsource("VD", d, Circuit::GROUND, Waveform::dc(3.0)).unwrap();
+        c.add_vsource("VG", g, Circuit::GROUND, Waveform::dc(2.0)).unwrap();
+        c.add_resistor("RL", d, g, 50e3).unwrap();
+        c.add_mosfet(
+            "M1",
+            d,
+            g,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            MosPolarity::Nmos,
+            MosParams::nmos_default(10e-6, 2e-6),
+        )
+        .unwrap();
+        c.compile_plan();
+
+        for fault in [Fault::bridge("d", "g", 1e3), Fault::pinhole("M1", 2e3)] {
+            let patched = fault.inject(&c).unwrap();
+            let rebuilt = fault.inject_rebuilt(&c).unwrap();
+            assert_eq!(patched, rebuilt, "{}: netlists must agree", fault.name());
+            let sp = DcAnalysis::new(&patched).solve().unwrap();
+            let sr = DcAnalysis::new(&rebuilt).solve().unwrap();
+            for (a, b) in sp.state().iter().zip(sr.state()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{}", fault.name());
+            }
+        }
     }
 
     #[test]

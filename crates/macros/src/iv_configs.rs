@@ -256,16 +256,16 @@ impl TestConfiguration for IvConfig {
         check_params(self, params)?;
         match self.kind {
             IvConfigKind::DcTransfer => {
-                let mut c = circuit.clone();
-                c.set_stimulus("IIN", Waveform::dc(params[0]))?;
-                let sol = DcAnalysis::new(&c).solve()?;
-                let out = self.out_node(&c)?;
+                let sol = DcAnalysis::new(circuit)
+                    .override_stimulus("IIN", Waveform::dc(params[0]))
+                    .solve()?;
+                let out = self.out_node(circuit)?;
                 Ok(Measurement::scalar(sol.voltage(out)))
             }
             IvConfigKind::SupplyCurrent => {
-                let mut c = circuit.clone();
-                c.set_stimulus("IIN", Waveform::dc(params[0]))?;
-                let sol = DcAnalysis::new(&c).solve()?;
+                let sol = DcAnalysis::new(circuit)
+                    .override_stimulus("IIN", Waveform::dc(params[0]))
+                    .solve()?;
                 let idd = sol.source_current("VDD").ok_or_else(|| CoreError::Configuration {
                     config: self.name().to_string(),
                     reason: "circuit has no `VDD` source".to_string(),
@@ -274,19 +274,18 @@ impl TestConfiguration for IvConfig {
             }
             IvConfigKind::Thd => {
                 let (iindc, freq) = (params[0], params[1]);
-                let mut c = circuit.clone();
-                c.set_stimulus("IIN", Waveform::sine(iindc, THD_AMPLITUDE, freq))?;
-                let out = self.out_node(&c)?;
+                let out = self.out_node(circuit)?;
                 let period = 1.0 / freq;
                 let dt = period / THD_POINTS_PER_PERIOD as f64;
                 let periods = THD_SETTLE_PERIODS + THD_MEASURE_PERIODS;
                 // Backward Euler: L-stable across the macro's wide
                 // spread of time constants at low stimulus frequencies.
                 let trace = TranAnalysis::with_options(
-                    &c,
+                    circuit,
                     Self::tran_options(),
                     IntegrationMethod::BackwardEuler,
                 )
+                .override_stimulus("IIN", Waveform::sine(iindc, THD_AMPLITUDE, freq))
                 .run(periods as f64 * period, dt, &[Probe::NodeVoltage(out)])?;
                 let skip = THD_SETTLE_PERIODS * THD_POINTS_PER_PERIOD;
                 let count = THD_MEASURE_PERIODS * THD_POINTS_PER_PERIOD;
@@ -298,15 +297,14 @@ impl TestConfiguration for IvConfig {
             }
             IvConfigKind::StepMaxDev | IvConfigKind::StepAccDev => {
                 let (base, elev) = (params[0], params[1]);
-                let mut c = circuit.clone();
-                c.set_stimulus("IIN", Waveform::step(base, elev, STEP_T0, STEP_RISE))?;
-                let out = self.out_node(&c)?;
+                let out = self.out_node(circuit)?;
                 let dt = 1.0 / STEP_SAMPLE_RATE;
                 let trace = TranAnalysis::with_options(
-                    &c,
+                    circuit,
                     Self::tran_options(),
                     IntegrationMethod::Trapezoidal,
                 )
+                .override_stimulus("IIN", Waveform::step(base, elev, STEP_T0, STEP_RISE))
                 .run(STEP_TEST_TIME, dt, &[Probe::NodeVoltage(out)])?;
                 Ok(Measurement::Waveform(UniformSamples::new(0.0, dt, trace.column(0).to_vec())))
             }

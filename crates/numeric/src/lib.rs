@@ -12,8 +12,11 @@
 //! * [`SparseMatrix`] / [`SparseLu`] — the sparse (CSC) counterpart for
 //!   large systems: a pattern-fixed stamping target plus a left-looking
 //!   LU with threshold partial pivoting and KLU-style numeric
-//!   refactorization (symbolic analysis reused across factorizations of
-//!   the same pattern). See [`sparse`] for the architecture notes.
+//!   refactorization. The symbolic skeleton ([`SparseSymbolic`]: fill
+//!   structure + pivot order) lives behind an `Arc` and is shareable
+//!   across workspaces ([`SparseLu::seed_symbolic`]), so fault
+//!   campaigns pay one symbolic analysis per circuit variant instead of
+//!   one per solve. See [`sparse`] for the architecture notes.
 //! * [`StampTarget`] — the stamping abstraction both matrix types
 //!   implement, so one circuit-assembly routine drives either solver.
 //! * [`brent_min`] — Brent's derivative-free one-dimensional minimizer
@@ -77,4 +80,4 @@ pub use error::NumericError;
 pub use lu::{LuFactors, LuWorkspace};
 pub use matrix::Matrix;
 pub use powell::{powell_min, PowellOptions, PowellResult};
-pub use sparse::{SparseLu, SparseMatrix, SparsePattern, StampTarget};
+pub use sparse::{SparseLu, SparseMatrix, SparsePattern, SparseSymbolic, StampTarget};

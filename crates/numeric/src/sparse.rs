@@ -126,10 +126,68 @@ impl SparsePattern {
 
     /// Index into the value array for slot `(row, col)`, if the slot is
     /// part of the pattern.
-    fn slot(&self, row: usize, col: usize) -> Option<usize> {
+    ///
+    /// Assembly fast paths resolve their slots through this once and
+    /// then stamp by [`SparseMatrix::values_mut`] index, skipping the
+    /// per-add binary search.
+    pub fn slot(&self, row: usize, col: usize) -> Option<usize> {
         let lo = self.col_ptr[col];
         let hi = self.col_ptr[col + 1];
         self.row_idx[lo..hi].binary_search(&row).ok().map(|p| lo + p)
+    }
+
+    /// The pattern extended by the given `(row, col)` slots: identical
+    /// content to rebuilding from the union of all slots, built by a
+    /// linear merge instead of an O(nnz log nnz) sort. Slots already
+    /// present are ignored; when nothing new remains, the existing
+    /// `Arc` is returned unchanged (content-equal patterns are
+    /// interchangeable — every consumer keys on content, and pointer
+    /// sharing only widens symbolic reuse).
+    ///
+    /// This is the fault-campaign fast path: a bridge delta-stamp adds
+    /// at most two off-diagonal slots to a nominal pattern with
+    /// thousands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slot is out of bounds.
+    pub fn merged_with(self: &Arc<Self>, extra: &[(usize, usize)]) -> Arc<SparsePattern> {
+        let n = self.n;
+        let mut add: Vec<(usize, usize)> = extra
+            .iter()
+            .map(|&(r, c)| {
+                assert!(r < n && c < n, "slot ({r},{c}) out of bounds for dim {n}");
+                (c, r)
+            })
+            .filter(|&(c, r)| self.slot(r, c).is_none())
+            .collect();
+        add.sort_unstable();
+        add.dedup();
+        if add.is_empty() {
+            return Arc::clone(self);
+        }
+        let mut col_ptr = Vec::with_capacity(n + 1);
+        let mut row_idx = Vec::with_capacity(self.row_idx.len() + add.len());
+        col_ptr.push(0);
+        let mut next = add.iter().copied().peekable();
+        for c in 0..n {
+            let seg = &self.row_idx[self.col_ptr[c]..self.col_ptr[c + 1]];
+            let mut s = 0;
+            while let Some(&(ac, ar)) = next.peek() {
+                if ac != c {
+                    break;
+                }
+                while s < seg.len() && seg[s] < ar {
+                    row_idx.push(seg[s]);
+                    s += 1;
+                }
+                row_idx.push(ar);
+                next.next();
+            }
+            row_idx.extend_from_slice(&seg[s..]);
+            col_ptr.push(row_idx.len());
+        }
+        Arc::new(SparsePattern { n, col_ptr, row_idx })
     }
 }
 
@@ -187,6 +245,13 @@ impl SparseMatrix {
     /// The shared pattern.
     pub fn pattern(&self) -> &Arc<SparsePattern> {
         &self.pattern
+    }
+
+    /// Mutable access to the structural-nonzero value array (indexed by
+    /// [`SparsePattern::slot`]). The fast assembly path of precompiled
+    /// stamp plans accumulates directly through this.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
     }
 
     /// Matrix dimension.
@@ -269,6 +334,54 @@ impl StampTarget for SparseMatrix {
 /// Marker for "row not yet chosen as a pivot" in `pinv`.
 const EMPTY: usize = usize::MAX;
 
+/// The value-independent skeleton of a sparse LU factorization: the
+/// analyzed pattern, the fill structure of L and U, and the pivot
+/// order.
+///
+/// One full (pivoting) factorization computes this; any number of
+/// [`SparseLu`] workspaces can then share it by `Arc` (see
+/// [`SparseLu::seed_symbolic`]) and run pure numeric refactorizations
+/// against it — the mechanism fault-campaign engines use to pay one
+/// symbolic analysis per circuit variant instead of one per solve.
+#[derive(Debug)]
+pub struct SparseSymbolic {
+    /// Pattern this skeleton was computed for.
+    pattern: Arc<SparsePattern>,
+    /// L strictly-lower CSC structure in pivot-order row coordinates;
+    /// unit diagonal implicit.
+    lp: Vec<usize>,
+    li: Vec<usize>,
+    /// U strictly-upper CSC structure in pivot-order row coordinates
+    /// (row < col); the diagonal lives in the numeric workspace.
+    up: Vec<usize>,
+    ui: Vec<usize>,
+    /// `pinv[orig_row] = pivot position`; `rowperm[pivot_pos] = orig_row`.
+    pinv: Vec<usize>,
+    rowperm: Vec<usize>,
+}
+
+impl SparseSymbolic {
+    /// The pattern the skeleton was analyzed for.
+    pub fn pattern(&self) -> &Arc<SparsePattern> {
+        &self.pattern
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.rowperm.len()
+    }
+
+    /// Structural nonzeros in the L factor (unit diagonal excluded).
+    pub fn l_nnz(&self) -> usize {
+        self.li.len()
+    }
+
+    /// Structural nonzeros in the U factor (diagonal excluded).
+    pub fn u_nnz(&self) -> usize {
+        self.ui.len()
+    }
+}
+
 /// Sparse LU workspace: factors a [`SparseMatrix`] and solves against
 /// the stored factors, reusing the symbolic analysis across
 /// factorizations of the same pattern.
@@ -276,26 +389,21 @@ const EMPTY: usize = usize::MAX;
 /// See the [module docs](self) for the algorithm; the API mirrors
 /// [`LuWorkspace`](crate::LuWorkspace) (factor, then solve into a
 /// caller-provided buffer, allocating nothing on the steady-state
-/// path).
+/// path). The symbolic skeleton lives behind an `Arc`
+/// ([`SparseSymbolic`]): cloning a workspace — or seeding a fresh one
+/// with [`seed_symbolic`](SparseLu::seed_symbolic) — shares the
+/// analysis, so only the numeric refactorization is paid per instance.
 #[derive(Debug, Clone, Default)]
 pub struct SparseLu {
-    /// Pattern the current symbolic data (L/U structure + pivot order)
-    /// was computed for; `None` until the first factorization.
-    analyzed: Option<Arc<SparsePattern>>,
-    /// L strictly-lower CSC in pivot-order row coordinates; unit
-    /// diagonal implicit.
-    lp: Vec<usize>,
-    li: Vec<usize>,
+    /// Shared fill structure + pivot order; `None` until the first
+    /// factorization (or until seeded).
+    symbolic: Option<Arc<SparseSymbolic>>,
+    /// Numeric payload of L (aligned with the symbolic `li`).
     lx: Vec<f64>,
-    /// U strictly-upper CSC in pivot-order row coordinates (row < col),
-    /// diagonal split out into `udiag`.
-    up: Vec<usize>,
-    ui: Vec<usize>,
+    /// Numeric payload of U (aligned with the symbolic `ui`), diagonal
+    /// split out into `udiag`.
     ux: Vec<f64>,
     udiag: Vec<f64>,
-    /// `pinv[orig_row] = pivot position`; `rowperm[pivot_pos] = orig_row`.
-    pinv: Vec<usize>,
-    rowperm: Vec<usize>,
     /// Dense accumulator in pivot-order coordinates.
     work: Vec<f64>,
     /// Per-row marker for the symbolic DFS (`mark` generation counter).
@@ -323,15 +431,40 @@ impl SparseLu {
     /// Dimension of the stored factorization (0 before the first
     /// factor).
     pub fn dim(&self) -> usize {
-        self.rowperm.len()
+        self.symbolic.as_ref().map_or(0, |s| s.dim())
     }
 
-    /// Factors `a`. If `a` shares the pattern of the previously
-    /// factored matrix (same `Arc`), the symbolic skeleton — fill
-    /// pattern, pivot order, traversal order — is replayed numerically
-    /// with no graph work; otherwise (or when a recycled pivot is
-    /// numerically unacceptable) a full left-looking factorization with
-    /// threshold partial pivoting runs and records a fresh skeleton.
+    /// The shared symbolic skeleton, if one has been computed (by this
+    /// workspace or whichever workspace it was seeded from).
+    pub fn symbolic(&self) -> Option<Arc<SparseSymbolic>> {
+        self.symbolic.clone()
+    }
+
+    /// Adopts a shared symbolic skeleton computed elsewhere: the next
+    /// [`factor`](SparseLu::factor) of a matrix with the skeleton's
+    /// pattern runs as a pure numeric refactorization (falling back to
+    /// a fresh pivoting factorization if a recycled pivot has become
+    /// numerically unacceptable). Clears any stored factorization.
+    pub fn seed_symbolic(&mut self, symbolic: Arc<SparseSymbolic>) {
+        let n = symbolic.dim();
+        self.lx.clear();
+        self.lx.resize(symbolic.l_nnz(), 0.0);
+        self.ux.clear();
+        self.ux.resize(symbolic.u_nnz(), 0.0);
+        self.udiag.clear();
+        self.udiag.resize(n, 0.0);
+        self.work.clear();
+        self.work.resize(n, 0.0);
+        self.symbolic = Some(symbolic);
+        self.factored = false;
+    }
+
+    /// Factors `a`. If `a` shares the pattern of the stored symbolic
+    /// skeleton (same `Arc`), the skeleton — fill pattern, pivot order,
+    /// traversal order — is replayed numerically with no graph work;
+    /// otherwise (or when a recycled pivot is numerically unacceptable)
+    /// a full left-looking factorization with threshold partial
+    /// pivoting runs and records a fresh skeleton.
     ///
     /// # Errors
     ///
@@ -339,8 +472,10 @@ impl SparseLu {
     /// pivot. The workspace is left unfactored in that case and
     /// [`solve_into`](SparseLu::solve_into) fails cleanly.
     pub fn factor(&mut self, a: &SparseMatrix) -> Result<(), NumericError> {
-        let same_pattern =
-            self.analyzed.as_ref().is_some_and(|p| Arc::ptr_eq(p, a.pattern()));
+        let same_pattern = self
+            .symbolic
+            .as_ref()
+            .is_some_and(|s| Arc::ptr_eq(s.pattern(), a.pattern()));
         if same_pattern && self.refactor(a).is_ok() {
             return Ok(());
         }
@@ -357,7 +492,8 @@ impl SparseLu {
         if !self.factored {
             return Err(NumericError::NotFactored);
         }
-        let n = self.rowperm.len();
+        let sym = self.symbolic.as_ref().expect("factored implies symbolic");
+        let n = sym.dim();
         if b.len() != n {
             return Err(NumericError::DimensionMismatch { expected: n, actual: b.len() });
         }
@@ -366,14 +502,14 @@ impl SparseLu {
         }
         // x = P·b, then forward substitution with unit-lower L
         // (column-oriented: entry rows are all > the column).
-        for (k, &orig) in self.rowperm.iter().enumerate() {
+        for (k, &orig) in sym.rowperm.iter().enumerate() {
             x[k] = b[orig];
         }
         for k in 0..n {
             let xk = x[k];
             if xk != 0.0 {
-                for p in self.lp[k]..self.lp[k + 1] {
-                    x[self.li[p]] -= self.lx[p] * xk;
+                for p in sym.lp[k]..sym.lp[k + 1] {
+                    x[sym.li[p]] -= self.lx[p] * xk;
                 }
             }
         }
@@ -382,8 +518,8 @@ impl SparseLu {
             let xj = x[j] / self.udiag[j];
             x[j] = xj;
             if xj != 0.0 {
-                for p in self.up[j]..self.up[j + 1] {
-                    x[self.ui[p]] -= self.ux[p] * xj;
+                for p in sym.up[j]..sym.up[j + 1] {
+                    x[sym.ui[p]] -= self.ux[p] * xj;
                 }
             }
         }
@@ -391,29 +527,30 @@ impl SparseLu {
     }
 
     /// Full left-looking Gilbert–Peierls factorization with threshold
-    /// partial pivoting; records the symbolic skeleton for subsequent
-    /// refactorizations.
+    /// partial pivoting; records the symbolic skeleton (freshly
+    /// allocated and `Arc`-frozen) for subsequent refactorizations.
     fn full_factor(&mut self, a: &SparseMatrix) -> Result<(), NumericError> {
         let n = a.dim();
         let pat = a.pattern();
         self.factored = false;
-        self.analyzed = None;
+        self.symbolic = None;
 
-        self.lp.clear();
-        self.li.clear();
+        // Structure vectors are built locally and frozen into the
+        // shared skeleton at the end; only full factorizations (rare on
+        // the steady-state path) pay these allocations.
+        let mut lp: Vec<usize> = Vec::with_capacity(n + 1);
+        let mut li: Vec<usize> = Vec::with_capacity(pat.nnz());
+        let mut up: Vec<usize> = Vec::with_capacity(n + 1);
+        let mut ui: Vec<usize> = Vec::with_capacity(pat.nnz());
+        let mut pinv = vec![EMPTY; n];
+        let mut rowperm = vec![EMPTY; n];
         self.lx.clear();
-        self.up.clear();
-        self.ui.clear();
         self.ux.clear();
         self.udiag.clear();
         self.udiag.resize(n, 0.0);
-        self.lp.push(0);
-        self.up.push(0);
+        lp.push(0);
+        up.push(0);
 
-        self.pinv.clear();
-        self.pinv.resize(n, EMPTY);
-        self.rowperm.clear();
-        self.rowperm.resize(n, EMPTY);
         self.work.clear();
         self.work.resize(n, 0.0);
         self.flag.clear();
@@ -430,7 +567,16 @@ impl SparseLu {
             for p in pat.col_ptr[j]..pat.col_ptr[j + 1] {
                 let r = pat.row_idx[p];
                 if self.flag[r] != self.mark {
-                    self.dfs_from(r);
+                    Self::dfs_from(
+                        r,
+                        &lp,
+                        &li,
+                        &pinv,
+                        &mut self.dfs,
+                        &mut self.flag,
+                        self.mark,
+                        &mut self.reach,
+                    );
                 }
             }
             // `reach` now holds original rows in reverse topological
@@ -443,7 +589,7 @@ impl SparseLu {
                 self.work[pat.row_idx[p]] = a.values[p];
             }
             for &r in self.reach.iter().rev() {
-                let k = self.pinv[r];
+                let k = pinv[r];
                 if k == EMPTY {
                     continue;
                 }
@@ -452,8 +598,9 @@ impl SparseLu {
                     // x[rows of L(:,k)] -= L(:,k) · ukj. During the
                     // factorization L's row indices are still original
                     // rows (the pivot-order remap happens at the end).
-                    for q in self.lp[k]..self.lp[k + 1] {
-                        self.work[self.li[q]] -= self.lx[q] * ukj;
+                    let seg = lp[k]..lp[k + 1];
+                    for (row, l) in li[seg.clone()].iter().zip(&self.lx[seg]) {
+                        self.work[*row] -= l * ukj;
                     }
                 }
             }
@@ -464,7 +611,7 @@ impl SparseLu {
             let mut pivot_row = EMPTY;
             let mut pivot_mag = 0.0;
             for &r in self.reach.iter().rev() {
-                if self.pinv[r] == EMPTY {
+                if pinv[r] == EMPTY {
                     let m = self.work[r].abs();
                     if m > pivot_mag {
                         pivot_mag = m;
@@ -477,15 +624,15 @@ impl SparseLu {
                 return Err(NumericError::SingularMatrix { pivot: j });
             }
             if pivot_row != j
-                && self.pinv[j] == EMPTY
+                && pinv[j] == EMPTY
                 && self.flag[j] == self.mark
                 && self.work[j].abs() >= DIAG_PREFERENCE * pivot_mag
             {
                 pivot_row = j;
             }
             let ujj = self.work[pivot_row];
-            self.pinv[pivot_row] = j;
-            self.rowperm[j] = pivot_row;
+            pinv[pivot_row] = j;
+            rowperm[j] = pivot_row;
             self.udiag[j] = ujj;
 
             // --- Store the column: pivotal rows into U (pivot-order
@@ -494,47 +641,55 @@ impl SparseLu {
             // order as their pivots are chosen — so store original rows
             // here and remap at the end).
             for &r in self.reach.iter().rev() {
-                let k = self.pinv[r];
+                let k = pinv[r];
                 let v = self.work[r];
                 self.work[r] = 0.0; // restore the accumulator
                 if r == pivot_row {
                     continue;
                 }
                 if k != EMPTY && k < j {
-                    self.ui.push(k);
+                    ui.push(k);
                     self.ux.push(v);
                 } else {
                     // Not yet pivotal: belongs to L. Store the original
                     // row for now.
-                    self.li.push(r);
+                    li.push(r);
                     self.lx.push(v / ujj);
                 }
             }
-            self.lp.push(self.li.len());
-            self.up.push(self.ui.len());
+            lp.push(li.len());
+            up.push(ui.len());
         }
 
         // Remap L's row indices from original rows to pivot positions
         // (every row is pivotal by now), and sort each U column by row
         // for a deterministic ascending refactorization order.
-        for r in self.li.iter_mut() {
-            *r = self.pinv[*r];
+        for r in li.iter_mut() {
+            *r = pinv[*r];
         }
         for j in 0..n {
-            let (lo, hi) = (self.up[j], self.up[j + 1]);
+            let (lo, hi) = (up[j], up[j + 1]);
             // Insertion sort of the (short) column segment, values in
             // lockstep.
             for i in lo + 1..hi {
                 let mut k = i;
-                while k > lo && self.ui[k - 1] > self.ui[k] {
-                    self.ui.swap(k - 1, k);
+                while k > lo && ui[k - 1] > ui[k] {
+                    ui.swap(k - 1, k);
                     self.ux.swap(k - 1, k);
                     k -= 1;
                 }
             }
         }
 
-        self.analyzed = Some(Arc::clone(pat));
+        self.symbolic = Some(Arc::new(SparseSymbolic {
+            pattern: Arc::clone(pat),
+            lp,
+            li,
+            up,
+            ui,
+            pinv,
+            rowperm,
+        }));
         self.factored = true;
         Ok(())
     }
@@ -543,41 +698,51 @@ impl SparseLu {
     /// DAG of L, appending finished rows to `reach` (postorder ⇒
     /// `reach` reversed is topological order). Iterative with an
     /// explicit stack — MNA elimination trees can be deep.
-    fn dfs_from(&mut self, root: usize) {
-        self.dfs.clear();
-        self.dfs.push((root, 0));
-        self.flag[root] = self.mark;
-        while let Some((r, child)) = self.dfs.pop() {
-            let k = self.pinv[r];
+    #[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+    fn dfs_from(
+        root: usize,
+        lp: &[usize],
+        li: &[usize],
+        pinv: &[usize],
+        dfs: &mut Vec<(usize, usize)>,
+        flag: &mut [usize],
+        mark: usize,
+        reach: &mut Vec<usize>,
+    ) {
+        dfs.clear();
+        dfs.push((root, 0));
+        flag[root] = mark;
+        while let Some((r, child)) = dfs.pop() {
+            let k = pinv[r];
             let (lo, hi) = if k == EMPTY {
                 (0, 0) // non-pivotal rows have no children
             } else {
-                (self.lp[k], self.lp[k + 1])
+                (lp[k], lp[k + 1])
             };
             let mut advanced = false;
             for q in lo + child..hi {
                 // L's row indices are original rows until the
                 // end-of-factor remap, so no permutation lookup here.
-                let child_row = self.li[q];
-                if self.flag[child_row] != self.mark {
+                let child_row = li[q];
+                if flag[child_row] != mark {
                     // Defer the rest of `r`'s children, descend.
-                    self.dfs.push((r, q + 1 - lo));
-                    self.dfs.push((child_row, 0));
-                    self.flag[child_row] = self.mark;
+                    dfs.push((r, q + 1 - lo));
+                    dfs.push((child_row, 0));
+                    flag[child_row] = mark;
                     advanced = true;
                     break;
                 }
             }
             if !advanced {
-                self.reach.push(r);
+                reach.push(r);
             }
         }
     }
 
-    /// Numeric refactorization: replays the stored fill pattern and
-    /// pivot order against new values with the same pattern. No graph
-    /// traversal, no pivot search — a straight sweep over the stored
-    /// L/U structure.
+    /// Numeric refactorization: replays the stored (shared) fill
+    /// pattern and pivot order against new values with the same
+    /// pattern. No graph traversal, no pivot search — a straight sweep
+    /// over the skeleton's L/U structure.
     ///
     /// # Errors
     ///
@@ -589,22 +754,23 @@ impl SparseLu {
     fn refactor(&mut self, a: &SparseMatrix) -> Result<(), NumericError> {
         let n = a.dim();
         let pat = a.pattern();
+        let sym = self.symbolic.clone().expect("refactor requires a symbolic skeleton");
         self.factored = false;
         // `work` is indexed by pivot position here; every position
         // touched is restored to zero before the column ends.
         for j in 0..n {
             // Scatter A(:,j) through the row permutation.
             for p in pat.col_ptr[j]..pat.col_ptr[j + 1] {
-                self.work[self.pinv[pat.row_idx[p]]] = a.values[p];
+                self.work[sym.pinv[pat.row_idx[p]]] = a.values[p];
             }
             // Eliminate using the stored U rows (ascending pivot order).
-            for p in self.up[j]..self.up[j + 1] {
-                let k = self.ui[p];
+            for p in sym.up[j]..sym.up[j + 1] {
+                let k = sym.ui[p];
                 let ukj = self.work[k];
                 self.ux[p] = ukj;
                 if ukj != 0.0 {
-                    for q in self.lp[k]..self.lp[k + 1] {
-                        self.work[self.li[q]] -= self.lx[q] * ukj;
+                    for q in sym.lp[k]..sym.lp[k + 1] {
+                        self.work[sym.li[q]] -= self.lx[q] * ukj;
                     }
                 }
             }
@@ -612,24 +778,24 @@ impl SparseLu {
             // Stability guard: the recycled pivot must still dominate
             // its column to within REFACTOR_TOL.
             let mut colmax = ujj.abs();
-            for q in self.lp[j]..self.lp[j + 1] {
-                colmax = colmax.max(self.work[self.li[q]].abs());
+            for q in sym.lp[j]..sym.lp[j + 1] {
+                colmax = colmax.max(self.work[sym.li[q]].abs());
             }
             if !colmax.is_finite() || ujj.abs() < PIVOT_EPS {
-                self.reset_refactor_work(pat, j);
+                self.reset_refactor_work(pat, &sym, j);
                 return Err(NumericError::SingularMatrix { pivot: j });
             }
             if ujj.abs() < REFACTOR_TOL * colmax {
-                self.reset_refactor_work(pat, j);
+                self.reset_refactor_work(pat, &sym, j);
                 return Err(NumericError::NotFactored);
             }
             self.udiag[j] = ujj;
             self.work[j] = 0.0;
-            for p in self.up[j]..self.up[j + 1] {
-                self.work[self.ui[p]] = 0.0;
+            for p in sym.up[j]..sym.up[j + 1] {
+                self.work[sym.ui[p]] = 0.0;
             }
-            for q in self.lp[j]..self.lp[j + 1] {
-                let r = self.li[q];
+            for q in sym.lp[j]..sym.lp[j + 1] {
+                let r = sym.li[q];
                 self.lx[q] = self.work[r] / ujj;
                 self.work[r] = 0.0;
             }
@@ -640,16 +806,16 @@ impl SparseLu {
 
     /// Clears the scattered accumulator after a failed refactorization
     /// column so the fallback full factorization starts clean.
-    fn reset_refactor_work(&mut self, pat: &SparsePattern, j: usize) {
+    fn reset_refactor_work(&mut self, pat: &SparsePattern, sym: &SparseSymbolic, j: usize) {
         self.work[j] = 0.0;
         for p in pat.col_ptr[j]..pat.col_ptr[j + 1] {
-            self.work[self.pinv[pat.row_idx[p]]] = 0.0;
+            self.work[sym.pinv[pat.row_idx[p]]] = 0.0;
         }
-        for p in self.up[j]..self.up[j + 1] {
-            self.work[self.ui[p]] = 0.0;
+        for p in sym.up[j]..sym.up[j + 1] {
+            self.work[sym.ui[p]] = 0.0;
         }
-        for q in self.lp[j]..self.lp[j + 1] {
-            self.work[self.li[q]] = 0.0;
+        for q in sym.lp[j]..sym.lp[j + 1] {
+            self.work[sym.li[q]] = 0.0;
         }
     }
 
@@ -657,7 +823,7 @@ impl SparseLu {
     /// a later attempt starts from a clean workspace.
     fn reset_work_and_fail(&mut self) {
         self.work.fill(0.0);
-        self.analyzed = None;
+        self.symbolic = None;
         self.factored = false;
     }
 }
@@ -873,6 +1039,92 @@ mod tests {
         for (ri, bi) in r.iter().zip(&b) {
             assert!((ri - bi).abs() < 1e-9, "{ri} vs {bi}");
         }
+    }
+
+    /// A workspace seeded with another workspace's symbolic skeleton
+    /// must refactor (sharing the `Arc`, computing no new skeleton) and
+    /// produce the bit-identical solution the originating workspace
+    /// produces.
+    #[test]
+    fn seeded_symbolic_is_shared_and_bit_identical() {
+        let n = 80;
+        let a = banded(n, 2, 1234);
+        let mut original = SparseLu::new();
+        original.factor(&a).unwrap();
+        let sym = original.symbolic().expect("factored workspace has a skeleton");
+
+        let mut seeded = SparseLu::new();
+        seeded.seed_symbolic(Arc::clone(&sym));
+        assert!(!seeded.is_factored(), "seeding must not claim a factorization");
+        seeded.factor(&a).unwrap();
+        // Still the same skeleton: the seeded factor was a pure
+        // numeric refactorization.
+        assert!(Arc::ptr_eq(&seeded.symbolic().unwrap(), &sym));
+
+        let mut next = rng(99);
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let (mut x0, mut x1) = (vec![0.0; n], vec![0.0; n]);
+        original.solve_into(&b, &mut x0).unwrap();
+        seeded.solve_into(&b, &mut x1).unwrap();
+        for (u, v) in x0.iter().zip(&x1) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
+
+        // Cloning a factored workspace shares the skeleton too.
+        let clone = original.clone();
+        assert!(Arc::ptr_eq(&clone.symbolic().unwrap(), &sym));
+    }
+
+    /// A seeded skeleton whose pivot order is numerically unacceptable
+    /// for the new values must fall back to a fresh pivoting
+    /// factorization and still solve correctly.
+    #[test]
+    fn seeded_symbolic_falls_back_on_pivot_decay() {
+        let entries = [(0, 0), (0, 1), (1, 0), (1, 1)];
+        let mut a = SparseMatrix::from_entries(2, &entries);
+        a.add(0, 0, 4.0);
+        a.add(1, 1, 4.0);
+        a.add(0, 1, 1.0);
+        a.add(1, 0, 1.0);
+        let mut donor = SparseLu::new();
+        donor.factor(&a).unwrap();
+        let sym = donor.symbolic().unwrap();
+
+        StampTarget::clear(&mut a);
+        a.add(0, 0, 1e-14);
+        a.add(0, 1, 2.0);
+        a.add(1, 0, 3.0);
+        a.add(1, 1, 1e-14);
+        let mut seeded = SparseLu::new();
+        seeded.seed_symbolic(Arc::clone(&sym));
+        seeded.factor(&a).unwrap();
+        assert!(
+            !Arc::ptr_eq(&seeded.symbolic().unwrap(), &sym),
+            "decayed pivots must force a fresh skeleton"
+        );
+        let mut x = vec![0.0; 2];
+        seeded.solve_into(&[4.0, 6.0], &mut x).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-9, "{x:?}");
+        assert!((x[1] - 2.0).abs() < 1e-9, "{x:?}");
+    }
+
+    /// `merged_with` must produce content-identical patterns to a
+    /// from-scratch rebuild over the slot union, and return the same
+    /// `Arc` when nothing new is added.
+    #[test]
+    fn merged_pattern_matches_rebuild() {
+        let base_slots = [(0, 0), (1, 1), (2, 2), (1, 0), (0, 1), (2, 1)];
+        let base = SparseMatrix::from_entries(3, &base_slots);
+        // Nothing new (duplicates + existing): same Arc back.
+        let same = base.pattern().merged_with(&[(0, 0), (2, 1)]);
+        assert!(Arc::ptr_eq(&same, base.pattern()));
+
+        let extra = [(2, 0), (0, 2), (2, 0)];
+        let merged = base.pattern().merged_with(&extra);
+        let mut all: Vec<(usize, usize)> = base_slots.to_vec();
+        all.extend_from_slice(&extra);
+        let rebuilt = SparseMatrix::from_entries(3, &all);
+        assert_eq!(&*merged, &**rebuilt.pattern(), "merged pattern content diverged");
     }
 
     #[test]

@@ -28,6 +28,7 @@ use crate::dc::DcAnalysis;
 use crate::device::DeviceKind;
 use crate::node::NodeId;
 use crate::stamp;
+use crate::stimulus::Waveform;
 use crate::SpiceError;
 
 /// One AC excitation: a named independent source driven with the given
@@ -111,23 +112,66 @@ pub struct AcAnalysis<'c> {
     circuit: &'c Circuit,
     options: AnalysisOptions,
     sources: Vec<AcSource>,
+    overrides: Vec<(String, Waveform)>,
+    /// Worker threads for the frequency fan-out; `None` = serial (see
+    /// [`AcAnalysis::threads`]).
+    threads: Option<usize>,
 }
 
 impl<'c> AcAnalysis<'c> {
     /// Creates an AC solver with default options and no excitations.
     pub fn new(circuit: &'c Circuit) -> Self {
-        AcAnalysis { circuit, options: AnalysisOptions::default(), sources: Vec::new() }
+        AcAnalysis {
+            circuit,
+            options: AnalysisOptions::default(),
+            sources: Vec::new(),
+            overrides: Vec::new(),
+            threads: None,
+        }
     }
 
     /// Creates an AC solver with explicit options.
     pub fn with_options(circuit: &'c Circuit, options: AnalysisOptions) -> Self {
-        AcAnalysis { circuit, options, sources: Vec::new() }
+        AcAnalysis {
+            circuit,
+            options,
+            sources: Vec::new(),
+            overrides: Vec::new(),
+            threads: None,
+        }
     }
 
     /// Adds an AC excitation on a named independent source.
     pub fn source(mut self, source: AcSource) -> Self {
         self.sources.push(source);
         self
+    }
+
+    /// Overrides the waveform of a named independent source for the
+    /// operating-point linearization (the DC bias this sweep
+    /// linearizes around), without cloning or mutating the circuit.
+    pub fn override_stimulus(mut self, name: impl Into<String>, wave: Waveform) -> Self {
+        self.overrides.push((name.into(), wave));
+        self
+    }
+
+    /// Sets the worker-thread count for the frequency fan-out.
+    /// Frequency points are independent solves — the dense path
+    /// outright, the sparse path after one shared symbolic analysis —
+    /// so the per-point results are identical at any thread count.
+    ///
+    /// The default is **serial**: AC sweeps frequently run *inside* a
+    /// worker pool (fault campaigns evaluate one sweep per work item),
+    /// where an implicit hardware-parallelism fan-out per sweep would
+    /// oversubscribe the machine. Standalone many-point sweeps opt in
+    /// with `threads(available_parallelism)`.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    fn worker_count(&self, points: usize) -> usize {
+        self.threads.unwrap_or(1).clamp(1, points.max(1))
     }
 
     /// Solves the sweep at the given frequencies.
@@ -150,7 +194,9 @@ impl<'c> AcAnalysis<'c> {
             });
         }
 
-        let dc = DcAnalysis::with_options(self.circuit, self.options).solve()?;
+        let dc = DcAnalysis::with_options(self.circuit, self.options)
+            .with_overrides(self.overrides.clone())
+            .solve()?;
         let n = self.circuit.unknown_count();
         let n_nodes = self.circuit.node_count() - 1;
 
@@ -195,7 +241,47 @@ impl<'c> AcAnalysis<'c> {
         Ok(AcSweep { freqs: freqs.to_vec(), solutions, n_nodes })
     }
 
-    /// Dense sweep: complex `n × n` LU per frequency point.
+    /// Splits `0..points` into `workers` contiguous chunks, runs
+    /// `solve_chunk` on each from its own thread (inline when a single
+    /// worker suffices), and stitches the per-chunk solutions back in
+    /// frequency order. Point results do not depend on the chunking, so
+    /// any worker count produces the identical sweep.
+    fn fan_out<F>(
+        points: usize,
+        workers: usize,
+        solve_chunk: F,
+    ) -> Result<Vec<Vec<Complex>>, SpiceError>
+    where
+        F: Fn(std::ops::Range<usize>) -> Result<Vec<Vec<Complex>>, SpiceError> + Sync,
+    {
+        if workers <= 1 || points <= 1 {
+            return solve_chunk(0..points);
+        }
+        let per = points.div_ceil(workers);
+        let chunks: Vec<std::ops::Range<usize>> = (0..workers)
+            .map(|w| (w * per).min(points)..((w + 1) * per).min(points))
+            .filter(|r| !r.is_empty())
+            .collect();
+        let mut results: Vec<Result<Vec<Vec<Complex>>, SpiceError>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|range| scope.spawn(|| solve_chunk(range)))
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("ac sweep worker must not panic"));
+            }
+        });
+        let mut solutions = Vec::with_capacity(points);
+        for chunk in results {
+            solutions.extend(chunk?);
+        }
+        Ok(solutions)
+    }
+
+    /// Dense sweep: complex `n × n` LU per frequency point, points
+    /// fanned out over worker threads (every point is an independent
+    /// solve against the shared `G`/`C` matrices).
     fn sweep_dense(
         &self,
         dc: &crate::DcSolution,
@@ -217,34 +303,40 @@ impl<'c> AcAnalysis<'c> {
         let mut cap = Matrix::zeros(n, n);
         self.stamp_capacitances(&mut cap);
 
-        // One complex matrix reused (cleared and refilled) for every
-        // frequency point; only the retained solution vector is
-        // allocated per point.
-        let mut solutions = Vec::with_capacity(freqs.len());
-        let mut m = CMatrix::zeros(n);
-        for f in freqs {
-            let omega = 2.0 * std::f64::consts::PI * f;
-            m.clear();
-            for r in 0..n {
-                for c in 0..n {
-                    let v = Complex::new(g[(r, c)], omega * cap[(r, c)]);
-                    if v.re != 0.0 || v.im != 0.0 {
-                        m.add(r, c, v);
+        // One complex matrix per worker, reused (cleared and refilled)
+        // for every frequency point of its chunk; only the retained
+        // solution vector is allocated per point.
+        Self::fan_out(freqs.len(), self.worker_count(freqs.len()), |range| {
+            let mut solutions = Vec::with_capacity(range.len());
+            let mut m = CMatrix::zeros(n);
+            for f in &freqs[range] {
+                let omega = 2.0 * std::f64::consts::PI * f;
+                m.clear();
+                for r in 0..n {
+                    for c in 0..n {
+                        let v = Complex::new(g[(r, c)], omega * cap[(r, c)]);
+                        if v.re != 0.0 || v.im != 0.0 {
+                            m.add(r, c, v);
+                        }
                     }
                 }
+                let mut x = b.to_vec();
+                m.solve_in_place(&mut x)?;
+                solutions.push(x);
             }
-            let mut x = b.to_vec();
-            m.solve_in_place(&mut x)?;
-            solutions.push(x);
-        }
-        Ok(solutions)
+            Ok(solutions)
+        })
     }
 
     /// Sparse sweep: the complex system is embedded as the real
     /// `2n × 2n` system `[[G, −ωC], [ωC, G]]` over `[Re x; Im x]` and
     /// solved with the sparse LU. The embedding's pattern is frequency-
-    /// independent, so the symbolic factorization from the first point
-    /// is refactored numerically for every further point.
+    /// independent, so one symbolic factorization (from the first
+    /// point) is shared by `Arc` across all workers of the fan-out;
+    /// every other point is a pure numeric refactorization with
+    /// per-worker value storage. Each point re-seeds from the shared
+    /// skeleton, so results are chunking- and thread-count-invariant
+    /// (a stability fallback stays confined to its point).
     fn sweep_sparse(
         &self,
         dc: &crate::DcSolution,
@@ -278,8 +370,7 @@ impl<'c> AcAnalysis<'c> {
             slots.push((r, n + c));
             slots.push((n + r, c));
         }
-        let mut big = SparseMatrix::from_entries(2 * n, &slots);
-        let mut lu = SparseLu::new();
+        let template = SparseMatrix::from_entries(2 * n, &slots);
 
         let mut rhs = vec![0.0; 2 * n];
         for (i, bi) in b.iter().enumerate() {
@@ -287,9 +378,7 @@ impl<'c> AcAnalysis<'c> {
             rhs[n + i] = bi.im;
         }
 
-        let mut solutions = Vec::with_capacity(freqs.len());
-        let mut xy = vec![0.0; 2 * n];
-        for f in freqs {
+        let stamp_point = |big: &mut SparseMatrix, f: f64| {
             let omega = 2.0 * std::f64::consts::PI * f;
             big.clear();
             for (r, c, v) in g.entries() {
@@ -300,11 +389,49 @@ impl<'c> AcAnalysis<'c> {
                 big.add(r, n + c, -omega * v);
                 big.add(n + r, c, omega * v);
             }
-            lu.factor(&big)?;
-            lu.solve_into(&rhs, &mut xy)?;
-            solutions
-                .push((0..n).map(|i| Complex::new(xy[i], xy[n + i])).collect());
+        };
+
+        if freqs.is_empty() {
+            return Ok(Vec::new());
         }
+
+        // Prologue: the first point computes the shared symbolic
+        // skeleton (and its own solution) serially.
+        let mut big = template.clone();
+        let mut lu = SparseLu::new();
+        let mut xy = vec![0.0; 2 * n];
+        stamp_point(&mut big, freqs[0]);
+        lu.factor(&big)?;
+        lu.solve_into(&rhs, &mut xy)?;
+        let first: Vec<Complex> = (0..n).map(|i| Complex::new(xy[i], xy[n + i])).collect();
+        let symbolic = lu.symbolic().expect("factored sparse LU has a skeleton");
+
+        let rest = Self::fan_out(freqs.len() - 1, self.worker_count(freqs.len() - 1), |range| {
+            let mut solutions = Vec::with_capacity(range.len());
+            let mut big = template.clone();
+            let mut lu = SparseLu::new();
+            let mut xy = vec![0.0; 2 * n];
+            for f in &freqs[range.start + 1..range.end + 1] {
+                // Every point refactors from the shared first-point
+                // skeleton, so its result cannot depend on what the
+                // previous point in this worker's chunk did.
+                if !lu
+                    .symbolic()
+                    .is_some_and(|s| std::sync::Arc::ptr_eq(&s, &symbolic))
+                {
+                    lu.seed_symbolic(std::sync::Arc::clone(&symbolic));
+                }
+                stamp_point(&mut big, *f);
+                lu.factor(&big)?;
+                lu.solve_into(&rhs, &mut xy)?;
+                solutions.push((0..n).map(|i| Complex::new(xy[i], xy[n + i])).collect());
+            }
+            Ok(solutions)
+        })?;
+
+        let mut solutions = Vec::with_capacity(freqs.len());
+        solutions.push(first);
+        solutions.extend(rest);
         Ok(solutions)
     }
 
@@ -400,6 +527,73 @@ mod tests {
                 .run(&[0.0]),
             Err(SpiceError::InvalidAnalysis { .. })
         ));
+    }
+
+    /// The frequency fan-out must produce the identical sweep at any
+    /// worker count, dense and (forced) sparse.
+    #[test]
+    fn parallel_sweep_matches_serial_bitwise() {
+        use crate::{AnalysisOptions, SolverKind};
+        let (ckt, out) = rc(1e3, 1e-9);
+        let freqs: Vec<f64> = (0..24).map(|i| 10.0_f64.powf(3.0 + i as f64 * 0.12)).collect();
+        for solver in [SolverKind::Dense, SolverKind::Sparse] {
+            let opts = AnalysisOptions { solver, ..AnalysisOptions::default() };
+            let serial = AcAnalysis::with_options(&ckt, opts)
+                .source(AcSource { name: "V1".into(), magnitude: 1.0 })
+                .threads(1)
+                .run(&freqs)
+                .unwrap();
+            for threads in [2, 5] {
+                let parallel = AcAnalysis::with_options(&ckt, opts)
+                    .source(AcSource { name: "V1".into(), magnitude: 1.0 })
+                    .threads(threads)
+                    .run(&freqs)
+                    .unwrap();
+                for i in 0..freqs.len() {
+                    let (a, b) = (serial.voltage(i, out), parallel.voltage(i, out));
+                    assert_eq!(a.re.to_bits(), b.re.to_bits(), "{solver:?} t={threads} i={i}");
+                    assert_eq!(a.im.to_bits(), b.im.to_bits(), "{solver:?} t={threads} i={i}");
+                }
+            }
+        }
+    }
+
+    /// An AC bias override must match mutating a copy of the circuit.
+    #[test]
+    fn ac_override_shifts_operating_point() {
+        use castg_numeric::Complex;
+        // Diode-connected NMOS: the small-signal impedance at the drain
+        // depends on the bias current, so an overridden bias must move
+        // the AC response exactly like a mutated circuit does.
+        let mut c = Circuit::new();
+        let d = c.node("d");
+        c.add_isource("IB", Circuit::GROUND, d, Waveform::dc(50e-6)).unwrap();
+        c.add_mosfet(
+            "M1",
+            d,
+            d,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            crate::MosPolarity::Nmos,
+            crate::MosParams::nmos_default(10e-6, 1e-6),
+        )
+        .unwrap();
+        let run = |ckt: &Circuit, overridden: bool| -> Complex {
+            let mut ac = AcAnalysis::new(ckt)
+                .source(AcSource { name: "IB".into(), magnitude: 1e-6 });
+            if overridden {
+                ac = ac.override_stimulus("IB", Waveform::dc(200e-6));
+            }
+            ac.run(&[1e3]).unwrap().voltage(0, d)
+        };
+        let base = run(&c, false);
+        let via_override = run(&c, true);
+        let mut mutated = c.clone();
+        mutated.set_stimulus("IB", Waveform::dc(200e-6)).unwrap();
+        let via_mutation = run(&mutated, false);
+        assert_ne!(base.abs().to_bits(), via_override.abs().to_bits());
+        assert_eq!(via_override.re.to_bits(), via_mutation.re.to_bits());
+        assert_eq!(via_override.im.to_bits(), via_mutation.im.to_bits());
     }
 
     #[test]

@@ -28,10 +28,10 @@ use crate::SpiceError;
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Circuit {
-    node_names: Vec<String>,
-    node_index: HashMap<String, NodeId>,
+    node_names: Vec<std::sync::Arc<str>>,
+    node_index: HashMap<std::sync::Arc<str>, NodeId>,
     devices: Vec<Device>,
-    device_index: HashMap<String, usize>,
+    device_index: HashMap<std::sync::Arc<str>, usize>,
     /// Lazily compiled assembly schedule, shared by every analysis of
     /// this circuit and invalidated by any mutation. Compiling resolves
     /// node ids to matrix slots and splits devices into constant /
@@ -58,10 +58,11 @@ impl Circuit {
 
     /// Creates an empty circuit containing only the ground node.
     pub fn new() -> Self {
+        let ground: std::sync::Arc<str> = std::sync::Arc::from("0");
         let mut node_index = HashMap::new();
-        node_index.insert("0".to_string(), NodeId::GROUND);
+        node_index.insert(std::sync::Arc::clone(&ground), NodeId::GROUND);
         Circuit {
-            node_names: vec!["0".to_string()],
+            node_names: vec![ground],
             node_index,
             devices: Vec::new(),
             device_index: HashMap::new(),
@@ -77,10 +78,46 @@ impl Circuit {
         )
     }
 
-    /// Drops the compiled plan; called by every `&mut self` entry point
-    /// so a mutated circuit recompiles on its next analysis.
+    /// Drops any compiled assembly schedule, forcing the next analysis
+    /// to recompile from the netlist.
+    ///
+    /// Analyses never need this — patches keep the plan consistent —
+    /// but differential test harnesses use it to pin the patched plan
+    /// against a from-scratch recompilation, and long-lived circuit
+    /// stores can use it to shed cached state.
+    pub fn drop_compiled_plan(&mut self) {
+        self.invalidate_plan();
+    }
+
+    /// Compiles the assembly schedule (and whatever it caches lazily)
+    /// now instead of at the first analysis.
+    ///
+    /// Useful before fanning a shared circuit out to worker threads, or
+    /// before injecting faulted variants: a variant derived from a
+    /// compiled circuit patches the compiled plan (delta-stamps)
+    /// instead of recompiling its own from the netlist.
+    pub fn compile_plan(&self) {
+        let _ = self.plan();
+    }
+
+    /// Drops the compiled plan; called by the structural `&mut self`
+    /// entry points (node creation, device removal, arbitrary device
+    /// mutation) so a mutated circuit recompiles on its next analysis.
+    /// Additive mutations patch the plan instead — see
+    /// [`Circuit::add`] and [`Circuit::set_stimulus`].
     fn invalidate_plan(&mut self) {
         self.plan.0.take();
+    }
+
+    /// Replaces the compiled plan with a patched successor, if one is
+    /// compiled at all.
+    fn patch_plan<F>(&mut self, patch: F)
+    where
+        F: FnOnce(&crate::stamp::StampPlan) -> crate::stamp::StampPlan,
+    {
+        if let Some(plan) = self.plan.0.take() {
+            let _ = self.plan.0.set(std::sync::Arc::new(patch(&plan)));
+        }
     }
 
     /// Returns the node with the given name, creating it if needed.
@@ -92,8 +129,9 @@ impl Circuit {
         }
         self.invalidate_plan();
         let id = NodeId(self.node_names.len());
-        self.node_names.push(canonical.to_string());
-        self.node_index.insert(canonical.to_string(), id);
+        let name: std::sync::Arc<str> = std::sync::Arc::from(canonical);
+        self.node_names.push(std::sync::Arc::clone(&name));
+        self.node_index.insert(name, id);
         id
     }
 
@@ -148,6 +186,13 @@ impl Circuit {
     /// Adds a fully-formed device, validating its nodes and name
     /// uniqueness.
     ///
+    /// If the circuit's assembly schedule is already compiled, the new
+    /// device is *patched into it* (its ops appended, exactly as a
+    /// recompile would emit them) instead of dropping the plan — this
+    /// is the delta-stamp path that makes bridge-fault injection an
+    /// O(device) plan patch rather than a full recompilation plus
+    /// sparse-pattern re-analysis.
+    ///
     /// # Errors
     ///
     /// [`SpiceError::DuplicateDevice`] if the name exists,
@@ -157,7 +202,6 @@ impl Circuit {
         if self.device_index.contains_key(device.name()) {
             return Err(SpiceError::DuplicateDevice { name: device.name().to_string() });
         }
-        self.invalidate_plan();
         for n in device.nodes() {
             if n.0 >= self.node_names.len() {
                 return Err(SpiceError::UnknownNode {
@@ -166,7 +210,10 @@ impl Circuit {
                 });
             }
         }
-        self.device_index.insert(device.name().to_string(), self.devices.len());
+        // All nodes of the device exist (just validated), so a compiled
+        // plan can absorb it as a patch.
+        self.patch_plan(|plan| plan.patched_with_device(&device));
+        self.device_index.insert(device.name_arc(), self.devices.len());
         self.devices.push(device);
         Ok(())
     }
@@ -185,7 +232,7 @@ impl Circuit {
         let dev = self.devices.remove(idx);
         // Reindex devices after the removed one.
         for (i, d) in self.devices.iter().enumerate().skip(idx) {
-            self.device_index.insert(d.name().to_string(), i);
+            self.device_index.insert(d.name_arc(), i);
         }
         Ok(dev)
     }
@@ -312,24 +359,59 @@ impl Circuit {
     /// Replaces the waveform of a named independent source; used by test
     /// configurations to attach their stimulus to the macro's input node.
     ///
+    /// A compiled assembly schedule survives this: only its waveform
+    /// table is patched (the matrix structure is stimulus-independent),
+    /// so parameter sweeps that re-aim the stimulus never recompile the
+    /// plan, its sparse template, or its symbolic analysis.
+    ///
     /// # Errors
     ///
     /// [`SpiceError::UnknownDevice`] if the device does not exist or is
     /// not an independent source.
     pub fn set_stimulus(&mut self, name: &str, wave: Waveform) -> Result<(), SpiceError> {
-        let dev = self
-            .device_mut(name)
-            .ok_or_else(|| SpiceError::UnknownDevice { name: name.to_string() })?;
-        match dev.kind_mut() {
-            DeviceKind::Vsource { wave: w, .. } | DeviceKind::Isource { wave: w, .. } => {
-                *w = wave;
-                Ok(())
+        let slot = match self.wave_slot(name) {
+            Some(slot) => slot,
+            None if self.device_index.contains_key(name) => {
+                return Err(SpiceError::InvalidValue {
+                    device: name.to_string(),
+                    reason: "set_stimulus requires an independent source".to_string(),
+                })
             }
-            _ => Err(SpiceError::InvalidValue {
-                device: name.to_string(),
-                reason: "set_stimulus requires an independent source".to_string(),
-            }),
+            None => return Err(SpiceError::UnknownDevice { name: name.to_string() }),
+        };
+        let di = self.device_index[name];
+        match self.devices[di].kind_mut() {
+            DeviceKind::Vsource { wave: w, .. } | DeviceKind::Isource { wave: w, .. } => {
+                *w = wave.clone();
+            }
+            _ => unreachable!("wave_slot only resolves independent sources"),
         }
+        self.patch_plan(|plan| plan.with_wave(slot, wave));
+        Ok(())
+    }
+
+    /// Stimulus-slot index of a named independent source: its position
+    /// among the circuit's independent sources in device order, which
+    /// is exactly the waveform-table index of the compiled plan.
+    /// `None` when the device is missing or not an independent source —
+    /// callers map that to their own error (the analyses' stimulus
+    /// overrides reuse this).
+    pub(crate) fn wave_slot(&self, name: &str) -> Option<usize> {
+        let di = *self.device_index.get(name)?;
+        if !matches!(
+            self.devices[di].kind(),
+            DeviceKind::Vsource { .. } | DeviceKind::Isource { .. }
+        ) {
+            return None;
+        }
+        Some(
+            self.devices[..di]
+                .iter()
+                .filter(|d| {
+                    matches!(d.kind(), DeviceKind::Vsource { .. } | DeviceKind::Isource { .. })
+                })
+                .count(),
+        )
     }
 
     /// Names of all MOSFET devices (in insertion order); the pinhole fault
@@ -470,6 +552,106 @@ mod tests {
         assert_eq!(c.branch_index("V1"), Some(0));
         assert_eq!(c.branch_index("E1"), Some(1));
         assert_eq!(c.branch_index("R1"), None);
+    }
+
+    /// `set_stimulus` must keep the compiled plan (patching only its
+    /// waveform table) and still produce correct solves — while
+    /// structural mutations after patching must drop the patched plan.
+    #[test]
+    fn stimulus_patch_keeps_plan_and_solves_correctly() {
+        use crate::DcAnalysis;
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("V1", a, Circuit::GROUND, Waveform::dc(2.0)).unwrap();
+        c.add_resistor("R1", a, b, 1e3).unwrap();
+        c.add_resistor("R2", b, Circuit::GROUND, 1e3).unwrap();
+        c.compile_plan();
+        let before = c.plan();
+        c.set_stimulus("V1", Waveform::dc(8.0)).unwrap();
+        let after = c.plan();
+        assert!(!std::sync::Arc::ptr_eq(&before, &after), "patched plan is a successor");
+        assert_eq!(before.dim(), after.dim());
+        let sol = DcAnalysis::new(&c).solve().unwrap();
+        assert!((sol.voltage(b) - 4.0).abs() < 1e-6, "patched stimulus must be live, got {}", sol.voltage(b));
+    }
+
+    /// A device added to a compiled circuit rides the delta-stamp plan
+    /// patch; the solve must reflect it exactly.
+    #[test]
+    fn device_add_patches_compiled_plan() {
+        use crate::DcAnalysis;
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("V1", a, Circuit::GROUND, Waveform::dc(2.0)).unwrap();
+        c.add_resistor("R1", a, b, 1e3).unwrap();
+        c.add_resistor("R2", b, Circuit::GROUND, 1e3).unwrap();
+        c.compile_plan();
+        // Bridge the lower leg: 1k ∥ 1k = 500 Ω → v(b) = 2·(1/3).
+        c.add_resistor("F_bridge", b, Circuit::GROUND, 1e3).unwrap();
+        let sol = DcAnalysis::new(&c).solve().unwrap();
+        assert!((sol.voltage(b) - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    /// Regression: a patched plan must never survive a *structural*
+    /// mutation of the circuit. Mutating a device through `device_mut`
+    /// (or removing one / interning a new node) after a patch must drop
+    /// the patched plan and recompile from the netlist.
+    #[test]
+    fn patched_plan_does_not_survive_structural_mutation() {
+        use crate::DcAnalysis;
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("V1", a, Circuit::GROUND, Waveform::dc(2.0)).unwrap();
+        c.add_resistor("R1", a, b, 1e3).unwrap();
+        c.add_resistor("R2", b, Circuit::GROUND, 1e3).unwrap();
+        c.compile_plan();
+        // Patch path: stimulus swap plus an added bridge.
+        c.set_stimulus("V1", Waveform::dc(6.0)).unwrap();
+        c.add_resistor("F_bridge", b, Circuit::GROUND, 1e3).unwrap();
+        assert!((DcAnalysis::new(&c).solve().unwrap().voltage(b) - 2.0).abs() < 1e-6);
+
+        // Structural mutation via device_mut: change R1's resistance.
+        match c.device_mut("R1").unwrap().kind_mut() {
+            DeviceKind::Resistor { ohms, .. } => *ohms = 500.0,
+            _ => unreachable!(),
+        }
+        // 6 V over 500 Ω into 500 Ω → v(b) = 3 V: a stale patched plan
+        // (still stamping 1 kΩ) would report 2 V.
+        let sol = DcAnalysis::new(&c).solve().unwrap();
+        assert!((sol.voltage(b) - 3.0).abs() < 1e-6, "stale plan survived device_mut");
+
+        // Removal also invalidates: 6 V over 500 Ω into the bare 1 kΩ
+        // leg is 4 V.
+        c.remove("F_bridge").unwrap();
+        let sol = DcAnalysis::new(&c).solve().unwrap();
+        assert!((sol.voltage(b) - 4.0).abs() < 1e-6, "stale plan survived remove");
+
+        // New node interning invalidates (plan dims change with it).
+        c.compile_plan();
+        let extra = c.node("extra");
+        c.add_resistor("R3", b, extra, 1e3).unwrap();
+        c.add_resistor("R4", extra, Circuit::GROUND, 1e3).unwrap();
+        let sol = DcAnalysis::new(&c).solve().unwrap();
+        assert!(sol.voltage(extra) > 0.0, "new node must participate in the solve");
+    }
+
+    #[test]
+    fn wave_slot_counts_sources_in_device_order() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_resistor("R0", a, Circuit::GROUND, 1.0).unwrap();
+        c.add_isource("I1", Circuit::GROUND, a, Waveform::dc(1e-3)).unwrap();
+        c.add_vcvs("E1", b, Circuit::GROUND, a, Circuit::GROUND, 2.0).unwrap();
+        c.add_vsource("V1", b, Circuit::GROUND, Waveform::dc(1.0)).unwrap();
+        assert_eq!(c.wave_slot("I1"), Some(0));
+        assert_eq!(c.wave_slot("V1"), Some(1));
+        assert_eq!(c.wave_slot("E1"), None, "VCVS has no stimulus waveform");
+        assert_eq!(c.wave_slot("R0"), None);
+        assert_eq!(c.wave_slot("missing"), None);
     }
 
     #[test]

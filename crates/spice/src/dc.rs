@@ -12,7 +12,51 @@ use crate::circuit::Circuit;
 use crate::node::NodeId;
 use crate::solver::{MnaSolver, SolverKind};
 use crate::stamp::StampPlan;
+use crate::stimulus::Waveform;
 use crate::SpiceError;
+
+/// Resolves by-name stimulus overrides against a circuit into
+/// waveform-slot overrides for its compiled plan.
+///
+/// # Errors
+///
+/// [`SpiceError::UnknownDevice`] for a missing device,
+/// [`SpiceError::InvalidValue`] when the device is not an independent
+/// source — the same contract as [`Circuit::set_stimulus`].
+pub(crate) fn resolve_overrides(
+    circuit: &Circuit,
+    overrides: &[(String, Waveform)],
+) -> Result<Vec<(usize, Waveform)>, SpiceError> {
+    overrides
+        .iter()
+        .map(|(name, wave)| match circuit.wave_slot(name) {
+            Some(slot) => Ok((slot, wave.clone())),
+            None if circuit.device(name).is_some() => Err(SpiceError::InvalidValue {
+                device: name.clone(),
+                reason: "stimulus override requires an independent source".to_string(),
+            }),
+            None => Err(SpiceError::UnknownDevice { name: name.clone() }),
+        })
+        .collect()
+}
+
+/// Exact identity of a linear plan's assembled Jacobian:
+/// `(gmin bits, integration-method tag, step-size bits)`. DC solves use
+/// a zero tag/step; the transient engine tags its integration method
+/// and carries the step size verbatim, so two keys are equal iff the
+/// matrices are bit-identical.
+pub(crate) type JacobianKey = (u64, u64, u64);
+
+/// Whether an applied Newton update landed bit-exactly on the solved
+/// state `target` — the precondition for skipping a linear plan's
+/// verification iteration. Requires bit equality (not `==`) and rules
+/// out a `-0.0` target: the follow-up `x += +0.0` would rewrite `-0.0`
+/// to `+0.0`, so only a non-negative-zero exact landing makes the next
+/// iteration a provable state-preserving no-op.
+#[inline]
+pub(crate) fn landed_on(x: f64, target: f64) -> bool {
+    x.to_bits() == target.to_bits() && target.to_bits() != (-0.0_f64).to_bits()
+}
 
 /// Reusable per-solve state: the compiled stamp plan plus the
 /// dispatched linear solver (dense or sparse matrix + factorization
@@ -28,6 +72,20 @@ pub(crate) struct NewtonScratch {
     /// Stimulus values for the solve in progress (constant across the
     /// Newton iterations of one solve; refreshed per solve/timestep).
     pub(crate) src_vals: Vec<f64>,
+    /// Waveform-slot stimulus overrides applied on top of the plan's
+    /// waveform table at every source evaluation; lets analyses re-aim
+    /// a shared circuit's stimulus without cloning or mutating it.
+    pub(crate) overrides: Vec<(usize, Waveform)>,
+    /// `Some(key)` when the stored factorization is *exactly* the
+    /// Jacobian a linear plan would assemble under `key` =
+    /// `(gmin bits, integration-method tag, step-size bits)` — every
+    /// input the companion-augmented matrix of a linear plan depends
+    /// on, carried verbatim (no hashing). Newton loops then skip the
+    /// assembly + refactorization entirely (Shamanskii stepping with a
+    /// zero threshold: reuse only when the matrix is provably
+    /// bit-identical, so results never change). Nonlinear plans never
+    /// set this.
+    pub(crate) factored_for: Option<JacobianKey>,
 }
 
 impl NewtonScratch {
@@ -41,6 +99,18 @@ impl NewtonScratch {
             rhs: vec![0.0; n],
             x_new: vec![0.0; n],
             src_vals: Vec::new(),
+            overrides: Vec::new(),
+            factored_for: None,
+        }
+    }
+
+    /// Evaluates every stimulus waveform through `f` into the reused
+    /// source-value buffer, then applies the stimulus overrides through
+    /// the same transform.
+    pub(crate) fn eval_sources<F: Fn(&Waveform) -> f64>(&mut self, f: F) {
+        self.plan.source_values(&mut self.src_vals, &f);
+        for (slot, wave) in &self.overrides {
+            self.src_vals[*slot] = f(wave);
         }
     }
 }
@@ -90,17 +160,39 @@ impl DcSolution {
 pub struct DcAnalysis<'c> {
     circuit: &'c Circuit,
     options: AnalysisOptions,
+    overrides: Vec<(String, Waveform)>,
 }
 
 impl<'c> DcAnalysis<'c> {
     /// Creates a solver with default [`AnalysisOptions`].
     pub fn new(circuit: &'c Circuit) -> Self {
-        DcAnalysis { circuit, options: AnalysisOptions::default() }
+        DcAnalysis { circuit, options: AnalysisOptions::default(), overrides: Vec::new() }
     }
 
     /// Creates a solver with explicit options.
     pub fn with_options(circuit: &'c Circuit, options: AnalysisOptions) -> Self {
-        DcAnalysis { circuit, options }
+        DcAnalysis { circuit, options, overrides: Vec::new() }
+    }
+
+    /// Overrides the waveform of a named independent source for this
+    /// analysis only, without cloning or mutating the circuit.
+    ///
+    /// Equivalent to solving a copy with
+    /// [`Circuit::set_stimulus`]`(name, wave)` — bit for bit — but the
+    /// shared circuit (and its compiled plan, sparse template and
+    /// symbolic analysis) stays untouched, which is what lets test
+    /// configurations sweep stimulus parameters over one immutable
+    /// circuit. Repeated overrides of the same source keep the last.
+    pub fn override_stimulus(mut self, name: impl Into<String>, wave: Waveform) -> Self {
+        self.overrides.push((name.into(), wave));
+        self
+    }
+
+    /// Adds a batch of by-name overrides (used by the transient and AC
+    /// front-ends to pass theirs through to the inner DC solve).
+    pub(crate) fn with_overrides(mut self, overrides: Vec<(String, Waveform)>) -> Self {
+        self.overrides.extend(overrides);
+        self
     }
 
     /// Solves the operating point (sources at their `t = 0` values).
@@ -129,6 +221,7 @@ impl<'c> DcAnalysis<'c> {
                 reason: format!("initial state length {} != unknown count {n}", initial.len()),
             });
         }
+        let overrides = resolve_overrides(self.circuit, &self.overrides)?;
         if n == 0 {
             return Ok(self.package(Vec::new()));
         }
@@ -137,6 +230,7 @@ impl<'c> DcAnalysis<'c> {
         // solve, shared across all fallback strategies; one state
         // vector mutated in place by the Newton iterations.
         let mut scratch = NewtonScratch::new(self.circuit, self.options.solver);
+        scratch.overrides = overrides;
         let mut x = initial.to_vec();
 
         // 1. Plain Newton from the provided start.
@@ -186,6 +280,14 @@ impl<'c> DcAnalysis<'c> {
     /// nothing: assembly replays the compiled plan, the factorization
     /// swaps buffers with the LU workspace and the solve substitutes
     /// into a reused update vector.
+    ///
+    /// For a linear plan the Jacobian depends only on `gmin`, never on
+    /// the iterate or the stimulus — so once factored, every further
+    /// iteration (and every further *solve* sharing this scratch at the
+    /// same `gmin`, e.g. the source-stepping ramp) skips assembly and
+    /// refactorization, re-deriving only the right-hand side. The reuse
+    /// key is exact; results are bit-identical to the always-refactor
+    /// path.
     fn newton(
         &self,
         x: &mut [f64],
@@ -193,21 +295,31 @@ impl<'c> DcAnalysis<'c> {
         gmin: f64,
         source_scale: f64,
     ) -> Result<(), SpiceError> {
-        let NewtonScratch { plan, solver, rhs, x_new, src_vals } = scratch;
+        scratch.eval_sources(|w| source_scale * w.dc_value());
+        let NewtonScratch { plan, solver, rhs, x_new, src_vals, factored_for, .. } = scratch;
         let n = plan.dim();
         let n_nodes = self.circuit.node_count() - 1;
         let opts = &self.options;
-        plan.source_values(src_vals, |w| source_scale * w.dc_value());
         let damped = plan.damped();
+        let reuse_key: JacobianKey = (gmin.to_bits(), 0, 0);
 
         for _iter in 0..opts.max_iter {
-            solver.assemble_and_factor(plan, x, rhs, gmin, src_vals, |_| {})?;
+            if plan.is_linear() && *factored_for == Some(reuse_key) {
+                plan.assemble_rhs_only(rhs, src_vals);
+            } else {
+                *factored_for = None;
+                solver.assemble_and_factor(plan, x, rhs, gmin, src_vals, |_| {})?;
+                if plan.is_linear() {
+                    *factored_for = Some(reuse_key);
+                }
+            }
             solver.solve_into(rhs, x_new)?;
 
             // Damping: clamp the per-iteration update of
             // nonlinear-device terminals (linear nodes and branch
             // currents take the exact Newton step).
             let mut converged = true;
+            let mut landed_exactly = true;
             for i in 0..n {
                 let mut delta = x_new[i] - x[i];
                 if !delta.is_finite() {
@@ -229,8 +341,20 @@ impl<'c> DcAnalysis<'c> {
                     delta = clamp.copysign(delta);
                 }
                 x[i] += delta;
+                landed_exactly &= landed_on(x[i], x_new[i]);
             }
             if converged {
+                return Ok(());
+            }
+            // A linear plan whose update landed bit-exactly on the
+            // solved state needs no verification iteration: the next
+            // one would reuse identical factors, re-derive an identical
+            // rhs, solve to the identical x_new, take a delta of
+            // exactly +0.0 and converge without changing the state.
+            // (`x += (x_new − x)` does NOT always round to `x_new` —
+            // a warm start many orders of magnitude off misses — so
+            // the landing really is checked, bit for bit, not assumed.)
+            if plan.is_linear() && *factored_for == Some(reuse_key) && landed_exactly {
                 return Ok(());
             }
         }
@@ -376,6 +500,89 @@ mod tests {
         let sol = DcAnalysis::new(&c).solve().unwrap();
         let i_out = sol.voltage(out) / 10e3;
         assert!((i_out - 50e-6).abs() / 50e-6 < 0.15, "i_out = {i_out}");
+    }
+
+    /// Regression: the linear-plan verification-iteration skip must not
+    /// declare convergence when the applied update failed to land
+    /// exactly on the solved state. A warm start ~16 orders of
+    /// magnitude off makes `x + (x_new − x)` round away from `x_new`
+    /// (here to 0.0); an unguarded skip would return that as the
+    /// "solution".
+    #[test]
+    fn linear_skip_guard_rejects_inexact_landing() {
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let out = c.node("out");
+        c.add_vsource("V1", vin, Circuit::GROUND, Waveform::dc(2.0)).unwrap();
+        c.add_resistor("R1", vin, out, 1e3).unwrap();
+        c.add_resistor("R2", out, Circuit::GROUND, 1e3).unwrap();
+        let n = c.unknown_count();
+        let sol = DcAnalysis::new(&c).solve_from(&vec![1e16; n]).unwrap();
+        assert!((sol.voltage(out) - 1.0).abs() < 1e-6, "v(out) = {}", sol.voltage(out));
+        assert!((sol.voltage(vin) - 2.0).abs() < 1e-6, "v(vin) = {}", sol.voltage(vin));
+    }
+
+    #[test]
+    fn landed_on_requires_bit_equality_and_rejects_negative_zero() {
+        assert!(landed_on(1.5, 1.5));
+        assert!(landed_on(0.0, 0.0));
+        assert!(!landed_on(0.0, -0.0));
+        assert!(!landed_on(-0.0, -0.0), "a -0.0 target would be rewritten to +0.0");
+        assert!(!landed_on(1.5, 1.5 + f64::EPSILON));
+    }
+
+    /// A stimulus override must be bit-identical to mutating a copy
+    /// with `set_stimulus`, and must leave the shared circuit's plan
+    /// untouched.
+    #[test]
+    fn stimulus_override_matches_set_stimulus_bitwise() {
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let out = c.node("out");
+        c.add_vsource("V1", vin, Circuit::GROUND, Waveform::dc(10.0)).unwrap();
+        c.add_resistor("R1", vin, out, 1e3).unwrap();
+        c.add_resistor("R2", out, Circuit::GROUND, 1e3).unwrap();
+        c.compile_plan();
+        let plan_before = c.plan();
+
+        let via_override = DcAnalysis::new(&c)
+            .override_stimulus("V1", Waveform::dc(3.0))
+            .solve()
+            .unwrap();
+        assert!(
+            std::sync::Arc::ptr_eq(&plan_before, &c.plan()),
+            "an override must not touch the shared plan"
+        );
+
+        let mut mutated = c.clone();
+        mutated.set_stimulus("V1", Waveform::dc(3.0)).unwrap();
+        let via_mutation = DcAnalysis::new(&mutated).solve().unwrap();
+        for (a, b) in via_override.state().iter().zip(via_mutation.state()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // The last override of the same source wins.
+        let twice = DcAnalysis::new(&c)
+            .override_stimulus("V1", Waveform::dc(8.0))
+            .override_stimulus("V1", Waveform::dc(3.0))
+            .solve()
+            .unwrap();
+        assert_eq!(twice.voltage(out).to_bits(), via_override.voltage(out).to_bits());
+    }
+
+    #[test]
+    fn stimulus_override_validates_target() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_vsource("V1", a, Circuit::GROUND, Waveform::dc(1.0)).unwrap();
+        c.add_resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
+        assert!(matches!(
+            DcAnalysis::new(&c).override_stimulus("nope", Waveform::dc(0.0)).solve(),
+            Err(SpiceError::UnknownDevice { .. })
+        ));
+        assert!(matches!(
+            DcAnalysis::new(&c).override_stimulus("R1", Waveform::dc(0.0)).solve(),
+            Err(SpiceError::InvalidValue { .. })
+        ));
     }
 
     #[test]

@@ -81,15 +81,23 @@ pub enum DeviceKind {
 /// [`Circuit`](crate::Circuit) names are unique.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Device {
-    name: String,
+    /// `Arc<str>`: fault campaigns clone whole netlists once per
+    /// injected variant, and a shared name is a refcount bump instead
+    /// of a heap copy. The same `Arc` keys the circuit's device index.
+    name: std::sync::Arc<str>,
     kind: DeviceKind,
 }
 
 impl Device {
     /// Creates a device from a name and kind. Prefer the typed
     /// constructors on [`Circuit`](crate::Circuit), which validate values.
-    pub fn new(name: impl Into<String>, kind: DeviceKind) -> Self {
-        Device { name: name.into(), kind }
+    pub fn new(name: impl AsRef<str>, kind: DeviceKind) -> Self {
+        Device { name: std::sync::Arc::from(name.as_ref()), kind }
+    }
+
+    /// The shared name handle (cheap to clone into index keys).
+    pub(crate) fn name_arc(&self) -> std::sync::Arc<str> {
+        std::sync::Arc::clone(&self.name)
     }
 
     /// The device's unique name.

@@ -46,6 +46,40 @@
 //! device walk, allocating `LuFactors`), which the test suites assert
 //! exactly.
 //!
+//! # Structure sharing: patched plans, overrides, exact reuse
+//!
+//! Fault campaigns simulate thousands of single-fault variants that
+//! share ≥95 % of their structure with one nominal circuit; three
+//! mechanisms make that sharing explicit (all bit-neutral — pinned by
+//! the campaign differential harness):
+//!
+//! * **Plan patching.** A compiled plan survives additive mutation:
+//!   [`Circuit::set_stimulus`] swaps a waveform-table entry (keeping
+//!   the sparse template and symbolic analysis — matrix structure and
+//!   values are stimulus-independent) and [`Circuit::add`] appends the
+//!   new device's ops exactly as a recompile would emit them, merging
+//!   its few new sparsity slots into the existing pattern. Bridge-fault
+//!   injection therefore costs a plan patch, not a recompilation.
+//!   Structural mutations (node interning, removal, `device_mut`)
+//!   still drop the plan.
+//! * **Stimulus overrides.** Every analysis accepts
+//!   `override_stimulus(name, wave)`: the override applies at
+//!   source-evaluation time, so test configurations sweep stimulus
+//!   parameters over one shared immutable circuit — no clone, no
+//!   mutation, same bits as mutating a copy.
+//! * **Exact (Shamanskii-style) factorization reuse.** For linear
+//!   plans the Jacobian is a pure function of `(gmin, companions)`;
+//!   Newton loops key their factorization on exactly that and skip
+//!   assembly + refactorization — and the always-converging
+//!   verification iteration — whenever the key matches. A fixed-step
+//!   transient of a linear circuit factors once and then pays only
+//!   rhs re-derivation + substitution per step. Each circuit's plan
+//!   additionally caches one canonical symbolic analysis
+//!   (`castg_numeric::SparseSymbolic`, `Arc`-shared) that seeds every
+//!   sparse solver instance, so a whole campaign performs one symbolic
+//!   DFS per variant. AC sweeps fan frequency points out over worker
+//!   threads ([`AcAnalysis::threads`]) against that shared skeleton.
+//!
 //! # Solver dispatch: dense vs sparse
 //!
 //! Each analysis routes its linear solves through a per-circuit solver

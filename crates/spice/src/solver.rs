@@ -82,10 +82,20 @@ pub(crate) enum MnaSolver {
 
 impl MnaSolver {
     /// Creates the solver state `kind` resolves to for `plan`.
+    ///
+    /// The sparse arm seeds its LU workspace with the plan's canonical
+    /// symbolic analysis (computed once per plan, shared by `Arc`), so
+    /// every analysis of the same circuit — across tests, threads and
+    /// fault-campaign work items — starts refactoring numerically
+    /// instead of re-running the symbolic DFS.
     pub(crate) fn for_plan(plan: &StampPlan, kind: SolverKind) -> Self {
         let n = plan.dim();
         if kind.use_sparse(plan) {
-            MnaSolver::Sparse { mat: plan.sparse_template().clone(), lu: SparseLu::new() }
+            let mut lu = SparseLu::new();
+            if let Some(symbolic) = plan.canonical_symbolic() {
+                lu.seed_symbolic(symbolic);
+            }
+            MnaSolver::Sparse { mat: plan.sparse_template().clone(), lu }
         } else {
             MnaSolver::Dense { mat: Matrix::zeros(n, n), lu: LuWorkspace::new(n) }
         }
@@ -125,7 +135,9 @@ impl MnaSolver {
                 lu.factor_in_place(mat)
             }
             MnaSolver::Sparse { mat, lu } => {
-                plan.assemble_into(x, mat, rhs, gmin, src_vals);
+                // Specialized replay: precomputed slot indices instead
+                // of a binary search per add (bit-identical result).
+                plan.assemble_into_sparse(x, mat, rhs, gmin, src_vals);
                 extra(mat);
                 lu.factor(mat)
             }

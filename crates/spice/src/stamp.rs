@@ -17,12 +17,12 @@
 //! accumulation order (and therefore the result, bit for bit) matches a
 //! direct device-by-device assembly.
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
-use castg_numeric::{Matrix, SparseMatrix, StampTarget};
+use castg_numeric::{Matrix, SparseLu, SparseMatrix, SparseSymbolic, StampTarget};
 
 use crate::circuit::Circuit;
-use crate::device::DeviceKind;
+use crate::device::{Device, DeviceKind};
 use crate::mos::{self, MosParams, MosPolarity};
 use crate::node::NodeId;
 use crate::stimulus::Waveform;
@@ -85,6 +85,11 @@ pub(crate) fn stamp_current(rhs: &mut [f64], from: NodeId, to: NodeId, i: f64) {
 }
 
 /// One replayable assembly operation with fully resolved slots.
+///
+/// Kept deliberately small (the MOSFET payload lives out-of-line in
+/// [`MosSite`]): the op list is cloned per fault-injection patch and
+/// walked once per Newton iteration, so its footprint is hot-loop
+/// memory traffic.
 #[derive(Debug, Clone)]
 enum PlanOp {
     /// Add a precomputed constant to one matrix slot (resistors and the
@@ -95,62 +100,45 @@ enum PlanOp {
     /// Voltage-defined device: waveform value onto the branch row.
     SourceRow { row: usize, wave: usize },
     /// Level-1 MOSFET, linearized around the candidate solution at
-    /// replay time.
-    Mos {
-        d: Option<usize>,
-        g: Option<usize>,
-        s: Option<usize>,
-        b: Option<usize>,
-        polarity: MosPolarity,
-        params: MosParams,
-    },
+    /// replay time; `site` indexes the plan's [`MosSite`] table.
+    Mos { site: usize },
 }
 
-/// A precompiled assembly schedule for one [`Circuit`].
-///
-/// Building the plan resolves node ids to matrix slots, assigns branch
-/// rows and splits every device into constant matrix contributions,
-/// waveform-driven right-hand-side contributions and nonlinear (MOSFET)
-/// linearization sites. Replaying it is a single flat pass — the hot
-/// loop of every analysis.
+/// Resolved terminals and model of one MOSFET linearization site.
 #[derive(Debug, Clone)]
-pub(crate) struct StampPlan {
-    n: usize,
-    n_nodes: usize,
+struct MosSite {
+    d: Option<usize>,
+    g: Option<usize>,
+    s: Option<usize>,
+    b: Option<usize>,
+    polarity: MosPolarity,
+    params: MosParams,
+}
+
+/// Accumulates the per-device assembly ops during plan construction.
+/// Shared by the full compile ([`StampPlan::build`]) and the
+/// incremental patch ([`StampPlan::patched_with_device`]), so a patched
+/// plan is structurally indistinguishable from a recompiled one.
+struct PlanBuilder {
     ops: Vec<PlanOp>,
     waves: Vec<Waveform>,
-    /// `damped[i]` is true when unknown `i` is a terminal of a nonlinear
-    /// device: only those update components need Newton damping. Linear
-    /// nodes (and branch currents) take the full, exact Newton step —
-    /// clamping them would just make a supply node crawl to its source
-    /// voltage half a volt per iteration.
-    damped: Vec<bool>,
-    /// Every matrix slot the static (DC/Jacobian) assembly can touch:
-    /// gmin diagonal, constant stamps, MOS linearization sites.
-    static_slots: Vec<(usize, usize)>,
-    /// Slots touched only by capacitive stamps: transient companion
-    /// conductances and the AC `C` matrix (explicit capacitors plus MOS
-    /// gate capacitances).
+    mos_sites: Vec<MosSite>,
     dynamic_slots: Vec<(usize, usize)>,
-    /// Lazily built all-zero sparse matrix over the union of
-    /// `static_slots` and `dynamic_slots`; cloned (pattern shared, one
-    /// value vector each) by every sparse solver instance for this
-    /// circuit, so the pattern construction is paid once per plan.
-    sparse_template: OnceLock<SparseMatrix>,
+    /// Next branch-current row/column.
+    branch: usize,
 }
 
-impl StampPlan {
-    /// Compiles the assembly schedule for `circuit`.
-    pub(crate) fn build(circuit: &Circuit) -> Self {
-        let n_nodes = circuit.node_count() - 1;
-        let n = circuit.unknown_count();
-        let mut ops = Vec::new();
-        let mut waves = Vec::new();
+impl PlanBuilder {
+    /// Emits the assembly ops of one device, in exactly the add order
+    /// the direct stamp functions use so replay accumulates
+    /// identically.
+    fn emit(&mut self, dev: &Device) {
+        let ops = &mut self.ops;
         let mat = |ops: &mut Vec<PlanOp>, row: usize, col: usize, value: f64| {
             ops.push(PlanOp::Mat { row, col, value });
         };
-        // Emit conductance stamps in exactly the add order of
-        // `stamp_conductance` so replay accumulates identically.
+        // Conductance stamps in exactly the add order of
+        // `stamp_conductance`.
         let conductance = |ops: &mut Vec<PlanOp>, a: NodeId, b: NodeId, g: f64| {
             if let Some(i) = idx(a) {
                 ops.push(PlanOp::Mat { row: i, col: i, value: g });
@@ -165,7 +153,6 @@ impl StampPlan {
                 }
             }
         };
-
         // Slots a two-terminal conductance between resolved indices can
         // touch (the sparsity-pattern counterpart of `stamp_conductance`).
         let conductance_slots =
@@ -181,80 +168,170 @@ impl StampPlan {
                     slots.push((j, j));
                 }
             };
-        let mut dynamic_slots = Vec::new();
-
-        let mut branch = n_nodes; // next branch-current row/column
-        for dev in circuit.devices() {
-            match dev.kind() {
-                DeviceKind::Resistor { a, b, ohms } => {
-                    conductance(&mut ops, *a, *b, 1.0 / ohms);
+        match dev.kind() {
+            DeviceKind::Resistor { a, b, ohms } => {
+                conductance(ops, *a, *b, 1.0 / ohms);
+            }
+            DeviceKind::Capacitor { a, b, .. } => {
+                // Open in DC; transient stamps companions separately
+                // (but their slots belong to the sparsity pattern).
+                conductance_slots(&mut self.dynamic_slots, idx(*a), idx(*b));
+            }
+            DeviceKind::Isource { from, to, wave } => {
+                self.waves.push(wave.clone());
+                ops.push(PlanOp::Current {
+                    from: idx(*from),
+                    to: idx(*to),
+                    wave: self.waves.len() - 1,
+                });
+            }
+            DeviceKind::Vsource { pos, neg, wave } => {
+                let br = self.branch;
+                self.branch += 1;
+                if let Some(p) = idx(*pos) {
+                    mat(ops, p, br, 1.0);
+                    mat(ops, br, p, 1.0);
                 }
-                DeviceKind::Capacitor { a, b, .. } => {
-                    // Open in DC; transient stamps companions separately
-                    // (but their slots belong to the sparsity pattern).
-                    conductance_slots(&mut dynamic_slots, idx(*a), idx(*b));
+                if let Some(ng) = idx(*neg) {
+                    mat(ops, ng, br, -1.0);
+                    mat(ops, br, ng, -1.0);
                 }
-                DeviceKind::Isource { from, to, wave } => {
-                    waves.push(wave.clone());
-                    ops.push(PlanOp::Current {
-                        from: idx(*from),
-                        to: idx(*to),
-                        wave: waves.len() - 1,
-                    });
+                self.waves.push(wave.clone());
+                ops.push(PlanOp::SourceRow { row: br, wave: self.waves.len() - 1 });
+            }
+            DeviceKind::Vcvs { pos, neg, cp, cn, gain } => {
+                let br = self.branch;
+                self.branch += 1;
+                if let Some(p) = idx(*pos) {
+                    mat(ops, p, br, 1.0);
+                    mat(ops, br, p, 1.0);
                 }
-                DeviceKind::Vsource { pos, neg, wave } => {
-                    let br = branch;
-                    branch += 1;
-                    if let Some(p) = idx(*pos) {
-                        mat(&mut ops, p, br, 1.0);
-                        mat(&mut ops, br, p, 1.0);
-                    }
-                    if let Some(ng) = idx(*neg) {
-                        mat(&mut ops, ng, br, -1.0);
-                        mat(&mut ops, br, ng, -1.0);
-                    }
-                    waves.push(wave.clone());
-                    ops.push(PlanOp::SourceRow { row: br, wave: waves.len() - 1 });
+                if let Some(ng) = idx(*neg) {
+                    mat(ops, ng, br, -1.0);
+                    mat(ops, br, ng, -1.0);
                 }
-                DeviceKind::Vcvs { pos, neg, cp, cn, gain } => {
-                    let br = branch;
-                    branch += 1;
-                    if let Some(p) = idx(*pos) {
-                        mat(&mut ops, p, br, 1.0);
-                        mat(&mut ops, br, p, 1.0);
-                    }
-                    if let Some(ng) = idx(*neg) {
-                        mat(&mut ops, ng, br, -1.0);
-                        mat(&mut ops, br, ng, -1.0);
-                    }
-                    if let Some(c) = idx(*cp) {
-                        mat(&mut ops, br, c, -gain);
-                    }
-                    if let Some(c) = idx(*cn) {
-                        mat(&mut ops, br, c, *gain);
-                    }
+                if let Some(c) = idx(*cp) {
+                    mat(ops, br, c, -gain);
                 }
-                DeviceKind::Mosfet { d, g, s, b, polarity, params } => {
-                    // Gate capacitances are stamped by the transient and
-                    // AC engines.
-                    conductance_slots(&mut dynamic_slots, idx(*g), idx(*s));
-                    conductance_slots(&mut dynamic_slots, idx(*g), idx(*d));
-                    ops.push(PlanOp::Mos {
-                        d: idx(*d),
-                        g: idx(*g),
-                        s: idx(*s),
-                        b: idx(*b),
-                        polarity: *polarity,
-                        params: *params,
-                    });
+                if let Some(c) = idx(*cn) {
+                    mat(ops, br, c, *gain);
                 }
             }
+            DeviceKind::Mosfet { d, g, s, b, polarity, params } => {
+                // Gate capacitances are stamped by the transient and
+                // AC engines.
+                conductance_slots(&mut self.dynamic_slots, idx(*g), idx(*s));
+                conductance_slots(&mut self.dynamic_slots, idx(*g), idx(*d));
+                self.mos_sites.push(MosSite {
+                    d: idx(*d),
+                    g: idx(*g),
+                    s: idx(*s),
+                    b: idx(*b),
+                    polarity: *polarity,
+                    params: *params,
+                });
+                ops.push(PlanOp::Mos { site: self.mos_sites.len() - 1 });
+            }
         }
+    }
+}
+
+/// A precompiled assembly schedule for one [`Circuit`].
+///
+/// Building the plan resolves node ids to matrix slots, assigns branch
+/// rows and splits every device into constant matrix contributions,
+/// waveform-driven right-hand-side contributions and nonlinear (MOSFET)
+/// linearization sites. Replaying it is a single flat pass — the hot
+/// loop of every analysis.
+///
+/// Plans are *patchable*: replacing a stimulus waveform
+/// ([`with_wave`](StampPlan::with_wave)) or appending a device whose
+/// nodes already exist ([`patched_with_device`](StampPlan::patched_with_device),
+/// the delta-stamp path bridge-fault injection rides) derives the
+/// successor plan from the compiled one instead of recompiling from the
+/// netlist. A wave patch even keeps the cached sparse template and
+/// canonical symbolic analysis — the matrix structure and values are
+/// stimulus-independent.
+#[derive(Debug, Clone)]
+pub(crate) struct StampPlan {
+    n: usize,
+    n_nodes: usize,
+    ops: Vec<PlanOp>,
+    mos_sites: Vec<MosSite>,
+    /// The rhs-writing subset of `ops` (`Current`/`SourceRow`), in op
+    /// order: [`assemble_rhs_only`](StampPlan::assemble_rhs_only) walks
+    /// this instead of scanning every matrix op — a transient step of a
+    /// linear circuit touches a handful of sources, not thousands of
+    /// conductances.
+    rhs_ops: Vec<PlanOp>,
+    waves: Vec<Waveform>,
+    /// `damped[i]` is true when unknown `i` is a terminal of a nonlinear
+    /// device: only those update components need Newton damping. Linear
+    /// nodes (and branch currents) take the full, exact Newton step —
+    /// clamping them would just make a supply node crawl to its source
+    /// voltage half a volt per iteration.
+    damped: Vec<bool>,
+    /// Whether the plan has no nonlinear (MOSFET) linearization sites:
+    /// the assembled matrix is then independent of the candidate
+    /// solution, which the Newton loops exploit to skip
+    /// refactorizations (Shamanskii-style, exact for linear plans).
+    linear: bool,
+    /// Every matrix slot the static (DC/Jacobian) assembly can touch:
+    /// gmin diagonal, constant stamps, MOS linearization sites.
+    static_slots: Vec<(usize, usize)>,
+    /// Slots touched only by capacitive stamps: transient companion
+    /// conductances and the AC `C` matrix (explicit capacitors plus MOS
+    /// gate capacitances).
+    dynamic_slots: Vec<(usize, usize)>,
+    /// Lazily built all-zero sparse matrix over the union of
+    /// `static_slots` and `dynamic_slots`; cloned (pattern shared, one
+    /// value vector each) by every sparse solver instance for this
+    /// circuit, so the pattern construction is paid once per plan.
+    sparse_template: OnceLock<SparseMatrix>,
+    /// Lazily computed shared symbolic analysis of the canonical MNA
+    /// matrix (assembled at `x = 0` with the default gmin); `None`
+    /// inside when the canonical matrix is singular. Every sparse
+    /// solver instance for this circuit seeds from it, so a whole fault
+    /// campaign pays one symbolic analysis per circuit variant.
+    canonical_symbolic: OnceLock<Option<Arc<SparseSymbolic>>>,
+    /// Lazily resolved value-array indices of every static stamp the
+    /// replay performs against the sparse template, in replay order
+    /// (gmin diagonal first, then per-op adds). The sparse assembly
+    /// fast path walks this with a cursor instead of binary-searching
+    /// each `(row, col)` — same adds, same order, same bits.
+    sparse_index: OnceLock<Vec<u32>>,
+}
+
+impl StampPlan {
+    /// Compiles the assembly schedule for `circuit`.
+    pub(crate) fn build(circuit: &Circuit) -> Self {
+        let n_nodes = circuit.node_count() - 1;
+        let n = circuit.unknown_count();
+        let mut builder = PlanBuilder {
+            ops: Vec::new(),
+            waves: Vec::new(),
+            mos_sites: Vec::new(),
+            dynamic_slots: Vec::new(),
+            branch: n_nodes,
+        };
+        for dev in circuit.devices() {
+            builder.emit(dev);
+        }
+        StampPlan::finalize(builder, n, n_nodes)
+    }
+
+    /// Completes a plan from emitted ops: derives the damping mask and
+    /// the static slot list (both functions of the op list alone).
+    fn finalize(builder: PlanBuilder, n: usize, n_nodes: usize) -> Self {
+        let PlanBuilder { ops, waves, mos_sites, dynamic_slots, .. } = builder;
         let mut damped = vec![false; n];
+        let mut linear = true;
         let mut static_slots: Vec<(usize, usize)> = (0..n_nodes).map(|i| (i, i)).collect();
         for op in &ops {
             match op {
-                PlanOp::Mos { d, g, s, b, .. } => {
+                PlanOp::Mos { site } => {
+                    let MosSite { d, g, s, b, .. } = &mos_sites[*site];
+                    linear = false;
                     for slot in [d, g, s, b].into_iter().flatten() {
                         damped[*slot] = true;
                     }
@@ -270,16 +347,82 @@ impl StampPlan {
                 PlanOp::Current { .. } | PlanOp::SourceRow { .. } => {}
             }
         }
+        let rhs_ops = ops
+            .iter()
+            .filter(|op| matches!(op, PlanOp::Current { .. } | PlanOp::SourceRow { .. }))
+            .cloned()
+            .collect();
         StampPlan {
             n,
             n_nodes,
             ops,
+            mos_sites,
+            rhs_ops,
             waves,
             damped,
+            linear,
             static_slots,
             dynamic_slots,
             sparse_template: OnceLock::new(),
+            canonical_symbolic: OnceLock::new(),
+            sparse_index: OnceLock::new(),
         }
+    }
+
+    /// Derives the plan with stimulus waveform slot `wave` replaced.
+    ///
+    /// Waveforms only enter through
+    /// [`source_values`](StampPlan::source_values) — the matrix
+    /// structure and values are untouched — so the cached sparse
+    /// template *and* the canonical symbolic analysis carry over. This
+    /// is what makes `Circuit::set_stimulus` free of recompilation.
+    pub(crate) fn with_wave(&self, wave_slot: usize, wave: Waveform) -> Self {
+        let mut patched = self.clone();
+        patched.waves[wave_slot] = wave;
+        patched
+    }
+
+    /// Derives the plan for the circuit extended by `dev`, whose nodes
+    /// must all exist already (callers guarantee this: creating a node
+    /// drops the plan). The device's ops are appended exactly as a full
+    /// recompile would emit them — the patched plan is bit-for-bit
+    /// equivalent to `StampPlan::build` of the extended circuit — but
+    /// no netlist walk, node interning or waveform re-clone happens.
+    ///
+    /// The sparse template and canonical symbolic analysis are reset:
+    /// the sparsity pattern may have changed.
+    pub(crate) fn patched_with_device(&self, dev: &Device) -> Self {
+        let base_dynamic = self.dynamic_slots.len();
+        let mut builder = PlanBuilder {
+            ops: self.ops.clone(),
+            waves: self.waves.clone(),
+            mos_sites: self.mos_sites.clone(),
+            dynamic_slots: self.dynamic_slots.clone(),
+            // Branch rows already assigned occupy n_nodes..n; the next
+            // one goes at n.
+            branch: self.n,
+        };
+        builder.emit(dev);
+        let n = if dev.has_branch_current() { self.n + 1 } else { self.n };
+        let plan = StampPlan::finalize(builder, n, self.n_nodes);
+        // Template fast path: when the base template is built and the
+        // dimension is unchanged (no new branch row), the successor's
+        // pattern is the base pattern merged with the new device's few
+        // slots — identical content to a from-scratch rebuild, without
+        // re-sorting thousands of slots. `finalize` derives slot lists
+        // deterministically (diagonal, then ops in order), so the new
+        // device's static slots are exactly the tail beyond the base
+        // plan's list.
+        if n == self.n {
+            if let Some(base) = self.sparse_template.get() {
+                let mut new_slots: Vec<(usize, usize)> =
+                    plan.static_slots[self.static_slots.len()..].to_vec();
+                new_slots.extend_from_slice(&plan.dynamic_slots[base_dynamic..]);
+                let pattern = base.pattern().merged_with(&new_slots);
+                let _ = plan.sparse_template.set(SparseMatrix::with_pattern(pattern));
+            }
+        }
+        plan
     }
 
     /// Slots only capacitive stamps (companions, AC `C`) can touch.
@@ -300,6 +443,187 @@ impl StampPlan {
         })
     }
 
+    /// Shared symbolic analysis of the canonical MNA matrix: the system
+    /// assembled at `x = 0` with the default gmin and DC source values.
+    /// Computed once per plan (deterministically — independent of which
+    /// analysis or thread asks first) and seeded into every sparse
+    /// solver instance, which then refactors numerically; a solve whose
+    /// values make the canonical pivot order unacceptable falls back to
+    /// its own pivoting factorization. `None` when the canonical matrix
+    /// is singular (a grossly broken faulted variant) — instances then
+    /// analyze on their own.
+    pub(crate) fn canonical_symbolic(&self) -> Option<Arc<SparseSymbolic>> {
+        self.canonical_symbolic
+            .get_or_init(|| {
+                let mut mat = self.sparse_template().clone();
+                let mut rhs = vec![0.0; self.n];
+                let x0 = vec![0.0; self.n];
+                let mut src_vals = Vec::new();
+                self.source_values(&mut src_vals, |w| w.dc_value());
+                // The default-options gmin: what virtually every solve
+                // of this plan will stamp, so the canonical pivot order
+                // matches the real matrices (a custom-gmin solve still
+                // works — the refactorization stability fallback covers
+                // it, just without the amortization).
+                let gmin = crate::analysis::AnalysisOptions::default().gmin;
+                self.assemble_into(&x0, &mut mat, &mut rhs, gmin, &src_vals);
+                let mut lu = SparseLu::new();
+                match lu.factor(&mat) {
+                    Ok(()) => lu.symbolic(),
+                    Err(_) => None,
+                }
+            })
+            .clone()
+    }
+
+    /// Whether the plan contains no nonlinear linearization sites, i.e.
+    /// the assembled matrix depends only on gmin and any extra
+    /// (companion) stamps — never on the candidate solution or the
+    /// stimulus values.
+    pub(crate) fn is_linear(&self) -> bool {
+        self.linear
+    }
+
+    /// Value-array indices of every static matrix add the replay
+    /// performs against the sparse template, in replay order. Built on
+    /// first use; every slot is guaranteed present (the template's
+    /// pattern is derived from the same op walk).
+    fn sparse_index(&self) -> &[u32] {
+        self.sparse_index.get_or_init(|| {
+            let pattern = Arc::clone(self.sparse_template().pattern());
+            let slot = |r: usize, c: usize| {
+                pattern.slot(r, c).expect("static stamp slot missing from template") as u32
+            };
+            let mut index = Vec::new();
+            for i in 0..self.n_nodes {
+                index.push(slot(i, i));
+            }
+            for op in &self.ops {
+                match op {
+                    PlanOp::Mat { row, col, .. } => index.push(slot(*row, *col)),
+                    PlanOp::Mos { site } => {
+                        let MosSite { d, g, s, b, .. } = &self.mos_sites[*site];
+                        // Exactly the conditional add order of the
+                        // `Mos` arm of `assemble_into`.
+                        if let Some(di) = *d {
+                            if let Some(gi) = *g {
+                                index.push(slot(di, gi));
+                            }
+                            index.push(slot(di, di));
+                            if let Some(bi) = *b {
+                                index.push(slot(di, bi));
+                            }
+                            if let Some(si) = *s {
+                                index.push(slot(di, si));
+                            }
+                        }
+                        if let Some(si) = *s {
+                            if let Some(gi) = *g {
+                                index.push(slot(si, gi));
+                            }
+                            if let Some(di) = *d {
+                                index.push(slot(si, di));
+                            }
+                            if let Some(bi) = *b {
+                                index.push(slot(si, bi));
+                            }
+                            index.push(slot(si, si));
+                        }
+                    }
+                    PlanOp::Current { .. } | PlanOp::SourceRow { .. } => {}
+                }
+            }
+            index
+        })
+    }
+
+    /// [`assemble_into`](StampPlan::assemble_into), specialized for a
+    /// sparse matrix cloned from this plan's template: every matrix add
+    /// lands through the precomputed slot-index list instead of a
+    /// binary search per add. Performs the identical adds in the
+    /// identical order — the result is bit-for-bit the generic path's.
+    /// Falls back to the generic path for any other pattern.
+    pub(crate) fn assemble_into_sparse(
+        &self,
+        x: &[f64],
+        mat: &mut SparseMatrix,
+        rhs: &mut [f64],
+        gmin: f64,
+        source_vals: &[f64],
+    ) {
+        if !Arc::ptr_eq(mat.pattern(), self.sparse_template().pattern()) {
+            self.assemble_into(x, mat, rhs, gmin, source_vals);
+            return;
+        }
+        let index = self.sparse_index();
+        mat.clear();
+        rhs.fill(0.0);
+        let values = mat.values_mut();
+        let mut cursor = 0usize;
+        let mut add = |values: &mut [f64], v: f64| {
+            values[index[cursor] as usize] += v;
+            cursor += 1;
+        };
+        for _ in 0..self.n_nodes {
+            add(values, gmin);
+        }
+        for op in &self.ops {
+            match op {
+                PlanOp::Mat { value, .. } => add(values, *value),
+                PlanOp::Current { from, to, wave } => {
+                    let i = source_vals[*wave];
+                    if let Some(a) = from {
+                        rhs[*a] -= i;
+                    }
+                    if let Some(b) = to {
+                        rhs[*b] += i;
+                    }
+                }
+                PlanOp::SourceRow { row, wave } => {
+                    rhs[*row] = source_vals[*wave];
+                }
+                PlanOp::Mos { site } => {
+                    let MosSite { d, g, s, b, polarity, params } = &self.mos_sites[*site];
+                    let vd = slot_voltage(x, *d);
+                    let vg = slot_voltage(x, *g);
+                    let vs = slot_voltage(x, *s);
+                    let vb = slot_voltage(x, *b);
+                    let op = mos::evaluate(params, *polarity, vd, vg, vs, vb);
+                    let gsum = op.gm + op.gds + op.gmb;
+                    let i_rhs =
+                        op.ids - op.gm * (vg - vs) - op.gds * (vd - vs) - op.gmb * (vb - vs);
+                    if let Some(di) = *d {
+                        if g.is_some() {
+                            add(values, op.gm);
+                        }
+                        add(values, op.gds);
+                        if b.is_some() {
+                            add(values, op.gmb);
+                        }
+                        if s.is_some() {
+                            add(values, -gsum);
+                        }
+                        rhs[di] -= i_rhs;
+                    }
+                    if let Some(si) = *s {
+                        if g.is_some() {
+                            add(values, -op.gm);
+                        }
+                        if d.is_some() {
+                            add(values, -op.gds);
+                        }
+                        if b.is_some() {
+                            add(values, -op.gmb);
+                        }
+                        add(values, gsum);
+                        rhs[si] += i_rhs;
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(cursor, index.len(), "slot-index cursor out of sync with replay");
+    }
+
     /// Which unknowns are nonlinear-device terminals and therefore
     /// subject to per-iteration update damping.
     pub(crate) fn damped(&self) -> &[bool] {
@@ -318,6 +642,35 @@ impl StampPlan {
     pub(crate) fn source_values<F: Fn(&Waveform) -> f64>(&self, vals: &mut Vec<f64>, f: F) {
         vals.clear();
         vals.extend(self.waves.iter().map(f));
+    }
+
+    /// Re-derives only the right-hand side of the static assembly:
+    /// exactly the `rhs` writes [`assemble_into`](StampPlan::assemble_into)
+    /// would perform, without touching any matrix. Valid only for
+    /// linear plans (MOSFET linearization couples `rhs` to the
+    /// candidate solution); the Newton loops use it to refresh stimulus
+    /// terms while skipping a refactorization of a provably unchanged
+    /// Jacobian.
+    pub(crate) fn assemble_rhs_only(&self, rhs: &mut [f64], source_vals: &[f64]) {
+        debug_assert!(self.linear, "rhs-only assembly requires a linear plan");
+        rhs.fill(0.0);
+        for op in &self.rhs_ops {
+            match op {
+                PlanOp::Current { from, to, wave } => {
+                    let i = source_vals[*wave];
+                    if let Some(a) = from {
+                        rhs[*a] -= i;
+                    }
+                    if let Some(b) = to {
+                        rhs[*b] += i;
+                    }
+                }
+                PlanOp::SourceRow { row, wave } => {
+                    rhs[*row] = source_vals[*wave];
+                }
+                PlanOp::Mat { .. } | PlanOp::Mos { .. } => {}
+            }
+        }
     }
 
     /// Replays the schedule: assembles the static (non-capacitive) MNA
@@ -361,7 +714,8 @@ impl StampPlan {
                 PlanOp::SourceRow { row, wave } => {
                     rhs[*row] = source_vals[*wave];
                 }
-                PlanOp::Mos { d, g, s, b, polarity, params } => {
+                PlanOp::Mos { site } => {
+                    let MosSite { d, g, s, b, polarity, params } = &self.mos_sites[*site];
                     let vd = slot_voltage(x, *d);
                     let vg = slot_voltage(x, *g);
                     let vs = slot_voltage(x, *s);
@@ -491,6 +845,157 @@ mod tests {
         // Branch row: v(a) = 10.
         assert_eq!(mat[(2, 0)], 1.0);
         assert_eq!(rhs[2], 10.0);
+    }
+
+    /// Replays `plan` against `x` and returns the dense system.
+    fn replay(plan: &StampPlan, x: &[f64], gmin: f64) -> (Matrix, Vec<f64>) {
+        let n = plan.dim();
+        let mut mat = Matrix::zeros(n, n);
+        let mut rhs = vec![0.0; n];
+        let mut vals = Vec::new();
+        plan.source_values(&mut vals, |w| w.dc_value());
+        plan.assemble_into(x, &mut mat, &mut rhs, gmin, &vals);
+        (mat, rhs)
+    }
+
+    fn assert_plans_replay_identically(a: &StampPlan, b: &StampPlan) {
+        assert_eq!(a.dim(), b.dim());
+        let n = a.dim();
+        let x: Vec<f64> = (0..n).map(|i| 0.17 * i as f64 - 0.6).collect();
+        let (ma, ra) = replay(a, &x, 1e-12);
+        let (mb, rb) = replay(b, &x, 1e-12);
+        for r in 0..n {
+            for c in 0..n {
+                assert_eq!(ma[(r, c)].to_bits(), mb[(r, c)].to_bits(), "slot ({r},{c})");
+            }
+            assert_eq!(ra[r].to_bits(), rb[r].to_bits(), "rhs {r}");
+        }
+        assert_eq!(a.damped(), b.damped());
+        assert_eq!(a.is_linear(), b.is_linear());
+        // Same sparsity pattern, independently constructed.
+        assert_eq!(
+            a.sparse_template().pattern(),
+            b.sparse_template().pattern(),
+            "patterns diverged"
+        );
+    }
+
+    fn patch_fixture() -> Circuit {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let g = c.node("g");
+        let d = c.node("d");
+        c.add_vsource("VDD", vdd, Circuit::GROUND, Waveform::dc(5.0)).unwrap();
+        c.add_isource("IB", Circuit::GROUND, g, Waveform::dc(1e-5)).unwrap();
+        c.add_resistor("RD", vdd, d, 50e3).unwrap();
+        c.add_resistor("RG", g, Circuit::GROUND, 200e3).unwrap();
+        c.add_capacitor("CL", d, Circuit::GROUND, 1e-12).unwrap();
+        c.add_mosfet(
+            "M1",
+            d,
+            g,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            MosPolarity::Nmos,
+            MosParams::nmos_default(10e-6, 1e-6),
+        )
+        .unwrap();
+        c
+    }
+
+    /// A wave patch must replay exactly like a recompile of the
+    /// stimulus-substituted circuit, and keep the cached sparse
+    /// template (pointer-equal pattern).
+    #[test]
+    fn wave_patch_matches_recompile_and_keeps_template() {
+        let c = patch_fixture();
+        let base = StampPlan::build(&c);
+        let base_pattern = std::sync::Arc::clone(base.sparse_template().pattern());
+        let patched = base.with_wave(0, Waveform::dc(3.3));
+
+        let mut direct = c.clone();
+        direct.set_stimulus("VDD", Waveform::dc(3.3)).unwrap();
+        let rebuilt = StampPlan::build(&direct);
+
+        assert_plans_replay_identically(&patched, &rebuilt);
+        assert!(
+            std::sync::Arc::ptr_eq(patched.sparse_template().pattern(), &base_pattern),
+            "a wave patch must not reset the sparse template"
+        );
+    }
+
+    /// A device-add patch (the bridge-fault delta-stamp path) must
+    /// replay exactly like a recompile of the extended circuit — for a
+    /// plain two-node resistor and for a branch-adding voltage source.
+    #[test]
+    fn device_patch_matches_recompile() {
+        let c = patch_fixture();
+        let base = StampPlan::build(&c);
+
+        // Bridge resistor between two existing nodes.
+        let mut bridged = c.clone();
+        let (g, d) = (c.find_node("g").unwrap(), c.find_node("d").unwrap());
+        bridged.add_resistor("F_bridge", g, d, 10e3).unwrap();
+        let patched = base.patched_with_device(bridged.device("F_bridge").unwrap());
+        assert_plans_replay_identically(&patched, &StampPlan::build(&bridged));
+
+        // A branch-current device grows the system by one unknown.
+        let mut extended = bridged.clone();
+        extended.add_vsource("VX", d, Circuit::GROUND, Waveform::dc(1.0)).unwrap();
+        let patched2 = patched.patched_with_device(extended.device("VX").unwrap());
+        assert_eq!(patched2.dim(), patched.dim() + 1);
+        assert_plans_replay_identically(&patched2, &StampPlan::build(&extended));
+    }
+
+    /// The slot-indexed sparse assembly must reproduce the generic
+    /// (binary-searched) sparse assembly bit for bit, on a circuit with
+    /// every device kind.
+    #[test]
+    fn indexed_sparse_assembly_matches_generic_bitwise() {
+        let c = patch_fixture();
+        let plan = StampPlan::build(&c);
+        let n = plan.dim();
+        let x: Vec<f64> = (0..n).map(|i| 0.23 * i as f64 - 0.7).collect();
+        let mut vals = Vec::new();
+        plan.source_values(&mut vals, |w| w.dc_value());
+
+        let mut generic = plan.sparse_template().clone();
+        let mut rhs_g = vec![0.0; n];
+        plan.assemble_into(&x, &mut generic, &mut rhs_g, 1e-12, &vals);
+
+        let mut fast = plan.sparse_template().clone();
+        let mut rhs_f = vec![f64::NAN; n];
+        plan.assemble_into_sparse(&x, &mut fast, &mut rhs_f, 1e-12, &vals);
+
+        for ((r, cc, vg), (_, _, vf)) in generic.entries().zip(fast.entries()) {
+            assert_eq!(vg.to_bits(), vf.to_bits(), "slot ({r},{cc})");
+        }
+        for (a, b) in rhs_g.iter().zip(&rhs_f) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// `assemble_rhs_only` must reproduce the rhs of a full assembly
+    /// bit for bit on a linear plan.
+    #[test]
+    fn rhs_only_assembly_matches_full() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("V1", a, Circuit::GROUND, Waveform::dc(2.5)).unwrap();
+        c.add_isource("I1", Circuit::GROUND, b, Waveform::dc(1e-3)).unwrap();
+        c.add_resistor("R1", a, b, 1e3).unwrap();
+        c.add_resistor("R2", b, Circuit::GROUND, 2e3).unwrap();
+        let plan = StampPlan::build(&c);
+        assert!(plan.is_linear());
+        let (_, rhs_full) = replay(&plan, &vec![0.0; plan.dim()], 1e-12);
+        let mut vals = Vec::new();
+        plan.source_values(&mut vals, |w| w.dc_value());
+        let mut rhs = vec![f64::NAN; plan.dim()];
+        plan.assemble_rhs_only(&mut rhs, &vals);
+        for (x, y) in rhs.iter().zip(&rhs_full) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 
     /// The compiled plan must replay to the bit-identical system a

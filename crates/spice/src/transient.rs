@@ -16,12 +16,26 @@
 
 use crate::analysis::AnalysisOptions;
 use crate::circuit::Circuit;
-use crate::dc::{DcAnalysis, NewtonScratch};
+use crate::dc::{resolve_overrides, DcAnalysis, NewtonScratch};
 use crate::device::DeviceKind;
 use crate::node::NodeId;
 use crate::probe::{Probe, Trace};
 use crate::stamp;
+use crate::stimulus::Waveform;
 use crate::SpiceError;
+
+/// The [`JacobianKey`](crate::dc::JacobianKey) of a linear plan's
+/// companion-augmented transient matrix: the companion conductances
+/// `geq` are a pure function of the integration method and the step
+/// size `h`, both carried verbatim (tags 1/2 keep the method spaces
+/// disjoint from DC's zero tag and from each other).
+fn companion_key(gmin: f64, method: IntegrationMethod, h: f64) -> crate::dc::JacobianKey {
+    let tag: u64 = match method {
+        IntegrationMethod::BackwardEuler => 1,
+        IntegrationMethod::Trapezoidal => 2,
+    };
+    (gmin.to_bits(), tag, h.to_bits())
+}
 
 /// Time-integration scheme.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -112,6 +126,7 @@ pub struct TranAnalysis<'c> {
     circuit: &'c Circuit,
     options: AnalysisOptions,
     method: IntegrationMethod,
+    overrides: Vec<(String, Waveform)>,
 }
 
 impl<'c> TranAnalysis<'c> {
@@ -121,6 +136,7 @@ impl<'c> TranAnalysis<'c> {
             circuit,
             options: AnalysisOptions::default(),
             method: IntegrationMethod::default(),
+            overrides: Vec::new(),
         }
     }
 
@@ -130,7 +146,16 @@ impl<'c> TranAnalysis<'c> {
         options: AnalysisOptions,
         method: IntegrationMethod,
     ) -> Self {
-        TranAnalysis { circuit, options, method }
+        TranAnalysis { circuit, options, method, overrides: Vec::new() }
+    }
+
+    /// Overrides the waveform of a named independent source for this
+    /// run only (including its internal DC operating-point solve),
+    /// without cloning or mutating the circuit — bit-identical to
+    /// running a copy mutated with [`Circuit::set_stimulus`].
+    pub fn override_stimulus(mut self, name: impl Into<String>, wave: Waveform) -> Self {
+        self.overrides.push((name.into(), wave));
+        self
     }
 
     /// Runs from `t = 0` to `t_stop` with step `dt`, starting from the DC
@@ -153,7 +178,9 @@ impl<'c> TranAnalysis<'c> {
             });
         }
 
-        let dc = DcAnalysis::with_options(self.circuit, self.options).solve()?;
+        let dc = DcAnalysis::with_options(self.circuit, self.options)
+            .with_overrides(self.overrides.clone())
+            .solve()?;
         let mut x = dc.state().to_vec();
 
         let mut dyns = self.collect_dynamics(&x);
@@ -166,6 +193,7 @@ impl<'c> TranAnalysis<'c> {
 
         let n_steps = (t_stop / dt - 1e-9).ceil().max(1.0) as usize;
         let mut scratch = TranScratch::new(self.circuit, dyns.len(), self.options.solver);
+        scratch.newton.overrides = resolve_overrides(self.circuit, &self.overrides)?;
 
         for k in 1..=n_steps {
             let t1 = (k as f64) * dt;
@@ -288,7 +316,7 @@ impl<'c> TranAnalysis<'c> {
 
         let normal = (opts.max_step_v, opts.max_iter);
         x_iter.copy_from_slice(x);
-        match self.newton_step(x_iter, companions, dyns, t1, opts.gmin, normal, newton) {
+        match self.newton_step(x_iter, companions, dyns, (t1, method, h), opts.gmin, normal, newton) {
             Ok(()) => {}
             Err(SpiceError::NoConvergence { .. }) => {
                 // gmin ladder: solve a heavily shunted version first and
@@ -308,9 +336,15 @@ impl<'c> TranAnalysis<'c> {
                     let mut gmin = g_start;
                     while gmin > opts.gmin {
                         x_iter.copy_from_slice(x_stage);
-                        match self
-                            .newton_step(x_iter, companions, dyns, t1, gmin, (damp, iters), newton)
-                        {
+                        match self.newton_step(
+                            x_iter,
+                            companions,
+                            dyns,
+                            (t1, method, h),
+                            gmin,
+                            (damp, iters),
+                            newton,
+                        ) {
                             Ok(()) => x_stage.copy_from_slice(x_iter),
                             Err(e) => {
                                 result = Err(ladder_error(e, t1));
@@ -324,7 +358,7 @@ impl<'c> TranAnalysis<'c> {
                         x_iter,
                         companions,
                         dyns,
-                        t1,
+                        (t1, method, h),
                         opts.gmin,
                         (damp, iters),
                         newton,
@@ -357,29 +391,47 @@ impl<'c> TranAnalysis<'c> {
     /// `x` in place, allocating nothing: the compiled stamp plan is
     /// replayed into the reused matrix, companions are added on top, and
     /// the LU workspace factors and solves into reused buffers.
+    ///
+    /// For a linear plan the companion-augmented Jacobian is a pure
+    /// function of `(gmin, method, h)` — constant across the Newton
+    /// iterations of a step *and across timesteps* at a fixed step
+    /// size. The scratch's factorization-reuse key captures exactly
+    /// that, so a fixed-step transient of a linear circuit factors
+    /// once and then pays only rhs re-derivation + substitution per
+    /// step, bit-identical to the always-refactor path. History terms
+    /// (`i_hist`) live purely in the rhs and never break the reuse.
     #[allow(clippy::too_many_arguments)]
     fn newton_step(
         &self,
         x: &mut [f64],
         companions: &[(f64, f64)],
         dyns: &[DynElement],
-        t1: f64,
+        (t1, method, h): (f64, IntegrationMethod, f64),
         gmin: f64,
         (max_step_v, max_iter): (f64, usize),
         scratch: &mut NewtonScratch,
     ) -> Result<(), SpiceError> {
-        let NewtonScratch { plan, solver, rhs, x_new, src_vals } = scratch;
+        scratch.eval_sources(|w| w.eval(t1));
+        let NewtonScratch { plan, solver, rhs, x_new, src_vals, factored_for, .. } = scratch;
         let n = plan.dim();
         let n_nodes = self.circuit.node_count() - 1;
         let opts = &self.options;
-        plan.source_values(src_vals, |w| w.eval(t1));
+        let reuse_key = companion_key(gmin, method, h);
 
         for _ in 0..max_iter {
-            solver.assemble_and_factor(plan, x, rhs, gmin, src_vals, |mat| {
-                for (el, (geq, _)) in dyns.iter().zip(companions) {
-                    stamp::stamp_conductance(mat, el.a, el.b, *geq);
+            if plan.is_linear() && *factored_for == Some(reuse_key) {
+                plan.assemble_rhs_only(rhs, src_vals);
+            } else {
+                *factored_for = None;
+                solver.assemble_and_factor(plan, x, rhs, gmin, src_vals, |mat| {
+                    for (el, (geq, _)) in dyns.iter().zip(companions) {
+                        stamp::stamp_conductance(mat, el.a, el.b, *geq);
+                    }
+                })?;
+                if plan.is_linear() {
+                    *factored_for = Some(reuse_key);
                 }
-            })?;
+            }
             for (el, (_, i_hist)) in dyns.iter().zip(companions) {
                 // The history term acts as a current source from b to a.
                 stamp::stamp_current(rhs, el.b, el.a, *i_hist);
@@ -387,6 +439,7 @@ impl<'c> TranAnalysis<'c> {
             solver.solve_into(rhs, x_new)?;
 
             let mut converged = true;
+            let mut landed_exactly = true;
             for i in 0..n {
                 let mut delta = x_new[i] - x[i];
                 if !delta.is_finite() {
@@ -409,8 +462,16 @@ impl<'c> TranAnalysis<'c> {
                     delta = clamp.copysign(delta);
                 }
                 x[i] += delta;
+                landed_exactly &= crate::dc::landed_on(x[i], x_new[i]);
             }
             if converged {
+                return Ok(());
+            }
+            // As in DC: when a linear plan's update landed bit-exactly
+            // on the solved state, the next iteration would reuse the
+            // identical factors and rhs and produce an exactly-zero
+            // update — skip the verification iteration.
+            if plan.is_linear() && *factored_for == Some(reuse_key) && landed_exactly {
                 return Ok(());
             }
         }
@@ -514,6 +575,27 @@ mod tests {
         // Fully charged: no current.
         let i_late = *trace.column(0).last().unwrap();
         assert!(i_late.abs() < 1e-5, "i_late {i_late}");
+    }
+
+    /// A transient stimulus override must reproduce the mutated-copy
+    /// trace bit for bit (the linear fixture also exercises the
+    /// factor-once-per-run Jacobian reuse on both paths).
+    #[test]
+    fn transient_override_matches_set_stimulus_bitwise() {
+        let (c, out) = rc_circuit(1e3, 1e-9);
+        let wave = Waveform::step(0.5, 1.5, 0.2e-6, 1e-9);
+        let via_override = TranAnalysis::new(&c)
+            .override_stimulus("V1", wave.clone())
+            .run(2e-6, 10e-9, &[Probe::NodeVoltage(out)])
+            .unwrap();
+        let mut mutated = c.clone();
+        mutated.set_stimulus("V1", wave).unwrap();
+        let via_mutation =
+            TranAnalysis::new(&mutated).run(2e-6, 10e-9, &[Probe::NodeVoltage(out)]).unwrap();
+        assert_eq!(via_override.len(), via_mutation.len());
+        for (a, b) in via_override.column(0).iter().zip(via_mutation.column(0)) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

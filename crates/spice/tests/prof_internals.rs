@@ -1,0 +1,83 @@
+//! Wall-clock decomposition of the campaign hot paths on the n = 256
+//! ladder — a cargo-runnable sanity probe between full criterion runs.
+//! All tests are `#[ignore]`d; run with
+//!
+//! ```text
+//! cargo test --release -p castg-spice --test prof_internals -- --ignored --nocapture
+//! ```
+use castg_spice::{Circuit, DcAnalysis, SolverKind, AnalysisOptions, Waveform};
+use std::time::Instant;
+
+fn ladder(sections: usize) -> Circuit {
+    let mut c = Circuit::new();
+    let src = c.node("src");
+    let mut prev = c.node("in");
+    c.add_vsource("V1", src, Circuit::GROUND, Waveform::dc(5.0)).unwrap();
+    c.add_resistor("Rsrc", src, prev, 1e3).unwrap();
+    for i in 1..=sections {
+        let tap = c.node(&format!("n{i}"));
+        c.add_resistor(&format!("Rs{i}"), prev, tap, 1e3).unwrap();
+        c.add_resistor(&format!("Rp{i}"), tap, Circuit::GROUND, 1e9).unwrap();
+        c.add_capacitor(&format!("Cp{i}"), tap, Circuit::GROUND, 10e-12).unwrap();
+        prev = tap;
+    }
+    c
+}
+
+#[test]
+#[ignore]
+fn prof_warm_solve_decomposition() {
+    let c = ladder(253);
+    c.compile_plan();
+    let _ = DcAnalysis::new(&c).solve().unwrap();
+    let reps = 3000u32;
+
+    let t0 = Instant::now();
+    let mut acc = 0.0;
+    for _ in 0..reps {
+        let sol = DcAnalysis::new(std::hint::black_box(&c)).solve().unwrap();
+        acc += sol.voltages()[1];
+    }
+    println!("full warm solve: {:?} acc={acc}", t0.elapsed() / reps);
+
+    // Solve with max_iter=1 fails; instead time a solve with a warm x0
+    // (converges in 1 iteration from the solution).
+    let sol = DcAnalysis::new(&c).solve().unwrap();
+    let x0 = sol.state().to_vec();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let _ = std::hint::black_box(
+            DcAnalysis::new(&c).solve_from(std::hint::black_box(&x0)).unwrap(),
+        );
+    }
+    println!("warm-start solve (1 iter): {:?}", t0.elapsed() / reps);
+
+    let opts = AnalysisOptions { solver: SolverKind::Dense, ..Default::default() };
+    let t0 = Instant::now();
+    let r2 = 200u32;
+    for _ in 0..r2 {
+        let _ = std::hint::black_box(DcAnalysis::with_options(&c, opts).solve().unwrap());
+    }
+    println!("dense solve: {:?}", t0.elapsed() / r2);
+}
+
+#[test]
+#[ignore]
+fn prof_transient_step() {
+    use castg_spice::{Probe, TranAnalysis};
+    let c = ladder(253);
+    c.compile_plan();
+    let out = c.find_node("n253").unwrap();
+    let _ = TranAnalysis::new(&c).run(2e-6, 0.05e-6, &[Probe::NodeVoltage(out)]).unwrap();
+    let reps = 300u32;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let _ = std::hint::black_box(
+            TranAnalysis::new(&c)
+                .override_stimulus("V1", Waveform::step(1.0, 2.0, 0.2e-6, 0.05e-6))
+                .run(2e-6, 0.05e-6, &[Probe::NodeVoltage(out)])
+                .unwrap(),
+        );
+    }
+    println!("warm transient (40 steps): {:?}", t0.elapsed() / reps);
+}

@@ -1,0 +1,189 @@
+//! Differential harness for the fault-campaign engine: the delta-stamp
+//! injection path (variants sharing and patching the nominal circuit's
+//! compiled plan) must produce **bit-identical** coverage reports to
+//! the clone-and-recompile reference path, for every fault in the
+//! IV-converter and ladder-n=256 dictionaries, on the dense and the
+//! sparse solver path, at any worker count.
+//!
+//! This is the contract that lets every production evaluation default
+//! to delta injection: whatever the patched plans, shared sparse
+//! templates, seeded symbolic analyses and Jacobian-reuse keys do, the
+//! numbers cannot move by even one ulp.
+
+use std::sync::Arc;
+
+use castg::core::synthetic::LadderMacro;
+use castg::core::{
+    evaluate_campaign, AnalogMacro, CampaignOptions, CoverageReport, InjectionMode,
+    NominalCache, TestInstance,
+};
+use castg::faults::FaultDictionary;
+use castg::macros::IvConverter;
+
+/// Builds a few test instances per configuration of `mac` by scaling
+/// each configuration's seed vector — cheap, deterministic, and enough
+/// to exercise every measurement kind (DC, THD transient, step
+/// transient) against every fault.
+fn seed_instances(mac: &dyn AnalogMacro, scales: &[f64]) -> Vec<TestInstance> {
+    let mut tests = Vec::new();
+    for config in mac.configurations() {
+        let space = config.space();
+        for &scale in scales {
+            let params: Vec<f64> =
+                config.seed().iter().map(|p| p * scale).collect();
+            let params = space.clamp(&params);
+            tests.push(TestInstance { config: Arc::clone(&config), params });
+        }
+    }
+    tests
+}
+
+fn assert_reports_bit_identical(a: &CoverageReport, b: &CoverageReport, what: &str) {
+    assert_eq!(a.test_count, b.test_count, "{what}: test counts");
+    assert_eq!(a.per_fault.len(), b.per_fault.len(), "{what}: fault counts");
+    for (x, y) in a.per_fault.iter().zip(&b.per_fault) {
+        assert_eq!(x.fault, y.fault, "{what}");
+        assert_eq!(x.best_test, y.best_test, "{what}: {}", x.fault);
+        assert_eq!(x.detected, y.detected, "{what}: {}", x.fault);
+        assert_eq!(
+            x.best_sensitivity.to_bits(),
+            y.best_sensitivity.to_bits(),
+            "{what}: {} sensitivity {} vs {}",
+            x.fault,
+            x.best_sensitivity,
+            y.best_sensitivity,
+        );
+    }
+}
+
+/// Runs the delta-vs-rebuild differential over a macro's dictionary at
+/// several worker counts; each evaluation uses a fresh nominal cache so
+/// the two paths cannot share measurements.
+fn differential(mac: &dyn AnalogMacro, dict: &FaultDictionary, tests: &[TestInstance]) {
+    let reference = {
+        let cache = NominalCache::new();
+        evaluate_campaign(
+            mac,
+            &cache,
+            tests,
+            dict,
+            &CampaignOptions { threads: 1, injection: InjectionMode::Rebuild },
+        )
+        .expect("rebuild-path campaign")
+    };
+    assert!(
+        reference.detected() > 0,
+        "a fully undetected dictionary would make the differential vacuous; escapes: {:?}",
+        reference.escapes()
+    );
+    for threads in [1usize, 4] {
+        for injection in [InjectionMode::Delta, InjectionMode::Rebuild] {
+            let cache = NominalCache::new();
+            let report = evaluate_campaign(
+                mac,
+                &cache,
+                tests,
+                dict,
+                &CampaignOptions { threads, injection },
+            )
+            .expect("campaign");
+            assert_reports_bit_identical(
+                &reference,
+                &report,
+                &format!("threads={threads}, injection={injection:?}"),
+            );
+        }
+    }
+}
+
+/// IV-converter (dense solver path, n = 11, nonlinear): every
+/// dictionary fault — all 45 bridges and all 10 pinholes — against
+/// tests from all five paper configurations.
+///
+/// The transient configurations make the full run a release-binary
+/// workload; debug builds cover a dictionary prefix that still includes
+/// both fault models.
+#[test]
+fn iv_converter_delta_campaign_is_bit_identical() {
+    let mac = IvConverter::with_analytic_boxes();
+    let full = mac.fault_dictionary();
+    let take = if cfg!(debug_assertions) {
+        // Two bridges plus the first pinhole keep `cargo test` quick.
+        let mut faults: Vec<_> = full.iter().take(2).cloned().collect();
+        if let Some(pinhole) = full.iter().find(|f| f.name().starts_with("pinhole")) {
+            faults.push(pinhole.clone());
+        }
+        FaultDictionary::new(faults)
+    } else {
+        full
+    };
+    // One instance per configuration (the seed itself): five tests
+    // covering DC, supply-current, THD and both step measurements.
+    let tests = seed_instances(&mac, &[1.0]);
+    differential(&mac, &take, &tests);
+}
+
+/// Ladder at n = 256 unknowns (sparse solver path, linear): the full
+/// bridge dictionary against DC and step-response tests, exercising the
+/// shared symbolic analysis and the factor-once Jacobian reuse on both
+/// injection paths.
+#[test]
+fn ladder_256_delta_campaign_is_bit_identical() {
+    let mac = LadderMacro::with_unknowns(256);
+    assert!(mac.unknowns() >= 256);
+    let dict = mac.fault_dictionary();
+    let scales: &[f64] = if cfg!(debug_assertions) { &[1.0] } else { &[0.6, 1.0, 1.4] };
+    let tests = seed_instances(&mac, scales);
+    differential(&mac, &dict, &tests);
+}
+
+/// The campaign differential through the *dense* solver arm: the
+/// n = 24 ladder sits below the Auto sparse threshold, so every
+/// simulation of this campaign runs dense LU — the delta path's
+/// bit-identity must not depend on the sparse machinery.
+#[test]
+fn ladder_auto_dense_delta_campaign_is_bit_identical() {
+    let mac = LadderMacro::with_unknowns(24);
+    let dict = mac.fault_dictionary();
+    let config = mac
+        .configurations()
+        .into_iter()
+        .find(|c| c.name() == "dc_out")
+        .expect("ladder has a dc_out configuration");
+    let tests: Vec<TestInstance> = [2.0, 5.0, 7.5]
+        .iter()
+        .map(|&lev| TestInstance { config: Arc::clone(&config), params: vec![lev] })
+        .collect();
+    differential(&mac, &dict, &tests);
+}
+
+/// Spice-level differential with the solver *forced* (both kinds, on a
+/// size where Auto would pick the other): a delta-injected variant and
+/// a rebuilt variant must solve bit-identically under explicitly forced
+/// Dense and forced Sparse dispatch alike.
+#[test]
+fn forced_solver_kinds_solve_delta_and_rebuilt_identically() {
+    use castg::spice::{AnalysisOptions, DcAnalysis, SolverKind};
+    for unknowns in [24usize, 96] {
+        let mac = LadderMacro::with_unknowns(unknowns);
+        let nominal = mac.nominal_circuit();
+        nominal.compile_plan();
+        for fault in mac.fault_dictionary().iter() {
+            let patched = fault.inject(&nominal).unwrap();
+            let rebuilt = fault.inject_rebuilt(&nominal).unwrap();
+            for solver in [SolverKind::Dense, SolverKind::Sparse] {
+                let opts = AnalysisOptions { solver, ..AnalysisOptions::default() };
+                let sp = DcAnalysis::with_options(&patched, opts).solve().unwrap();
+                let sr = DcAnalysis::with_options(&rebuilt, opts).solve().unwrap();
+                for (a, b) in sp.state().iter().zip(sr.state()) {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "n={unknowns} {solver:?} {}",
+                        fault.name()
+                    );
+                }
+            }
+        }
+    }
+}
