@@ -1,4 +1,5 @@
-//! Dense-vs-sparse scaling benches on the `LadderMacro` family.
+//! Dense-vs-sparse scaling benches on the `LadderMacro` and
+//! `MeshMacro` families.
 //!
 //! The DC operating point of an `n`-unknown ladder costs the dense path
 //! O(n²) assembly-clear + O(n³) factorization per Newton iteration; the
@@ -9,18 +10,29 @@
 //! acceptance bar for the sparse-solver PR — and in practice it is
 //! orders of magnitude ahead.
 //!
+//! The mesh group adds the *ordering* dimension: the 2-D grid's
+//! natural-order factor fill grows like O(n·√n), so past a few hundred
+//! unknowns Sparse-AMD pulls away from Sparse-Natural. Each mesh size
+//! prints its `nnz(L+U)` under both orderings before the timing runs,
+//! so the fill reduction and the wall-clock effect land in the same
+//! bench log.
+//!
 //! The dense arm is capped at n = 512: one dense solve at n = 1024 runs
 //! for seconds, which is exactly the point of the sparse path.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use castg_core::synthetic::LadderMacro;
+use castg_core::synthetic::{LadderMacro, MeshMacro};
 use castg_core::AnalogMacro;
-use castg_spice::{AnalysisOptions, DcAnalysis, SolverKind};
+use castg_spice::{sparse_fill_stats, AnalysisOptions, DcAnalysis, OrderingKind, SolverKind};
 
 fn opts(solver: SolverKind) -> AnalysisOptions {
     AnalysisOptions { solver, ..AnalysisOptions::default() }
+}
+
+fn opts_ordered(solver: SolverKind, ordering: OrderingKind) -> AnalysisOptions {
+    AnalysisOptions { solver, ordering, ..AnalysisOptions::default() }
 }
 
 fn bench_dc_scaling(c: &mut Criterion) {
@@ -52,5 +64,51 @@ fn bench_dc_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dc_scaling);
+fn bench_mesh_ordering_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mesh_dc_operating_point");
+    group.sample_size(10);
+    for n in [256usize, 576, 1024] {
+        let mac = MeshMacro::with_unknowns(n);
+        let circuit = mac.nominal_circuit();
+        let natural = sparse_fill_stats(&circuit, OrderingKind::Natural).unwrap();
+        let amd = sparse_fill_stats(&circuit, OrderingKind::Amd).unwrap();
+        println!(
+            "mesh n={}: pattern nnz {}, nnz(L+U) natural {} vs amd {} ({:.2}x)",
+            natural.unknowns,
+            natural.pattern_nnz,
+            natural.lu_nnz,
+            amd.lu_nnz,
+            natural.lu_nnz as f64 / amd.lu_nnz as f64
+        );
+
+        if n <= 512 {
+            group.bench_function(format!("dense_n{n}"), |b| {
+                b.iter(|| {
+                    let sol = DcAnalysis::with_options(black_box(&circuit), opts(SolverKind::Dense))
+                        .solve()
+                        .unwrap();
+                    black_box(sol.state()[0]);
+                })
+            });
+        }
+        for (label, ordering) in
+            [("sparse_natural", OrderingKind::Natural), ("sparse_amd", OrderingKind::Amd)]
+        {
+            group.bench_function(format!("{label}_n{n}"), |b| {
+                b.iter(|| {
+                    let sol = DcAnalysis::with_options(
+                        black_box(&circuit),
+                        opts_ordered(SolverKind::Sparse, ordering),
+                    )
+                    .solve()
+                    .unwrap();
+                    black_box(sol.state()[0]);
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dc_scaling, bench_mesh_ordering_scaling);
 criterion_main!(benches);

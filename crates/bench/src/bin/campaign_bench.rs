@@ -1,11 +1,17 @@
 //! End-to-end fault-campaign throughput benchmark.
 //!
-//! Runs the full generate → inject → evaluate pipeline on the two
-//! canonical campaign workloads — the paper's IV-converter dictionary
-//! and the scalable RC ladder at n = 256 unknowns — and emits a
+//! Runs the full generate → inject → evaluate pipeline on the
+//! canonical campaign workloads — the paper's IV-converter dictionary,
+//! the scalable RC ladder at n = 256 unknowns, and the 2-D resistive
+//! mesh (the fill-reducing-ordering workload) — and emits a
 //! machine-readable `BENCH_campaign.json` with wall time, a per-phase
 //! breakdown and the evaluation throughput in faults per second, so the
 //! perf trajectory of the campaign engine is trackable PR over PR.
+//!
+//! The mesh scenario also records the sparse factor fill under natural
+//! and AMD ordering (`mesh_fill` in the JSON) and **asserts** that AMD
+//! at least halves `nnz(L+U)` at n ≥ 256 — the CI smoke run gates on
+//! that exit status, so an ordering regression cannot land silently.
 //!
 //! ```text
 //! cargo run --release -p castg-bench --bin campaign_bench -- \
@@ -21,7 +27,7 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
-use castg_core::synthetic::LadderMacro;
+use castg_core::synthetic::{LadderMacro, MeshMacro};
 use castg_core::{
     compact, evaluate_test_set_with_threads, test_instances_from_compaction, AnalogMacro,
     CompactionOptions, Generator, GeneratorOptions, NominalCache, TestInstance,
@@ -29,6 +35,7 @@ use castg_core::{
 use castg_faults::FaultDictionary;
 use castg_macros::IvConverter;
 use castg_numeric::{BrentOptions, PowellOptions};
+use castg_spice::{sparse_fill_stats, OrderingKind};
 
 /// One workload's timings, all in seconds.
 struct WorkloadResult {
@@ -123,18 +130,51 @@ fn run_campaign(
     }
 }
 
-/// Evaluation-only ladder campaign with synthetic DC test instances:
-/// isolates the inject + evaluate engine from optimizer noise, the way
-/// dictionary re-screens hammer it in production.
-fn run_ladder_eval(name: &str, unknowns: usize, threads: usize, reps: usize) -> WorkloadResult {
-    let mac = LadderMacro::with_unknowns(unknowns);
+/// Sparse-factor fill of the mesh workload under both orderings, with
+/// the reduction factor the CI gate asserts.
+struct MeshFill {
+    unknowns: usize,
+    pattern_nnz: usize,
+    lu_nnz_natural: usize,
+    lu_nnz_amd: usize,
+    reduction: f64,
+}
+
+/// Measures natural-vs-AMD factor fill on a mesh of at least
+/// `min_unknowns` MNA unknowns.
+fn mesh_fill(min_unknowns: usize) -> MeshFill {
+    let mac = MeshMacro::with_unknowns(min_unknowns);
+    let circuit = mac.nominal_circuit();
+    let natural =
+        sparse_fill_stats(&circuit, OrderingKind::Natural).expect("nominal mesh is solvable");
+    let amd = sparse_fill_stats(&circuit, OrderingKind::Amd).expect("nominal mesh is solvable");
+    MeshFill {
+        unknowns: natural.unknowns,
+        pattern_nnz: natural.pattern_nnz,
+        lu_nnz_natural: natural.lu_nnz,
+        lu_nnz_amd: amd.lu_nnz,
+        reduction: natural.lu_nnz as f64 / amd.lu_nnz as f64,
+    }
+}
+
+/// Evaluation-only campaign with synthetic DC test instances over a
+/// macro's `dc_out` configuration: isolates the inject + evaluate
+/// engine from optimizer noise, the way dictionary re-screens hammer it
+/// in production.
+fn run_eval(
+    name: &str,
+    mac: &dyn AnalogMacro,
+    levels: &[f64],
+    threads: usize,
+    reps: usize,
+) -> WorkloadResult {
     let dict = mac.fault_dictionary();
     let config = mac
         .configurations()
         .into_iter()
         .find(|c| c.name() == "dc_out")
-        .expect("ladder has a dc_out configuration");
-    let tests: Vec<TestInstance> = [2.0, 3.5, 5.0, 6.0, 7.0, 8.0]
+        .expect("macro has a dc_out configuration");
+    let tests: Vec<TestInstance> = levels
         .iter()
         .map(|&lev| TestInstance { config: Arc::clone(&config), params: vec![lev] })
         .collect();
@@ -150,7 +190,7 @@ fn run_ladder_eval(name: &str, unknowns: usize, threads: usize, reps: usize) -> 
     for _ in 0..reps.max(1) {
         let cache = NominalCache::new();
         let t0 = Instant::now();
-        let coverage = evaluate_test_set_with_threads(&mac, &cache, &tests, &dict, threads)
+        let coverage = evaluate_test_set_with_threads(mac, &cache, &tests, &dict, threads)
             .expect("coverage evaluation");
         let dt = t0.elapsed().as_secs_f64();
         assert_eq!(coverage.total(), dict.len());
@@ -172,7 +212,7 @@ fn run_ladder_eval(name: &str, unknowns: usize, threads: usize, reps: usize) -> 
     }
 }
 
-fn render_json(results: &[WorkloadResult]) -> String {
+fn render_json(results: &[WorkloadResult], fill: &MeshFill) -> String {
     let mut out = String::from("{\n  \"workloads\": [\n");
     for (i, r) in results.iter().enumerate() {
         let _ = write!(
@@ -195,7 +235,14 @@ fn render_json(results: &[WorkloadResult]) -> String {
         );
         out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"mesh_fill\": {{\"unknowns\": {}, \"pattern_nnz\": {}, \
+         \"lu_nnz_natural\": {}, \"lu_nnz_amd\": {}, \"reduction\": {:.3}}}",
+        fill.unknowns, fill.pattern_nnz, fill.lu_nnz_natural, fill.lu_nnz_amd, fill.reduction,
+    );
+    out.push_str("}\n");
     out
 }
 
@@ -241,14 +288,41 @@ fn main() {
         let dict = mac.fault_dictionary();
         results.push(run_campaign("ladder_n256_pipeline", &mac, &dict, threads, reps));
     }
-    results.push(run_ladder_eval(
+    let eval_reps = if quick { 1 } else { reps.max(5) };
+    results.push(run_eval(
         "ladder_n256_eval",
-        256,
+        &LadderMacro::with_unknowns(256),
+        &[2.0, 3.5, 5.0, 6.0, 7.0, 8.0],
         threads,
-        if quick { 1 } else { reps.max(5) },
+        eval_reps,
     ));
 
-    let json = render_json(&results);
+    // Mesh n ≥ 256: the fill-reducing-ordering workload (16×16 grid).
+    results.push(run_eval(
+        "mesh_n256_eval",
+        &MeshMacro::with_unknowns(256),
+        &[2.0, 3.5, 5.0, 6.5, 8.0],
+        threads,
+        eval_reps,
+    ));
+
+    // Fill gate: on a mesh of ≥ 256 unknowns (24×24 here — the margin
+    // grows with size, from ~1.9× at 16×16 to ~2.7× at 32×32) the AMD
+    // ordering must at least halve nnz(L+U) vs natural order.
+    let fill = mesh_fill(578);
+    eprintln!(
+        "mesh_fill: n={} pattern_nnz={} natural={} amd={} reduction={:.2}x",
+        fill.unknowns, fill.pattern_nnz, fill.lu_nnz_natural, fill.lu_nnz_amd, fill.reduction
+    );
+    assert!(
+        fill.unknowns >= 256 && fill.lu_nnz_amd * 2 <= fill.lu_nnz_natural,
+        "AMD ordering regressed: nnz(L+U) {} (amd) vs {} (natural) at n={}",
+        fill.lu_nnz_amd,
+        fill.lu_nnz_natural,
+        fill.unknowns
+    );
+
+    let json = render_json(&results, &fill);
     std::fs::write(&out_path, &json).expect("write BENCH_campaign.json");
     print!("{json}");
 

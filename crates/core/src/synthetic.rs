@@ -15,18 +15,43 @@
 //!   at n = 16…1024;
 //! * [`OtaChainMacro`] — a chain of MOS common-source stages: the
 //!   *nonlinear* scalable family, driving many-transistor Newton solves
-//!   through the same dispatch.
+//!   through the same dispatch;
+//! * [`MeshMacro`] — a 2-D resistive grid with configurable aspect
+//!   ratio and port placement. Its MNA matrix is the 5-point-Laplacian
+//!   shape whose natural-order fill grows like O(n·√n) — the workload
+//!   that makes the sparse LU's fill-reducing AMD ordering earn its
+//!   keep (and the subject of the ordering differential harness);
+//! * [`CrossbarMacro`] — two overlaid bar arrays (segmented row and
+//!   column bars, resistively coupled at every crosspoint) with MOS
+//!   readout stages: mesh-like fill *plus* nonlinear devices and a
+//!   bridge+pinhole dictionary.
+//!
+//! The scalable macros accept a solver/ordering override
+//! (`with_solver`) so the three-way differential tests can force
+//! Dense, Sparse-Natural and Sparse-AMD evaluation of one workload;
+//! the default is `Auto`/`Auto`, identical to every other analysis.
 
 use std::sync::Arc;
 
 use castg_dsp::metrics;
 use castg_faults::{exhaustive_bridge_faults, Fault, FaultDictionary};
 use castg_numeric::{Bounds, ParamSpace};
-use castg_spice::{Circuit, DcAnalysis, MosParams, MosPolarity, Probe, TranAnalysis, Waveform};
+use castg_spice::{
+    AnalysisOptions, Circuit, DcAnalysis, IntegrationMethod, MosParams, MosPolarity, OrderingKind,
+    Probe, SolverKind, TranAnalysis, Waveform,
+};
 
 use crate::config::{check_params, Measurement};
 use crate::descr::{ConfigDescription, ParamSpec, PortAction};
 use crate::{AnalogMacro, CoreError, TestConfiguration};
+
+/// Analysis options a scalable macro's configurations solve with:
+/// the default `Auto`/`Auto` everywhere except the three-way
+/// (Dense / Sparse-Natural / Sparse-AMD) differential harnesses, which
+/// force a path via `with_solver`.
+fn solve_options(solver: SolverKind, ordering: OrderingKind) -> AnalysisOptions {
+    AnalysisOptions { solver, ordering, ..AnalysisOptions::default() }
+}
 
 /// A three-node resistive divider with an output capacitor, driven by a
 /// voltage source `V1`.
@@ -276,6 +301,8 @@ impl TestConfiguration for DividerStepConfig {
 #[derive(Debug, Clone)]
 pub struct LadderMacro {
     sections: usize,
+    solver: SolverKind,
+    ordering: OrderingKind,
 }
 
 impl LadderMacro {
@@ -299,12 +326,27 @@ impl LadderMacro {
     /// Panics if `sections < 2`.
     pub fn new(sections: usize) -> Self {
         assert!(sections >= 2, "a ladder needs at least 2 sections");
-        LadderMacro { sections }
+        LadderMacro {
+            sections,
+            solver: SolverKind::Auto,
+            ordering: OrderingKind::Auto,
+        }
     }
 
     /// Creates the smallest ladder with at least `n` MNA unknowns.
     pub fn with_unknowns(n: usize) -> Self {
         LadderMacro::new(n.saturating_sub(3).max(2))
+    }
+
+    /// Forces the linear-solver path and sparse-LU ordering every
+    /// configuration of this macro solves with (default `Auto`/`Auto`).
+    /// The three-way differential harness evaluates one dictionary
+    /// through Dense, Sparse-Natural and Sparse-AMD variants built
+    /// with this.
+    pub fn with_solver(mut self, solver: SolverKind, ordering: OrderingKind) -> Self {
+        self.solver = solver;
+        self.ordering = ordering;
+        self
     }
 
     /// Number of sections.
@@ -378,8 +420,16 @@ impl AnalogMacro for LadderMacro {
 
     fn configurations(&self) -> Vec<Arc<dyn TestConfiguration>> {
         vec![
-            Arc::new(LadderDcConfig { sections: self.sections }),
-            Arc::new(LadderStepConfig { sections: self.sections }),
+            Arc::new(LadderDcConfig {
+                sections: self.sections,
+                solver: self.solver,
+                ordering: self.ordering,
+            }),
+            Arc::new(LadderStepConfig {
+                sections: self.sections,
+                solver: self.solver,
+                ordering: self.ordering,
+            }),
         ]
     }
 }
@@ -389,6 +439,8 @@ impl AnalogMacro for LadderMacro {
 #[derive(Debug, Clone)]
 pub struct LadderDcConfig {
     sections: usize,
+    solver: SolverKind,
+    ordering: OrderingKind,
 }
 
 impl TestConfiguration for LadderDcConfig {
@@ -414,7 +466,7 @@ impl TestConfiguration for LadderDcConfig {
 
     fn measure(&self, circuit: &Circuit, params: &[f64]) -> Result<Measurement, CoreError> {
         check_params(self, params)?;
-        let sol = DcAnalysis::new(circuit)
+        let sol = DcAnalysis::with_options(circuit, solve_options(self.solver, self.ordering))
             .override_stimulus("V1", Waveform::dc(params[0]))
             .solve()?;
         let out = circuit.find_node("out").ok_or_else(|| CoreError::Configuration {
@@ -455,6 +507,8 @@ impl TestConfiguration for LadderDcConfig {
 #[derive(Debug, Clone)]
 pub struct LadderStepConfig {
     sections: usize,
+    solver: SolverKind,
+    ordering: OrderingKind,
 }
 
 impl LadderStepConfig {
@@ -492,9 +546,13 @@ impl TestConfiguration for LadderStepConfig {
             config: self.name().to_string(),
             reason: "macro has no `out` node".to_string(),
         })?;
-        let trace = TranAnalysis::new(circuit)
-            .override_stimulus("V1", Waveform::step(params[0], params[1], 0.2e-6, 0.05e-6))
-            .run(Self::T_STOP, Self::DT, &[Probe::NodeVoltage(out)])?;
+        let trace = TranAnalysis::with_options(
+            circuit,
+            solve_options(self.solver, self.ordering),
+            IntegrationMethod::default(),
+        )
+        .override_stimulus("V1", Waveform::step(params[0], params[1], 0.2e-6, 0.05e-6))
+        .run(Self::T_STOP, Self::DT, &[Probe::NodeVoltage(out)])?;
         Ok(Measurement::Waveform(castg_dsp::UniformSamples::new(
             0.0,
             Self::DT,
@@ -745,6 +803,708 @@ impl TestConfiguration for OtaChainDcConfig {
     }
 }
 
+/// Where a [`MeshMacro`] places its drive and observe ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MeshPorts {
+    /// Drive at grid corner `(0, 0)`, observe at `(rows−1, cols−1)` —
+    /// the longest diagonal current path.
+    #[default]
+    OppositeCorners,
+    /// Drive at the middle of the top edge, observe at the middle of
+    /// the bottom edge — a shorter, column-aligned path that leaves the
+    /// corners floating-ish.
+    EdgeMidpoints,
+}
+
+/// A 2-D resistive grid macro: `rows × cols` nodes, 1 kΩ between
+/// lattice neighbors, each node shunted to ground by 1 MΩ ∥ 10 pF,
+/// driven by a voltage source `V1` through a 1 kΩ source resistance
+/// into the drive port (`"in"`); the observe port is `"out"`.
+///
+/// The MNA matrix is the 5-point Laplacian — the canonical structure
+/// whose **natural-order fill blows up** (O(n·√n) for a square grid,
+/// against O(nnz) for the ladder family): this is the workload that
+/// justifies the sparse LU's fill-reducing AMD ordering, and the
+/// subject of the ordering differential and fill-reduction CI gates.
+/// The per-node shunts keep real current flowing through the lattice,
+/// so node potentials form a gradient from `in` to `out` and bridge
+/// faults between distant taps are observable at DC.
+///
+/// Aspect ratio is configurable through the constructor (`rows` vs
+/// `cols`), port placement through [`MeshMacro::with_ports`], and the
+/// solver/ordering used by its configurations through
+/// [`MeshMacro::with_solver`] (the three-way differential harness).
+///
+/// # Example
+///
+/// ```
+/// use castg_core::synthetic::MeshMacro;
+/// use castg_core::AnalogMacro;
+///
+/// let m = MeshMacro::with_unknowns(256); // 16×16 grid + source
+/// assert!(m.unknowns() >= 256);
+/// assert!(!m.fault_dictionary().is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MeshMacro {
+    rows: usize,
+    cols: usize,
+    ports: MeshPorts,
+    solver: SolverKind,
+    ordering: OrderingKind,
+}
+
+impl MeshMacro {
+    /// Source resistance between `V1` and the drive port (ohms).
+    pub const R_SOURCE: f64 = 1e3;
+    /// Lattice resistance between neighboring grid nodes (ohms).
+    pub const R_SERIES: f64 = 1e3;
+    /// Shunt resistance from every grid node to ground (ohms). Low
+    /// enough that milliamp-scale current flows through the lattice and
+    /// the node potentials form a measurable gradient.
+    pub const R_SHUNT: f64 = 1e6;
+    /// Shunt capacitance from every grid node to ground (farads).
+    pub const C_SHUNT: f64 = 10e-12;
+    /// Dictionary resistance of every bridge fault (ohms).
+    pub const BRIDGE_R0: f64 = 10e3;
+
+    /// Creates a mesh with the given aspect (both dimensions at
+    /// least 2), corner ports, `Auto` solver and ordering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is below 2.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows >= 2 && cols >= 2, "a mesh needs at least 2×2 nodes");
+        MeshMacro {
+            rows,
+            cols,
+            ports: MeshPorts::default(),
+            solver: SolverKind::Auto,
+            ordering: OrderingKind::Auto,
+        }
+    }
+
+    /// Creates the smallest square mesh with at least `n` MNA unknowns.
+    pub fn with_unknowns(n: usize) -> Self {
+        let mut side = 2usize;
+        while side * side + 2 < n {
+            side += 1;
+        }
+        MeshMacro::new(side, side)
+    }
+
+    /// Selects the drive/observe port placement.
+    pub fn with_ports(mut self, ports: MeshPorts) -> Self {
+        self.ports = ports;
+        self
+    }
+
+    /// Forces the linear-solver path and sparse-LU ordering every
+    /// configuration of this macro solves with (default `Auto`/`Auto`).
+    pub fn with_solver(mut self, solver: SolverKind, ordering: OrderingKind) -> Self {
+        self.solver = solver;
+        self.ordering = ordering;
+        self
+    }
+
+    /// Grid dimensions `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// MNA unknown count: the grid nodes plus the source node plus the
+    /// source branch current.
+    pub fn unknowns(&self) -> usize {
+        self.rows * self.cols + 2
+    }
+
+    /// `(row, col)` of the drive and observe ports.
+    fn port_coords(&self) -> ((usize, usize), (usize, usize)) {
+        match self.ports {
+            MeshPorts::OppositeCorners => ((0, 0), (self.rows - 1, self.cols - 1)),
+            MeshPorts::EdgeMidpoints => {
+                ((0, self.cols / 2), (self.rows - 1, self.cols / 2))
+            }
+        }
+    }
+
+    /// Name of the grid node at `(r, c)`; the drive port is `"in"`,
+    /// the observe port `"out"`.
+    fn node_name(&self, r: usize, c: usize) -> String {
+        let (drive, observe) = self.port_coords();
+        if (r, c) == drive {
+            "in".to_string()
+        } else if (r, c) == observe {
+            "out".to_string()
+        } else {
+            format!("m{r}_{c}")
+        }
+    }
+}
+
+impl AnalogMacro for MeshMacro {
+    fn name(&self) -> &str {
+        "mesh"
+    }
+
+    fn macro_type(&self) -> &str {
+        "R-mesh"
+    }
+
+    fn nominal_circuit(&self) -> Circuit {
+        let mut c = Circuit::new();
+        let src = c.node("src");
+        // Grid nodes in row-major order: this *is* the natural MNA
+        // ordering the fill comparison judges, so keep it canonical.
+        for r in 0..self.rows {
+            for col in 0..self.cols {
+                c.node(&self.node_name(r, col));
+            }
+        }
+        c.add_vsource("V1", src, Circuit::GROUND, Waveform::dc(5.0)).expect("fresh netlist");
+        let drive = c.find_node("in").expect("drive port exists");
+        c.add_resistor("Rsrc", src, drive, Self::R_SOURCE).expect("fresh netlist");
+        for r in 0..self.rows {
+            for col in 0..self.cols {
+                let here = c.find_node(&self.node_name(r, col)).expect("grid node");
+                c.add_resistor(&format!("Rp{r}_{col}"), here, Circuit::GROUND, Self::R_SHUNT)
+                    .expect("fresh netlist");
+                c.add_capacitor(&format!("Cp{r}_{col}"), here, Circuit::GROUND, Self::C_SHUNT)
+                    .expect("fresh netlist");
+                if col + 1 < self.cols {
+                    let east = c.find_node(&self.node_name(r, col + 1)).expect("grid node");
+                    c.add_resistor(&format!("Rh{r}_{col}"), here, east, Self::R_SERIES)
+                        .expect("fresh netlist");
+                }
+                if r + 1 < self.rows {
+                    let south = c.find_node(&self.node_name(r + 1, col)).expect("grid node");
+                    c.add_resistor(&format!("Rv{r}_{col}"), here, south, Self::R_SERIES)
+                        .expect("fresh netlist");
+                }
+            }
+        }
+        c
+    }
+
+    fn fault_site_nodes(&self) -> Vec<String> {
+        // The two ports, the grid center, and two far-apart edge taps:
+        // sites at genuinely different lattice potentials, so tap-pair
+        // bridges have DC signatures.
+        let candidates = [
+            self.node_name(0, 0),
+            self.node_name(self.rows / 2, self.cols / 2),
+            self.node_name(self.rows - 1, 0),
+            self.node_name(0, self.cols - 1),
+            self.node_name(self.rows - 1, self.cols - 1),
+        ];
+        let (drive, observe) = self.port_coords();
+        let mut sites = vec![
+            self.node_name(drive.0, drive.1),
+            self.node_name(observe.0, observe.1),
+        ];
+        for cand in candidates {
+            if !sites.contains(&cand) {
+                sites.push(cand);
+            }
+        }
+        sites
+    }
+
+    fn fault_dictionary(&self) -> FaultDictionary {
+        let nodes = self.fault_site_nodes();
+        let refs: Vec<&str> = nodes.iter().map(String::as_str).collect();
+        let mut faults = exhaustive_bridge_faults(&refs, Self::BRIDGE_R0);
+        faults.extend(nodes.iter().map(|n| Fault::bridge(n.clone(), "0", Self::BRIDGE_R0)));
+        FaultDictionary::new(faults)
+    }
+
+    fn configurations(&self) -> Vec<Arc<dyn TestConfiguration>> {
+        vec![
+            Arc::new(MeshDcConfig {
+                rows: self.rows,
+                cols: self.cols,
+                solver: self.solver,
+                ordering: self.ordering,
+            }),
+            Arc::new(MeshStepConfig {
+                rows: self.rows,
+                cols: self.cols,
+                solver: self.solver,
+                ordering: self.ordering,
+            }),
+        ]
+    }
+}
+
+/// Mesh configuration #1: drive `V1` with DC level `lev`, return
+/// `ΔV(out)`.
+#[derive(Debug, Clone)]
+pub struct MeshDcConfig {
+    rows: usize,
+    cols: usize,
+    solver: SolverKind,
+    ordering: OrderingKind,
+}
+
+impl TestConfiguration for MeshDcConfig {
+    fn id(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> &str {
+        "dc_out"
+    }
+
+    fn param_names(&self) -> Vec<String> {
+        vec!["lev".into()]
+    }
+
+    fn space(&self) -> ParamSpace {
+        ParamSpace::new(vec![Bounds::new(1.0, 8.0).expect("static bounds")])
+    }
+
+    fn seed(&self) -> Vec<f64> {
+        vec![5.0]
+    }
+
+    fn measure(&self, circuit: &Circuit, params: &[f64]) -> Result<Measurement, CoreError> {
+        check_params(self, params)?;
+        let sol = DcAnalysis::with_options(circuit, solve_options(self.solver, self.ordering))
+            .override_stimulus("V1", Waveform::dc(params[0]))
+            .solve()?;
+        let out = circuit.find_node("out").ok_or_else(|| CoreError::Configuration {
+            config: self.name().to_string(),
+            reason: "macro has no `out` node".to_string(),
+        })?;
+        Ok(Measurement::scalar(sol.voltage(out)))
+    }
+
+    fn return_values(&self, measured: &Measurement, nominal: &Measurement) -> Vec<f64> {
+        match (measured.as_scalars(), nominal.as_scalars()) {
+            (Some(m), Some(n)) => vec![m[0] - n[0]],
+            _ => vec![f64::NAN],
+        }
+    }
+
+    fn tolerance_box(&self, params: &[f64], _nominal_returns: &[f64]) -> Vec<f64> {
+        // 2 % of the expected output level plus a 1 mV meter floor.
+        vec![0.02 * params[0] * 0.5 + 1e-3]
+    }
+
+    fn description(&self) -> ConfigDescription {
+        ConfigDescription {
+            macro_type: "R-mesh".into(),
+            title: format!("DC output ({}x{} mesh)", self.rows, self.cols),
+            controls: vec![PortAction { node: "in".into(), action: "dc(lev)".into() }],
+            observes: vec![PortAction { node: "out".into(), action: "dc()".into() }],
+            return_value: "dV(out)".into(),
+            parameters: vec![ParamSpec { name: "lev".into(), lo: 1.0, hi: 8.0 }],
+            variables: vec![],
+            seed: vec![("lev".into(), 5.0)],
+        }
+    }
+}
+
+/// Mesh configuration #2: step `V1` from `base` to `base + elev` and
+/// return the maximum absolute deviation of `v(out)` from nominal.
+#[derive(Debug, Clone)]
+pub struct MeshStepConfig {
+    rows: usize,
+    cols: usize,
+    solver: SolverKind,
+    ordering: OrderingKind,
+}
+
+impl MeshStepConfig {
+    const T_STOP: f64 = 2e-6;
+    const DT: f64 = 0.05e-6;
+}
+
+impl TestConfiguration for MeshStepConfig {
+    fn id(&self) -> usize {
+        2
+    }
+
+    fn name(&self) -> &str {
+        "step_dev"
+    }
+
+    fn param_names(&self) -> Vec<String> {
+        vec!["base".into(), "elev".into()]
+    }
+
+    fn space(&self) -> ParamSpace {
+        ParamSpace::new(vec![
+            Bounds::new(0.0, 4.0).expect("static bounds"),
+            Bounds::new(-4.0, 4.0).expect("static bounds"),
+        ])
+    }
+
+    fn seed(&self) -> Vec<f64> {
+        vec![1.0, 2.0]
+    }
+
+    fn measure(&self, circuit: &Circuit, params: &[f64]) -> Result<Measurement, CoreError> {
+        check_params(self, params)?;
+        let out = circuit.find_node("out").ok_or_else(|| CoreError::Configuration {
+            config: self.name().to_string(),
+            reason: "macro has no `out` node".to_string(),
+        })?;
+        let trace = TranAnalysis::with_options(
+            circuit,
+            solve_options(self.solver, self.ordering),
+            IntegrationMethod::default(),
+        )
+        .override_stimulus("V1", Waveform::step(params[0], params[1], 0.2e-6, 0.05e-6))
+        .run(Self::T_STOP, Self::DT, &[Probe::NodeVoltage(out)])?;
+        Ok(Measurement::Waveform(castg_dsp::UniformSamples::new(
+            0.0,
+            Self::DT,
+            trace.column(0).to_vec(),
+        )))
+    }
+
+    fn return_values(&self, measured: &Measurement, nominal: &Measurement) -> Vec<f64> {
+        match (measured.as_waveform(), nominal.as_waveform()) {
+            (Some(m), Some(n)) => vec![metrics::max_abs_deviation(m, n)],
+            _ => vec![f64::NAN],
+        }
+    }
+
+    fn tolerance_box(&self, params: &[f64], _nominal_returns: &[f64]) -> Vec<f64> {
+        vec![0.02 * (params[0].abs() + params[1].abs()).max(0.5) * 0.5 + 1e-3]
+    }
+
+    fn description(&self) -> ConfigDescription {
+        ConfigDescription {
+            macro_type: "R-mesh".into(),
+            title: format!("Step response ({}x{} mesh)", self.rows, self.cols),
+            controls: vec![PortAction {
+                node: "in".into(),
+                action: "step(base, elev, slew_rate=sl)".into(),
+            }],
+            observes: vec![PortAction {
+                node: "out".into(),
+                action: "sample(rate=sa, time=t)".into(),
+            }],
+            return_value: "Max(dV(out))".into(),
+            parameters: vec![
+                ParamSpec { name: "base".into(), lo: 0.0, hi: 4.0 },
+                ParamSpec { name: "elev".into(), lo: -4.0, hi: 4.0 },
+            ],
+            variables: vec![("sl".into(), 0.05e-6), ("sa".into(), 20e6), ("t".into(), 2e-6)],
+            seed: vec![("base".into(), 1.0), ("elev".into(), 2.0)],
+        }
+    }
+}
+
+/// A crossbar macro: `rows` segmented row bars overlaid on `cols`
+/// segmented column bars, resistively coupled at every crosspoint,
+/// with NMOS common-source readout stages on a few columns.
+///
+/// Every row bar is a chain of 100 Ω segments fed from the drive port
+/// `"in"` (behind a 1 kΩ source resistance); every column bar is a
+/// chain of 100 Ω segments loaded to ground at its tail; crosspoint
+/// `(i, j)` couples row segment `i,j` to column segment `i,j` through
+/// 10 kΩ. Three evenly spaced column tails bias NMOS readout
+/// transistors (`M1`…) whose last drain is `"out"`. Structurally this
+/// is *two overlaid meshes* — worse natural-order fill than the plain
+/// grid — and the MOS stages make it the nonlinear member of the
+/// fill-reducing-ordering workload family, with gate-oxide **pinhole**
+/// faults joining the bridge dictionary.
+///
+/// # Example
+///
+/// ```
+/// use castg_core::synthetic::CrossbarMacro;
+/// use castg_core::AnalogMacro;
+///
+/// let m = CrossbarMacro::new(4, 4);
+/// assert_eq!(m.unknowns(), m.nominal_circuit().unknown_count());
+/// assert!(m.fault_dictionary().iter().any(|f| f.name().starts_with("pinhole")));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CrossbarMacro {
+    rows: usize,
+    cols: usize,
+    solver: SolverKind,
+    ordering: OrderingKind,
+}
+
+impl CrossbarMacro {
+    /// Source resistance between `V1` and the drive port (ohms).
+    pub const R_SOURCE: f64 = 1e3;
+    /// Feed resistance from the drive port into each row-bar head (ohms).
+    pub const R_FEED: f64 = 1e3;
+    /// Bar segment resistance between adjacent crosspoints (ohms).
+    pub const R_BAR: f64 = 100.0;
+    /// Crosspoint coupling resistance (ohms).
+    pub const R_CROSS: f64 = 10e3;
+    /// Column tail load to ground (ohms).
+    pub const R_LOAD: f64 = 10e3;
+    /// Readout drain load to the 5 V rail (ohms).
+    pub const R_DRAIN: f64 = 50e3;
+    /// Readout drain load capacitance (farads).
+    pub const C_OUT: f64 = 1e-12;
+    /// Dictionary resistance of bridge faults (ohms).
+    pub const BRIDGE_R0: f64 = 10e3;
+    /// Dictionary resistance of pinhole faults (ohms).
+    pub const PINHOLE_R0: f64 = 2e3;
+    /// Number of readout stages (and pinhole fault sites).
+    const READOUTS: usize = 3;
+
+    /// Creates a crossbar with the given bar counts (both at least 2),
+    /// `Auto` solver and ordering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is below 2.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows >= 2 && cols >= 2, "a crossbar needs at least 2×2 bars");
+        CrossbarMacro {
+            rows,
+            cols,
+            solver: SolverKind::Auto,
+            ordering: OrderingKind::Auto,
+        }
+    }
+
+    /// Creates the smallest square crossbar with at least `n` MNA
+    /// unknowns.
+    pub fn with_unknowns(n: usize) -> Self {
+        let mut side = 2usize;
+        while CrossbarMacro::new(side, side).unknowns() < n {
+            side += 1;
+        }
+        CrossbarMacro::new(side, side)
+    }
+
+    /// Forces the linear-solver path and sparse-LU ordering every
+    /// configuration of this macro solves with (default `Auto`/`Auto`).
+    pub fn with_solver(mut self, solver: SolverKind, ordering: OrderingKind) -> Self {
+        self.solver = solver;
+        self.ordering = ordering;
+        self
+    }
+
+    /// MNA unknown count: two bar nodes per crosspoint, the `src`,
+    /// `in` and `vdd` nodes, one drain node per readout stage, and the
+    /// two source branch currents.
+    pub fn unknowns(&self) -> usize {
+        2 * self.rows * self.cols + self.readout_cols().len() + 5
+    }
+
+    /// Column indices carrying readout stages (evenly spaced, ending at
+    /// the last column; deduplicated for narrow crossbars).
+    fn readout_cols(&self) -> Vec<usize> {
+        let mut cols: Vec<usize> = (1..=Self::READOUTS)
+            .map(|k| (k * self.cols).div_ceil(Self::READOUTS) - 1)
+            .collect();
+        cols.dedup();
+        cols
+    }
+
+    /// Name of the row-bar node at `(bar i, segment j)`.
+    fn row_node(&self, i: usize, j: usize) -> String {
+        format!("rb{i}_{j}")
+    }
+
+    /// Name of the column-bar node at `(segment i, bar j)`.
+    fn col_node(&self, i: usize, j: usize) -> String {
+        format!("cb{i}_{j}")
+    }
+
+    /// Name of readout stage `k`'s drain; the last is `"out"`.
+    fn drain_name(&self, k: usize) -> String {
+        if k + 1 == self.readout_cols().len() {
+            "out".to_string()
+        } else {
+            format!("do{k}")
+        }
+    }
+}
+
+impl AnalogMacro for CrossbarMacro {
+    fn name(&self) -> &str {
+        "crossbar"
+    }
+
+    fn macro_type(&self) -> &str {
+        "RX-crossbar"
+    }
+
+    fn nominal_circuit(&self) -> Circuit {
+        let mut c = Circuit::new();
+        let src = c.node("src");
+        let inp = c.node("in");
+        let vdd = c.node("vdd");
+        c.add_vsource("V1", src, Circuit::GROUND, Waveform::dc(5.0)).expect("fresh netlist");
+        c.add_resistor("Rsrc", src, inp, Self::R_SOURCE).expect("fresh netlist");
+        c.add_vsource("VDD", vdd, Circuit::GROUND, Waveform::dc(5.0)).expect("fresh netlist");
+        // Row bars (row-major), then column bars: the natural ordering
+        // interleaves the two lattices only through the crosspoints.
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let here = c.node(&self.row_node(i, j));
+                if j == 0 {
+                    c.add_resistor(&format!("Rf{i}"), inp, here, Self::R_FEED)
+                        .expect("fresh netlist");
+                } else {
+                    let west = c.find_node(&self.row_node(i, j - 1)).expect("row node");
+                    c.add_resistor(&format!("Rr{i}_{j}"), west, here, Self::R_BAR)
+                        .expect("fresh netlist");
+                }
+            }
+        }
+        for j in 0..self.cols {
+            for i in 0..self.rows {
+                let here = c.node(&self.col_node(i, j));
+                if i > 0 {
+                    let north = c.find_node(&self.col_node(i - 1, j)).expect("col node");
+                    c.add_resistor(&format!("Rc{i}_{j}"), north, here, Self::R_BAR)
+                        .expect("fresh netlist");
+                }
+            }
+            let tail = c.find_node(&self.col_node(self.rows - 1, j)).expect("col node");
+            c.add_resistor(&format!("Rl{j}"), tail, Circuit::GROUND, Self::R_LOAD)
+                .expect("fresh netlist");
+        }
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let rn = c.find_node(&self.row_node(i, j)).expect("row node");
+                let cn = c.find_node(&self.col_node(i, j)).expect("col node");
+                c.add_resistor(&format!("Rx{i}_{j}"), rn, cn, Self::R_CROSS)
+                    .expect("fresh netlist");
+            }
+        }
+        // Readout stages: column tails bias NMOS common-source stages.
+        for (k, &j) in self.readout_cols().iter().enumerate() {
+            let gate = c.find_node(&self.col_node(self.rows - 1, j)).expect("col tail");
+            let drain = c.node(&self.drain_name(k));
+            c.add_mosfet(
+                &format!("M{}", k + 1),
+                drain,
+                gate,
+                Circuit::GROUND,
+                Circuit::GROUND,
+                MosPolarity::Nmos,
+                MosParams::nmos_default(10e-6, 1e-6),
+            )
+            .expect("fresh netlist");
+            c.add_resistor(&format!("Rd{k}"), vdd, drain, Self::R_DRAIN)
+                .expect("fresh netlist");
+            c.add_capacitor(&format!("Cd{k}"), drain, Circuit::GROUND, Self::C_OUT)
+                .expect("fresh netlist");
+        }
+        c
+    }
+
+    fn fault_site_nodes(&self) -> Vec<String> {
+        let mut sites = vec![
+            "in".to_string(),
+            self.row_node(0, self.cols - 1),
+            self.col_node(self.rows - 1, 0),
+        ];
+        let last_readout = *self.readout_cols().last().expect("at least one readout");
+        let gate = self.col_node(self.rows - 1, last_readout);
+        if !sites.contains(&gate) {
+            sites.push(gate);
+        }
+        sites.push("out".to_string());
+        sites
+    }
+
+    fn fault_dictionary(&self) -> FaultDictionary {
+        let nodes = self.fault_site_nodes();
+        let refs: Vec<&str> = nodes.iter().map(String::as_str).collect();
+        let mut faults = exhaustive_bridge_faults(&refs, Self::BRIDGE_R0);
+        faults.extend(
+            (1..=self.readout_cols().len())
+                .map(|k| Fault::pinhole(format!("M{k}"), Self::PINHOLE_R0)),
+        );
+        FaultDictionary::new(faults)
+    }
+
+    fn configurations(&self) -> Vec<Arc<dyn TestConfiguration>> {
+        vec![Arc::new(CrossbarDcConfig {
+            rows: self.rows,
+            cols: self.cols,
+            solver: self.solver,
+            ordering: self.ordering,
+        })]
+    }
+}
+
+/// Crossbar configuration #1: drive `V1` with DC level `lev`, return
+/// `ΔV(out)`.
+#[derive(Debug, Clone)]
+pub struct CrossbarDcConfig {
+    rows: usize,
+    cols: usize,
+    solver: SolverKind,
+    ordering: OrderingKind,
+}
+
+impl TestConfiguration for CrossbarDcConfig {
+    fn id(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> &str {
+        "dc_out"
+    }
+
+    fn param_names(&self) -> Vec<String> {
+        vec!["lev".into()]
+    }
+
+    fn space(&self) -> ParamSpace {
+        ParamSpace::new(vec![Bounds::new(0.5, 8.0).expect("static bounds")])
+    }
+
+    fn seed(&self) -> Vec<f64> {
+        vec![5.0]
+    }
+
+    fn measure(&self, circuit: &Circuit, params: &[f64]) -> Result<Measurement, CoreError> {
+        check_params(self, params)?;
+        let sol = DcAnalysis::with_options(circuit, solve_options(self.solver, self.ordering))
+            .override_stimulus("V1", Waveform::dc(params[0]))
+            .solve()?;
+        let out = circuit.find_node("out").ok_or_else(|| CoreError::Configuration {
+            config: self.name().to_string(),
+            reason: "macro has no `out` node".to_string(),
+        })?;
+        Ok(Measurement::scalar(sol.voltage(out)))
+    }
+
+    fn return_values(&self, measured: &Measurement, nominal: &Measurement) -> Vec<f64> {
+        match (measured.as_scalars(), nominal.as_scalars()) {
+            (Some(m), Some(n)) => vec![m[0] - n[0]],
+            _ => vec![f64::NAN],
+        }
+    }
+
+    fn tolerance_box(&self, _params: &[f64], _nominal_returns: &[f64]) -> Vec<f64> {
+        // 50 mV on a 0–5 V readout swing.
+        vec![0.05]
+    }
+
+    fn description(&self) -> ConfigDescription {
+        ConfigDescription {
+            macro_type: "RX-crossbar".into(),
+            title: format!("DC output ({}x{} crossbar)", self.rows, self.cols),
+            controls: vec![PortAction { node: "in".into(), action: "dc(lev)".into() }],
+            observes: vec![PortAction { node: "out".into(), action: "dc()".into() }],
+            return_value: "dV(out)".into(),
+            parameters: vec![ParamSpec { name: "lev".into(), lo: 0.5, hi: 8.0 }],
+            variables: vec![],
+            seed: vec![("lev".into(), 5.0)],
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -904,6 +1664,143 @@ mod tests {
             for fault in m.fault_dictionary().iter() {
                 fault.inject(&c).unwrap_or_else(|e| {
                     panic!("stages={stages}, fault {}: {e}", fault.name())
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_unknown_count_and_aspect() {
+        for n in [16, 64, 256] {
+            let m = MeshMacro::with_unknowns(n);
+            let c = m.nominal_circuit();
+            assert_eq!(c.unknown_count(), m.unknowns());
+            assert!(m.unknowns() >= n);
+        }
+        let wide = MeshMacro::new(3, 9);
+        assert_eq!(wide.shape(), (3, 9));
+        assert_eq!(wide.nominal_circuit().unknown_count(), 3 * 9 + 2);
+    }
+
+    #[test]
+    fn mesh_dc_has_a_gradient_and_ports_work() {
+        for ports in [MeshPorts::OppositeCorners, MeshPorts::EdgeMidpoints] {
+            let m = MeshMacro::new(6, 6).with_ports(ports);
+            let c = m.nominal_circuit();
+            let sol = DcAnalysis::new(&c).solve().unwrap();
+            let v_in = sol.voltage(c.find_node("in").unwrap());
+            let v_out = sol.voltage(c.find_node("out").unwrap());
+            // The shunt load pulls real current through the lattice:
+            // measurable drop from the source, gradient toward `out`.
+            assert!(v_in > 3.0 && v_in < 5.0, "{ports:?}: v_in = {v_in}");
+            assert!(v_out > 0.0 && v_out < v_in, "{ports:?}: v_out = {v_out} v_in = {v_in}");
+        }
+    }
+
+    #[test]
+    fn mesh_faults_inject_and_ground_bridge_collapses_output() {
+        let m = MeshMacro::new(5, 5);
+        let c = m.nominal_circuit();
+        let nominal = DcAnalysis::new(&c).solve().unwrap();
+        let out = c.find_node("out").unwrap();
+        for fault in m.fault_dictionary().iter() {
+            let faulty = fault.inject(&c).unwrap();
+            let sol = DcAnalysis::new(&faulty).solve().unwrap();
+            assert!(sol.voltage(out).is_finite(), "{}", fault.name());
+        }
+        let gnd = Fault::bridge("out", "0", MeshMacro::BRIDGE_R0);
+        let sol = DcAnalysis::new(&gnd.inject(&c).unwrap()).solve().unwrap();
+        assert!((sol.voltage(out) - nominal.voltage(out)).abs() > 0.1);
+    }
+
+    #[test]
+    fn mesh_configs_measure_and_roundtrip() {
+        let m = MeshMacro::new(4, 4);
+        let c = m.nominal_circuit();
+        for cfg in m.configurations() {
+            let meas = cfg.measure(&c, &cfg.seed()).unwrap();
+            let rv = cfg.return_values(&meas, &meas);
+            assert!(rv.iter().all(|v| v.abs() < 1e-12), "{rv:?}");
+            let d = cfg.description();
+            assert_eq!(d, ConfigDescription::parse(&d.to_string()).unwrap());
+        }
+    }
+
+    /// The mesh is the workload the AMD ordering exists for: at
+    /// n ≥ 400 unknowns the ordered factors must carry at most half the
+    /// natural-order fill, and Auto must therefore resolve to AMD.
+    #[test]
+    fn mesh_amd_halves_fill_and_auto_picks_it() {
+        use castg_spice::{sparse_fill_stats, OrderingKind};
+        let m = MeshMacro::new(24, 24);
+        let c = m.nominal_circuit();
+        let natural = sparse_fill_stats(&c, OrderingKind::Natural).unwrap();
+        let amd = sparse_fill_stats(&c, OrderingKind::Amd).unwrap();
+        assert!(
+            amd.lu_nnz * 2 <= natural.lu_nnz,
+            "amd {} vs natural {}",
+            amd.lu_nnz,
+            natural.lu_nnz
+        );
+        let auto = sparse_fill_stats(&c, OrderingKind::Auto).unwrap();
+        assert_eq!(auto.resolved, OrderingKind::Amd);
+        assert_eq!(auto.lu_nnz, amd.lu_nnz);
+    }
+
+    #[test]
+    fn mesh_solver_override_agrees_across_paths() {
+        use castg_spice::{OrderingKind, SolverKind};
+        let variants = [
+            MeshMacro::new(5, 5).with_solver(SolverKind::Dense, OrderingKind::Natural),
+            MeshMacro::new(5, 5).with_solver(SolverKind::Sparse, OrderingKind::Natural),
+            MeshMacro::new(5, 5).with_solver(SolverKind::Sparse, OrderingKind::Amd),
+        ];
+        let reference: Vec<f64> = {
+            let m = &variants[0];
+            let cfg = &m.configurations()[0];
+            let meas = cfg.measure(&m.nominal_circuit(), &[5.0]).unwrap();
+            meas.as_scalars().unwrap().to_vec()
+        };
+        for m in &variants[1..] {
+            let cfg = &m.configurations()[0];
+            let meas = cfg.measure(&m.nominal_circuit(), &[5.0]).unwrap();
+            let got = meas.as_scalars().unwrap();
+            assert!((got[0] - reference[0]).abs() <= 1e-9 * reference[0].abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn crossbar_unknowns_solves_and_responds() {
+        for n in [32, 64] {
+            let m = CrossbarMacro::with_unknowns(n);
+            let c = m.nominal_circuit();
+            assert_eq!(c.unknown_count(), m.unknowns());
+            assert!(m.unknowns() >= n);
+        }
+        let m = CrossbarMacro::new(4, 4);
+        let c = m.nominal_circuit();
+        let cfg = &m.configurations()[0];
+        let lo = cfg.measure(&c, &[1.0]).unwrap();
+        let hi = cfg.measure(&c, &[6.0]).unwrap();
+        let d = (lo.as_scalars().unwrap()[0] - hi.as_scalars().unwrap()[0]).abs();
+        assert!(d > 0.01, "crossbar output must depend on the input, moved {d}");
+        let desc = cfg.description();
+        assert_eq!(desc, ConfigDescription::parse(&desc.to_string()).unwrap());
+    }
+
+    #[test]
+    fn crossbar_dictionary_has_pinholes_and_injects() {
+        for (rows, cols) in [(2, 2), (3, 5), (4, 4)] {
+            let m = CrossbarMacro::new(rows, cols);
+            let c = m.nominal_circuit();
+            let dict = m.fault_dictionary();
+            assert!(
+                dict.iter().any(|f| f.name().starts_with("pinhole")),
+                "{rows}x{cols}: dictionary must carry pinhole faults"
+            );
+            for fault in dict.iter() {
+                fault.inject(&c).unwrap_or_else(|e| {
+                    panic!("{rows}x{cols}, fault {}: {e}", fault.name())
                 });
             }
         }

@@ -13,10 +13,16 @@
 //!   large systems: a pattern-fixed stamping target plus a left-looking
 //!   LU with threshold partial pivoting and KLU-style numeric
 //!   refactorization. The symbolic skeleton ([`SparseSymbolic`]: fill
-//!   structure + pivot order) lives behind an `Arc` and is shareable
-//!   across workspaces ([`SparseLu::seed_symbolic`]), so fault
-//!   campaigns pay one symbolic analysis per circuit variant instead of
-//!   one per solve. See [`sparse`] for the architecture notes.
+//!   structure, pivot order and column ordering) lives behind an `Arc`
+//!   and is shareable across workspaces ([`SparseLu::seed_symbolic`]),
+//!   so fault campaigns pay one symbolic analysis per circuit variant
+//!   instead of one per solve. A fill-reducing **approximate minimum
+//!   degree** column ordering ([`SparsePattern::amd_ordering`], applied
+//!   via [`SparseLu::set_ordering`]) keeps mesh/crossbar-shaped systems
+//!   — whose natural-order fill is O(n·√n) — factoring with near-linear
+//!   fill; ladder/chain systems stay in natural order, bit-identical to
+//!   before orderings existed. See [`sparse`] for the architecture
+//!   notes.
 //! * [`StampTarget`] — the stamping abstraction both matrix types
 //!   implement, so one circuit-assembly routine drives either solver.
 //! * [`brent_min`] — Brent's derivative-free one-dimensional minimizer

@@ -6,6 +6,13 @@
 //! every random system a proptest generates must solve to 1e-9
 //! *relative* agreement through both kernels, on the first (full,
 //! pivoting) factorization and on pattern-reusing refactorizations.
+//!
+//! The ordering properties extend the contract to column permutations:
+//! factoring under *any* valid permutation — random or AMD-produced —
+//! must still agree with dense LU (the permutation is un-done before
+//! the caller sees a solution), and the AMD construction itself must
+//! emit a valid bijection on arbitrary patterns, including degenerate
+//! ones (empty columns, dense rows, `n = 1`).
 
 use castg_numeric::{LuFactors, Matrix, SparseLu, SparseMatrix, StampTarget};
 use proptest::prelude::*;
@@ -103,6 +110,76 @@ proptest! {
         let mut got = vec![0.0; n];
         lu.solve_into(b, &mut got).unwrap();
         assert_rel_close(&want, &got)?;
+    }
+
+    /// Ordering invariance: factoring under a random valid column
+    /// permutation — or the AMD-produced one — must agree with dense
+    /// LU to 1e-9 relative, exactly like natural order does.
+    #[test]
+    fn permuted_sparse_matches_dense(
+        n in 4usize..60,
+        band in 1usize..4,
+        entries in prop::collection::vec(-1.0f64..1.0, 60 * 9),
+        rhs in prop::collection::vec(-10.0f64..10.0, 60),
+        perm_seed in prop::collection::vec(0usize..1_000_000, 60),
+    ) {
+        let (dense, sparse) = banded_pair(n, band, &entries);
+        let b = &rhs[..n];
+        let want = LuFactors::factor(dense).unwrap().solve(b).unwrap();
+
+        // A random permutation derived deterministically from the seed
+        // vector (Fisher–Yates with generated swap targets).
+        let mut random_perm: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            random_perm.swap(i, perm_seed[i] % (i + 1));
+        }
+
+        for perm in [random_perm, sparse.pattern().amd_ordering()] {
+            let mut lu = SparseLu::new();
+            lu.set_ordering(perm.clone());
+            lu.factor(&sparse).unwrap();
+            let sym = lu.symbolic().unwrap();
+            prop_assert_eq!(sym.ordering(), &perm[..]);
+            let mut got = vec![0.0; n];
+            lu.solve_into(b, &mut got).unwrap();
+            assert_rel_close(&want, &got)?;
+        }
+    }
+
+    /// The AMD construction must produce a valid bijection of `0..n`
+    /// for arbitrary random patterns — including patterns with empty
+    /// columns, duplicate slots and dense rows — and for the
+    /// degenerate edge cases.
+    #[test]
+    fn amd_ordering_is_always_a_bijection(
+        n in 1usize..40,
+        slot_rows in prop::collection::vec(0usize..40, 160),
+        slot_cols in prop::collection::vec(0usize..40, 160),
+        slot_count in 0usize..160,
+        dense_row in 0usize..40,
+    ) {
+        let mut entries: Vec<(usize, usize)> = slot_rows
+            .iter()
+            .zip(&slot_cols)
+            .take(slot_count)
+            .map(|(&r, &c)| (r % n, c % n))
+            .collect();
+        // Force a dense row and a dense column through one vertex.
+        for j in 0..n {
+            entries.push((dense_row % n, j));
+            entries.push((j, dense_row % n));
+        }
+        let with_dense = SparseMatrix::from_entries(n, &entries);
+        let empty = SparseMatrix::from_entries(n, &[]);
+        for pattern in [with_dense.pattern(), empty.pattern()] {
+            let perm = pattern.amd_ordering();
+            prop_assert_eq!(perm.len(), n);
+            let mut seen = vec![false; n];
+            for &c in &perm {
+                prop_assert!(c < n && !seen[c], "not a bijection: {:?}", perm);
+                seen[c] = true;
+            }
+        }
     }
 
     /// The residual of the sparse solve is tiny in its own right (not

@@ -396,9 +396,17 @@ impl<'c> AcAnalysis<'c> {
         }
 
         // Prologue: the first point computes the shared symbolic
-        // skeleton (and its own solution) serially.
+        // skeleton (and its own solution) serially. When the circuit's
+        // ordering resolves to AMD, the embedding gets its own AMD run
+        // — its pattern couples the G and ωC blocks, so the G
+        // permutation does not transfer — computed once here and
+        // carried to every other frequency point inside the shared
+        // skeleton.
         let mut big = template.clone();
         let mut lu = SparseLu::new();
+        if plan.resolve_ordering(self.options.ordering) == crate::solver::OrderingKind::Amd {
+            lu.set_ordering(big.pattern().amd_ordering());
+        }
         let mut xy = vec![0.0; 2 * n];
         stamp_point(&mut big, freqs[0]);
         lu.factor(&big)?;

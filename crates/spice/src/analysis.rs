@@ -1,4 +1,4 @@
-use crate::solver::SolverKind;
+use crate::solver::{OrderingKind, SolverKind};
 
 /// Tolerances and iteration limits shared by the DC and transient solvers.
 ///
@@ -26,6 +26,12 @@ pub struct AnalysisOptions {
     /// large, structurally sparse ones; `Dense`/`Sparse` force a path
     /// (the differential tests cross-check the two).
     pub solver: SolverKind,
+    /// Column ordering for the sparse LU's elimination. `Auto` (the
+    /// default) keeps natural MNA order unless a fill comparison on the
+    /// circuit's canonical matrix shows AMD reducing `nnz(L+U)` past
+    /// the margin; `Natural`/`Amd` force an ordering (the three-way
+    /// differential tests cross-check them). Ignored on the dense path.
+    pub ordering: OrderingKind,
 }
 
 impl Default for AnalysisOptions {
@@ -38,6 +44,7 @@ impl Default for AnalysisOptions {
             gmin: 1e-12,
             max_step_v: 0.5,
             solver: SolverKind::Auto,
+            ordering: OrderingKind::Auto,
         }
     }
 }

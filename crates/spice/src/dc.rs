@@ -10,7 +10,7 @@
 use crate::analysis::AnalysisOptions;
 use crate::circuit::Circuit;
 use crate::node::NodeId;
-use crate::solver::{MnaSolver, SolverKind};
+use crate::solver::{MnaSolver, OrderingKind, SolverKind};
 use crate::stamp::StampPlan;
 use crate::stimulus::Waveform;
 use crate::SpiceError;
@@ -89,10 +89,10 @@ pub(crate) struct NewtonScratch {
 }
 
 impl NewtonScratch {
-    pub(crate) fn new(circuit: &Circuit, kind: SolverKind) -> Self {
+    pub(crate) fn new(circuit: &Circuit, kind: SolverKind, ordering: OrderingKind) -> Self {
         let plan = circuit.plan();
         let n = plan.dim();
-        let solver = MnaSolver::for_plan(&plan, kind);
+        let solver = MnaSolver::for_plan(&plan, kind, ordering);
         NewtonScratch {
             plan,
             solver,
@@ -126,6 +126,9 @@ pub struct DcSolution {
     branch_currents: Vec<(String, f64)>,
     /// Raw MNA unknown vector (used to warm-start transient analysis).
     state: Vec<f64>,
+    /// Total Newton iterations spent across all strategies (plain
+    /// Newton, gmin ladder stages, source-stepping ramp).
+    iterations: usize,
 }
 
 impl DcSolution {
@@ -152,6 +155,14 @@ impl DcSolution {
     /// The raw MNA state vector (node voltages then branch currents).
     pub fn state(&self) -> &[f64] {
         &self.state
+    }
+
+    /// Total Newton iterations the solve spent, summed over every
+    /// strategy it tried (plain Newton, gmin-ladder stages, source
+    /// stepping). The cold-start cost regression tests pin this — the
+    /// ROADMAP's nodeset/pseudo-transient item is judged against it.
+    pub fn newton_iterations(&self) -> usize {
+        self.iterations
     }
 }
 
@@ -223,19 +234,21 @@ impl<'c> DcAnalysis<'c> {
         }
         let overrides = resolve_overrides(self.circuit, &self.overrides)?;
         if n == 0 {
-            return Ok(self.package(Vec::new()));
+            return Ok(self.package(Vec::new(), 0));
         }
 
         // One compiled plan + one set of solver buffers for the whole
         // solve, shared across all fallback strategies; one state
-        // vector mutated in place by the Newton iterations.
-        let mut scratch = NewtonScratch::new(self.circuit, self.options.solver);
+        // vector mutated in place by the Newton iterations. `iters`
+        // accumulates every Newton iteration any strategy spends.
+        let mut scratch = NewtonScratch::new(self.circuit, self.options.solver, self.options.ordering);
         scratch.overrides = overrides;
         let mut x = initial.to_vec();
+        let mut iters = 0usize;
 
         // 1. Plain Newton from the provided start.
-        if self.newton(&mut x, &mut scratch, self.options.gmin, 1.0).is_ok() {
-            return Ok(self.package(x));
+        if self.newton(&mut x, &mut scratch, self.options.gmin, 1.0, &mut iters).is_ok() {
+            return Ok(self.package(x, iters));
         }
 
         // 2. gmin stepping: relax a strong shunt decade by decade.
@@ -243,14 +256,14 @@ impl<'c> DcAnalysis<'c> {
         let mut ok = true;
         let mut gmin = 1e-2;
         while gmin > self.options.gmin {
-            if self.newton(&mut x, &mut scratch, gmin, 1.0).is_err() {
+            if self.newton(&mut x, &mut scratch, gmin, 1.0, &mut iters).is_err() {
                 ok = false;
                 break;
             }
             gmin /= 10.0;
         }
-        if ok && self.newton(&mut x, &mut scratch, self.options.gmin, 1.0).is_ok() {
-            return Ok(self.package(x));
+        if ok && self.newton(&mut x, &mut scratch, self.options.gmin, 1.0, &mut iters).is_ok() {
+            return Ok(self.package(x, iters));
         }
 
         // 3. Source stepping: ramp all sources from 0 to 100 %.
@@ -258,7 +271,8 @@ impl<'c> DcAnalysis<'c> {
         let steps = 25;
         for k in 1..=steps {
             let scale = k as f64 / steps as f64;
-            if let Err(e) = self.newton(&mut x, &mut scratch, self.options.gmin, scale) {
+            if let Err(e) = self.newton(&mut x, &mut scratch, self.options.gmin, scale, &mut iters)
+            {
                 return Err(match e {
                     SpiceError::Numeric(n) => SpiceError::Numeric(n),
                     _ => SpiceError::NoConvergence {
@@ -271,7 +285,7 @@ impl<'c> DcAnalysis<'c> {
                 });
             }
         }
-        Ok(self.package(x))
+        Ok(self.package(x, iters))
     }
 
     /// Damped Newton iteration at fixed `gmin` and source scale,
@@ -294,6 +308,7 @@ impl<'c> DcAnalysis<'c> {
         scratch: &mut NewtonScratch,
         gmin: f64,
         source_scale: f64,
+        iters: &mut usize,
     ) -> Result<(), SpiceError> {
         scratch.eval_sources(|w| source_scale * w.dc_value());
         let NewtonScratch { plan, solver, rhs, x_new, src_vals, factored_for, .. } = scratch;
@@ -304,6 +319,7 @@ impl<'c> DcAnalysis<'c> {
         let reuse_key: JacobianKey = (gmin.to_bits(), 0, 0);
 
         for _iter in 0..opts.max_iter {
+            *iters += 1;
             if plan.is_linear() && *factored_for == Some(reuse_key) {
                 plan.assemble_rhs_only(rhs, src_vals);
             } else {
@@ -364,7 +380,7 @@ impl<'c> DcAnalysis<'c> {
         })
     }
 
-    fn package(&self, state: Vec<f64>) -> DcSolution {
+    fn package(&self, state: Vec<f64>, iterations: usize) -> DcSolution {
         let n_nodes = self.circuit.node_count() - 1;
         let mut voltages = vec![0.0; self.circuit.node_count()];
         voltages[1..=n_nodes].copy_from_slice(&state[..n_nodes]);
@@ -376,7 +392,7 @@ impl<'c> DcAnalysis<'c> {
                 br += 1;
             }
         }
-        DcSolution { voltages, branch_currents, state }
+        DcSolution { voltages, branch_currents, state, iterations }
     }
 }
 

@@ -105,6 +105,40 @@
 //! through both must agree to 1e-9 relative, nominal and after fault
 //! injection.
 //!
+//! # Ordering selection: natural vs AMD, and symbolic sharing
+//!
+//! The sparse path has a second dispatch axis,
+//! [`AnalysisOptions::ordering`] ([`OrderingKind`]): which column
+//! permutation the LU eliminates under. Natural MNA order is
+//! near-optimal for chain/ladder netlists, but mesh- and crossbar-like
+//! netlists fill as O(n·√n) under it; the AMD ordering
+//! (`castg_numeric::SparsePattern::amd_ordering`) keeps their factors
+//! near-linear. `Auto` (the default) resolves per circuit, once per
+//! plan, from the canonical factorization's fill: unless natural order
+//! is genuinely fill-blown ([`AMD_AUTO_MIN_BLOWUP`] × the pattern's
+//! nnz), the verdict is Natural straight off the natural canonical
+//! symbolic that solvers seed from anyway — a ladder fault campaign
+//! pays nothing for the ordering machinery — and only fill-blown
+//! patterns run the AMD construction and trial factorization, keeping
+//! AMD when it beats natural by [`AMD_AUTO_MARGIN`].
+//! [`sparse_fill_stats`] exposes the comparison (benches and the CI
+//! fill gate are built on it).
+//!
+//! Ordering composes with every structure-sharing mechanism above
+//! because the permutation lives *inside* the shared symbolic analysis
+//! (`castg_numeric::SparseSymbolic`): the plan's canonical symbolic is
+//! computed per ordering and seeded into every solver instance, seeded
+//! refactorizations and stability fallbacks keep factoring under the
+//! recorded permutation, delta-stamp plan patches re-resolve `Auto` on
+//! the merged pattern (a pure function of the pattern, so a patched
+//! variant and a from-scratch rebuild always agree bit for bit), and
+//! the AC sweep's `2n×2n` real embedding computes its own AMD
+//! permutation once per sweep and shares it across every frequency
+//! point. The three-way differential harness (Dense / Sparse-Natural /
+//! Sparse-AMD, `tests/sparse_differential.rs` +
+//! `tests/campaign_differential.rs`) pins all of this, nominal and
+//! after fault injection, at worker counts 1 and 4.
+//!
 //! # Example: resistor divider
 //!
 //! ```
@@ -147,6 +181,9 @@ pub use error::SpiceError;
 pub use mos::{MosOperatingPoint, MosParams, MosPolarity, MosRegion};
 pub use node::NodeId;
 pub use probe::{Probe, Trace};
-pub use solver::{SolverKind, SPARSE_MAX_DENSITY, SPARSE_MIN_N};
+pub use solver::{
+    sparse_fill_stats, FillStats, OrderingKind, SolverKind, AMD_AUTO_MARGIN, AMD_AUTO_MIN_BLOWUP,
+    SPARSE_MAX_DENSITY, SPARSE_MIN_N,
+};
 pub use stimulus::Waveform;
 pub use transient::{IntegrationMethod, TranAnalysis};

@@ -30,6 +30,84 @@ pub const SPARSE_MIN_N: usize = 64;
 /// most this; denser systems gain nothing from sparse bookkeeping.
 pub const SPARSE_MAX_DENSITY: f64 = 0.25;
 
+/// `OrderingKind::Auto` switches to the AMD ordering only when the AMD
+/// canonical factorization's `nnz(L+U)` is at most this fraction of
+/// natural order's: a fill-reducing permutation must *earn* the
+/// switch. Meshes and crossbars clear the margin by 2× and more;
+/// small/dense circuits never get this far (see
+/// [`AMD_AUTO_MIN_BLOWUP`]).
+pub const AMD_AUTO_MARGIN: f64 = 0.8;
+
+/// `Auto` considers AMD at all only when natural order's canonical
+/// `nnz(L+U)` is at least this multiple of the pattern's own nonzero
+/// count — i.e. when elimination genuinely *blows up* under natural
+/// order. Chain/ladder structure fills ~1.3× its pattern, so fault
+/// campaigns on it early-out here and pay exactly one factorization
+/// per variant (the natural canonical symbolic their solvers seed from
+/// anyway); a 2-D mesh fills 6× and up, clearing the gate decisively.
+/// Both gates read only the pattern and the canonical values — both
+/// reproduced bit-identically by delta-patched plans — so delta and
+/// rebuilt variants always agree.
+pub const AMD_AUTO_MIN_BLOWUP: f64 = 2.0;
+
+/// Which column ordering the sparse LU eliminates under.
+///
+/// Orthogonal to [`SolverKind`]: the ordering only matters on the
+/// sparse path (dense LU ignores it). The permutation is computed once
+/// per circuit pattern, recorded in the plan's canonical symbolic
+/// analysis, and inherited by every seeded solver instance — including
+/// refactorizations and stability fallbacks — so a whole fault campaign
+/// pays one AMD run per circuit variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OrderingKind {
+    /// Compare the actual `nnz(L+U)` of both orderings on the circuit's
+    /// canonical matrix (one-time, per plan) and keep AMD only when it
+    /// beats natural order by [`AMD_AUTO_MARGIN`]. The right choice
+    /// everywhere except differential testing.
+    #[default]
+    Auto,
+    /// Natural MNA order (node index, then branch rows) — optimal for
+    /// chain/ladder structure, bit-identical to the pre-ordering code.
+    Natural,
+    /// Approximate minimum degree
+    /// ([`castg_numeric::SparsePattern::amd_ordering`]), the
+    /// fill-reducing choice for mesh/crossbar structure.
+    Amd,
+}
+
+/// Structural fill statistics of a circuit's sparse factorization under
+/// one ordering, as reported by [`sparse_fill_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FillStats {
+    /// MNA unknown count.
+    pub unknowns: usize,
+    /// Structural nonzeros of the assembled MNA pattern.
+    pub pattern_nnz: usize,
+    /// Structural nonzeros of `L + U` (diagonal counted once).
+    pub lu_nnz: usize,
+    /// The ordering the factorization actually used (`Auto` resolved to
+    /// `Natural` or `Amd`).
+    pub resolved: OrderingKind,
+}
+
+/// Factors the circuit's canonical MNA matrix under `ordering` and
+/// reports the fill of the resulting factors — the metric the
+/// fill-reducing-ordering machinery is judged by (benches and the CI
+/// smoke gate assert AMD-vs-natural reductions through this).
+///
+/// Returns `None` when the canonical matrix is singular (a grossly
+/// broken netlist).
+pub fn sparse_fill_stats(circuit: &crate::Circuit, ordering: OrderingKind) -> Option<FillStats> {
+    let plan = circuit.plan();
+    let symbolic = plan.canonical_symbolic(ordering)?;
+    Some(FillStats {
+        unknowns: plan.dim(),
+        pattern_nnz: plan.sparse_template().pattern().nnz(),
+        lu_nnz: symbolic.fill_nnz(),
+        resolved: plan.resolve_ordering(ordering),
+    })
+}
+
 /// Which linear-solver path an analysis uses for its MNA systems.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SolverKind {
@@ -84,16 +162,25 @@ impl MnaSolver {
     /// Creates the solver state `kind` resolves to for `plan`.
     ///
     /// The sparse arm seeds its LU workspace with the plan's canonical
-    /// symbolic analysis (computed once per plan, shared by `Arc`), so
-    /// every analysis of the same circuit — across tests, threads and
-    /// fault-campaign work items — starts refactoring numerically
-    /// instead of re-running the symbolic DFS.
-    pub(crate) fn for_plan(plan: &StampPlan, kind: SolverKind) -> Self {
+    /// symbolic analysis under `ordering` (computed once per plan,
+    /// shared by `Arc`), so every analysis of the same circuit — across
+    /// tests, threads and fault-campaign work items — starts refactoring
+    /// numerically instead of re-running the symbolic DFS, and factors
+    /// under the same column permutation everywhere. When the canonical
+    /// matrix is singular (no shareable skeleton), an explicitly
+    /// requested AMD ordering is still installed so the instance's own
+    /// analysis eliminates in fill-reducing order.
+    pub(crate) fn for_plan(plan: &StampPlan, kind: SolverKind, ordering: OrderingKind) -> Self {
         let n = plan.dim();
         if kind.use_sparse(plan) {
             let mut lu = SparseLu::new();
-            if let Some(symbolic) = plan.canonical_symbolic() {
-                lu.seed_symbolic(symbolic);
+            match plan.canonical_symbolic(ordering) {
+                Some(symbolic) => lu.seed_symbolic(symbolic),
+                None => {
+                    if plan.resolve_ordering(ordering) == OrderingKind::Amd {
+                        lu.set_ordering(plan.amd_permutation().clone());
+                    }
+                }
             }
             MnaSolver::Sparse { mat: plan.sparse_template().clone(), lu }
         } else {
@@ -150,7 +237,7 @@ impl MnaSolver {
     ///
     /// [`NumericError::NotFactored`] before the first factorization;
     /// [`NumericError::DimensionMismatch`] for wrong-sized buffers.
-    pub(crate) fn solve_into(&self, b: &[f64], x: &mut [f64]) -> Result<(), NumericError> {
+    pub(crate) fn solve_into(&mut self, b: &[f64], x: &mut [f64]) -> Result<(), NumericError> {
         match self {
             MnaSolver::Dense { lu, .. } => lu.solve_into(b, x),
             MnaSolver::Sparse { lu, .. } => lu.solve_into(b, x),
@@ -197,7 +284,7 @@ mod tests {
 
         let mut solutions = Vec::new();
         for kind in [SolverKind::Dense, SolverKind::Sparse] {
-            let mut solver = MnaSolver::for_plan(&plan, kind);
+            let mut solver = MnaSolver::for_plan(&plan, kind, OrderingKind::Auto);
             assert_eq!(solver.is_sparse(), kind == SolverKind::Sparse);
             let mut rhs = vec![0.0; n];
             let mut x = vec![0.0; n];

@@ -90,8 +90,13 @@ struct TranScratch {
 }
 
 impl TranScratch {
-    fn new(circuit: &Circuit, n_dyns: usize, solver: crate::solver::SolverKind) -> Self {
-        let newton = NewtonScratch::new(circuit, solver);
+    fn new(
+        circuit: &Circuit,
+        n_dyns: usize,
+        solver: crate::solver::SolverKind,
+        ordering: crate::solver::OrderingKind,
+    ) -> Self {
+        let newton = NewtonScratch::new(circuit, solver, ordering);
         let n = newton.plan.dim();
         TranScratch {
             newton,
@@ -192,7 +197,8 @@ impl<'c> TranAnalysis<'c> {
         trace.push_row(0.0, &row);
 
         let n_steps = (t_stop / dt - 1e-9).ceil().max(1.0) as usize;
-        let mut scratch = TranScratch::new(self.circuit, dyns.len(), self.options.solver);
+        let mut scratch =
+            TranScratch::new(self.circuit, dyns.len(), self.options.solver, self.options.ordering);
         scratch.newton.overrides = resolve_overrides(self.circuit, &self.overrides)?;
 
         for k in 1..=n_steps {

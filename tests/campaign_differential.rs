@@ -12,13 +12,14 @@
 
 use std::sync::Arc;
 
-use castg::core::synthetic::LadderMacro;
+use castg::core::synthetic::{LadderMacro, MeshMacro};
 use castg::core::{
     evaluate_campaign, AnalogMacro, CampaignOptions, CoverageReport, InjectionMode,
     NominalCache, TestInstance,
 };
 use castg::faults::FaultDictionary;
 use castg::macros::IvConverter;
+use castg::spice::{OrderingKind, SolverKind};
 
 /// Builds a few test instances per configuration of `mac` by scaling
 /// each configuration's seed vector — cheap, deterministic, and enough
@@ -134,6 +135,57 @@ fn ladder_256_delta_campaign_is_bit_identical() {
     let dict = mac.fault_dictionary();
     let scales: &[f64] = if cfg!(debug_assertions) { &[1.0] } else { &[0.6, 1.0, 1.4] };
     let tests = seed_instances(&mac, scales);
+    differential(&mac, &dict, &tests);
+}
+
+/// The mesh campaign — the workload whose natural-order fill justifies
+/// the AMD ordering — run three-way: Dense, Sparse-Natural and
+/// Sparse-AMD variants of the macro each get the full delta-vs-rebuild
+/// and threads-1-vs-4 bit-identity treatment, so plan patching over a
+/// *permuted* pattern is pinned exactly like the unpermuted paths. The
+/// three configurations must also agree with each other on which
+/// faults are detected (their sensitivities differ only in the last
+/// ulps).
+#[test]
+fn mesh_three_way_delta_campaigns_are_bit_identical() {
+    let configs: [(SolverKind, OrderingKind); 3] = [
+        (SolverKind::Dense, OrderingKind::Natural),
+        (SolverKind::Sparse, OrderingKind::Natural),
+        (SolverKind::Sparse, OrderingKind::Amd),
+    ];
+    let size = if cfg!(debug_assertions) { 64 } else { 256 };
+    let mut detection: Vec<Vec<bool>> = Vec::new();
+    for (solver, ordering) in configs {
+        let mac = MeshMacro::with_unknowns(size).with_solver(solver, ordering);
+        let dict = mac.fault_dictionary();
+        let scales: &[f64] = if cfg!(debug_assertions) { &[1.0] } else { &[0.6, 1.0] };
+        let tests = seed_instances(&mac, scales);
+        differential(&mac, &dict, &tests);
+
+        let cache = NominalCache::new();
+        let report = evaluate_campaign(
+            &mac,
+            &cache,
+            &tests,
+            &dict,
+            &CampaignOptions { threads: 2, injection: InjectionMode::Delta },
+        )
+        .expect("campaign");
+        detection.push(report.per_fault.iter().map(|f| f.detected).collect());
+    }
+    assert_eq!(detection[0], detection[1], "dense vs sparse-natural detection diverged");
+    assert_eq!(detection[0], detection[2], "dense vs sparse-amd detection diverged");
+}
+
+/// The ladder campaign through the forced Sparse-AMD configuration:
+/// tridiagonal-plus-branch-row structure under a non-identity
+/// permutation, delta vs rebuild, threads 1 vs 4.
+#[test]
+fn ladder_amd_delta_campaign_is_bit_identical() {
+    let mac = LadderMacro::with_unknowns(if cfg!(debug_assertions) { 96 } else { 256 })
+        .with_solver(SolverKind::Sparse, OrderingKind::Amd);
+    let dict = mac.fault_dictionary();
+    let tests = seed_instances(&mac, &[1.0]);
     differential(&mac, &dict, &tests);
 }
 

@@ -42,6 +42,11 @@ fn divider_generation_report_is_byte_stable() {
     assert_matches_fixture("divider_generation.txt", &castg_bench::golden::divider_report());
 }
 
+#[test]
+fn mesh_generation_report_is_byte_stable() {
+    assert_matches_fixture("mesh_generation.txt", &castg_bench::golden::mesh_report());
+}
+
 /// Release-only: the IV-converter golden run optimizes transient-heavy
 /// configurations and takes ~50 s unoptimized. The CI release-test job
 /// runs it on every push; locally use

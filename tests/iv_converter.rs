@@ -8,6 +8,36 @@ use castg::faults::{Fault, FaultKind};
 use castg::macros::IvConverter;
 use castg::spice::DcAnalysis;
 
+/// Baseline for the ROADMAP'd cold-start work (nodeset heuristics /
+/// pseudo-transient continuation): the IV-converter operating point
+/// takes exactly 25 damped Newton iterations from a zero start — the
+/// dominant per-solve cost of its campaigns now that each iteration is
+/// LU-bound. The count is deterministic (fixed damping, bit-stable
+/// assembly), so this pins it exactly; an intentional convergence
+/// improvement should update the number *downward* alongside a golden
+/// fixture regeneration. A warm start from the solution must converge
+/// in a single verification iteration.
+#[test]
+fn cold_start_newton_iteration_count_is_pinned() {
+    let mac = IvConverter::with_analytic_boxes();
+    let c = mac.nominal_circuit();
+    let cold = DcAnalysis::new(&c).solve().unwrap();
+    assert_eq!(
+        cold.newton_iterations(),
+        25,
+        "cold-start Newton iteration count moved — regression or intentional \
+         convergence change?"
+    );
+    let warm = DcAnalysis::new(&c).solve_from(cold.state()).unwrap();
+    assert_eq!(warm.newton_iterations(), 1, "warm start must verify in one iteration");
+    for (a, b) in cold.state().iter().zip(warm.state()) {
+        // One verification iteration from a tolerance-converged state
+        // may polish the iterate within the solver's own tolerances;
+        // it must not move it materially.
+        assert!((a - b).abs() <= 1e-6 * a.abs().max(1.0), "{a} vs {b}");
+    }
+}
+
 #[test]
 fn fault_universe_is_the_papers() {
     let mac = IvConverter::with_analytic_boxes();

@@ -9,13 +9,13 @@
 //! cross-check covers linear and MOS-nonlinear systems, DC, transient
 //! and AC, at sizes where `Auto` would pick either path.
 
-use castg::core::synthetic::{LadderMacro, OtaChainMacro};
+use castg::core::synthetic::{CrossbarMacro, LadderMacro, MeshMacro, OtaChainMacro};
 use castg::core::AnalogMacro;
 use castg::faults::Fault;
 use castg::macros::IvConverter;
 use castg::spice::{
-    AcAnalysis, AcSource, AnalysisOptions, Circuit, DcAnalysis, Probe, SolverKind, TranAnalysis,
-    Waveform,
+    AcAnalysis, AcSource, AnalysisOptions, Circuit, DcAnalysis, OrderingKind, Probe, SolverKind,
+    TranAnalysis, Waveform,
 };
 use proptest::prelude::*;
 
@@ -188,6 +188,173 @@ fn auto_matches_forced_paths_at_the_boundary() {
         let dense = DcAnalysis::with_options(&c, opts(SolverKind::Dense)).solve().unwrap();
         for (a, d) in auto.state().iter().zip(dense.state()) {
             assert!((a - d).abs() <= REL_TOL * d.abs().max(1.0), "n={n}: {a} vs {d}");
+        }
+    }
+}
+
+/// The three solver configurations the ordering differential
+/// cross-checks: dense LU, sparse LU in natural order, sparse LU under
+/// the AMD fill-reducing permutation.
+const THREE_WAY: [(SolverKind, OrderingKind); 3] = [
+    (SolverKind::Dense, OrderingKind::Natural),
+    (SolverKind::Sparse, OrderingKind::Natural),
+    (SolverKind::Sparse, OrderingKind::Amd),
+];
+
+fn opts3(solver: SolverKind, ordering: OrderingKind) -> AnalysisOptions {
+    AnalysisOptions { solver, ordering, ..AnalysisOptions::default() }
+}
+
+/// Solves the DC operating point through all three paths and compares
+/// every MNA unknown pairwise against the dense reference.
+fn assert_dc_three_way_agrees(c: &Circuit, context: &str, tol: f64) {
+    let solutions: Vec<_> = THREE_WAY
+        .iter()
+        .map(|&(solver, ordering)| {
+            DcAnalysis::with_options(c, opts3(solver, ordering)).solve().unwrap_or_else(|e| {
+                panic!("{context}: {solver:?}/{ordering:?} failed: {e}")
+            })
+        })
+        .collect();
+    for (idx, sol) in solutions.iter().enumerate().skip(1) {
+        let (solver, ordering) = THREE_WAY[idx];
+        for (i, (d, s)) in solutions[0].state().iter().zip(sol.state()).enumerate() {
+            let scale = d.abs().max(s.abs()).max(1.0);
+            assert!(
+                (d - s).abs() <= tol * scale,
+                "{context}: {solver:?}/{ordering:?} unknown {i} diverges: dense {d} vs {s}"
+            );
+        }
+    }
+}
+
+#[test]
+fn mesh_dc_three_way_across_sizes_nominal_and_faulted() {
+    for n in [64usize, 256] {
+        let mac = MeshMacro::with_unknowns(n);
+        let c = mac.nominal_circuit();
+        assert_dc_three_way_agrees(&c, &format!("mesh n={n}"), REL_TOL);
+        for fault in mac.fault_dictionary().iter() {
+            let faulty = fault.inject(&c).unwrap();
+            assert_dc_three_way_agrees(
+                &faulty,
+                &format!("mesh n={n} fault {}", fault.name()),
+                REL_TOL,
+            );
+        }
+    }
+}
+
+#[test]
+fn ladder_dc_three_way_nominal_and_faulted() {
+    let mac = LadderMacro::with_unknowns(256);
+    let c = mac.nominal_circuit();
+    assert_dc_three_way_agrees(&c, "ladder n=256", REL_TOL);
+    for fault in mac.fault_dictionary().iter() {
+        let faulty = fault.inject(&c).unwrap();
+        assert_dc_three_way_agrees(&faulty, &format!("ladder fault {}", fault.name()), REL_TOL);
+    }
+}
+
+/// The crossbar is the *nonlinear* mesh-fill workload: MOS readout
+/// stages on two overlaid bar lattices. Newton must converge to the
+/// same fixed point through all three solver paths, nominal and with
+/// bridge + pinhole faults injected.
+#[test]
+fn crossbar_dc_three_way_nominal_and_faulted() {
+    let mac = CrossbarMacro::with_unknowns(96);
+    let c = mac.nominal_circuit();
+    let tight = |solver, ordering| AnalysisOptions {
+        reltol: 1e-12,
+        vntol: 1e-13,
+        abstol: 1e-16,
+        max_iter: 400,
+        ..opts3(solver, ordering)
+    };
+    let reference = DcAnalysis::with_options(&c, tight(SolverKind::Dense, OrderingKind::Natural))
+        .solve()
+        .unwrap();
+    for &(solver, ordering) in &THREE_WAY[1..] {
+        let sol = DcAnalysis::with_options(&c, tight(solver, ordering)).solve().unwrap();
+        for (d, s) in reference.state().iter().zip(sol.state()) {
+            let scale = d.abs().max(s.abs()).max(1.0);
+            assert!(
+                (d - s).abs() <= REL_TOL * scale,
+                "crossbar {solver:?}/{ordering:?}: {d} vs {s}"
+            );
+        }
+    }
+    for fault in mac.fault_dictionary().iter() {
+        let faulty = fault.inject(&c).unwrap();
+        let dense = DcAnalysis::with_options(&faulty, tight(SolverKind::Dense, OrderingKind::Natural))
+            .solve()
+            .unwrap();
+        let amd = DcAnalysis::with_options(&faulty, tight(SolverKind::Sparse, OrderingKind::Amd))
+            .solve()
+            .unwrap();
+        for (d, s) in dense.state().iter().zip(amd.state()) {
+            let scale = d.abs().max(s.abs()).max(1.0);
+            assert!(
+                (d - s).abs() <= 1e-7 * scale,
+                "crossbar fault {}: {d} vs {s}",
+                fault.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn mesh_transient_three_way() {
+    let mac = MeshMacro::with_unknowns(144);
+    let mut c = mac.nominal_circuit();
+    c.set_stimulus("V1", Waveform::step(1.0, 2.0, 0.2e-6, 0.05e-6)).unwrap();
+    let out = c.find_node("out").unwrap();
+    let probes = [Probe::NodeVoltage(out)];
+    let run = |solver, ordering| {
+        TranAnalysis::with_options(&c, opts3(solver, ordering), Default::default())
+            .run(2e-6, 0.05e-6, &probes)
+            .unwrap()
+    };
+    let reference = run(SolverKind::Dense, OrderingKind::Natural);
+    for &(solver, ordering) in &THREE_WAY[1..] {
+        let got = run(solver, ordering);
+        assert_eq!(reference.len(), got.len());
+        for (i, (d, s)) in reference.column(0).iter().zip(got.column(0)).enumerate() {
+            let scale = d.abs().max(s.abs()).max(1.0);
+            assert!(
+                (d - s).abs() <= REL_TOL * scale,
+                "mesh transient {solver:?}/{ordering:?} t[{i}]: {d} vs {s}"
+            );
+        }
+    }
+}
+
+/// AC on the mesh: the sparse path's 2n×2n real embedding gets its own
+/// AMD permutation (computed once per sweep); magnitudes must match the
+/// dense complex solver under every ordering.
+#[test]
+fn mesh_ac_three_way() {
+    let mac = MeshMacro::with_unknowns(100);
+    let c = mac.nominal_circuit();
+    let out = c.find_node("out").unwrap();
+    let freqs = [1e3, 1e6, 100e6];
+    let run = |solver, ordering| {
+        AcAnalysis::with_options(&c, opts3(solver, ordering))
+            .source(AcSource { name: "V1".into(), magnitude: 1.0 })
+            .run(&freqs)
+            .unwrap()
+    };
+    let reference = run(SolverKind::Dense, OrderingKind::Natural);
+    for &(solver, ordering) in &THREE_WAY[1..] {
+        let got = run(solver, ordering);
+        for (i, f) in freqs.iter().enumerate() {
+            let d = reference.voltage(i, out);
+            let s = got.voltage(i, out);
+            let scale = d.abs().max(s.abs()).max(1.0);
+            assert!(
+                (d - s).abs() <= 1e-8 * scale,
+                "mesh ac {solver:?}/{ordering:?} f={f}: {d:?} vs {s:?}"
+            );
         }
     }
 }
