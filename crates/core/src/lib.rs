@@ -68,6 +68,7 @@ mod descr;
 mod error;
 mod evaluate;
 mod generate;
+mod interp;
 mod macro_def;
 pub mod report;
 mod sensitivity;
@@ -88,6 +89,7 @@ pub use evaluate::{
 pub use generate::{
     BestTest, DistributionRow, GenerationReport, Generator, GeneratorOptions, SelectionMethod,
 };
+pub use interp::DescribedConfig;
 pub use macro_def::AnalogMacro;
 pub use sensitivity::{
     is_detected, sensitivity, Evaluator, SensitivityReport, SENSITIVITY_SIM_FAILURE,

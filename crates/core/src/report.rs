@@ -1,7 +1,80 @@
 //! Plain-text table rendering and CSV helpers for the experiment
-//! regeneration binaries.
+//! regeneration binaries, plus the canonical byte-stable rendering of a
+//! full generate → compact → evaluate pipeline outcome
+//! ([`render_pipeline_report`]) shared by the golden-fixture harness
+//! and the `castg` CLI.
 
 use std::fmt::Write as _;
+
+use crate::{CompactionReport, CoverageReport, GenerationReport};
+
+/// Renders a float with full, stable precision (used by the pipeline
+/// report so fixtures are byte-stable across platforms).
+fn full_num(v: f64) -> String {
+    format!("{v:.12e}")
+}
+
+fn params_str(params: &[f64]) -> String {
+    params.iter().map(|p| full_num(*p)).collect::<Vec<_>>().join(";")
+}
+
+/// Canonical text rendering of one macro's full pipeline outcome:
+/// selected per-fault tests, compaction order, and coverage.
+///
+/// The pipeline is deterministic (fixed seeds, deterministic
+/// optimizers, order-stable parallel fan-out), so this rendering is
+/// byte-stable: the golden fixtures under `tests/golden/` pin it, and
+/// the `castg` CLI emits it for parsed-netlist macros.
+pub fn render_pipeline_report(
+    macro_name: &str,
+    generation: &GenerationReport,
+    compaction: &CompactionReport,
+    coverage: &CoverageReport,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "golden report: {macro_name}");
+    let _ = writeln!(out, "== selected tests ({}) ==", generation.tests.len());
+    for t in &generation.tests {
+        let _ = writeln!(
+            out,
+            "{} -> config {} ({}) params [{}] s_dict {} detected {}",
+            t.fault.name(),
+            t.config_id,
+            t.config_name,
+            params_str(&t.params),
+            full_num(t.sensitivity_at_dictionary),
+            t.detected_at_dictionary,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "== compaction order ({} from {}) ==",
+        compaction.tests.len(),
+        compaction.original_count
+    );
+    for (i, t) in compaction.tests.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "#{i}: config {} ({}) params [{}] covers [{}]",
+            t.config_id,
+            t.config_name,
+            params_str(&t.params),
+            t.covered_faults.join(", "),
+        );
+    }
+    let _ = writeln!(out, "== coverage {}/{} ==", coverage.detected(), coverage.total());
+    for f in &coverage.per_fault {
+        let _ = writeln!(
+            out,
+            "{}: best_test {} s {} detected {}",
+            f.fault,
+            f.best_test,
+            full_num(f.best_sensitivity),
+            f.detected,
+        );
+    }
+    out
+}
 
 /// A simple column-aligned text table with an optional markdown
 /// rendering; used by the benchmark harness to print the paper's tables.

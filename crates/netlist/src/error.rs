@@ -1,0 +1,105 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors of the SPICE-deck frontend.
+///
+/// The parser never panics and never loops: malformed input of any kind
+/// — including arbitrary byte soup — comes back as a
+/// [`NetlistError::Parse`] carrying the 1-based source line and column
+/// of the offending token (for continuation lines, the line number of
+/// the logical line's first physical line and the column within the
+/// joined text).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// The deck text is malformed.
+    Parse {
+        /// 1-based source line.
+        line: usize,
+        /// 1-based column within the (joined) logical line.
+        col: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The deck parsed but cannot be lowered into a circuit (duplicate
+    /// device names after flattening, invalid element values, missing
+    /// models, …).
+    Netlist {
+        /// 1-based source line of the offending card.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A circuit cannot be written as a deck (device or node names the
+    /// card format cannot carry).
+    Unrepresentable {
+        /// What cannot be expressed.
+        reason: String,
+    },
+    /// Reading a deck or configuration file failed.
+    Io {
+        /// The offending path.
+        path: String,
+        /// The underlying error.
+        reason: String,
+    },
+    /// Loading or interpreting the paired configuration descriptions
+    /// failed.
+    Config {
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl NetlistError {
+    /// Convenience constructor for parse errors.
+    pub(crate) fn parse(line: usize, col: usize, reason: impl Into<String>) -> Self {
+        NetlistError::Parse { line, col, reason: reason.into() }
+    }
+
+    /// Convenience constructor for lowering errors.
+    pub(crate) fn netlist(line: usize, reason: impl Into<String>) -> Self {
+        NetlistError::Netlist { line, reason: reason.into() }
+    }
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::Parse { line, col, reason } => {
+                write!(f, "parse error at line {line}, column {col}: {reason}")
+            }
+            NetlistError::Netlist { line, reason } => {
+                write!(f, "netlist error at line {line}: {reason}")
+            }
+            NetlistError::Unrepresentable { reason } => {
+                write!(f, "circuit not representable as a deck: {reason}")
+            }
+            NetlistError::Io { path, reason } => write!(f, "cannot read {path}: {reason}"),
+            NetlistError::Config { reason } => write!(f, "configuration error: {reason}"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_location() {
+        let e = NetlistError::parse(3, 7, "bad token");
+        let s = e.to_string();
+        assert!(s.contains("line 3"));
+        assert!(s.contains("column 7"));
+        assert!(s.contains("bad token"));
+        assert!(NetlistError::netlist(2, "x").to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

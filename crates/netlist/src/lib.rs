@@ -1,0 +1,94 @@
+//! `castg-netlist` — the SPICE-deck frontend for `castg`.
+//!
+//! Every other crate in this workspace consumes a
+//! [`castg_spice::Circuit`] built in Rust; this crate lets a circuit
+//! arrive as a **SPICE deck** instead, so the paper's
+//! generate → compact → evaluate pipeline can be pointed at a macro it
+//! was never compiled with:
+//!
+//! * [`parse_deck`] — deck text → lowered [`Circuit`]. Device cards
+//!   `R`/`C`/`L`/`V`/`I`/`M` (Level-1 models via `.model` cards, `W=`/
+//!   `L=` instance geometry) plus `E` (VCVS), `.subckt`/`.ends` with
+//!   `X` instantiation (flattened, internals prefixed
+//!   `<instance>.<name>`), scale suffixes (`10k`, `2.5MEG`, `1.5pF`),
+//!   line continuations (`+`), comments (`*` lines, `;`/` $`
+//!   trailers), `.title`, `.end`, and source values `DC`, `SIN`,
+//!   `PULSE`, `PWL` and the `STEP` extension mirroring the paper's
+//!   ramped step template. Net, model and subcircuit names are
+//!   case-insensitive (SPICE rules; the first spelling of a net is
+//!   kept as its canonical name). Errors never panic and carry
+//!   line/column.
+//! * [`write_deck`] — [`Circuit`] → deck text, exact round-trip
+//!   (`parse(write(c)) == c`, bit for bit) via the `.nodeorder`
+//!   extension card; this is how the committed deck fixtures are
+//!   regenerated from the hand-built reference macros.
+//! * [`NetlistMacro`] — a parsed deck + a directory of textual
+//!   configuration descriptions ([`castg_core::DescribedConfig`]) + a
+//!   topology-derived fault dictionary
+//!   ([`castg_faults::derive_fault_dictionary`]), implementing
+//!   [`castg_core::AnalogMacro`]. Parsed macros share one compiled
+//!   stamp plan across the whole campaign, so they evaluate at the
+//!   same faults/sec as compiled ones.
+//!
+//! # Deck-to-report quickstart
+//!
+//! ```
+//! use castg_core::{compact, evaluate_test_set, test_instances_from_compaction,
+//!                  AnalogMacro, CompactionOptions, Generator, NominalCache};
+//! use castg_netlist::NetlistMacro;
+//!
+//! // Any macro netlist — here a resistor divider with one output.
+//! let deck = "\
+//! .title R-divider
+//! V1 vin 0 DC 5
+//! R1 vin mid 1k
+//! R2 mid out 1k
+//! R3 out 0 2k
+//! ";
+//! let mac = NetlistMacro::from_deck_text("divider", deck)?;
+//!
+//! // Configurations normally come from description files
+//! // (`NetlistMacro::from_files(deck, configs_dir, options)`); build
+//! // one inline here.
+//! let cfg = castg_core::DescribedConfig::new(1, castg_core::ConfigDescription::parse(
+//!     "macro type: R-divider\n\
+//!      test configuration: DC output\n\
+//!      control vin: dc(lev)\n\
+//!      observe out: dc()\n\
+//!      return: dV(out)\n\
+//!      parameter lev: 1 .. 8\n\
+//!      variable box_rel: 0.05\n\
+//!      variable box_gain: 0.5\n\
+//!      variable box_floor: 1e-3\n\
+//!      seed lev: 5\n",
+//! )?)?;
+//! let mac = mac.with_configurations(vec![std::sync::Arc::new(cfg)]);
+//!
+//! // The exact pipeline the paper runs on its hand-coded macro:
+//! let cache = NominalCache::new();
+//! let dict = mac.fault_dictionary();
+//! let generation = Generator::new(&mac, &cache).generate(&dict);
+//! let compaction = compact(&mac, &cache, &generation, &CompactionOptions::default())?;
+//! let tests = test_instances_from_compaction(&mac, &compaction)?;
+//! let coverage = evaluate_test_set(&mac, &cache, &tests, &dict)?;
+//! assert!(coverage.detected() > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! The `castg` CLI wraps exactly this flow:
+//! `castg generate <deck.sp> --configs <dir>`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod macro_def;
+mod number;
+mod parser;
+mod writer;
+
+pub use error::NetlistError;
+pub use macro_def::{NetlistMacro, NetlistMacroOptions};
+pub use number::parse_number;
+pub use parser::{parse_deck, Deck};
+pub use writer::write_deck;

@@ -1,0 +1,164 @@
+//! SPICE number literals: a float with an optional scale suffix and an
+//! optional trailing unit (`10k`, `2.5MEG`, `1.5pF`, `-30uA`, `4.7e3`).
+
+/// Parses a SPICE number token. Returns `None` when the token does not
+/// start with a number or carries a non-alphabetic trailer.
+///
+/// Scale suffixes (case-insensitive): `t`=1e12, `g`=1e9, `meg`=1e6,
+/// `k`=1e3, `m`=1e-3, `mil`=25.4e-6, `u`=1e-6, `n`=1e-9, `p`=1e-12,
+/// `f`=1e-15. Any alphabetic characters after the suffix are units and
+/// are ignored (`10kOhm` = 1e4, `5V` = 5).
+pub fn parse_number(token: &str) -> Option<f64> {
+    let t = token.trim();
+    if t.is_empty() {
+        return None;
+    }
+    // Fast path: a plain Rust float literal (also covers `1e-5`, whose
+    // `e` the suffix scanner must not treat as a unit).
+    if let Ok(v) = t.parse::<f64>() {
+        return if v.is_finite() { Some(v) } else { None };
+    }
+
+    let bytes = t.as_bytes();
+    let mut end = 0usize;
+    while end < bytes.len() {
+        let c = bytes[end];
+        let ok = c.is_ascii_digit()
+            || c == b'.'
+            || ((c == b'+' || c == b'-')
+                && (end == 0 || bytes[end - 1] == b'e' || bytes[end - 1] == b'E'))
+            || ((c == b'e' || c == b'E') && end > 0 && {
+                // An exponent only when something numeric can follow.
+                match bytes.get(end + 1) {
+                    Some(d) if d.is_ascii_digit() => true,
+                    Some(b'+') | Some(b'-') => {
+                        matches!(bytes.get(end + 2), Some(d) if d.is_ascii_digit())
+                    }
+                    _ => false,
+                }
+            });
+        if !ok {
+            break;
+        }
+        end += 1;
+    }
+    if end == 0 {
+        return None;
+    }
+    let value: f64 = t[..end].parse().ok()?;
+    if !value.is_finite() {
+        return None;
+    }
+    let suffix = t[end..].to_ascii_lowercase();
+    if suffix.is_empty() {
+        return Some(value);
+    }
+    if !suffix.chars().all(|c| c.is_ascii_alphabetic()) {
+        return None;
+    }
+    // Power-of-ten scales are applied by splicing the exponent into the
+    // literal and re-parsing, so `20u` yields exactly the f64 nearest
+    // 2e-5 (a multiply by the inexact 1e-6 constant would be one ulp
+    // off). `mil` is not a power of ten and multiplies.
+    let exp: Option<i32> = if suffix.starts_with("meg") {
+        Some(6)
+    } else if suffix.starts_with("mil") {
+        return Some(value * 25.4e-6);
+    } else if suffix.starts_with('t') {
+        Some(12)
+    } else if suffix.starts_with('g') {
+        Some(9)
+    } else if suffix.starts_with('k') {
+        Some(3)
+    } else if suffix.starts_with('m') {
+        Some(-3)
+    } else if suffix.starts_with('u') {
+        Some(-6)
+    } else if suffix.starts_with('n') {
+        Some(-9)
+    } else if suffix.starts_with('p') {
+        Some(-12)
+    } else if suffix.starts_with('f') {
+        Some(-15)
+    } else {
+        // No scale — the whole trailer is a unit.
+        None
+    };
+    match exp {
+        None => Some(value),
+        Some(e) => {
+            let mantissa = &t[..end];
+            if !mantissa.contains(['e', 'E']) {
+                if let Ok(v) = format!("{mantissa}e{e}").parse::<f64>() {
+                    if v.is_finite() {
+                        return Some(v);
+                    }
+                }
+            }
+            let v = value * 10f64.powi(e);
+            if v.is_finite() {
+                Some(v)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_and_scientific() {
+        assert_eq!(parse_number("5"), Some(5.0));
+        assert_eq!(parse_number("-2.5"), Some(-2.5));
+        assert_eq!(parse_number("4.7e3"), Some(4700.0));
+        assert_eq!(parse_number("1e-5"), Some(1e-5));
+        assert_eq!(parse_number("1E+2"), Some(100.0));
+    }
+
+    #[test]
+    fn scale_suffixes() {
+        assert_eq!(parse_number("10k"), Some(10e3));
+        assert_eq!(parse_number("2.5MEG"), Some(2.5e6));
+        assert_eq!(parse_number("1m"), Some(1e-3));
+        assert_eq!(parse_number("1mil"), Some(25.4e-6));
+        assert_eq!(parse_number("20u"), Some(20e-6));
+        assert_eq!(parse_number("3n"), Some(3e-9));
+        assert_eq!(parse_number("4p"), Some(4e-12));
+        assert_eq!(parse_number("1.5f"), Some(1.5e-15));
+        assert_eq!(parse_number("2T"), Some(2e12));
+        assert_eq!(parse_number("7G"), Some(7e9));
+    }
+
+    #[test]
+    fn units_are_ignored() {
+        assert_eq!(parse_number("10kOhm"), Some(10e3));
+        assert_eq!(parse_number("5V"), Some(5.0));
+        assert_eq!(parse_number("-30uA"), Some(-30e-6));
+        assert_eq!(parse_number("1.5pF"), Some(1.5e-12));
+    }
+
+    #[test]
+    fn rejects_non_numbers() {
+        assert_eq!(parse_number(""), None);
+        assert_eq!(parse_number("abc"), None);
+        assert_eq!(parse_number("k10"), None);
+        assert_eq!(parse_number("1.2.3"), None);
+        assert_eq!(parse_number("10k!"), None);
+        assert_eq!(parse_number("nan"), None);
+        assert_eq!(parse_number("inf"), None);
+        assert_eq!(parse_number("1e"), Some(1.0)); // trailing unit `e`
+    }
+
+    #[test]
+    fn debug_float_output_round_trips() {
+        // The deck writer prints values with `{:?}`; the parser must
+        // read them back bit-exactly.
+        for v in [5.0f64, 39e3, 1.5e-12, 25.4e-6, -0.9, 2.3e-3, 1.0 / 3.0] {
+            let s = format!("{v:?}");
+            assert_eq!(parse_number(&s).map(f64::to_bits), Some(v.to_bits()), "{s}");
+        }
+    }
+}

@@ -1,0 +1,1056 @@
+//! SPICE-deck parsing and lowering into [`castg_spice::Circuit`].
+//!
+//! The accepted dialect (documented in the crate docs) covers classic
+//! device cards `R`/`C`/`L`/`V`/`I`/`M`/`E`, subcircuits
+//! (`.subckt`/`.ends` with `X` instantiation, flattened with
+//! `<instance>.<name>` prefixes), `.model` cards with Level-1
+//! parameters, `.title`, `.end`, scale suffixes, line continuations
+//! (`+`) and comments (`*` lines, `;` and ` $` trailers). One `castg`
+//! extension: `.nodeorder`, emitted by the deck writer, pre-interns
+//! nodes so a written-and-reparsed circuit reproduces the original node
+//! table exactly.
+
+use std::collections::HashMap;
+
+use castg_spice::{Circuit, MosParams, MosPolarity, Waveform};
+
+use crate::number::parse_number;
+use crate::NetlistError;
+
+/// How deep `X` instantiation may nest before the parser assumes a
+/// recursive subcircuit definition and bails out.
+const MAX_SUBCKT_DEPTH: usize = 32;
+
+/// A parsed deck: the lowered circuit plus deck-level metadata.
+#[derive(Debug, Clone)]
+pub struct Deck {
+    /// `.title` text, if present.
+    pub title: Option<String>,
+    circuit: Circuit,
+}
+
+impl Deck {
+    /// The lowered circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Consumes the deck, returning the circuit.
+    pub fn into_circuit(self) -> Circuit {
+        self.circuit
+    }
+}
+
+/// One logical input line (continuations joined), tagged with the
+/// source line number of its first physical line.
+struct Line {
+    no: usize,
+    text: String,
+}
+
+/// One token with its 1-based column in the logical line.
+struct Tok<'a> {
+    text: &'a str,
+    col: usize,
+}
+
+/// Removes `;` and ` $` trailers.
+fn strip_comment(raw: &str) -> &str {
+    let upto = raw.find(';').unwrap_or(raw.len());
+    let mut cut = upto;
+    // `$` opens a comment at line start or after whitespace.
+    for (i, c) in raw[..upto].char_indices() {
+        if c == '$' && (i == 0 || raw[..i].ends_with(char::is_whitespace)) {
+            cut = i;
+            break;
+        }
+    }
+    &raw[..cut]
+}
+
+/// Joins continuation lines and drops comments/blanks.
+fn logical_lines(text: &str) -> Result<Vec<Line>, NetlistError> {
+    let mut out: Vec<Line> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let no = i + 1;
+        let stripped = strip_comment(raw);
+        let trimmed = stripped.trim();
+        if trimmed.is_empty() || trimmed.starts_with('*') {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('+') {
+            match out.last_mut() {
+                Some(prev) => {
+                    prev.text.push(' ');
+                    prev.text.push_str(rest.trim());
+                }
+                None => {
+                    return Err(NetlistError::parse(
+                        no,
+                        1,
+                        "continuation line with nothing to continue",
+                    ))
+                }
+            }
+            continue;
+        }
+        out.push(Line { no, text: trimmed.to_string() });
+    }
+    Ok(out)
+}
+
+/// Splits a logical line into tokens. Whitespace and `,` separate;
+/// `(`, `)` and `=` are standalone tokens.
+fn tokenize(line: &str) -> Vec<Tok<'_>> {
+    fn flush<'a>(toks: &mut Vec<Tok<'a>>, line: &'a str, start: &mut Option<usize>, end: usize) {
+        if let Some(s) = start.take() {
+            toks.push(Tok { text: &line[s..end], col: s + 1 });
+        }
+    }
+    let mut toks = Vec::new();
+    let mut start: Option<usize> = None;
+    for (i, c) in line.char_indices() {
+        if c.is_whitespace() || c == ',' {
+            flush(&mut toks, line, &mut start, i);
+        } else if c == '(' || c == ')' || c == '=' {
+            flush(&mut toks, line, &mut start, i);
+            toks.push(Tok { text: &line[i..i + c.len_utf8()], col: i + 1 });
+        } else if start.is_none() {
+            start = Some(i);
+        }
+    }
+    flush(&mut toks, line, &mut start, line.len());
+    toks
+}
+
+/// A Level-1 `.model` card: polarity plus whatever parameters the card
+/// sets (unset ones fall back to the process defaults).
+#[derive(Debug, Clone, Default)]
+struct MosModel {
+    pmos: bool,
+    params: HashMap<String, f64>,
+}
+
+/// A `.subckt` definition.
+struct Subckt<'a> {
+    ports: Vec<String>,
+    lines: Vec<&'a Line>,
+}
+
+struct LowerCtx<'a> {
+    models: HashMap<String, (MosModel, usize)>,
+    subckts: HashMap<String, Subckt<'a>>,
+}
+
+/// Parses a deck into a lowered circuit.
+///
+/// # Errors
+///
+/// [`NetlistError::Parse`] (with line and column) for malformed text,
+/// [`NetlistError::Netlist`] (with line) for cards that parse but do
+/// not lower (duplicate names, missing models, invalid element values).
+pub fn parse_deck(text: &str) -> Result<Deck, NetlistError> {
+    let lines = logical_lines(text)?;
+
+    // Pass 1: structure. Model cards are global; subcircuit bodies are
+    // collected for flattening; everything else is a top-level card.
+    let mut ctx = LowerCtx { models: HashMap::new(), subckts: HashMap::new() };
+    let mut top: Vec<&Line> = Vec::new();
+    let mut title: Option<String> = None;
+    let mut open_sub: Option<(String, Subckt<'_>, usize)> = None;
+    for line in &lines {
+        let toks = tokenize(&line.text);
+        let Some(first) = toks.first() else { continue };
+        let head = first.text.to_ascii_lowercase();
+        if !head.starts_with('.') {
+            match &mut open_sub {
+                Some((_, sub, _)) => sub.lines.push(line),
+                None => top.push(line),
+            }
+            continue;
+        }
+        // Dot-cards are deck-global; inside a .subckt body only device
+        // and X cards belong. Rejecting the rest loudly beats silently
+        // hoisting a subckt-local .model (locally scoped in some SPICE
+        // dialects) to global scope.
+        if open_sub.is_some() && head != ".ends" {
+            return Err(NetlistError::parse(
+                line.no,
+                first.col,
+                format!("`{head}` is not supported inside a .subckt body"),
+            ));
+        }
+        match head.as_str() {
+            ".title" => {
+                let rest = line.text[first.text.len()..].trim();
+                title = Some(rest.to_string());
+            }
+            ".end" => break,
+            ".subckt" => {
+                // Nested definitions are rejected by the in-body guard
+                // above.
+                if toks.len() < 2 {
+                    return Err(NetlistError::parse(line.no, first.col, ".subckt needs a name"));
+                }
+                let name = toks[1].text.to_ascii_lowercase();
+                let ports = toks[2..].iter().map(|t| t.text.to_ascii_lowercase()).collect();
+                open_sub = Some((name, Subckt { ports, lines: Vec::new() }, line.no));
+            }
+            ".ends" => match open_sub.take() {
+                Some((name, sub, _)) => {
+                    if let Some(given) = toks.get(1) {
+                        if !given.text.eq_ignore_ascii_case(&name) {
+                            return Err(NetlistError::parse(
+                                line.no,
+                                given.col,
+                                format!(".ends `{}` does not match .subckt `{name}`", given.text),
+                            ));
+                        }
+                    }
+                    if ctx.subckts.insert(name.clone(), sub).is_some() {
+                        return Err(NetlistError::parse(
+                            line.no,
+                            first.col,
+                            format!("duplicate .subckt `{name}`"),
+                        ));
+                    }
+                }
+                None => {
+                    return Err(NetlistError::parse(line.no, first.col, ".ends without .subckt"))
+                }
+            },
+            ".model" => {
+                let (name, model) = parse_model_card(&toks, line.no)?;
+                if ctx.models.insert(name.clone(), (model, line.no)).is_some() {
+                    return Err(NetlistError::parse(
+                        line.no,
+                        first.col,
+                        format!("duplicate .model `{name}`"),
+                    ));
+                }
+            }
+            ".nodeorder" => top.push(line),
+            other => {
+                return Err(NetlistError::parse(
+                    line.no,
+                    first.col,
+                    format!("unknown directive `{other}`"),
+                ))
+            }
+        }
+    }
+    if let Some((name, _, line_no)) = open_sub {
+        return Err(NetlistError::parse(line_no, 1, format!(".subckt `{name}` never closed")));
+    }
+
+    // Pass 2: lower top-level cards in order, flattening X instances.
+    let mut lowerer = Lowerer { circuit: Circuit::new(), node_case: HashMap::new() };
+    let no_ports = HashMap::new();
+    for line in top {
+        lower_card(&mut lowerer, line, "", &no_ports, 0, &ctx)?;
+    }
+    Ok(Deck { title, circuit: lowerer.circuit })
+}
+
+/// Lowering state: the circuit under construction plus the
+/// case-canonicalization table for net names (SPICE identifiers are
+/// case-insensitive; the first spelling of a net wins and later
+/// spellings alias to it, so `VDD` and `vdd` are one net).
+struct Lowerer {
+    circuit: Circuit,
+    /// lowercase net name → the canonical (first-seen) spelling.
+    node_case: HashMap<String, String>,
+}
+
+impl Lowerer {
+    /// Canonicalizes a resolved (port-mapped, prefixed) net name.
+    fn canonical(&mut self, name: String) -> String {
+        match self.node_case.entry(name.to_ascii_lowercase()) {
+            std::collections::hash_map::Entry::Occupied(e) => e.get().clone(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(name.clone());
+                name
+            }
+        }
+    }
+
+    /// Interns a net by its resolved name, case-insensitively.
+    fn node(&mut self, name: String) -> castg_spice::NodeId {
+        if name == "0" {
+            return Circuit::GROUND;
+        }
+        let canonical = self.canonical(name);
+        self.circuit.node(&canonical)
+    }
+}
+
+/// Parses `.model name nmos|pmos (k=v ...)` (parens optional).
+fn parse_model_card(toks: &[Tok<'_>], line_no: usize) -> Result<(String, MosModel), NetlistError> {
+    if toks.len() < 3 {
+        return Err(NetlistError::parse(
+            line_no,
+            toks.first().map_or(1, |t| t.col),
+            ".model needs a name and a type",
+        ));
+    }
+    let name = toks[1].text.to_ascii_lowercase();
+    let pmos = match toks[2].text.to_ascii_lowercase().as_str() {
+        "nmos" => false,
+        "pmos" => true,
+        other => {
+            return Err(NetlistError::parse(
+                line_no,
+                toks[2].col,
+                format!("unsupported model type `{other}` (need nmos or pmos)"),
+            ))
+        }
+    };
+    let mut model = MosModel { pmos, params: HashMap::new() };
+    for (key, value) in parse_assignments(&toks[3..], line_no)? {
+        let k = key.to_ascii_lowercase();
+        match k.as_str() {
+            "vto" | "vt0" | "kp" | "lambda" | "gamma" | "phi" | "cox" | "cgso" | "w" | "l" => {
+                let canonical = if k == "vt0" { "vto".to_string() } else { k };
+                model.params.insert(canonical, value);
+            }
+            other => {
+                return Err(NetlistError::parse(
+                    line_no,
+                    1,
+                    format!("unknown model parameter `{other}`"),
+                ))
+            }
+        }
+    }
+    Ok((name, model))
+}
+
+/// Parses a `k=v k=v …` tail (optionally wrapped in parentheses).
+fn parse_assignments(
+    toks: &[Tok<'_>],
+    line_no: usize,
+) -> Result<Vec<(String, f64)>, NetlistError> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut depth = 0usize;
+    while i < toks.len() {
+        match toks[i].text {
+            "(" => {
+                depth += 1;
+                i += 1;
+            }
+            ")" => {
+                if depth == 0 {
+                    return Err(NetlistError::parse(line_no, toks[i].col, "unbalanced `)`"));
+                }
+                depth -= 1;
+                i += 1;
+            }
+            key => {
+                if toks.get(i + 1).map(|t| t.text) != Some("=") {
+                    return Err(NetlistError::parse(
+                        line_no,
+                        toks[i].col,
+                        format!("expected `{key} = value`"),
+                    ));
+                }
+                let vt = toks.get(i + 2).ok_or_else(|| {
+                    NetlistError::parse(line_no, toks[i].col, format!("`{key}=` without a value"))
+                })?;
+                let value = parse_number(vt.text).ok_or_else(|| {
+                    NetlistError::parse(line_no, vt.col, format!("bad number `{}`", vt.text))
+                })?;
+                out.push((key.to_string(), value));
+                i += 3;
+            }
+        }
+    }
+    if depth != 0 {
+        return Err(NetlistError::parse(line_no, 1, "unbalanced `(`"));
+    }
+    Ok(out)
+}
+
+/// Resolves a node token to its flattened node *name*: ground aliases
+/// pass through, subcircuit ports map to the caller's nets, internal
+/// nets gain the instance prefix.
+fn resolve_node_name(tok: &str, prefix: &str, ports: &HashMap<String, String>) -> String {
+    if tok == "0" || tok.eq_ignore_ascii_case("gnd") {
+        return "0".to_string();
+    }
+    if let Some(outer) = ports.get(&tok.to_ascii_lowercase()) {
+        return outer.clone();
+    }
+    if prefix.is_empty() {
+        tok.to_string()
+    } else {
+        format!("{prefix}{tok}")
+    }
+}
+
+/// Lowers one card (device or `.nodeorder` / `X` instantiation) into
+/// the circuit.
+fn lower_card(
+    lowerer: &mut Lowerer,
+    line: &Line,
+    prefix: &str,
+    ports: &HashMap<String, String>,
+    depth: usize,
+    ctx: &LowerCtx<'_>,
+) -> Result<(), NetlistError> {
+    let toks = tokenize(&line.text);
+    let Some(first) = toks.first() else { return Ok(()) };
+
+    if first.text.eq_ignore_ascii_case(".nodeorder") {
+        for t in &toks[1..] {
+            let name = resolve_node_name(t.text, prefix, ports);
+            lowerer.node(name);
+        }
+        return Ok(());
+    }
+
+    let name_tok = first;
+    let kind = name_tok
+        .text
+        .chars()
+        .next()
+        .map(|c| c.to_ascii_lowercase())
+        .filter(char::is_ascii_alphabetic)
+        .ok_or_else(|| {
+            NetlistError::parse(
+                line.no,
+                name_tok.col,
+                format!("expected a device card, got `{}`", name_tok.text),
+            )
+        })?;
+    let dev_name = format!("{prefix}{}", name_tok.text);
+
+    // Helpers over the token tail.
+    let node_tok = |i: usize, what: &str| -> Result<&Tok<'_>, NetlistError> {
+        toks.get(i).ok_or_else(|| {
+            NetlistError::parse(
+                line.no,
+                name_tok.col,
+                format!("`{}` is missing its {what} node", name_tok.text),
+            )
+        })
+    };
+    let num_tok = |i: usize, what: &str| -> Result<f64, NetlistError> {
+        let t = toks.get(i).ok_or_else(|| {
+            NetlistError::parse(
+                line.no,
+                name_tok.col,
+                format!("`{}` is missing its {what}", name_tok.text),
+            )
+        })?;
+        parse_number(t.text).ok_or_else(|| {
+            NetlistError::parse(line.no, t.col, format!("bad number `{}`", t.text))
+        })
+    };
+    let no_extra = |i: usize| -> Result<(), NetlistError> {
+        match toks.get(i) {
+            Some(t) => Err(NetlistError::parse(
+                line.no,
+                t.col,
+                format!("unexpected trailing token `{}`", t.text),
+            )),
+            None => Ok(()),
+        }
+    };
+    let node = |lowerer: &mut Lowerer, t: &Tok<'_>| {
+        let name = resolve_node_name(t.text, prefix, ports);
+        lowerer.node(name)
+    };
+    let lowered = |e: castg_spice::SpiceError| NetlistError::netlist(line.no, e.to_string());
+
+    match kind {
+        'r' | 'c' | 'l' => {
+            let (ta, tb) = (node_tok(1, "first")?, node_tok(2, "second")?);
+            let value = num_tok(3, "value")?;
+            no_extra(4)?;
+            let a = node(lowerer, ta);
+            let b = node(lowerer, tb);
+            match kind {
+                'r' => lowerer.circuit.add_resistor(&dev_name, a, b, value).map_err(lowered)?,
+                'c' => lowerer.circuit.add_capacitor(&dev_name, a, b, value).map_err(lowered)?,
+                _ => lowerer.circuit.add_inductor(&dev_name, a, b, value).map_err(lowered)?,
+            }
+        }
+        'v' | 'i' => {
+            let (tp, tn) = (node_tok(1, "positive")?, node_tok(2, "negative")?);
+            let wave = parse_waveform(&toks[3..], line.no, &dev_name)?;
+            let p = node(lowerer, tp);
+            let n = node(lowerer, tn);
+            if kind == 'v' {
+                lowerer.circuit.add_vsource(&dev_name, p, n, wave).map_err(lowered)?;
+            } else {
+                // SPICE convention: positive current flows from the
+                // first node through the source into the second.
+                lowerer.circuit.add_isource(&dev_name, p, n, wave).map_err(lowered)?;
+            }
+        }
+        'm' => {
+            let (td, tg, ts, tb) = (
+                node_tok(1, "drain")?,
+                node_tok(2, "gate")?,
+                node_tok(3, "source")?,
+                node_tok(4, "bulk")?,
+            );
+            let model_tok = toks.get(5).ok_or_else(|| {
+                NetlistError::parse(
+                    line.no,
+                    name_tok.col,
+                    format!("`{}` is missing its model name", name_tok.text),
+                )
+            })?;
+            let (model, _) = ctx
+                .models
+                .get(&model_tok.text.to_ascii_lowercase())
+                .ok_or_else(|| {
+                    NetlistError::netlist(
+                        line.no,
+                        format!("unknown model `{}` (no matching .model card)", model_tok.text),
+                    )
+                })?;
+            let mut overrides: HashMap<String, f64> = HashMap::new();
+            for (k, v) in parse_assignments(&toks[6..], line.no)? {
+                let k = k.to_ascii_lowercase();
+                if k != "w" && k != "l" {
+                    return Err(NetlistError::parse(
+                        line.no,
+                        name_tok.col,
+                        format!("unknown instance parameter `{k}` (only W and L)"),
+                    ));
+                }
+                overrides.insert(k, v);
+            }
+            let geometry = |key: &str| -> Result<f64, NetlistError> {
+                overrides
+                    .get(key)
+                    .or_else(|| model.params.get(key))
+                    .copied()
+                    .ok_or_else(|| {
+                        NetlistError::netlist(
+                            line.no,
+                            format!(
+                                "`{}` has no {} (set {}= on the instance or the model)",
+                                name_tok.text,
+                                key.to_ascii_uppercase(),
+                                key.to_ascii_uppercase()
+                            ),
+                        )
+                    })
+            };
+            let (w, l) = (geometry("w")?, geometry("l")?);
+            let (polarity, mut params) = if model.pmos {
+                (MosPolarity::Pmos, MosParams::pmos_default(w, l))
+            } else {
+                (MosPolarity::Nmos, MosParams::nmos_default(w, l))
+            };
+            for (k, v) in &model.params {
+                match k.as_str() {
+                    "vto" => params.vt0 = *v,
+                    "kp" => params.kp = *v,
+                    "lambda" => params.lambda = *v,
+                    "gamma" => params.gamma = *v,
+                    "phi" => params.phi = *v,
+                    "cox" => params.cox = *v,
+                    "cgso" => params.cgso = *v,
+                    // Geometry already applied (instance overrides win).
+                    "w" | "l" => {}
+                    _ => unreachable!("model card parser admits only known keys"),
+                }
+            }
+            let (d, g, s, b) =
+                (node(lowerer, td), node(lowerer, tg), node(lowerer, ts), node(lowerer, tb));
+            lowerer.circuit.add_mosfet(&dev_name, d, g, s, b, polarity, params).map_err(lowered)?;
+        }
+        'e' => {
+            let (tp, tn, tcp, tcn) = (
+                node_tok(1, "positive")?,
+                node_tok(2, "negative")?,
+                node_tok(3, "positive controlling")?,
+                node_tok(4, "negative controlling")?,
+            );
+            let gain = num_tok(5, "gain")?;
+            no_extra(6)?;
+            let (p, n) = (node(lowerer, tp), node(lowerer, tn));
+            let (cp, cn) = (node(lowerer, tcp), node(lowerer, tcn));
+            lowerer.circuit.add_vcvs(&dev_name, p, n, cp, cn, gain).map_err(lowered)?;
+        }
+        'x' => {
+            if depth >= MAX_SUBCKT_DEPTH {
+                return Err(NetlistError::netlist(
+                    line.no,
+                    format!(
+                        "subcircuit nesting exceeds {MAX_SUBCKT_DEPTH} levels \
+                         (recursive definition?)"
+                    ),
+                ));
+            }
+            let sub_tok = toks.last().filter(|t| t.col != name_tok.col).ok_or_else(|| {
+                NetlistError::parse(
+                    line.no,
+                    name_tok.col,
+                    format!("`{}` needs nodes and a subcircuit name", name_tok.text),
+                )
+            })?;
+            let sub = ctx.subckts.get(&sub_tok.text.to_ascii_lowercase()).ok_or_else(|| {
+                NetlistError::netlist(
+                    line.no,
+                    format!("unknown subcircuit `{}` (no matching .subckt)", sub_tok.text),
+                )
+            })?;
+            let args = &toks[1..toks.len() - 1];
+            if args.len() != sub.ports.len() {
+                return Err(NetlistError::netlist(
+                    line.no,
+                    format!(
+                        "`{}` connects {} nodes but `{}` declares {} ports",
+                        name_tok.text,
+                        args.len(),
+                        sub_tok.text,
+                        sub.ports.len()
+                    ),
+                ));
+            }
+            let mut inner_ports: HashMap<String, String> = HashMap::with_capacity(args.len());
+            for (port, arg) in sub.ports.iter().zip(args) {
+                inner_ports.insert(port.clone(), resolve_node_name(arg.text, prefix, ports));
+            }
+            let inner_prefix = format!("{dev_name}.");
+            for inner in &sub.lines {
+                lower_card(lowerer, inner, &inner_prefix, &inner_ports, depth + 1, ctx)?;
+            }
+        }
+        other => {
+            return Err(NetlistError::parse(
+                line.no,
+                name_tok.col,
+                format!("unknown device card `{other}` (supported: R C L V I M E X)"),
+            ))
+        }
+    }
+    Ok(())
+}
+
+/// Parses an independent-source value: `DC v`, a bare number, or a
+/// functional form `SIN(..)`, `PULSE(..)`, `PWL(..)`, `STEP(..)`.
+fn parse_waveform(
+    toks: &[Tok<'_>],
+    line_no: usize,
+    dev: &str,
+) -> Result<Waveform, NetlistError> {
+    let Some(first) = toks.first() else {
+        return Err(NetlistError::parse(line_no, 1, format!("`{dev}` is missing its value")));
+    };
+    let head = first.text.to_ascii_lowercase();
+
+    // Bare number → DC.
+    if let Some(v) = parse_number(first.text) {
+        return match toks.get(1) {
+            Some(t) => Err(NetlistError::parse(
+                line_no,
+                t.col,
+                format!("unexpected trailing token `{}`", t.text),
+            )),
+            None => Ok(Waveform::dc(v)),
+        };
+    }
+
+    if head == "dc" {
+        let t = toks.get(1).ok_or_else(|| {
+            NetlistError::parse(line_no, first.col, format!("`{dev}`: DC needs a value"))
+        })?;
+        let v = parse_number(t.text).ok_or_else(|| {
+            NetlistError::parse(line_no, t.col, format!("bad number `{}`", t.text))
+        })?;
+        return match toks.get(2) {
+            Some(t) => Err(NetlistError::parse(
+                line_no,
+                t.col,
+                format!("unexpected trailing token `{}`", t.text),
+            )),
+            None => Ok(Waveform::dc(v)),
+        };
+    }
+
+    // Functional forms: head ( numbers ).
+    let args = paren_numbers(&toks[1..], line_no, &head)?;
+    let arity = |lo: usize, hi: usize| -> Result<(), NetlistError> {
+        if args.len() < lo || args.len() > hi {
+            return Err(NetlistError::parse(
+                line_no,
+                first.col,
+                format!("`{head}` takes {lo}..={hi} arguments, got {}", args.len()),
+            ));
+        }
+        Ok(())
+    };
+    let get = |i: usize| args.get(i).copied().unwrap_or(0.0);
+    match head.as_str() {
+        "sin" | "sine" => {
+            // SIN(VO VA FREQ [TD [PHASE]]) — phase in radians; the
+            // classic THETA damping slot is not modeled.
+            arity(3, 5)?;
+            Ok(Waveform::Sine {
+                offset: get(0),
+                amplitude: get(1),
+                freq: get(2),
+                delay: get(3),
+                phase: get(4),
+            })
+        }
+        "pulse" => {
+            // PULSE(V1 V2 [TD [TR [TF [PW [PER]]]]]).
+            arity(2, 7)?;
+            Ok(Waveform::Pulse {
+                low: get(0),
+                high: get(1),
+                delay: get(2),
+                rise: get(3),
+                fall: get(4),
+                width: get(5),
+                period: get(6),
+            })
+        }
+        "pwl" => {
+            if args.len() < 2 || args.len() % 2 != 0 {
+                return Err(NetlistError::parse(
+                    line_no,
+                    first.col,
+                    format!("`pwl` needs an even number of values (t v …), got {}", args.len()),
+                ));
+            }
+            let points: Vec<(f64, f64)> =
+                args.chunks_exact(2).map(|p| (p[0], p[1])).collect();
+            if points.windows(2).any(|w| w[1].0 < w[0].0) {
+                return Err(NetlistError::parse(
+                    line_no,
+                    first.col,
+                    "`pwl` time points must be non-decreasing",
+                ));
+            }
+            Ok(Waveform::Pwl(points))
+        }
+        // castg extension mirroring the paper's ramped step template.
+        "step" => {
+            arity(2, 4)?;
+            Ok(Waveform::Step { base: get(0), elev: get(1), t_step: get(2), t_rise: get(3) })
+        }
+        other => Err(NetlistError::parse(
+            line_no,
+            first.col,
+            format!("unknown source value `{other}` (DC, SIN, PULSE, PWL, STEP)"),
+        )),
+    }
+}
+
+/// Consumes `( n n n )` and returns the numbers; everything must be
+/// inside one balanced pair of parentheses.
+fn paren_numbers(toks: &[Tok<'_>], line_no: usize, head: &str) -> Result<Vec<f64>, NetlistError> {
+    let mut it = toks.iter();
+    match it.next() {
+        Some(t) if t.text == "(" => {}
+        Some(t) => {
+            return Err(NetlistError::parse(
+                line_no,
+                t.col,
+                format!("expected `(` after `{head}`"),
+            ))
+        }
+        None => {
+            return Err(NetlistError::parse(line_no, 1, format!("expected `(` after `{head}`")))
+        }
+    }
+    let mut out = Vec::new();
+    for t in it {
+        match t.text {
+            ")" => {
+                return Ok(out);
+            }
+            other => {
+                let v = parse_number(other).ok_or_else(|| {
+                    NetlistError::parse(line_no, t.col, format!("bad number `{other}`"))
+                })?;
+                out.push(v);
+            }
+        }
+    }
+    Err(NetlistError::parse(line_no, 1, format!("`{head}(` never closed")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castg_spice::{DcAnalysis, DeviceKind};
+
+    #[test]
+    fn divider_deck_lowers_and_solves() {
+        let deck = parse_deck(
+            "* a divider\n\
+             .title tiny divider\n\
+             V1 vin 0 DC 6\n\
+             R1 vin mid 1k\n\
+             R2 mid 0 1k ; lower leg\n",
+        )
+        .unwrap();
+        assert_eq!(deck.title.as_deref(), Some("tiny divider"));
+        let c = deck.circuit();
+        assert_eq!(c.node_count(), 3);
+        let sol = DcAnalysis::new(c).solve().unwrap();
+        let mid = c.find_node("mid").unwrap();
+        assert!((sol.voltage(mid) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn continuations_and_suffixes() {
+        let deck = parse_deck(
+            "R1 a b\n\
+             + 10k\n\
+             C1 b 0 1.5pF\n\
+             L1 a b 2u\n",
+        )
+        .unwrap();
+        let c = deck.circuit();
+        match c.device("R1").unwrap().kind() {
+            DeviceKind::Resistor { ohms, .. } => assert_eq!(*ohms, 10e3),
+            k => panic!("{k:?}"),
+        }
+        match c.device("C1").unwrap().kind() {
+            DeviceKind::Capacitor { farads, .. } => assert_eq!(*farads, 1.5e-12),
+            k => panic!("{k:?}"),
+        }
+        match c.device("L1").unwrap().kind() {
+            DeviceKind::Inductor { henries, .. } => assert_eq!(*henries, 2e-6),
+            k => panic!("{k:?}"),
+        }
+    }
+
+    #[test]
+    fn waveform_forms() {
+        let deck = parse_deck(
+            "V1 a 0 5\n\
+             V2 b 0 DC -2.5\n\
+             V3 c 0 SIN(1 0.5 1k)\n\
+             V4 d 0 PULSE(0 1 1u 10n 10n 1u 2u)\n\
+             V5 e 0 PWL(0 0 1u 1 2u 1)\n\
+             I1 f 0 STEP(0 20u 0.5u 10n)\n",
+        )
+        .unwrap();
+        let c = deck.circuit();
+        let wave = |name: &str| match c.device(name).unwrap().kind() {
+            DeviceKind::Vsource { wave, .. } | DeviceKind::Isource { wave, .. } => wave.clone(),
+            k => panic!("{k:?}"),
+        };
+        assert_eq!(wave("V1"), Waveform::dc(5.0));
+        assert_eq!(wave("V2"), Waveform::dc(-2.5));
+        assert_eq!(wave("V3"), Waveform::sine(1.0, 0.5, 1e3));
+        assert_eq!(
+            wave("V4"),
+            Waveform::Pulse {
+                low: 0.0,
+                high: 1.0,
+                delay: 1e-6,
+                rise: 10e-9,
+                fall: 10e-9,
+                width: 1e-6,
+                period: 2e-6,
+            }
+        );
+        assert_eq!(wave("V5"), Waveform::Pwl(vec![(0.0, 0.0), (1e-6, 1.0), (2e-6, 1.0)]));
+        assert_eq!(wave("I1"), Waveform::step(0.0, 20e-6, 0.5e-6, 10e-9));
+    }
+
+    #[test]
+    fn mosfet_with_model_card() {
+        let deck = parse_deck(
+            ".model nch nmos (vto=0.8 kp=100u lambda=0.03 gamma=0.4 phi=0.7)\n\
+             VD d 0 3\n\
+             VG g 0 2\n\
+             M1 d g 0 0 nch W=10u L=1u\n",
+        )
+        .unwrap();
+        let c = deck.circuit();
+        match c.device("M1").unwrap().kind() {
+            DeviceKind::Mosfet { polarity, params, .. } => {
+                assert_eq!(*polarity, MosPolarity::Nmos);
+                assert_eq!(params.vt0, 0.8);
+                assert_eq!(params.kp, 100e-6);
+                assert_eq!(params.lambda, 0.03);
+                assert_eq!(params.w, 10e-6);
+                assert_eq!(params.l, 1e-6);
+                // Unset parameters fall back to process defaults.
+                assert_eq!(params.cox, MosParams::nmos_default(1.0, 1.0).cox);
+            }
+            k => panic!("{k:?}"),
+        }
+        let sol = DcAnalysis::new(c).solve().unwrap();
+        assert!(sol.source_current("VD").unwrap().abs() > 1e-6);
+    }
+
+    #[test]
+    fn subckt_flattening_prefixes_internals() {
+        let deck = parse_deck(
+            ".subckt pair top bot\n\
+             Rtop top m 1k\n\
+             Rbot m bot 1k\n\
+             .ends pair\n\
+             V1 in 0 4\n\
+             X1 in out pair\n\
+             X2 out 0 pair\n",
+        )
+        .unwrap();
+        let c = deck.circuit();
+        assert!(c.device("X1.Rtop").is_some());
+        assert!(c.device("X2.Rbot").is_some());
+        assert!(c.find_node("X1.m").is_some());
+        assert!(c.find_node("X2.m").is_some());
+        let sol = DcAnalysis::new(c).solve().unwrap();
+        let out = c.find_node("out").unwrap();
+        assert!((sol.voltage(out) - 2.0).abs() < 1e-6, "v(out) = {}", sol.voltage(out));
+    }
+
+    #[test]
+    fn nested_instantiation_flattens_recursively() {
+        let deck = parse_deck(
+            ".subckt leg a b\n\
+             R1 a b 2k\n\
+             .ends\n\
+             .subckt pair top bot\n\
+             Xup top mid leg\n\
+             Xdn mid bot leg\n\
+             .ends\n\
+             V1 in 0 8\n\
+             X1 in 0 pair\n",
+        )
+        .unwrap();
+        let c = deck.circuit();
+        assert!(c.device("X1.Xup.R1").is_some());
+        assert!(c.find_node("X1.mid").is_some());
+        let sol = DcAnalysis::new(c).solve().unwrap();
+        let mid = c.find_node("X1.mid").unwrap();
+        assert!((sol.voltage(mid) - 4.0).abs() < 1e-6);
+    }
+
+    /// Dot-cards inside a .subckt body are rejected loudly — a locally
+    /// scoped `.model` must not silently hoist to deck scope.
+    #[test]
+    fn dot_cards_inside_subckt_bodies_are_rejected() {
+        for card in [".model m nmos (vto=0.7)", ".title sneaky", ".nodeorder a b", ".subckt q a"] {
+            let text = format!(".subckt p a b\n{card}\nR1 a b 1k\n.ends\n");
+            let e = parse_deck(&text).unwrap_err();
+            assert!(
+                e.to_string().contains("inside a .subckt body"),
+                "{card}: {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn recursive_subckt_is_an_error_not_a_hang() {
+        let e = parse_deck(
+            ".subckt loop a b\n\
+             Xinner a b loop\n\
+             .ends\n\
+             X1 in 0 loop\n",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("recursive"), "{e}");
+    }
+
+    #[test]
+    fn nodeorder_pre_interns_nodes() {
+        let deck = parse_deck(
+            ".nodeorder zz aa mm\n\
+             V1 aa 0 1\n\
+             R1 aa mm 1k\n\
+             R2 mm zz 1k\n\
+             R3 zz 0 1k\n",
+        )
+        .unwrap();
+        let c = deck.circuit();
+        // Interning order follows .nodeorder, not first device use.
+        assert_eq!(c.find_node("zz").unwrap().index(), 1);
+        assert_eq!(c.find_node("aa").unwrap().index(), 2);
+        assert_eq!(c.find_node("mm").unwrap().index(), 3);
+    }
+
+    /// SPICE identifiers are case-insensitive: differently-cased
+    /// spellings of one net must resolve to a single node (first
+    /// spelling wins), not silently split the net in two.
+    #[test]
+    fn mixed_case_net_names_are_one_net() {
+        let deck = parse_deck(
+            "V1 VDD 0 DC 5\n\
+             R1 vdd out 1k\n\
+             R2 OUT 0 1k\n",
+        )
+        .unwrap();
+        let c = deck.circuit();
+        assert_eq!(c.node_count(), 3, "VDD/vdd and out/OUT each merge into one net");
+        assert!(c.find_node("VDD").is_some(), "first spelling is canonical");
+        assert!(c.find_node("out").is_some());
+        let sol = DcAnalysis::new(c).solve().unwrap();
+        let out = c.find_node("out").unwrap();
+        assert!((sol.voltage(out) - 2.5).abs() < 1e-6, "v(out) = {}", sol.voltage(out));
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        let cases: [(&str, usize); 6] = [
+            ("R1 a b notanumber\n", 1),
+            ("V1 a 0 DC 5\nR1 a b\n", 2),
+            ("+ orphan continuation\n", 1),
+            ("Q1 a b c\n", 1),
+            ("R1 a b 1k extra\n", 1),
+            (".bogus x\n", 1),
+        ];
+        for (text, want_line) in cases {
+            match parse_deck(text).unwrap_err() {
+                NetlistError::Parse { line, col, .. } => {
+                    assert_eq!(line, want_line, "{text:?}");
+                    assert!(col >= 1);
+                }
+                other => panic!("{text:?} → {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lowering_errors_carry_line() {
+        let cases = [
+            "R1 a b 1k\nR1 a b 2k\n",                   // duplicate name
+            "M1 d g 0 0 nomodel W=1u L=1u\n",           // missing model
+            "X1 a b nosub\n",                           // missing subckt
+            ".subckt p a b\nR1 a b 1\n.ends\nX1 a p\n", // port arity
+            "R1 a b -5\n",                              // invalid value
+        ];
+        for text in cases {
+            match parse_deck(text).unwrap_err() {
+                NetlistError::Netlist { line, .. } => assert!(line >= 1, "{text:?}"),
+                other => panic!("{text:?} → {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn dollar_and_semicolon_comments() {
+        let deck = parse_deck("R1 a b 1k $ trailing\nR2 b 0 2k ; also\n").unwrap();
+        assert_eq!(deck.circuit().devices().len(), 2);
+    }
+
+    #[test]
+    fn end_card_stops_parsing() {
+        let deck = parse_deck("R1 a 0 1k\n.end\ngarbage beyond the end\n").unwrap();
+        assert_eq!(deck.circuit().devices().len(), 1);
+    }
+
+    #[test]
+    fn vcvs_card() {
+        let deck = parse_deck("V1 a 0 1\nE1 out 0 a 0 -3\nRL out 0 1k\n").unwrap();
+        let sol = DcAnalysis::new(deck.circuit()).solve().unwrap();
+        let out = deck.circuit().find_node("out").unwrap();
+        assert!((sol.voltage(out) + 3.0).abs() < 1e-6);
+    }
+}

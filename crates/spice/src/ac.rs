@@ -443,19 +443,30 @@ impl<'c> AcAnalysis<'c> {
         Ok(solutions)
     }
 
-    /// Stamps every capacitance (explicit capacitors plus MOS gate
-    /// capacitances) into `cap` as conductance-shaped entries.
+    /// Stamps every reactance into `cap`, scaled so the complex system
+    /// is `G + jω·cap`: capacitances (explicit capacitors plus MOS gate
+    /// capacitances) as conductance-shaped node entries, inductors as
+    /// `−L` on their branch diagonal (the branch equation gains
+    /// `−jωL·i`).
     fn stamp_capacitances<M: StampTarget + ?Sized>(&self, cap: &mut M) {
+        let n_nodes = self.circuit.node_count() - 1;
+        let mut branch = 0usize;
         for dev in self.circuit.devices() {
             match dev.kind() {
                 DeviceKind::Capacitor { a, b, farads } => {
                     stamp::stamp_conductance(cap, *a, *b, *farads);
+                }
+                DeviceKind::Inductor { henries, .. } => {
+                    cap.add(n_nodes + branch, n_nodes + branch, -henries);
                 }
                 DeviceKind::Mosfet { d, g: gate, s, params, .. } => {
                     stamp::stamp_conductance(cap, *gate, *s, params.cgs());
                     stamp::stamp_conductance(cap, *gate, *d, params.cgd());
                 }
                 _ => {}
+            }
+            if dev.has_branch_current() {
+                branch += 1;
             }
         }
     }
@@ -508,6 +519,52 @@ mod tests {
             .run(&[f0])
             .unwrap();
         assert!((sweep.voltage(0, a).abs() - 1e3 / 2.0_f64.sqrt()).abs() < 1e-6);
+    }
+
+    /// Series RLC driven at resonance: the reactances cancel, so the
+    /// full source voltage appears across R and the output (across the
+    /// capacitor) peaks at Q = √(L/C)/R.
+    #[test]
+    fn rlc_resonance_matches_analytic() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let mid = ckt.node("mid");
+        let out = ckt.node("out");
+        let (r, l, c) = (10.0, 1e-3, 1e-9);
+        ckt.add_vsource("V1", vin, Circuit::GROUND, Waveform::dc(0.0)).unwrap();
+        ckt.add_resistor("R1", vin, mid, r).unwrap();
+        ckt.add_inductor("L1", mid, out, l).unwrap();
+        ckt.add_capacitor("C1", out, Circuit::GROUND, c).unwrap();
+        let f0 = 1.0 / (2.0 * PI * (l * c).sqrt());
+        let q = (l / c).sqrt() / r;
+        for solver in [crate::SolverKind::Dense, crate::SolverKind::Sparse] {
+            let opts = AnalysisOptions { solver, ..AnalysisOptions::default() };
+            let sweep = AcAnalysis::with_options(&ckt, opts)
+                .source(AcSource { name: "V1".into(), magnitude: 1.0 })
+                .run(&[f0])
+                .unwrap();
+            let vc = sweep.voltage(0, out).abs();
+            // The default gmin node shunts perturb the resonance at the
+            // 1e-7 level; anything tighter would be testing gmin.
+            assert!((vc - q).abs() / q < 1e-6, "{solver:?}: |V(C)| = {vc}, Q = {q}");
+        }
+    }
+
+    /// DC (the operating point an AC run linearizes around) treats the
+    /// inductor as a short carrying the loop current.
+    #[test]
+    fn dc_inductor_is_a_short() {
+        use crate::DcAnalysis;
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let mid = ckt.node("mid");
+        ckt.add_vsource("V1", vin, Circuit::GROUND, Waveform::dc(2.0)).unwrap();
+        ckt.add_resistor("R1", vin, mid, 1e3).unwrap();
+        ckt.add_inductor("L1", mid, Circuit::GROUND, 1e-3).unwrap();
+        let sol = DcAnalysis::new(&ckt).solve().unwrap();
+        assert!((sol.voltage(mid)).abs() < 1e-9, "v(mid) = {}", sol.voltage(mid));
+        let i = sol.source_current("L1").unwrap();
+        assert!((i - 2e-3).abs() < 1e-9, "i(L1) = {i}");
     }
 
     #[test]

@@ -281,6 +281,31 @@ impl Circuit {
         self.add(Device::new(name, DeviceKind::Capacitor { a, b, farads }))
     }
 
+    /// Adds an inductor (`henries > 0` and finite). In DC it behaves as
+    /// a short (its branch equation forces `v(a) = v(b)`), transient
+    /// analysis integrates `v = L·di/dt` with the same companion-model
+    /// machinery capacitors use, and AC stamps `−jωL` on its branch row.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::InvalidValue`] on a non-positive or non-finite value,
+    /// plus the errors of [`Circuit::add`].
+    pub fn add_inductor(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        henries: f64,
+    ) -> Result<(), SpiceError> {
+        if !(henries.is_finite() && henries > 0.0) {
+            return Err(SpiceError::InvalidValue {
+                device: name.to_string(),
+                reason: format!("inductance must be positive and finite, got {henries}"),
+            });
+        }
+        self.add(Device::new(name, DeviceKind::Inductor { a, b, henries }))
+    }
+
     /// Adds an independent voltage source (`pos` → `neg`).
     ///
     /// # Errors

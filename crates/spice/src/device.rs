@@ -23,6 +23,16 @@ pub enum DeviceKind {
         /// Capacitance in farads (> 0).
         farads: f64,
     },
+    /// Linear inductor between `a` and `b` (a short in DC; adds one MNA
+    /// branch-current unknown carrying the inductor current).
+    Inductor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Inductance in henries (> 0).
+        henries: f64,
+    },
     /// Independent voltage source from `pos` to `neg` (adds one MNA
     /// branch-current unknown).
     Vsource {
@@ -119,7 +129,9 @@ impl Device {
     /// All nodes this device touches.
     pub fn nodes(&self) -> Vec<NodeId> {
         match &self.kind {
-            DeviceKind::Resistor { a, b, .. } | DeviceKind::Capacitor { a, b, .. } => {
+            DeviceKind::Resistor { a, b, .. }
+            | DeviceKind::Capacitor { a, b, .. }
+            | DeviceKind::Inductor { a, b, .. } => {
                 vec![*a, *b]
             }
             DeviceKind::Vsource { pos, neg, .. } => vec![*pos, *neg],
@@ -131,7 +143,10 @@ impl Device {
 
     /// Whether this device contributes an MNA branch-current unknown.
     pub fn has_branch_current(&self) -> bool {
-        matches!(self.kind, DeviceKind::Vsource { .. } | DeviceKind::Vcvs { .. })
+        matches!(
+            self.kind,
+            DeviceKind::Vsource { .. } | DeviceKind::Vcvs { .. } | DeviceKind::Inductor { .. }
+        )
     }
 }
 

@@ -4,8 +4,11 @@
 //! substitute substrate: a modified-nodal-analysis (MNA) simulator with
 //!
 //! * [`Circuit`] — a named-node netlist of [`Device`]s (resistors,
-//!   capacitors, independent voltage/current sources, Level-1 MOSFETs and
-//!   voltage-controlled voltage sources),
+//!   capacitors, inductors, independent voltage/current sources, Level-1
+//!   MOSFETs and voltage-controlled voltage sources; inductors are DC
+//!   shorts carrying a branch-current unknown, integrated by the same
+//!   companion-model machinery as capacitors and stamped as `−jωL` on
+//!   their branch row in AC),
 //! * [`Waveform`] — stimulus descriptions (DC, sine, step, pulse, PWL)
 //!   matching the test-configuration stimuli of the paper's Table 1,
 //! * [`DcAnalysis`] — Newton–Raphson operating-point solve with damping,

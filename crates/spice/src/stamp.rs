@@ -178,6 +178,23 @@ impl PlanBuilder {
                 // (but their slots belong to the sparsity pattern).
                 conductance_slots(&mut self.dynamic_slots, idx(*a), idx(*b));
             }
+            DeviceKind::Inductor { a, b, .. } => {
+                // DC: an ideal short via the branch equation
+                // `v(a) − v(b) = 0` (±1 pattern, no source row). The
+                // transient companion and the AC reactance stamp the
+                // branch diagonal, which is therefore a dynamic slot.
+                let br = self.branch;
+                self.branch += 1;
+                if let Some(i) = idx(*a) {
+                    mat(ops, i, br, 1.0);
+                    mat(ops, br, i, 1.0);
+                }
+                if let Some(j) = idx(*b) {
+                    mat(ops, j, br, -1.0);
+                    mat(ops, br, j, -1.0);
+                }
+                self.dynamic_slots.push((br, br));
+            }
             DeviceKind::Isource { from, to, wave } => {
                 self.waves.push(wave.clone());
                 ops.push(PlanOp::Current {
@@ -1132,6 +1149,7 @@ mod tests {
         )
         .unwrap();
         c.add_vcvs("E1", o, Circuit::GROUND, d, Circuit::GROUND, -3.0).unwrap();
+        c.add_inductor("L1", o, g, 1e-6).unwrap();
 
         let n = c.unknown_count();
         let x: Vec<f64> = (0..n).map(|i| 0.3 * i as f64 - 0.4).collect();
@@ -1152,6 +1170,18 @@ mod tests {
                     stamp_conductance(&mut mat_ref, *a, *b, 1.0 / ohms);
                 }
                 DeviceKind::Capacitor { .. } => {}
+                DeviceKind::Inductor { a, b, .. } => {
+                    let br = branch;
+                    branch += 1;
+                    if let Some(i) = idx(*a) {
+                        mat_ref.add(i, br, 1.0);
+                        mat_ref.add(br, i, 1.0);
+                    }
+                    if let Some(j) = idx(*b) {
+                        mat_ref.add(j, br, -1.0);
+                        mat_ref.add(br, j, -1.0);
+                    }
+                }
                 DeviceKind::Isource { from, to, wave } => {
                     stamp_current(&mut rhs_ref, *from, *to, wave.dc_value());
                 }

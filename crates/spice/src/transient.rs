@@ -61,16 +61,18 @@ fn ladder_error(e: SpiceError, t1: f64) -> SpiceError {
 /// Levels of recursive 8× step cutting attempted on non-convergence.
 const RETRY_DEPTH: usize = 3;
 
-/// One capacitive element tracked by the integrator.
+/// One energy-storage element tracked by the integrator, with its state
+/// (`v_prev`/`i_prev`) at the previous accepted timepoint.
 #[derive(Debug, Clone)]
-struct DynElement {
-    a: NodeId,
-    b: NodeId,
-    farads: f64,
-    /// Voltage across the element at the previous accepted timepoint.
-    v_prev: f64,
-    /// Current through the element at the previous accepted timepoint.
-    i_prev: f64,
+enum DynElement {
+    /// A capacitance between two nodes (explicit capacitors plus the
+    /// MOSFETs' intrinsic gate capacitances). Its companion is a
+    /// conductance `geq` between the nodes plus a history current.
+    Cap { a: NodeId, b: NodeId, farads: f64, v_prev: f64, i_prev: f64 },
+    /// An inductor riding MNA branch row `row` (absolute matrix index).
+    /// Its companion is a resistance `req` on the branch diagonal plus a
+    /// history voltage on the branch row's right-hand side.
+    Ind { a: NodeId, b: NodeId, row: usize, henries: f64, v_prev: f64, i_prev: f64 },
 }
 
 /// Per-run solver state: the shared Newton scratch (compiled stamp
@@ -253,23 +255,44 @@ impl<'c> TranAnalysis<'c> {
         }
     }
 
-    /// Gathers all capacitive elements with their DC initial conditions.
+    /// Gathers all energy-storage elements with their DC initial
+    /// conditions: capacitors start at their DC voltage with zero
+    /// current, inductors at zero voltage carrying their DC (short)
+    /// branch current.
     fn collect_dynamics(&self, x: &[f64]) -> Vec<DynElement> {
+        let n_nodes = self.circuit.node_count() - 1;
         let mut dyns = Vec::new();
+        let mut branch = 0usize;
         for dev in self.circuit.devices() {
             match dev.kind() {
                 DeviceKind::Capacitor { a, b, farads } => {
-                    dyns.push(DynElement { a: *a, b: *b, farads: *farads, v_prev: 0.0, i_prev: 0.0 });
+                    dyns.push(DynElement::Cap {
+                        a: *a,
+                        b: *b,
+                        farads: *farads,
+                        v_prev: 0.0,
+                        i_prev: 0.0,
+                    });
+                }
+                DeviceKind::Inductor { a, b, henries } => {
+                    dyns.push(DynElement::Ind {
+                        a: *a,
+                        b: *b,
+                        row: n_nodes + branch,
+                        henries: *henries,
+                        v_prev: 0.0,
+                        i_prev: 0.0,
+                    });
                 }
                 DeviceKind::Mosfet { d, g, s, params, .. } => {
-                    dyns.push(DynElement {
+                    dyns.push(DynElement::Cap {
                         a: *g,
                         b: *s,
                         farads: params.cgs(),
                         v_prev: 0.0,
                         i_prev: 0.0,
                     });
-                    dyns.push(DynElement {
+                    dyns.push(DynElement::Cap {
                         a: *g,
                         b: *d,
                         farads: params.cgd(),
@@ -279,10 +302,21 @@ impl<'c> TranAnalysis<'c> {
                 }
                 _ => {}
             }
+            if dev.has_branch_current() {
+                branch += 1;
+            }
         }
         for el in &mut dyns {
-            el.v_prev = stamp::voltage_of(x, el.a) - stamp::voltage_of(x, el.b);
-            el.i_prev = 0.0; // steady state: no capacitor current
+            match el {
+                DynElement::Cap { a, b, v_prev, i_prev, .. } => {
+                    *v_prev = stamp::voltage_of(x, *a) - stamp::voltage_of(x, *b);
+                    *i_prev = 0.0; // steady state: no capacitor current
+                }
+                DynElement::Ind { row, v_prev, i_prev, .. } => {
+                    *v_prev = 0.0; // steady state: a short drops nothing
+                    *i_prev = x[*row];
+                }
+            }
         }
         dyns
     }
@@ -307,16 +341,28 @@ impl<'c> TranAnalysis<'c> {
         let opts = &self.options;
         let TranScratch { newton, x_iter, x_stage, companions } = scratch;
 
-        // Companion parameters per element (buffer reused across steps).
+        // Companion parameters per element (buffer reused across steps):
+        // `(geq, history)` for capacitors, `(req, history)` for
+        // inductors — both pure functions of (element, method, h) and
+        // the previous accepted state.
         companions.clear();
-        companions.extend(dyns.iter().map(|el| match method {
-            IntegrationMethod::BackwardEuler => {
-                let geq = el.farads / h;
-                (geq, geq * el.v_prev)
+        companions.extend(dyns.iter().map(|el| match (el, method) {
+            (DynElement::Cap { farads, v_prev, .. }, IntegrationMethod::BackwardEuler) => {
+                let geq = farads / h;
+                (geq, geq * v_prev)
             }
-            IntegrationMethod::Trapezoidal => {
-                let geq = 2.0 * el.farads / h;
-                (geq, geq * el.v_prev + el.i_prev)
+            (DynElement::Cap { farads, v_prev, i_prev, .. }, IntegrationMethod::Trapezoidal) => {
+                let geq = 2.0 * farads / h;
+                (geq, geq * v_prev + i_prev)
+            }
+            // Inductor branch row: v(a) − v(b) − req·i = hist.
+            (DynElement::Ind { henries, i_prev, .. }, IntegrationMethod::BackwardEuler) => {
+                let req = henries / h;
+                (req, -req * i_prev)
+            }
+            (DynElement::Ind { henries, v_prev, i_prev, .. }, IntegrationMethod::Trapezoidal) => {
+                let req = 2.0 * henries / h;
+                (req, -req * i_prev - v_prev)
             }
         }));
 
@@ -384,10 +430,18 @@ impl<'c> TranAnalysis<'c> {
         // Accept: the converged solution is in x_iter.
         x.copy_from_slice(x_iter);
         // Update element histories from the converged solution.
-        for (el, (geq, i_hist)) in dyns.iter_mut().zip(companions.iter()) {
-            let v_new = stamp::voltage_of(x, el.a) - stamp::voltage_of(x, el.b);
-            el.i_prev = geq * v_new - i_hist;
-            el.v_prev = v_new;
+        for (el, (geq, hist)) in dyns.iter_mut().zip(companions.iter()) {
+            match el {
+                DynElement::Cap { a, b, v_prev, i_prev, .. } => {
+                    let v_new = stamp::voltage_of(x, *a) - stamp::voltage_of(x, *b);
+                    *i_prev = geq * v_new - hist;
+                    *v_prev = v_new;
+                }
+                DynElement::Ind { a, b, row, v_prev, i_prev, .. } => {
+                    *i_prev = x[*row];
+                    *v_prev = stamp::voltage_of(x, *a) - stamp::voltage_of(x, *b);
+                }
+            }
         }
         Ok(())
     }
@@ -431,16 +485,30 @@ impl<'c> TranAnalysis<'c> {
                 *factored_for = None;
                 solver.assemble_and_factor(plan, x, rhs, gmin, src_vals, |mat| {
                     for (el, (geq, _)) in dyns.iter().zip(companions) {
-                        stamp::stamp_conductance(mat, el.a, el.b, *geq);
+                        match el {
+                            DynElement::Cap { a, b, .. } => {
+                                stamp::stamp_conductance(mat, *a, *b, *geq);
+                            }
+                            DynElement::Ind { row, .. } => {
+                                // `geq` holds `req`; the branch equation
+                                // gains `−req·i`.
+                                mat.add(*row, *row, -geq);
+                            }
+                        }
                     }
                 })?;
                 if plan.is_linear() {
                     *factored_for = Some(reuse_key);
                 }
             }
-            for (el, (_, i_hist)) in dyns.iter().zip(companions) {
-                // The history term acts as a current source from b to a.
-                stamp::stamp_current(rhs, el.b, el.a, *i_hist);
+            for (el, (_, hist)) in dyns.iter().zip(companions) {
+                match el {
+                    // The history term acts as a current source from b
+                    // to a.
+                    DynElement::Cap { a, b, .. } => stamp::stamp_current(rhs, *b, *a, *hist),
+                    // The history term is the branch equation's rhs.
+                    DynElement::Ind { row, .. } => rhs[*row] += hist,
+                }
             }
             solver.solve_into(rhs, x_new)?;
 
@@ -602,6 +670,52 @@ mod tests {
         for (a, b) in via_override.column(0).iter().zip(via_mutation.column(0)) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    /// RL step response: i(t) = (V/R)·(1 − e^(−t·R/L)); the current is
+    /// probed through the inductor's own branch unknown.
+    #[test]
+    fn rl_step_current_matches_analytic() {
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        let mid = c.node("mid");
+        c.add_vsource("V1", inp, Circuit::GROUND, Waveform::step(0.0, 1.0, 0.0, 1e-9)).unwrap();
+        c.add_resistor("R1", inp, mid, 1e3).unwrap();
+        c.add_inductor("L1", mid, Circuit::GROUND, 1e-3).unwrap(); // τ = 1 µs
+        let trace = TranAnalysis::new(&c)
+            .run(3e-6, 5e-9, &[Probe::SourceCurrent("L1".into())])
+            .unwrap();
+        let tau = 1e-3 / 1e3;
+        let mut worst = 0.0_f64;
+        for (t, i) in trace.times().iter().zip(trace.column(0)) {
+            if *t < 5e-9 {
+                continue; // source still ramping
+            }
+            let expected = 1e-3 * (1.0 - (-(t - 1e-9) / tau).exp());
+            worst = worst.max((i - expected).abs());
+        }
+        assert!(worst < 5e-6, "worst current deviation {worst}");
+    }
+
+    /// Backward Euler also integrates the inductor (first step always
+    /// uses it, and the sub-stepped recovery path relies on it).
+    #[test]
+    fn rl_backward_euler_settles() {
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        let mid = c.node("mid");
+        c.add_vsource("V1", inp, Circuit::GROUND, Waveform::step(0.0, 1.0, 0.0, 1e-9)).unwrap();
+        c.add_resistor("R1", inp, mid, 1e3).unwrap();
+        c.add_inductor("L1", mid, Circuit::GROUND, 1e-3).unwrap();
+        let trace = TranAnalysis::with_options(
+            &c,
+            AnalysisOptions::default(),
+            IntegrationMethod::BackwardEuler,
+        )
+        .run(10e-6, 10e-9, &[Probe::SourceCurrent("L1".into())])
+        .unwrap();
+        let i_end = *trace.column(0).last().unwrap();
+        assert!((i_end - 1e-3).abs() < 2e-5, "i_end {i_end}");
     }
 
     #[test]

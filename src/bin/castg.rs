@@ -1,0 +1,293 @@
+//! `castg` — run the paper's generate → compact → evaluate pipeline on
+//! any SPICE deck, with zero Rust code.
+//!
+//! ```text
+//! castg generate <deck.sp> --configs <dir> [options]
+//!     --configs DIR        configuration description files (*.cfg/*.txt)
+//!     --faults MODE        bridge derivation: exhaustive (default) | adjacent
+//!     --bridge-ohms R      dictionary bridge resistance   [10e3]
+//!     --pinhole-ohms R     dictionary pinhole resistance  [2e3]
+//!     --skip-faults N      skip the first N derived faults
+//!     --max-faults N       truncate the derived dictionary (after skip)
+//!     --threads N          worker threads                 [all cores]
+//!     --out PATH           write the full text report here (stdout otherwise)
+//!     --json PATH          write a machine-readable summary here
+//!
+//! castg check <deck.sp>
+//!     Parse the deck, solve its DC operating point, and print node
+//!     voltages and source currents.
+//! ```
+//!
+//! The text report is the same canonical rendering the golden-fixture
+//! harness and the bench binaries use
+//! (`castg_core::report::render_pipeline_report`); the JSON summary
+//! mirrors `BENCH_campaign.json`'s per-workload fields.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use castg::core::{
+    compact, evaluate_test_set_with_threads, report::render_pipeline_report,
+    test_instances_from_compaction, AnalogMacro, CompactionOptions, Generator, GeneratorOptions,
+    NominalCache,
+};
+use castg::faults::{BridgeDerivation, FaultDictionary};
+use castg::netlist::{parse_deck, NetlistMacro, NetlistMacroOptions};
+use castg::spice::DcAnalysis;
+
+const USAGE: &str = "\
+castg — compact structural test generation for analog macros
+
+USAGE:
+    castg generate <deck.sp> --configs <dir> [--faults exhaustive|adjacent]
+          [--bridge-ohms R] [--pinhole-ohms R] [--skip-faults N] [--max-faults N]
+          [--threads N] [--out PATH] [--json PATH]
+    castg check <deck.sp>
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => generate(&args[1..]),
+        Some("check") => check(&args[1..]),
+        Some("-h") | Some("--help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("castg: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct GenerateArgs {
+    deck: PathBuf,
+    configs: PathBuf,
+    options: NetlistMacroOptions,
+    skip_faults: usize,
+    max_faults: Option<usize>,
+    threads: usize,
+    out: Option<PathBuf>,
+    json: Option<PathBuf>,
+}
+
+fn parse_generate_args(args: &[String]) -> Result<GenerateArgs, String> {
+    let mut deck: Option<PathBuf> = None;
+    let mut configs: Option<PathBuf> = None;
+    let mut options = NetlistMacroOptions::default();
+    let mut skip_faults = 0usize;
+    let mut max_faults = None;
+    let mut threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut out = None;
+    let mut json = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |what: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{what} needs a value"))
+        };
+        match a.as_str() {
+            "--configs" => configs = Some(PathBuf::from(value("--configs")?)),
+            "--faults" => {
+                options.derivation = match value("--faults")?.as_str() {
+                    "exhaustive" => BridgeDerivation::Exhaustive,
+                    "adjacent" => BridgeDerivation::Adjacent,
+                    other => return Err(format!("--faults must be exhaustive or adjacent, got `{other}`")),
+                }
+            }
+            "--bridge-ohms" => {
+                options.bridge_ohms =
+                    value("--bridge-ohms")?.parse().map_err(|e| format!("--bridge-ohms: {e}"))?
+            }
+            "--pinhole-ohms" => {
+                options.pinhole_ohms =
+                    value("--pinhole-ohms")?.parse().map_err(|e| format!("--pinhole-ohms: {e}"))?
+            }
+            "--skip-faults" => {
+                skip_faults =
+                    value("--skip-faults")?.parse().map_err(|e| format!("--skip-faults: {e}"))?
+            }
+            "--max-faults" => {
+                max_faults =
+                    Some(value("--max-faults")?.parse().map_err(|e| format!("--max-faults: {e}"))?)
+            }
+            "--threads" => {
+                threads = value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?
+            }
+            "--out" => out = Some(PathBuf::from(value("--out")?)),
+            "--json" => json = Some(PathBuf::from(value("--json")?)),
+            other if !other.starts_with('-') && deck.is_none() => {
+                deck = Some(PathBuf::from(other))
+            }
+            other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
+        }
+    }
+    Ok(GenerateArgs {
+        deck: deck.ok_or_else(|| format!("missing deck path\n\n{USAGE}"))?,
+        configs: configs.ok_or_else(|| format!("missing --configs <dir>\n\n{USAGE}"))?,
+        options,
+        skip_faults,
+        max_faults,
+        threads: threads.max(1),
+        out,
+        json,
+    })
+}
+
+fn generate(args: &[String]) -> Result<(), String> {
+    let a = parse_generate_args(args)?;
+    let mac = NetlistMacro::from_files(&a.deck, &a.configs, a.options)
+        .map_err(|e| e.to_string())?;
+    if mac.configurations().is_empty() {
+        return Err(format!("no configurations loaded from {}", a.configs.display()));
+    }
+    let mut dict = mac.fault_dictionary();
+    if a.skip_faults > 0 || a.max_faults.is_some() {
+        let take = a.max_faults.unwrap_or(usize::MAX);
+        dict = FaultDictionary::new(
+            dict.iter().skip(a.skip_faults).take(take).cloned().collect(),
+        );
+    }
+    if dict.is_empty() {
+        return Err("fault selection (--skip-faults/--max-faults) left no faults".to_string());
+    }
+    eprintln!(
+        "castg: macro `{}` ({}): {} nodes, {} devices, {} faults, {} configurations",
+        mac.name(),
+        mac.macro_type(),
+        mac.circuit().node_count(),
+        mac.circuit().devices().len(),
+        dict.len(),
+        mac.configurations().len(),
+    );
+
+    let cache = NominalCache::new();
+    let gen_options = GeneratorOptions { threads: a.threads, ..GeneratorOptions::default() };
+
+    let t0 = Instant::now();
+    let generation = Generator::with_options(&mac, &cache, gen_options).generate(&dict);
+    let generate_s = t0.elapsed().as_secs_f64();
+    if !generation.failures.is_empty() {
+        for (fault, e) in &generation.failures {
+            eprintln!("castg: generation failed for {fault}: {e}");
+        }
+        return Err(format!("{} of {} faults failed generation", generation.failures.len(), dict.len()));
+    }
+
+    let t0 = Instant::now();
+    let compaction = compact(&mac, &cache, &generation, &CompactionOptions::default())
+        .map_err(|e| e.to_string())?;
+    let compact_s = t0.elapsed().as_secs_f64();
+    let tests = test_instances_from_compaction(&mac, &compaction).map_err(|e| e.to_string())?;
+
+    let t0 = Instant::now();
+    let coverage = evaluate_test_set_with_threads(&mac, &cache, &tests, &dict, a.threads)
+        .map_err(|e| e.to_string())?;
+    let evaluate_s = t0.elapsed().as_secs_f64();
+
+    let report = render_pipeline_report(mac.name(), &generation, &compaction, &coverage);
+    match &a.out {
+        Some(path) => std::fs::write(path, &report)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?,
+        None => print!("{report}"),
+    }
+    eprintln!(
+        "castg: {} tests compacted from {}, coverage {}/{}, generate {:.2}s, compact {:.3}s, \
+         evaluate {:.4}s ({:.1} faults/s)",
+        compaction.tests.len(),
+        compaction.original_count,
+        coverage.detected(),
+        coverage.total(),
+        generate_s,
+        compact_s,
+        evaluate_s,
+        dict.len() as f64 / evaluate_s,
+    );
+
+    if let Some(path) = &a.json {
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"macro\": \"{}\",", json_escape(mac.name()));
+        let _ = writeln!(s, "  \"macro_type\": \"{}\",", json_escape(mac.macro_type()));
+        let _ = writeln!(s, "  \"faults\": {},", dict.len());
+        let _ = writeln!(s, "  \"detected\": {},", coverage.detected());
+        let _ = writeln!(s, "  \"tests\": {},", tests.len());
+        let _ = writeln!(s, "  \"original_tests\": {},", compaction.original_count);
+        let _ = writeln!(s, "  \"threads\": {},", a.threads);
+        let _ = writeln!(s, "  \"generate_s\": {generate_s:.6},");
+        let _ = writeln!(s, "  \"compact_s\": {compact_s:.6},");
+        let _ = writeln!(s, "  \"evaluate_s\": {evaluate_s:.6},");
+        let _ = writeln!(s, "  \"faults_per_s\": {:.3},", dict.len() as f64 / evaluate_s);
+        let _ = writeln!(s, "  \"per_fault\": [");
+        for (i, f) in coverage.per_fault.iter().enumerate() {
+            let comma = if i + 1 < coverage.per_fault.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "    {{\"fault\": \"{}\", \"detected\": {}, \"best_test\": {}, \
+                 \"best_sensitivity\": {:e}}}{comma}",
+                json_escape(&f.fault),
+                f.detected,
+                f.best_test,
+                f.best_sensitivity,
+            );
+        }
+        let _ = writeln!(s, "  ]");
+        s.push_str("}\n");
+        std::fs::write(path, s).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    Ok(())
+}
+
+/// Escapes a string for inclusion in a JSON string literal (names come
+/// from user-authored decks and config files, which admit quotes and
+/// backslashes).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn check(args: &[String]) -> Result<(), String> {
+    let [deck_path] = args else {
+        return Err(format!("usage: castg check <deck.sp>\n\n{USAGE}"));
+    };
+    let text = std::fs::read_to_string(deck_path).map_err(|e| format!("{deck_path}: {e}"))?;
+    let deck = parse_deck(&text).map_err(|e| format!("{deck_path}: {e}"))?;
+    let c = deck.circuit();
+    println!(
+        "deck `{}`: {} nodes, {} devices, {} MNA unknowns{}",
+        deck_path,
+        c.node_count(),
+        c.devices().len(),
+        c.unknown_count(),
+        deck.title.as_deref().map(|t| format!(", title `{t}`")).unwrap_or_default(),
+    );
+    let sol = DcAnalysis::new(c).solve().map_err(|e| format!("DC operating point: {e}"))?;
+    println!("DC operating point ({} Newton iterations):", sol.newton_iterations());
+    for node in c.non_ground_nodes() {
+        println!("  v({}) = {:.6e}", c.node_name(node), sol.voltage(node));
+    }
+    for dev in c.devices() {
+        if let Some(i) = sol.source_current(dev.name()) {
+            println!("  i({}) = {:.6e}", dev.name(), i);
+        }
+    }
+    Ok(())
+}

@@ -11,10 +11,20 @@
 //! * [`macros`] (`castg-macros`) — the devices under test (the
 //!   IV-converter with its five Table-1 test configurations, plus an
 //!   OTA buffer) with tolerance-box calibration.
+//! * [`netlist`] (`castg-netlist`) — the SPICE-deck frontend: parse
+//!   decks (R/C/L/V/I/M/E cards, `.subckt` flattening, `.model` cards,
+//!   scale suffixes) into [`spice`] circuits, write circuits back out
+//!   (exact round-trip), and wrap a deck + textual configuration
+//!   descriptions + a topology-derived fault dictionary as an
+//!   [`core::AnalogMacro`] — so the pipeline runs on macros it was
+//!   never compiled with. The `castg` CLI binary
+//!   (`castg generate <deck.sp> --configs <dir>`) drives the whole
+//!   deck-to-report flow from the command line.
 //! * [`faults`] (`castg-faults`) — bridge and pinhole fault models with
 //!   tunable impact, and exhaustive fault lists.
 //! * [`spice`] (`castg-spice`) — the built-in MNA circuit simulator
-//!   (DC Newton–Raphson, fixed-step transient, Level-1 MOSFETs). Its
+//!   (DC Newton–Raphson, fixed-step transient, AC sweeps; R/C/L,
+//!   independent sources, VCVS, Level-1 MOSFETs). Its
 //!   Newton loops run allocation-free: circuits compile once into stamp
 //!   plans that are replayed per iteration (see the crate docs).
 //! * [`dsp`] (`castg-dsp`) — waveform post-processing (Goertzel, THD,
@@ -59,5 +69,6 @@ pub use castg_core as core;
 pub use castg_dsp as dsp;
 pub use castg_faults as faults;
 pub use castg_macros as macros;
+pub use castg_netlist as netlist;
 pub use castg_numeric as numeric;
 pub use castg_spice as spice;

@@ -47,6 +47,18 @@ fn mesh_generation_report_is_byte_stable() {
     assert_matches_fixture("mesh_generation.txt", &castg_bench::golden::mesh_report());
 }
 
+/// The parsed-deck (netlist frontend) pipeline: the divider deck +
+/// description-file configurations under `tests/fixtures/` must render
+/// the identical report byte for byte.
+#[test]
+fn netlist_generation_report_is_byte_stable() {
+    let fixtures = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    assert_matches_fixture(
+        "netlist_generation.txt",
+        &castg_bench::golden::netlist_report(&fixtures),
+    );
+}
+
 /// Release-only: the IV-converter golden run optimizes transient-heavy
 /// configurations and takes ~50 s unoptimized. The CI release-test job
 /// runs it on every push; locally use
