@@ -27,7 +27,7 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
-use castg_core::synthetic::{LadderMacro, MeshMacro};
+use castg_core::synthetic::{LadderMacro, MeshMacro, OtaChainMacro};
 use castg_core::{
     compact, evaluate_test_set_with_threads, test_instances_from_compaction, AnalogMacro,
     CompactionOptions, Generator, GeneratorOptions, NominalCache, TestInstance,
@@ -35,7 +35,9 @@ use castg_core::{
 use castg_faults::FaultDictionary;
 use castg_macros::IvConverter;
 use castg_numeric::{BrentOptions, PowellOptions};
-use castg_spice::{sparse_fill_stats, OrderingKind};
+use castg_spice::{
+    sparse_fill_stats, AnalysisOptions, DcAnalysis, OrderingKind, SolverKind,
+};
 
 /// One workload's timings, all in seconds.
 struct WorkloadResult {
@@ -157,6 +159,70 @@ fn mesh_fill(min_unknowns: usize) -> MeshFill {
     }
 }
 
+/// Block-triangular statistics of the OTA-chain workload — the
+/// cascaded macro whose static (DC) pattern condenses into per-stage
+/// diagonal blocks — with the BTF-vs-AMD fill and DC solve-time
+/// comparison the CI gate asserts.
+struct BtfStats {
+    unknowns: usize,
+    pattern_nnz: usize,
+    blocks: usize,
+    largest_block: usize,
+    lu_nnz_btf: usize,
+    lu_nnz_amd: usize,
+    /// Best-of-reps wall time of one full forced-AMD DC solve.
+    dc_amd_s: f64,
+    /// Best-of-reps wall time of one full forced-BTF DC solve.
+    dc_btf_s: f64,
+    speedup: f64,
+}
+
+/// Measures BTF-vs-AMD factor fill and DC operating-point solve time on
+/// an OTA chain of at least `min_unknowns` MNA unknowns.
+fn btf_stats(min_unknowns: usize, reps: usize) -> BtfStats {
+    let mac = OtaChainMacro::with_unknowns(min_unknowns);
+    let circuit = mac.nominal_circuit();
+    let amd = sparse_fill_stats(&circuit, OrderingKind::Amd).expect("nominal chain is solvable");
+    let btf = sparse_fill_stats(&circuit, OrderingKind::Btf).expect("nominal chain is solvable");
+
+    // Forced-ordering DC solves on the *same* compiled plan, so after
+    // the first repetition both paths time steady-state Newton work
+    // (refactor + solve) the way campaigns pay for it. One warm-up rep
+    // per ordering absorbs the one-time symbolic analysis.
+    let time_dc = |ordering| {
+        let opts = AnalysisOptions {
+            solver: SolverKind::Sparse,
+            ordering,
+            ..AnalysisOptions::default()
+        };
+        let mut best = f64::INFINITY;
+        for rep in 0..reps.max(2) + 1 {
+            let t0 = Instant::now();
+            let sol = DcAnalysis::with_options(&circuit, opts).solve().expect("dc solve");
+            let dt = t0.elapsed().as_secs_f64();
+            assert!(sol.state().iter().all(|v| v.is_finite()));
+            if rep > 0 {
+                best = best.min(dt);
+            }
+        }
+        best
+    };
+    let dc_amd_s = time_dc(OrderingKind::Amd);
+    let dc_btf_s = time_dc(OrderingKind::Btf);
+
+    BtfStats {
+        unknowns: btf.unknowns,
+        pattern_nnz: btf.pattern_nnz,
+        blocks: btf.blocks,
+        largest_block: btf.largest_block,
+        lu_nnz_btf: btf.lu_nnz,
+        lu_nnz_amd: amd.lu_nnz,
+        dc_amd_s,
+        dc_btf_s,
+        speedup: dc_amd_s / dc_btf_s,
+    }
+}
+
 /// Evaluation-only campaign with synthetic DC test instances over a
 /// macro's `dc_out` configuration: isolates the inject + evaluate
 /// engine from optimizer noise, the way dictionary re-screens hammer it
@@ -212,7 +278,7 @@ fn run_eval(
     }
 }
 
-fn render_json(results: &[WorkloadResult], fill: &MeshFill) -> String {
+fn render_json(results: &[WorkloadResult], fill: &MeshFill, btf: &BtfStats) -> String {
     let mut out = String::from("{\n  \"workloads\": [\n");
     for (i, r) in results.iter().enumerate() {
         let _ = write!(
@@ -239,8 +305,23 @@ fn render_json(results: &[WorkloadResult], fill: &MeshFill) -> String {
     let _ = writeln!(
         out,
         "  \"mesh_fill\": {{\"unknowns\": {}, \"pattern_nnz\": {}, \
-         \"lu_nnz_natural\": {}, \"lu_nnz_amd\": {}, \"reduction\": {:.3}}}",
+         \"lu_nnz_natural\": {}, \"lu_nnz_amd\": {}, \"reduction\": {:.3}}},",
         fill.unknowns, fill.pattern_nnz, fill.lu_nnz_natural, fill.lu_nnz_amd, fill.reduction,
+    );
+    let _ = writeln!(
+        out,
+        "  \"btf_stats\": {{\"unknowns\": {}, \"pattern_nnz\": {}, \"blocks\": {}, \
+         \"largest_block\": {}, \"lu_nnz_btf\": {}, \"lu_nnz_amd\": {}, \
+         \"dc_amd_s\": {:.6}, \"dc_btf_s\": {:.6}, \"speedup\": {:.3}}}",
+        btf.unknowns,
+        btf.pattern_nnz,
+        btf.blocks,
+        btf.largest_block,
+        btf.lu_nnz_btf,
+        btf.lu_nnz_amd,
+        btf.dc_amd_s,
+        btf.dc_btf_s,
+        btf.speedup,
     );
     out.push_str("}\n");
     out
@@ -339,11 +420,34 @@ fn main() {
         eval_reps,
     ));
 
+    // The same ladder eval at an explicitly parallel worker count: the
+    // bit-identity differentials exercise threads > 1 on every PR, but
+    // the bench trajectory previously only ever *timed* threads = 1.
+    let par_threads = threads.max(4);
+    results.push(run_eval(
+        "ladder_n256_eval_t4",
+        &LadderMacro::with_unknowns(256),
+        &[2.0, 3.5, 5.0, 6.0, 7.0, 8.0],
+        par_threads,
+        eval_reps,
+    ));
+
     // Mesh n ≥ 256: the fill-reducing-ordering workload (16×16 grid).
     results.push(run_eval(
         "mesh_n256_eval",
         &MeshMacro::with_unknowns(256),
         &[2.0, 3.5, 5.0, 6.5, 8.0],
+        threads,
+        eval_reps,
+    ));
+
+    // OTA chain n = 512: the block-triangular workload — a cascade whose
+    // static pattern condenses into per-stage blocks, where Auto's third
+    // gate dispatches BTF.
+    results.push(run_eval(
+        "ota_chain_n512_eval",
+        &OtaChainMacro::with_unknowns(512),
+        &[1.6, 2.0, 2.4],
         threads,
         eval_reps,
     ));
@@ -364,7 +468,45 @@ fn main() {
         fill.unknowns
     );
 
-    let json = render_json(&results, &fill);
+    // BTF gate: the n ≥ 512 OTA chain must condense into more than one
+    // nontrivial diagonal block, its summed block fill must not exceed
+    // the global-AMD fill, and the forced-BTF DC solve must not be
+    // slower than forced-AMD (10 % slack absorbs container timing noise
+    // on the sub-millisecond solves; the structural win is ~the fill
+    // ratio).
+    let btf = btf_stats(512, if quick { 3 } else { reps.max(5) });
+    eprintln!(
+        "btf_stats: n={} blocks={} largest={} lu_nnz btf={} amd={} dc btf={:.6}s amd={:.6}s ({:.2}x)",
+        btf.unknowns,
+        btf.blocks,
+        btf.largest_block,
+        btf.lu_nnz_btf,
+        btf.lu_nnz_amd,
+        btf.dc_btf_s,
+        btf.dc_amd_s,
+        btf.speedup,
+    );
+    assert!(
+        btf.blocks > 1 && btf.largest_block < btf.unknowns,
+        "BTF condensation regressed: {} blocks, largest {} of n={}",
+        btf.blocks,
+        btf.largest_block,
+        btf.unknowns
+    );
+    assert!(
+        btf.lu_nnz_btf <= btf.lu_nnz_amd,
+        "BTF fill regressed: {} (btf) vs {} (amd)",
+        btf.lu_nnz_btf,
+        btf.lu_nnz_amd
+    );
+    assert!(
+        btf.dc_btf_s <= btf.dc_amd_s * 1.10,
+        "BTF DC solve regressed: {:.6}s (btf) vs {:.6}s (amd)",
+        btf.dc_btf_s,
+        btf.dc_amd_s
+    );
+
+    let json = render_json(&results, &fill, &btf);
     std::fs::write(&out_path, &json).expect("write BENCH_campaign.json");
     print!("{json}");
 

@@ -39,8 +39,8 @@ use std::sync::Arc;
 use castg_dsp::{metrics, thd, UniformSamples};
 use castg_numeric::{Bounds, ParamSpace};
 use castg_spice::{
-    AnalysisOptions, Circuit, DcAnalysis, DeviceKind, IntegrationMethod, NodeId, Probe,
-    TranAnalysis, Waveform,
+    AnalysisOptions, Circuit, DcAnalysis, DeviceKind, IntegrationMethod, NodeId, OrderingKind,
+    Probe, SolverKind, TranAnalysis, Waveform,
 };
 
 use crate::config::{check_params, Measurement};
@@ -189,6 +189,9 @@ pub struct DescribedConfig {
     thd_measure: usize,
     thd_harmonics: usize,
     thd_stuck: f64,
+    // Solver dispatch (see [`DescribedConfig::with_solver`]).
+    solver: SolverKind,
+    ordering: OrderingKind,
 }
 
 impl DescribedConfig {
@@ -354,12 +357,26 @@ impl DescribedConfig {
             thd_measure: var("thd_measure").unwrap_or(4.0) as usize,
             thd_harmonics: var("thd_harmonics").unwrap_or(5.0) as usize,
             thd_stuck: var("thd_stuck").unwrap_or(999.0),
+            solver: SolverKind::Auto,
+            ordering: OrderingKind::Auto,
             name,
             descr,
             param_names,
             space,
             seed,
         })
+    }
+
+    /// Forces the solver path every measurement of this configuration
+    /// dispatches through — `Auto`/`Auto` (the default) lets the
+    /// density and fill heuristics decide per circuit; forcing
+    /// `Sparse` + `Btf`/`Amd`/`Natural` pins one arm, the way the
+    /// differential harnesses and the `castg --ordering` flag do.
+    #[must_use]
+    pub fn with_solver(mut self, solver: SolverKind, ordering: OrderingKind) -> Self {
+        self.solver = solver;
+        self.ordering = ordering;
+        self
     }
 
     /// Loads every description file (`*.cfg` or `*.txt`, sorted by file
@@ -451,14 +468,25 @@ impl DescribedConfig {
         }
     }
 
+    /// Options for the DC solves: defaults plus the configuration's
+    /// solver/ordering dispatch.
+    fn dc_options(&self) -> AnalysisOptions {
+        AnalysisOptions {
+            solver: self.solver,
+            ordering: self.ordering,
+            ..AnalysisOptions::default()
+        }
+    }
+
     /// Transient options: the description's `reltol` (when declared)
     /// loosened onto the defaults, exactly like the hand-coded macros'
-    /// long-transient configurations.
+    /// long-transient configurations, plus the solver/ordering dispatch.
     fn tran_options(&self) -> AnalysisOptions {
-        match self.reltol {
-            Some(reltol) => AnalysisOptions { reltol, ..AnalysisOptions::default() },
-            None => AnalysisOptions::default(),
+        let mut opts = self.dc_options();
+        if let Some(reltol) = self.reltol {
+            opts.reltol = reltol;
         }
+        opts
     }
 
     fn method(&self) -> IntegrationMethod {
@@ -524,11 +552,15 @@ impl TestConfiguration for DescribedConfig {
         let wave = self.waveform(params);
         match &self.observe {
             ObserveKind::Dc => {
-                let sol = DcAnalysis::new(circuit).override_stimulus(&stimulus, wave).solve()?;
+                let sol = DcAnalysis::with_options(circuit, self.dc_options())
+                    .override_stimulus(&stimulus, wave)
+                    .solve()?;
                 Ok(Measurement::scalar(sol.voltage(self.observe_node(circuit)?)))
             }
             ObserveKind::BranchCurrent => {
-                let sol = DcAnalysis::new(circuit).override_stimulus(&stimulus, wave).solve()?;
+                let sol = DcAnalysis::with_options(circuit, self.dc_options())
+                    .override_stimulus(&stimulus, wave)
+                    .solve()?;
                 // Device identifiers are case-insensitive like every
                 // other lookup in this interpreter; source_current
                 // itself matches exactly, so resolve the real name.

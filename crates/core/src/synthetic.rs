@@ -27,9 +27,10 @@
 //!   bridge+pinhole dictionary.
 //!
 //! The scalable macros accept a solver/ordering override
-//! (`with_solver`) so the three-way differential tests can force
-//! Dense, Sparse-Natural and Sparse-AMD evaluation of one workload;
-//! the default is `Auto`/`Auto`, identical to every other analysis.
+//! (`with_solver`) so the four-way differential tests can force
+//! Dense, Sparse-Natural, Sparse-AMD and Sparse-BTF evaluation of one
+//! workload; the default is `Auto`/`Auto`, identical to every other
+//! analysis.
 
 use std::sync::Arc;
 
@@ -46,9 +47,9 @@ use crate::descr::{ConfigDescription, ParamSpec, PortAction};
 use crate::{AnalogMacro, CoreError, TestConfiguration};
 
 /// Analysis options a scalable macro's configurations solve with:
-/// the default `Auto`/`Auto` everywhere except the three-way
-/// (Dense / Sparse-Natural / Sparse-AMD) differential harnesses, which
-/// force a path via `with_solver`.
+/// the default `Auto`/`Auto` everywhere except the four-way
+/// (Dense / Sparse-Natural / Sparse-AMD / Sparse-BTF) differential
+/// harnesses, which force a path via `with_solver`.
 fn solve_options(solver: SolverKind, ordering: OrderingKind) -> AnalysisOptions {
     AnalysisOptions { solver, ordering, ..AnalysisOptions::default() }
 }
@@ -597,14 +598,29 @@ impl TestConfiguration for LadderStepConfig {
 /// A chain of NMOS common-source stages: the *nonlinear* scalable
 /// synthetic macro.
 ///
-/// Each stage is a resistively biased common-source amplifier (1 MΩ
-/// divider to ≈2.5 V, 100 kΩ coupling from the previous drain, 50 kΩ
-/// drain load, 1 pF load capacitor); the input source `VIN` drives the
+/// Each stage is a locally biased common-source amplifier: the gate
+/// bias is the Norton equivalent of a 1 MΩ divider to ≈2.5 V (5 µA
+/// into the gate against 500 kΩ to ground) and the drain load is the
+/// Norton equivalent of 50 kΩ to the 5 V rail (100 µA into the drain
+/// against 50 kΩ to ground), with 100 kΩ coupling from the previous
+/// drain and a 1 pF load capacitor; the input source `VIN` drives the
 /// first gate and the last drain is node `out`. Every stage adds one
 /// MOSFET and two nodes, so [`OtaChainMacro::unknowns`] = `2·stages +
 /// 4` scales the many-transistor Newton workload directly. The fault
 /// dictionary mixes drain-pair bridges with gate-oxide pinholes in
 /// evenly spaced transistors.
+///
+/// The Norton form solves the *same node equations* as the rail-tied
+/// divider/load form (each `(V(rail) − v)/R` branch contributes the
+/// identical `v/R − V/R` terms), but it keeps the 5 V rail out of
+/// every stage's connectivity: with no resistor touching `vdd`, the
+/// MNA digraph decomposes into a chain of small strongly connected
+/// components — `{vdd, br_VDD}`, `{vin, br_VIN, g1}`, one `{dᵢ,
+/// gᵢ₊₁}` pair per interior stage (the MOS gate draws no DC current,
+/// so `gᵢ → dᵢ` is one-directional while the coupling resistor is
+/// symmetric), and `{out}` — which is exactly the structure the
+/// sparse LU's BTF ordering exploits. A rail-tied chain is one giant
+/// SCC and BTF degenerates to a single block.
 ///
 /// # Example
 ///
@@ -619,9 +635,19 @@ impl TestConfiguration for LadderStepConfig {
 #[derive(Debug, Clone)]
 pub struct OtaChainMacro {
     stages: usize,
+    solver: SolverKind,
+    ordering: OrderingKind,
 }
 
 impl OtaChainMacro {
+    /// Gate bias Norton current (amperes): 2.5 V across `BIAS_R`.
+    pub const BIAS_I: f64 = 5e-6;
+    /// Gate bias Norton resistance (ohms): the 1 MΩ ∥ 1 MΩ divider.
+    pub const BIAS_R: f64 = 500e3;
+    /// Drain load Norton current (amperes): 5 V across `LOAD_R`.
+    pub const LOAD_I: f64 = 100e-6;
+    /// Drain load Norton resistance (ohms).
+    pub const LOAD_R: f64 = 50e3;
     /// Dictionary resistance of bridge faults (ohms).
     pub const BRIDGE_R0: f64 = 10e3;
     /// Dictionary resistance of pinhole faults (ohms).
@@ -636,7 +662,22 @@ impl OtaChainMacro {
     /// Panics if `stages < 2`.
     pub fn new(stages: usize) -> Self {
         assert!(stages >= 2, "a chain needs at least 2 stages");
-        OtaChainMacro { stages }
+        OtaChainMacro {
+            stages,
+            solver: SolverKind::Auto,
+            ordering: OrderingKind::Auto,
+        }
+    }
+
+    /// Forces the linear-solver path and sparse-LU ordering every
+    /// configuration of this macro solves with (default `Auto`/`Auto`).
+    /// The four-way differential harness evaluates one dictionary
+    /// through Dense, Sparse-Natural, Sparse-AMD and Sparse-BTF
+    /// variants built with this.
+    pub fn with_solver(mut self, solver: SolverKind, ordering: OrderingKind) -> Self {
+        self.solver = solver;
+        self.ordering = ordering;
+        self
     }
 
     /// Creates the smallest chain with at least `n` MNA unknowns.
@@ -692,12 +733,14 @@ impl AnalogMacro for OtaChainMacro {
         let vin = c.node("vin");
         c.add_vsource("VDD", vdd, Circuit::GROUND, Waveform::dc(5.0)).expect("fresh netlist");
         c.add_vsource("VIN", vin, Circuit::GROUND, Waveform::dc(2.0)).expect("fresh netlist");
+        let _ = vdd; // the rail feeds only its source branch: see the type-level docs
         let mut prev = vin;
         for i in 1..=self.stages {
             let g = c.node(&format!("g{i}"));
             let d = c.node(&self.drain_name(i));
-            c.add_resistor(&format!("RB1_{i}"), vdd, g, 1e6).expect("fresh netlist");
-            c.add_resistor(&format!("RB2_{i}"), g, Circuit::GROUND, 1e6)
+            c.add_isource(&format!("IB_{i}"), Circuit::GROUND, g, Waveform::dc(Self::BIAS_I))
+                .expect("fresh netlist");
+            c.add_resistor(&format!("RB_{i}"), g, Circuit::GROUND, Self::BIAS_R)
                 .expect("fresh netlist");
             c.add_resistor(&format!("RC_{i}"), prev, g, 100e3).expect("fresh netlist");
             c.add_mosfet(
@@ -710,7 +753,10 @@ impl AnalogMacro for OtaChainMacro {
                 MosParams::nmos_default(10e-6, 1e-6),
             )
             .expect("fresh netlist");
-            c.add_resistor(&format!("RD_{i}"), vdd, d, 50e3).expect("fresh netlist");
+            c.add_isource(&format!("ID_{i}"), Circuit::GROUND, d, Waveform::dc(Self::LOAD_I))
+                .expect("fresh netlist");
+            c.add_resistor(&format!("RD_{i}"), d, Circuit::GROUND, Self::LOAD_R)
+                .expect("fresh netlist");
             c.add_capacitor(&format!("CL_{i}"), d, Circuit::GROUND, 1e-12)
                 .expect("fresh netlist");
             prev = d;
@@ -733,7 +779,11 @@ impl AnalogMacro for OtaChainMacro {
     }
 
     fn configurations(&self) -> Vec<Arc<dyn TestConfiguration>> {
-        vec![Arc::new(OtaChainDcConfig { stages: self.stages })]
+        vec![Arc::new(OtaChainDcConfig {
+            stages: self.stages,
+            solver: self.solver,
+            ordering: self.ordering,
+        })]
     }
 }
 
@@ -742,6 +792,8 @@ impl AnalogMacro for OtaChainMacro {
 #[derive(Debug, Clone)]
 pub struct OtaChainDcConfig {
     stages: usize,
+    solver: SolverKind,
+    ordering: OrderingKind,
 }
 
 impl TestConfiguration for OtaChainDcConfig {
@@ -767,7 +819,7 @@ impl TestConfiguration for OtaChainDcConfig {
 
     fn measure(&self, circuit: &Circuit, params: &[f64]) -> Result<Measurement, CoreError> {
         check_params(self, params)?;
-        let sol = DcAnalysis::new(circuit)
+        let sol = DcAnalysis::with_options(circuit, solve_options(self.solver, self.ordering))
             .override_stimulus("VIN", Waveform::dc(params[0]))
             .solve()?;
         let out = circuit.find_node("out").ok_or_else(|| CoreError::Configuration {
@@ -1747,6 +1799,28 @@ mod tests {
         assert_eq!(auto.lu_nnz, amd.lu_nnz);
     }
 
+    /// The Norton-biased OTA chain is the workload the BTF ordering
+    /// exists for: the cascade must condense into many small strongly
+    /// connected components (one per stage pair, roughly), and the
+    /// summed per-block fill must not exceed the global-AMD fill.
+    #[test]
+    fn ota_chain_btf_condenses_and_fill_beats_amd() {
+        use castg_spice::{sparse_fill_stats, OrderingKind};
+        let m = OtaChainMacro::with_unknowns(512);
+        let c = m.nominal_circuit();
+        let amd = sparse_fill_stats(&c, OrderingKind::Amd).unwrap();
+        let btf = sparse_fill_stats(&c, OrderingKind::Btf).unwrap();
+        assert_eq!(btf.resolved, OrderingKind::Btf, "cascade must condense");
+        assert!(btf.blocks > 1, "expected >1 diagonal block, got {}", btf.blocks);
+        assert!(
+            btf.largest_block < m.unknowns() / 2,
+            "largest block {} should be far below n={}",
+            btf.largest_block,
+            m.unknowns()
+        );
+        assert!(btf.lu_nnz <= amd.lu_nnz, "btf {} vs amd {}", btf.lu_nnz, amd.lu_nnz);
+    }
+
     #[test]
     fn mesh_solver_override_agrees_across_paths() {
         use castg_spice::{OrderingKind, SolverKind};
@@ -1810,7 +1884,11 @@ mod tests {
     fn ota_chain_dc_config_responds_to_input() {
         let m = OtaChainMacro::new(4);
         let c = m.nominal_circuit();
-        let cfg = OtaChainDcConfig { stages: 4 };
+        let cfg = OtaChainDcConfig {
+            stages: 4,
+            solver: SolverKind::Auto,
+            ordering: OrderingKind::Auto,
+        };
         let lo = cfg.measure(&c, &[0.5]).unwrap();
         let hi = cfg.measure(&c, &[3.5]).unwrap();
         let d = (lo.as_scalars().unwrap()[0] - hi.as_scalars().unwrap()[0]).abs();

@@ -7,6 +7,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 use castg_core::{AnalogMacro, DescribedConfig, TestConfiguration};
+use castg_spice::{OrderingKind, SolverKind};
 use castg_faults::{derive_fault_dictionary, fault_site_nets, BridgeDerivation, FaultDictionary};
 use castg_spice::Circuit;
 
@@ -184,6 +185,33 @@ impl NetlistMacro {
         }
         self.configs = configs;
         self
+    }
+
+    /// Forces the solver/ordering path every attached configuration's
+    /// measurements dispatch through, by re-interpreting each
+    /// configuration's description with the pair applied. `Auto`/`Auto`
+    /// (the default) keeps the per-circuit heuristics; this is what the
+    /// `castg --ordering` flag plumbs down to.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::Config`] when a configuration's description does
+    /// not round-trip through the interpreter (impossible for
+    /// configurations produced by [`from_files`](NetlistMacro::from_files)).
+    pub fn with_solver(
+        mut self,
+        solver: SolverKind,
+        ordering: OrderingKind,
+    ) -> Result<Self, NetlistError> {
+        let mut configs: Vec<Arc<dyn TestConfiguration>> = Vec::with_capacity(self.configs.len());
+        for cfg in &self.configs {
+            let rebuilt = DescribedConfig::new(cfg.id(), cfg.description())
+                .map_err(|e| NetlistError::Config { reason: e.to_string() })?
+                .with_solver(solver, ordering);
+            configs.push(Arc::new(rebuilt));
+        }
+        self.configs = configs;
+        Ok(self)
     }
 
     /// The parsed circuit.

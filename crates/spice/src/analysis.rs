@@ -28,10 +28,16 @@ pub struct AnalysisOptions {
     pub solver: SolverKind,
     /// Column ordering for the sparse LU's elimination. `Auto` (the
     /// default) keeps natural MNA order unless a fill comparison on the
-    /// circuit's canonical matrix shows AMD reducing `nnz(L+U)` past
-    /// the margin; `Natural`/`Amd` force an ordering (the three-way
+    /// circuit's canonical matrix shows AMD (or, past a second margin,
+    /// BTF) reducing the stored `nnz(L+U)` past the margin;
+    /// `Natural`/`Amd`/`Btf` force an ordering (the four-way
     /// differential tests cross-check them). Ignored on the dense path.
     pub ordering: OrderingKind,
+    /// Worker threads for block-parallel sparse refactorization (BTF
+    /// orderings with more than one diagonal block; everything else is
+    /// unaffected). Results are bit-identical at every thread count —
+    /// same discipline as `AcAnalysis::threads`. Default 1 (serial).
+    pub block_threads: usize,
 }
 
 impl Default for AnalysisOptions {
@@ -45,6 +51,7 @@ impl Default for AnalysisOptions {
             max_step_v: 0.5,
             solver: SolverKind::Auto,
             ordering: OrderingKind::Auto,
+            block_threads: 1,
         }
     }
 }

@@ -89,10 +89,16 @@ pub(crate) struct NewtonScratch {
 }
 
 impl NewtonScratch {
-    pub(crate) fn new(circuit: &Circuit, kind: SolverKind, ordering: OrderingKind) -> Self {
+    pub(crate) fn new(
+        circuit: &Circuit,
+        kind: SolverKind,
+        ordering: OrderingKind,
+        block_threads: usize,
+        scope: crate::stamp::PatternScope,
+    ) -> Self {
         let plan = circuit.plan();
         let n = plan.dim();
-        let solver = MnaSolver::for_plan(&plan, kind, ordering);
+        let solver = MnaSolver::for_plan(&plan, kind, ordering, block_threads, scope);
         NewtonScratch {
             plan,
             solver,
@@ -241,7 +247,16 @@ impl<'c> DcAnalysis<'c> {
         // solve, shared across all fallback strategies; one state
         // vector mutated in place by the Newton iterations. `iters`
         // accumulates every Newton iteration any strategy spends.
-        let mut scratch = NewtonScratch::new(self.circuit, self.options.solver, self.options.ordering);
+        // DC factors the static pattern: capacitors are open, and
+        // carrying their slots would cost fill and block the BTF
+        // condensation (see `PatternScope`).
+        let mut scratch = NewtonScratch::new(
+            self.circuit,
+            self.options.solver,
+            self.options.ordering,
+            self.options.block_threads,
+            crate::stamp::PatternScope::Static,
+        );
         scratch.overrides = overrides;
         let mut x = initial.to_vec();
         let mut iters = 0usize;

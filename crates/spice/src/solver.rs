@@ -73,6 +73,15 @@ pub enum OrderingKind {
     /// ([`castg_numeric::SparsePattern::amd_ordering`]), the
     /// fill-reducing choice for mesh/crossbar structure.
     Amd,
+    /// Block-triangular form
+    /// ([`castg_numeric::SparsePattern::btf_order`], KLU-style):
+    /// maximum transversal + SCC condensation + per-block AMD. Only the
+    /// diagonal blocks are factored; the choice for cascaded/one-way
+    /// structure (OTA chains, flattened `.subckt` stages). Falls back
+    /// to `Amd` when the condensation is trivial (a single diagonal
+    /// block) or the pattern is structurally singular, so forcing `Btf`
+    /// on an irreducible circuit is bit-identical to forcing `Amd`.
+    Btf,
 }
 
 /// Structural fill statistics of a circuit's sparse factorization under
@@ -83,11 +92,20 @@ pub struct FillStats {
     pub unknowns: usize,
     /// Structural nonzeros of the assembled MNA pattern.
     pub pattern_nnz: usize,
-    /// Structural nonzeros of `L + U` (diagonal counted once).
+    /// Structural nonzeros the factorization stores: `L + U` with the
+    /// diagonal counted once, plus (under BTF) the raw off-diagonal
+    /// coupling entries.
     pub lu_nnz: usize,
     /// The ordering the factorization actually used (`Auto` resolved to
-    /// `Natural` or `Amd`).
+    /// `Natural`, `Amd` or `Btf`; `Btf` resolved to `Amd` when the
+    /// condensation is trivial).
     pub resolved: OrderingKind,
+    /// Diagonal-block count of the factorization (1 for every non-BTF
+    /// ordering).
+    pub blocks: usize,
+    /// Size of the largest diagonal block (`unknowns` for every non-BTF
+    /// ordering).
+    pub largest_block: usize,
 }
 
 /// Factors the circuit's canonical MNA matrix under `ordering` and
@@ -99,12 +117,20 @@ pub struct FillStats {
 /// broken netlist).
 pub fn sparse_fill_stats(circuit: &crate::Circuit, ordering: OrderingKind) -> Option<FillStats> {
     let plan = circuit.plan();
-    let symbolic = plan.canonical_symbolic(ordering)?;
+    let scope = crate::stamp::PatternScope::Static;
+    let symbolic = plan.canonical_symbolic(ordering, scope)?;
     Some(FillStats {
         unknowns: plan.dim(),
-        pattern_nnz: plan.sparse_template().pattern().nnz(),
+        pattern_nnz: plan.sparse_template(scope).pattern().nnz(),
         lu_nnz: symbolic.fill_nnz(),
-        resolved: plan.resolve_ordering(ordering),
+        resolved: plan.resolve_ordering(ordering, scope),
+        blocks: symbolic.block_count(),
+        largest_block: symbolic
+            .blocks()
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .max()
+            .unwrap_or(0),
     })
 }
 
@@ -132,7 +158,12 @@ impl SolverKind {
             SolverKind::Sparse => true,
             SolverKind::Auto => {
                 let n = plan.dim();
-                n >= SPARSE_MIN_N && plan.sparse_template().pattern().density() <= SPARSE_MAX_DENSITY
+                n >= SPARSE_MIN_N
+                    && plan
+                        .sparse_template(crate::stamp::PatternScope::Full)
+                        .pattern()
+                        .density()
+                        <= SPARSE_MAX_DENSITY
             }
         }
     }
@@ -170,19 +201,33 @@ impl MnaSolver {
     /// matrix is singular (no shareable skeleton), an explicitly
     /// requested AMD ordering is still installed so the instance's own
     /// analysis eliminates in fill-reducing order.
-    pub(crate) fn for_plan(plan: &StampPlan, kind: SolverKind, ordering: OrderingKind) -> Self {
+    pub(crate) fn for_plan(
+        plan: &StampPlan,
+        kind: SolverKind,
+        ordering: OrderingKind,
+        block_threads: usize,
+        scope: crate::stamp::PatternScope,
+    ) -> Self {
         let n = plan.dim();
         if kind.use_sparse(plan) {
             let mut lu = SparseLu::new();
-            match plan.canonical_symbolic(ordering) {
+            match plan.canonical_symbolic(ordering, scope) {
                 Some(symbolic) => lu.seed_symbolic(symbolic),
-                None => {
-                    if plan.resolve_ordering(ordering) == OrderingKind::Amd {
-                        lu.set_ordering(plan.amd_permutation().clone());
+                None => match plan.resolve_ordering(ordering, scope) {
+                    OrderingKind::Amd => lu.set_ordering(plan.amd_permutation(scope).clone()),
+                    OrderingKind::Btf => {
+                        // Resolving to Btf guarantees a usable order.
+                        let order = plan
+                            .btf_ordering(scope)
+                            .cloned()
+                            .expect("Btf resolution implies a usable BTF order");
+                        lu.set_btf_order(order);
                     }
-                }
+                    _ => {}
+                },
             }
-            MnaSolver::Sparse { mat: plan.sparse_template().clone(), lu }
+            lu.set_threads(block_threads);
+            MnaSolver::Sparse { mat: plan.sparse_template(scope).clone(), lu }
         } else {
             MnaSolver::Dense { mat: Matrix::zeros(n, n), lu: LuWorkspace::new(n) }
         }
@@ -284,7 +329,13 @@ mod tests {
 
         let mut solutions = Vec::new();
         for kind in [SolverKind::Dense, SolverKind::Sparse] {
-            let mut solver = MnaSolver::for_plan(&plan, kind, OrderingKind::Auto);
+            let mut solver = MnaSolver::for_plan(
+                &plan,
+                kind,
+                OrderingKind::Auto,
+                1,
+                crate::stamp::PatternScope::Full,
+            );
             assert_eq!(solver.is_sparse(), kind == SolverKind::Sparse);
             let mut rhs = vec![0.0; n];
             let mut x = vec![0.0; n];

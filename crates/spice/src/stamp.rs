@@ -301,35 +301,83 @@ pub(crate) struct StampPlan {
     /// conductances and the AC `C` matrix (explicit capacitors plus MOS
     /// gate capacitances).
     dynamic_slots: Vec<(usize, usize)>,
-    /// Lazily built all-zero sparse matrix over the union of
-    /// `static_slots` and `dynamic_slots`; cloned (pattern shared, one
-    /// value vector each) by every sparse solver instance for this
-    /// circuit, so the pattern construction is paid once per plan.
-    sparse_template: OnceLock<SparseMatrix>,
+    /// Per-[`PatternScope`] lazy caches: the sparse template, canonical
+    /// symbolic analyses, orderings and stamp indices all come in a
+    /// `Static` (DC) and a `Full` (transient / AC) flavor, because the
+    /// two scopes factor different sparsity patterns. When the static
+    /// and full slot sets produce the same pattern (no off-diagonal
+    /// capacitive coupling — ladders, meshes), the static template
+    /// shares the full pattern's `Arc` and every `Static` lookup is
+    /// transparently redirected to the `Full` caches, so such plans pay
+    /// for one scope exactly as before the split.
+    caches: [ScopeCaches; 2],
+}
+
+/// Which slot set an analysis's matrices (and therefore its symbolic
+/// analyses and orderings) live on.
+///
+/// DC solves factor the **static** (resistive/Jacobian) pattern only:
+/// capacitors are open in DC, so their slots would be structural zeros
+/// that cost fill *and* glue otherwise independent diagonal blocks
+/// together — a MOS cascade condenses into per-stage BTF blocks under
+/// the static pattern but is one giant strongly connected component
+/// under the full one (the gate-drain capacitance couples every stage
+/// symmetrically). Transient solves stamp companion conductances into
+/// the dynamic slots and need the **full** union; the AC engine stamps
+/// `G` and `C` over the full template too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PatternScope {
+    /// Static (DC/Jacobian) slots only.
+    Static = 0,
+    /// Static ∪ dynamic slots (transient companions, AC reactances).
+    Full = 1,
+}
+
+/// The per-scope half of a [`StampPlan`]'s lazy state; see the `caches`
+/// field for the redirection rule that keeps single-pattern plans on
+/// one copy.
+#[derive(Debug, Clone, Default)]
+struct ScopeCaches {
+    /// Lazily built all-zero sparse matrix over this scope's slot set;
+    /// cloned (pattern shared, one value vector each) by every sparse
+    /// solver instance for this circuit, so the pattern construction is
+    /// paid once per plan.
+    template: OnceLock<SparseMatrix>,
     /// Lazily computed shared symbolic analyses of the canonical MNA
     /// matrix (assembled at `x = 0` with the default gmin), one per
     /// column ordering; `None` inside when the canonical matrix is
     /// singular. Every sparse solver instance for this circuit seeds
     /// from the one its analysis ordering resolves to, so a whole fault
     /// campaign pays one symbolic analysis (and at most one AMD run)
-    /// per circuit variant.
+    /// per circuit variant and scope.
     canonical_natural: OnceLock<Option<Arc<SparseSymbolic>>>,
     canonical_amd: OnceLock<Option<Arc<SparseSymbolic>>>,
-    /// Lazily computed AMD permutation of the sparse template's
-    /// pattern: one ordering construction per plan, shared by the Auto
+    canonical_btf: OnceLock<Option<Arc<SparseSymbolic>>>,
+    /// Lazily computed BTF preordering of this scope's pattern (`None`
+    /// inside when the pattern is structurally singular): one
+    /// transversal + condensation + per-block AMD per plan and scope,
+    /// shared by the Btf/Auto resolution, the canonical BTF
+    /// factorization, and solver instances that must order their own
+    /// analysis. Like `amd_perm`, a pure function of the pattern —
+    /// delta-patched and rebuilt variants of one faulted circuit
+    /// compute identical orders.
+    btf_order: OnceLock<Option<Arc<castg_numeric::BtfOrder>>>,
+    /// Lazily computed AMD permutation of this scope's pattern: one
+    /// ordering construction per plan and scope, shared by the Auto
     /// comparison, the canonical AMD factorization, and solver
     /// instances that must order their own analysis (singular
     /// canonical).
     amd_perm: OnceLock<Vec<usize>>,
-    /// Lazily resolved `OrderingKind::Auto` verdict (`Natural` or
-    /// `Amd`); see [`resolve_ordering`](StampPlan::resolve_ordering)
-    /// for the two-gate rule. Every input is reproduced bit-identically
-    /// by a delta-patched plan — and the verdict is never inherited
-    /// across device patches — so delta-patched and rebuilt variants of
-    /// one faulted circuit always resolve identically.
+    /// Lazily resolved `OrderingKind::Auto` verdict (`Natural`, `Amd`
+    /// or `Btf`); see [`resolve_ordering`](StampPlan::resolve_ordering)
+    /// for the three-gate rule. Every input is reproduced
+    /// bit-identically by a delta-patched plan — and the verdict is
+    /// never inherited across device patches — so delta-patched and
+    /// rebuilt variants of one faulted circuit always resolve
+    /// identically.
     auto_ordering: OnceLock<OrderingKind>,
     /// Lazily resolved value-array indices of every static stamp the
-    /// replay performs against the sparse template, in replay order
+    /// replay performs against this scope's template, in replay order
     /// (gmin diagonal first, then per-op adds). The sparse assembly
     /// fast path walks this with a cursor instead of binary-searching
     /// each `(row, col)` — same adds, same order, same bits.
@@ -397,13 +445,29 @@ impl StampPlan {
             linear,
             static_slots,
             dynamic_slots,
-            sparse_template: OnceLock::new(),
-            canonical_natural: OnceLock::new(),
-            canonical_amd: OnceLock::new(),
-            amd_perm: OnceLock::new(),
-            auto_ordering: OnceLock::new(),
-            sparse_index: OnceLock::new(),
+            caches: [ScopeCaches::default(), ScopeCaches::default()],
         }
+    }
+
+    /// The cache set `scope` resolves to, applying the redirection rule:
+    /// when the static slot set produces the same pattern as the full
+    /// one, `Static` lookups land on the `Full` caches so the plan pays
+    /// for one scope only.
+    fn scope_caches(&self, scope: PatternScope) -> &ScopeCaches {
+        let scope = match scope {
+            PatternScope::Full => PatternScope::Full,
+            PatternScope::Static => {
+                if Arc::ptr_eq(
+                    self.sparse_template(PatternScope::Static).pattern(),
+                    self.sparse_template(PatternScope::Full).pattern(),
+                ) {
+                    PatternScope::Full
+                } else {
+                    PatternScope::Static
+                }
+            }
+        };
+        &self.caches[scope as usize]
     }
 
     /// Derives the plan with stimulus waveform slot `wave` replaced.
@@ -451,12 +515,31 @@ impl StampPlan {
         // device's static slots are exactly the tail beyond the base
         // plan's list.
         if n == self.n {
-            if let Some(base) = self.sparse_template.get() {
-                let mut new_slots: Vec<(usize, usize)> =
-                    plan.static_slots[self.static_slots.len()..].to_vec();
+            let new_static: Vec<(usize, usize)> =
+                plan.static_slots[self.static_slots.len()..].to_vec();
+            let full_idx = PatternScope::Full as usize;
+            let static_idx = PatternScope::Static as usize;
+            if let Some(base) = self.caches[full_idx].template.get() {
+                let mut new_slots = new_static.clone();
                 new_slots.extend_from_slice(&plan.dynamic_slots[base_dynamic..]);
                 let pattern = base.pattern().merged_with(&new_slots);
-                let _ = plan.sparse_template.set(SparseMatrix::with_pattern(pattern));
+                let _ = plan.caches[full_idx].template.set(SparseMatrix::with_pattern(pattern));
+            }
+            if let Some(base) = self.caches[static_idx].template.get() {
+                // Same merge for the static scope; re-establish the
+                // Arc-sharing redirection when the merged static
+                // pattern still matches the (pre-seeded) full one, so a
+                // patched variant collapses its scopes exactly like a
+                // rebuild would.
+                let pattern = base.pattern().merged_with(&new_static);
+                let shared = plan.caches[full_idx]
+                    .template
+                    .get()
+                    .filter(|full| full.pattern().as_ref() == pattern.as_ref())
+                    .map(|full| Arc::clone(full.pattern()));
+                let _ = plan.caches[static_idx]
+                    .template
+                    .set(SparseMatrix::with_pattern(shared.unwrap_or(pattern)));
             }
             // `auto_ordering` is deliberately *not* carried over: the
             // Auto verdict must stay a pure function of the (possibly
@@ -474,17 +557,34 @@ impl StampPlan {
         &self.dynamic_slots
     }
 
-    /// The all-zero sparse assembly matrix over every slot any analysis
-    /// of this circuit can stamp (static + dynamic). Built on first use
-    /// and cached; callers clone it (the pattern is shared by `Arc`, so
-    /// a clone allocates only the value vector) and stamp into the
-    /// clone.
-    pub(crate) fn sparse_template(&self) -> &SparseMatrix {
-        self.sparse_template.get_or_init(|| {
-            let mut slots = self.static_slots.clone();
-            slots.extend_from_slice(&self.dynamic_slots);
-            SparseMatrix::from_entries(self.n, &slots)
-        })
+    /// The all-zero sparse assembly matrix over `scope`'s slot set —
+    /// `Full` is every slot any analysis of this circuit can stamp
+    /// (static + dynamic), `Static` the DC/Jacobian subset. Built on
+    /// first use and cached; callers clone it (the pattern is shared by
+    /// `Arc`, so a clone allocates only the value vector) and stamp
+    /// into the clone. A static pattern identical to the full one
+    /// shares the full pattern's `Arc` (see [`PatternScope`]).
+    pub(crate) fn sparse_template(&self, scope: PatternScope) -> &SparseMatrix {
+        match scope {
+            PatternScope::Full => {
+                self.caches[PatternScope::Full as usize].template.get_or_init(|| {
+                    let mut slots = self.static_slots.clone();
+                    slots.extend_from_slice(&self.dynamic_slots);
+                    SparseMatrix::from_entries(self.n, &slots)
+                })
+            }
+            PatternScope::Static => {
+                self.caches[PatternScope::Static as usize].template.get_or_init(|| {
+                    let full = self.sparse_template(PatternScope::Full);
+                    let mat = SparseMatrix::from_entries(self.n, &self.static_slots);
+                    if mat.pattern().as_ref() == full.pattern().as_ref() {
+                        SparseMatrix::with_pattern(Arc::clone(full.pattern()))
+                    } else {
+                        mat
+                    }
+                })
+            }
+        }
     }
 
     /// Shared symbolic analysis of the canonical MNA matrix — the
@@ -501,21 +601,43 @@ impl StampPlan {
     pub(crate) fn canonical_symbolic(
         &self,
         ordering: OrderingKind,
+        scope: PatternScope,
     ) -> Option<Arc<SparseSymbolic>> {
-        match self.resolve_ordering(ordering) {
-            OrderingKind::Amd => self
-                .canonical_amd
-                .get_or_init(|| self.factor_canonical(Some(self.amd_permutation().clone())))
-                .clone(),
-            _ => self.natural_symbolic(),
+        match self.resolve_ordering(ordering, scope) {
+            OrderingKind::Amd => self.amd_symbolic(scope),
+            OrderingKind::Btf => self.btf_symbolic(scope),
+            _ => self.natural_symbolic(scope),
         }
     }
 
-    /// The AMD permutation of this plan's sparse pattern, constructed
+    /// The AMD permutation of `scope`'s sparse pattern, constructed
     /// once and shared by every consumer (Auto fill prediction,
     /// canonical AMD factorization, instances analyzing on their own).
-    pub(crate) fn amd_permutation(&self) -> &Vec<usize> {
-        self.amd_perm.get_or_init(|| self.sparse_template().pattern().amd_ordering())
+    pub(crate) fn amd_permutation(&self, scope: PatternScope) -> &Vec<usize> {
+        self.scope_caches(scope)
+            .amd_perm
+            .get_or_init(|| self.sparse_template(scope).pattern().amd_ordering())
+    }
+
+    /// The BTF preordering of `scope`'s sparse pattern (`None` when
+    /// structurally singular), constructed once and shared by every
+    /// consumer — the Btf/Auto resolution, the canonical BTF
+    /// factorization, and instances analyzing on their own.
+    pub(crate) fn btf_ordering(&self, scope: PatternScope) -> Option<&Arc<castg_numeric::BtfOrder>> {
+        self.scope_caches(scope)
+            .btf_order
+            .get_or_init(|| self.sparse_template(scope).pattern().btf_order().map(Arc::new))
+            .as_ref()
+    }
+
+    /// Whether the plan's BTF preordering is worth dispatching to: the
+    /// pattern has a zero-free diagonal *and* the condensation found
+    /// more than one diagonal block. A single-block (irreducible)
+    /// circuit gains nothing from the block machinery, so `Btf`
+    /// resolves to `Amd` there — keeping the forced-Btf path
+    /// bit-identical to forced-Amd where blocks don't exist.
+    fn btf_usable(&self, scope: PatternScope) -> bool {
+        self.btf_ordering(scope).is_some_and(|b| b.block_count() > 1)
     }
 
     /// Resolves an [`OrderingKind`] against this plan: `Natural` and
@@ -540,11 +662,15 @@ impl StampPlan {
     /// both of which a delta-patched plan reproduces bit-identically
     /// to a rebuild — so the two always resolve the same way. Never
     /// returns `Auto`.
-    pub(crate) fn resolve_ordering(&self, ordering: OrderingKind) -> OrderingKind {
+    pub(crate) fn resolve_ordering(
+        &self,
+        ordering: OrderingKind,
+        scope: PatternScope,
+    ) -> OrderingKind {
         match ordering {
-            OrderingKind::Auto => *self.auto_ordering.get_or_init(|| {
-                let nnz = self.sparse_template().pattern().nnz();
-                let natural_fill = match self.natural_symbolic() {
+            OrderingKind::Auto => *self.scope_caches(scope).auto_ordering.get_or_init(|| {
+                let nnz = self.sparse_template(scope).pattern().nnz();
+                let natural_fill = match self.natural_symbolic(scope) {
                     Some(s) => s.fill_nnz(),
                     // Singular canonical matrix: no fill to compare;
                     // instances analyze on their own in natural order.
@@ -553,32 +679,83 @@ impl StampPlan {
                 if (natural_fill as f64) < crate::solver::AMD_AUTO_MIN_BLOWUP * nnz as f64 {
                     return OrderingKind::Natural;
                 }
-                let amd_fill = self
-                    .canonical_amd
-                    .get_or_init(|| self.factor_canonical(Some(self.amd_permutation().clone())))
-                    .as_ref()
-                    .map(|s| s.fill_nnz());
-                match amd_fill {
-                    Some(a) if (a as f64) <= crate::solver::AMD_AUTO_MARGIN * natural_fill as f64 => {
-                        OrderingKind::Amd
+                let amd_fill = match self.amd_symbolic(scope).map(|s| s.fill_nnz()) {
+                    Some(a)
+                        if (a as f64)
+                            <= crate::solver::AMD_AUTO_MARGIN * natural_fill as f64 =>
+                    {
+                        a
                     }
-                    _ => OrderingKind::Natural,
+                    _ => return OrderingKind::Natural,
+                };
+                // Third gate: BTF supersedes AMD only when the
+                // condensation found real block structure (>1
+                // nontrivial block) *and* the total BTF storage beats
+                // global AMD by the same margin AMD had to clear.
+                if self.btf_usable(scope)
+                    && self.btf_ordering(scope).is_some_and(|b| b.nontrivial_blocks() > 1)
+                {
+                    if let Some(b) = self.btf_symbolic(scope) {
+                        if (b.fill_nnz() as f64)
+                            <= crate::solver::AMD_AUTO_MARGIN * amd_fill as f64
+                        {
+                            return OrderingKind::Btf;
+                        }
+                    }
                 }
+                OrderingKind::Amd
             }),
+            OrderingKind::Btf if !self.btf_usable(scope) => OrderingKind::Amd,
             other => other,
         }
     }
 
     /// The natural-order canonical symbolic analysis (cached).
-    fn natural_symbolic(&self) -> Option<Arc<SparseSymbolic>> {
-        self.canonical_natural.get_or_init(|| self.factor_canonical(None)).clone()
+    fn natural_symbolic(&self, scope: PatternScope) -> Option<Arc<SparseSymbolic>> {
+        self.scope_caches(scope)
+            .canonical_natural
+            .get_or_init(|| self.factor_canonical(scope, |_| {}))
+            .clone()
     }
 
-    /// Assembles the canonical matrix and factors it under the given
-    /// column ordering (`None` = natural), returning the symbolic
-    /// skeleton or `None` on singularity.
-    fn factor_canonical(&self, ordering: Option<Vec<usize>>) -> Option<Arc<SparseSymbolic>> {
-        let mut mat = self.sparse_template().clone();
+    /// The AMD-ordered canonical symbolic analysis (cached).
+    fn amd_symbolic(&self, scope: PatternScope) -> Option<Arc<SparseSymbolic>> {
+        self.scope_caches(scope)
+            .canonical_amd
+            .get_or_init(|| {
+                let perm = self.amd_permutation(scope).clone();
+                self.factor_canonical(scope, |lu| lu.set_ordering(perm))
+            })
+            .clone()
+    }
+
+    /// The BTF-ordered canonical symbolic analysis (cached). Falls back
+    /// to the AMD canonical when no usable BTF order exists, mirroring
+    /// [`resolve_ordering`](StampPlan::resolve_ordering).
+    fn btf_symbolic(&self, scope: PatternScope) -> Option<Arc<SparseSymbolic>> {
+        if !self.btf_usable(scope) {
+            return self.amd_symbolic(scope);
+        }
+        self.scope_caches(scope)
+            .canonical_btf
+            .get_or_init(|| {
+                let order =
+                    Arc::clone(self.btf_ordering(scope).expect("btf_usable implies order"));
+                self.factor_canonical(scope, |lu| lu.set_btf_order(order))
+            })
+            .clone()
+    }
+
+    /// Assembles the canonical matrix and factors it with a workspace
+    /// prepared by `setup` (ordering / BTF-order installation; the
+    /// empty closure = natural order), returning the symbolic skeleton
+    /// or `None` on singularity.
+    fn factor_canonical(
+        &self,
+        scope: PatternScope,
+        setup: impl FnOnce(&mut SparseLu),
+    ) -> Option<Arc<SparseSymbolic>> {
+        let mut mat = self.sparse_template(scope).clone();
         let mut rhs = vec![0.0; self.n];
         let x0 = vec![0.0; self.n];
         let mut src_vals = Vec::new();
@@ -591,9 +768,7 @@ impl StampPlan {
         let gmin = crate::analysis::AnalysisOptions::default().gmin;
         self.assemble_into(&x0, &mut mat, &mut rhs, gmin, &src_vals);
         let mut lu = SparseLu::new();
-        if let Some(perm) = ordering {
-            lu.set_ordering(perm);
-        }
+        setup(&mut lu);
         match lu.factor(&mat) {
             Ok(()) => lu.symbolic(),
             Err(_) => None,
@@ -609,12 +784,13 @@ impl StampPlan {
     }
 
     /// Value-array indices of every static matrix add the replay
-    /// performs against the sparse template, in replay order. Built on
-    /// first use; every slot is guaranteed present (the template's
-    /// pattern is derived from the same op walk).
-    fn sparse_index(&self) -> &[u32] {
-        self.sparse_index.get_or_init(|| {
-            let pattern = Arc::clone(self.sparse_template().pattern());
+    /// performs against `scope`'s sparse template, in replay order.
+    /// Built on first use; every slot is guaranteed present in either
+    /// scope (static stamps touch static slots only, which both
+    /// patterns contain).
+    fn sparse_index(&self, scope: PatternScope) -> &[u32] {
+        self.scope_caches(scope).sparse_index.get_or_init(|| {
+            let pattern = Arc::clone(self.sparse_template(scope).pattern());
             let slot = |r: usize, c: usize| {
                 pattern.slot(r, c).expect("static stamp slot missing from template") as u32
             };
@@ -675,11 +851,16 @@ impl StampPlan {
         gmin: f64,
         source_vals: &[f64],
     ) {
-        if !Arc::ptr_eq(mat.pattern(), self.sparse_template().pattern()) {
+        let scope = if Arc::ptr_eq(mat.pattern(), self.sparse_template(PatternScope::Full).pattern())
+        {
+            PatternScope::Full
+        } else if Arc::ptr_eq(mat.pattern(), self.sparse_template(PatternScope::Static).pattern()) {
+            PatternScope::Static
+        } else {
             self.assemble_into(x, mat, rhs, gmin, source_vals);
             return;
-        }
-        let index = self.sparse_index();
+        };
+        let index = self.sparse_index(scope);
         mat.clear();
         rhs.fill(0.0);
         let values = mat.values_mut();
@@ -998,9 +1179,14 @@ mod tests {
         assert_eq!(a.is_linear(), b.is_linear());
         // Same sparsity pattern, independently constructed.
         assert_eq!(
-            a.sparse_template().pattern(),
-            b.sparse_template().pattern(),
+            a.sparse_template(PatternScope::Full).pattern(),
+            b.sparse_template(PatternScope::Full).pattern(),
             "patterns diverged"
+        );
+        assert_eq!(
+            a.sparse_template(PatternScope::Static).pattern(),
+            b.sparse_template(PatternScope::Static).pattern(),
+            "static patterns diverged"
         );
     }
 
@@ -1034,7 +1220,8 @@ mod tests {
     fn wave_patch_matches_recompile_and_keeps_template() {
         let c = patch_fixture();
         let base = StampPlan::build(&c);
-        let base_pattern = std::sync::Arc::clone(base.sparse_template().pattern());
+        let base_pattern =
+            std::sync::Arc::clone(base.sparse_template(PatternScope::Full).pattern());
         let patched = base.with_wave(0, Waveform::dc(3.3));
 
         let mut direct = c.clone();
@@ -1043,7 +1230,10 @@ mod tests {
 
         assert_plans_replay_identically(&patched, &rebuilt);
         assert!(
-            std::sync::Arc::ptr_eq(patched.sparse_template().pattern(), &base_pattern),
+            std::sync::Arc::ptr_eq(
+                patched.sparse_template(PatternScope::Full).pattern(),
+                &base_pattern
+            ),
             "a wave patch must not reset the sparse template"
         );
     }
@@ -1083,11 +1273,11 @@ mod tests {
         let mut vals = Vec::new();
         plan.source_values(&mut vals, |w| w.dc_value());
 
-        let mut generic = plan.sparse_template().clone();
+        let mut generic = plan.sparse_template(PatternScope::Full).clone();
         let mut rhs_g = vec![0.0; n];
         plan.assemble_into(&x, &mut generic, &mut rhs_g, 1e-12, &vals);
 
-        let mut fast = plan.sparse_template().clone();
+        let mut fast = plan.sparse_template(PatternScope::Full).clone();
         let mut rhs_f = vec![f64::NAN; n];
         plan.assemble_into_sparse(&x, &mut fast, &mut rhs_f, 1e-12, &vals);
 

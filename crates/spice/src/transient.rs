@@ -97,8 +97,17 @@ impl TranScratch {
         n_dyns: usize,
         solver: crate::solver::SolverKind,
         ordering: crate::solver::OrderingKind,
+        block_threads: usize,
     ) -> Self {
-        let newton = NewtonScratch::new(circuit, solver, ordering);
+        // Transient stamps companion conductances into the dynamic
+        // slots, so its Newton systems live on the full pattern.
+        let newton = NewtonScratch::new(
+            circuit,
+            solver,
+            ordering,
+            block_threads,
+            crate::stamp::PatternScope::Full,
+        );
         let n = newton.plan.dim();
         TranScratch {
             newton,
@@ -199,8 +208,13 @@ impl<'c> TranAnalysis<'c> {
         trace.push_row(0.0, &row);
 
         let n_steps = (t_stop / dt - 1e-9).ceil().max(1.0) as usize;
-        let mut scratch =
-            TranScratch::new(self.circuit, dyns.len(), self.options.solver, self.options.ordering);
+        let mut scratch = TranScratch::new(
+            self.circuit,
+            dyns.len(),
+            self.options.solver,
+            self.options.ordering,
+            self.options.block_threads,
+        );
         scratch.newton.overrides = resolve_overrides(self.circuit, &self.overrides)?;
 
         for k in 1..=n_steps {

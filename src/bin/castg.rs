@@ -5,6 +5,8 @@
 //! castg generate <deck.sp> --configs <dir> [options]
 //!     --configs DIR        configuration description files (*.cfg/*.txt)
 //!     --faults MODE        bridge derivation: exhaustive (default) | adjacent
+//!     --ordering KIND      solver dispatch: auto (default) | natural | amd | btf
+//!                          (a forced ordering also forces the sparse solver)
 //!     --bridge-ohms R      dictionary bridge resistance   [10e3]
 //!     --pinhole-ohms R     dictionary pinhole resistance  [2e3]
 //!     --skip-faults N      skip the first N derived faults
@@ -13,9 +15,11 @@
 //!     --out PATH           write the full text report here (stdout otherwise)
 //!     --json PATH          write a machine-readable summary here
 //!
-//! castg check <deck.sp>
-//!     Parse the deck, solve its DC operating point, and print node
-//!     voltages and source currents.
+//! castg check <deck.sp> [--ordering KIND]
+//!     Parse the deck, solve its DC operating point, print node
+//!     voltages and source currents, and report the sparse-factor fill
+//!     and block structure under each ordering — so users can see which
+//!     solver path their macro will take before running a campaign.
 //! ```
 //!
 //! The text report is the same canonical rendering the golden-fixture
@@ -35,16 +39,16 @@ use castg::core::{
 };
 use castg::faults::{BridgeDerivation, FaultDictionary};
 use castg::netlist::{parse_deck, NetlistMacro, NetlistMacroOptions};
-use castg::spice::DcAnalysis;
+use castg::spice::{sparse_fill_stats, DcAnalysis, OrderingKind, SolverKind};
 
 const USAGE: &str = "\
 castg — compact structural test generation for analog macros
 
 USAGE:
     castg generate <deck.sp> --configs <dir> [--faults exhaustive|adjacent]
-          [--bridge-ohms R] [--pinhole-ohms R] [--skip-faults N] [--max-faults N]
-          [--threads N] [--out PATH] [--json PATH]
-    castg check <deck.sp>
+          [--ordering auto|natural|amd|btf] [--bridge-ohms R] [--pinhole-ohms R]
+          [--skip-faults N] [--max-faults N] [--threads N] [--out PATH] [--json PATH]
+    castg check <deck.sp> [--ordering auto|natural|amd|btf]
 ";
 
 fn main() -> ExitCode {
@@ -71,6 +75,7 @@ struct GenerateArgs {
     deck: PathBuf,
     configs: PathBuf,
     options: NetlistMacroOptions,
+    dispatch: Option<(SolverKind, OrderingKind)>,
     skip_faults: usize,
     max_faults: Option<usize>,
     threads: usize,
@@ -82,6 +87,7 @@ fn parse_generate_args(args: &[String]) -> Result<GenerateArgs, String> {
     let mut deck: Option<PathBuf> = None;
     let mut configs: Option<PathBuf> = None;
     let mut options = NetlistMacroOptions::default();
+    let mut dispatch = None;
     let mut skip_faults = 0usize;
     let mut max_faults = None;
     let mut threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
@@ -101,6 +107,7 @@ fn parse_generate_args(args: &[String]) -> Result<GenerateArgs, String> {
                     other => return Err(format!("--faults must be exhaustive or adjacent, got `{other}`")),
                 }
             }
+            "--ordering" => dispatch = Some(parse_ordering(value("--ordering")?)?),
             "--bridge-ohms" => {
                 options.bridge_ohms =
                     value("--bridge-ohms")?.parse().map_err(|e| format!("--bridge-ohms: {e}"))?
@@ -132,6 +139,7 @@ fn parse_generate_args(args: &[String]) -> Result<GenerateArgs, String> {
         deck: deck.ok_or_else(|| format!("missing deck path\n\n{USAGE}"))?,
         configs: configs.ok_or_else(|| format!("missing --configs <dir>\n\n{USAGE}"))?,
         options,
+        dispatch,
         skip_faults,
         max_faults,
         threads: threads.max(1),
@@ -140,10 +148,27 @@ fn parse_generate_args(args: &[String]) -> Result<GenerateArgs, String> {
     })
 }
 
+/// Parses the `--ordering` flag. Forcing a concrete ordering also
+/// forces the sparse solver (otherwise the density heuristic could
+/// route small macros to dense LU and the flag would silently do
+/// nothing); `auto` keeps both heuristics.
+fn parse_ordering(s: &str) -> Result<(SolverKind, OrderingKind), String> {
+    match s {
+        "auto" => Ok((SolverKind::Auto, OrderingKind::Auto)),
+        "natural" => Ok((SolverKind::Sparse, OrderingKind::Natural)),
+        "amd" => Ok((SolverKind::Sparse, OrderingKind::Amd)),
+        "btf" => Ok((SolverKind::Sparse, OrderingKind::Btf)),
+        other => Err(format!("--ordering must be auto, natural, amd or btf, got `{other}`")),
+    }
+}
+
 fn generate(args: &[String]) -> Result<(), String> {
     let a = parse_generate_args(args)?;
-    let mac = NetlistMacro::from_files(&a.deck, &a.configs, a.options)
+    let mut mac = NetlistMacro::from_files(&a.deck, &a.configs, a.options)
         .map_err(|e| e.to_string())?;
+    if let Some((solver, ordering)) = a.dispatch {
+        mac = mac.with_solver(solver, ordering).map_err(|e| e.to_string())?;
+    }
     if mac.configurations().is_empty() {
         return Err(format!("no configurations loaded from {}", a.configs.display()));
     }
@@ -265,8 +290,23 @@ fn json_escape(s: &str) -> String {
 }
 
 fn check(args: &[String]) -> Result<(), String> {
-    let [deck_path] = args else {
-        return Err(format!("usage: castg check <deck.sp>\n\n{USAGE}"));
+    let mut deck_path: Option<&String> = None;
+    let mut requested = (SolverKind::Auto, OrderingKind::Auto);
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ordering" => {
+                let v = it.next().ok_or("--ordering needs a value")?;
+                requested = parse_ordering(v)?;
+            }
+            other if !other.starts_with('-') && deck_path.is_none() => deck_path = Some(a),
+            other => {
+                return Err(format!("unknown argument `{other}`\n\n{USAGE}"));
+            }
+        }
+    }
+    let Some(deck_path) = deck_path else {
+        return Err(format!("usage: castg check <deck.sp> [--ordering KIND]\n\n{USAGE}"));
     };
     let text = std::fs::read_to_string(deck_path).map_err(|e| format!("{deck_path}: {e}"))?;
     let deck = parse_deck(&text).map_err(|e| format!("{deck_path}: {e}"))?;
@@ -288,6 +328,43 @@ fn check(args: &[String]) -> Result<(), String> {
         if let Some(i) = sol.source_current(dev.name()) {
             println!("  i({}) = {:.6e}", dev.name(), i);
         }
+    }
+
+    // Fill/block summary: the factor cost of every ordering on this
+    // deck's static (DC) pattern, plus which path the requested
+    // dispatch actually resolves to.
+    println!("sparse factor fill (static pattern):");
+    for ordering in [OrderingKind::Natural, OrderingKind::Amd, OrderingKind::Btf] {
+        match sparse_fill_stats(c, ordering) {
+            Some(f) => {
+                let blocks = if f.blocks > 1 {
+                    format!(", {} blocks (largest {})", f.blocks, f.largest_block)
+                } else {
+                    String::new()
+                };
+                println!(
+                    "  {:8} pattern nnz {:6}, factor nnz {:6}{}{}",
+                    format!("{ordering:?}").to_lowercase(),
+                    f.pattern_nnz,
+                    f.lu_nnz,
+                    blocks,
+                    if f.resolved != ordering {
+                        format!(" (falls back to {:?})", f.resolved)
+                    } else {
+                        String::new()
+                    },
+                );
+            }
+            None => println!("  {ordering:?}: canonical matrix is singular"),
+        }
+    }
+    let (solver, ordering) = requested;
+    if let Some(f) = sparse_fill_stats(c, ordering) {
+        println!(
+            "requested dispatch {:?}/{:?} resolves to ordering {:?} \
+             ({} unknowns, factor nnz {})",
+            solver, ordering, f.resolved, f.unknowns, f.lu_nnz
+        );
     }
     Ok(())
 }

@@ -1,13 +1,16 @@
 //! Differential test harness: the sparse solver path against the dense
 //! one, end to end through the circuit simulator.
 //!
-//! Every analysis here is run twice — `SolverKind::Dense` forced and
-//! `SolverKind::Sparse` forced — on the same circuit, and the solutions
-//! must agree to 1e-9 *relative*. The circuits come from the scalable
-//! synthetic families (`LadderMacro`, `OtaChainMacro`) and from the
-//! paper's IV-converter, nominal **and** after fault injection, so the
-//! cross-check covers linear and MOS-nonlinear systems, DC, transient
-//! and AC, at sizes where `Auto` would pick either path.
+//! Every analysis here is run through multiple solver configurations —
+//! dense LU, sparse LU in natural order, sparse LU under AMD, sparse
+//! LU under the BTF block-triangular decomposition (the four-way) — on
+//! the same circuit, and the solutions must agree to 1e-9 *relative*.
+//! The circuits come from the scalable synthetic families
+//! (`LadderMacro`, `OtaChainMacro`, `MeshMacro`, `CrossbarMacro`) and
+//! from the paper's IV-converter, nominal **and** after fault
+//! injection, so the cross-check covers linear and MOS-nonlinear
+//! systems, DC, transient and AC, at sizes where `Auto` would pick any
+//! path.
 
 use castg::core::synthetic::{CrossbarMacro, LadderMacro, MeshMacro, OtaChainMacro};
 use castg::core::AnalogMacro;
@@ -192,23 +195,26 @@ fn auto_matches_forced_paths_at_the_boundary() {
     }
 }
 
-/// The three solver configurations the ordering differential
+/// The four solver configurations the ordering differential
 /// cross-checks: dense LU, sparse LU in natural order, sparse LU under
-/// the AMD fill-reducing permutation.
-const THREE_WAY: [(SolverKind, OrderingKind); 3] = [
+/// the AMD fill-reducing permutation, and sparse LU under the BTF
+/// block-triangular decomposition (which falls back to AMD on
+/// irreducible circuits, so forcing it is always well-defined).
+const FOUR_WAY: [(SolverKind, OrderingKind); 4] = [
     (SolverKind::Dense, OrderingKind::Natural),
     (SolverKind::Sparse, OrderingKind::Natural),
     (SolverKind::Sparse, OrderingKind::Amd),
+    (SolverKind::Sparse, OrderingKind::Btf),
 ];
 
 fn opts3(solver: SolverKind, ordering: OrderingKind) -> AnalysisOptions {
     AnalysisOptions { solver, ordering, ..AnalysisOptions::default() }
 }
 
-/// Solves the DC operating point through all three paths and compares
+/// Solves the DC operating point through all four paths and compares
 /// every MNA unknown pairwise against the dense reference.
-fn assert_dc_three_way_agrees(c: &Circuit, context: &str, tol: f64) {
-    let solutions: Vec<_> = THREE_WAY
+fn assert_dc_four_way_agrees(c: &Circuit, context: &str, tol: f64) {
+    let solutions: Vec<_> = FOUR_WAY
         .iter()
         .map(|&(solver, ordering)| {
             DcAnalysis::with_options(c, opts3(solver, ordering)).solve().unwrap_or_else(|e| {
@@ -217,7 +223,7 @@ fn assert_dc_three_way_agrees(c: &Circuit, context: &str, tol: f64) {
         })
         .collect();
     for (idx, sol) in solutions.iter().enumerate().skip(1) {
-        let (solver, ordering) = THREE_WAY[idx];
+        let (solver, ordering) = FOUR_WAY[idx];
         for (i, (d, s)) in solutions[0].state().iter().zip(sol.state()).enumerate() {
             let scale = d.abs().max(s.abs()).max(1.0);
             assert!(
@@ -229,14 +235,14 @@ fn assert_dc_three_way_agrees(c: &Circuit, context: &str, tol: f64) {
 }
 
 #[test]
-fn mesh_dc_three_way_across_sizes_nominal_and_faulted() {
+fn mesh_dc_four_way_across_sizes_nominal_and_faulted() {
     for n in [64usize, 256] {
         let mac = MeshMacro::with_unknowns(n);
         let c = mac.nominal_circuit();
-        assert_dc_three_way_agrees(&c, &format!("mesh n={n}"), REL_TOL);
+        assert_dc_four_way_agrees(&c, &format!("mesh n={n}"), REL_TOL);
         for fault in mac.fault_dictionary().iter() {
             let faulty = fault.inject(&c).unwrap();
-            assert_dc_three_way_agrees(
+            assert_dc_four_way_agrees(
                 &faulty,
                 &format!("mesh n={n} fault {}", fault.name()),
                 REL_TOL,
@@ -246,22 +252,139 @@ fn mesh_dc_three_way_across_sizes_nominal_and_faulted() {
 }
 
 #[test]
-fn ladder_dc_three_way_nominal_and_faulted() {
+fn ladder_dc_four_way_nominal_and_faulted() {
     let mac = LadderMacro::with_unknowns(256);
     let c = mac.nominal_circuit();
-    assert_dc_three_way_agrees(&c, "ladder n=256", REL_TOL);
+    assert_dc_four_way_agrees(&c, "ladder n=256", REL_TOL);
     for fault in mac.fault_dictionary().iter() {
         let faulty = fault.inject(&c).unwrap();
-        assert_dc_three_way_agrees(&faulty, &format!("ladder fault {}", fault.name()), REL_TOL);
+        assert_dc_four_way_agrees(&faulty, &format!("ladder fault {}", fault.name()), REL_TOL);
+    }
+}
+
+/// The OTA chain is the workload BTF exists for: its Norton-biased
+/// cascade condenses into per-stage blocks under the static (DC)
+/// pattern, so the forced-BTF column here actually exercises the
+/// block-wise factor/solve path (on the other macros it falls back to
+/// AMD). Nonlinear, so the tight tolerances pin every path to the same
+/// Newton fixed point.
+#[test]
+fn ota_chain_dc_four_way_nominal_and_faulted() {
+    let tight = |solver, ordering| AnalysisOptions {
+        reltol: 1e-12,
+        vntol: 1e-13,
+        abstol: 1e-16,
+        max_iter: 400,
+        ..opts3(solver, ordering)
+    };
+    let mac = OtaChainMacro::with_unknowns(128);
+    let c = mac.nominal_circuit();
+    let reference = DcAnalysis::with_options(&c, tight(SolverKind::Dense, OrderingKind::Natural))
+        .solve()
+        .unwrap();
+    for &(solver, ordering) in &FOUR_WAY[1..] {
+        let sol = DcAnalysis::with_options(&c, tight(solver, ordering)).solve().unwrap();
+        for (i, (d, s)) in reference.state().iter().zip(sol.state()).enumerate() {
+            let scale = d.abs().max(s.abs()).max(1.0);
+            assert!(
+                (d - s).abs() <= REL_TOL * scale,
+                "ota chain {solver:?}/{ordering:?} unknown {i}: {d} vs {s}"
+            );
+        }
+    }
+    for fault in mac.fault_dictionary().iter() {
+        let faulty = fault.inject(&c).unwrap();
+        let dense =
+            DcAnalysis::with_options(&faulty, tight(SolverKind::Dense, OrderingKind::Natural))
+                .solve()
+                .unwrap();
+        let btf = DcAnalysis::with_options(&faulty, tight(SolverKind::Sparse, OrderingKind::Btf))
+            .solve()
+            .unwrap();
+        for (d, s) in dense.state().iter().zip(btf.state()) {
+            let scale = d.abs().max(s.abs()).max(1.0);
+            assert!(
+                (d - s).abs() <= REL_TOL * scale,
+                "ota chain fault {}: {d} vs {s}",
+                fault.name()
+            );
+        }
+    }
+}
+
+/// Transient on the OTA chain across all four configurations: the
+/// transient Newton systems live on the full (companion-augmented)
+/// pattern, where the gate-drain capacitances make the cascade
+/// irreducible — forced BTF must fall back to AMD and still agree.
+#[test]
+fn ota_chain_transient_four_way() {
+    let mac = OtaChainMacro::with_unknowns(64);
+    let mut c = mac.nominal_circuit();
+    c.set_stimulus("VIN", Waveform::step(1.5, 3.0, 0.2e-6, 0.05e-6)).unwrap();
+    let out = c.find_node("out").unwrap();
+    let probes = [Probe::NodeVoltage(out)];
+    let tight = |solver, ordering| AnalysisOptions {
+        reltol: 1e-12,
+        vntol: 1e-13,
+        abstol: 1e-16,
+        max_iter: 400,
+        ..opts3(solver, ordering)
+    };
+    let run = |solver, ordering| {
+        TranAnalysis::with_options(&c, tight(solver, ordering), Default::default())
+            .run(1e-6, 0.05e-6, &probes)
+            .unwrap()
+    };
+    let reference = run(SolverKind::Dense, OrderingKind::Natural);
+    for &(solver, ordering) in &FOUR_WAY[1..] {
+        let got = run(solver, ordering);
+        assert_eq!(reference.len(), got.len());
+        for (i, (d, s)) in reference.column(0).iter().zip(got.column(0)).enumerate() {
+            let scale = d.abs().max(s.abs()).max(1.0);
+            assert!(
+                (d - s).abs() <= 1e-8 * scale,
+                "ota transient {solver:?}/{ordering:?} t[{i}]: {d} vs {s}"
+            );
+        }
+    }
+}
+
+/// AC on the OTA chain: the 2n×2n embedding couples G and ωC, so the
+/// BTF resolution runs its own transversal/condensation per sweep and
+/// falls back to the embedding's AMD ordering when it cannot condense.
+#[test]
+fn ota_chain_ac_four_way() {
+    let mac = OtaChainMacro::with_unknowns(64);
+    let c = mac.nominal_circuit();
+    let out = c.find_node("out").unwrap();
+    let freqs = [1e3, 1e6, 100e6];
+    let run = |solver, ordering| {
+        AcAnalysis::with_options(&c, opts3(solver, ordering))
+            .source(AcSource { name: "VIN".into(), magnitude: 1.0 })
+            .run(&freqs)
+            .unwrap()
+    };
+    let reference = run(SolverKind::Dense, OrderingKind::Natural);
+    for &(solver, ordering) in &FOUR_WAY[1..] {
+        let got = run(solver, ordering);
+        for (i, f) in freqs.iter().enumerate() {
+            let d = reference.voltage(i, out);
+            let s = got.voltage(i, out);
+            let scale = d.abs().max(s.abs()).max(1.0);
+            assert!(
+                (d - s).abs() <= 1e-8 * scale,
+                "ota ac {solver:?}/{ordering:?} f={f}: {d:?} vs {s:?}"
+            );
+        }
     }
 }
 
 /// The crossbar is the *nonlinear* mesh-fill workload: MOS readout
 /// stages on two overlaid bar lattices. Newton must converge to the
-/// same fixed point through all three solver paths, nominal and with
+/// same fixed point through all four solver paths, nominal and with
 /// bridge + pinhole faults injected.
 #[test]
-fn crossbar_dc_three_way_nominal_and_faulted() {
+fn crossbar_dc_four_way_nominal_and_faulted() {
     let mac = CrossbarMacro::with_unknowns(96);
     let c = mac.nominal_circuit();
     let tight = |solver, ordering| AnalysisOptions {
@@ -274,7 +397,7 @@ fn crossbar_dc_three_way_nominal_and_faulted() {
     let reference = DcAnalysis::with_options(&c, tight(SolverKind::Dense, OrderingKind::Natural))
         .solve()
         .unwrap();
-    for &(solver, ordering) in &THREE_WAY[1..] {
+    for &(solver, ordering) in &FOUR_WAY[1..] {
         let sol = DcAnalysis::with_options(&c, tight(solver, ordering)).solve().unwrap();
         for (d, s) in reference.state().iter().zip(sol.state()) {
             let scale = d.abs().max(s.abs()).max(1.0);
@@ -304,7 +427,7 @@ fn crossbar_dc_three_way_nominal_and_faulted() {
 }
 
 #[test]
-fn mesh_transient_three_way() {
+fn mesh_transient_four_way() {
     let mac = MeshMacro::with_unknowns(144);
     let mut c = mac.nominal_circuit();
     c.set_stimulus("V1", Waveform::step(1.0, 2.0, 0.2e-6, 0.05e-6)).unwrap();
@@ -316,7 +439,7 @@ fn mesh_transient_three_way() {
             .unwrap()
     };
     let reference = run(SolverKind::Dense, OrderingKind::Natural);
-    for &(solver, ordering) in &THREE_WAY[1..] {
+    for &(solver, ordering) in &FOUR_WAY[1..] {
         let got = run(solver, ordering);
         assert_eq!(reference.len(), got.len());
         for (i, (d, s)) in reference.column(0).iter().zip(got.column(0)).enumerate() {
@@ -330,10 +453,10 @@ fn mesh_transient_three_way() {
 }
 
 /// AC on the mesh: the sparse path's 2n×2n real embedding gets its own
-/// AMD permutation (computed once per sweep); magnitudes must match the
-/// dense complex solver under every ordering.
+/// AMD permutation or BTF run (computed once per sweep); magnitudes
+/// must match the dense complex solver under every ordering.
 #[test]
-fn mesh_ac_three_way() {
+fn mesh_ac_four_way() {
     let mac = MeshMacro::with_unknowns(100);
     let c = mac.nominal_circuit();
     let out = c.find_node("out").unwrap();
@@ -345,7 +468,7 @@ fn mesh_ac_three_way() {
             .unwrap()
     };
     let reference = run(SolverKind::Dense, OrderingKind::Natural);
-    for &(solver, ordering) in &THREE_WAY[1..] {
+    for &(solver, ordering) in &FOUR_WAY[1..] {
         let got = run(solver, ordering);
         for (i, f) in freqs.iter().enumerate() {
             let d = reference.voltage(i, out);
