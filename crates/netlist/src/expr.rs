@@ -1,0 +1,257 @@
+//! The deck expression language: arithmetic over numbers and parameter
+//! references, written `{1k*ratio}` on cards and `.param` lines.
+//!
+//! Grammar (classic precedence, left-associative):
+//!
+//! ```text
+//! expr    := term   (('+' | '-') term)*
+//! term    := factor (('*' | '/') factor)*
+//! factor  := ('+' | '-')* primary
+//! primary := number | identifier | '(' expr ')'
+//! ```
+//!
+//! Numbers are full SPICE literals — scale suffixes and trailing units
+//! included (`10k`, `2.5MEG`, `1.5pF`) — read by [`crate::parse_number`]
+//! so `{10k}` and `10k` are the same value bit for bit. Identifiers are
+//! parameter references resolved through a [`Lookup`]; an undefined name
+//! or a `.param` reference cycle surfaces as an error, never a panic or
+//! a hang. Nesting depth is capped so hostile input (`((((…`) cannot
+//! overflow the stack.
+
+use crate::number::parse_number;
+
+/// How deep parentheses/unary chains may nest before evaluation bails
+/// out. Hostile decks are parsed with the same code paths as friendly
+/// ones, so this is sized for fuzz safety, not for real netlists (which
+/// rarely exceed depth 3).
+const MAX_EXPR_DEPTH: usize = 64;
+
+/// Resolves a parameter reference to its value.
+///
+/// The lazy `.param` resolver implements this to recurse into not-yet-
+/// resolved definitions (detecting cycles); fully-resolved scopes are
+/// plain maps.
+pub(crate) trait Lookup {
+    /// The value of `name`, or a human-readable reason it has none.
+    fn lookup(&mut self, name: &str) -> Result<f64, String>;
+}
+
+impl Lookup for &std::collections::HashMap<String, f64> {
+    fn lookup(&mut self, name: &str) -> Result<f64, String> {
+        self.get(&name.to_ascii_lowercase())
+            .copied()
+            .ok_or_else(|| format!("undefined parameter `{name}`"))
+    }
+}
+
+/// Evaluates an expression (the text between `{` and `}`, braces
+/// excluded) against a parameter scope.
+///
+/// # Errors
+///
+/// A human-readable message for syntax errors, undefined parameters,
+/// over-deep nesting, and non-finite results (division by zero,
+/// overflow). The caller attaches line/column context.
+pub(crate) fn eval(text: &str, scope: &mut dyn Lookup) -> Result<f64, String> {
+    let mut p = Parser { chars: text.char_indices().peekable(), text, scope };
+    let v = p.expr(0)?;
+    p.skip_ws();
+    if let Some(&(_, c)) = p.chars.peek() {
+        return Err(format!("unexpected `{c}` in expression `{text}`"));
+    }
+    if !v.is_finite() {
+        return Err(format!("expression `{text}` does not evaluate to a finite number"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a, 's> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    text: &'a str,
+    scope: &'s mut dyn Lookup,
+}
+
+impl Parser<'_, '_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.peek(), Some(&(_, c)) if c.is_whitespace()) {
+            self.chars.next();
+        }
+    }
+
+    fn expr(&mut self, depth: usize) -> Result<f64, String> {
+        let mut acc = self.term(depth)?;
+        loop {
+            self.skip_ws();
+            match self.chars.peek() {
+                Some(&(_, '+')) => {
+                    self.chars.next();
+                    acc += self.term(depth)?;
+                }
+                Some(&(_, '-')) => {
+                    self.chars.next();
+                    acc -= self.term(depth)?;
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn term(&mut self, depth: usize) -> Result<f64, String> {
+        let mut acc = self.factor(depth)?;
+        loop {
+            self.skip_ws();
+            match self.chars.peek() {
+                Some(&(_, '*')) => {
+                    self.chars.next();
+                    acc *= self.factor(depth)?;
+                }
+                Some(&(_, '/')) => {
+                    self.chars.next();
+                    acc /= self.factor(depth)?;
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn factor(&mut self, depth: usize) -> Result<f64, String> {
+        if depth >= MAX_EXPR_DEPTH {
+            return Err(format!(
+                "expression `{}` nests deeper than {MAX_EXPR_DEPTH} levels",
+                self.text
+            ));
+        }
+        self.skip_ws();
+        match self.chars.peek() {
+            Some(&(_, '+')) => {
+                self.chars.next();
+                self.factor(depth + 1)
+            }
+            Some(&(_, '-')) => {
+                self.chars.next();
+                Ok(-self.factor(depth + 1)?)
+            }
+            _ => self.primary(depth),
+        }
+    }
+
+    fn primary(&mut self, depth: usize) -> Result<f64, String> {
+        self.skip_ws();
+        let Some(&(start, c)) = self.chars.peek() else {
+            return Err(format!("expression `{}` ends where a value was expected", self.text));
+        };
+        if c == '(' {
+            self.chars.next();
+            let v = self.expr(depth + 1)?;
+            self.skip_ws();
+            match self.chars.next() {
+                Some((_, ')')) => Ok(v),
+                _ => Err(format!("unclosed `(` in expression `{}`", self.text)),
+            }
+        } else if c.is_ascii_digit() || c == '.' {
+            // A SPICE number literal: digits/dot/exponent, then an
+            // alphabetic scale-suffix-plus-unit trailer. `*`/`/`/`)`
+            // and whitespace end it.
+            let mut end = start;
+            let mut prev = '\0';
+            while let Some(&(i, ch)) = self.chars.peek() {
+                let take = ch.is_ascii_alphanumeric()
+                    || ch == '.'
+                    || ((ch == '+' || ch == '-') && matches!(prev, 'e' | 'E'));
+                if !take {
+                    break;
+                }
+                end = i + ch.len_utf8();
+                prev = ch;
+                self.chars.next();
+            }
+            let tok = &self.text[start..end];
+            parse_number(tok).ok_or_else(|| format!("bad number `{tok}` in expression"))
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let mut end = start;
+            while let Some(&(i, ch)) = self.chars.peek() {
+                if !(ch.is_ascii_alphanumeric() || ch == '_') {
+                    break;
+                }
+                end = i + ch.len_utf8();
+                self.chars.next();
+            }
+            self.scope.lookup(&self.text[start..end])
+        } else {
+            Err(format!("unexpected `{c}` in expression `{}`", self.text))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn scope(pairs: &[(&str, f64)]) -> HashMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    fn ev(text: &str, pairs: &[(&str, f64)]) -> Result<f64, String> {
+        eval(text, &mut &scope(pairs))
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        assert_eq!(ev("1+2*3", &[]), Ok(7.0));
+        assert_eq!(ev("(1+2)*3", &[]), Ok(9.0));
+        assert_eq!(ev("8/2/2", &[]), Ok(2.0)); // left-associative
+        assert_eq!(ev("10-3-2", &[]), Ok(5.0));
+        assert_eq!(ev(" 2 * ( 3 + 4 ) ", &[]), Ok(14.0));
+    }
+
+    #[test]
+    fn unary_signs() {
+        assert_eq!(ev("-5", &[]), Ok(-5.0));
+        assert_eq!(ev("--5", &[]), Ok(5.0));
+        assert_eq!(ev("2*-3", &[]), Ok(-6.0));
+        assert_eq!(ev("-(1+2)", &[]), Ok(-3.0));
+    }
+
+    #[test]
+    fn spice_literals_inside_expressions() {
+        assert_eq!(ev("1k", &[]), Ok(1e3));
+        assert_eq!(ev("2.5MEG", &[]), Ok(2.5e6));
+        assert_eq!(ev("1k*2", &[]), Ok(2e3));
+        assert_eq!(ev("1e-5", &[]), Ok(1e-5));
+        // Exactness: `{10p}` is the literal parse, not 10 * 1e-12.
+        assert_eq!(ev("10p", &[]).map(f64::to_bits), Ok(10e-12f64.to_bits()));
+    }
+
+    #[test]
+    fn parameter_references() {
+        assert_eq!(ev("ratio", &[("ratio", 4.0)]), Ok(4.0));
+        assert_eq!(ev("1k*ratio", &[("ratio", 2.0)]), Ok(2e3));
+        // Lookup is case-insensitive like every other deck identifier.
+        assert_eq!(ev("RATIO", &[("ratio", 4.0)]), Ok(4.0));
+        assert!(ev("missing", &[]).unwrap_err().contains("undefined parameter"));
+    }
+
+    #[test]
+    fn malformed_expressions_error_cleanly() {
+        for bad in ["", "1+", "(1", "1)", "*3", "1 2", "1..2", "#", "a-", "2**3"] {
+            assert!(ev(bad, &[("a", 1.0)]).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn non_finite_results_are_rejected() {
+        assert!(ev("1/0", &[]).is_err());
+        assert!(ev("1e308*1e308", &[]).is_err());
+    }
+
+    #[test]
+    fn depth_is_capped() {
+        let deep = format!("{}1{}", "(".repeat(1000), ")".repeat(1000));
+        assert!(ev(&deep, &[]).unwrap_err().contains("nests deeper"));
+        assert!(ev(&"-".repeat(1000), &[]).is_err());
+        // Under the cap still works.
+        let ok = format!("{}1{}", "(".repeat(32), ")".repeat(32));
+        assert_eq!(ev(&ok, &[]), Ok(1.0));
+    }
+}

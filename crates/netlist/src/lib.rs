@@ -12,16 +12,49 @@
 //!   `X` instantiation (flattened, internals prefixed
 //!   `<instance>.<name>`), scale suffixes (`10k`, `2.5MEG`, `1.5pF`),
 //!   line continuations (`+`), comments (`*` lines, `;`/` $`
-//!   trailers), `.title`, `.end`, and source values `DC`, `SIN`,
-//!   `PULSE`, `PWL` and the `STEP` extension mirroring the paper's
-//!   ramped step template. Net, model and subcircuit names are
-//!   case-insensitive (SPICE rules; the first spelling of a net is
-//!   kept as its canonical name). Errors never panic and carry
-//!   line/column.
-//! * [`write_deck`] — [`Circuit`] → deck text, exact round-trip
-//!   (`parse(write(c)) == c`, bit for bit) via the `.nodeorder`
-//!   extension card; this is how the committed deck fixtures are
-//!   regenerated from the hand-built reference macros.
+//!   trailers — `.title` lines are exempt, like real SPICE), `.title`,
+//!   `.end`, and source values `DC`, `SIN`, `PULSE`, `PWL` and the
+//!   `STEP` extension mirroring the paper's ramped step template. Net,
+//!   model and subcircuit names are case-insensitive (SPICE rules; the
+//!   first spelling of a net is kept as its canonical name). Errors
+//!   never panic and carry line/column (1-based char positions).
+//!
+//!   **Parameters and expressions.** `.param name=value …` defines
+//!   deck-global parameters; anywhere a number is expected, a braced
+//!   expression `{…}` evaluates arithmetic (`+ - * / ( )`, unary
+//!   signs) over SPICE literals and parameter references:
+//!
+//!   ```text
+//!   .param ratio=2 rbase=1k
+//!   .param rtot={rbase*ratio}      ; forward/backward refs both fine
+//!   R1 in out {rtot/2}
+//!   V1 in 0 DC {1+ratio}
+//!   ```
+//!
+//!   Definitions resolve lazily, so order does not matter; reference
+//!   cycles and undefined names are reported with the defining line,
+//!   never looped on. [`parse_deck_with_params`] lets a caller (the
+//!   `castg --param NAME=VALUE` flag) shadow deck definitions or add
+//!   new ones, and [`Deck::params`] reports the resolved values.
+//!   `.subckt` headers may declare parameter defaults after the ports,
+//!   and `X` cards may override them per instance — overrides are
+//!   evaluated in the caller's scope and shadow globals inside the
+//!   body; un-overridden defaults evaluate in declaration order:
+//!
+//!   ```text
+//!   .subckt leg a b r=1k rr={2*r}
+//!   R1 a m {r}
+//!   R2 m b {rr}
+//!   .ends
+//!   X1 in out leg              ; r=1k, rr=2k
+//!   X2 out 0  leg r=500        ; r=500, rr=1k
+//!   ```
+//! * [`write_deck`] / [`write_deck_with_title`] — [`Circuit`] → deck
+//!   text, exact round-trip (`parse(write(c)) == c`, bit for bit, the
+//!   `.title` included) via the `.nodeorder` extension card; this is
+//!   how the committed deck fixtures are regenerated from the
+//!   hand-built reference macros. Written decks carry only resolved
+//!   values — `.param` and `{…}` never appear in writer output.
 //! * [`NetlistMacro`] — a parsed deck + a directory of textual
 //!   configuration descriptions ([`castg_core::DescribedConfig`]) + a
 //!   topology-derived fault dictionary
@@ -82,13 +115,15 @@
 #![warn(missing_docs)]
 
 mod error;
+mod expr;
 mod macro_def;
 mod number;
+mod param;
 mod parser;
 mod writer;
 
 pub use error::NetlistError;
 pub use macro_def::{NetlistMacro, NetlistMacroOptions};
 pub use number::parse_number;
-pub use parser::{parse_deck, Deck};
-pub use writer::write_deck;
+pub use parser::{parse_deck, parse_deck_with_params, Deck};
+pub use writer::{write_deck, write_deck_with_title};

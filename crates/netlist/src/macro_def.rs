@@ -71,6 +71,7 @@ pub struct NetlistMacro {
     name: String,
     macro_type: String,
     title: Option<String>,
+    params: Vec<(String, f64)>,
     circuit: Circuit,
     fault_sites: Vec<String>,
     dictionary: FaultDictionary,
@@ -107,6 +108,24 @@ impl NetlistMacro {
         Self::from_deck_with(name, parsed, options)
     }
 
+    /// [`from_deck_text_with`](NetlistMacro::from_deck_text_with) with
+    /// external parameter overrides (the `castg --param NAME=VALUE`
+    /// flag): each pair shadows a deck `.param` of the same name or
+    /// defines a new one before any card is lowered.
+    ///
+    /// # Errors
+    ///
+    /// As for [`from_deck_text`](NetlistMacro::from_deck_text).
+    pub fn from_deck_text_with_params(
+        name: impl Into<String>,
+        deck: &str,
+        options: NetlistMacroOptions,
+        overrides: &[(String, f64)],
+    ) -> Result<Self, NetlistError> {
+        let parsed = crate::parser::parse_deck_with_params(deck, overrides)?;
+        Self::from_deck_with(name, parsed, options)
+    }
+
     /// Builds a macro from an already-parsed [`Deck`].
     ///
     /// # Errors
@@ -118,6 +137,7 @@ impl NetlistMacro {
         options: NetlistMacroOptions,
     ) -> Result<Self, NetlistError> {
         let title = deck.title.clone();
+        let params = deck.params.clone();
         let circuit = deck.into_circuit();
         if circuit.devices().is_empty() {
             return Err(NetlistError::netlist(1, "deck holds no devices"));
@@ -137,6 +157,7 @@ impl NetlistMacro {
             name: name.into(),
             macro_type: title.clone().unwrap_or_else(|| "netlist".to_string()),
             title,
+            params,
             circuit,
             fault_sites,
             dictionary,
@@ -158,6 +179,21 @@ impl NetlistMacro {
         configs_dir: &Path,
         options: NetlistMacroOptions,
     ) -> Result<Self, NetlistError> {
+        Self::from_files_with_params(deck_path, configs_dir, options, &[])
+    }
+
+    /// [`from_files`](NetlistMacro::from_files) with external parameter
+    /// overrides (the `castg --param NAME=VALUE` flag).
+    ///
+    /// # Errors
+    ///
+    /// As for [`from_files`](NetlistMacro::from_files).
+    pub fn from_files_with_params(
+        deck_path: &Path,
+        configs_dir: &Path,
+        options: NetlistMacroOptions,
+        overrides: &[(String, f64)],
+    ) -> Result<Self, NetlistError> {
         let text = std::fs::read_to_string(deck_path).map_err(|e| NetlistError::Io {
             path: deck_path.display().to_string(),
             reason: e.to_string(),
@@ -167,7 +203,7 @@ impl NetlistMacro {
             .and_then(|s| s.to_str())
             .unwrap_or("netlist")
             .to_string();
-        let mac = Self::from_deck_text_with(name, &text, options)?;
+        let mac = Self::from_deck_text_with_params(name, &text, options, overrides)?;
         let configs = DescribedConfig::load_dir(configs_dir)
             .map_err(|e| NetlistError::Config { reason: e.to_string() })?;
         Ok(mac.with_configurations(configs))
@@ -222,6 +258,12 @@ impl NetlistMacro {
     /// The deck's `.title`, if it had one.
     pub fn title(&self) -> Option<&str> {
         self.title.as_deref()
+    }
+
+    /// The resolved global parameters, deck `.param` definitions first
+    /// (in deck order, overrides applied), then override-only names.
+    pub fn params(&self) -> &[(String, f64)] {
+        &self.params
     }
 }
 
@@ -335,6 +377,30 @@ seed lev: 5
         assert_eq!(exhaustive.fault_dictionary().len(), 3);
         assert_eq!(adjacent.fault_dictionary().len(), 4);
         assert!(adjacent.fault_dictionary().by_name("bridge(vin,out)").is_none());
+    }
+
+    #[test]
+    fn param_overrides_reach_the_lowered_circuit() {
+        let deck = "\
+.param rload=2k
+V1 vin 0 DC 5
+R1 vin out 1k
+R2 out 0 {rload}
+";
+        let overridden = NetlistMacro::from_deck_text_with_params(
+            "div",
+            deck,
+            NetlistMacroOptions::default(),
+            &[("rload".to_string(), 4e3)],
+        )
+        .unwrap();
+        assert_eq!(overridden.params(), &[("rload".to_string(), 4e3)]);
+        let c = overridden.nominal_circuit();
+        let r2 = c.device("R2").unwrap();
+        match r2.kind() {
+            castg_spice::DeviceKind::Resistor { ohms, .. } => assert_eq!(*ohms, 4e3),
+            other => panic!("R2 should be a resistor, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! `.param` collection and resolution: the staged phase between
+//! tokenizing and lowering that turns raw `name = expr` definitions
+//! into a fully-evaluated numeric scope.
+//!
+//! Definitions are collected in deck order but resolved **lazily**, so
+//! a `.param` may reference one defined later in the deck; reference
+//! cycles (`a={b} b={a}`) and undefined names are detected and reported
+//! with the defining line, never looped on. External overrides (the
+//! CLI's `--param NAME=VALUE`) shadow deck definitions by name and may
+//! also introduce parameters the deck never defines.
+
+use std::collections::HashMap;
+
+use crate::expr::{self, Lookup};
+use crate::NetlistError;
+
+/// What [`ParamTable::resolve`] produces: the fully-evaluated
+/// name → value scope the lowering passes consult, plus the ordered
+/// `(spelling, value)` report surfaced as [`Deck::params`].
+///
+/// [`Deck::params`]: crate::Deck::params
+pub(crate) type ResolvedParams = (HashMap<String, f64>, Vec<(String, f64)>);
+
+/// One raw `.param` definition: the right-hand side is kept as
+/// expression text until the whole table is known.
+#[derive(Debug, Clone)]
+pub(crate) struct ParamDef {
+    /// Lowercased parameter name.
+    pub name: String,
+    /// The spelling the deck used (for `Deck::params` reporting).
+    pub spelling: String,
+    /// Raw expression text (braces stripped).
+    pub rhs: String,
+    /// Source line of the `.param` card.
+    pub line: usize,
+}
+
+/// The collected definitions of a deck, pre-resolution.
+#[derive(Debug, Default)]
+pub(crate) struct ParamTable {
+    defs: Vec<ParamDef>,
+    by_name: HashMap<String, usize>,
+}
+
+impl ParamTable {
+    /// Records one definition. Duplicate names are an error — silently
+    /// letting the later card win hides typos in exactly the decks this
+    /// feature exists for.
+    pub fn define(&mut self, def: ParamDef) -> Result<(), NetlistError> {
+        if let Some(&prev) = self.by_name.get(&def.name) {
+            return Err(NetlistError::parse(
+                def.line,
+                1,
+                format!(
+                    "duplicate .param `{}` (first defined on line {})",
+                    def.spelling, self.defs[prev].line
+                ),
+            ));
+        }
+        self.by_name.insert(def.name.clone(), self.defs.len());
+        self.defs.push(def);
+        Ok(())
+    }
+
+    /// Evaluates every definition, with `overrides` (already-numeric,
+    /// name → value) shadowing same-named deck definitions.
+    ///
+    /// Returns the fully-resolved scope plus a report listing — deck
+    /// definitions in deck order, then override-only parameters in
+    /// override order, each under its original spelling.
+    pub fn resolve(&self, overrides: &[(String, f64)]) -> Result<ResolvedParams, NetlistError> {
+        let mut resolver = Resolver {
+            table: self,
+            values: overrides
+                .iter()
+                .map(|(k, v)| (k.to_ascii_lowercase(), *v))
+                .collect(),
+            visiting: Vec::new(),
+        };
+        let mut report = Vec::with_capacity(self.defs.len() + overrides.len());
+        for def in &self.defs {
+            let v = resolver.value_of(&def.name).map_err(|msg| {
+                NetlistError::parse(def.line, 1, format!(".param `{}`: {msg}", def.spelling))
+            })?;
+            report.push((def.spelling.clone(), v));
+        }
+        for (name, value) in overrides {
+            if !self.by_name.contains_key(&name.to_ascii_lowercase()) {
+                report.push((name.clone(), *value));
+            }
+        }
+        Ok((resolver.values, report))
+    }
+}
+
+/// Lazy memoized resolution with an explicit visiting stack for cycle
+/// detection.
+struct Resolver<'a> {
+    table: &'a ParamTable,
+    values: HashMap<String, f64>,
+    visiting: Vec<String>,
+}
+
+impl Resolver<'_> {
+    fn value_of(&mut self, name: &str) -> Result<f64, String> {
+        let key = name.to_ascii_lowercase();
+        if let Some(v) = self.values.get(&key) {
+            return Ok(*v);
+        }
+        if self.visiting.contains(&key) {
+            let mut chain: Vec<&str> = self.visiting.iter().map(String::as_str).collect();
+            chain.push(&key);
+            return Err(format!(".param reference cycle: {}", chain.join(" -> ")));
+        }
+        let Some(&idx) = self.table.by_name.get(&key) else {
+            return Err(format!("undefined parameter `{name}`"));
+        };
+        self.visiting.push(key.clone());
+        let result = expr::eval(&self.table.defs[idx].rhs, self);
+        self.visiting.pop();
+        let v = result?;
+        self.values.insert(key, v);
+        Ok(v)
+    }
+}
+
+impl Lookup for Resolver<'_> {
+    fn lookup(&mut self, name: &str) -> Result<f64, String> {
+        self.value_of(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(defs: &[(&str, &str)]) -> ParamTable {
+        let mut t = ParamTable::default();
+        for (i, (name, rhs)) in defs.iter().enumerate() {
+            t.define(ParamDef {
+                name: name.to_ascii_lowercase(),
+                spelling: name.to_string(),
+                rhs: rhs.to_string(),
+                line: i + 1,
+            })
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn forward_references_resolve_lazily() {
+        let t = table(&[("total", "2*half"), ("half", "500")]);
+        let (scope, report) = t.resolve(&[]).unwrap();
+        assert_eq!(scope["total"], 1000.0);
+        assert_eq!(report, vec![("total".to_string(), 1000.0), ("half".to_string(), 500.0)]);
+    }
+
+    #[test]
+    fn cycles_are_reported_not_looped() {
+        let t = table(&[("a", "b+1"), ("b", "a+1")]);
+        let e = t.resolve(&[]).unwrap_err();
+        assert!(e.to_string().contains("cycle"), "{e}");
+
+        let t = table(&[("x", "x*2")]);
+        assert!(t.resolve(&[]).unwrap_err().to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn undefined_references_are_reported() {
+        let t = table(&[("a", "nope*2")]);
+        let e = t.resolve(&[]).unwrap_err().to_string();
+        assert!(e.contains("undefined parameter `nope`"), "{e}");
+    }
+
+    #[test]
+    fn duplicates_are_rejected() {
+        let mut t = table(&[("a", "1")]);
+        let e = t
+            .define(ParamDef {
+                name: "a".into(),
+                spelling: "A".into(),
+                rhs: "2".into(),
+                line: 9,
+            })
+            .unwrap_err();
+        assert!(e.to_string().contains("duplicate .param"), "{e}");
+    }
+
+    #[test]
+    fn overrides_shadow_and_extend() {
+        let t = table(&[("ratio", "2"), ("r", "1k*ratio")]);
+        let (scope, report) =
+            t.resolve(&[("ratio".to_string(), 5.0), ("extra".to_string(), 7.0)]).unwrap();
+        assert_eq!(scope["ratio"], 5.0);
+        assert_eq!(scope["r"], 5e3, "dependent params see the override");
+        assert_eq!(scope["extra"], 7.0);
+        // Report: deck order first, then override-only names.
+        assert_eq!(
+            report,
+            vec![
+                ("ratio".to_string(), 5.0),
+                ("r".to_string(), 5e3),
+                ("extra".to_string(), 7.0)
+            ]
+        );
+    }
+}

@@ -4,17 +4,26 @@
 //! device cards `R`/`C`/`L`/`V`/`I`/`M`/`E`, subcircuits
 //! (`.subckt`/`.ends` with `X` instantiation, flattened with
 //! `<instance>.<name>` prefixes), `.model` cards with Level-1
-//! parameters, `.title`, `.end`, scale suffixes, line continuations
-//! (`+`) and comments (`*` lines, `;` and ` $` trailers). One `castg`
-//! extension: `.nodeorder`, emitted by the deck writer, pre-interns
-//! nodes so a written-and-reparsed circuit reproduces the original node
-//! table exactly.
+//! parameters, `.param` definitions with `{…}` arithmetic expressions
+//! and parameterized `.subckt` instances, `.title`, `.end`, scale
+//! suffixes, line continuations (`+`) and comments (`*` lines, `;` and
+//! ` $` trailers; `.title` lines are exempt, like real SPICE). One
+//! `castg` extension: `.nodeorder`, emitted by the deck writer,
+//! pre-interns nodes so a written-and-reparsed circuit reproduces the
+//! original node table exactly.
+//!
+//! Parsing is staged: tokenizing and structure (pass 1), `.param`
+//! resolution ([`crate::param`]) and expression evaluation
+//! ([`crate::expr`]), then lowering (pass 2) — this file stays a pure
+//! tokenizer/lowerer and never evaluates expression text itself.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use castg_spice::{Circuit, MosParams, MosPolarity, Waveform};
 
+use crate::expr;
 use crate::number::parse_number;
+use crate::param::{ParamDef, ParamTable};
 use crate::NetlistError;
 
 /// How deep `X` instantiation may nest before the parser assumes a
@@ -26,6 +35,10 @@ const MAX_SUBCKT_DEPTH: usize = 32;
 pub struct Deck {
     /// `.title` text, if present.
     pub title: Option<String>,
+    /// The resolved global parameters: deck `.param` definitions in
+    /// deck order (under their original spelling, with any external
+    /// overrides applied), then override-only parameters.
+    pub params: Vec<(String, f64)>,
     circuit: Circuit,
 }
 
@@ -48,7 +61,9 @@ struct Line {
     text: String,
 }
 
-/// One token with its 1-based column in the logical line.
+/// One token with its 1-based **character** column in the logical line
+/// (not a byte offset — diagnostics must point at the right column on
+/// lines with multibyte UTF-8).
 struct Tok<'a> {
     text: &'a str,
     col: usize,
@@ -68,11 +83,28 @@ fn strip_comment(raw: &str) -> &str {
     &raw[..cut]
 }
 
+/// Is this (trimmed) physical line a `.title` card? Title text runs to
+/// end of line verbatim — real SPICE titles may contain `;` and `$`,
+/// which are comment trailers everywhere else.
+fn is_title_card(trimmed: &str) -> bool {
+    let b = trimmed.as_bytes();
+    b.len() >= 6
+        && b[..6].eq_ignore_ascii_case(b".title")
+        && (b.len() == 6 || b[6].is_ascii_whitespace())
+}
+
 /// Joins continuation lines and drops comments/blanks.
 fn logical_lines(text: &str) -> Result<Vec<Line>, NetlistError> {
     let mut out: Vec<Line> = Vec::new();
     for (i, raw) in text.lines().enumerate() {
         let no = i + 1;
+        let whole = raw.trim();
+        if is_title_card(whole) {
+            // Exempt from comment stripping; the title is the raw rest
+            // of the line.
+            out.push(Line { no, text: whole.to_string() });
+            continue;
+        }
         let stripped = strip_comment(raw);
         let trimmed = stripped.trim();
         if trimmed.is_empty() || trimmed.starts_with('*') {
@@ -100,27 +132,92 @@ fn logical_lines(text: &str) -> Result<Vec<Line>, NetlistError> {
 }
 
 /// Splits a logical line into tokens. Whitespace and `,` separate;
-/// `(`, `)` and `=` are standalone tokens.
+/// `(`, `)` and `=` are standalone tokens; `{` opens an expression
+/// token that runs to the matching `}`, whitespace and operators
+/// included (an unterminated one runs to end of line and is rejected
+/// where its value is needed). Columns are 1-based char positions.
 fn tokenize(line: &str) -> Vec<Tok<'_>> {
-    fn flush<'a>(toks: &mut Vec<Tok<'a>>, line: &'a str, start: &mut Option<usize>, end: usize) {
-        if let Some(s) = start.take() {
-            toks.push(Tok { text: &line[s..end], col: s + 1 });
-        }
-    }
+    let chars: Vec<(usize, char)> = line.char_indices().collect();
+    let byte_at = |i: usize| chars.get(i).map_or(line.len(), |&(b, _)| b);
+    let is_sep = |c: char| c.is_whitespace() || matches!(c, ',' | '(' | ')' | '=' | '{');
     let mut toks = Vec::new();
-    let mut start: Option<usize> = None;
-    for (i, c) in line.char_indices() {
+    let mut i = 0usize;
+    while i < chars.len() {
+        let (b, c) = chars[i];
         if c.is_whitespace() || c == ',' {
-            flush(&mut toks, line, &mut start, i);
+            i += 1;
         } else if c == '(' || c == ')' || c == '=' {
-            flush(&mut toks, line, &mut start, i);
-            toks.push(Tok { text: &line[i..i + c.len_utf8()], col: i + 1 });
-        } else if start.is_none() {
-            start = Some(i);
+            toks.push(Tok { text: &line[b..b + c.len_utf8()], col: i + 1 });
+            i += 1;
+        } else if c == '{' {
+            let start = i;
+            while i < chars.len() && chars[i].1 != '}' {
+                i += 1;
+            }
+            if i < chars.len() {
+                i += 1; // include the `}`
+            }
+            toks.push(Tok { text: &line[b..byte_at(i)], col: start + 1 });
+        } else {
+            let start = i;
+            while i < chars.len() && !is_sep(chars[i].1) {
+                i += 1;
+            }
+            toks.push(Tok { text: &line[b..byte_at(i)], col: start + 1 });
         }
     }
-    flush(&mut toks, line, &mut start, line.len());
     toks
+}
+
+/// Evaluates a value token: `{expr}` tokens run the expression
+/// evaluator against `scope`; anything else must be a SPICE number
+/// literal.
+fn eval_value_tok(
+    t: &Tok<'_>,
+    line_no: usize,
+    scope: &HashMap<String, f64>,
+) -> Result<f64, NetlistError> {
+    if let Some(rest) = t.text.strip_prefix('{') {
+        let inner = rest.strip_suffix('}').ok_or_else(|| {
+            NetlistError::parse(line_no, t.col, format!("unterminated expression `{}`", t.text))
+        })?;
+        expr::eval(inner, &mut &*scope).map_err(|msg| NetlistError::parse(line_no, t.col, msg))
+    } else {
+        parse_number(t.text).ok_or_else(|| {
+            NetlistError::parse(line_no, t.col, format!("bad number `{}`", t.text))
+        })
+    }
+}
+
+/// The raw expression text of a value token: braces stripped when
+/// wrapped, the token itself otherwise (a bare literal or parameter
+/// name).
+fn raw_expr_text(t: &Tok<'_>, line_no: usize) -> Result<String, NetlistError> {
+    match t.text.strip_prefix('{') {
+        Some(rest) => rest.strip_suffix('}').map(str::to_string).ok_or_else(|| {
+            NetlistError::parse(line_no, t.col, format!("unterminated expression `{}`", t.text))
+        }),
+        None => Ok(t.text.to_string()),
+    }
+}
+
+/// Validates a `.param`/default/override name: the expression language
+/// must be able to reference it.
+fn check_param_name(name: &str, line_no: usize, col: usize) -> Result<(), NetlistError> {
+    let mut chars = name.chars();
+    let ok = chars.next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_');
+    if !ok {
+        return Err(NetlistError::parse(
+            line_no,
+            col,
+            format!(
+                "invalid parameter name `{name}` (letters, digits and `_`, \
+                 not starting with a digit)"
+            ),
+        ));
+    }
+    Ok(())
 }
 
 /// A Level-1 `.model` card: polarity plus whatever parameters the card
@@ -131,15 +228,20 @@ struct MosModel {
     params: HashMap<String, f64>,
 }
 
-/// A `.subckt` definition.
+/// A `.subckt` definition: ports, parameter defaults (raw expression
+/// text, evaluated per instantiation), body lines.
 struct Subckt<'a> {
     ports: Vec<String>,
+    /// (lowercased name, original spelling, raw expression text).
+    defaults: Vec<(String, String, String)>,
     lines: Vec<&'a Line>,
 }
 
 struct LowerCtx<'a> {
     models: HashMap<String, (MosModel, usize)>,
     subckts: HashMap<String, Subckt<'a>>,
+    /// The resolved global `.param` scope.
+    globals: HashMap<String, f64>,
 }
 
 /// Parses a deck into a lowered circuit.
@@ -150,11 +252,32 @@ struct LowerCtx<'a> {
 /// [`NetlistError::Netlist`] (with line) for cards that parse but do
 /// not lower (duplicate names, missing models, invalid element values).
 pub fn parse_deck(text: &str) -> Result<Deck, NetlistError> {
+    parse_deck_with_params(text, &[])
+}
+
+/// [`parse_deck`] with external parameter overrides (the CLI's
+/// `--param NAME=VALUE`): same-named deck `.param` definitions are
+/// shadowed by the given values, and names the deck never defines are
+/// added to the global scope.
+///
+/// # Errors
+///
+/// As for [`parse_deck`], plus `.param` resolution errors (undefined
+/// references, reference cycles, malformed expressions).
+pub fn parse_deck_with_params(
+    text: &str,
+    overrides: &[(String, f64)],
+) -> Result<Deck, NetlistError> {
     let lines = logical_lines(text)?;
 
-    // Pass 1: structure. Model cards are global; subcircuit bodies are
-    // collected for flattening; everything else is a top-level card.
-    let mut ctx = LowerCtx { models: HashMap::new(), subckts: HashMap::new() };
+    // Pass 1: structure. `.param` definitions and `.model` cards are
+    // deck-global (models are deferred until parameters resolve, so
+    // their values may be expressions); subcircuit bodies are collected
+    // for flattening; everything else is a top-level card.
+    let mut params = ParamTable::default();
+    let mut model_lines: Vec<&Line> = Vec::new();
+    let mut model_names: HashSet<String> = HashSet::new();
+    let mut subckts: HashMap<String, Subckt<'_>> = HashMap::new();
     let mut top: Vec<&Line> = Vec::new();
     let mut title: Option<String> = None;
     let mut open_sub: Option<(String, Subckt<'_>, usize)> = None;
@@ -186,15 +309,21 @@ pub fn parse_deck(text: &str) -> Result<Deck, NetlistError> {
                 title = Some(rest.to_string());
             }
             ".end" => break,
+            ".param" => {
+                for (spelling, rhs) in parse_param_card(&toks, line.no)? {
+                    params.define(ParamDef {
+                        name: spelling.to_ascii_lowercase(),
+                        spelling,
+                        rhs,
+                        line: line.no,
+                    })?;
+                }
+            }
             ".subckt" => {
                 // Nested definitions are rejected by the in-body guard
                 // above.
-                if toks.len() < 2 {
-                    return Err(NetlistError::parse(line.no, first.col, ".subckt needs a name"));
-                }
-                let name = toks[1].text.to_ascii_lowercase();
-                let ports = toks[2..].iter().map(|t| t.text.to_ascii_lowercase()).collect();
-                open_sub = Some((name, Subckt { ports, lines: Vec::new() }, line.no));
+                let (name, sub) = parse_subckt_card(&toks, line.no)?;
+                open_sub = Some((name, sub, line.no));
             }
             ".ends" => match open_sub.take() {
                 Some((name, sub, _)) => {
@@ -207,7 +336,7 @@ pub fn parse_deck(text: &str) -> Result<Deck, NetlistError> {
                             ));
                         }
                     }
-                    if ctx.subckts.insert(name.clone(), sub).is_some() {
+                    if subckts.insert(name.clone(), sub).is_some() {
                         return Err(NetlistError::parse(
                             line.no,
                             first.col,
@@ -220,14 +349,16 @@ pub fn parse_deck(text: &str) -> Result<Deck, NetlistError> {
                 }
             },
             ".model" => {
-                let (name, model) = parse_model_card(&toks, line.no)?;
-                if ctx.models.insert(name.clone(), (model, line.no)).is_some() {
-                    return Err(NetlistError::parse(
-                        line.no,
-                        first.col,
-                        format!("duplicate .model `{name}`"),
-                    ));
+                if let Some(nt) = toks.get(1) {
+                    if !model_names.insert(nt.text.to_ascii_lowercase()) {
+                        return Err(NetlistError::parse(
+                            line.no,
+                            first.col,
+                            format!("duplicate .model `{}`", nt.text.to_ascii_lowercase()),
+                        ));
+                    }
                 }
+                model_lines.push(line);
             }
             ".nodeorder" => top.push(line),
             other => {
@@ -243,13 +374,118 @@ pub fn parse_deck(text: &str) -> Result<Deck, NetlistError> {
         return Err(NetlistError::parse(line_no, 1, format!(".subckt `{name}` never closed")));
     }
 
+    // Resolution phase: evaluate every `.param` (lazily, so forward
+    // references work; cycles and undefined names error here), then the
+    // deferred `.model` cards against the resolved scope.
+    let (globals, params_report) = params.resolve(overrides)?;
+    let mut models = HashMap::new();
+    for line in &model_lines {
+        let toks = tokenize(&line.text);
+        let (name, model) = parse_model_card(&toks, line.no, &globals)?;
+        models.insert(name, (model, line.no));
+    }
+    let ctx = LowerCtx { models, subckts, globals };
+
     // Pass 2: lower top-level cards in order, flattening X instances.
     let mut lowerer = Lowerer { circuit: Circuit::new(), node_case: HashMap::new() };
     let no_ports = HashMap::new();
     for line in top {
-        lower_card(&mut lowerer, line, "", &no_ports, 0, &ctx)?;
+        lower_card(&mut lowerer, line, "", &no_ports, 0, &ctx, &ctx.globals)?;
     }
-    Ok(Deck { title, circuit: lowerer.circuit })
+    Ok(Deck { title, params: params_report, circuit: lowerer.circuit })
+}
+
+/// Parses `.param name=value …` into raw (spelling, expression-text)
+/// pairs; values may be `{expr}` or bare literals.
+fn parse_param_card(
+    toks: &[Tok<'_>],
+    line_no: usize,
+) -> Result<Vec<(String, String)>, NetlistError> {
+    if toks.len() == 1 {
+        return Err(NetlistError::parse(line_no, toks[0].col, ".param needs `name=value`"));
+    }
+    let mut out = Vec::new();
+    let mut i = 1usize;
+    while i < toks.len() {
+        let nt = &toks[i];
+        check_param_name(nt.text, line_no, nt.col)?;
+        if toks.get(i + 1).map(|t| t.text) != Some("=") {
+            return Err(NetlistError::parse(
+                line_no,
+                nt.col,
+                format!("expected `{} = value`", nt.text),
+            ));
+        }
+        let vt = toks.get(i + 2).ok_or_else(|| {
+            NetlistError::parse(line_no, nt.col, format!("`{}=` without a value", nt.text))
+        })?;
+        out.push((nt.text.to_string(), raw_expr_text(vt, line_no)?));
+        i += 3;
+    }
+    Ok(out)
+}
+
+/// Parses a `.subckt name ports… [param=default …]` header. Ports run
+/// until the first `name=value` default.
+fn parse_subckt_card<'a>(
+    toks: &[Tok<'_>],
+    line_no: usize,
+) -> Result<(String, Subckt<'a>), NetlistError> {
+    if toks.len() < 2 {
+        return Err(NetlistError::parse(line_no, toks[0].col, ".subckt needs a name"));
+    }
+    let name = toks[1].text.to_ascii_lowercase();
+    let port_end = match toks.iter().position(|t| t.text == "=") {
+        // The first default's name sits just before the first `=`; it
+        // must come after the subckt name (index ≥ 2).
+        Some(j) if j >= 3 => j - 1,
+        Some(j) => {
+            return Err(NetlistError::parse(
+                line_no,
+                toks[j].col,
+                "misplaced `=` (defaults are `name=value` after the ports)",
+            ))
+        }
+        None => toks.len(),
+    };
+    let mut ports = Vec::with_capacity(port_end.saturating_sub(2));
+    for t in &toks[2..port_end] {
+        if t.text.starts_with('{') || t.text == "(" || t.text == ")" {
+            return Err(NetlistError::parse(
+                line_no,
+                t.col,
+                format!("invalid port name `{}`", t.text),
+            ));
+        }
+        ports.push(t.text.to_ascii_lowercase());
+    }
+    let mut defaults: Vec<(String, String, String)> = Vec::new();
+    let mut i = port_end;
+    while i < toks.len() {
+        let nt = &toks[i];
+        check_param_name(nt.text, line_no, nt.col)?;
+        if toks.get(i + 1).map(|t| t.text) != Some("=") {
+            return Err(NetlistError::parse(
+                line_no,
+                nt.col,
+                format!("expected `{} = value`", nt.text),
+            ));
+        }
+        let vt = toks.get(i + 2).ok_or_else(|| {
+            NetlistError::parse(line_no, nt.col, format!("`{}=` without a value", nt.text))
+        })?;
+        let lower = nt.text.to_ascii_lowercase();
+        if defaults.iter().any(|(l, _, _)| *l == lower) {
+            return Err(NetlistError::parse(
+                line_no,
+                nt.col,
+                format!("duplicate parameter default `{}`", nt.text),
+            ));
+        }
+        defaults.push((lower, nt.text.to_string(), raw_expr_text(vt, line_no)?));
+        i += 3;
+    }
+    Ok((name, Subckt { ports, defaults, lines: Vec::new() }))
 }
 
 /// Lowering state: the circuit under construction plus the
@@ -285,7 +521,11 @@ impl Lowerer {
 }
 
 /// Parses `.model name nmos|pmos (k=v ...)` (parens optional).
-fn parse_model_card(toks: &[Tok<'_>], line_no: usize) -> Result<(String, MosModel), NetlistError> {
+fn parse_model_card(
+    toks: &[Tok<'_>],
+    line_no: usize,
+    scope: &HashMap<String, f64>,
+) -> Result<(String, MosModel), NetlistError> {
     if toks.len() < 3 {
         return Err(NetlistError::parse(
             line_no,
@@ -306,7 +546,7 @@ fn parse_model_card(toks: &[Tok<'_>], line_no: usize) -> Result<(String, MosMode
         }
     };
     let mut model = MosModel { pmos, params: HashMap::new() };
-    for (key, value) in parse_assignments(&toks[3..], line_no)? {
+    for (key, value) in parse_assignments(&toks[3..], line_no, scope)? {
         let k = key.to_ascii_lowercase();
         match k.as_str() {
             "vto" | "vt0" | "kp" | "lambda" | "gamma" | "phi" | "cox" | "cgso" | "w" | "l" => {
@@ -325,10 +565,12 @@ fn parse_model_card(toks: &[Tok<'_>], line_no: usize) -> Result<(String, MosMode
     Ok((name, model))
 }
 
-/// Parses a `k=v k=v …` tail (optionally wrapped in parentheses).
+/// Parses a `k=v k=v …` tail (optionally wrapped in parentheses);
+/// values may be `{expr}` tokens.
 fn parse_assignments(
     toks: &[Tok<'_>],
     line_no: usize,
+    scope: &HashMap<String, f64>,
 ) -> Result<Vec<(String, f64)>, NetlistError> {
     let mut out = Vec::new();
     let mut i = 0usize;
@@ -357,9 +599,7 @@ fn parse_assignments(
                 let vt = toks.get(i + 2).ok_or_else(|| {
                     NetlistError::parse(line_no, toks[i].col, format!("`{key}=` without a value"))
                 })?;
-                let value = parse_number(vt.text).ok_or_else(|| {
-                    NetlistError::parse(line_no, vt.col, format!("bad number `{}`", vt.text))
-                })?;
+                let value = eval_value_tok(vt, line_no, scope)?;
                 out.push((key.to_string(), value));
                 i += 3;
             }
@@ -388,8 +628,20 @@ fn resolve_node_name(tok: &str, prefix: &str, ports: &HashMap<String, String>) -
     }
 }
 
+/// Rejects `{expr}` tokens where a node name is required.
+fn check_node_tok(t: &Tok<'_>, line_no: usize) -> Result<(), NetlistError> {
+    if t.text.starts_with('{') {
+        return Err(NetlistError::parse(
+            line_no,
+            t.col,
+            format!("expected a node name, got expression `{}`", t.text),
+        ));
+    }
+    Ok(())
+}
+
 /// Lowers one card (device or `.nodeorder` / `X` instantiation) into
-/// the circuit.
+/// the circuit, evaluating `{expr}` value tokens against `scope`.
 fn lower_card(
     lowerer: &mut Lowerer,
     line: &Line,
@@ -397,12 +649,14 @@ fn lower_card(
     ports: &HashMap<String, String>,
     depth: usize,
     ctx: &LowerCtx<'_>,
+    scope: &HashMap<String, f64>,
 ) -> Result<(), NetlistError> {
     let toks = tokenize(&line.text);
     let Some(first) = toks.first() else { return Ok(()) };
 
     if first.text.eq_ignore_ascii_case(".nodeorder") {
         for t in &toks[1..] {
+            check_node_tok(t, line.no)?;
             let name = resolve_node_name(t.text, prefix, ports);
             lowerer.node(name);
         }
@@ -427,13 +681,15 @@ fn lower_card(
 
     // Helpers over the token tail.
     let node_tok = |i: usize, what: &str| -> Result<&Tok<'_>, NetlistError> {
-        toks.get(i).ok_or_else(|| {
+        let t = toks.get(i).ok_or_else(|| {
             NetlistError::parse(
                 line.no,
                 name_tok.col,
                 format!("`{}` is missing its {what} node", name_tok.text),
             )
-        })
+        })?;
+        check_node_tok(t, line.no)?;
+        Ok(t)
     };
     let num_tok = |i: usize, what: &str| -> Result<f64, NetlistError> {
         let t = toks.get(i).ok_or_else(|| {
@@ -443,9 +699,7 @@ fn lower_card(
                 format!("`{}` is missing its {what}", name_tok.text),
             )
         })?;
-        parse_number(t.text).ok_or_else(|| {
-            NetlistError::parse(line.no, t.col, format!("bad number `{}`", t.text))
-        })
+        eval_value_tok(t, line.no, scope)
     };
     let no_extra = |i: usize| -> Result<(), NetlistError> {
         match toks.get(i) {
@@ -478,7 +732,7 @@ fn lower_card(
         }
         'v' | 'i' => {
             let (tp, tn) = (node_tok(1, "positive")?, node_tok(2, "negative")?);
-            let wave = parse_waveform(&toks[3..], line.no, &dev_name)?;
+            let wave = parse_waveform(&toks[3..], line.no, &dev_name, scope)?;
             let p = node(lowerer, tp);
             let n = node(lowerer, tn);
             if kind == 'v' {
@@ -513,7 +767,7 @@ fn lower_card(
                     )
                 })?;
             let mut overrides: HashMap<String, f64> = HashMap::new();
-            for (k, v) in parse_assignments(&toks[6..], line.no)? {
+            for (k, v) in parse_assignments(&toks[6..], line.no, scope)? {
                 let k = k.to_ascii_lowercase();
                 if k != "w" && k != "l" {
                     return Err(NetlistError::parse(
@@ -588,20 +842,36 @@ fn lower_card(
                     ),
                 ));
             }
-            let sub_tok = toks.last().filter(|t| t.col != name_tok.col).ok_or_else(|| {
-                NetlistError::parse(
+            // Instance parameters are `name=value` pairs after the
+            // subcircuit name; the name itself sits just before the
+            // first assignment (or last on the line without one).
+            let (sub_idx, assign_toks) = match toks.iter().position(|t| t.text == "=") {
+                Some(j) if j >= 3 => (j - 2, &toks[j - 1..]),
+                Some(j) => {
+                    return Err(NetlistError::parse(
+                        line.no,
+                        toks[j].col,
+                        "misplaced `=` (instance parameters are `name=value` \
+                         after the subcircuit name)",
+                    ))
+                }
+                None => (toks.len() - 1, &toks[toks.len()..]),
+            };
+            if sub_idx == 0 {
+                return Err(NetlistError::parse(
                     line.no,
                     name_tok.col,
                     format!("`{}` needs nodes and a subcircuit name", name_tok.text),
-                )
-            })?;
+                ));
+            }
+            let sub_tok = &toks[sub_idx];
             let sub = ctx.subckts.get(&sub_tok.text.to_ascii_lowercase()).ok_or_else(|| {
                 NetlistError::netlist(
                     line.no,
                     format!("unknown subcircuit `{}` (no matching .subckt)", sub_tok.text),
                 )
             })?;
-            let args = &toks[1..toks.len() - 1];
+            let args = &toks[1..sub_idx];
             if args.len() != sub.ports.len() {
                 return Err(NetlistError::netlist(
                     line.no,
@@ -614,13 +884,71 @@ fn lower_card(
                     ),
                 ));
             }
+            // The child scope: globals, shadowed by instance overrides
+            // (evaluated in the caller's scope), then un-overridden
+            // defaults in declaration order (evaluated in the child
+            // scope built so far, so a default may reference globals,
+            // overridden values and earlier defaults).
+            let mut child_scope = ctx.globals.clone();
+            let mut overridden: HashSet<String> = HashSet::new();
+            let mut i = 0usize;
+            while i < assign_toks.len() {
+                let nt = &assign_toks[i];
+                if assign_toks.get(i + 1).map(|t| t.text) != Some("=") {
+                    return Err(NetlistError::parse(
+                        line.no,
+                        nt.col,
+                        format!("expected `{} = value`", nt.text),
+                    ));
+                }
+                let vt = assign_toks.get(i + 2).ok_or_else(|| {
+                    NetlistError::parse(
+                        line.no,
+                        nt.col,
+                        format!("`{}=` without a value", nt.text),
+                    )
+                })?;
+                let lower = nt.text.to_ascii_lowercase();
+                if !sub.defaults.iter().any(|(l, _, _)| *l == lower) {
+                    return Err(NetlistError::netlist(
+                        line.no,
+                        format!(
+                            "`{}` sets `{}` but `{}` declares no such parameter",
+                            name_tok.text, nt.text, sub_tok.text
+                        ),
+                    ));
+                }
+                if !overridden.insert(lower.clone()) {
+                    return Err(NetlistError::parse(
+                        line.no,
+                        nt.col,
+                        format!("duplicate instance parameter `{}`", nt.text),
+                    ));
+                }
+                let v = eval_value_tok(vt, line.no, scope)?;
+                child_scope.insert(lower, v);
+                i += 3;
+            }
+            for (lower, spelling, rhs) in &sub.defaults {
+                if overridden.contains(lower) {
+                    continue;
+                }
+                let v = expr::eval(rhs, &mut &child_scope).map_err(|msg| {
+                    NetlistError::netlist(
+                        line.no,
+                        format!("`{}` default `{spelling}`: {msg}", sub_tok.text),
+                    )
+                })?;
+                child_scope.insert(lower.clone(), v);
+            }
             let mut inner_ports: HashMap<String, String> = HashMap::with_capacity(args.len());
             for (port, arg) in sub.ports.iter().zip(args) {
+                check_node_tok(arg, line.no)?;
                 inner_ports.insert(port.clone(), resolve_node_name(arg.text, prefix, ports));
             }
             let inner_prefix = format!("{dev_name}.");
             for inner in &sub.lines {
-                lower_card(lowerer, inner, &inner_prefix, &inner_ports, depth + 1, ctx)?;
+                lower_card(lowerer, inner, &inner_prefix, &inner_ports, depth + 1, ctx, &child_scope)?;
             }
         }
         other => {
@@ -634,20 +962,23 @@ fn lower_card(
     Ok(())
 }
 
-/// Parses an independent-source value: `DC v`, a bare number, or a
-/// functional form `SIN(..)`, `PULSE(..)`, `PWL(..)`, `STEP(..)`.
+/// Parses an independent-source value: `DC v`, a bare number or
+/// `{expr}`, or a functional form `SIN(..)`, `PULSE(..)`, `PWL(..)`,
+/// `STEP(..)`.
 fn parse_waveform(
     toks: &[Tok<'_>],
     line_no: usize,
     dev: &str,
+    scope: &HashMap<String, f64>,
 ) -> Result<Waveform, NetlistError> {
     let Some(first) = toks.first() else {
         return Err(NetlistError::parse(line_no, 1, format!("`{dev}` is missing its value")));
     };
     let head = first.text.to_ascii_lowercase();
 
-    // Bare number → DC.
-    if let Some(v) = parse_number(first.text) {
+    // Bare number or `{expr}` → DC.
+    if first.text.starts_with('{') || parse_number(first.text).is_some() {
+        let v = eval_value_tok(first, line_no, scope)?;
         return match toks.get(1) {
             Some(t) => Err(NetlistError::parse(
                 line_no,
@@ -662,9 +993,7 @@ fn parse_waveform(
         let t = toks.get(1).ok_or_else(|| {
             NetlistError::parse(line_no, first.col, format!("`{dev}`: DC needs a value"))
         })?;
-        let v = parse_number(t.text).ok_or_else(|| {
-            NetlistError::parse(line_no, t.col, format!("bad number `{}`", t.text))
-        })?;
+        let v = eval_value_tok(t, line_no, scope)?;
         return match toks.get(2) {
             Some(t) => Err(NetlistError::parse(
                 line_no,
@@ -676,7 +1005,7 @@ fn parse_waveform(
     }
 
     // Functional forms: head ( numbers ).
-    let args = paren_numbers(&toks[1..], line_no, &head)?;
+    let args = paren_numbers(&toks[1..], line_no, &head, scope)?;
     let arity = |lo: usize, hi: usize| -> Result<(), NetlistError> {
         if args.len() < lo || args.len() > hi {
             return Err(NetlistError::parse(
@@ -746,9 +1075,15 @@ fn parse_waveform(
     }
 }
 
-/// Consumes `( n n n )` and returns the numbers; everything must be
-/// inside one balanced pair of parentheses.
-fn paren_numbers(toks: &[Tok<'_>], line_no: usize, head: &str) -> Result<Vec<f64>, NetlistError> {
+/// Consumes `( n n n )` and returns the numbers (each a literal or an
+/// `{expr}` token); everything must be inside one balanced pair of
+/// parentheses.
+fn paren_numbers(
+    toks: &[Tok<'_>],
+    line_no: usize,
+    head: &str,
+    scope: &HashMap<String, f64>,
+) -> Result<Vec<f64>, NetlistError> {
     let mut it = toks.iter();
     match it.next() {
         Some(t) if t.text == "(" => {}
@@ -769,12 +1104,7 @@ fn paren_numbers(toks: &[Tok<'_>], line_no: usize, head: &str) -> Result<Vec<f64
             ")" => {
                 return Ok(out);
             }
-            other => {
-                let v = parse_number(other).ok_or_else(|| {
-                    NetlistError::parse(line_no, t.col, format!("bad number `{other}`"))
-                })?;
-                out.push(v);
-            }
+            _ => out.push(eval_value_tok(t, line_no, scope)?),
         }
     }
     Err(NetlistError::parse(line_no, 1, format!("`{head}(` never closed")))
@@ -937,7 +1267,13 @@ mod tests {
     /// scoped `.model` must not silently hoist to deck scope.
     #[test]
     fn dot_cards_inside_subckt_bodies_are_rejected() {
-        for card in [".model m nmos (vto=0.7)", ".title sneaky", ".nodeorder a b", ".subckt q a"] {
+        for card in [
+            ".model m nmos (vto=0.7)",
+            ".title sneaky",
+            ".nodeorder a b",
+            ".subckt q a",
+            ".param x=1",
+        ] {
             let text = format!(".subckt p a b\n{card}\nR1 a b 1k\n.ends\n");
             let e = parse_deck(&text).unwrap_err();
             assert!(
@@ -1017,6 +1353,28 @@ mod tests {
         }
     }
 
+    /// Columns are char positions, not byte offsets: on a line with
+    /// multibyte UTF-8 the diagnostic must still point at the offending
+    /// token as the user sees it.
+    #[test]
+    fn error_columns_are_char_positions_not_bytes() {
+        // "R1 αβ b 1k extra": `extra` starts at char column 12 (byte
+        // offset 14 — α and β are 2 bytes each).
+        match parse_deck("R1 αβ b 1k extra\n").unwrap_err() {
+            NetlistError::Parse { line, col, reason } => {
+                assert_eq!(line, 1);
+                assert!(reason.contains("extra"), "{reason}");
+                assert_eq!(col, 12, "char column, not byte offset");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Same structure, ASCII: the column must agree.
+        match parse_deck("R1 ab b 1k extra\n").unwrap_err() {
+            NetlistError::Parse { col, .. } => assert_eq!(col, 12),
+            other => panic!("{other:?}"),
+        }
+    }
+
     #[test]
     fn lowering_errors_carry_line() {
         let cases = [
@@ -1040,6 +1398,15 @@ mod tests {
         assert_eq!(deck.circuit().devices().len(), 2);
     }
 
+    /// `.title` is exempt from comment stripping — real SPICE titles
+    /// may contain `;` and `$`.
+    #[test]
+    fn title_keeps_comment_characters() {
+        let deck = parse_deck(".title 50% $duty; cycle $ clk\nR1 a 0 1k\n").unwrap();
+        assert_eq!(deck.title.as_deref(), Some("50% $duty; cycle $ clk"));
+        assert_eq!(deck.circuit().devices().len(), 1);
+    }
+
     #[test]
     fn end_card_stops_parsing() {
         let deck = parse_deck("R1 a 0 1k\n.end\ngarbage beyond the end\n").unwrap();
@@ -1052,5 +1419,169 @@ mod tests {
         let sol = DcAnalysis::new(deck.circuit()).solve().unwrap();
         let out = deck.circuit().find_node("out").unwrap();
         assert!((sol.voltage(out) + 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn params_and_expressions_on_cards() {
+        let deck = parse_deck(
+            ".param rtot={2*rhalf}\n\
+             .param rhalf=1k vdd=6\n\
+             V1 vin 0 DC {vdd}\n\
+             R1 vin mid {rtot/2}\n\
+             R2 mid 0 {rhalf}\n\
+             C1 mid 0 {10p}\n",
+        )
+        .unwrap();
+        assert_eq!(
+            deck.params,
+            vec![
+                ("rtot".to_string(), 2e3),
+                ("rhalf".to_string(), 1e3),
+                ("vdd".to_string(), 6.0)
+            ],
+            "forward reference resolves; deck order kept"
+        );
+        let c = deck.circuit();
+        match c.device("R1").unwrap().kind() {
+            DeviceKind::Resistor { ohms, .. } => assert_eq!(*ohms, 1e3),
+            k => panic!("{k:?}"),
+        }
+        match c.device("C1").unwrap().kind() {
+            DeviceKind::Capacitor { farads, .. } => {
+                assert_eq!(farads.to_bits(), 10e-12f64.to_bits())
+            }
+            k => panic!("{k:?}"),
+        }
+        let sol = DcAnalysis::new(c).solve().unwrap();
+        let mid = c.find_node("mid").unwrap();
+        assert!((sol.voltage(mid) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn params_reach_models_and_waveforms() {
+        let deck = parse_deck(
+            ".param vt=0.8 wbase=5u amp=2\n\
+             .model nch nmos (vto={vt} kp=100u)\n\
+             VD d 0 {amp+1}\n\
+             VG g 0 SIN({amp/2} {amp} 1k)\n\
+             M1 d g 0 0 nch W={2*wbase} L=1u\n",
+        )
+        .unwrap();
+        let c = deck.circuit();
+        match c.device("M1").unwrap().kind() {
+            DeviceKind::Mosfet { params, .. } => {
+                assert_eq!(params.vt0, 0.8);
+                assert_eq!(params.w, 10e-6);
+            }
+            k => panic!("{k:?}"),
+        }
+        match c.device("VG").unwrap().kind() {
+            DeviceKind::Vsource { wave, .. } => {
+                assert_eq!(*wave, Waveform::sine(1.0, 2.0, 1e3));
+            }
+            k => panic!("{k:?}"),
+        }
+        match c.device("VD").unwrap().kind() {
+            DeviceKind::Vsource { wave, .. } => assert_eq!(*wave, Waveform::dc(3.0)),
+            k => panic!("{k:?}"),
+        }
+    }
+
+    #[test]
+    fn parameterized_subckt_defaults_and_overrides() {
+        let deck = parse_deck(
+            ".param scale=2\n\
+             .subckt leg a b r=1k rr={2*r}\n\
+             R1 a m {r}\n\
+             R2 m b {rr*scale/scale}\n\
+             .ends\n\
+             V1 in 0 9\n\
+             X1 in mid leg\n\
+             X2 mid 0 leg r={500*scale} rr=1k\n",
+        )
+        .unwrap();
+        let c = deck.circuit();
+        let ohms = |name: &str| match c.device(name).unwrap().kind() {
+            DeviceKind::Resistor { ohms, .. } => *ohms,
+            k => panic!("{k:?}"),
+        };
+        // X1: defaults — r=1k, rr=2*r=2k.
+        assert_eq!(ohms("X1.R1"), 1e3);
+        assert_eq!(ohms("X1.R2"), 2e3);
+        // X2: r overridden (in the caller's scope: 500*scale=1k), and
+        // rr overridden directly — the rr default never evaluates.
+        assert_eq!(ohms("X2.R1"), 1e3);
+        assert_eq!(ohms("X2.R2"), 1e3);
+    }
+
+    #[test]
+    fn instance_overrides_shadow_globals() {
+        // `w` is both a global .param and a subckt parameter: the
+        // subckt body must see the instance value, not the global.
+        let deck = parse_deck(
+            ".param w=1k\n\
+             .subckt cell a b w={w}\n\
+             R1 a b {w}\n\
+             .ends\n\
+             V1 in 0 1\n\
+             X1 in 0 cell w=2k\n\
+             X2 in 0 cell\n",
+        )
+        .unwrap();
+        let c = deck.circuit();
+        let ohms = |name: &str| match c.device(name).unwrap().kind() {
+            DeviceKind::Resistor { ohms, .. } => *ohms,
+            k => panic!("{k:?}"),
+        };
+        assert_eq!(ohms("X1.R1"), 2e3, "instance override shadows the global");
+        assert_eq!(ohms("X2.R1"), 1e3, "default falls back to the global");
+    }
+
+    #[test]
+    fn param_error_paths() {
+        // Reference cycle.
+        let e = parse_deck(".param a={b} b={a}\nR1 x 0 1k\n").unwrap_err();
+        assert!(e.to_string().contains("cycle"), "{e}");
+        // Undefined reference.
+        let e = parse_deck("R1 x 0 {nope}\n").unwrap_err();
+        assert!(e.to_string().contains("undefined parameter"), "{e}");
+        // Duplicate definition.
+        let e = parse_deck(".param a=1\n.param A=2\n").unwrap_err();
+        assert!(e.to_string().contains("duplicate .param"), "{e}");
+        // Unterminated expression.
+        let e = parse_deck("R1 x 0 {1k\n").unwrap_err();
+        assert!(e.to_string().contains("unterminated"), "{e}");
+        // Unknown instance parameter.
+        let e = parse_deck(".subckt s a\nR1 a 0 1k\n.ends\nX1 x s q=1\n").unwrap_err();
+        assert!(e.to_string().contains("no such parameter"), "{e}");
+        // Expression where a node is required.
+        let e = parse_deck("R1 {1} 0 1k\n").unwrap_err();
+        assert!(e.to_string().contains("expected a node name"), "{e}");
+        // Malformed .param card.
+        assert!(parse_deck(".param\n").is_err());
+        assert!(parse_deck(".param x\n").is_err());
+        assert!(parse_deck(".param 1x=2\n").is_err());
+    }
+
+    #[test]
+    fn external_overrides_shadow_deck_params() {
+        let text = ".param n=2 r={1k*n}\nV1 in 0 5\nR1 in 0 {r}\n";
+        let deck = parse_deck_with_params(
+            text,
+            &[("N".to_string(), 4.0), ("extra".to_string(), 1.0)],
+        )
+        .unwrap();
+        match deck.circuit().device("R1").unwrap().kind() {
+            DeviceKind::Resistor { ohms, .. } => assert_eq!(*ohms, 4e3),
+            k => panic!("{k:?}"),
+        }
+        assert_eq!(
+            deck.params,
+            vec![
+                ("n".to_string(), 4.0),
+                ("r".to_string(), 4e3),
+                ("extra".to_string(), 1.0)
+            ]
+        );
     }
 }

@@ -24,9 +24,9 @@ fn num(v: f64) -> String {
 /// A name is deck-representable when it survives tokenization intact.
 fn check_name(kind: &str, name: &str) -> Result<(), NetlistError> {
     let bad = name.is_empty()
-        || name
-            .chars()
-            .any(|c| c.is_whitespace() || matches!(c, ',' | '(' | ')' | '=' | ';' | '$' | '*'))
+        || name.chars().any(|c| {
+            c.is_whitespace() || matches!(c, ',' | '(' | ')' | '=' | ';' | '$' | '*' | '{' | '}')
+        })
         || name.starts_with('+')
         || name.starts_with('.');
     if bad {
@@ -130,7 +130,38 @@ fn model_key(polarity: MosPolarity, p: &MosParams) -> (bool, [u64; 7]) {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn write_deck(circuit: &Circuit) -> Result<String, NetlistError> {
+    write_deck_with_title(circuit, None)
+}
+
+/// [`write_deck`] with a `.title` card. The title survives the
+/// round-trip verbatim — including `;` and `$`, which the parser
+/// exempts from comment stripping on `.title` lines only.
+///
+/// # Errors
+///
+/// As for [`write_deck`], plus [`NetlistError::Unrepresentable`] for
+/// titles a `.title` card cannot carry back: embedded line breaks, or
+/// leading/trailing whitespace (the parser trims the title text).
+pub fn write_deck_with_title(
+    circuit: &Circuit,
+    title: Option<&str>,
+) -> Result<String, NetlistError> {
     let mut out = String::from("* castg netlist (regenerate with castg_netlist::write_deck)\n");
+    if let Some(t) = title {
+        if t.contains(['\n', '\r']) {
+            return Err(NetlistError::Unrepresentable {
+                reason: "title contains a line break".to_string(),
+            });
+        }
+        if t.trim() != t {
+            return Err(NetlistError::Unrepresentable {
+                reason: format!(
+                    "title `{t}` has leading/trailing whitespace, which a .title card loses"
+                ),
+            });
+        }
+        let _ = writeln!(out, ".title {t}");
+    }
 
     // Node table, so the parser reproduces interning order exactly.
     let nodes: Vec<&str> =
@@ -371,6 +402,44 @@ mod tests {
         let model_lines = deck.lines().filter(|l| l.starts_with(".model")).count();
         // One NMOS and one PMOS flavor.
         assert_eq!(model_lines, 2);
+    }
+
+    #[test]
+    fn title_round_trips_with_comment_characters() {
+        let c = kitchen_sink();
+        for title in ["plain", "50% $duty; cycle", "; leading $ trailing ;", ""] {
+            let deck = write_deck_with_title(&c, Some(title)).unwrap();
+            let reparsed = parse_deck(&deck).unwrap();
+            assert_eq!(reparsed.title.as_deref(), Some(title), "{title:?}");
+            assert_eq!(reparsed.circuit(), &c, "{title:?}");
+        }
+        // No title → none on re-parse.
+        let deck = write_deck(&c).unwrap();
+        assert_eq!(parse_deck(&deck).unwrap().title, None);
+    }
+
+    #[test]
+    fn unrepresentable_titles_are_rejected() {
+        let c = Circuit::new();
+        for bad in ["two\nlines", "cr\rhere", " padded", "padded "] {
+            assert!(
+                matches!(
+                    write_deck_with_title(&c, Some(bad)),
+                    Err(NetlistError::Unrepresentable { .. })
+                ),
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn brace_names_are_rejected() {
+        // `{…}` is an expression token on re-parse, so a node named
+        // with braces cannot survive the round trip.
+        let mut c = Circuit::new();
+        let a = c.node("{x}");
+        c.add_resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
+        assert!(matches!(write_deck(&c), Err(NetlistError::Unrepresentable { .. })));
     }
 
     #[test]

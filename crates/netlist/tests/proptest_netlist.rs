@@ -8,11 +8,18 @@
 //! * **Robustness**: the parser returns `Err` (never panics, never
 //!   loops) on arbitrary byte soup and on random mutations of valid
 //!   decks, and every error carries a 1-based line/column.
+//! * **Parameters**: `{…}` expression evaluation is deterministic (two
+//!   parses of the same deck agree bit for bit, and match the same
+//!   arithmetic done in Rust), `.title` text survives a write → parse
+//!   round-trip even when it contains comment characters, and written
+//!   decks are always *resolved* — no `.param` cards or `{` expressions
+//!   ever appear in writer output, so a written deck round-trips
+//!   without any parameter machinery.
 
 use castg_core::synthetic::{CrossbarMacro, DividerMacro, LadderMacro, MeshMacro, OtaChainMacro};
 use castg_core::AnalogMacro;
 use castg_macros::IvConverter;
-use castg_netlist::{parse_deck, write_deck, NetlistError};
+use castg_netlist::{parse_deck, write_deck, write_deck_with_title, NetlistError};
 use castg_spice::{Circuit, Waveform};
 use proptest::prelude::*;
 
@@ -160,5 +167,79 @@ proptest! {
         let deck = write_deck(&c).unwrap();
         let reparsed = parse_deck(&deck).unwrap();
         prop_assert_eq!(reparsed.circuit(), &c);
+    }
+
+    /// `.title` text round-trips through the writer even when it holds
+    /// the comment characters (`;`, ` $`, `*`) that would be stripped
+    /// anywhere else in the deck.
+    #[test]
+    fn titles_round_trip_through_the_writer(
+        codes in prop::collection::vec(32usize..127, 0..40),
+    ) {
+        let title: String = codes.iter().map(|&c| c as u8 as char).collect();
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_vsource("V1", a, Circuit::GROUND, Waveform::dc(1.0)).unwrap();
+        c.add_resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
+        let trimmed = title.trim();
+        match write_deck_with_title(&c, Some(&title)) {
+            Ok(deck) => {
+                // Writable titles are exactly the trim-stable ones.
+                prop_assert_eq!(trimmed, title.as_str());
+                let reparsed = parse_deck(&deck).unwrap();
+                prop_assert_eq!(reparsed.title.as_deref(), Some(title.as_str()));
+                prop_assert_eq!(reparsed.circuit(), &c);
+            }
+            Err(_) => prop_assert!(trimmed != title, "trim-stable title rejected: {:?}", title),
+        }
+    }
+
+    /// Expression evaluation is deterministic and matches the same
+    /// arithmetic done directly in Rust, bit for bit.
+    #[test]
+    fn expressions_evaluate_deterministically(
+        a in -1e6f64..1e6,
+        b in -1e3f64..1e3,
+    ) {
+        let deck = format!(
+            ".param a={a:?} b={b:?}\n\
+             V1 x 0 DC {{(a*b+a)/(b*b+1)-b}}\n\
+             R1 x 0 1k\n"
+        );
+        let first = parse_deck(&deck).unwrap();
+        let second = parse_deck(&deck).unwrap();
+        prop_assert_eq!(first.circuit(), second.circuit());
+        let expected = (a * b + a) / (b * b + 1.0) - b;
+        let v1 = first.circuit().device("V1").unwrap();
+        match v1.kind() {
+            castg_spice::DeviceKind::Vsource { wave: Waveform::Dc(v), .. } => {
+                prop_assert_eq!(v.to_bits(), expected.to_bits(), "{} vs {}", v, expected);
+            }
+            other => prop_assert!(false, "V1 should be a DC source, got {:?}", other),
+        }
+    }
+
+    /// Writer output is always resolved: no `.param` card and no `{`
+    /// expression survives, so the written deck round-trips with no
+    /// parameter machinery in play.
+    #[test]
+    fn written_decks_are_fully_resolved(
+        r in 1.0f64..1e6,
+        ratio in 1.0f64..100.0,
+    ) {
+        let deck = format!(
+            ".param rbase={r:?} ratio={ratio:?}\n\
+             .param rtot={{rbase*ratio}}\n\
+             V1 x 0 DC {{ratio}}\n\
+             R1 x y {{rbase}}\n\
+             R2 y 0 {{rtot}}\n"
+        );
+        let parsed = parse_deck(&deck).unwrap();
+        let written = write_deck(parsed.circuit()).unwrap();
+        prop_assert!(!written.contains(".param"), "unresolved writer output:\n{}", written);
+        prop_assert!(!written.contains('{'), "unresolved writer output:\n{}", written);
+        let reparsed = parse_deck(&written).unwrap();
+        prop_assert!(reparsed.params.is_empty());
+        prop_assert_eq!(reparsed.circuit(), parsed.circuit());
     }
 }

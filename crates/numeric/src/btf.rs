@@ -64,11 +64,11 @@ impl SparsePattern {
         let mut rowmatch = vec![UNMATCHED; n];
 
         // Cheap pass: take the first free row in each column.
-        for c in 0..n {
+        for (c, cm) in colmatch.iter_mut().enumerate() {
             for &r in &self.row_idx[self.col_ptr[c]..self.col_ptr[c + 1]] {
                 if rowmatch[r] == UNMATCHED {
                     rowmatch[r] = c;
-                    colmatch[c] = r;
+                    *cm = r;
                     break;
                 }
             }
@@ -246,8 +246,7 @@ impl SparsePattern {
                 continue;
             }
             let mut entries: Vec<(usize, usize)> = Vec::new();
-            for k in s..e {
-                let c = colperm[k];
+            for (k, &c) in colperm.iter().enumerate().take(e).skip(s) {
                 for &r in &self.row_idx[self.col_ptr[c]..self.col_ptr[c + 1]] {
                     let kk = cpos[rowmatch[r]];
                     if kk >= s && kk < e {
@@ -413,11 +412,11 @@ mod tests {
         // Every entry of the permuted matrix must sit at or above its
         // column's block: for entry (r, c), the block of the permuted
         // row position must be ≤ the block of the permuted column.
-        let mut rpos = vec![0usize; 4];
+        let mut rpos = [0usize; 4];
         for (k, &r) in b.rowperm().iter().enumerate() {
             rpos[r] = k;
         }
-        let mut cpos = vec![0usize; 4];
+        let mut cpos = [0usize; 4];
         for (k, &c) in b.colperm().iter().enumerate() {
             cpos[c] = k;
         }
@@ -456,8 +455,8 @@ mod tests {
         );
         let p = m.pattern();
         let b = p.btf_order().unwrap();
-        let mut seen_r = vec![false; 6];
-        let mut seen_c = vec![false; 6];
+        let mut seen_r = [false; 6];
+        let mut seen_c = [false; 6];
         for k in 0..6 {
             assert!(!seen_r[b.rowperm()[k]]);
             assert!(!seen_c[b.colperm()[k]]);

@@ -8,7 +8,10 @@ pub enum NumericError {
     /// A linear system could not be solved because the matrix is singular
     /// (or numerically singular) at the given pivot column.
     SingularMatrix {
-        /// Column index at which elimination found no usable pivot.
+        /// Column index at which elimination found no usable pivot, in
+        /// the matrix's **original** (unpermuted) column space — sparse
+        /// factorizations map their fill-reducing/BTF pivot position
+        /// back before reporting, so callers can name the unknown.
         pivot: usize,
     },
     /// Matrix or vector dimensions do not agree for the requested operation.

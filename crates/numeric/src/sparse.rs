@@ -959,9 +959,7 @@ impl SparseLu {
                 // would silently break triangularity.
                 let mut blk_of_pos = vec![0usize; n];
                 for blk in 0..b.block_count() {
-                    for k in b.block_ptr[blk]..b.block_ptr[blk + 1] {
-                        blk_of_pos[k] = blk;
-                    }
+                    blk_of_pos[b.block_ptr[blk]..b.block_ptr[blk + 1]].fill(blk);
                 }
                 let mut rpos = vec![0usize; n];
                 let mut cpos = vec![0usize; n];
@@ -1090,7 +1088,9 @@ impl SparseLu {
             }
             if !pivot_mag.is_finite() || pivot_mag < PIVOT_EPS {
                 self.reset_work_and_fail();
-                return Err(NumericError::SingularMatrix { pivot: j });
+                // Report the original column, not the permuted pivot
+                // position — callers name the MNA unknown from it.
+                return Err(NumericError::SingularMatrix { pivot: colperm[j] });
             }
             // The preferred pivot row: the matrix diagonal (original
             // row `col`), or under BTF the transversal row the order
@@ -1340,7 +1340,8 @@ impl SparseLu {
                     work[sym.li[q]] = 0.0;
                 }
                 return Err(if !colmax.is_finite() || ujj.abs() < PIVOT_EPS {
-                    NumericError::SingularMatrix { pivot: j }
+                    // Original column space, like the full factorization.
+                    NumericError::SingularMatrix { pivot: sym.colperm[j] }
                 } else {
                     NumericError::NotFactored
                 });
@@ -1410,9 +1411,12 @@ impl SparseLu {
                 w.resize(n, 0.0);
             }
         }
-        // Partition the value arrays at the chunk boundaries.
-        let mut parts: Vec<(Range<usize>, &mut [f64], &mut [f64], &mut [f64], &mut [f64])> =
-            Vec::with_capacity(chunks.len());
+        // Partition the value arrays at the chunk boundaries: one
+        // column range plus its L/U/off-diagonal/diagonal value slices
+        // per worker.
+        type FactorPart<'a> =
+            (Range<usize>, &'a mut [f64], &'a mut [f64], &'a mut [f64], &'a mut [f64]);
+        let mut parts: Vec<FactorPart<'_>> = Vec::with_capacity(chunks.len());
         let (mut lx, mut ux, mut ox, mut ud) =
             (&mut self.lx[..], &mut self.ux[..], &mut self.ox[..], &mut self.udiag[..]);
         for cols in &chunks {

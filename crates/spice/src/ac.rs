@@ -420,7 +420,10 @@ impl<'c> AcAnalysis<'c> {
         }
         let mut xy = vec![0.0; 2 * n];
         stamp_point(&mut big, freqs[0]);
-        lu.factor(&big)?;
+        // In the 2n×2n real embedding the unknown behind pivot column
+        // `p` is `p % n`; `singular_error` folds that for us.
+        let circuit = self.circuit;
+        lu.factor(&big).map_err(|e| circuit.singular_error(e))?;
         lu.solve_into(&rhs, &mut xy)?;
         let first: Vec<Complex> = (0..n).map(|i| Complex::new(xy[i], xy[n + i])).collect();
         let symbolic = lu.symbolic().expect("factored sparse LU has a skeleton");
@@ -441,7 +444,7 @@ impl<'c> AcAnalysis<'c> {
                     lu.seed_symbolic(std::sync::Arc::clone(&symbolic));
                 }
                 stamp_point(&mut big, *f);
-                lu.factor(&big)?;
+                lu.factor(&big).map_err(|e| circuit.singular_error(e))?;
                 lu.solve_into(&rhs, &mut xy)?;
                 solutions.push((0..n).map(|i| Complex::new(xy[i], xy[n + i])).collect());
             }

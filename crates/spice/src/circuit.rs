@@ -474,6 +474,49 @@ impl Circuit {
         }
         None
     }
+
+    /// Human-readable name of MNA unknown `i`: `v(<node>)` for the
+    /// node-voltage unknowns (`0..node_count()-1`, in node-interning
+    /// order), `i(<device>)` for the branch-current unknowns that
+    /// follow (in device insertion order). Diagnostics use this to turn
+    /// a singular pivot column into the circuit element it belongs to.
+    pub fn unknown_name(&self, i: usize) -> Option<String> {
+        let n_nodes = self.node_count() - 1;
+        if i < n_nodes {
+            return self.non_ground_nodes().nth(i).map(|id| format!("v({})", self.node_name(id)));
+        }
+        let want = i - n_nodes;
+        let mut idx = 0;
+        for d in &self.devices {
+            if d.has_branch_current() {
+                if idx == want {
+                    return Some(format!("i({})", d.name()));
+                }
+                idx += 1;
+            }
+        }
+        None
+    }
+
+    /// Promote a numeric failure to a circuit-level diagnostic:
+    /// [`NumericError::SingularMatrix`] becomes [`SpiceError::Singular`]
+    /// naming the unknown via [`Circuit::unknown_name`]; anything else
+    /// (or an unnameable pivot) passes through as
+    /// [`SpiceError::Numeric`]. The pivot is reduced modulo
+    /// [`Circuit::unknown_count`] so analyses that factor a stacked
+    /// embedding of the MNA system (the AC sweep's 2n×2n real form) can
+    /// use the same helper.
+    pub fn singular_error(&self, e: castg_numeric::NumericError) -> SpiceError {
+        if let castg_numeric::NumericError::SingularMatrix { pivot } = e {
+            let n = self.unknown_count();
+            if n > 0 {
+                if let Some(unknown) = self.unknown_name(pivot % n) {
+                    return SpiceError::Singular { unknown };
+                }
+            }
+        }
+        SpiceError::Numeric(e)
+    }
 }
 
 impl Default for Circuit {
@@ -577,6 +620,13 @@ mod tests {
         assert_eq!(c.branch_index("V1"), Some(0));
         assert_eq!(c.branch_index("E1"), Some(1));
         assert_eq!(c.branch_index("R1"), None);
+        // The unknown layout mirrored by MNA assembly: node voltages in
+        // interning order, then branch currents in device order.
+        assert_eq!(c.unknown_name(0).as_deref(), Some("v(a)"));
+        assert_eq!(c.unknown_name(1).as_deref(), Some("v(b)"));
+        assert_eq!(c.unknown_name(2).as_deref(), Some("i(V1)"));
+        assert_eq!(c.unknown_name(3).as_deref(), Some("i(E1)"));
+        assert_eq!(c.unknown_name(4), None);
     }
 
     /// `set_stimulus` must keep the compiled plan (patching only its

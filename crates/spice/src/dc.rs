@@ -290,6 +290,7 @@ impl<'c> DcAnalysis<'c> {
             {
                 return Err(match e {
                     SpiceError::Numeric(n) => SpiceError::Numeric(n),
+                    SpiceError::Singular { unknown } => SpiceError::Singular { unknown },
                     _ => SpiceError::NoConvergence {
                         analysis: format!(
                             "dc operating point (source stepping stalled at {:.0} %)",
@@ -339,7 +340,9 @@ impl<'c> DcAnalysis<'c> {
                 plan.assemble_rhs_only(rhs, src_vals);
             } else {
                 *factored_for = None;
-                solver.assemble_and_factor(plan, x, rhs, gmin, src_vals, |_| {})?;
+                solver
+                    .assemble_and_factor(plan, x, rhs, gmin, src_vals, |_| {})
+                    .map_err(|e| self.circuit.singular_error(e))?;
                 if plan.is_linear() {
                     *factored_for = Some(reuse_key);
                 }
@@ -416,6 +419,27 @@ mod tests {
     use super::*;
     use crate::mos::{MosParams, MosPolarity};
     use crate::Waveform;
+
+    #[test]
+    fn parallel_vsources_name_the_singular_unknown() {
+        // Two voltage sources disagreeing across the same node pair make
+        // the MNA system structurally singular: the second source's
+        // branch column is dependent. The diagnostic must name that
+        // branch current, not a raw pivot index.
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("V1", a, Circuit::GROUND, Waveform::dc(1.0)).unwrap();
+        c.add_resistor("R1", a, b, 1e3).unwrap();
+        c.add_vsource("V2", b, Circuit::GROUND, Waveform::dc(1.0)).unwrap();
+        c.add_vsource("V3", b, Circuit::GROUND, Waveform::dc(2.0)).unwrap();
+        let err = DcAnalysis::new(&c).solve().unwrap_err();
+        match err {
+            SpiceError::Singular { ref unknown } => assert_eq!(unknown, "i(V3)"),
+            other => panic!("expected Singular, got {other:?}"),
+        }
+        assert!(err.to_string().contains("i(V3)"));
+    }
 
     #[test]
     fn resistor_divider() {

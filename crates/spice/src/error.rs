@@ -42,6 +42,15 @@ pub enum SpiceError {
     /// An underlying linear-algebra failure (singular MNA matrix, usually a
     /// floating node or a voltage-source loop).
     Numeric(NumericError),
+    /// The MNA system is singular at a *named* unknown — the
+    /// circuit-level form of [`NumericError::SingularMatrix`], produced
+    /// by the analyses (which know the unknown layout) so a CLI user
+    /// sees the offending node or branch, not a bare pivot index.
+    Singular {
+        /// The unknown whose pivot column vanished: `v(<node>)` for a
+        /// node voltage, `i(<device>)` for a branch current.
+        unknown: String,
+    },
     /// The analysis was asked to produce no timepoints (zero or negative
     /// duration, or a non-positive timestep).
     InvalidAnalysis {
@@ -65,6 +74,11 @@ impl fmt::Display for SpiceError {
                 write!(f, "{analysis} failed to converge after {iterations} iterations")
             }
             SpiceError::Numeric(e) => write!(f, "numeric failure: {e}"),
+            SpiceError::Singular { unknown } => write!(
+                f,
+                "circuit is structurally singular at unknown {unknown} \
+                 (check for a floating node or a voltage-source loop)"
+            ),
             SpiceError::InvalidAnalysis { reason } => write!(f, "invalid analysis: {reason}"),
         }
     }

@@ -497,20 +497,22 @@ impl<'c> TranAnalysis<'c> {
                 plan.assemble_rhs_only(rhs, src_vals);
             } else {
                 *factored_for = None;
-                solver.assemble_and_factor(plan, x, rhs, gmin, src_vals, |mat| {
-                    for (el, (geq, _)) in dyns.iter().zip(companions) {
-                        match el {
-                            DynElement::Cap { a, b, .. } => {
-                                stamp::stamp_conductance(mat, *a, *b, *geq);
-                            }
-                            DynElement::Ind { row, .. } => {
-                                // `geq` holds `req`; the branch equation
-                                // gains `−req·i`.
-                                mat.add(*row, *row, -geq);
+                solver
+                    .assemble_and_factor(plan, x, rhs, gmin, src_vals, |mat| {
+                        for (el, (geq, _)) in dyns.iter().zip(companions) {
+                            match el {
+                                DynElement::Cap { a, b, .. } => {
+                                    stamp::stamp_conductance(mat, *a, *b, *geq);
+                                }
+                                DynElement::Ind { row, .. } => {
+                                    // `geq` holds `req`; the branch equation
+                                    // gains `−req·i`.
+                                    mat.add(*row, *row, -geq);
+                                }
                             }
                         }
-                    }
-                })?;
+                    })
+                    .map_err(|e| self.circuit.singular_error(e))?;
                 if plan.is_linear() {
                     *factored_for = Some(reuse_key);
                 }

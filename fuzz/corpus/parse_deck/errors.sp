@@ -1,0 +1,6 @@
+.param a={b}
+.param b={a}
+R1 αβ 0 {undefined_name
+V1 x 0 DC {1/0}
+X1 {1} s
+.end

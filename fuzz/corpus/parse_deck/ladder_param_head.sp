@@ -1,0 +1,60 @@
+.title parameterized RC ladder (256 sections)
+* Parameterized mirror of castg_core::synthetic::LadderMacro::new(256).
+* Every element value routes through a `.param` definition and a braced
+* expression, so this fixture pins the whole .param/{expr} path against
+* the hand-built reference macro bit for bit (see tests/ladder_param.rs).
+.param vsrc=5 rsrc=1k
+.param rser={rsrc} rshunt=1e9 cshunt=10p
+V1 src 0 DC {vsrc}
+Rsrc src in {rsrc}
+Rs1 in n1 {rser}
+Rp1 n1 0 {rshunt}
+Cp1 n1 0 {cshunt}
+Rs2 n1 n2 {rser}
+Rp2 n2 0 {rshunt}
+Cp2 n2 0 {cshunt}
+Rs3 n2 n3 {rser}
+Rp3 n3 0 {rshunt}
+Cp3 n3 0 {cshunt}
+Rs4 n3 n4 {rser}
+Rp4 n4 0 {rshunt}
+Cp4 n4 0 {cshunt}
+Rs5 n4 n5 {rser}
+Rp5 n5 0 {rshunt}
+Cp5 n5 0 {cshunt}
+Rs6 n5 n6 {rser}
+Rp6 n6 0 {rshunt}
+Cp6 n6 0 {cshunt}
+Rs7 n6 n7 {rser}
+Rp7 n7 0 {rshunt}
+Cp7 n7 0 {cshunt}
+Rs8 n7 n8 {rser}
+Rp8 n8 0 {rshunt}
+Cp8 n8 0 {cshunt}
+Rs9 n8 n9 {rser}
+Rp9 n9 0 {rshunt}
+Cp9 n9 0 {cshunt}
+Rs10 n9 n10 {rser}
+Rp10 n10 0 {rshunt}
+Cp10 n10 0 {cshunt}
+Rs11 n10 n11 {rser}
+Rp11 n11 0 {rshunt}
+Cp11 n11 0 {cshunt}
+Rs12 n11 n12 {rser}
+Rp12 n12 0 {rshunt}
+Cp12 n12 0 {cshunt}
+Rs13 n12 n13 {rser}
+Rp13 n13 0 {rshunt}
+Cp13 n13 0 {cshunt}
+Rs14 n13 n14 {rser}
+Rp14 n14 0 {rshunt}
+Cp14 n14 0 {cshunt}
+Rs15 n14 n15 {rser}
+Rp15 n15 0 {rshunt}
+Cp15 n15 0 {cshunt}
+Rs16 n15 n16 {rser}
+Rp16 n16 0 {rshunt}
+Cp16 n16 0 {cshunt}
+Rs17 n16 n17 {rser}
+Rp17 n17 0 {rshunt}
+Cp17 n17 0 {cshunt}

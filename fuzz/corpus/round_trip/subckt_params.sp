@@ -1,0 +1,9 @@
+.param g=1k
+.subckt leg a b r=1k rr={2*r}
+R1 a m {r}
+R2 m b {rr}
+.ends
+V1 in 0 DC 5
+X1 in out leg
+X2 out 0 leg r={g/2}
+.end

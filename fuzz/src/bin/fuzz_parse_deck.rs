@@ -1,0 +1,20 @@
+//! Fuzz target: `parse_deck` must never panic, whatever bytes arrive.
+//!
+//! The contract under test is the frontend's first promise — errors are
+//! `Err` values with a 1-based location, never unwinds, never hangs —
+//! over arbitrary (lossily decoded) input.
+
+use std::process::ExitCode;
+
+use castg_netlist::parse_deck;
+
+fn main() -> ExitCode {
+    castg_fuzz::fuzz_main("parse_deck", |data: &[u8]| {
+        let text = String::from_utf8_lossy(data);
+        if let Err(e) = parse_deck(&text) {
+            // Errors must render and carry sane locations; formatting
+            // them here keeps the Display paths under fuzz too.
+            let _ = e.to_string();
+        }
+    })
+}

@@ -1,0 +1,55 @@
+//! Fuzz target: any deck that *parses* must round-trip through the
+//! writer — `parse(write(parse(d)))` yields the identical circuit and
+//! title, and the written deck is fully resolved (no `.param`, no
+//! `{…}`).
+//!
+//! `write_deck_with_title` may legitimately refuse circuits whose
+//! names the deck grammar cannot spell
+//! ([`NetlistError::Unrepresentable`]): subcircuit flattening prefixes
+//! internal devices `X1.R1`, and a resistor card cannot start with `X`.
+//! That arm is a *skip*; any other writer error on a parsed deck is a
+//! bug.
+//!
+//! [`NetlistError::Unrepresentable`]: castg_netlist::NetlistError::Unrepresentable
+
+use std::process::ExitCode;
+
+use castg_netlist::{parse_deck, write_deck_with_title, NetlistError};
+
+fn main() -> ExitCode {
+    castg_fuzz::fuzz_main("round_trip", |data: &[u8]| {
+        let text = String::from_utf8_lossy(data);
+        let Ok(deck) = parse_deck(&text) else { return };
+        let written = match write_deck_with_title(deck.circuit(), deck.title.as_deref()) {
+            Ok(w) => w,
+            Err(NetlistError::Unrepresentable { .. }) => return,
+            Err(e) => panic!("parsed deck failed to write: {e}\ninput:\n{text}"),
+        };
+        // Written decks are fully resolved: no `.param` card and no
+        // `{…}` expression anywhere — except inside the `.title`,
+        // whose text is verbatim and may spell anything.
+        for line in written.lines() {
+            if line.len() >= 6 && line.as_bytes()[..6].eq_ignore_ascii_case(b".title") {
+                continue;
+            }
+            // Card = first whitespace-separated token; a device *named*
+            // `M2.param` is legal and not a parameter definition.
+            let card = line.split_whitespace().next().unwrap_or("");
+            assert!(
+                !card.eq_ignore_ascii_case(".param") && !line.contains('{'),
+                "writer output is not resolved at `{line}`:\n{written}"
+            );
+        }
+        let reparsed = match parse_deck(&written) {
+            Ok(d) => d,
+            Err(e) => panic!("written deck failed to reparse: {e}\ndeck:\n{written}"),
+        };
+        assert_eq!(reparsed.title, deck.title, "title diverged:\n{written}");
+        assert!(reparsed.params.is_empty(), "written deck reintroduced params:\n{written}");
+        assert_eq!(
+            reparsed.circuit(),
+            deck.circuit(),
+            "round-trip diverged:\ninput:\n{text}\nwritten:\n{written}"
+        );
+    })
+}

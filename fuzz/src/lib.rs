@@ -1,0 +1,292 @@
+//! In-tree fuzzing driver for the deck frontend.
+//!
+//! The build environment has no registry access, so this harness does
+//! what `cargo fuzz` would otherwise do, with the pieces the targets
+//! actually need: corpus replay, a time-bounded deterministic mutation
+//! loop (xorshift over bit flips, byte edits, splices, truncations and
+//! SPICE-dictionary token insertion), `catch_unwind` around the target,
+//! and artifact capture on the first panic. Every run with the same
+//! `--seed`, `--seconds` and corpus is bit-reproducible.
+//!
+//! ```text
+//! cargo run --release -p castg-fuzz --bin fuzz_parse_deck -- --seconds 60
+//! cargo run --release -p castg-fuzz --bin fuzz_round_trip -- crash-1a2b.deck
+//! ```
+//!
+//! Passing file paths replays just those inputs (the triage loop for a
+//! saved artifact); otherwise the corpus directory is replayed and then
+//! mutated for `--seconds` wall-clock seconds. A panicking input is
+//! written to `fuzz/artifacts/<target>/` and the process exits with
+//! code 101, so CI smoke jobs fail loudly.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+/// Tokens the mutator splices in whole, so random inputs reach the
+/// deck grammar's deeper corners (params, expressions, subcircuits,
+/// continuations) far sooner than byte noise would.
+const DICTIONARY: &[&str] = &[
+    ".param ", ".subckt ", ".ends", ".model ", ".title ", ".end", ".nodeorder ", "DC ", "SIN(",
+    "PULSE(", "PWL(", "STEP(", "{", "}", "{a+b}", "{1k*x}", "(", ")", "=", "1k", "2.5MEG", "10p",
+    "1e308", "-1e-308", "\n+ ", "\nX1 a b s ", "\nV1 a 0 DC 1\n", "\nR1 a b {r}\n", "*", ";",
+    " $ ", "w=", "0", "..", "e", "αβ",
+];
+
+/// Default per-run mutation budget when `--seconds` is absent: long
+/// enough to exercise the grammar, short enough for a test suite.
+const DEFAULT_SECONDS: u64 = 2;
+
+/// Deterministic xorshift64* — the only randomness source in the
+/// harness, seeded from `--seed` (default 0x9e3779b97f4a7c15).
+pub struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// One mutation step: returns a modified copy of `input`.
+fn mutate(rng: &mut Rng, input: &[u8]) -> Vec<u8> {
+    let mut out = input.to_vec();
+    let rounds = 1 + rng.below(4);
+    for _ in 0..rounds {
+        match rng.below(6) {
+            // Bit flip.
+            0 if !out.is_empty() => {
+                let i = rng.below(out.len());
+                out[i] ^= 1 << rng.below(8);
+            }
+            // Byte replace.
+            1 if !out.is_empty() => {
+                let i = rng.below(out.len());
+                out[i] = (rng.next() & 0xff) as u8;
+            }
+            // Truncate a tail.
+            2 if out.len() > 1 => {
+                out.truncate(1 + rng.below(out.len() - 1));
+            }
+            // Duplicate a random slice (continuation/line duplication).
+            3 if !out.is_empty() => {
+                let a = rng.below(out.len());
+                let b = a + rng.below(out.len() - a);
+                let slice = out[a..b].to_vec();
+                let at = rng.below(out.len());
+                out.splice(at..at, slice);
+            }
+            // Insert a dictionary token.
+            4 => {
+                let tok = DICTIONARY[rng.below(DICTIONARY.len())].as_bytes();
+                let at = rng.below(out.len() + 1);
+                out.splice(at..at, tok.iter().copied());
+            }
+            // Delete a random slice.
+            _ if out.len() > 1 => {
+                let a = rng.below(out.len());
+                let b = a + rng.below(out.len() - a);
+                out.drain(a..b);
+            }
+            _ => {}
+        }
+        // Keep inputs bounded: the parser's costs are linear, but the
+        // harness should spend its budget on shapes, not length.
+        if out.len() > 1 << 14 {
+            out.truncate(1 << 14);
+        }
+    }
+    out
+}
+
+fn repo_root() -> PathBuf {
+    // fuzz/ is a workspace member one level below the root.
+    Path::new(env!("CARGO_MANIFEST_DIR")).parent().map(Path::to_path_buf).unwrap_or_default()
+}
+
+/// Loads every regular file in the target's corpus directory, sorted by
+/// name for reproducibility. Missing directory → empty corpus.
+fn load_corpus(dir: &Path) -> Vec<(PathBuf, Vec<u8>)> {
+    let mut entries: Vec<PathBuf> = match std::fs::read_dir(dir) {
+        Ok(rd) => rd.filter_map(|e| e.ok().map(|e| e.path())).filter(|p| p.is_file()).collect(),
+        Err(_) => Vec::new(),
+    };
+    entries.sort();
+    entries
+        .into_iter()
+        .filter_map(|p| std::fs::read(&p).ok().map(|data| (p, data)))
+        .collect()
+}
+
+/// Runs `target` over one input, capturing any panic.
+fn execute(target: &dyn Fn(&[u8]), input: &[u8]) -> Result<(), String> {
+    catch_unwind(AssertUnwindSafe(|| target(input))).map_err(|e| {
+        e.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "non-string panic payload".to_string())
+    })
+}
+
+/// Writes the crashing input under `fuzz/artifacts/<name>/` and
+/// returns its path (best-effort: falls back to the current directory).
+fn save_artifact(name: &str, input: &[u8]) -> PathBuf {
+    // FNV-1a over the input names the artifact stably.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in input {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    let dir = repo_root().join("fuzz/artifacts").join(name);
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(format!("crash-{h:016x}.deck"));
+    let _ = std::fs::write(&path, input);
+    path
+}
+
+/// Entry point shared by every fuzz target binary: parses harness
+/// arguments, replays the corpus (or explicit file arguments), runs the
+/// time-bounded mutation loop, and reports. Returns the process exit
+/// code: success, or 101 after saving a crash artifact.
+pub fn fuzz_main(name: &str, target: impl Fn(&[u8])) -> ExitCode {
+    let mut seconds = DEFAULT_SECONDS;
+    let mut seed = 0x9e3779b97f4a7c15u64;
+    let mut corpus_dir = repo_root().join("fuzz/corpus").join(name);
+    let mut replay_only: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seconds" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seconds = v,
+                None => {
+                    eprintln!("{name}: --seconds needs an integer value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => {
+                    eprintln!("{name}: --seed needs an integer value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--corpus" => match args.next() {
+                Some(v) => corpus_dir = PathBuf::from(v),
+                None => {
+                    eprintln!("{name}: --corpus needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => replay_only.push(PathBuf::from(other)),
+        }
+    }
+
+    let target: &dyn Fn(&[u8]) = &target;
+
+    // Explicit files: triage mode, replay and exit.
+    if !replay_only.is_empty() {
+        for path in &replay_only {
+            let data = match std::fs::read(path) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("{name}: cannot read {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(msg) = execute(target, &data) {
+                eprintln!("{name}: {} panics: {msg}", path.display());
+                return ExitCode::from(101);
+            }
+            eprintln!("{name}: {} ok", path.display());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let corpus = load_corpus(&corpus_dir);
+    if corpus.is_empty() {
+        eprintln!(
+            "{name}: warning: empty corpus at {} — mutating from scratch",
+            corpus_dir.display()
+        );
+    }
+    for (path, data) in &corpus {
+        if let Err(msg) = execute(target, data) {
+            eprintln!("{name}: corpus input {} panics: {msg}", path.display());
+            return ExitCode::from(101);
+        }
+    }
+
+    let mut rng = Rng(seed | 1);
+    let deadline = Instant::now() + Duration::from_secs(seconds);
+    let mut execs: u64 = corpus.len() as u64;
+    let mut pool: Vec<Vec<u8>> = corpus.into_iter().map(|(_, d)| d).collect();
+    if pool.is_empty() {
+        pool.push(b"V1 a 0 DC 1\nR1 a 0 1k\n".to_vec());
+    }
+    while Instant::now() < deadline {
+        // A batch per clock check keeps the loop out of syscalls.
+        for _ in 0..64 {
+            let base = &pool[rng.below(pool.len())];
+            let input = mutate(&mut rng, base);
+            if let Err(msg) = execute(target, &input) {
+                let path = save_artifact(name, &input);
+                eprintln!(
+                    "{name}: panic after {execs} execs: {msg}\n{name}: artifact saved to {}",
+                    path.display()
+                );
+                return ExitCode::from(101);
+            }
+            execs += 1;
+        }
+    }
+    eprintln!("{name}: {execs} execs in {seconds}s, no panics");
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = Rng(42 | 1);
+        let mut b = Rng(42 | 1);
+        for _ in 0..100 {
+            assert_eq!(a.next(), b.next());
+        }
+    }
+
+    #[test]
+    fn mutate_is_bounded_and_deterministic() {
+        let mut a = Rng(7);
+        let mut b = Rng(7);
+        let seed = b"V1 a 0 DC 1\n".to_vec();
+        for _ in 0..200 {
+            let x = mutate(&mut a, &seed);
+            let y = mutate(&mut b, &seed);
+            assert_eq!(x, y);
+            assert!(x.len() <= (1 << 14) + 64);
+        }
+    }
+
+    #[test]
+    fn execute_captures_panics() {
+        let boom: &dyn Fn(&[u8]) = &|d: &[u8]| {
+            if d.first() == Some(&b'!') {
+                panic!("boom");
+            }
+        };
+        assert!(execute(boom, b"ok").is_ok());
+        let err = execute(boom, b"!").unwrap_err();
+        assert!(err.contains("boom"));
+    }
+}

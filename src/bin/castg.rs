@@ -11,15 +11,17 @@
 //!     --pinhole-ohms R     dictionary pinhole resistance  [2e3]
 //!     --skip-faults N      skip the first N derived faults
 //!     --max-faults N       truncate the derived dictionary (after skip)
+//!     --param NAME=VALUE   set/override a deck `.param` (repeatable)
 //!     --threads N          worker threads                 [all cores]
 //!     --out PATH           write the full text report here (stdout otherwise)
 //!     --json PATH          write a machine-readable summary here
 //!
-//! castg check <deck.sp> [--ordering KIND]
-//!     Parse the deck, solve its DC operating point, print node
-//!     voltages and source currents, and report the sparse-factor fill
-//!     and block structure under each ordering — so users can see which
-//!     solver path their macro will take before running a campaign.
+//! castg check <deck.sp> [--ordering KIND] [--param NAME=VALUE]...
+//!     Parse the deck, print its resolved `.param` values, solve its DC
+//!     operating point, print node voltages and source currents, and
+//!     report the sparse-factor fill and block structure under each
+//!     ordering — so users can see which solver path their macro will
+//!     take before running a campaign.
 //! ```
 //!
 //! The text report is the same canonical rendering the golden-fixture
@@ -38,7 +40,7 @@ use castg::core::{
     NominalCache,
 };
 use castg::faults::{BridgeDerivation, FaultDictionary};
-use castg::netlist::{parse_deck, NetlistMacro, NetlistMacroOptions};
+use castg::netlist::{parse_deck_with_params, parse_number, NetlistMacro, NetlistMacroOptions};
 use castg::spice::{sparse_fill_stats, DcAnalysis, OrderingKind, SolverKind};
 
 const USAGE: &str = "\
@@ -47,8 +49,9 @@ castg — compact structural test generation for analog macros
 USAGE:
     castg generate <deck.sp> --configs <dir> [--faults exhaustive|adjacent]
           [--ordering auto|natural|amd|btf] [--bridge-ohms R] [--pinhole-ohms R]
-          [--skip-faults N] [--max-faults N] [--threads N] [--out PATH] [--json PATH]
-    castg check <deck.sp> [--ordering auto|natural|amd|btf]
+          [--skip-faults N] [--max-faults N] [--param NAME=VALUE]...
+          [--threads N] [--out PATH] [--json PATH]
+    castg check <deck.sp> [--ordering auto|natural|amd|btf] [--param NAME=VALUE]...
 ";
 
 fn main() -> ExitCode {
@@ -76,6 +79,7 @@ struct GenerateArgs {
     configs: PathBuf,
     options: NetlistMacroOptions,
     dispatch: Option<(SolverKind, OrderingKind)>,
+    params: Vec<(String, f64)>,
     skip_faults: usize,
     max_faults: Option<usize>,
     threads: usize,
@@ -88,6 +92,7 @@ fn parse_generate_args(args: &[String]) -> Result<GenerateArgs, String> {
     let mut configs: Option<PathBuf> = None;
     let mut options = NetlistMacroOptions::default();
     let mut dispatch = None;
+    let mut params = Vec::new();
     let mut skip_faults = 0usize;
     let mut max_faults = None;
     let mut threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
@@ -108,6 +113,7 @@ fn parse_generate_args(args: &[String]) -> Result<GenerateArgs, String> {
                 }
             }
             "--ordering" => dispatch = Some(parse_ordering(value("--ordering")?)?),
+            "--param" => params.push(parse_param_flag(value("--param")?)?),
             "--bridge-ohms" => {
                 options.bridge_ohms =
                     value("--bridge-ohms")?.parse().map_err(|e| format!("--bridge-ohms: {e}"))?
@@ -140,12 +146,28 @@ fn parse_generate_args(args: &[String]) -> Result<GenerateArgs, String> {
         configs: configs.ok_or_else(|| format!("missing --configs <dir>\n\n{USAGE}"))?,
         options,
         dispatch,
+        params,
         skip_faults,
         max_faults,
         threads: threads.max(1),
         out,
         json,
     })
+}
+
+/// Parses a `--param NAME=VALUE` flag into an override pair. The value
+/// is a SPICE literal (scale suffixes welcome: `--param rload=2.2k`).
+fn parse_param_flag(s: &str) -> Result<(String, f64), String> {
+    let Some((name, value)) = s.split_once('=') else {
+        return Err(format!("--param expects NAME=VALUE, got `{s}`"));
+    };
+    let name = name.trim();
+    if name.is_empty() {
+        return Err(format!("--param expects NAME=VALUE, got `{s}`"));
+    }
+    let v = parse_number(value)
+        .ok_or_else(|| format!("--param {name}: `{value}` is not a number"))?;
+    Ok((name.to_string(), v))
 }
 
 /// Parses the `--ordering` flag. Forcing a concrete ordering also
@@ -164,7 +186,7 @@ fn parse_ordering(s: &str) -> Result<(SolverKind, OrderingKind), String> {
 
 fn generate(args: &[String]) -> Result<(), String> {
     let a = parse_generate_args(args)?;
-    let mut mac = NetlistMacro::from_files(&a.deck, &a.configs, a.options)
+    let mut mac = NetlistMacro::from_files_with_params(&a.deck, &a.configs, a.options, &a.params)
         .map_err(|e| e.to_string())?;
     if let Some((solver, ordering)) = a.dispatch {
         mac = mac.with_solver(solver, ordering).map_err(|e| e.to_string())?;
@@ -292,12 +314,17 @@ fn json_escape(s: &str) -> String {
 fn check(args: &[String]) -> Result<(), String> {
     let mut deck_path: Option<&String> = None;
     let mut requested = (SolverKind::Auto, OrderingKind::Auto);
+    let mut params = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--ordering" => {
                 let v = it.next().ok_or("--ordering needs a value")?;
                 requested = parse_ordering(v)?;
+            }
+            "--param" => {
+                let v = it.next().ok_or("--param needs a value")?;
+                params.push(parse_param_flag(v)?);
             }
             other if !other.starts_with('-') && deck_path.is_none() => deck_path = Some(a),
             other => {
@@ -306,10 +333,12 @@ fn check(args: &[String]) -> Result<(), String> {
         }
     }
     let Some(deck_path) = deck_path else {
-        return Err(format!("usage: castg check <deck.sp> [--ordering KIND]\n\n{USAGE}"));
+        return Err(format!(
+            "usage: castg check <deck.sp> [--ordering KIND] [--param NAME=VALUE]\n\n{USAGE}"
+        ));
     };
     let text = std::fs::read_to_string(deck_path).map_err(|e| format!("{deck_path}: {e}"))?;
-    let deck = parse_deck(&text).map_err(|e| format!("{deck_path}: {e}"))?;
+    let deck = parse_deck_with_params(&text, &params).map_err(|e| format!("{deck_path}: {e}"))?;
     let c = deck.circuit();
     println!(
         "deck `{}`: {} nodes, {} devices, {} MNA unknowns{}",
@@ -319,6 +348,12 @@ fn check(args: &[String]) -> Result<(), String> {
         c.unknown_count(),
         deck.title.as_deref().map(|t| format!(", title `{t}`")).unwrap_or_default(),
     );
+    if !deck.params.is_empty() {
+        println!("resolved parameters:");
+        for (name, value) in &deck.params {
+            println!("  .param {name} = {value:e}");
+        }
+    }
     let sol = DcAnalysis::new(c).solve().map_err(|e| format!("DC operating point: {e}"))?;
     println!("DC operating point ({} Newton iterations):", sol.newton_iterations());
     for node in c.non_ground_nodes() {

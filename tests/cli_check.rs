@@ -1,0 +1,106 @@
+//! Regression tests for the `castg check` CLI surface: parameter
+//! overrides reaching the lowered circuit, resolved-parameter printing,
+//! and the named structural-singularity diagnostic.
+
+use std::io::Write;
+use std::process::Command;
+
+fn castg() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_castg"))
+}
+
+fn write_deck(dir: &std::path::Path, name: &str, text: &str) -> std::path::PathBuf {
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(text.as_bytes()).unwrap();
+    path
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("castg-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn check_prints_resolved_params_and_applies_overrides() {
+    let dir = temp_dir("params");
+    let deck = write_deck(
+        &dir,
+        "pdeck.sp",
+        ".title param smoke\n\
+         .param rload=2k\n\
+         V1 vin 0 DC 5\n\
+         R1 vin out 1k\n\
+         R2 out 0 {rload}\n",
+    );
+
+    // Deck value: divider 1k over 2k -> v(out) = 10/3.
+    let out = castg().arg("check").arg(&deck).output().unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("resolved parameters:"), "stdout: {stdout}");
+    assert!(stdout.contains(".param rload = 2e3"), "stdout: {stdout}");
+    assert!(stdout.contains("v(out) = 3.333333e0"), "stdout: {stdout}");
+
+    // Override shadows the deck definition: 1k over 4k -> v(out) = 4.
+    let out =
+        castg().arg("check").arg(&deck).args(["--param", "rload=4k"]).output().unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains(".param rload = 4e3"), "stdout: {stdout}");
+    assert!(stdout.contains("v(out) = 4.000000e0"), "stdout: {stdout}");
+}
+
+#[test]
+fn check_rejects_malformed_param_flags() {
+    let dir = temp_dir("badparam");
+    let deck = write_deck(&dir, "d.sp", "V1 a 0 DC 1\nR1 a 0 1k\n");
+    for bad in ["rload", "=4k", "rload=abc"] {
+        let out = castg().arg("check").arg(&deck).args(["--param", bad]).output().unwrap();
+        assert!(!out.status.success(), "--param {bad} should be rejected");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(stderr.contains("--param"), "stderr: {stderr}");
+    }
+}
+
+#[test]
+fn check_names_the_singular_unknown() {
+    let dir = temp_dir("singular");
+    // V2 and V3 disagree across the same node pair: the MNA system is
+    // structurally singular at V3's branch-current column.
+    let deck = write_deck(
+        &dir,
+        "sing.sp",
+        "V1 a 0 DC 1\n\
+         R1 a b 1k\n\
+         V2 b 0 DC 1\n\
+         V3 b 0 DC 2\n",
+    );
+    let out = castg().arg("check").arg(&deck).output().unwrap();
+    assert!(!out.status.success(), "a singular deck must fail `check`");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("structurally singular at unknown i(V3)"),
+        "diagnostic must name the branch unknown, got: {stderr}"
+    );
+    assert!(stderr.contains("voltage-source loop"), "stderr: {stderr}");
+}
+
+#[test]
+fn check_reports_param_cycles_with_the_defining_line() {
+    let dir = temp_dir("cycle");
+    let deck = write_deck(
+        &dir,
+        "cycle.sp",
+        ".param a={b+1}\n\
+         .param b={a+1}\n\
+         V1 x 0 DC {a}\n\
+         R1 x 0 1k\n",
+    );
+    let out = castg().arg("check").arg(&deck).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("cycle"), "stderr: {stderr}");
+}
