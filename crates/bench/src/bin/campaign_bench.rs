@@ -13,6 +13,13 @@
 //! at least halves `nnz(L+U)` at n ≥ 256 — the CI smoke run gates on
 //! that exit status, so an ordering regression cannot land silently.
 //!
+//! Robustness gates ride the same exit status: every workload records
+//! its per-fault outcome tally and Newton strategy-ladder statistics
+//! (`outcomes` / `convergence_stats` in the JSON) and **asserts** zero
+//! unconverged, panicked, timed-out and injection-failed faults, and
+//! the IV converter's cold-start DC operating point must land in fewer
+//! than 25 Newton iterations (`iv_cold_start_iterations`).
+//!
 //! ```text
 //! cargo run --release -p castg-bench --bin campaign_bench -- \
 //!     [--quick] [--threads N] [--reps N] [--iv-faults N] [--out PATH]
@@ -30,13 +37,13 @@ use std::time::Instant;
 use castg_core::synthetic::{LadderMacro, MeshMacro, OtaChainMacro};
 use castg_core::{
     compact, evaluate_test_set_with_threads, test_instances_from_compaction, AnalogMacro,
-    CompactionOptions, Generator, GeneratorOptions, NominalCache, TestInstance,
+    CompactionOptions, Generator, GeneratorOptions, NominalCache, OutcomeTally, TestInstance,
 };
 use castg_faults::FaultDictionary;
 use castg_macros::IvConverter;
 use castg_numeric::{BrentOptions, PowellOptions};
 use castg_spice::{
-    sparse_fill_stats, AnalysisOptions, DcAnalysis, OrderingKind, SolverKind,
+    sparse_fill_stats, AnalysisOptions, DcAnalysis, LadderStats, OrderingKind, SolverKind,
 };
 
 /// One workload's timings, all in seconds.
@@ -55,6 +62,22 @@ struct WorkloadResult {
     faults_per_s: f64,
     /// Fault × test simulation pairs per second for the best repetition.
     pairs_per_s: f64,
+    /// Per-fault outcome counts (bit-identical across reps and threads).
+    tally: OutcomeTally,
+    /// Newton strategy-ladder statistics of the faulted solves.
+    ladder: LadderStats,
+}
+
+/// The robustness gate every workload must clear: the canonical
+/// dictionaries contain no fault the strategy ladder cannot land, so a
+/// single unconverged (or panicked, or timed-out, or injection-failed)
+/// fault is a convergence regression and fails the CI smoke run.
+fn assert_all_converged(name: &str, tally: &OutcomeTally) {
+    assert_eq!(
+        (tally.unconverged, tally.panicked, tally.timed_out, tally.injection_failed),
+        (0, 0, 0, 0),
+        "{name}: robustness regression: {tally:?}"
+    );
 }
 
 fn frugal_options(threads: usize) -> GeneratorOptions {
@@ -107,6 +130,8 @@ fn run_campaign(
     let inject_s = t0.elapsed().as_secs_f64();
 
     let mut evaluate_s = f64::INFINITY;
+    let mut tally = OutcomeTally::default();
+    let mut ladder = LadderStats::default();
     for _ in 0..reps.max(1) {
         let fresh_cache = NominalCache::new();
         let t0 = Instant::now();
@@ -115,7 +140,10 @@ fn run_campaign(
         let dt = t0.elapsed().as_secs_f64();
         assert_eq!(coverage.total(), dict.len());
         evaluate_s = evaluate_s.min(dt);
+        tally = coverage.tally();
+        ladder = coverage.ladder;
     }
+    assert_all_converged(name, &tally);
 
     WorkloadResult {
         name: name.to_string(),
@@ -129,6 +157,8 @@ fn run_campaign(
         evaluate_s,
         faults_per_s: dict.len() as f64 / evaluate_s,
         pairs_per_s: (dict.len() * tests.len()) as f64 / evaluate_s,
+        tally,
+        ladder,
     }
 }
 
@@ -253,6 +283,8 @@ fn run_eval(
     let inject_s = t0.elapsed().as_secs_f64();
 
     let mut evaluate_s = f64::INFINITY;
+    let mut tally = OutcomeTally::default();
+    let mut ladder = LadderStats::default();
     for _ in 0..reps.max(1) {
         let cache = NominalCache::new();
         let t0 = Instant::now();
@@ -261,7 +293,10 @@ fn run_eval(
         let dt = t0.elapsed().as_secs_f64();
         assert_eq!(coverage.total(), dict.len());
         evaluate_s = evaluate_s.min(dt);
+        tally = coverage.tally();
+        ladder = coverage.ladder;
     }
+    assert_all_converged(name, &tally);
 
     WorkloadResult {
         name: name.to_string(),
@@ -275,10 +310,17 @@ fn run_eval(
         evaluate_s,
         faults_per_s: dict.len() as f64 / evaluate_s,
         pairs_per_s: (dict.len() * tests.len()) as f64 / evaluate_s,
+        tally,
+        ladder,
     }
 }
 
-fn render_json(results: &[WorkloadResult], fill: &MeshFill, btf: &BtfStats) -> String {
+fn render_json(
+    results: &[WorkloadResult],
+    fill: &MeshFill,
+    btf: &BtfStats,
+    iv_cold_start_iterations: usize,
+) -> String {
     let mut out = String::from("{\n  \"workloads\": [\n");
     for (i, r) in results.iter().enumerate() {
         let _ = write!(
@@ -286,7 +328,13 @@ fn render_json(results: &[WorkloadResult], fill: &MeshFill, btf: &BtfStats) -> S
             "    {{\"name\": \"{}\", \"faults\": {}, \"tests\": {}, \"threads\": {}, \
              \"reps\": {}, \"generate_s\": {:.6}, \"compact_s\": {:.6}, \
              \"inject_s\": {:.6}, \"evaluate_s\": {:.6}, \"faults_per_s\": {:.3}, \
-             \"pairs_per_s\": {:.3}}}",
+             \"pairs_per_s\": {:.3}, \
+             \"outcomes\": {{\"detected\": {}, \"undetected\": {}, \"unconverged\": {}, \
+             \"singular\": {}, \"timed_out\": {}, \"panicked\": {}, \
+             \"injection_failed\": {}}}, \
+             \"convergence_stats\": {{\"solves\": {}, \"iterations\": {}, \"plain\": {}, \
+             \"damped\": {}, \"gmin_stepping\": {}, \"source_stepping\": {}, \
+             \"pseudo_transient\": {}, \"unconverged\": {}}}}}",
             r.name,
             r.faults,
             r.tests,
@@ -298,6 +346,21 @@ fn render_json(results: &[WorkloadResult], fill: &MeshFill, btf: &BtfStats) -> S
             r.evaluate_s,
             r.faults_per_s,
             r.pairs_per_s,
+            r.tally.detected,
+            r.tally.undetected,
+            r.tally.unconverged,
+            r.tally.singular,
+            r.tally.timed_out,
+            r.tally.panicked,
+            r.tally.injection_failed,
+            r.ladder.solves(),
+            r.ladder.iterations,
+            r.ladder.plain,
+            r.ladder.damped,
+            r.ladder.gmin_stepping,
+            r.ladder.source_stepping,
+            r.ladder.pseudo_transient,
+            r.ladder.unconverged,
         );
         out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
     }
@@ -312,7 +375,7 @@ fn render_json(results: &[WorkloadResult], fill: &MeshFill, btf: &BtfStats) -> S
         out,
         "  \"btf_stats\": {{\"unknowns\": {}, \"pattern_nnz\": {}, \"blocks\": {}, \
          \"largest_block\": {}, \"lu_nnz_btf\": {}, \"lu_nnz_amd\": {}, \
-         \"dc_amd_s\": {:.6}, \"dc_btf_s\": {:.6}, \"speedup\": {:.3}}}",
+         \"dc_amd_s\": {:.6}, \"dc_btf_s\": {:.6}, \"speedup\": {:.3}}},",
         btf.unknowns,
         btf.pattern_nnz,
         btf.blocks,
@@ -323,6 +386,7 @@ fn render_json(results: &[WorkloadResult], fill: &MeshFill, btf: &BtfStats) -> S
         btf.dc_btf_s,
         btf.speedup,
     );
+    let _ = writeln!(out, "  \"iv_cold_start_iterations\": {iv_cold_start_iterations}");
     out.push_str("}\n");
     out
 }
@@ -355,6 +419,20 @@ fn main() {
     }
 
     let mut results = Vec::new();
+
+    // Cold-start gate: the paper's IV converter must reach its DC
+    // operating point from an all-zeros initial state in fewer than 25
+    // Newton iterations — the strategy ladder's standing fix for the
+    // macro's worst-case cold start. A regression here means the damped
+    // rung (or its adaptive clamp boost) stopped doing its job.
+    let iv_cold = {
+        let mac = IvConverter::with_analytic_boxes();
+        let circuit = mac.nominal_circuit();
+        let sol = DcAnalysis::new(&circuit).solve().expect("IV cold-start DC solve");
+        sol.newton_iterations()
+    };
+    eprintln!("iv_cold_start_iterations: {iv_cold}");
+    assert!(iv_cold < 25, "IV-converter cold start regressed to {iv_cold} Newton iterations");
 
     // IV-converter: the paper's macro, full generate → inject → evaluate.
     let mac = IvConverter::with_analytic_boxes();
@@ -506,7 +584,7 @@ fn main() {
         btf.dc_amd_s
     );
 
-    let json = render_json(&results, &fill, &btf);
+    let json = render_json(&results, &fill, &btf, iv_cold);
     std::fs::write(&out_path, &json).expect("write BENCH_campaign.json");
     print!("{json}");
 

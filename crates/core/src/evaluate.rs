@@ -22,17 +22,35 @@
 //! dictionary order, so the report is identical — test indices,
 //! sensitivities, everything, bit for bit — at any worker count and
 //! under either injection mode.
+//!
+//! # Robustness: campaigns never die on a broken variant
+//!
+//! A fault dictionary is untrusted input: a hard bridge can produce a
+//! variant whose MNA system is singular, one that no Newton strategy
+//! converges on, one that burns unbounded wall-clock, or (in the worst
+//! case) one that trips a panic somewhere in the solver stack. None of
+//! these may kill the campaign — each work item is wrapped in
+//! [`std::panic::catch_unwind`] plus an optional per-item solve budget
+//! ([`CampaignOptions::max_newton_iters`] /
+//! [`CampaignOptions::budget_ms`]), and every breakdown degrades to a
+//! typed per-fault [`FaultOutcome`] in the report. Only *nominal*
+//! failures and contract violations stay hard errors: the nominal
+//! circuit is the caller's own macro and must simulate cleanly.
+//! Outcome tallies and the campaign's [`LadderStats`] are bit-identical
+//! at any worker count (wall-clock budgets excepted — see
+//! [`CampaignOptions::budget_ms`]).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use castg_faults::FaultDictionary;
-use castg_spice::Circuit;
+use castg_spice::{ladder_stats, with_solve_budget, Circuit, LadderStats};
 use parking_lot::Mutex;
 
 use crate::cache::NominalCache;
 use crate::compact::CompactionReport;
-use crate::sensitivity::{is_detected, Evaluator};
+use crate::sensitivity::{is_detected, Evaluator, SimFailure};
 use crate::{AnalogMacro, CoreError, TestConfiguration};
 
 /// How the campaign engine materializes its faulted circuit variants.
@@ -58,6 +76,21 @@ pub struct CampaignOptions {
     pub threads: usize,
     /// Variant materialization path.
     pub injection: InjectionMode,
+    /// Newton-iteration allowance per `(fault, test)` work item,
+    /// spanning every analysis the test performs on its faulted
+    /// variant. Exhaustion degrades the item to
+    /// [`FaultOutcome::Unconverged`]. Deterministic: the same item
+    /// exhausts at the same iteration on any machine at any thread
+    /// count. `None` (the default) leaves only the solver's own limits.
+    pub max_newton_iters: Option<usize>,
+    /// Wall-clock budget per `(fault, test)` work item, in
+    /// milliseconds; overrun degrades the item to
+    /// [`FaultOutcome::TimedOut`]. Inherently machine- and
+    /// scheduling-dependent — campaigns that must be bit-identical
+    /// across thread counts should use
+    /// [`CampaignOptions::max_newton_iters`] instead. `None` (the
+    /// default) never times out.
+    pub budget_ms: Option<u64>,
 }
 
 impl Default for CampaignOptions {
@@ -65,6 +98,8 @@ impl Default for CampaignOptions {
         CampaignOptions {
             threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
             injection: InjectionMode::default(),
+            max_newton_iters: None,
+            budget_ms: None,
         }
     }
 }
@@ -87,6 +122,89 @@ impl std::fmt::Debug for TestInstance {
     }
 }
 
+/// Robustness classification of one fault's campaign cells — *how* the
+/// verdict was reached, on top of the `detected` flag.
+///
+/// When a fault's tests disagree (one detects cleanly, another panics),
+/// the *worst* cell classifies the fault, in the severity order
+/// `Panicked > TimedOut > Singular > Unconverged > Detected/Undetected`
+/// — a fault is only as trustworthy as its least trustworthy
+/// simulation. Breakdown cells still score
+/// [`crate::SENSITIVITY_SIM_FAILURE`] (counted as detected), so
+/// coverage percentages are independent of the classification.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum FaultOutcome {
+    /// Every cell simulated (cleanly or as a counted breakdown) and the
+    /// best sensitivity crossed the detection threshold.
+    Detected,
+    /// Every cell simulated and no test detected the fault (a test
+    /// escape).
+    Undetected,
+    /// At least one cell exhausted the Newton strategy ladder or its
+    /// iteration budget.
+    Unconverged,
+    /// At least one cell's variant was singular at the named unknown.
+    Singular {
+        /// The unknown (first in test order) whose pivot vanished.
+        unknown: String,
+    },
+    /// At least one cell overran its wall-clock budget.
+    TimedOut,
+    /// At least one cell panicked (caught and isolated by the worker).
+    Panicked,
+    /// The fault could not be injected into the nominal circuit at all
+    /// (e.g. a degenerate self-bridge); no cell ever ran.
+    InjectionFailed {
+        /// The injection error, rendered.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for FaultOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultOutcome::Detected => f.write_str("detected"),
+            FaultOutcome::Undetected => f.write_str("undetected"),
+            FaultOutcome::Unconverged => f.write_str("unconverged"),
+            FaultOutcome::Singular { unknown } => write!(f, "singular at {unknown}"),
+            FaultOutcome::TimedOut => f.write_str("timed out"),
+            FaultOutcome::Panicked => f.write_str("panicked"),
+            FaultOutcome::InjectionFailed { reason } => write!(f, "injection failed: {reason}"),
+        }
+    }
+}
+
+/// Campaign-wide outcome counts, one per [`FaultOutcome`] variant.
+/// Sums to the dictionary size; bit-identical at any worker count
+/// (wall-clock budgets excepted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OutcomeTally {
+    /// Faults classified [`FaultOutcome::Detected`].
+    pub detected: usize,
+    /// Faults classified [`FaultOutcome::Undetected`].
+    pub undetected: usize,
+    /// Faults classified [`FaultOutcome::Unconverged`].
+    pub unconverged: usize,
+    /// Faults classified [`FaultOutcome::Singular`].
+    pub singular: usize,
+    /// Faults classified [`FaultOutcome::TimedOut`].
+    pub timed_out: usize,
+    /// Faults classified [`FaultOutcome::Panicked`].
+    pub panicked: usize,
+    /// Faults classified [`FaultOutcome::InjectionFailed`].
+    pub injection_failed: usize,
+}
+
+impl OutcomeTally {
+    /// Faults whose verdict is robustness-suspect: unconverged, timed
+    /// out or panicked (the `--strict` failure set; singular and
+    /// injection-failed variants are deterministic properties of the
+    /// fault itself, not solver fragility).
+    pub fn suspect(&self) -> usize {
+        self.unconverged + self.timed_out + self.panicked
+    }
+}
+
 /// Per-fault outcome of a coverage evaluation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultCoverage {
@@ -98,6 +216,8 @@ pub struct FaultCoverage {
     pub best_test: usize,
     /// Whether the fault is detected by the set.
     pub detected: bool,
+    /// How the verdict was reached (robustness classification).
+    pub outcome: FaultOutcome,
 }
 
 /// Coverage of a test set over a dictionary.
@@ -107,6 +227,12 @@ pub struct CoverageReport {
     pub per_fault: Vec<FaultCoverage>,
     /// Number of tests in the evaluated set.
     pub test_count: usize,
+    /// Convergence-ladder statistics of every *faulted* solve the
+    /// campaign ran (nominal measurements are excluded — they are
+    /// cached, shared and pre-warmed outside the accounted window).
+    /// Landings and iteration totals are bit-identical at any worker
+    /// count.
+    pub ladder: LadderStats,
 }
 
 impl CoverageReport {
@@ -141,17 +267,46 @@ impl CoverageReport {
         self.per_fault.iter().map(|f| f.best_sensitivity).sum::<f64>()
             / self.per_fault.len() as f64
     }
+
+    /// Counts the per-fault outcomes by [`FaultOutcome`] variant.
+    pub fn tally(&self) -> OutcomeTally {
+        let mut t = OutcomeTally::default();
+        for f in &self.per_fault {
+            match f.outcome {
+                FaultOutcome::Detected => t.detected += 1,
+                FaultOutcome::Undetected => t.undetected += 1,
+                FaultOutcome::Unconverged => t.unconverged += 1,
+                FaultOutcome::Singular { .. } => t.singular += 1,
+                FaultOutcome::TimedOut => t.timed_out += 1,
+                FaultOutcome::Panicked => t.panicked += 1,
+                FaultOutcome::InjectionFailed { .. } => t.injection_failed += 1,
+            }
+        }
+        t
+    }
 }
 
 /// One `(fault, test)` work item: scores one test against one shared
-/// injected variant.
+/// injected variant, returning the sensitivity plus the breakdown
+/// classification when the faulted simulation broke down.
 fn evaluate_cell(
     nominal: &Circuit,
     cache: &NominalCache,
     variant: &Circuit,
     test: &TestInstance,
-) -> Result<f64, CoreError> {
-    Evaluator::new(test.config.as_ref(), nominal, cache).sensitivity_of(variant, &test.params)
+) -> Result<(f64, Option<SimFailure>), CoreError> {
+    Evaluator::new(test.config.as_ref(), nominal, cache).sensitivity_outcome(variant, &test.params)
+}
+
+/// What one campaign cell produced (hard errors are stored separately,
+/// as `Err`, and abort the queue).
+#[derive(Debug)]
+enum CellOutcome {
+    /// The cell scored: sensitivity plus, when the faulted simulation
+    /// broke down, the classification.
+    Scored(f64, Option<SimFailure>),
+    /// The cell panicked; the worker caught it at the item boundary.
+    Panicked,
 }
 
 /// Shared per-fault variant slot: injected lazily by the first work
@@ -162,8 +317,10 @@ fn evaluate_cell(
 /// inside the worker pool.
 struct VariantSlot {
     state: Mutex<VariantState>,
-    /// Injection error parked for the reduce pass.
-    error: Mutex<Option<CoreError>>,
+    /// Injection failure, rendered, parked for the reduce pass (which
+    /// types it as [`FaultOutcome::InjectionFailed`] — a degenerate
+    /// fault site is a property of the dictionary, not an error).
+    error: Mutex<Option<String>>,
     /// Cells of this fault not yet finished.
     remaining: AtomicUsize,
 }
@@ -173,7 +330,7 @@ enum VariantState {
     Pending,
     /// Injected and live; cells clone the `Arc`.
     Ready(Arc<Circuit>),
-    /// Injection failed (error parked in `VariantSlot::error`).
+    /// Injection failed (reason parked in `VariantSlot::error`).
     Failed,
     /// Every cell finished; the circuit has been dropped.
     Retired,
@@ -210,7 +367,7 @@ impl VariantSlot {
                         Some(circuit)
                     }
                     Err(e) => {
-                        *self.error.lock() = Some(e.into());
+                        *self.error.lock() = Some(e.to_string());
                         *state = VariantState::Failed;
                         None
                     }
@@ -238,8 +395,10 @@ impl VariantSlot {
 ///
 /// # Errors
 ///
-/// Fault-injection and nominal-simulation failures propagate; faulty
-/// non-convergence counts as detection per the sensitivity convention.
+/// Only nominal-simulation failures and contract violations propagate;
+/// faulted-variant breakdowns (panics, non-convergence, singular
+/// systems, budget overruns, injection failures) land as typed
+/// [`FaultOutcome`]s on the per-fault rows instead of erroring.
 pub fn evaluate_test_set(
     macro_def: &dyn AnalogMacro,
     cache: &NominalCache,
@@ -290,12 +449,13 @@ pub fn evaluate_test_set_with_threads(
 ///
 /// # Errors
 ///
-/// Fault-injection and nominal-simulation failures propagate; a failing
-/// work item aborts the remaining queue (fail-fast), and the earliest
-/// failure in `(fault, test)` dictionary order among the evaluated
-/// items is returned. Injection errors are skipped entirely — without
-/// failing — when the test set is empty (nothing can detect, and a
-/// fault that fails to inject must not fail the evaluation then).
+/// Nominal-simulation failures and contract violations propagate; a
+/// hard-failing work item aborts the remaining queue (fail-fast), and
+/// the earliest failure in `(fault, test)` dictionary order among the
+/// evaluated items is returned. *Faulted-variant* breakdowns — panics,
+/// non-convergence, singular systems, budget overruns, and injection
+/// failures on degenerate fault sites — never error: they degrade to
+/// typed [`FaultOutcome`]s.
 pub fn evaluate_campaign(
     macro_def: &dyn AnalogMacro,
     cache: &NominalCache,
@@ -316,6 +476,7 @@ pub fn evaluate_campaign(
                 best_sensitivity: f64::INFINITY,
                 best_test: 0,
                 detected: false,
+                outcome: FaultOutcome::Undetected,
             });
         }
         return Ok(report);
@@ -326,6 +487,17 @@ pub fn evaluate_campaign(
     // plan from it.
     nominal.compile_plan();
 
+    // Pre-warm every test's nominal measurement before the fan-out.
+    // Three birds: nominal failures surface as hard errors here, with
+    // no campaign machinery in the way; the per-item solve budgets
+    // below can never be charged for (or exhausted by) a nominal
+    // solve; and the workers' ladder statistics count faulted solves
+    // only, so `CoverageReport::ladder` is a pure function of the
+    // (fault, test) grid.
+    for test in tests {
+        Evaluator::new(test.config.as_ref(), &nominal, cache).nominal(&test.params)?;
+    }
+
     // One injection per fault per campaign, performed lazily inside the
     // worker pool by whichever work item touches the fault first; the
     // variant is shared read-only by its cells and dropped by the last.
@@ -333,30 +505,58 @@ pub fn evaluate_campaign(
 
     let total = n * t;
     let workers = options.threads.clamp(1, total.max(1));
-    let cells: Vec<Mutex<Option<Result<f64, CoreError>>>> =
+    let cells: Vec<Mutex<Option<Result<CellOutcome, CoreError>>>> =
         (0..total).map(|_| Mutex::new(None)).collect();
     let counter = AtomicUsize::new(0);
-    // A failed cell (or an injection failure) aborts the queue so the
-    // error surfaces without paying for the remaining simulations;
-    // in-flight cells still finish.
+    // Only a hard-failing cell (nominal failure, contract violation)
+    // aborts the queue; faulted breakdowns are typed outcomes and the
+    // campaign keeps going. In-flight cells still finish.
     let failed = AtomicBool::new(false);
-    let work = || loop {
-        let i = counter.fetch_add(1, Ordering::Relaxed);
-        if i >= total || failed.load(Ordering::Relaxed) {
-            break;
-        }
-        let slot = &variants[i / t];
-        match slot.acquire(&dictionary.faults()[i / t], &nominal, options.injection) {
-            Some(variant) => {
-                let outcome = evaluate_cell(&nominal, cache, &variant, &tests[i % t]);
-                if outcome.is_err() {
-                    failed.store(true, Ordering::Relaxed);
-                }
-                *cells[i].lock() = Some(outcome);
+    let ladder_total: Mutex<LadderStats> = Mutex::new(LadderStats::default());
+    let work = || {
+        let stats_before = ladder_stats();
+        loop {
+            let i = counter.fetch_add(1, Ordering::Relaxed);
+            if i >= total || failed.load(Ordering::Relaxed) {
+                break;
             }
-            None => failed.store(true, Ordering::Relaxed),
+            let slot = &variants[i / t];
+            // The whole work item — injection included — runs inside
+            // `catch_unwind`: a panicking variant poisons nothing (the
+            // circuit is shared read-only, parking_lot locks release on
+            // unwind without poisoning, and a panic mid-compute in the
+            // nominal cache inserts nothing) and degrades to a typed
+            // per-cell outcome instead of tearing the campaign down.
+            let item = catch_unwind(AssertUnwindSafe(|| {
+                match slot.acquire(&dictionary.faults()[i / t], &nominal, options.injection) {
+                    Some(variant) => {
+                        with_solve_budget(options.max_newton_iters, options.budget_ms, || {
+                            evaluate_cell(&nominal, cache, &variant, &tests[i % t]).map(Some)
+                        })
+                    }
+                    // Injection failed; the reason is parked in the
+                    // slot and the fault's cells all stay empty.
+                    None => Ok(None),
+                }
+            }));
+            match item {
+                Ok(Ok(Some((s, failure)))) => {
+                    *cells[i].lock() = Some(Ok(CellOutcome::Scored(s, failure)));
+                }
+                Ok(Ok(None)) => {}
+                Ok(Err(e)) => {
+                    failed.store(true, Ordering::Relaxed);
+                    *cells[i].lock() = Some(Err(e));
+                }
+                Err(_panic) => {
+                    *cells[i].lock() = Some(Ok(CellOutcome::Panicked));
+                }
+            }
+            slot.release();
         }
-        slot.release();
+        let delta = ladder_stats().since(&stats_before);
+        let mut sum = ladder_total.lock();
+        *sum = *sum + delta;
     };
     // Fanning out costs a few thread spawns; below a handful of
     // simulations the serial sweep wins outright.
@@ -368,43 +568,85 @@ pub fn evaluate_campaign(
                 scope.spawn(|_| work());
             }
         })
-        .expect("campaign workers must not panic");
+        .expect("campaign workers are panic-isolated per work item");
     }
+    report.ladder = ladder_total.into_inner();
 
     let mut outcomes = cells.into_iter().map(|m| m.into_inner());
     if failed.load(Ordering::Relaxed) {
-        // Return the earliest failure in (fault, test) order: an
-        // injection error fails at its fault, a cell error at its pair
+        // Return the earliest hard failure in (fault, test) order
         // (cells never evaluated because of the abort are skipped).
-        for slot in variants {
-            if let Some(e) = slot.error.into_inner() {
+        for outcome in outcomes {
+            if let Some(Err(e)) = outcome {
                 return Err(e);
-            }
-            for _ in 0..t {
-                if let Some(Err(e)) = outcomes.next().flatten() {
-                    return Err(e);
-                }
             }
         }
         unreachable!("an aborted campaign always stores at least one error");
     }
-    for fault in dictionary.iter() {
+    for (fault, slot) in dictionary.iter().zip(variants) {
+        if let Some(reason) = slot.error.into_inner() {
+            // No cell of this fault ever ran; skip their (empty) slots.
+            for _ in 0..t {
+                outcomes.next();
+            }
+            report.per_fault.push(FaultCoverage {
+                fault: fault.name(),
+                best_sensitivity: f64::INFINITY,
+                best_test: 0,
+                detected: false,
+                outcome: FaultOutcome::InjectionFailed { reason },
+            });
+            continue;
+        }
         let mut best = (0usize, f64::INFINITY);
+        let mut panicked = false;
+        let mut timed_out = false;
+        let mut singular: Option<String> = None;
+        let mut unconverged = false;
         for ti in 0..t {
-            let s = outcomes.next().flatten().unwrap_or_else(|| {
+            let cell = outcomes.next().flatten().unwrap_or_else(|| {
                 Err(CoreError::InvalidOptions {
                     reason: format!("campaign never ran fault {} test {ti}", fault.name()),
                 })
             })?;
-            if s < best.1 {
-                best = (ti, s);
+            match cell {
+                CellOutcome::Scored(s, failure) => {
+                    if s < best.1 {
+                        best = (ti, s);
+                    }
+                    match failure {
+                        Some(SimFailure::TimedOut) => timed_out = true,
+                        Some(SimFailure::Singular { unknown }) => {
+                            singular.get_or_insert(unknown);
+                        }
+                        Some(SimFailure::Unconverged) => unconverged = true,
+                        None => {}
+                    }
+                }
+                CellOutcome::Panicked => panicked = true,
             }
         }
+        // Severity order: the least trustworthy cell classifies the
+        // fault (the detected flag still reflects the best score).
+        let outcome = if panicked {
+            FaultOutcome::Panicked
+        } else if timed_out {
+            FaultOutcome::TimedOut
+        } else if let Some(unknown) = singular {
+            FaultOutcome::Singular { unknown }
+        } else if unconverged {
+            FaultOutcome::Unconverged
+        } else if is_detected(best.1) {
+            FaultOutcome::Detected
+        } else {
+            FaultOutcome::Undetected
+        };
         report.per_fault.push(FaultCoverage {
             fault: fault.name(),
             best_sensitivity: best.1,
             best_test: best.0,
             detected: is_detected(best.1),
+            outcome,
         });
     }
     Ok(report)

@@ -42,6 +42,41 @@
 //! `tests/campaign_differential.rs` pins that for the IV-converter and
 //! ladder-n=256 dictionaries on both solver paths.
 //!
+//! # Convergence resilience: campaigns that never die
+//!
+//! Real dictionaries inject pathological variants — bridges that
+//! collapse the faulted matrix, near-shorts that destroy its
+//! conditioning — and one such variant must not abort thousands of
+//! healthy work items. The campaign engine therefore treats every
+//! faulted `(fault, test)` item as fallible in a typed way:
+//!
+//! * Each work item runs inside `catch_unwind` plus a per-item solve
+//!   budget ([`CampaignOptions::max_newton_iters`] / `budget_ms`,
+//!   installed through `castg_spice::with_solve_budget`), so panics,
+//!   runaway solves and singular factorizations are contained to the
+//!   item that caused them.
+//! * Every fault's row in the [`CoverageReport`] carries a
+//!   [`FaultOutcome`]: `Detected` / `Undetected` for healthy variants,
+//!   `Unconverged`, `Singular` (naming the offending MNA unknown),
+//!   `TimedOut`, `Panicked`, or `InjectionFailed` for broken ones.
+//!   [`CoverageReport::tally`] aggregates the counts into an
+//!   [`OutcomeTally`]; its `suspect()` subset (unconverged, timed out,
+//!   panicked) is what `castg generate --strict` gates on.
+//! * *Nominal* simulation failures remain hard errors — a macro whose
+//!   fault-free circuit does not solve is a configuration bug, not a
+//!   fault property — and are surfaced by a pre-warm pass before any
+//!   worker fans out.
+//! * The report's `ladder` field sums the Newton strategy-ladder
+//!   statistics (`castg_spice::LadderStats`) over all faulted solves,
+//!   so campaign reports show which rescue rungs earned their keep.
+//!
+//! Iteration-allowance outcomes are bit-identical at any worker count;
+//! wall-clock budgets (`budget_ms`) are inherently machine-dependent
+//! and left out of determinism guarantees.
+//! `tests/campaign_robustness.rs` pins the contract with deliberately
+//! singular, deliberately non-converging and degenerate-injection
+//! variants, serial and parallel.
+//!
 //! # Example (synthetic macro; see `castg-macros` for the real one)
 //!
 //! ```
@@ -83,8 +118,8 @@ pub use descr::{ConfigDescription, ParamSpec, PortAction};
 pub use error::CoreError;
 pub use evaluate::{
     evaluate_campaign, evaluate_test_set, evaluate_test_set_with_threads,
-    test_instances_from_compaction, CampaignOptions, CoverageReport, FaultCoverage,
-    InjectionMode, TestInstance,
+    test_instances_from_compaction, CampaignOptions, CoverageReport, FaultCoverage, FaultOutcome,
+    InjectionMode, OutcomeTally, TestInstance,
 };
 pub use generate::{
     BestTest, DistributionRow, GenerationReport, Generator, GeneratorOptions, SelectionMethod,
@@ -92,6 +127,7 @@ pub use generate::{
 pub use interp::DescribedConfig;
 pub use macro_def::AnalogMacro;
 pub use sensitivity::{
-    is_detected, sensitivity, Evaluator, SensitivityReport, SENSITIVITY_SIM_FAILURE,
+    is_detected, sensitivity, Evaluator, SensitivityReport, SimFailure,
+    SENSITIVITY_SIM_FAILURE,
 };
 pub use tps::{tps_graph, tps_profile, TpsGraph};

@@ -66,13 +66,43 @@ pub fn render_pipeline_report(
     for f in &coverage.per_fault {
         let _ = writeln!(
             out,
-            "{}: best_test {} s {} detected {}",
+            "{}: best_test {} s {} detected {} outcome {}",
             f.fault,
             f.best_test,
             full_num(f.best_sensitivity),
             f.detected,
+            f.outcome,
         );
     }
+    let tally = coverage.tally();
+    let _ = writeln!(out, "== outcomes ==");
+    let _ = writeln!(
+        out,
+        "detected {} undetected {} unconverged {} singular {} timed_out {} panicked {} \
+         injection_failed {}",
+        tally.detected,
+        tally.undetected,
+        tally.unconverged,
+        tally.singular,
+        tally.timed_out,
+        tally.panicked,
+        tally.injection_failed,
+    );
+    let ladder = &coverage.ladder;
+    let _ = writeln!(out, "== newton ladder (faulted solves) ==");
+    let _ = writeln!(
+        out,
+        "solves {} iterations {} | plain {} damped {} gmin-stepping {} source-stepping {} \
+         pseudo-transient {} unconverged {}",
+        ladder.solves(),
+        ladder.iterations,
+        ladder.plain,
+        ladder.damped,
+        ladder.gmin_stepping,
+        ladder.source_stepping,
+        ladder.pseudo_transient,
+        ladder.unconverged,
+    );
     out
 }
 

@@ -4,6 +4,7 @@
 use std::sync::Arc;
 
 use castg_faults::Fault;
+use castg_numeric::NumericError;
 use castg_spice::{Circuit, SpiceError};
 
 use crate::cache::NominalCache;
@@ -13,6 +14,59 @@ use crate::{CoreError, TestConfiguration};
 /// Sensitivity value reported when the faulty circuit cannot be simulated
 /// at all — a grossly broken device counts as strongly detected.
 pub const SENSITIVITY_SIM_FAILURE: f64 = -1.0e3;
+
+/// Why a *faulted* variant's simulation broke down. These are expected
+/// campaign events, not errors: a hard bridge can legitimately produce
+/// a circuit that no Newton strategy lands ([`SimFailure::Unconverged`]),
+/// one whose MNA system loses rank ([`SimFailure::Singular`]), or one
+/// that burns past its wall-clock budget ([`SimFailure::TimedOut`]).
+/// The classification is carried through to the campaign's per-fault
+/// outcome; the sensitivity itself stays [`SENSITIVITY_SIM_FAILURE`]
+/// (counted as detected) in every case, so coverage figures do not
+/// depend on *why* the variant broke.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SimFailure {
+    /// The nonlinear solver exhausted its strategy ladder or its
+    /// iteration budget without converging.
+    Unconverged,
+    /// The variant's MNA system is singular at the named unknown
+    /// (`v(<node>)` / `i(<device>)`, or a raw pivot index when the
+    /// failure surfaced below the circuit layer).
+    Singular {
+        /// The unknown whose pivot vanished.
+        unknown: String,
+    },
+    /// The variant overran a wall-clock budget
+    /// ([`castg_spice::AnalysisOptions::budget_ms`] or the campaign's
+    /// per-item budget).
+    TimedOut,
+}
+
+impl std::fmt::Display for SimFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimFailure::Unconverged => f.write_str("no convergence"),
+            SimFailure::Singular { unknown } => write!(f, "singular at {unknown}"),
+            SimFailure::TimedOut => f.write_str("wall-clock budget exceeded"),
+        }
+    }
+}
+
+/// Splits a faulted-variant simulation error into the expected
+/// breakdown set (`Ok`) versus genuine errors (`Err` — unknown devices,
+/// invalid analyses and other contract violations that must propagate).
+fn classify_sim_failure(e: SpiceError) -> Result<SimFailure, SpiceError> {
+    match e {
+        SpiceError::NoConvergence { .. } => Ok(SimFailure::Unconverged),
+        SpiceError::Singular { unknown } => Ok(SimFailure::Singular { unknown }),
+        SpiceError::Numeric(NumericError::SingularMatrix { pivot }) => {
+            Ok(SimFailure::Singular { unknown: format!("pivot {pivot}") })
+        }
+        SpiceError::Numeric(_) => Ok(SimFailure::Unconverged),
+        SpiceError::Timeout { .. } => Ok(SimFailure::TimedOut),
+        other => Err(other),
+    }
+}
 
 /// Combines per-return deviations and box half-widths into the scalar
 /// sensitivity
@@ -138,19 +192,21 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Measures the faulty circuit, mapping a simulation breakdown
-    /// (non-convergence / numerical failure — a grossly broken device)
-    /// to `Ok(None)`. The single home of the sim-failure error set,
-    /// shared by the report and the lean scalar path.
+    /// (non-convergence, singular system, numerical failure, budget
+    /// overrun — a grossly broken device) to `Ok(Err(classification))`.
+    /// The single home of the sim-failure error set, shared by the
+    /// report and the lean scalar paths.
     fn measure_faulty(
         &self,
         faulty_circuit: &Circuit,
         params: &[f64],
-    ) -> Result<Option<Measurement>, CoreError> {
+    ) -> Result<Result<Measurement, SimFailure>, CoreError> {
         match self.config.measure(faulty_circuit, params) {
-            Ok(m) => Ok(Some(m)),
-            Err(CoreError::Simulation(
-                SpiceError::NoConvergence { .. } | SpiceError::Numeric(_),
-            )) => Ok(None),
+            Ok(m) => Ok(Ok(m)),
+            Err(CoreError::Simulation(e)) => match classify_sim_failure(e) {
+                Ok(failure) => Ok(Err(failure)),
+                Err(hard) => Err(CoreError::Simulation(hard)),
+            },
             Err(other) => Err(other),
         }
     }
@@ -171,7 +227,7 @@ impl<'a> Evaluator<'a> {
         let boxes = self.config.tolerance_box(params, &nominal_returns);
 
         match self.measure_faulty(faulty_circuit, params)? {
-            Some(faulty_m) => {
+            Ok(faulty_m) => {
                 let faulty_returns = self.config.return_values(&faulty_m, &nominal_m);
                 let deviations: Vec<f64> = faulty_returns
                     .iter()
@@ -188,7 +244,7 @@ impl<'a> Evaluator<'a> {
                     sim_failure: false,
                 })
             }
-            None => Ok(SensitivityReport {
+            Err(_) => Ok(SensitivityReport {
                 params: params.to_vec(),
                 faulty_returns: vec![f64::NAN; nominal_returns.len()],
                 nominal_returns,
@@ -216,11 +272,28 @@ impl<'a> Evaluator<'a> {
         faulty_circuit: &Circuit,
         params: &[f64],
     ) -> Result<f64, CoreError> {
+        self.sensitivity_outcome(faulty_circuit, params).map(|(s, _)| s)
+    }
+
+    /// [`sensitivity_of`](Evaluator::sensitivity_of) plus the breakdown
+    /// classification: the scalar sensitivity and, when the faulted
+    /// simulation broke down, *why* (`None` means it simulated
+    /// cleanly). The campaign engine's work-item kernel — the
+    /// sensitivity is bit-identical to the other two paths.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Evaluator::evaluate`].
+    pub fn sensitivity_outcome(
+        &self,
+        faulty_circuit: &Circuit,
+        params: &[f64],
+    ) -> Result<(f64, Option<SimFailure>), CoreError> {
         let nominal_m = self.nominal(params)?;
         let nominal_returns = self.config.return_values(&nominal_m, &nominal_m);
         let boxes = self.config.tolerance_box(params, &nominal_returns);
         match self.measure_faulty(faulty_circuit, params)? {
-            Some(faulty_m) => {
+            Ok(faulty_m) => {
                 let faulty_returns = self.config.return_values(&faulty_m, &nominal_m);
                 // Fold `sensitivity` over on-the-fly deviations: the
                 // same `f − n` pairs through the same per-return term,
@@ -230,9 +303,9 @@ impl<'a> Evaluator<'a> {
                 for ((f, n), b) in faulty_returns.iter().zip(&nominal_returns).zip(&boxes) {
                     s_min = s_min.min(per_return_sensitivity(f - n, *b));
                 }
-                Ok(s_min)
+                Ok((s_min, None))
             }
-            None => Ok(SENSITIVITY_SIM_FAILURE),
+            Err(failure) => Ok((SENSITIVITY_SIM_FAILURE, Some(failure))),
         }
     }
 }

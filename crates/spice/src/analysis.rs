@@ -38,6 +38,23 @@ pub struct AnalysisOptions {
     /// unaffected). Results are bit-identical at every thread count —
     /// same discipline as `AcAnalysis::threads`. Default 1 (serial).
     pub block_threads: usize,
+    /// Cap on the **total** Newton iterations one analysis run may
+    /// spend — summed across every rung of the DC strategy ladder, or
+    /// across every timestep (ladder stages and sub-step retries
+    /// included) of a transient run. `None` (the default) leaves only
+    /// the per-rung `max_iter` limits. Exhaustion reports
+    /// [`crate::SpiceError::NoConvergence`], so the verdict is
+    /// deterministic at any thread count — the budget of choice for
+    /// reproducible fault campaigns.
+    pub max_total_iter: Option<usize>,
+    /// Wall-clock budget for one analysis run, in milliseconds; the
+    /// clock starts when the solve starts and is checked once per
+    /// Newton iteration. Overrun reports
+    /// [`crate::SpiceError::Timeout`]. `None` (the default) never times
+    /// out. Wall-clock verdicts are inherently machine- and
+    /// scheduling-dependent — use `max_total_iter` when bit-identical
+    /// behavior matters.
+    pub budget_ms: Option<u64>,
 }
 
 impl Default for AnalysisOptions {
@@ -52,6 +69,8 @@ impl Default for AnalysisOptions {
             solver: SolverKind::Auto,
             ordering: OrderingKind::Auto,
             block_threads: 1,
+            max_total_iter: None,
+            budget_ms: None,
         }
     }
 }

@@ -1,13 +1,35 @@
 //! DC operating-point analysis.
 //!
-//! A damped Newton–Raphson iteration over the MNA system, with two
-//! fallbacks when the plain iteration diverges: *gmin stepping* (start
-//! with a large conductance to ground everywhere and relax it decade by
-//! decade) and *source stepping* (ramp all independent sources from zero).
-//! Real CMOS operating points — including grossly faulted ones — almost
-//! always yield to one of the three.
+//! A Newton–Raphson **strategy ladder** over the MNA system, attempted
+//! in order until one rung converges:
+//!
+//! 1. **Plain Newton** — undamped, cheaply capped. Lands warm starts
+//!    and linear/mildly nonlinear circuits in a handful of iterations;
+//!    a stiff cold start falls through fast.
+//! 2. **Damped Newton** — per-node update clamping
+//!    ([`AnalysisOptions::max_step_v`]) with *adaptive clamp growth*:
+//!    monotone progress doubles the effective clamp (powers of two, so
+//!    the arithmetic stays bit-stable), a residual increase snaps it
+//!    back to the base. Cuts the creep phase of deeply cold starts
+//!    without the oscillation a statically larger clamp invites.
+//! 3. **gmin stepping** — a strong shunt everywhere, relaxed decade by
+//!    decade.
+//! 4. **Source stepping** — all independent sources ramped from zero.
+//! 5. **Pseudo-transient continuation** — a conductance `α` from every
+//!    node to an *anchor* state (backward-Euler pseudo-time stepping),
+//!    relaxed geometrically and polished at `α = 0`. The anchoring
+//!    keeps high-gain feedback loops from rattling; branch rows are
+//!    left un-augmented so structural singularities (voltage-source
+//!    loops) still surface as [`SpiceError::Singular`].
+//!
+//! Each solve reports the landing strategy and per-rung iteration/
+//! residual accounting in a typed [`ConvergenceReport`], and charges
+//! every iteration against the per-analysis caps of
+//! [`AnalysisOptions`] and any thread-local
+//! [`crate::with_solve_budget`] overlay a fault campaign has installed.
 
 use crate::analysis::AnalysisOptions;
+use crate::budget::IterBudget;
 use crate::circuit::Circuit;
 use crate::node::NodeId;
 use crate::solver::{MnaSolver, OrderingKind, SolverKind};
@@ -121,6 +143,146 @@ impl NewtonScratch {
     }
 }
 
+/// One rung of the DC Newton strategy ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NewtonStrategy {
+    /// Undamped Newton, cheaply capped.
+    Plain,
+    /// Damped Newton with adaptive clamp growth.
+    Damped,
+    /// gmin stepping (shunt relaxation).
+    GminStepping,
+    /// Source stepping (stimulus ramp).
+    SourceStepping,
+    /// Pseudo-transient continuation (anchored relaxation).
+    PseudoTransient,
+}
+
+impl std::fmt::Display for NewtonStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            NewtonStrategy::Plain => "plain",
+            NewtonStrategy::Damped => "damped",
+            NewtonStrategy::GminStepping => "gmin-stepping",
+            NewtonStrategy::SourceStepping => "source-stepping",
+            NewtonStrategy::PseudoTransient => "pseudo-transient",
+        })
+    }
+}
+
+/// Per-rung accounting of one DC solve: what the rung spent and where
+/// it left the iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RungStat {
+    /// The strategy this rung ran.
+    pub strategy: NewtonStrategy,
+    /// Newton iterations the rung spent (all its stages summed — gmin
+    /// decades, ramp steps, pseudo-transient stages).
+    pub iterations: usize,
+    /// The update ∞-norm `max_i |Δx_i|` (before damping) of the rung's
+    /// last iteration — the residual proxy the convergence test is
+    /// built on. `0.0` if the rung never completed an iteration.
+    pub residual_norm: f64,
+    /// Whether the rung converged (the ladder stops at the first that
+    /// does).
+    pub converged: bool,
+}
+
+impl RungStat {
+    fn new(strategy: NewtonStrategy) -> Self {
+        RungStat { strategy, iterations: 0, residual_norm: 0.0, converged: false }
+    }
+}
+
+/// Iteration cap of the plain (undamped) rung: long enough for warm
+/// starts and mildly nonlinear circuits, short enough that a stiff cold
+/// start falls through to the damped rung cheaply.
+const PLAIN_RUNG_CAP: usize = 4;
+
+/// Largest adaptive clamp multiplier on the damped rung: tight, tuned
+/// for iteration count on well-behaved cold starts (the IV-converter
+/// macro lands in ~20 damped iterations here; larger caps overshoot and
+/// oscillate). Boost multipliers are powers of two only, so the
+/// effective clamp stays exact in binary floating point and iterate
+/// trajectories are bit-reproducible.
+const DAMPED_MAX_BOOST: f64 = 2.0;
+
+/// Largest adaptive clamp multiplier on the rescue rungs (gmin
+/// stepping, source stepping, pseudo-transient): generous — by the time
+/// the ladder is here, landing at all beats landing fast, and the
+/// stiffest bridge-fault variants need clamp excursions this large.
+const RESCUE_MAX_BOOST: f64 = 64.0;
+
+/// Initial source-stepping advance: the classic 25-step ramp. The ramp
+/// is adaptive — a step whose Newton fails is retried from the last
+/// converged state at half the advance (down to [`SOURCE_STEP_MIN`]),
+/// and the advance regrows ×2 after every success — so a stiff stretch
+/// of the continuation path costs fine steps only where it is stiff.
+/// Halving/doubling keeps every scale exactly representable, so the
+/// trajectory is bit-reproducible.
+const SOURCE_STEP_INIT: f64 = 0.04;
+/// Smallest source-stepping advance before the rung gives up.
+const SOURCE_STEP_MIN: f64 = 0.00125;
+/// Cap on Newton calls (stages) in the source-stepping rung: bounds the
+/// rung's worst case on hopeless variants at `SOURCE_MAX_STAGES ×
+/// max_iter` iterations while leaving the adaptive ramp room for a few
+/// stiff stretches (the minimum-step path needs 1/`SOURCE_STEP_MIN` =
+/// 800 stages only if *every* step is minimal; real variants need a
+/// handful).
+const SOURCE_MAX_STAGES: usize = 96;
+
+/// First pseudo-transient anchor conductance (siemens), relaxed
+/// geometrically per stage down to [`PTC_ALPHA_FLOOR`], then polished
+/// at zero. The relaxation is adaptive: it starts a decade per stage
+/// ([`PTC_DECAY_START`]) and a failed stage retreats to the anchor and
+/// square-roots the decay (gentler pseudo-timestep growth), down to
+/// [`PTC_DECAY_MIN`]; a first-stage failure instead strengthens the
+/// starting anchor ×10 up to [`PTC_ALPHA_MAX`]. `sqrt` is
+/// correctly-rounded IEEE, so the α trajectory is bit-reproducible.
+const PTC_ALPHA_START: f64 = 1.0;
+const PTC_ALPHA_MAX: f64 = 1e6;
+const PTC_ALPHA_FLOOR: f64 = 1e-9;
+const PTC_DECAY_START: f64 = 10.0;
+const PTC_DECAY_MIN: f64 = 1.05;
+/// Cap on Newton calls (stages) in the pseudo-transient rung.
+const PTC_MAX_STAGES: usize = 96;
+
+/// Configuration of one ladder rung's Newton loop.
+struct RungCfg<'a> {
+    /// Shunt conductance from every node to ground.
+    gmin: f64,
+    /// Stimulus scale (source stepping ramps this 0 → 1).
+    source_scale: f64,
+    /// Iteration cap for this rung stage.
+    max_iter: usize,
+    /// Base per-iteration voltage clamp on nonlinear-device terminals.
+    clamp: f64,
+    /// Cap on the adaptive clamp multiplier (`1.0` disables growth).
+    max_boost: f64,
+    /// Pseudo-transient continuation: `(α, anchor state)` adds `α` to
+    /// every node diagonal and `α·anchor[i]` to every node rhs row,
+    /// pulling the iterate toward the anchor.
+    ptc: Option<(f64, &'a [f64])>,
+}
+
+/// How a DC solve converged: the rung-by-rung trail and the strategy
+/// that landed it. Attached to every [`DcSolution`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergenceReport {
+    /// Every rung attempted, in ladder order; the last entry is the one
+    /// that converged.
+    pub rungs: Vec<RungStat>,
+    /// The strategy that produced the solution.
+    pub strategy: NewtonStrategy,
+}
+
+impl ConvergenceReport {
+    /// Total Newton iterations spent across every rung.
+    pub fn total_iterations(&self) -> usize {
+        self.rungs.iter().map(|r| r.iterations).sum()
+    }
+}
+
 /// A converged DC solution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DcSolution {
@@ -132,9 +294,8 @@ pub struct DcSolution {
     branch_currents: Vec<(String, f64)>,
     /// Raw MNA unknown vector (used to warm-start transient analysis).
     state: Vec<f64>,
-    /// Total Newton iterations spent across all strategies (plain
-    /// Newton, gmin ladder stages, source-stepping ramp).
-    iterations: usize,
+    /// How the strategy ladder landed this solve.
+    convergence: ConvergenceReport,
 }
 
 impl DcSolution {
@@ -164,11 +325,15 @@ impl DcSolution {
     }
 
     /// Total Newton iterations the solve spent, summed over every
-    /// strategy it tried (plain Newton, gmin-ladder stages, source
-    /// stepping). The cold-start cost regression tests pin this — the
-    /// ROADMAP's nodeset/pseudo-transient item is judged against it.
+    /// ladder rung it tried. The cold-start cost regression tests pin
+    /// this — the ROADMAP's cold-start item is judged against it.
     pub fn newton_iterations(&self) -> usize {
-        self.iterations
+        self.convergence.total_iterations()
+    }
+
+    /// The rung-by-rung convergence trail of this solve.
+    pub fn convergence(&self) -> &ConvergenceReport {
+        &self.convergence
     }
 }
 
@@ -240,13 +405,14 @@ impl<'c> DcAnalysis<'c> {
         }
         let overrides = resolve_overrides(self.circuit, &self.overrides)?;
         if n == 0 {
-            return Ok(self.package(Vec::new(), 0));
+            let convergence =
+                ConvergenceReport { rungs: Vec::new(), strategy: NewtonStrategy::Plain };
+            return Ok(self.package(Vec::new(), convergence));
         }
 
         // One compiled plan + one set of solver buffers for the whole
-        // solve, shared across all fallback strategies; one state
-        // vector mutated in place by the Newton iterations. `iters`
-        // accumulates every Newton iteration any strategy spends.
+        // solve, shared across all ladder rungs; one state vector
+        // mutated in place by the Newton iterations.
         // DC factors the static pattern: capacitors are open, and
         // carrying their slots would cost fill and block the BTF
         // condensation (see `PatternScope`).
@@ -259,92 +425,313 @@ impl<'c> DcAnalysis<'c> {
         );
         scratch.overrides = overrides;
         let mut x = initial.to_vec();
-        let mut iters = 0usize;
+        let mut budget = IterBudget::start("dc operating point", &self.options);
+        let mut rungs: Vec<RungStat> = Vec::new();
+        let opts = self.options;
 
-        // 1. Plain Newton from the provided start.
-        if self.newton(&mut x, &mut scratch, self.options.gmin, 1.0, &mut iters).is_ok() {
-            return Ok(self.package(x, iters));
+        // Closes over nothing mutable: finishes a successful solve.
+        macro_rules! land {
+            ($x:expr, $strategy:expr) => {{
+                let convergence = ConvergenceReport { rungs, strategy: $strategy };
+                crate::stats::record_landing($strategy);
+                crate::stats::record_iterations(convergence.total_iterations() as u64);
+                return Ok(self.package($x, convergence));
+            }};
+        }
+        // A budget verdict (allowance exhausted / deadline passed) ends
+        // the ladder; trying further rungs could only re-trip it.
+        macro_rules! rung_failed {
+            ($e:expr) => {{
+                let e = $e;
+                if budget.depleted() {
+                    crate::stats::record_unconverged();
+                    crate::stats::record_iterations(
+                        rungs.iter().map(|r| r.iterations as u64).sum(),
+                    );
+                    return Err(e);
+                }
+                e
+            }};
         }
 
-        // 2. gmin stepping: relax a strong shunt decade by decade.
+        // 1. Plain Newton from the provided start, cheaply capped: it
+        // exists for warm starts and mildly nonlinear circuits; a stiff
+        // cold start must fall through fast.
+        let cfg = RungCfg {
+            gmin: opts.gmin,
+            source_scale: 1.0,
+            max_iter: opts.max_iter.min(PLAIN_RUNG_CAP),
+            clamp: f64::INFINITY,
+            max_boost: 1.0,
+            ptc: None,
+        };
+        let mut stat = RungStat::new(NewtonStrategy::Plain);
+        let plain = self.newton(&mut x, &mut scratch, &cfg, &mut budget, &mut stat);
+        rungs.push(stat);
+        match plain {
+            Ok(()) => land!(x, NewtonStrategy::Plain),
+            Err(e) => {
+                rung_failed!(e);
+            }
+        }
+
+        // 2. Damped Newton with adaptive clamp growth, restarted.
         x.copy_from_slice(initial);
-        let mut ok = true;
+        let cfg = RungCfg {
+            gmin: opts.gmin,
+            source_scale: 1.0,
+            max_iter: opts.max_iter,
+            clamp: opts.max_step_v,
+            max_boost: DAMPED_MAX_BOOST,
+            ptc: None,
+        };
+        let mut stat = RungStat::new(NewtonStrategy::Damped);
+        let damped = self.newton(&mut x, &mut scratch, &cfg, &mut budget, &mut stat);
+        rungs.push(stat);
+        match damped {
+            Ok(()) => land!(x, NewtonStrategy::Damped),
+            Err(e) => {
+                rung_failed!(e);
+            }
+        }
+
+        // 3. gmin stepping: relax a strong shunt decade by decade.
+        x.copy_from_slice(initial);
+        let mut stat = RungStat::new(NewtonStrategy::GminStepping);
         let mut gmin = 1e-2;
-        while gmin > self.options.gmin {
-            if self.newton(&mut x, &mut scratch, gmin, 1.0, &mut iters).is_err() {
-                ok = false;
-                break;
+        let outcome = loop {
+            let stage_gmin = if gmin > opts.gmin { gmin } else { opts.gmin };
+            let cfg = RungCfg {
+                gmin: stage_gmin,
+                source_scale: 1.0,
+                max_iter: opts.max_iter,
+                clamp: opts.max_step_v,
+                max_boost: RESCUE_MAX_BOOST,
+                ptc: None,
+            };
+            let r = self.newton(&mut x, &mut scratch, &cfg, &mut budget, &mut stat);
+            if r.is_err() || stage_gmin <= opts.gmin {
+                break r;
             }
             gmin /= 10.0;
-        }
-        if ok && self.newton(&mut x, &mut scratch, self.options.gmin, 1.0, &mut iters).is_ok() {
-            return Ok(self.package(x, iters));
-        }
-
-        // 3. Source stepping: ramp all sources from 0 to 100 %.
-        x.fill(0.0);
-        let steps = 25;
-        for k in 1..=steps {
-            let scale = k as f64 / steps as f64;
-            if let Err(e) = self.newton(&mut x, &mut scratch, self.options.gmin, scale, &mut iters)
-            {
-                return Err(match e {
-                    SpiceError::Numeric(n) => SpiceError::Numeric(n),
-                    SpiceError::Singular { unknown } => SpiceError::Singular { unknown },
-                    _ => SpiceError::NoConvergence {
-                        analysis: format!(
-                            "dc operating point (source stepping stalled at {:.0} %)",
-                            scale * 100.0
-                        ),
-                        iterations: self.options.max_iter,
-                    },
-                });
+        };
+        rungs.push(stat);
+        match outcome {
+            Ok(()) => land!(x, NewtonStrategy::GminStepping),
+            Err(e) => {
+                rung_failed!(e);
             }
         }
-        Ok(self.package(x, iters))
+
+        // 4. Source stepping: ramp all sources from 0 to 100 % with an
+        // adaptive advance — halve it (retreating to the last converged
+        // state) when a step's Newton fails, regrow it after successes.
+        // At scale 0 every independent source is dead and x = 0 solves
+        // the system exactly, so the continuation path starts on a
+        // solution by construction.
+        x.fill(0.0);
+        let mut stat = RungStat::new(NewtonStrategy::SourceStepping);
+        let mut last_good = x.clone();
+        let mut reached = 0.0f64;
+        let mut advance = SOURCE_STEP_INIT;
+        let mut stages = 0usize;
+        let outcome = loop {
+            let scale = (reached + advance).min(1.0);
+            let cfg = RungCfg {
+                gmin: opts.gmin,
+                source_scale: scale,
+                max_iter: opts.max_iter,
+                clamp: opts.max_step_v,
+                max_boost: RESCUE_MAX_BOOST,
+                ptc: None,
+            };
+            let r = self.newton(&mut x, &mut scratch, &cfg, &mut budget, &mut stat);
+            stages += 1;
+            match r {
+                Ok(()) if scale >= 1.0 => break Ok(()),
+                Ok(()) => {
+                    reached = scale;
+                    last_good.copy_from_slice(&x);
+                    advance = (advance * 2.0).min(SOURCE_STEP_INIT);
+                }
+                Err(e) => {
+                    if budget.depleted()
+                        || advance <= SOURCE_STEP_MIN
+                        || stages >= SOURCE_MAX_STAGES
+                    {
+                        break Err(e);
+                    }
+                    advance /= 2.0;
+                    x.copy_from_slice(&last_good);
+                }
+            }
+            if stages >= SOURCE_MAX_STAGES {
+                break Err(SpiceError::NoConvergence {
+                    analysis: "dc operating point (source stepping stage cap)".to_string(),
+                    iterations: stat.iterations,
+                });
+            }
+        };
+        rungs.push(stat);
+        match outcome {
+            Ok(()) => land!(x, NewtonStrategy::SourceStepping),
+            Err(e) => {
+                rung_failed!(e);
+            }
+        }
+
+        // 5. Pseudo-transient continuation: anchor every node to the
+        // previous pseudo-timestep's state through a conductance α,
+        // relaxed geometrically, then polish at α = 0. The anchoring
+        // holds high-gain feedback loops still; branch rows stay
+        // un-augmented so voltage-source-loop singularities still
+        // surface as `Singular` rather than being masked.
+        x.copy_from_slice(initial);
+        let mut anchor = initial.to_vec();
+        let mut stat = RungStat::new(NewtonStrategy::PseudoTransient);
+        // `alpha` is the last *converged* anchor conductance; each stage
+        // tries `alpha / decay`. A failed stage retreats the iterate to
+        // the anchor and square-roots the decay — smaller pseudo-time
+        // growth through the stretch where the solve loses the branch —
+        // and a failure before any stage converged strengthens the
+        // starting anchor instead.
+        let mut alpha = PTC_ALPHA_START;
+        let mut decay = PTC_DECAY_START;
+        let mut landed_any = false;
+        let mut stages = 0usize;
+        let outcome = loop {
+            let next_alpha = if !landed_any {
+                alpha
+            } else if alpha / decay >= PTC_ALPHA_FLOOR {
+                alpha / decay
+            } else {
+                0.0
+            };
+            let cfg = RungCfg {
+                gmin: opts.gmin,
+                source_scale: 1.0,
+                max_iter: opts.max_iter,
+                clamp: opts.max_step_v,
+                max_boost: RESCUE_MAX_BOOST,
+                ptc: (next_alpha > 0.0).then_some((next_alpha, anchor.as_slice())),
+            };
+            let r = self.newton(&mut x, &mut scratch, &cfg, &mut budget, &mut stat);
+            stages += 1;
+            match r {
+                Ok(()) if next_alpha == 0.0 => break Ok(()),
+                Ok(()) => {
+                    anchor.copy_from_slice(&x);
+                    alpha = next_alpha;
+                    landed_any = true;
+                }
+                Err(e) => {
+                    if budget.depleted() || stages >= PTC_MAX_STAGES {
+                        break Err(e);
+                    }
+                    if !landed_any {
+                        // The starting anchor is too weak to hold the
+                        // first stage: strengthen it.
+                        if alpha >= PTC_ALPHA_MAX {
+                            break Err(e);
+                        }
+                        alpha *= 10.0;
+                        x.copy_from_slice(initial);
+                    } else {
+                        if decay <= PTC_DECAY_MIN {
+                            break Err(e);
+                        }
+                        decay = decay.sqrt();
+                        x.copy_from_slice(&anchor);
+                    }
+                }
+            }
+        };
+        rungs.push(stat);
+        match outcome {
+            Ok(()) => land!(x, NewtonStrategy::PseudoTransient),
+            Err(e) => {
+                let e = rung_failed!(e);
+                crate::stats::record_unconverged();
+                crate::stats::record_iterations(rungs.iter().map(|r| r.iterations as u64).sum());
+                Err(match e {
+                    SpiceError::Numeric(n) => SpiceError::Numeric(n),
+                    SpiceError::Singular { unknown } => SpiceError::Singular { unknown },
+                    SpiceError::Timeout { analysis, budget_ms } => {
+                        SpiceError::Timeout { analysis, budget_ms }
+                    }
+                    _ => SpiceError::NoConvergence {
+                        analysis: "dc operating point (strategy ladder exhausted)".to_string(),
+                        iterations: rungs.iter().map(|r| r.iterations).sum(),
+                    },
+                })
+            }
+        }
     }
 
-    /// Damped Newton iteration at fixed `gmin` and source scale,
-    /// advancing `x` in place. On error `x` holds the last iterate and
-    /// the caller decides whether to restart it. The loop allocates
-    /// nothing: assembly replays the compiled plan, the factorization
-    /// swaps buffers with the LU workspace and the solve substitutes
-    /// into a reused update vector.
+    /// One ladder rung's Newton iteration at the configuration in
+    /// `cfg`, advancing `x` in place and accounting into `stat`. On
+    /// error `x` holds the last iterate and the caller decides whether
+    /// to restart it. The loop allocates nothing: assembly replays the
+    /// compiled plan, the factorization swaps buffers with the LU
+    /// workspace and the solve substitutes into a reused update vector.
     ///
     /// For a linear plan the Jacobian depends only on `gmin`, never on
     /// the iterate or the stimulus — so once factored, every further
-    /// iteration (and every further *solve* sharing this scratch at the
+    /// iteration (and every further *stage* sharing this scratch at the
     /// same `gmin`, e.g. the source-stepping ramp) skips assembly and
     /// refactorization, re-deriving only the right-hand side. The reuse
     /// key is exact; results are bit-identical to the always-refactor
-    /// path.
+    /// path. Pseudo-transient stages (α > 0) perturb the matrix and
+    /// never record a reuse key.
     fn newton(
         &self,
         x: &mut [f64],
         scratch: &mut NewtonScratch,
-        gmin: f64,
-        source_scale: f64,
-        iters: &mut usize,
+        cfg: &RungCfg<'_>,
+        budget: &mut IterBudget,
+        stat: &mut RungStat,
     ) -> Result<(), SpiceError> {
-        scratch.eval_sources(|w| source_scale * w.dc_value());
+        scratch.eval_sources(|w| cfg.source_scale * w.dc_value());
         let NewtonScratch { plan, solver, rhs, x_new, src_vals, factored_for, .. } = scratch;
         let n = plan.dim();
         let n_nodes = self.circuit.node_count() - 1;
         let opts = &self.options;
         let damped = plan.damped();
+        let gmin = cfg.gmin;
         let reuse_key: JacobianKey = (gmin.to_bits(), 0, 0);
 
-        for _iter in 0..opts.max_iter {
-            *iters += 1;
-            if plan.is_linear() && *factored_for == Some(reuse_key) {
+        // Adaptive clamp state: `boost` multiplies the base clamp by a
+        // power of two (exact arithmetic) while the pre-damping update
+        // norm keeps shrinking; an increase snaps it back to 1.
+        let mut boost = 1.0_f64;
+        let mut prev_norm = f64::INFINITY;
+
+        for _iter in 0..cfg.max_iter {
+            budget.charge()?;
+            stat.iterations += 1;
+            if cfg.ptc.is_none() && plan.is_linear() && *factored_for == Some(reuse_key) {
                 plan.assemble_rhs_only(rhs, src_vals);
             } else {
                 *factored_for = None;
                 solver
-                    .assemble_and_factor(plan, x, rhs, gmin, src_vals, |_| {})
+                    .assemble_and_factor(plan, x, rhs, gmin, src_vals, |mat| {
+                        if let Some((alpha, _)) = cfg.ptc {
+                            // α rides the node diagonals only — the same
+                            // slots gmin occupies, so the sparse pattern
+                            // already holds them.
+                            for i in 0..n_nodes {
+                                mat.add(i, i, alpha);
+                            }
+                        }
+                    })
                     .map_err(|e| self.circuit.singular_error(e))?;
-                if plan.is_linear() {
+                if plan.is_linear() && cfg.ptc.is_none() {
                     *factored_for = Some(reuse_key);
+                }
+            }
+            if let Some((alpha, anchor)) = cfg.ptc {
+                for i in 0..n_nodes {
+                    rhs[i] += alpha * anchor[i];
                 }
             }
             solver.solve_into(rhs, x_new)?;
@@ -352,18 +739,21 @@ impl<'c> DcAnalysis<'c> {
             // Damping: clamp the per-iteration update of
             // nonlinear-device terminals (linear nodes and branch
             // currents take the exact Newton step).
+            let eff_clamp = cfg.clamp * boost;
             let mut converged = true;
             let mut landed_exactly = true;
+            let mut norm = 0.0_f64;
             for i in 0..n {
                 let mut delta = x_new[i] - x[i];
                 if !delta.is_finite() {
                     return Err(SpiceError::NoConvergence {
                         analysis: "dc newton (non-finite update)".to_string(),
-                        iterations: opts.max_iter,
+                        iterations: stat.iterations,
                     });
                 }
+                norm = norm.max(delta.abs());
                 let (tol, clamp) = if i < n_nodes {
-                    let clamp = if damped[i] { opts.max_step_v } else { f64::INFINITY };
+                    let clamp = if damped[i] { eff_clamp } else { f64::INFINITY };
                     (opts.vntol + opts.reltol * x_new[i].abs().max(x[i].abs()), clamp)
                 } else {
                     (opts.abstol + opts.reltol * x_new[i].abs().max(x[i].abs()), f64::INFINITY)
@@ -377,7 +767,9 @@ impl<'c> DcAnalysis<'c> {
                 x[i] += delta;
                 landed_exactly &= landed_on(x[i], x_new[i]);
             }
+            stat.residual_norm = norm;
             if converged {
+                stat.converged = true;
                 return Ok(());
             }
             // A linear plan whose update landed bit-exactly on the
@@ -388,17 +780,26 @@ impl<'c> DcAnalysis<'c> {
             // (`x += (x_new − x)` does NOT always round to `x_new` —
             // a warm start many orders of magnitude off misses — so
             // the landing really is checked, bit for bit, not assumed.)
-            if plan.is_linear() && *factored_for == Some(reuse_key) && landed_exactly {
+            if cfg.ptc.is_none()
+                && plan.is_linear()
+                && *factored_for == Some(reuse_key)
+                && landed_exactly
+            {
+                stat.converged = true;
                 return Ok(());
             }
+            if cfg.max_boost > 1.0 {
+                boost = if norm <= prev_norm { (boost * 2.0).min(cfg.max_boost) } else { 1.0 };
+            }
+            prev_norm = norm;
         }
         Err(SpiceError::NoConvergence {
             analysis: "dc newton".to_string(),
-            iterations: opts.max_iter,
+            iterations: stat.iterations,
         })
     }
 
-    fn package(&self, state: Vec<f64>, iterations: usize) -> DcSolution {
+    fn package(&self, state: Vec<f64>, convergence: ConvergenceReport) -> DcSolution {
         let n_nodes = self.circuit.node_count() - 1;
         let mut voltages = vec![0.0; self.circuit.node_count()];
         voltages[1..=n_nodes].copy_from_slice(&state[..n_nodes]);
@@ -410,7 +811,7 @@ impl<'c> DcAnalysis<'c> {
                 br += 1;
             }
         }
-        DcSolution { voltages, branch_currents, state, iterations }
+        DcSolution { voltages, branch_currents, state, convergence }
     }
 }
 
@@ -600,10 +1001,8 @@ mod tests {
         c.compile_plan();
         let plan_before = c.plan();
 
-        let via_override = DcAnalysis::new(&c)
-            .override_stimulus("V1", Waveform::dc(3.0))
-            .solve()
-            .unwrap();
+        let via_override =
+            DcAnalysis::new(&c).override_stimulus("V1", Waveform::dc(3.0)).solve().unwrap();
         assert!(
             std::sync::Arc::ptr_eq(&plan_before, &c.plan()),
             "an override must not touch the shared plan"

@@ -57,6 +57,19 @@ pub enum SpiceError {
         /// Description of the invalid request.
         reason: String,
     },
+    /// The analysis overran its wall-clock budget
+    /// ([`crate::AnalysisOptions::budget_ms`] or a surrounding
+    /// [`crate::with_solve_budget`] scope) before converging.
+    ///
+    /// Unlike [`SpiceError::NoConvergence`] this verdict depends on the
+    /// host's clock, so callers that need bit-identical behavior across
+    /// machines or thread counts should budget by iterations instead.
+    Timeout {
+        /// Which analysis was cut off.
+        analysis: String,
+        /// The budget that was exceeded, in milliseconds.
+        budget_ms: u64,
+    },
 }
 
 impl fmt::Display for SpiceError {
@@ -80,6 +93,9 @@ impl fmt::Display for SpiceError {
                  (check for a floating node or a voltage-source loop)"
             ),
             SpiceError::InvalidAnalysis { reason } => write!(f, "invalid analysis: {reason}"),
+            SpiceError::Timeout { analysis, budget_ms } => {
+                write!(f, "{analysis} exceeded its {budget_ms} ms wall-clock budget")
+            }
         }
     }
 }

@@ -11,8 +11,8 @@
 //!   their branch row in AC),
 //! * [`Waveform`] — stimulus descriptions (DC, sine, step, pulse, PWL)
 //!   matching the test-configuration stimuli of the paper's Table 1,
-//! * [`DcAnalysis`] — Newton–Raphson operating-point solve with damping,
-//!   gmin stepping and source stepping fallbacks,
+//! * [`DcAnalysis`] — Newton–Raphson operating-point solve behind a
+//!   five-rung convergence strategy ladder (see below),
 //! * [`TranAnalysis`] — fixed-step transient analysis (trapezoidal with a
 //!   backward-Euler start) recording [`Probe`]d quantities into a
 //!   [`Trace`],
@@ -23,6 +23,41 @@
 //! The simulator is deliberately small (fixed timestep, Level-1 MOS) but
 //! numerically honest: every nonlinear solve either converges to the
 //! requested tolerances or reports [`SpiceError::NoConvergence`].
+//!
+//! # Convergence resilience: the Newton strategy ladder and solve budgets
+//!
+//! A DC operating point is attempted through five rungs, each engaged
+//! only when the previous one fails, each recorded in the solution's
+//! typed [`ConvergenceReport`] (strategy that landed, per-rung
+//! iteration counts and residual norms):
+//!
+//! 1. **Plain Newton** — undamped, capped at a handful of iterations;
+//!    lands linear and benign nonlinear circuits immediately.
+//! 2. **Damped Newton** — adaptive step clamping with bounded clamp
+//!    growth; the workhorse for cold nonlinear starts (the
+//!    IV-converter cold start lands here in under 25 iterations).
+//! 3. **Gmin stepping** — a conductance homotopy from 1e-2 S/node down
+//!    decade by decade to the target gmin.
+//! 4. **Adaptive source stepping** — natural continuation in source
+//!    scale with halve-on-failure/double-on-success advance control,
+//!    retreating to the last converged state; power-of-two step sizes
+//!    keep trajectories bit-reproducible.
+//! 5. **Adaptive pseudo-transient continuation** — a conductance
+//!    `α`-homotopy whose decay factor refines by IEEE square root on
+//!    stage failure and whose starting `α` strengthens when even the
+//!    first stage diverges; the rescue for fold points that natural
+//!    continuation cannot cross (a source-stepping branch that
+//!    vanishes mid-path).
+//!
+//! Every Newton iteration on every rung — including transient
+//! timesteps — charges the analysis' iteration/wall-clock budget
+//! ([`AnalysisOptions::max_total_iter`] / `budget_ms`) and the
+//! thread-local campaign overlay ([`with_solve_budget`]), so a solve
+//! can always be bounded; iteration allowances deplete deterministically
+//! at any thread count, wall-clock deadlines are machine-dependent by
+//! nature. Per-thread [`LadderStats`] counters ([`ladder_stats`])
+//! aggregate which rung landed each solve — the fault-campaign engine
+//! sums them into its coverage reports.
 //!
 //! # Hot-path architecture: stamp plans + LU workspaces
 //!
@@ -188,6 +223,7 @@
 
 mod ac;
 mod analysis;
+mod budget;
 mod circuit;
 mod dc;
 mod device;
@@ -197,13 +233,15 @@ mod node;
 mod probe;
 mod solver;
 mod stamp;
+mod stats;
 mod stimulus;
 mod transient;
 
 pub use ac::{AcAnalysis, AcSource, AcSweep};
 pub use analysis::AnalysisOptions;
+pub use budget::with_solve_budget;
 pub use circuit::Circuit;
-pub use dc::{DcAnalysis, DcSolution};
+pub use dc::{ConvergenceReport, DcAnalysis, DcSolution, NewtonStrategy, RungStat};
 pub use device::{Device, DeviceKind};
 pub use error::SpiceError;
 pub use mos::{MosOperatingPoint, MosParams, MosPolarity, MosRegion};
@@ -213,5 +251,6 @@ pub use solver::{
     sparse_fill_stats, FillStats, OrderingKind, SolverKind, AMD_AUTO_MARGIN, AMD_AUTO_MIN_BLOWUP,
     SPARSE_MAX_DENSITY, SPARSE_MIN_N,
 };
+pub use stats::{ladder_stats, LadderStats};
 pub use stimulus::Waveform;
 pub use transient::{IntegrationMethod, TranAnalysis};

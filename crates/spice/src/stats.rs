@@ -1,0 +1,162 @@
+//! Thread-local convergence-ladder statistics.
+//!
+//! Every DC operating-point solve records where on the strategy ladder
+//! it landed (and how many Newton iterations it spent in total) into
+//! plain thread-local counters. Counters are *thread-local* rather than
+//! process-global on purpose: a fault campaign sums each worker's delta
+//! at join time, giving totals that are independent of scheduling and
+//! of whatever other solves run concurrently in the same process (the
+//! test harness runs many campaigns at once).
+//!
+//! Per-solve landings and iteration counts are bit-deterministic, so
+//! any fixed set of solves produces the same [`LadderStats`] totals —
+//! u64 sums commute — at any thread count.
+
+use std::cell::Cell;
+
+use crate::dc::NewtonStrategy;
+
+/// Cumulative convergence-ladder counters of one thread (or, summed,
+/// of a whole campaign): DC solves by landing strategy, DC solves that
+/// exhausted the ladder, and total Newton iterations spent (transient
+/// iterations included).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LadderStats {
+    /// DC solves landed by plain (undamped) Newton.
+    pub plain: u64,
+    /// DC solves landed by the damped rung.
+    pub damped: u64,
+    /// DC solves landed by gmin stepping.
+    pub gmin_stepping: u64,
+    /// DC solves landed by source stepping.
+    pub source_stepping: u64,
+    /// DC solves landed by pseudo-transient continuation.
+    pub pseudo_transient: u64,
+    /// DC solves that exhausted every rung (or their budget).
+    pub unconverged: u64,
+    /// Newton iterations spent, summed over all solves (DC rungs and
+    /// transient timesteps alike).
+    pub iterations: u64,
+}
+
+impl LadderStats {
+    /// Total DC solves recorded (landed or not).
+    pub fn solves(&self) -> u64 {
+        self.plain
+            + self.damped
+            + self.gmin_stepping
+            + self.source_stepping
+            + self.pseudo_transient
+            + self.unconverged
+    }
+
+    /// Element-wise difference (`self` must be a later snapshot of the
+    /// same monotone counters than `earlier`).
+    #[must_use]
+    pub fn since(&self, earlier: &LadderStats) -> LadderStats {
+        LadderStats {
+            plain: self.plain - earlier.plain,
+            damped: self.damped - earlier.damped,
+            gmin_stepping: self.gmin_stepping - earlier.gmin_stepping,
+            source_stepping: self.source_stepping - earlier.source_stepping,
+            pseudo_transient: self.pseudo_transient - earlier.pseudo_transient,
+            unconverged: self.unconverged - earlier.unconverged,
+            iterations: self.iterations - earlier.iterations,
+        }
+    }
+}
+
+impl std::ops::Add for LadderStats {
+    type Output = LadderStats;
+
+    fn add(self, o: LadderStats) -> LadderStats {
+        LadderStats {
+            plain: self.plain + o.plain,
+            damped: self.damped + o.damped,
+            gmin_stepping: self.gmin_stepping + o.gmin_stepping,
+            source_stepping: self.source_stepping + o.source_stepping,
+            pseudo_transient: self.pseudo_transient + o.pseudo_transient,
+            unconverged: self.unconverged + o.unconverged,
+            iterations: self.iterations + o.iterations,
+        }
+    }
+}
+
+thread_local! {
+    static COUNTERS: Cell<LadderStats> = const { Cell::new(LadderStats {
+        plain: 0,
+        damped: 0,
+        gmin_stepping: 0,
+        source_stepping: 0,
+        pseudo_transient: 0,
+        unconverged: 0,
+        iterations: 0,
+    }) };
+}
+
+/// This thread's cumulative ladder counters since it started. Take a
+/// snapshot before and after a region and diff with
+/// [`LadderStats::since`] to attribute its solves.
+pub fn ladder_stats() -> LadderStats {
+    COUNTERS.with(|c| c.get())
+}
+
+pub(crate) fn record_landing(strategy: NewtonStrategy) {
+    COUNTERS.with(|c| {
+        let mut s = c.get();
+        match strategy {
+            NewtonStrategy::Plain => s.plain += 1,
+            NewtonStrategy::Damped => s.damped += 1,
+            NewtonStrategy::GminStepping => s.gmin_stepping += 1,
+            NewtonStrategy::SourceStepping => s.source_stepping += 1,
+            NewtonStrategy::PseudoTransient => s.pseudo_transient += 1,
+        }
+        c.set(s);
+    });
+}
+
+pub(crate) fn record_unconverged() {
+    COUNTERS.with(|c| {
+        let mut s = c.get();
+        s.unconverged += 1;
+        c.set(s);
+    });
+}
+
+pub(crate) fn record_iterations(n: u64) {
+    COUNTERS.with(|c| {
+        let mut s = c.get();
+        s.iterations += n;
+        c.set(s);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_diff() {
+        let before = ladder_stats();
+        record_landing(NewtonStrategy::Plain);
+        record_landing(NewtonStrategy::PseudoTransient);
+        record_unconverged();
+        record_iterations(42);
+        let delta = ladder_stats().since(&before);
+        assert_eq!(delta.plain, 1);
+        assert_eq!(delta.pseudo_transient, 1);
+        assert_eq!(delta.unconverged, 1);
+        assert_eq!(delta.iterations, 42);
+        assert_eq!(delta.solves(), 3);
+    }
+
+    #[test]
+    fn add_is_elementwise() {
+        let a = LadderStats { plain: 1, iterations: 10, ..LadderStats::default() };
+        let b = LadderStats { damped: 2, iterations: 5, ..LadderStats::default() };
+        let s = a + b;
+        assert_eq!(s.plain, 1);
+        assert_eq!(s.damped, 2);
+        assert_eq!(s.iterations, 15);
+    }
+}

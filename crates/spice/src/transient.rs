@@ -15,6 +15,7 @@
 //! operating-branch snaps such as an op-amp entering clipping.
 
 use crate::analysis::AnalysisOptions;
+use crate::budget::IterBudget;
 use crate::circuit::Circuit;
 use crate::dc::{resolve_overrides, DcAnalysis, NewtonScratch};
 use crate::device::DeviceKind;
@@ -217,11 +218,26 @@ impl<'c> TranAnalysis<'c> {
         );
         scratch.newton.overrides = resolve_overrides(self.circuit, &self.overrides)?;
 
+        // One budget for the whole run: every Newton iteration of every
+        // timestep (ladder stages and sub-step retries included) charges
+        // it. The initial DC operating point above runs under its own
+        // equal per-analysis caps; a `with_solve_budget` overlay spans
+        // both.
+        let mut budget = IterBudget::start("transient", &self.options);
         for k in 1..=n_steps {
             let t1 = (k as f64) * dt;
             let t0 = t1 - dt;
             let method = if k == 1 { IntegrationMethod::BackwardEuler } else { self.method };
-            self.advance(&mut x, &mut dyns, t0, t1, method, RETRY_DEPTH, &mut scratch)?;
+            self.advance(
+                &mut x,
+                &mut dyns,
+                t0,
+                t1,
+                method,
+                RETRY_DEPTH,
+                &mut scratch,
+                &mut budget,
+            )?;
             self.record(probes, &x, &mut row)?;
             trace.push_row(t1, &row);
         }
@@ -244,10 +260,13 @@ impl<'c> TranAnalysis<'c> {
         method: IntegrationMethod,
         depth: usize,
         scratch: &mut TranScratch,
+        budget: &mut IterBudget,
     ) -> Result<(), SpiceError> {
-        match self.step(x, dyns, t1, t1 - t0, method, scratch) {
+        match self.step(x, dyns, t1, t1 - t0, method, scratch, budget) {
             Ok(()) => Ok(()),
-            Err(SpiceError::NoConvergence { .. }) if depth > 0 => {
+            // A depleted budget caused the failure (or would cut every
+            // sub-step off at its first iteration) — don't retry.
+            Err(SpiceError::NoConvergence { .. }) if depth > 0 && !budget.depleted() => {
                 let sub = 8;
                 let h = (t1 - t0) / sub as f64;
                 for j in 1..=sub {
@@ -261,6 +280,7 @@ impl<'c> TranAnalysis<'c> {
                         IntegrationMethod::BackwardEuler,
                         depth - 1,
                         scratch,
+                        budget,
                     )?;
                 }
                 Ok(())
@@ -343,6 +363,7 @@ impl<'c> TranAnalysis<'c> {
     /// operating branches, as an op-amp entering clipping does), the step
     /// is retried with a gmin-stepping ladder on the companion-augmented
     /// system before giving up.
+    #[allow(clippy::too_many_arguments)]
     fn step(
         &self,
         x: &mut [f64],
@@ -351,6 +372,7 @@ impl<'c> TranAnalysis<'c> {
         h: f64,
         method: IntegrationMethod,
         scratch: &mut TranScratch,
+        budget: &mut IterBudget,
     ) -> Result<(), SpiceError> {
         let opts = &self.options;
         let TranScratch { newton, x_iter, x_stage, companions } = scratch;
@@ -382,9 +404,18 @@ impl<'c> TranAnalysis<'c> {
 
         let normal = (opts.max_step_v, opts.max_iter);
         x_iter.copy_from_slice(x);
-        match self.newton_step(x_iter, companions, dyns, (t1, method, h), opts.gmin, normal, newton) {
+        match self.newton_step(
+            x_iter,
+            companions,
+            dyns,
+            (t1, method, h),
+            opts.gmin,
+            normal,
+            newton,
+            budget,
+        ) {
             Ok(()) => {}
-            Err(SpiceError::NoConvergence { .. }) => {
+            Err(SpiceError::NoConvergence { .. }) if !budget.depleted() => {
                 // gmin ladder: solve a heavily shunted version first and
                 // relax decade by decade, warm-starting each stage. The
                 // first pass uses normal damping; if the circuit is
@@ -410,6 +441,7 @@ impl<'c> TranAnalysis<'c> {
                             gmin,
                             (damp, iters),
                             newton,
+                            budget,
                         ) {
                             Ok(()) => x_stage.copy_from_slice(x_iter),
                             Err(e) => {
@@ -428,6 +460,7 @@ impl<'c> TranAnalysis<'c> {
                         opts.gmin,
                         (damp, iters),
                         newton,
+                        budget,
                     ) {
                         Ok(()) => {
                             result = Ok(());
@@ -484,6 +517,7 @@ impl<'c> TranAnalysis<'c> {
         gmin: f64,
         (max_step_v, max_iter): (f64, usize),
         scratch: &mut NewtonScratch,
+        budget: &mut IterBudget,
     ) -> Result<(), SpiceError> {
         scratch.eval_sources(|w| w.eval(t1));
         let NewtonScratch { plan, solver, rhs, x_new, src_vals, factored_for, .. } = scratch;
@@ -492,83 +526,90 @@ impl<'c> TranAnalysis<'c> {
         let opts = &self.options;
         let reuse_key = companion_key(gmin, method, h);
 
-        for _ in 0..max_iter {
-            if plan.is_linear() && *factored_for == Some(reuse_key) {
-                plan.assemble_rhs_only(rhs, src_vals);
-            } else {
-                *factored_for = None;
-                solver
-                    .assemble_and_factor(plan, x, rhs, gmin, src_vals, |mat| {
-                        for (el, (geq, _)) in dyns.iter().zip(companions) {
-                            match el {
-                                DynElement::Cap { a, b, .. } => {
-                                    stamp::stamp_conductance(mat, *a, *b, *geq);
-                                }
-                                DynElement::Ind { row, .. } => {
-                                    // `geq` holds `req`; the branch equation
-                                    // gains `−req·i`.
-                                    mat.add(*row, *row, -geq);
+        let mut spent = 0u64;
+        let result = (|| {
+            for _ in 0..max_iter {
+                budget.charge()?;
+                spent += 1;
+                if plan.is_linear() && *factored_for == Some(reuse_key) {
+                    plan.assemble_rhs_only(rhs, src_vals);
+                } else {
+                    *factored_for = None;
+                    solver
+                        .assemble_and_factor(plan, x, rhs, gmin, src_vals, |mat| {
+                            for (el, (geq, _)) in dyns.iter().zip(companions) {
+                                match el {
+                                    DynElement::Cap { a, b, .. } => {
+                                        stamp::stamp_conductance(mat, *a, *b, *geq);
+                                    }
+                                    DynElement::Ind { row, .. } => {
+                                        // `geq` holds `req`; the branch equation
+                                        // gains `−req·i`.
+                                        mat.add(*row, *row, -geq);
+                                    }
                                 }
                             }
-                        }
-                    })
-                    .map_err(|e| self.circuit.singular_error(e))?;
-                if plan.is_linear() {
-                    *factored_for = Some(reuse_key);
+                        })
+                        .map_err(|e| self.circuit.singular_error(e))?;
+                    if plan.is_linear() {
+                        *factored_for = Some(reuse_key);
+                    }
                 }
-            }
-            for (el, (_, hist)) in dyns.iter().zip(companions) {
-                match el {
-                    // The history term acts as a current source from b
-                    // to a.
-                    DynElement::Cap { a, b, .. } => stamp::stamp_current(rhs, *b, *a, *hist),
-                    // The history term is the branch equation's rhs.
-                    DynElement::Ind { row, .. } => rhs[*row] += hist,
+                for (el, (_, hist)) in dyns.iter().zip(companions) {
+                    match el {
+                        // The history term acts as a current source from b
+                        // to a.
+                        DynElement::Cap { a, b, .. } => stamp::stamp_current(rhs, *b, *a, *hist),
+                        // The history term is the branch equation's rhs.
+                        DynElement::Ind { row, .. } => rhs[*row] += hist,
+                    }
                 }
-            }
-            solver.solve_into(rhs, x_new)?;
+                solver.solve_into(rhs, x_new)?;
 
-            let mut converged = true;
-            let mut landed_exactly = true;
-            for i in 0..n {
-                let mut delta = x_new[i] - x[i];
-                if !delta.is_finite() {
-                    return Err(SpiceError::NoConvergence {
-                        analysis: format!("transient @ t={t1:.3e} (non-finite)"),
-                        iterations: max_iter,
-                    });
+                let mut converged = true;
+                let mut landed_exactly = true;
+                for i in 0..n {
+                    let mut delta = x_new[i] - x[i];
+                    if !delta.is_finite() {
+                        return Err(SpiceError::NoConvergence {
+                            analysis: format!("transient @ t={t1:.3e} (non-finite)"),
+                            iterations: max_iter,
+                        });
+                    }
+                    // As in DC: only nonlinear-device terminals are damped.
+                    let (tol, clamp) = if i < n_nodes {
+                        let clamp = if plan.damped()[i] { max_step_v } else { f64::INFINITY };
+                        (opts.vntol + opts.reltol * x_new[i].abs().max(x[i].abs()), clamp)
+                    } else {
+                        (opts.abstol + opts.reltol * x_new[i].abs().max(x[i].abs()), f64::INFINITY)
+                    };
+                    if delta.abs() > tol {
+                        converged = false;
+                    }
+                    if delta.abs() > clamp {
+                        delta = clamp.copysign(delta);
+                    }
+                    x[i] += delta;
+                    landed_exactly &= crate::dc::landed_on(x[i], x_new[i]);
                 }
-                // As in DC: only nonlinear-device terminals are damped.
-                let (tol, clamp) = if i < n_nodes {
-                    let clamp = if plan.damped()[i] { max_step_v } else { f64::INFINITY };
-                    (opts.vntol + opts.reltol * x_new[i].abs().max(x[i].abs()), clamp)
-                } else {
-                    (opts.abstol + opts.reltol * x_new[i].abs().max(x[i].abs()), f64::INFINITY)
-                };
-                if delta.abs() > tol {
-                    converged = false;
+                if converged {
+                    return Ok(());
                 }
-                if delta.abs() > clamp {
-                    delta = clamp.copysign(delta);
+                // As in DC: when a linear plan's update landed bit-exactly
+                // on the solved state, the next iteration would reuse the
+                // identical factors and rhs and produce an exactly-zero
+                // update — skip the verification iteration.
+                if plan.is_linear() && *factored_for == Some(reuse_key) && landed_exactly {
+                    return Ok(());
                 }
-                x[i] += delta;
-                landed_exactly &= crate::dc::landed_on(x[i], x_new[i]);
             }
-            if converged {
-                return Ok(());
-            }
-            // As in DC: when a linear plan's update landed bit-exactly
-            // on the solved state, the next iteration would reuse the
-            // identical factors and rhs and produce an exactly-zero
-            // update — skip the verification iteration.
-            if plan.is_linear() && *factored_for == Some(reuse_key) && landed_exactly {
-                return Ok(());
-            }
-        }
-        Err(SpiceError::NoConvergence {
-            analysis: format!("transient @ t={t1:.3e}"),
-            iterations: max_iter,
-        })
+            Err(SpiceError::NoConvergence {
+                analysis: format!("transient @ t={t1:.3e}"),
+                iterations: max_iter,
+            })
+        })();
+        crate::stats::record_iterations(spent);
+        result
     }
 
     fn record(&self, probes: &[Probe], x: &[f64], row: &mut Vec<f64>) -> Result<(), SpiceError> {
@@ -598,9 +639,7 @@ mod tests {
     #[test]
     fn rc_step_response_matches_analytic() {
         let (c, out) = rc_circuit(1e3, 1e-9); // τ = 1 µs
-        let trace = TranAnalysis::new(&c)
-            .run(3e-6, 5e-9, &[Probe::NodeVoltage(out)])
-            .unwrap();
+        let trace = TranAnalysis::new(&c).run(3e-6, 5e-9, &[Probe::NodeVoltage(out)]).unwrap();
         let tau = 1e-6;
         let mut worst = 0.0_f64;
         for (t, v) in trace.times().iter().zip(trace.column(0)) {
@@ -631,9 +670,7 @@ mod tests {
             .unwrap();
         // Skip the first 5 periods (transient), measure peak of the rest.
         let n = trace.len();
-        let peak = trace.column(0)[(5 * n / 8)..]
-            .iter()
-            .fold(0.0_f64, |m, v| m.max(v.abs()));
+        let peak = trace.column(0)[(5 * n / 8)..].iter().fold(0.0_f64, |m, v| m.max(v.abs()));
         let expected = 1.0 / 2.0_f64.sqrt();
         assert!((peak - expected).abs() < 0.02, "peak {peak}, expected {expected}");
     }
@@ -655,9 +692,8 @@ mod tests {
     #[test]
     fn source_current_probe_records_capacitor_charging() {
         let (c, _) = rc_circuit(1e3, 1e-9);
-        let trace = TranAnalysis::new(&c)
-            .run(10e-6, 10e-9, &[Probe::SourceCurrent("V1".into())])
-            .unwrap();
+        let trace =
+            TranAnalysis::new(&c).run(10e-6, 10e-9, &[Probe::SourceCurrent("V1".into())]).unwrap();
         // Just after the step the full 1 V sits across R: i = −1 mA
         // (SPICE convention: + to − through the source is positive).
         let i_early = trace.column(0)[1];
@@ -698,9 +734,8 @@ mod tests {
         c.add_vsource("V1", inp, Circuit::GROUND, Waveform::step(0.0, 1.0, 0.0, 1e-9)).unwrap();
         c.add_resistor("R1", inp, mid, 1e3).unwrap();
         c.add_inductor("L1", mid, Circuit::GROUND, 1e-3).unwrap(); // τ = 1 µs
-        let trace = TranAnalysis::new(&c)
-            .run(3e-6, 5e-9, &[Probe::SourceCurrent("L1".into())])
-            .unwrap();
+        let trace =
+            TranAnalysis::new(&c).run(3e-6, 5e-9, &[Probe::SourceCurrent("L1".into())]).unwrap();
         let tau = 1e-3 / 1e3;
         let mut worst = 0.0_f64;
         for (t, i) in trace.times().iter().zip(trace.column(0)) {
@@ -746,8 +781,7 @@ mod tests {
     #[test]
     fn records_t_zero_and_final_time() {
         let (c, out) = rc_circuit(1e3, 1e-9);
-        let trace =
-            TranAnalysis::new(&c).run(1e-6, 1e-8, &[Probe::NodeVoltage(out)]).unwrap();
+        let trace = TranAnalysis::new(&c).run(1e-6, 1e-8, &[Probe::NodeVoltage(out)]).unwrap();
         assert_eq!(trace.times()[0], 0.0);
         let t_end = *trace.times().last().unwrap();
         assert!((t_end - 1e-6).abs() < 1e-12);

@@ -1,0 +1,11 @@
+* Synthetic R-divider macro: the deck twin of
+* castg_core::synthetic::DividerMacro (same element values, same node
+* names, same device order — the parsed circuit equals the hand-built
+* one exactly). Exercised by the netlist golden fixture.
+.title R-divider
+V1 vin 0 DC 5
+R1 vin mid 1k
+R2 mid out 1k
+R3 out 0 2k
+C1 out 0 1n
+.end

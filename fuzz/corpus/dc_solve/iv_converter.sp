@@ -1,0 +1,25 @@
+* castg netlist (regenerate with castg_netlist::write_deck)
+.nodeorder vdd vref inn tail nmir na nz out biasp biasn
+.model castg_m0 nmos (vto=0.75 kp=0.00011 lambda=0.04 gamma=0.5 phi=0.7 cox=0.0023 cgso=3e-10)
+.model castg_m1 pmos (vto=-0.9 kp=3.8e-5 lambda=0.05 gamma=0.45 phi=0.7 cox=0.0023 cgso=3e-10)
+VDD vdd 0 DC 5.0
+IIN inn 0 DC 0.0
+R1 vdd vref 200000.0
+R2 vref 0 200000.0
+CREF vref 0 5e-12
+IBIAS vdd biasn DC 2e-5
+M10 biasn biasn 0 0 castg_m0 W=2e-5 L=2e-6
+M9 biasp biasn 0 0 castg_m0 W=2e-5 L=2e-6
+M8 biasp biasp vdd vdd castg_m1 W=4e-5 L=2e-6
+M5 tail biasp vdd vdd castg_m1 W=4e-5 L=2e-6
+M1 nmir inn tail vdd castg_m1 W=6e-5 L=2e-6
+M2 na vref tail vdd castg_m1 W=6e-5 L=2e-6
+M3 nmir nmir 0 0 castg_m0 W=2e-5 L=2e-6
+M4 na nmir 0 0 castg_m0 W=2e-5 L=2e-6
+M6 out na 0 0 castg_m0 W=8e-5 L=1e-6
+M7 out biasp vdd vdd castg_m1 W=8e-5 L=2e-6
+RZ na nz 2000.0
+CC nz out 4e-12
+RF out inn 39000.0
+CF out inn 1.5e-12
+.end

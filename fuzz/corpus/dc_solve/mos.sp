@@ -1,0 +1,6 @@
+.model nch nmos (vto={vt} kp=110u)
+.param vt=0.75 w=10u
+V1 d 0 DC 5
+V2 g 0 DC 2
+M1 d g 0 0 nch W={w} L=1u
+.end

@@ -1,0 +1,8 @@
+.title params and expressions
+.param ratio=2 rbase=1k
+.param rtot={rbase*ratio}
+V1 in 0 DC {1+ratio}
+R1 in out {rtot/2}
+R2 out 0 {rbase}
+C1 out 0 {10p*(ratio+1)}
+.end

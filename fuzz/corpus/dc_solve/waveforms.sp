@@ -1,0 +1,13 @@
+.title every waveform
+.param a=1u f=10k
+V1 a 0 SIN({a} 0.5u {f})
+V2 b 0 PULSE(0 5 1u 10n 10n 5u 10u)
+V3 c 0 PWL(0 0 1u 5 2u 0)
+V4 d 0 STEP(0 5 1u 10n)
+I1 0 e DC {a*2}
+R1 a b 1k
+R2 b c 2.5MEG
+R3 c d 1e6
+L1 d e 1m
+C1 e 0 1.5pF
+.end

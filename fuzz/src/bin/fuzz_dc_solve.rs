@@ -1,0 +1,65 @@
+//! Fuzz target: a budgeted DC operating-point solve must never panic
+//! and never run away, whatever deck arrives.
+//!
+//! The contract under test is the solver's robustness promise (PR 8):
+//! over any circuit the frontend lowers, the Newton strategy ladder
+//! either lands, or fails with a typed `Err` — no unwinds anywhere in
+//! the assemble/factor/iterate stack — and the analysis-level budget
+//! ([`AnalysisOptions::max_total_iter`] / `budget_ms`) actually bounds
+//! the work: a solve that ignores its caps shows up here as a
+//! wall-clock overrun, which panics the harness and saves the deck.
+//!
+//! Successful solves must also return finite state: a converged
+//! residual over non-finite unknowns would mean the convergence test
+//! itself is broken.
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use castg_netlist::parse_deck;
+use castg_spice::{AnalysisOptions, DcAnalysis};
+
+/// Decks above this MNA size are skipped: the budget caps Newton
+/// iterations, not factorization cost, and the mutation loop should
+/// spend its time on device/topology shapes rather than giant systems.
+const MAX_UNKNOWNS: usize = 192;
+
+/// Hard wall-clock ceiling per solve. The budget below is 250 ms; a
+/// solve that takes longer than this despite it has escaped its caps.
+const OVERRUN: Duration = Duration::from_secs(10);
+
+fn main() -> ExitCode {
+    castg_fuzz::fuzz_main("dc_solve", |data: &[u8]| {
+        let text = String::from_utf8_lossy(data);
+        let Ok(deck) = parse_deck(&text) else { return };
+        let circuit = deck.circuit();
+        if circuit.unknown_count() == 0 || circuit.unknown_count() > MAX_UNKNOWNS {
+            return;
+        }
+        let opts = AnalysisOptions {
+            max_total_iter: Some(2_000),
+            budget_ms: Some(250),
+            ..AnalysisOptions::default()
+        };
+        let t0 = Instant::now();
+        match DcAnalysis::with_options(circuit, opts).solve() {
+            Ok(sol) => {
+                assert!(
+                    sol.state().iter().all(|v| v.is_finite()),
+                    "converged DC solution has non-finite state:\n{text}"
+                );
+            }
+            // Typed failures (no convergence, singular, timeout) are
+            // legitimate outcomes for arbitrary decks; their Display
+            // paths stay under fuzz.
+            Err(e) => {
+                let _ = e.to_string();
+            }
+        }
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed < OVERRUN,
+            "budgeted DC solve overran its caps: {elapsed:?} for:\n{text}"
+        );
+    })
+}

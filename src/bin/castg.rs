@@ -13,6 +13,13 @@
 //!     --max-faults N       truncate the derived dictionary (after skip)
 //!     --param NAME=VALUE   set/override a deck `.param` (repeatable)
 //!     --threads N          worker threads                 [all cores]
+//!     --max-newton-iters N Newton-iteration allowance per (fault, test)
+//!                          coverage work item (deterministic budget)
+//!     --budget-ms MS       wall-clock budget per coverage work item
+//!                          (machine-dependent; see --max-newton-iters)
+//!     --strict             exit 1 when any fault's outcome is
+//!                          unconverged, timed out or panicked (default:
+//!                          exit 0 with a warning tally on stderr)
 //!     --out PATH           write the full text report here (stdout otherwise)
 //!     --json PATH          write a machine-readable summary here
 //!
@@ -35,9 +42,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use castg::core::{
-    compact, evaluate_test_set_with_threads, report::render_pipeline_report,
-    test_instances_from_compaction, AnalogMacro, CompactionOptions, Generator, GeneratorOptions,
-    NominalCache,
+    compact, evaluate_campaign, report::render_pipeline_report, test_instances_from_compaction,
+    AnalogMacro, CampaignOptions, CompactionOptions, Generator, GeneratorOptions, NominalCache,
 };
 use castg::faults::{BridgeDerivation, FaultDictionary};
 use castg::netlist::{parse_deck_with_params, parse_number, NetlistMacro, NetlistMacroOptions};
@@ -50,7 +56,8 @@ USAGE:
     castg generate <deck.sp> --configs <dir> [--faults exhaustive|adjacent]
           [--ordering auto|natural|amd|btf] [--bridge-ohms R] [--pinhole-ohms R]
           [--skip-faults N] [--max-faults N] [--param NAME=VALUE]...
-          [--threads N] [--out PATH] [--json PATH]
+          [--threads N] [--max-newton-iters N] [--budget-ms MS] [--strict]
+          [--out PATH] [--json PATH]
     castg check <deck.sp> [--ordering auto|natural|amd|btf] [--param NAME=VALUE]...
 ";
 
@@ -83,6 +90,9 @@ struct GenerateArgs {
     skip_faults: usize,
     max_faults: Option<usize>,
     threads: usize,
+    max_newton_iters: Option<usize>,
+    budget_ms: Option<u64>,
+    strict: bool,
     out: Option<PathBuf>,
     json: Option<PathBuf>,
 }
@@ -96,6 +106,9 @@ fn parse_generate_args(args: &[String]) -> Result<GenerateArgs, String> {
     let mut skip_faults = 0usize;
     let mut max_faults = None;
     let mut threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut max_newton_iters = None;
+    let mut budget_ms = None;
+    let mut strict = false;
     let mut out = None;
     let mut json = None;
     let mut it = args.iter();
@@ -133,6 +146,18 @@ fn parse_generate_args(args: &[String]) -> Result<GenerateArgs, String> {
             "--threads" => {
                 threads = value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?
             }
+            "--max-newton-iters" => {
+                max_newton_iters = Some(
+                    value("--max-newton-iters")?
+                        .parse()
+                        .map_err(|e| format!("--max-newton-iters: {e}"))?,
+                )
+            }
+            "--budget-ms" => {
+                budget_ms =
+                    Some(value("--budget-ms")?.parse().map_err(|e| format!("--budget-ms: {e}"))?)
+            }
+            "--strict" => strict = true,
             "--out" => out = Some(PathBuf::from(value("--out")?)),
             "--json" => json = Some(PathBuf::from(value("--json")?)),
             other if !other.starts_with('-') && deck.is_none() => {
@@ -150,6 +175,9 @@ fn parse_generate_args(args: &[String]) -> Result<GenerateArgs, String> {
         skip_faults,
         max_faults,
         threads: threads.max(1),
+        max_newton_iters,
+        budget_ms,
+        strict,
         out,
         json,
     })
@@ -233,10 +261,17 @@ fn generate(args: &[String]) -> Result<(), String> {
     let compact_s = t0.elapsed().as_secs_f64();
     let tests = test_instances_from_compaction(&mac, &compaction).map_err(|e| e.to_string())?;
 
+    let campaign = CampaignOptions {
+        threads: a.threads,
+        max_newton_iters: a.max_newton_iters,
+        budget_ms: a.budget_ms,
+        ..CampaignOptions::default()
+    };
     let t0 = Instant::now();
-    let coverage = evaluate_test_set_with_threads(&mac, &cache, &tests, &dict, a.threads)
+    let coverage = evaluate_campaign(&mac, &cache, &tests, &dict, &campaign)
         .map_err(|e| e.to_string())?;
     let evaluate_s = t0.elapsed().as_secs_f64();
+    let tally = coverage.tally();
 
     let report = render_pipeline_report(mac.name(), &generation, &compaction, &coverage);
     match &a.out {
@@ -256,6 +291,26 @@ fn generate(args: &[String]) -> Result<(), String> {
         evaluate_s,
         dict.len() as f64 / evaluate_s,
     );
+    eprintln!(
+        "castg: outcomes: detected {} undetected {} unconverged {} singular {} timed_out {} \
+         panicked {} injection_failed {}; ladder: {} solves, {} iterations",
+        tally.detected,
+        tally.undetected,
+        tally.unconverged,
+        tally.singular,
+        tally.timed_out,
+        tally.panicked,
+        tally.injection_failed,
+        coverage.ladder.solves(),
+        coverage.ladder.iterations,
+    );
+    if tally.suspect() > 0 && !a.strict {
+        eprintln!(
+            "castg: warning: {} fault(s) have robustness-suspect outcomes \
+             (unconverged/timed out/panicked); rerun with --strict to fail on these",
+            tally.suspect(),
+        );
+    }
 
     if let Some(path) = &a.json {
         let mut s = String::from("{\n");
@@ -270,22 +325,60 @@ fn generate(args: &[String]) -> Result<(), String> {
         let _ = writeln!(s, "  \"compact_s\": {compact_s:.6},");
         let _ = writeln!(s, "  \"evaluate_s\": {evaluate_s:.6},");
         let _ = writeln!(s, "  \"faults_per_s\": {:.3},", dict.len() as f64 / evaluate_s);
+        let _ = writeln!(
+            s,
+            "  \"outcomes\": {{\"detected\": {}, \"undetected\": {}, \"unconverged\": {}, \
+             \"singular\": {}, \"timed_out\": {}, \"panicked\": {}, \"injection_failed\": {}}},",
+            tally.detected,
+            tally.undetected,
+            tally.unconverged,
+            tally.singular,
+            tally.timed_out,
+            tally.panicked,
+            tally.injection_failed,
+        );
+        let ladder = &coverage.ladder;
+        let _ = writeln!(
+            s,
+            "  \"convergence_stats\": {{\"solves\": {}, \"iterations\": {}, \"plain\": {}, \
+             \"damped\": {}, \"gmin_stepping\": {}, \"source_stepping\": {}, \
+             \"pseudo_transient\": {}, \"unconverged\": {}}},",
+            ladder.solves(),
+            ladder.iterations,
+            ladder.plain,
+            ladder.damped,
+            ladder.gmin_stepping,
+            ladder.source_stepping,
+            ladder.pseudo_transient,
+            ladder.unconverged,
+        );
         let _ = writeln!(s, "  \"per_fault\": [");
         for (i, f) in coverage.per_fault.iter().enumerate() {
             let comma = if i + 1 < coverage.per_fault.len() { "," } else { "" };
             let _ = writeln!(
                 s,
                 "    {{\"fault\": \"{}\", \"detected\": {}, \"best_test\": {}, \
-                 \"best_sensitivity\": {:e}}}{comma}",
+                 \"best_sensitivity\": {:e}, \"outcome\": \"{}\"}}{comma}",
                 json_escape(&f.fault),
                 f.detected,
                 f.best_test,
                 f.best_sensitivity,
+                json_escape(&f.outcome.to_string()),
             );
         }
         let _ = writeln!(s, "  ]");
         s.push_str("}\n");
         std::fs::write(path, s).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    if a.strict && tally.suspect() > 0 {
+        return Err(format!(
+            "--strict: {} fault(s) have robustness-suspect outcomes \
+             (unconverged {}, timed out {}, panicked {})",
+            tally.suspect(),
+            tally.unconverged,
+            tally.timed_out,
+            tally.panicked,
+        ));
     }
     Ok(())
 }

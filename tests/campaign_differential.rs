@@ -68,7 +68,11 @@ fn differential(mac: &dyn AnalogMacro, dict: &FaultDictionary, tests: &[TestInst
             &cache,
             tests,
             dict,
-            &CampaignOptions { threads: 1, injection: InjectionMode::Rebuild },
+            &CampaignOptions {
+                threads: 1,
+                injection: InjectionMode::Rebuild,
+                ..CampaignOptions::default()
+            },
         )
         .expect("rebuild-path campaign")
     };
@@ -85,7 +89,7 @@ fn differential(mac: &dyn AnalogMacro, dict: &FaultDictionary, tests: &[TestInst
                 &cache,
                 tests,
                 dict,
-                &CampaignOptions { threads, injection },
+                &CampaignOptions { threads, injection, ..CampaignOptions::default() },
             )
             .expect("campaign");
             assert_reports_bit_identical(
@@ -171,7 +175,11 @@ fn mesh_four_way_delta_campaigns_are_bit_identical() {
             &cache,
             &tests,
             &dict,
-            &CampaignOptions { threads: 2, injection: InjectionMode::Delta },
+            &CampaignOptions {
+                threads: 2,
+                injection: InjectionMode::Delta,
+                ..CampaignOptions::default()
+            },
         )
         .expect("campaign");
         detection.push(report.per_fault.iter().map(|f| f.detected).collect());
@@ -204,7 +212,11 @@ fn ota_chain_btf_delta_campaign_is_bit_identical() {
             &cache,
             &tests,
             &dict,
-            &CampaignOptions { threads: 2, injection: InjectionMode::Delta },
+            &CampaignOptions {
+                threads: 2,
+                injection: InjectionMode::Delta,
+                ..CampaignOptions::default()
+            },
         )
         .expect("campaign");
         detection.push(report.per_fault.iter().map(|f| f.detected).collect());

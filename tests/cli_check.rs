@@ -1,6 +1,8 @@
-//! Regression tests for the `castg check` CLI surface: parameter
-//! overrides reaching the lowered circuit, resolved-parameter printing,
-//! and the named structural-singularity diagnostic.
+//! Regression tests for the `castg` CLI surface: parameter overrides
+//! reaching the lowered circuit, resolved-parameter printing, the named
+//! structural-singularity diagnostic, and the `generate` robustness
+//! flags (`--max-newton-iters`, `--budget-ms`, `--strict`) with their
+//! outcome accounting and exit codes.
 
 use std::io::Write;
 use std::process::Command;
@@ -86,6 +88,91 @@ fn check_names_the_singular_unknown() {
         "diagnostic must name the branch unknown, got: {stderr}"
     );
     assert!(stderr.contains("voltage-source loop"), "stderr: {stderr}");
+}
+
+fn fixture(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+#[test]
+fn generate_reports_outcomes_and_ladder_statistics() {
+    let dir = temp_dir("outcomes");
+    let json = dir.join("cov.json");
+    let out = castg()
+        .arg("generate")
+        .arg(fixture("divider.sp"))
+        .arg("--configs")
+        .arg(fixture("divider_configs"))
+        .arg("--json")
+        .arg(&json)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("castg: outcomes: detected"), "stderr: {stderr}");
+    assert!(stderr.contains("ladder:"), "stderr: {stderr}");
+    // A healthy campaign must not emit the robustness warning.
+    assert!(!stderr.contains("robustness-suspect"), "stderr: {stderr}");
+    let json_text = std::fs::read_to_string(&json).unwrap();
+    assert!(json_text.contains("\"outcomes\": {\"detected\": "), "json: {json_text}");
+    assert!(json_text.contains("\"convergence_stats\": {\"solves\": "), "json: {json_text}");
+    assert!(json_text.contains("\"outcome\": \"detected\""), "json: {json_text}");
+    assert!(json_text.contains("\"unconverged\": 0"), "json: {json_text}");
+    assert!(json_text.contains("\"panicked\": 0"), "json: {json_text}");
+}
+
+#[test]
+fn generate_strict_fails_on_exhausted_iteration_budget() {
+    // A zero-iteration allowance makes every faulted solve exhaust its
+    // budget deterministically: all faults come back `unconverged`.
+    // Without --strict that is a warning and exit 0; with --strict the
+    // run must exit 1 and name the flag.
+    let dir = temp_dir("strict");
+    let json = dir.join("cov.json");
+    let base = |extra: &[&str]| {
+        let mut cmd = castg();
+        cmd.arg("generate")
+            .arg(fixture("divider.sp"))
+            .arg("--configs")
+            .arg(fixture("divider_configs"))
+            .arg("--json")
+            .arg(&json)
+            .args(["--max-newton-iters", "0"])
+            .args(extra);
+        cmd.output().unwrap()
+    };
+
+    let out = base(&[]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("robustness-suspect"), "stderr: {stderr}");
+    let json_text = std::fs::read_to_string(&json).unwrap();
+    assert!(json_text.contains("\"outcome\": \"unconverged\""), "json: {json_text}");
+
+    let out = base(&["--strict"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("--strict"), "stderr: {stderr}");
+    assert!(stderr.contains("robustness-suspect"), "stderr: {stderr}");
+}
+
+#[test]
+fn generate_rejects_malformed_budget_flags() {
+    for bad in
+        [&["--max-newton-iters", "many"][..], &["--budget-ms", "-5"][..], &["--budget-ms"][..]]
+    {
+        let out = castg()
+            .arg("generate")
+            .arg(fixture("divider.sp"))
+            .arg("--configs")
+            .arg(fixture("divider_configs"))
+            .args(bad)
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "{bad:?} should be rejected");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(stderr.contains(bad[0]), "stderr: {stderr}");
+    }
 }
 
 #[test]
