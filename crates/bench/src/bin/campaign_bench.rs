@@ -483,6 +483,30 @@ fn main() {
         );
     }
 
+    // The bipolar op-amp through the netlist frontend: the
+    // junction-device campaign. Every nonlinear device is a pn
+    // junction, so the full generate → inject → evaluate pipeline rides
+    // the junction-limited Newton path, and the derived dictionary
+    // mixes bridges with diode/BJT junction pinholes. The standing
+    // robustness gate (zero unconverged / panicked / timed-out /
+    // injection-failed faults) applies like everywhere else.
+    let bjt_mac = castg_netlist::NetlistMacro::from_files(
+        &fixtures.join("bjt_opamp.sp"),
+        &fixtures.join("bjt_configs"),
+        castg_netlist::NetlistMacroOptions::default(),
+    )
+    .expect("bjt op-amp deck fixtures load");
+    let bjt_full = castg_core::AnalogMacro::fault_dictionary(&bjt_mac);
+    let bjt_dict = if quick {
+        // Smoke mix: four bridges plus four junction pinholes.
+        FaultDictionary::new(
+            bjt_full.iter().take(4).chain(bjt_full.iter().skip(45).take(4)).cloned().collect(),
+        )
+    } else {
+        bjt_full
+    };
+    results.push(run_campaign("bjt_opamp_netlist", &bjt_mac, &bjt_dict, threads, reps));
+
     // Ladder n = 256: the sparse-path campaign workload.
     if !quick {
         let mac = LadderMacro::with_unknowns(256);

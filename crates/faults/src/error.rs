@@ -22,6 +22,15 @@ pub enum FaultError {
         /// The offending device name.
         name: String,
     },
+    /// A junction pinhole targets a device that does not have the
+    /// requested pn junction (wrong device kind, or a BJT junction
+    /// asked of a diode and vice versa).
+    NoSuchJunction {
+        /// The offending device name.
+        name: String,
+        /// The requested junction label (`ak`, `be`, `bc`).
+        junction: String,
+    },
     /// A bridge fault's two endpoints are the same node.
     DegenerateBridge {
         /// The node name given for both endpoints.
@@ -43,6 +52,9 @@ impl fmt::Display for FaultError {
             }
             FaultError::NotAMosfet { name } => {
                 write!(f, "pinhole fault target `{name}` is not a mosfet")
+            }
+            FaultError::NoSuchJunction { name, junction } => {
+                write!(f, "device `{name}` has no `{junction}` junction")
             }
             FaultError::DegenerateBridge { name } => {
                 write!(f, "bridge fault endpoints are both `{name}`")

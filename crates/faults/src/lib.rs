@@ -48,7 +48,7 @@ mod topology;
 
 pub use error::FaultError;
 pub use list::{exhaustive_bridge_faults, exhaustive_pinhole_faults, FaultDictionary};
-pub use model::{Fault, FaultKind, PINHOLE_POSITION_FROM_DRAIN};
+pub use model::{Fault, FaultKind, Junction, PINHOLE_POSITION_FROM_DRAIN};
 pub use topology::{
     adjacent_bridge_faults, derive_fault_dictionary, fault_site_nets, topology_pinhole_faults,
     BridgeDerivation,

@@ -28,10 +28,32 @@ impl fmt::Display for FaultKind {
     }
 }
 
+/// Which pn junction of a diode or BJT a junction pinhole shorts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Junction {
+    /// The diode's anode–cathode junction.
+    AnodeCathode,
+    /// A BJT's base–emitter junction.
+    BaseEmitter,
+    /// A BJT's base–collector junction.
+    BaseCollector,
+}
+
+impl fmt::Display for Junction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Junction::AnodeCathode => write!(f, "ak"),
+            Junction::BaseEmitter => write!(f, "be"),
+            Junction::BaseCollector => write!(f, "bc"),
+        }
+    }
+}
+
 #[derive(Debug, Clone, PartialEq)]
 enum Descriptor {
     Bridge { node_a: String, node_b: String, base_ohms: f64 },
     Pinhole { device: String, position: f64, base_ohms: f64 },
+    JunctionPinhole { device: String, junction: Junction, base_ohms: f64 },
 }
 
 /// One modeled fault: a location, a fault type, a dictionary ("initial
@@ -94,29 +116,56 @@ impl Fault {
         }
     }
 
+    /// A pinhole defect through a pn junction of the named diode or
+    /// BJT: a resistive short across the junction's two terminals with
+    /// dictionary resistance `base_ohms`. Diodes take
+    /// [`Junction::AnodeCathode`]; BJTs take [`Junction::BaseEmitter`]
+    /// or [`Junction::BaseCollector`].
+    pub fn junction_pinhole(
+        device: impl Into<String>,
+        junction: Junction,
+        base_ohms: f64,
+    ) -> Self {
+        Fault {
+            descriptor: Descriptor::JunctionPinhole {
+                device: device.into(),
+                junction,
+                base_ohms,
+            },
+            impact_scale: 1.0,
+        }
+    }
+
     /// The fault class.
     pub fn kind(&self) -> FaultKind {
         match self.descriptor {
             Descriptor::Bridge { .. } => FaultKind::Bridge,
-            Descriptor::Pinhole { .. } => FaultKind::Pinhole,
+            Descriptor::Pinhole { .. } | Descriptor::JunctionPinhole { .. } => FaultKind::Pinhole,
         }
     }
 
-    /// A stable human-readable name, e.g. `bridge(out,inn)` or
-    /// `pinhole(M3)`.
+    /// A stable human-readable name, e.g. `bridge(out,inn)`,
+    /// `pinhole(M3)` or `pinhole(Q1:be)`.
     pub fn name(&self) -> String {
         match &self.descriptor {
             Descriptor::Bridge { node_a, node_b, .. } => format!("bridge({node_a},{node_b})"),
             Descriptor::Pinhole { device, .. } => format!("pinhole({device})"),
+            Descriptor::JunctionPinhole { device, junction, .. } => {
+                match junction {
+                    // A diode has one junction; the label would be noise.
+                    Junction::AnodeCathode => format!("pinhole({device})"),
+                    _ => format!("pinhole({device}:{junction})"),
+                }
+            }
         }
     }
 
     /// The dictionary (scale = 1) model resistance in ohms.
     pub fn base_resistance(&self) -> f64 {
         match &self.descriptor {
-            Descriptor::Bridge { base_ohms, .. } | Descriptor::Pinhole { base_ohms, .. } => {
-                *base_ohms
-            }
+            Descriptor::Bridge { base_ohms, .. }
+            | Descriptor::Pinhole { base_ohms, .. }
+            | Descriptor::JunctionPinhole { base_ohms, .. } => *base_ohms,
         }
     }
 
@@ -153,6 +202,9 @@ impl Fault {
     /// Builds a faulty copy of `circuit` with this fault's model inserted.
     ///
     /// * Bridge: adds resistor `F_bridge` between the two named nodes.
+    /// * Junction pinhole: adds resistor `F_pinhole` across the named
+    ///   diode/BJT junction's terminals — a pure additive patch, like a
+    ///   bridge.
     /// * Pinhole: replaces the target MOSFET `M` by two series segments
     ///   (`M__d` of length `position·L` on the drain side, `M__s` of
     ///   length `(1−position)·L` on the source side, joined at new node
@@ -194,6 +246,23 @@ impl Fault {
                     return Err(FaultError::DegenerateBridge { name: node_a.clone() });
                 }
                 faulty.add_resistor("F_bridge", a, b, self.effective_resistance())?;
+            }
+            Descriptor::JunctionPinhole { device, junction, .. } => {
+                let dev = faulty
+                    .device(device)
+                    .ok_or_else(|| FaultError::UnknownDevice { name: device.clone() })?;
+                let (a, b) = match (dev.kind(), junction) {
+                    (DeviceKind::Diode { a, k, .. }, Junction::AnodeCathode) => (*a, *k),
+                    (DeviceKind::Bjt { b, e, .. }, Junction::BaseEmitter) => (*b, *e),
+                    (DeviceKind::Bjt { c, b, .. }, Junction::BaseCollector) => (*b, *c),
+                    _ => {
+                        return Err(FaultError::NoSuchJunction {
+                            name: device.clone(),
+                            junction: junction.to_string(),
+                        })
+                    }
+                };
+                faulty.add_resistor("F_pinhole", a, b, self.effective_resistance())?;
             }
             Descriptor::Pinhole { device, position, .. } => {
                 let dev = faulty
@@ -346,6 +415,71 @@ mod tests {
         // The pinhole pulls gate current: VG's branch current is nonzero.
         let ig = sol.source_current("VG").unwrap();
         assert!(ig.abs() > 1e-9, "gate current {ig}");
+    }
+
+    #[test]
+    fn junction_pinhole_shorts_the_right_terminals() {
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let out = c.node("out");
+        let cb = c.node("cb");
+        c.add_vsource("V1", vin, Circuit::GROUND, Waveform::dc(5.0)).unwrap();
+        c.add_diode("D1", vin, out, castg_spice::DiodeParams::signal_default()).unwrap();
+        c.add_resistor("RL", out, Circuit::GROUND, 1e3).unwrap();
+        c.add_resistor("RB", vin, cb, 100e3).unwrap();
+        c.add_bjt(
+            "Q1",
+            vin,
+            cb,
+            Circuit::GROUND,
+            castg_spice::BjtPolarity::Npn,
+            castg_spice::BjtParams::signal_default(),
+        )
+        .unwrap();
+
+        // Diode a–k short: out rises toward vin through the 2k shunt.
+        let f = Fault::junction_pinhole("D1", Junction::AnodeCathode, 2e3);
+        assert_eq!(f.name(), "pinhole(D1)");
+        assert_eq!(f.kind(), FaultKind::Pinhole);
+        let faulty = f.inject(&c).unwrap();
+        let dev = faulty.device("F_pinhole").unwrap();
+        assert_eq!(dev.nodes(), c.device("D1").unwrap().nodes());
+
+        // BJT b–e short drags the base to ground through 2k.
+        let f_be = Fault::junction_pinhole("Q1", Junction::BaseEmitter, 2e3);
+        assert_eq!(f_be.name(), "pinhole(Q1:be)");
+        let v_nom = DcAnalysis::new(&c).solve().unwrap().voltage(c.find_node("cb").unwrap());
+        let faulty = f_be.inject(&c).unwrap();
+        let v_flt =
+            DcAnalysis::new(&faulty).solve().unwrap().voltage(faulty.find_node("cb").unwrap());
+        assert!(v_flt < v_nom, "b–e short must drop the base: {v_flt} vs {v_nom}");
+
+        // BJT b–c junction names both terminals.
+        let f_bc = Fault::junction_pinhole("Q1", Junction::BaseCollector, 2e3);
+        assert_eq!(f_bc.name(), "pinhole(Q1:bc)");
+        let faulty = f_bc.inject(&c).unwrap();
+        let dev = faulty.device("F_pinhole").unwrap();
+        assert!(dev.nodes().contains(&c.find_node("cb").unwrap()));
+        assert!(dev.nodes().contains(&c.find_node("vin").unwrap()));
+    }
+
+    #[test]
+    fn junction_pinhole_rejects_wrong_kinds() {
+        let mut c = divider();
+        let (a, b) = (c.find_node("a").unwrap(), c.find_node("b").unwrap());
+        c.add_diode("D1", a, b, castg_spice::DiodeParams::signal_default()).unwrap();
+        assert!(matches!(
+            Fault::junction_pinhole("R1", Junction::AnodeCathode, 2e3).inject(&c),
+            Err(FaultError::NoSuchJunction { .. })
+        ));
+        assert!(matches!(
+            Fault::junction_pinhole("D1", Junction::BaseEmitter, 2e3).inject(&c),
+            Err(FaultError::NoSuchJunction { .. })
+        ));
+        assert!(matches!(
+            Fault::junction_pinhole("D9", Junction::AnodeCathode, 2e3).inject(&c),
+            Err(FaultError::UnknownDevice { .. })
+        ));
     }
 
     #[test]

@@ -22,7 +22,9 @@
 
 use castg_spice::Circuit;
 
-use crate::{exhaustive_bridge_faults, exhaustive_pinhole_faults, Fault, FaultDictionary};
+use crate::{
+    exhaustive_bridge_faults, exhaustive_pinhole_faults, Fault, FaultDictionary, Junction,
+};
 
 /// Which node pairs the derived bridge list covers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -82,11 +84,23 @@ pub fn adjacent_bridge_faults(circuit: &Circuit, base_ohms: f64) -> Vec<Fault> {
         .collect()
 }
 
-/// One pinhole fault per MOSFET in the circuit (device insertion
-/// order), each with dictionary shunt `base_ohms` at the paper's
-/// standard position.
+/// One pinhole fault per pn structure in the circuit: every MOSFET gate
+/// (the paper's rule, device insertion order), then every diode's
+/// anode–cathode junction, then both junctions (base–emitter, then
+/// base–collector) of every BJT — all with dictionary shunt
+/// `base_ohms`. Circuits without diodes or BJTs get exactly the
+/// MOS-only list the original derivation produced, so the paper's
+/// 55-fault IV-converter dictionary is unchanged.
 pub fn topology_pinhole_faults(circuit: &Circuit, base_ohms: f64) -> Vec<Fault> {
-    exhaustive_pinhole_faults(&circuit.mosfet_names(), base_ohms)
+    let mut faults = exhaustive_pinhole_faults(&circuit.mosfet_names(), base_ohms);
+    for name in circuit.diode_names() {
+        faults.push(Fault::junction_pinhole(name, Junction::AnodeCathode, base_ohms));
+    }
+    for name in circuit.bjt_names() {
+        faults.push(Fault::junction_pinhole(name.clone(), Junction::BaseEmitter, base_ohms));
+        faults.push(Fault::junction_pinhole(name, Junction::BaseCollector, base_ohms));
+    }
+    faults
 }
 
 /// Derives a full dictionary from circuit topology: bridges per
@@ -164,6 +178,34 @@ mod tests {
         for f in dict.iter() {
             f.inject(&c).unwrap();
         }
+    }
+
+    #[test]
+    fn derived_pinholes_cover_diode_and_bjt_junctions() {
+        let mut c = divider();
+        let (vin, mid, out) =
+            (c.find_node("vin").unwrap(), c.find_node("mid").unwrap(), c.find_node("out").unwrap());
+        c.add_diode("D1", vin, mid, castg_spice::DiodeParams::signal_default()).unwrap();
+        c.add_bjt(
+            "Q1",
+            vin,
+            mid,
+            out,
+            castg_spice::BjtPolarity::Npn,
+            castg_spice::BjtParams::signal_default(),
+        )
+        .unwrap();
+        let faults = topology_pinhole_faults(&c, 2e3);
+        let names: Vec<String> = faults.iter().map(Fault::name).collect();
+        assert_eq!(names, vec!["pinhole(D1)", "pinhole(Q1:be)", "pinhole(Q1:bc)"]);
+        // Every derived junction pinhole injects into its own circuit.
+        for f in &faults {
+            f.inject(&c).unwrap();
+        }
+        // Bridges enumerate the new devices' terminal adjacencies too.
+        let bridges = adjacent_bridge_faults(&c, 10e3);
+        let bnames: Vec<String> = bridges.iter().map(Fault::name).collect();
+        assert!(bnames.contains(&"bridge(vin,out)".to_string()), "{bnames:?}");
     }
 
     #[test]

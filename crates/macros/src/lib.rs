@@ -22,7 +22,10 @@
 //!   cheap per-configuration estimators of the tolerance-box value at
 //!   any parameter vector,
 //! * [`OtaBuffer`] — a second, smaller macro demonstrating that the
-//!   framework generalizes beyond the IV-converter.
+//!   framework generalizes beyond the IV-converter,
+//! * [`BjtOpAmp`] — a bipolar (diode + BJT) two-stage follower whose
+//!   dictionary carries junction pinholes, demonstrating the framework
+//!   is not MOS-specific.
 //!
 //! # Example
 //!
@@ -40,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bjt_opamp;
 mod boxes;
 mod equipment;
 mod iv_configs;
@@ -47,6 +51,7 @@ mod iv_converter;
 mod ota;
 mod process;
 
+pub use bjt_opamp::BjtOpAmp;
 pub use boxes::{calibrate_box, BoxGrid, BoxPolicy};
 pub use equipment::Equipment;
 pub use iv_configs::IvConfigKind;

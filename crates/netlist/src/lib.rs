@@ -7,10 +7,18 @@
 //! was never compiled with:
 //!
 //! * [`parse_deck`] — deck text → lowered [`Circuit`]. Device cards
-//!   `R`/`C`/`L`/`V`/`I`/`M` (Level-1 models via `.model` cards, `W=`/
-//!   `L=` instance geometry) plus `E` (VCVS), `.subckt`/`.ends` with
-//!   `X` instantiation (flattened, internals prefixed
-//!   `<instance>.<name>`), scale suffixes (`10k`, `2.5MEG`, `1.5pF`),
+//!   `R`/`C`/`L`/`V`/`I`/`M` (Level-1 models via `.model nmos`/`pmos`
+//!   cards, `W=`/`L=` instance geometry), `D` (diode, `.model <name> d`
+//!   with `is`/`n`/`rs`/`cjo` keys), `Q` (BJT, `.model <name>
+//!   npn`/`pnp` with `is`/`bf`/`br`/`cje`/`cjc` keys; unset keys fall
+//!   back to the signal defaults), and all four controlled sources —
+//!   `E` (VCVS) and `G` (VCCS) sensing a node-voltage pair, `F` (CCCS)
+//!   and `H` (CCVS) sensing the branch current of a named controller
+//!   device, which must carry a branch current (a `V`, `E`, `H` or `L`
+//!   card) and must appear **before** the card that senses it. Plus
+//!   `.subckt`/`.ends` with `X` instantiation (flattened, internals
+//!   prefixed `<instance>.<name>`), scale suffixes (`10k`, `2.5MEG`,
+//!   `1.5pF`),
 //!   line continuations (`+`), comments (`*` lines, `;`/` $`
 //!   trailers — `.title` lines are exempt, like real SPICE), `.title`,
 //!   `.end`, and source values `DC`, `SIN`, `PULSE`, `PWL` and the
@@ -51,7 +59,9 @@
 //!   ```
 //! * [`write_deck`] / [`write_deck_with_title`] — [`Circuit`] → deck
 //!   text, exact round-trip (`parse(write(c)) == c`, bit for bit, the
-//!   `.title` included) via the `.nodeorder` extension card; this is
+//!   `.title` included) via the `.nodeorder` extension card and
+//!   bit-exact deduplicated model tables (`castg_m*`/`castg_d*`/
+//!   `castg_q*` for MOS/diode/BJT parameter sets); this is
 //!   how the committed deck fixtures are regenerated from the
 //!   hand-built reference macros. Written decks carry only resolved
 //!   values — `.param` and `{…}` never appear in writer output.

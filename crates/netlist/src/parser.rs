@@ -19,7 +19,9 @@
 
 use std::collections::{HashMap, HashSet};
 
-use castg_spice::{Circuit, MosParams, MosPolarity, Waveform};
+use castg_spice::{
+    BjtParams, BjtPolarity, Circuit, DiodeParams, MosParams, MosPolarity, Waveform,
+};
 
 use crate::expr;
 use crate::number::parse_number;
@@ -228,6 +230,28 @@ struct MosModel {
     params: HashMap<String, f64>,
 }
 
+/// A resolved `.model` card of any supported kind. MOS geometry stays
+/// deferred (instance `W=`/`L=` override the model); diode and BJT
+/// cards resolve to full parameter sets immediately (unset keys fall
+/// back to the signal defaults).
+#[derive(Debug, Clone)]
+enum ModelCard {
+    Mos(MosModel),
+    Diode(DiodeParams),
+    Bjt { pnp: bool, params: BjtParams },
+}
+
+impl ModelCard {
+    /// The type keyword family, for "wrong model kind" diagnostics.
+    fn kind_name(&self) -> &'static str {
+        match self {
+            ModelCard::Mos(_) => "nmos/pmos",
+            ModelCard::Diode(_) => "d",
+            ModelCard::Bjt { .. } => "npn/pnp",
+        }
+    }
+}
+
 /// A `.subckt` definition: ports, parameter defaults (raw expression
 /// text, evaluated per instantiation), body lines.
 struct Subckt<'a> {
@@ -238,7 +262,7 @@ struct Subckt<'a> {
 }
 
 struct LowerCtx<'a> {
-    models: HashMap<String, (MosModel, usize)>,
+    models: HashMap<String, (ModelCard, usize)>,
     subckts: HashMap<String, Subckt<'a>>,
     /// The resolved global `.param` scope.
     globals: HashMap<String, f64>,
@@ -520,12 +544,13 @@ impl Lowerer {
     }
 }
 
-/// Parses `.model name nmos|pmos (k=v ...)` (parens optional).
+/// Parses `.model name nmos|pmos|d|npn|pnp (k=v ...)` (parens
+/// optional).
 fn parse_model_card(
     toks: &[Tok<'_>],
     line_no: usize,
     scope: &HashMap<String, f64>,
-) -> Result<(String, MosModel), NetlistError> {
+) -> Result<(String, ModelCard), NetlistError> {
     if toks.len() < 3 {
         return Err(NetlistError::parse(
             line_no,
@@ -534,35 +559,77 @@ fn parse_model_card(
         ));
     }
     let name = toks[1].text.to_ascii_lowercase();
-    let pmos = match toks[2].text.to_ascii_lowercase().as_str() {
-        "nmos" => false,
-        "pmos" => true,
+    let assignments = parse_assignments(&toks[3..], line_no, scope)?;
+    let card = match toks[2].text.to_ascii_lowercase().as_str() {
+        kind @ ("nmos" | "pmos") => {
+            let mut model = MosModel { pmos: kind == "pmos", params: HashMap::new() };
+            for (key, value) in assignments {
+                let k = key.to_ascii_lowercase();
+                match k.as_str() {
+                    "vto" | "vt0" | "kp" | "lambda" | "gamma" | "phi" | "cox" | "cgso" | "w"
+                    | "l" => {
+                        let canonical = if k == "vt0" { "vto".to_string() } else { k };
+                        model.params.insert(canonical, value);
+                    }
+                    other => {
+                        return Err(NetlistError::parse(
+                            line_no,
+                            1,
+                            format!("unknown model parameter `{other}`"),
+                        ))
+                    }
+                }
+            }
+            ModelCard::Mos(model)
+        }
+        "d" => {
+            let mut params = DiodeParams::signal_default();
+            for (key, value) in assignments {
+                match key.to_ascii_lowercase().as_str() {
+                    "is" => params.is_sat = value,
+                    "n" => params.n = value,
+                    "rs" => params.rs = value,
+                    "cjo" | "cj0" => params.cj0 = value,
+                    other => {
+                        return Err(NetlistError::parse(
+                            line_no,
+                            1,
+                            format!("unknown diode model parameter `{other}`"),
+                        ))
+                    }
+                }
+            }
+            ModelCard::Diode(params)
+        }
+        kind @ ("npn" | "pnp") => {
+            let mut params = BjtParams::signal_default();
+            for (key, value) in assignments {
+                match key.to_ascii_lowercase().as_str() {
+                    "is" => params.is_sat = value,
+                    "bf" => params.bf = value,
+                    "br" => params.br = value,
+                    "cje" => params.cje = value,
+                    "cjc" => params.cjc = value,
+                    other => {
+                        return Err(NetlistError::parse(
+                            line_no,
+                            1,
+                            format!("unknown BJT model parameter `{other}`"),
+                        ))
+                    }
+                }
+            }
+            ModelCard::Bjt { pnp: kind == "pnp", params }
+        }
         other => {
             return Err(NetlistError::parse(
                 line_no,
                 toks[2].col,
-                format!("unsupported model type `{other}` (need nmos or pmos)"),
+                format!("unsupported model type `{other}` (need nmos, pmos, d, npn or pnp)"),
             ))
         }
     };
-    let mut model = MosModel { pmos, params: HashMap::new() };
-    for (key, value) in parse_assignments(&toks[3..], line_no, scope)? {
-        let k = key.to_ascii_lowercase();
-        match k.as_str() {
-            "vto" | "vt0" | "kp" | "lambda" | "gamma" | "phi" | "cox" | "cgso" | "w" | "l" => {
-                let canonical = if k == "vt0" { "vto".to_string() } else { k };
-                model.params.insert(canonical, value);
-            }
-            other => {
-                return Err(NetlistError::parse(
-                    line_no,
-                    1,
-                    format!("unknown model parameter `{other}`"),
-                ))
-            }
-        }
-    }
-    Ok((name, model))
+    Ok((name, card))
 }
 
 /// Parses a `k=v k=v …` tail (optionally wrapped in parentheses);
@@ -757,7 +824,7 @@ fn lower_card(
                     format!("`{}` is missing its model name", name_tok.text),
                 )
             })?;
-            let (model, _) = ctx
+            let (card, _) = ctx
                 .models
                 .get(&model_tok.text.to_ascii_lowercase())
                 .ok_or_else(|| {
@@ -766,6 +833,17 @@ fn lower_card(
                         format!("unknown model `{}` (no matching .model card)", model_tok.text),
                     )
                 })?;
+            let ModelCard::Mos(model) = card else {
+                return Err(NetlistError::netlist(
+                    line.no,
+                    format!(
+                        "model `{}` is a {} model, but `{}` needs nmos/pmos",
+                        model_tok.text,
+                        card.kind_name(),
+                        name_tok.text
+                    ),
+                ));
+            };
             let mut overrides: HashMap<String, f64> = HashMap::new();
             for (k, v) in parse_assignments(&toks[6..], line.no, scope)? {
                 let k = k.to_ascii_lowercase();
@@ -831,6 +909,138 @@ fn lower_card(
             let (p, n) = (node(lowerer, tp), node(lowerer, tn));
             let (cp, cn) = (node(lowerer, tcp), node(lowerer, tcn));
             lowerer.circuit.add_vcvs(&dev_name, p, n, cp, cn, gain).map_err(lowered)?;
+        }
+        'd' => {
+            let (ta, tk) = (node_tok(1, "anode")?, node_tok(2, "cathode")?);
+            let model_tok = toks.get(3).ok_or_else(|| {
+                NetlistError::parse(
+                    line.no,
+                    name_tok.col,
+                    format!("`{}` is missing its model name", name_tok.text),
+                )
+            })?;
+            no_extra(4)?;
+            let (card, _) = ctx
+                .models
+                .get(&model_tok.text.to_ascii_lowercase())
+                .ok_or_else(|| {
+                    NetlistError::netlist(
+                        line.no,
+                        format!("unknown model `{}` (no matching .model card)", model_tok.text),
+                    )
+                })?;
+            let ModelCard::Diode(params) = card else {
+                return Err(NetlistError::netlist(
+                    line.no,
+                    format!(
+                        "model `{}` is a {} model, but `{}` needs d",
+                        model_tok.text,
+                        card.kind_name(),
+                        name_tok.text
+                    ),
+                ));
+            };
+            let (a, k) = (node(lowerer, ta), node(lowerer, tk));
+            lowerer.circuit.add_diode(&dev_name, a, k, *params).map_err(lowered)?;
+        }
+        'q' => {
+            let (tc, tb, te) = (
+                node_tok(1, "collector")?,
+                node_tok(2, "base")?,
+                node_tok(3, "emitter")?,
+            );
+            let model_tok = toks.get(4).ok_or_else(|| {
+                NetlistError::parse(
+                    line.no,
+                    name_tok.col,
+                    format!("`{}` is missing its model name", name_tok.text),
+                )
+            })?;
+            no_extra(5)?;
+            let (card, _) = ctx
+                .models
+                .get(&model_tok.text.to_ascii_lowercase())
+                .ok_or_else(|| {
+                    NetlistError::netlist(
+                        line.no,
+                        format!("unknown model `{}` (no matching .model card)", model_tok.text),
+                    )
+                })?;
+            let ModelCard::Bjt { pnp, params } = card else {
+                return Err(NetlistError::netlist(
+                    line.no,
+                    format!(
+                        "model `{}` is a {} model, but `{}` needs npn/pnp",
+                        model_tok.text,
+                        card.kind_name(),
+                        name_tok.text
+                    ),
+                ));
+            };
+            let polarity = if *pnp { BjtPolarity::Pnp } else { BjtPolarity::Npn };
+            let (c, b, e) = (node(lowerer, tc), node(lowerer, tb), node(lowerer, te));
+            lowerer.circuit.add_bjt(&dev_name, c, b, e, polarity, *params).map_err(lowered)?;
+        }
+        'g' => {
+            let (tp, tn, tcp, tcn) = (
+                node_tok(1, "positive")?,
+                node_tok(2, "negative")?,
+                node_tok(3, "positive controlling")?,
+                node_tok(4, "negative controlling")?,
+            );
+            let gm = num_tok(5, "transconductance")?;
+            no_extra(6)?;
+            let (p, n) = (node(lowerer, tp), node(lowerer, tn));
+            let (cp, cn) = (node(lowerer, tcp), node(lowerer, tcn));
+            lowerer.circuit.add_vccs(&dev_name, p, n, cp, cn, gm).map_err(lowered)?;
+        }
+        'f' | 'h' => {
+            let (tp, tn) = (node_tok(1, "positive")?, node_tok(2, "negative")?);
+            let tctrl = toks.get(3).ok_or_else(|| {
+                NetlistError::parse(
+                    line.no,
+                    name_tok.col,
+                    format!("`{}` is missing its controlling device name", name_tok.text),
+                )
+            })?;
+            if tctrl.text.starts_with('{') {
+                return Err(NetlistError::parse(
+                    line.no,
+                    tctrl.col,
+                    format!("expected a device name, got expression `{}`", tctrl.text),
+                ));
+            }
+            let value = num_tok(4, if kind == 'f' { "gain" } else { "transresistance" })?;
+            no_extra(5)?;
+            // The controller must already exist (the card dialect, like
+            // Circuit::add, requires the controlling V/E/H/L card to
+            // precede its F/H dependents). Device names are stored
+            // case-sensitively; deck references are case-insensitive
+            // like the rest of the dialect, so fall back to a unique
+            // case-insensitive match before letting Circuit::add report
+            // the miss.
+            let ctrl_name = {
+                let wanted = format!("{prefix}{}", tctrl.text);
+                if lowerer.circuit.device(&wanted).is_some() {
+                    wanted
+                } else {
+                    let mut hits = lowerer
+                        .circuit
+                        .devices()
+                        .iter()
+                        .filter(|d| d.name().eq_ignore_ascii_case(&wanted));
+                    match (hits.next(), hits.next()) {
+                        (Some(d), None) => d.name().to_string(),
+                        _ => wanted,
+                    }
+                }
+            };
+            let (p, n) = (node(lowerer, tp), node(lowerer, tn));
+            if kind == 'f' {
+                lowerer.circuit.add_cccs(&dev_name, p, n, &ctrl_name, value).map_err(lowered)?;
+            } else {
+                lowerer.circuit.add_ccvs(&dev_name, p, n, &ctrl_name, value).map_err(lowered)?;
+            }
         }
         'x' => {
             if depth >= MAX_SUBCKT_DEPTH {
@@ -955,7 +1165,7 @@ fn lower_card(
             return Err(NetlistError::parse(
                 line.no,
                 name_tok.col,
-                format!("unknown device card `{other}` (supported: R C L V I M E X)"),
+                format!("unknown device card `{other}` (supported: R C L V I M D Q E F G H X)"),
             ))
         }
     }
@@ -1334,11 +1544,12 @@ mod tests {
 
     #[test]
     fn errors_carry_line_and_column() {
-        let cases: [(&str, usize); 6] = [
+        let cases: [(&str, usize); 7] = [
             ("R1 a b notanumber\n", 1),
             ("V1 a 0 DC 5\nR1 a b\n", 2),
             ("+ orphan continuation\n", 1),
-            ("Q1 a b c\n", 1),
+            ("Y1 a b c\n", 1),
+            ("Q1 a b c\n", 1), // BJT card without its model name
             ("R1 a b 1k extra\n", 1),
             (".bogus x\n", 1),
         ];
@@ -1419,6 +1630,109 @@ mod tests {
         let sol = DcAnalysis::new(deck.circuit()).solve().unwrap();
         let out = deck.circuit().find_node("out").unwrap();
         assert!((sol.voltage(out) + 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn diode_card_with_model() {
+        let deck = parse_deck(
+            ".model dsig d (is=1e-14 n=1.2 rs=2.5 cjo=3p)\n\
+             V1 in 0 5\n\
+             D1 in out dsig\n\
+             RL out 0 1k\n",
+        )
+        .unwrap();
+        let c = deck.circuit();
+        match c.device("D1").unwrap().kind() {
+            DeviceKind::Diode { params, .. } => {
+                assert_eq!(params.is_sat, 1e-14);
+                assert_eq!(params.n, 1.2);
+                assert_eq!(params.rs, 2.5);
+                assert_eq!(params.cj0, 3e-12);
+            }
+            k => panic!("{k:?}"),
+        }
+        let sol = DcAnalysis::new(c).solve().unwrap();
+        let out = c.find_node("out").unwrap();
+        // Forward drop of roughly a junction; the rest lands on RL.
+        assert!(sol.voltage(out) > 3.5 && sol.voltage(out) < 5.0, "{}", sol.voltage(out));
+    }
+
+    #[test]
+    fn bjt_card_with_model() {
+        let deck = parse_deck(
+            ".model qn npn (is=1e-15 bf=150)\n\
+             .model qp pnp (is=2e-15 bf=80 br=4 cje=1p cjc=2p)\n\
+             VCC vcc 0 5\n\
+             RB vcc b 100k\n\
+             RC vcc c 1k\n\
+             Q1 c b 0 qn\n\
+             Q2 0 c vcc qp\n",
+        )
+        .unwrap();
+        let c = deck.circuit();
+        match c.device("Q1").unwrap().kind() {
+            DeviceKind::Bjt { polarity, params, .. } => {
+                assert_eq!(*polarity, castg_spice::BjtPolarity::Npn);
+                assert_eq!(params.bf, 150.0);
+                // Unset keys keep the signal defaults.
+                assert_eq!(params.br, castg_spice::BjtParams::signal_default().br);
+            }
+            k => panic!("{k:?}"),
+        }
+        match c.device("Q2").unwrap().kind() {
+            DeviceKind::Bjt { polarity, params, .. } => {
+                assert_eq!(*polarity, castg_spice::BjtPolarity::Pnp);
+                assert_eq!(params.cjc, 2e-12);
+            }
+            k => panic!("{k:?}"),
+        }
+        let sol = DcAnalysis::new(c).solve().unwrap();
+        let b = c.find_node("b").unwrap();
+        // Forward-biased base-emitter junction.
+        assert!(sol.voltage(b) > 0.4 && sol.voltage(b) < 1.0, "{}", sol.voltage(b));
+    }
+
+    #[test]
+    fn controlled_source_cards() {
+        let deck = parse_deck(
+            "V1 in 0 2\n\
+             R1 in 0 1k\n\
+             G1 out1 0 in 0 -1e-3\n\
+             RG out1 0 1k\n\
+             F1 out2 0 V1 2\n\
+             RF out2 0 1k\n\
+             H1 out3 0 v1 500\n\
+             RH out3 0 1k\n",
+        )
+        .unwrap();
+        let c = deck.circuit();
+        let sol = DcAnalysis::new(c).solve().unwrap();
+        // G1: i = -1mS * 2V out of out1 → v(out1) = +2V across 1k.
+        let v = |n: &str| sol.voltage(c.find_node(n).unwrap());
+        assert!((v("out1") - 2.0).abs() < 1e-6, "{}", v("out1"));
+        // V1 carries -2mA (into its + terminal from the divider), so
+        // F1 pushes gain·i out of out2.
+        let i_v1 = sol.source_current("V1").unwrap();
+        assert!((v("out2") - (-2.0 * i_v1 * 1e3)).abs() < 1e-6, "{}", v("out2"));
+        // H1 references `v1` case-insensitively:
+        // v(out3) = ohms · i(V1) = 500 · (−2 mA) = −1 V.
+        assert!((v("out3") - 500.0 * i_v1).abs() < 1e-6, "{}", v("out3"));
+    }
+
+    #[test]
+    fn wrong_model_kind_is_a_loud_error() {
+        let e = parse_deck(".model nch nmos (vto=0.7)\nD1 a 0 nch\n").unwrap_err();
+        assert!(e.to_string().contains("needs d"), "{e}");
+        let e = parse_deck(".model dsig d (is=1e-14)\nM1 d g 0 0 dsig W=1u L=1u\n").unwrap_err();
+        assert!(e.to_string().contains("needs nmos/pmos"), "{e}");
+        let e = parse_deck(".model dsig d (is=1e-14)\nQ1 c b 0 dsig\n").unwrap_err();
+        assert!(e.to_string().contains("needs npn/pnp"), "{e}");
+    }
+
+    #[test]
+    fn cccs_before_its_controller_is_an_error() {
+        let e = parse_deck("F1 out 0 V1 2\nV1 in 0 1\nRL out 0 1k\n").unwrap_err();
+        assert!(e.to_string().contains("not found"), "{e}");
     }
 
     #[test]

@@ -11,7 +11,9 @@
 
 use std::fmt::Write as _;
 
-use castg_spice::{Circuit, DeviceKind, MosParams, MosPolarity, Waveform};
+use castg_spice::{
+    BjtParams, BjtPolarity, Circuit, DeviceKind, DiodeParams, MosParams, MosPolarity, Waveform,
+};
 
 use crate::NetlistError;
 
@@ -86,6 +88,21 @@ fn wave_str(wave: &Waveform) -> String {
             s
         }
     }
+}
+
+/// The diode model parameters a `.model … d` card carries, used as the
+/// deduplication key (bit-exact).
+fn diode_model_key(p: &DiodeParams) -> [u64; 4] {
+    [p.is_sat.to_bits(), p.n.to_bits(), p.rs.to_bits(), p.cj0.to_bits()]
+}
+
+/// The BJT model parameters a `.model … npn/pnp` card carries, used as
+/// the deduplication key (bit-exact).
+fn bjt_model_key(polarity: BjtPolarity, p: &BjtParams) -> (bool, [u64; 5]) {
+    (
+        polarity == BjtPolarity::Pnp,
+        [p.is_sat.to_bits(), p.bf.to_bits(), p.br.to_bits(), p.cje.to_bits(), p.cjc.to_bits()],
+    )
 }
 
 /// The non-geometry model parameters a `.model` card carries, used as
@@ -212,6 +229,52 @@ pub fn write_deck_with_title(
         );
     }
 
+    // Diode and BJT model tables, deduplicated the same bit-exact way.
+    let mut dmodels: Vec<([u64; 4], DiodeParams)> = Vec::new();
+    let mut qmodels: Vec<((bool, [u64; 5]), BjtPolarity, BjtParams)> = Vec::new();
+    for dev in circuit.devices() {
+        match dev.kind() {
+            DeviceKind::Diode { params, .. } => {
+                let key = diode_model_key(params);
+                if !dmodels.iter().any(|(k, _)| *k == key) {
+                    dmodels.push((key, *params));
+                }
+            }
+            DeviceKind::Bjt { polarity, params, .. } => {
+                let key = bjt_model_key(*polarity, params);
+                if !qmodels.iter().any(|(k, _, _)| *k == key) {
+                    qmodels.push((key, *polarity, *params));
+                }
+            }
+            _ => {}
+        }
+    }
+    for (i, (_, p)) in dmodels.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            ".model castg_d{i} d (is={} n={} rs={} cjo={})",
+            num(p.is_sat),
+            num(p.n),
+            num(p.rs),
+            num(p.cj0),
+        );
+    }
+    for (i, (_, polarity, p)) in qmodels.iter().enumerate() {
+        let kind = match polarity {
+            BjtPolarity::Npn => "npn",
+            BjtPolarity::Pnp => "pnp",
+        };
+        let _ = writeln!(
+            out,
+            ".model castg_q{i} {kind} (is={} bf={} br={} cje={} cjc={})",
+            num(p.is_sat),
+            num(p.bf),
+            num(p.br),
+            num(p.cje),
+            num(p.cjc),
+        );
+    }
+
     let node_name = |id: castg_spice::NodeId| -> &str {
         if id.is_ground() {
             "0"
@@ -289,6 +352,70 @@ pub fn write_deck_with_title(
                     num(*gain)
                 );
             }
+            DeviceKind::Diode { a, k, params } => {
+                check_card_letter(name, 'd')?;
+                let key = diode_model_key(params);
+                let idx = dmodels
+                    .iter()
+                    .position(|(k2, _)| *k2 == key)
+                    .expect("model table covers every diode");
+                let _ = writeln!(
+                    out,
+                    "{name} {} {} castg_d{idx}",
+                    node_name(*a),
+                    node_name(*k)
+                );
+            }
+            DeviceKind::Bjt { c, b, e, polarity, params } => {
+                check_card_letter(name, 'q')?;
+                let key = bjt_model_key(*polarity, params);
+                let idx = qmodels
+                    .iter()
+                    .position(|(k2, _, _)| *k2 == key)
+                    .expect("model table covers every BJT");
+                let _ = writeln!(
+                    out,
+                    "{name} {} {} {} castg_q{idx}",
+                    node_name(*c),
+                    node_name(*b),
+                    node_name(*e)
+                );
+            }
+            DeviceKind::Vccs { pos, neg, cp, cn, gm } => {
+                check_card_letter(name, 'g')?;
+                let _ = writeln!(
+                    out,
+                    "{name} {} {} {} {} {}",
+                    node_name(*pos),
+                    node_name(*neg),
+                    node_name(*cp),
+                    node_name(*cn),
+                    num(*gm)
+                );
+            }
+            DeviceKind::Cccs { pos, neg, ctrl, gain } => {
+                check_card_letter(name, 'f')?;
+                // The controller is a device in this circuit, written by
+                // its own card in an earlier loop iteration (Circuit::add
+                // enforces definition order), so its name is checked there.
+                let _ = writeln!(
+                    out,
+                    "{name} {} {} {ctrl} {}",
+                    node_name(*pos),
+                    node_name(*neg),
+                    num(*gain)
+                );
+            }
+            DeviceKind::Ccvs { pos, neg, ctrl, ohms } => {
+                check_card_letter(name, 'h')?;
+                let _ = writeln!(
+                    out,
+                    "{name} {} {} {ctrl} {}",
+                    node_name(*pos),
+                    node_name(*neg),
+                    num(*ohms)
+                );
+            }
         }
     }
     out.push_str(".end\n");
@@ -361,6 +488,35 @@ mod tests {
         )
         .unwrap();
         c.add_vcvs("E1", d, Circuit::GROUND, a, b, -2.5).unwrap();
+        c.add_diode("D1", a, b, castg_spice::DiodeParams::signal_default()).unwrap();
+        c.add_diode(
+            "D2",
+            b,
+            Circuit::GROUND,
+            castg_spice::DiodeParams { rs: 0.0, ..castg_spice::DiodeParams::signal_default() },
+        )
+        .unwrap();
+        c.add_bjt(
+            "Q1",
+            d,
+            g,
+            Circuit::GROUND,
+            castg_spice::BjtPolarity::Npn,
+            castg_spice::BjtParams::signal_default(),
+        )
+        .unwrap();
+        c.add_bjt(
+            "Q2",
+            g,
+            d,
+            a,
+            castg_spice::BjtPolarity::Pnp,
+            castg_spice::BjtParams::signal_default(),
+        )
+        .unwrap();
+        c.add_vccs("G1", a, Circuit::GROUND, d, g, 1.25e-3).unwrap();
+        c.add_cccs("F1", b, Circuit::GROUND, "V1", 2.0).unwrap();
+        c.add_ccvs("H1", z, d, "L1", 47.5).unwrap();
         c
     }
 
@@ -400,8 +556,9 @@ mod tests {
         let c = kitchen_sink();
         let deck = write_deck(&c).unwrap();
         let model_lines = deck.lines().filter(|l| l.starts_with(".model")).count();
-        // One NMOS and one PMOS flavor.
-        assert_eq!(model_lines, 2);
+        // One NMOS, one PMOS, two diode flavors (rs differs), one NPN,
+        // one PNP — Q1/Q2 share params but not polarity.
+        assert_eq!(model_lines, 6);
     }
 
     #[test]

@@ -477,7 +477,23 @@ impl<'c> AcAnalysis<'c> {
                     stamp::stamp_conductance(cap, *gate, *s, params.cgs());
                     stamp::stamp_conductance(cap, *gate, *d, params.cgd());
                 }
-                _ => {}
+                DeviceKind::Diode { a, k, params } => {
+                    stamp::stamp_conductance(cap, *a, *k, params.cj0);
+                }
+                DeviceKind::Bjt { c, b, e, params, .. } => {
+                    stamp::stamp_conductance(cap, *b, *e, params.cje);
+                    stamp::stamp_conductance(cap, *b, *c, params.cjc);
+                }
+                // Reactance-free devices — listed exhaustively so the
+                // compiler forces every future device kind to decide
+                // its AC stamp here.
+                DeviceKind::Resistor { .. }
+                | DeviceKind::Vsource { .. }
+                | DeviceKind::Isource { .. }
+                | DeviceKind::Vcvs { .. }
+                | DeviceKind::Vccs { .. }
+                | DeviceKind::Cccs { .. }
+                | DeviceKind::Ccvs { .. } => {}
             }
             if dev.has_branch_current() {
                 branch += 1;

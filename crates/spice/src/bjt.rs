@@ -1,0 +1,210 @@
+//! Bipolar junction transistor: Ebers-Moll (transport form) for NPN and
+//! PNP, built on the same limited pn-junction primitive as the diode
+//! model ([`crate::diode::limited_junction`]), so both junctions stay
+//! finite under arbitrary Newton overshoot and the model remains a pure
+//! function of the terminal voltages.
+//!
+//! Transport-form equations (NPN frame, voltages in the device frame):
+//!
+//! ```text
+//! icc = Is·(exp(vbe/Vt) − 1)        forward transport current
+//! iec = Is·(exp(vbc/Vt) − 1)        reverse transport current
+//! ic  = icc − iec·(1 + 1/βr)        current into the collector
+//! ib  = icc/βf + iec/βr             current into the base
+//! ie  = −(ic + ib)                  current into the emitter
+//! ```
+//!
+//! PNP is handled by sign reflection exactly like `MosPolarity::Pmos`:
+//! evaluate the NPN frame at negated junction voltages and negate the
+//! resulting currents; the conductance partials carry over unchanged
+//! (d(−f(−v))/dv = f′(−v)).
+
+use crate::diode::{limited_junction, THERMAL_VOLTAGE};
+
+/// NPN vs PNP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BjtPolarity {
+    /// NPN: conducts with base pulled above the emitter.
+    Npn,
+    /// PNP: conducts with base pulled below the emitter.
+    Pnp,
+}
+
+/// Ebers-Moll parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BjtParams {
+    /// Transport saturation current `Is` in amperes (> 0).
+    pub is_sat: f64,
+    /// Forward current gain `βf` (> 0).
+    pub bf: f64,
+    /// Reverse current gain `βr` (> 0).
+    pub br: f64,
+    /// Base-emitter junction capacitance in farads (≥ 0).
+    pub cje: f64,
+    /// Base-collector junction capacitance in farads (≥ 0).
+    pub cjc: f64,
+}
+
+impl BjtParams {
+    /// Generic small-signal silicon transistor (2N3904-class).
+    pub fn signal_default() -> Self {
+        BjtParams { is_sat: 1e-15, bf: 100.0, br: 2.0, cje: 4e-12, cjc: 2e-12 }
+    }
+}
+
+/// Linearization of the BJT at a bias point: terminal currents into the
+/// collector and base (emitter implied by KCL) plus the four junction
+/// partials needed to build the 3×3 terminal conductance block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BjtOperatingPoint {
+    /// Current into the collector (A).
+    pub ic: f64,
+    /// Current into the base (A).
+    pub ib: f64,
+    /// ∂ic/∂vbe.
+    pub dic_dvbe: f64,
+    /// ∂ic/∂vbc.
+    pub dic_dvbc: f64,
+    /// ∂ib/∂vbe.
+    pub dib_dvbe: f64,
+    /// ∂ib/∂vbc.
+    pub dib_dvbc: f64,
+}
+
+/// Evaluates the transistor at terminal voltages `(vc, vb, ve)`.
+///
+/// The returned currents and partials are already reflected for PNP, so
+/// callers stamp identically for both polarities. Both junction
+/// exponentials go through [`limited_junction`], which continues them
+/// linearly past the critical voltage — see the diode module docs for
+/// why that (plus the plan's damped mask) is the junction-limiting
+/// strategy.
+pub fn evaluate(params: &BjtParams, polarity: BjtPolarity, vc: f64, vb: f64, ve: f64) -> BjtOperatingPoint {
+    let sign = match polarity {
+        BjtPolarity::Npn => 1.0,
+        BjtPolarity::Pnp => -1.0,
+    };
+    let vbe = sign * (vb - ve);
+    let vbc = sign * (vb - vc);
+    let (icc, gf) = limited_junction(params.is_sat, THERMAL_VOLTAGE, vbe);
+    let (iec, gr) = limited_junction(params.is_sat, THERMAL_VOLTAGE, vbc);
+    let ic = icc - iec * (1.0 + 1.0 / params.br);
+    let ib = icc / params.bf + iec / params.br;
+    BjtOperatingPoint {
+        ic: sign * ic,
+        ib: sign * ib,
+        dic_dvbe: gf,
+        dic_dvbc: -gr * (1.0 + 1.0 / params.br),
+        dib_dvbe: gf / params.bf,
+        dib_dvbc: gr / params.br,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bjt() -> BjtParams {
+        BjtParams::signal_default()
+    }
+
+    #[test]
+    fn forward_active_npn_has_beta_current_gain() {
+        let p = bjt();
+        // vbe = 0.65 V, vbc = −4 V: firmly forward-active.
+        let op = evaluate(&p, BjtPolarity::Npn, 5.0, 0.65, 0.0);
+        assert!(op.ic > 0.0 && op.ib > 0.0);
+        let beta = op.ic / op.ib;
+        assert!((beta - p.bf).abs() / p.bf < 0.01, "beta = {beta}");
+    }
+
+    #[test]
+    fn cutoff_leaks_only_saturation_scale_currents() {
+        let p = bjt();
+        let op = evaluate(&p, BjtPolarity::Npn, 5.0, 0.0, 0.0);
+        assert!(op.ic.abs() < 1e-12 && op.ib.abs() < 1e-12);
+    }
+
+    #[test]
+    fn pnp_mirrors_npn_by_sign_reflection() {
+        let p = bjt();
+        let npn = evaluate(&p, BjtPolarity::Npn, 5.0, 0.65, 0.0);
+        let pnp = evaluate(&p, BjtPolarity::Pnp, -5.0, -0.65, 0.0);
+        assert_eq!(npn.ic.to_bits(), (-pnp.ic).to_bits());
+        assert_eq!(npn.ib.to_bits(), (-pnp.ib).to_bits());
+        assert_eq!(npn.dic_dvbe.to_bits(), pnp.dic_dvbe.to_bits());
+        assert_eq!(npn.dib_dvbc.to_bits(), pnp.dib_dvbc.to_bits());
+    }
+
+    #[test]
+    fn kcl_holds_at_every_bias() {
+        let p = bjt();
+        for &(vc, vb, ve) in &[(5.0, 0.65, 0.0), (0.2, 0.7, 0.0), (0.0, 0.0, 0.0), (-1.0, 0.5, 0.3)] {
+            let op = evaluate(&p, BjtPolarity::Npn, vc, vb, ve);
+            let ie = -(op.ic + op.ib);
+            assert!((op.ic + op.ib + ie).abs() == 0.0, "KCL at ({vc},{vb},{ve})");
+        }
+    }
+
+    #[test]
+    fn limiting_keeps_saturated_overshoot_finite() {
+        let p = bjt();
+        for polarity in [BjtPolarity::Npn, BjtPolarity::Pnp] {
+            let op = evaluate(&p, polarity, -30.0, 40.0, -40.0);
+            assert!(op.ic.is_finite() && op.ib.is_finite(), "{polarity:?}");
+            assert!(op.dic_dvbe.is_finite() && op.dib_dvbc.is_finite());
+        }
+    }
+
+    /// Central-difference check of all four partials across cutoff,
+    /// forward-active, saturation, and reverse-active biases, both
+    /// polarities.
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let p = bjt();
+        let h = 1e-7;
+        let biases = [
+            (5.0, 0.0, 0.0),   // cutoff
+            (5.0, 0.65, 0.0),  // forward active
+            (0.1, 0.7, 0.0),   // saturation
+            (0.0, 0.6, 5.0),   // reverse active
+            (2.0, 2.5, 1.8),   // shifted common-mode
+        ];
+        for polarity in [BjtPolarity::Npn, BjtPolarity::Pnp] {
+            let s = match polarity {
+                BjtPolarity::Npn => 1.0,
+                BjtPolarity::Pnp => -1.0,
+            };
+            for &(vc, vb, ve) in &biases {
+                let (vc, vb, ve) = (s * vc, s * vb, s * ve);
+                let op = evaluate(&p, polarity, vc, vb, ve);
+                // Perturbing vb moves vbe and vbc together; perturbing
+                // ve (vc) isolates −∂/∂vbe (−∂/∂vbc).
+                let fd_ic_vbe = -(evaluate(&p, polarity, vc, vb, ve + h).ic
+                    - evaluate(&p, polarity, vc, vb, ve - h).ic)
+                    / (2.0 * h);
+                let fd_ic_vbc = -(evaluate(&p, polarity, vc + h, vb, ve).ic
+                    - evaluate(&p, polarity, vc - h, vb, ve).ic)
+                    / (2.0 * h);
+                let fd_ib_vbe = -(evaluate(&p, polarity, vc, vb, ve + h).ib
+                    - evaluate(&p, polarity, vc, vb, ve - h).ib)
+                    / (2.0 * h);
+                let fd_ib_vbc = -(evaluate(&p, polarity, vc + h, vb, ve).ib
+                    - evaluate(&p, polarity, vc - h, vb, ve).ib)
+                    / (2.0 * h);
+                for (name, got, fd) in [
+                    ("dic_dvbe", op.dic_dvbe, fd_ic_vbe),
+                    ("dic_dvbc", op.dic_dvbc, fd_ic_vbc),
+                    ("dib_dvbe", op.dib_dvbe, fd_ib_vbe),
+                    ("dib_dvbc", op.dib_dvbc, fd_ib_vbc),
+                ] {
+                    let scale = got.abs().max(1e-12);
+                    assert!(
+                        (got - fd).abs() < 1e-4 * scale + 1e-12,
+                        "{name} mismatch for {polarity:?} at ({vc},{vb},{ve}): {got} vs fd {fd}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,6 +1,8 @@
 use std::collections::HashMap;
 
+use crate::bjt::{BjtParams, BjtPolarity};
 use crate::device::{Device, DeviceKind};
+use crate::diode::DiodeParams;
 use crate::mos::{MosParams, MosPolarity};
 use crate::node::NodeId;
 use crate::stimulus::Waveform;
@@ -210,6 +212,32 @@ impl Circuit {
                 });
             }
         }
+        // Current-controlled sources sense the branch current of an
+        // earlier device, so the controller must already be present and
+        // voltage-defined. Validating here (rather than at plan build,
+        // which is infallible) also guarantees F/H never dangle.
+        if let Some(ctrl) = device.controlling_device() {
+            match self.device(ctrl) {
+                Some(d) if d.has_branch_current() => {}
+                Some(_) => {
+                    return Err(SpiceError::InvalidValue {
+                        device: device.name().to_string(),
+                        reason: format!(
+                            "controlling device {ctrl} carries no branch current \
+                             (must be a V/E/H source or an inductor)"
+                        ),
+                    });
+                }
+                None => {
+                    return Err(SpiceError::InvalidValue {
+                        device: device.name().to_string(),
+                        reason: format!(
+                            "controlling device {ctrl} not found (it must be added first)"
+                        ),
+                    });
+                }
+            }
+        }
         // All nodes of the device exist (just validated), so a compiled
         // plan can absorb it as a patch.
         self.patch_plan(|plan| plan.patched_with_device(&device));
@@ -224,6 +252,17 @@ impl Circuit {
     ///
     /// [`SpiceError::UnknownDevice`] if no such device exists.
     pub fn remove(&mut self, name: &str) -> Result<Device, SpiceError> {
+        if let Some(dependent) =
+            self.devices.iter().find(|d| d.controlling_device() == Some(name))
+        {
+            return Err(SpiceError::InvalidValue {
+                device: name.to_string(),
+                reason: format!(
+                    "cannot remove: {} senses this device's branch current",
+                    dependent.name()
+                ),
+            });
+        }
         self.invalidate_plan();
         let idx = self
             .device_index
@@ -381,6 +420,152 @@ impl Circuit {
         self.add(Device::new(name, DeviceKind::Vcvs { pos, neg, cp, cn, gain }))
     }
 
+    /// Adds a junction diode from anode `a` to cathode `k`.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::InvalidValue`] on a non-positive `Is`/`n`, a
+    /// negative `rs`/`cj0`, or any non-finite parameter, plus the
+    /// errors of [`Circuit::add`].
+    pub fn add_diode(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        k: NodeId,
+        params: DiodeParams,
+    ) -> Result<(), SpiceError> {
+        if !(params.is_sat.is_finite() && params.is_sat > 0.0)
+            || !(params.n.is_finite() && params.n > 0.0)
+            || !(params.rs.is_finite() && params.rs >= 0.0)
+            || !(params.cj0.is_finite() && params.cj0 >= 0.0)
+        {
+            return Err(SpiceError::InvalidValue {
+                device: name.to_string(),
+                reason: format!(
+                    "diode needs is>0, n>0, rs>=0, cj0>=0 (finite), got is={} n={} rs={} cj0={}",
+                    params.is_sat, params.n, params.rs, params.cj0
+                ),
+            });
+        }
+        self.add(Device::new(name, DeviceKind::Diode { a, k, params }))
+    }
+
+    /// Adds a bipolar junction transistor (collector, base, emitter).
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::InvalidValue`] on a non-positive `Is`/`βf`/`βr`, a
+    /// negative junction capacitance, or any non-finite parameter, plus
+    /// the errors of [`Circuit::add`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_bjt(
+        &mut self,
+        name: &str,
+        c: NodeId,
+        b: NodeId,
+        e: NodeId,
+        polarity: BjtPolarity,
+        params: BjtParams,
+    ) -> Result<(), SpiceError> {
+        if !(params.is_sat.is_finite() && params.is_sat > 0.0)
+            || !(params.bf.is_finite() && params.bf > 0.0)
+            || !(params.br.is_finite() && params.br > 0.0)
+            || !(params.cje.is_finite() && params.cje >= 0.0)
+            || !(params.cjc.is_finite() && params.cjc >= 0.0)
+        {
+            return Err(SpiceError::InvalidValue {
+                device: name.to_string(),
+                reason: format!(
+                    "bjt needs is>0, bf>0, br>0, cje>=0, cjc>=0 (finite), \
+                     got is={} bf={} br={} cje={} cjc={}",
+                    params.is_sat, params.bf, params.br, params.cje, params.cjc
+                ),
+            });
+        }
+        self.add(Device::new(name, DeviceKind::Bjt { c, b, e, polarity, params }))
+    }
+
+    /// Adds a voltage-controlled current source (`gm` finite).
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::InvalidValue`] on a non-finite transconductance,
+    /// plus the errors of [`Circuit::add`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_vccs(
+        &mut self,
+        name: &str,
+        pos: NodeId,
+        neg: NodeId,
+        cp: NodeId,
+        cn: NodeId,
+        gm: f64,
+    ) -> Result<(), SpiceError> {
+        if !gm.is_finite() {
+            return Err(SpiceError::InvalidValue {
+                device: name.to_string(),
+                reason: format!("transconductance must be finite, got {gm}"),
+            });
+        }
+        self.add(Device::new(name, DeviceKind::Vccs { pos, neg, cp, cn, gm }))
+    }
+
+    /// Adds a current-controlled current source sensing the branch
+    /// current of the already-added device `ctrl`.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::InvalidValue`] on a non-finite gain or a missing /
+    /// non-branch controlling device, plus the errors of
+    /// [`Circuit::add`].
+    pub fn add_cccs(
+        &mut self,
+        name: &str,
+        pos: NodeId,
+        neg: NodeId,
+        ctrl: &str,
+        gain: f64,
+    ) -> Result<(), SpiceError> {
+        if !gain.is_finite() {
+            return Err(SpiceError::InvalidValue {
+                device: name.to_string(),
+                reason: format!("current gain must be finite, got {gain}"),
+            });
+        }
+        self.add(Device::new(
+            name,
+            DeviceKind::Cccs { pos, neg, ctrl: std::sync::Arc::from(ctrl), gain },
+        ))
+    }
+
+    /// Adds a current-controlled voltage source sensing the branch
+    /// current of the already-added device `ctrl`.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::InvalidValue`] on a non-finite transresistance or a
+    /// missing / non-branch controlling device, plus the errors of
+    /// [`Circuit::add`].
+    pub fn add_ccvs(
+        &mut self,
+        name: &str,
+        pos: NodeId,
+        neg: NodeId,
+        ctrl: &str,
+        ohms: f64,
+    ) -> Result<(), SpiceError> {
+        if !ohms.is_finite() {
+            return Err(SpiceError::InvalidValue {
+                device: name.to_string(),
+                reason: format!("transresistance must be finite, got {ohms}"),
+            });
+        }
+        self.add(Device::new(
+            name,
+            DeviceKind::Ccvs { pos, neg, ctrl: std::sync::Arc::from(ctrl), ohms },
+        ))
+    }
+
     /// Replaces the waveform of a named independent source; used by test
     /// configurations to attach their stimulus to the macro's input node.
     ///
@@ -445,6 +630,27 @@ impl Circuit {
         self.devices
             .iter()
             .filter(|d| matches!(d.kind(), DeviceKind::Mosfet { .. }))
+            .map(|d| d.name().to_string())
+            .collect()
+    }
+
+    /// Names of all diode devices (in insertion order); each contributes
+    /// one junction-pinhole fault site (anode–cathode short).
+    pub fn diode_names(&self) -> Vec<String> {
+        self.devices
+            .iter()
+            .filter(|d| matches!(d.kind(), DeviceKind::Diode { .. }))
+            .map(|d| d.name().to_string())
+            .collect()
+    }
+
+    /// Names of all BJT devices (in insertion order); each contributes
+    /// two junction-pinhole fault sites (base–emitter and base–collector
+    /// shorts).
+    pub fn bjt_names(&self) -> Vec<String> {
+        self.devices
+            .iter()
+            .filter(|d| matches!(d.kind(), DeviceKind::Bjt { .. }))
             .map(|d| d.name().to_string())
             .collect()
     }

@@ -1,3 +1,5 @@
+use crate::bjt::{BjtParams, BjtPolarity};
+use crate::diode::DiodeParams;
 use crate::mos::{MosParams, MosPolarity};
 use crate::node::NodeId;
 use crate::stimulus::Waveform;
@@ -82,6 +84,72 @@ pub enum DeviceKind {
         /// Voltage gain.
         gain: f64,
     },
+    /// Junction diode from anode `a` to cathode `k` (Shockley with
+    /// series resistance and pn-junction limiting; see
+    /// [`crate::diode`]).
+    Diode {
+        /// Anode terminal.
+        a: NodeId,
+        /// Cathode terminal.
+        k: NodeId,
+        /// Model parameters.
+        params: DiodeParams,
+    },
+    /// Bipolar junction transistor (Ebers-Moll; see [`crate::bjt`]).
+    Bjt {
+        /// Collector terminal.
+        c: NodeId,
+        /// Base terminal.
+        b: NodeId,
+        /// Emitter terminal.
+        e: NodeId,
+        /// NPN or PNP.
+        polarity: BjtPolarity,
+        /// Model parameters.
+        params: BjtParams,
+    },
+    /// Voltage-controlled current source: current
+    /// `gm · (v(cp) − v(cn))` flows from `pos` through the source into
+    /// `neg` (out of the `pos` node, into the `neg` node).
+    Vccs {
+        /// Terminal the controlled current leaves the circuit from.
+        pos: NodeId,
+        /// Terminal the controlled current returns into.
+        neg: NodeId,
+        /// Positive controlling terminal.
+        cp: NodeId,
+        /// Negative controlling terminal.
+        cn: NodeId,
+        /// Transconductance in siemens.
+        gm: f64,
+    },
+    /// Current-controlled current source: current
+    /// `gain · i(ctrl)` flows from `pos` through the source into `neg`,
+    /// where `ctrl` names an already-added device that carries an MNA
+    /// branch current (V/E/H/L).
+    Cccs {
+        /// Terminal the controlled current leaves the circuit from.
+        pos: NodeId,
+        /// Terminal the controlled current returns into.
+        neg: NodeId,
+        /// Name of the controlling branch-current device.
+        ctrl: std::sync::Arc<str>,
+        /// Current gain.
+        gain: f64,
+    },
+    /// Current-controlled voltage source:
+    /// `v(pos) − v(neg) = ohms · i(ctrl)` (adds one MNA branch-current
+    /// unknown); `ctrl` names an already-added branch-current device.
+    Ccvs {
+        /// Positive output terminal.
+        pos: NodeId,
+        /// Negative output terminal.
+        neg: NodeId,
+        /// Name of the controlling branch-current device.
+        ctrl: std::sync::Arc<str>,
+        /// Transresistance in ohms.
+        ohms: f64,
+    },
 }
 
 /// A named circuit element.
@@ -138,6 +206,11 @@ impl Device {
             DeviceKind::Isource { from, to, .. } => vec![*from, *to],
             DeviceKind::Mosfet { d, g, s, b, .. } => vec![*d, *g, *s, *b],
             DeviceKind::Vcvs { pos, neg, cp, cn, .. } => vec![*pos, *neg, *cp, *cn],
+            DeviceKind::Diode { a, k, .. } => vec![*a, *k],
+            DeviceKind::Bjt { c, b, e, .. } => vec![*c, *b, *e],
+            DeviceKind::Vccs { pos, neg, cp, cn, .. } => vec![*pos, *neg, *cp, *cn],
+            DeviceKind::Cccs { pos, neg, .. } => vec![*pos, *neg],
+            DeviceKind::Ccvs { pos, neg, .. } => vec![*pos, *neg],
         }
     }
 
@@ -145,8 +218,20 @@ impl Device {
     pub fn has_branch_current(&self) -> bool {
         matches!(
             self.kind,
-            DeviceKind::Vsource { .. } | DeviceKind::Vcvs { .. } | DeviceKind::Inductor { .. }
+            DeviceKind::Vsource { .. }
+                | DeviceKind::Vcvs { .. }
+                | DeviceKind::Inductor { .. }
+                | DeviceKind::Ccvs { .. }
         )
+    }
+
+    /// The name of the branch-current device controlling this source,
+    /// if it is current-controlled (F/H).
+    pub fn controlling_device(&self) -> Option<&str> {
+        match &self.kind {
+            DeviceKind::Cccs { ctrl, .. } | DeviceKind::Ccvs { ctrl, .. } => Some(ctrl),
+            _ => None,
+        }
     }
 }
 

@@ -5,10 +5,23 @@
 //!
 //! * [`Circuit`] — a named-node netlist of [`Device`]s (resistors,
 //!   capacitors, inductors, independent voltage/current sources, Level-1
-//!   MOSFETs and voltage-controlled voltage sources; inductors are DC
-//!   shorts carrying a branch-current unknown, integrated by the same
-//!   companion-model machinery as capacitors and stamped as `−jωL` on
-//!   their branch row in AC),
+//!   MOSFETs, Shockley diodes with series resistance, Ebers–Moll BJTs,
+//!   and all four linear controlled sources — VCVS `E`, VCCS `G`, CCCS
+//!   `F`, CCVS `H`; inductors are DC shorts carrying a branch-current
+//!   unknown, integrated by the same companion-model machinery as
+//!   capacitors and stamped as `−jωL` on their branch row in AC, and the
+//!   current-sensing `F`/`H` sources read any branch-current-carrying
+//!   controller's row the same way),
+//!
+//!   Every pn junction — the diode's and both BJT junctions — evaluates
+//!   through the same stateless critical-voltage limiting: exact
+//!   Shockley below the junction's critical voltage, a linearized
+//!   continuation above it, C¹ at the seam. Limiting is a pure
+//!   function of the terminal voltages (no
+//!   per-iteration memory), so solutions stay bit-reproducible across
+//!   delta-patched plans, thread counts and solver paths, and cold
+//!   starts stay on the plain/damped rungs of the ladder instead of
+//!   overflowing the exponential,
 //! * [`Waveform`] — stimulus descriptions (DC, sine, step, pulse, PWL)
 //!   matching the test-configuration stimuli of the paper's Table 1,
 //! * [`DcAnalysis`] — Newton–Raphson operating-point solve behind a
@@ -223,10 +236,12 @@
 
 mod ac;
 mod analysis;
+mod bjt;
 mod budget;
 mod circuit;
 mod dc;
 mod device;
+mod diode;
 mod error;
 mod mos;
 mod node;
@@ -239,10 +254,12 @@ mod transient;
 
 pub use ac::{AcAnalysis, AcSource, AcSweep};
 pub use analysis::AnalysisOptions;
+pub use bjt::{BjtOperatingPoint, BjtParams, BjtPolarity};
 pub use budget::with_solve_budget;
 pub use circuit::Circuit;
 pub use dc::{ConvergenceReport, DcAnalysis, DcSolution, NewtonStrategy, RungStat};
 pub use device::{Device, DeviceKind};
+pub use diode::{DiodeOperatingPoint, DiodeParams, THERMAL_VOLTAGE};
 pub use error::SpiceError;
 pub use mos::{MosOperatingPoint, MosParams, MosPolarity, MosRegion};
 pub use node::NodeId;

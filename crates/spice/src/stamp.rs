@@ -2,9 +2,10 @@
 //!
 //! Unknown ordering: the `N − 1` non-ground node voltages first (node id
 //! `n` lives at index `n − 1`), followed by one branch current per
-//! voltage-defined device (voltage sources and VCVS), in device insertion
-//! order. KCL rows are written as "sum of currents *leaving* the node
-//! equals zero" with constant terms moved to the right-hand side.
+//! voltage-defined device (voltage sources, VCVS, CCVS and inductors),
+//! in device insertion order. KCL rows are written as "sum of currents
+//! *leaving* the node equals zero" with constant terms moved to the
+//! right-hand side.
 //!
 //! Assembly is two-phase: [`StampPlan::build`] walks the device list
 //! *once* per circuit, resolving every node to its matrix slot and
@@ -17,12 +18,15 @@
 //! accumulation order (and therefore the result, bit for bit) matches a
 //! direct device-by-device assembly.
 
+use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
 use castg_numeric::{Matrix, SparseLu, SparseMatrix, SparseSymbolic, StampTarget};
 
+use crate::bjt::{self, BjtParams, BjtPolarity};
 use crate::circuit::Circuit;
 use crate::device::{Device, DeviceKind};
+use crate::diode::{self, DiodeParams};
 use crate::solver::OrderingKind;
 use crate::mos::{self, MosParams, MosPolarity};
 use crate::node::NodeId;
@@ -103,6 +107,12 @@ enum PlanOp {
     /// Level-1 MOSFET, linearized around the candidate solution at
     /// replay time; `site` indexes the plan's [`MosSite`] table.
     Mos { site: usize },
+    /// Junction diode, linearized around the candidate solution at
+    /// replay time; `site` indexes the plan's [`DiodeSite`] table.
+    Diode { site: usize },
+    /// Bipolar transistor, linearized around the candidate solution at
+    /// replay time; `site` indexes the plan's [`BjtSite`] table.
+    Bjt { site: usize },
 }
 
 /// Resolved terminals and model of one MOSFET linearization site.
@@ -116,6 +126,81 @@ struct MosSite {
     params: MosParams,
 }
 
+/// Resolved terminals and model of one diode linearization site.
+#[derive(Debug, Clone)]
+struct DiodeSite {
+    a: Option<usize>,
+    k: Option<usize>,
+    params: DiodeParams,
+}
+
+/// Resolved terminals and model of one BJT linearization site.
+#[derive(Debug, Clone)]
+struct BjtSite {
+    c: Option<usize>,
+    b: Option<usize>,
+    e: Option<usize>,
+    polarity: BjtPolarity,
+    params: BjtParams,
+}
+
+// Each nonlinear device kind *declares* its limited unknowns (all of
+// its terminal slots — these get the ladder's damped-update clamp) and
+// the KCL rows its linearization writes; `StampPlan::finalize` consumes
+// the declarations device-agnostically. Before this existed, the
+// damping mask was populated from MOSFET sites only, and any other
+// nonlinear device would have run unclamped through every ladder rung.
+impl MosSite {
+    fn terminals(&self) -> [Option<usize>; 4] {
+        [self.d, self.g, self.s, self.b]
+    }
+    fn written_rows(&self) -> [Option<usize>; 2] {
+        // The channel linearization writes the drain and source KCL
+        // rows only (the gate and bulk draw no DC current).
+        [self.d, self.s]
+    }
+}
+
+impl DiodeSite {
+    fn terminals(&self) -> [Option<usize>; 2] {
+        [self.a, self.k]
+    }
+    fn written_rows(&self) -> [Option<usize>; 2] {
+        [self.a, self.k]
+    }
+}
+
+impl BjtSite {
+    fn terminals(&self) -> [Option<usize>; 3] {
+        [self.c, self.b, self.e]
+    }
+    fn written_rows(&self) -> [Option<usize>; 3] {
+        [self.c, self.b, self.e]
+    }
+}
+
+/// Registers one nonlinear linearization site with the plan being
+/// finalized: the plan stops being linear, every terminal unknown joins
+/// the damped mask, and every (written row × terminal column) slot
+/// joins the static sparsity pattern.
+fn register_nonlinear_site(
+    damped: &mut [bool],
+    linear: &mut bool,
+    static_slots: &mut Vec<(usize, usize)>,
+    written_rows: &[Option<usize>],
+    terminals: &[Option<usize>],
+) {
+    *linear = false;
+    for slot in terminals.iter().flatten() {
+        damped[*slot] = true;
+    }
+    for row in written_rows.iter().flatten() {
+        for col in terminals.iter().flatten() {
+            static_slots.push((*row, *col));
+        }
+    }
+}
+
 /// Accumulates the per-device assembly ops during plan construction.
 /// Shared by the full compile ([`StampPlan::build`]) and the
 /// incremental patch ([`StampPlan::patched_with_device`]), so a patched
@@ -124,9 +209,17 @@ struct PlanBuilder {
     ops: Vec<PlanOp>,
     waves: Vec<Waveform>,
     mos_sites: Vec<MosSite>,
+    diode_sites: Vec<DiodeSite>,
+    bjt_sites: Vec<BjtSite>,
     dynamic_slots: Vec<(usize, usize)>,
     /// Next branch-current row/column.
     branch: usize,
+    /// Branch row of every voltage-defined device emitted so far, by
+    /// name: current-controlled sources (F/H) resolve their sensing
+    /// column here. `Circuit::add` guarantees the controller precedes
+    /// its F/H card in device order, so the row is always present by
+    /// the time it is looked up.
+    branch_rows: HashMap<Arc<str>, usize>,
 }
 
 impl PlanBuilder {
@@ -185,6 +278,7 @@ impl PlanBuilder {
                 // branch diagonal, which is therefore a dynamic slot.
                 let br = self.branch;
                 self.branch += 1;
+                self.branch_rows.insert(dev.name_arc(), br);
                 if let Some(i) = idx(*a) {
                     mat(ops, i, br, 1.0);
                     mat(ops, br, i, 1.0);
@@ -206,6 +300,7 @@ impl PlanBuilder {
             DeviceKind::Vsource { pos, neg, wave } => {
                 let br = self.branch;
                 self.branch += 1;
+                self.branch_rows.insert(dev.name_arc(), br);
                 if let Some(p) = idx(*pos) {
                     mat(ops, p, br, 1.0);
                     mat(ops, br, p, 1.0);
@@ -220,6 +315,7 @@ impl PlanBuilder {
             DeviceKind::Vcvs { pos, neg, cp, cn, gain } => {
                 let br = self.branch;
                 self.branch += 1;
+                self.branch_rows.insert(dev.name_arc(), br);
                 if let Some(p) = idx(*pos) {
                     mat(ops, p, br, 1.0);
                     mat(ops, br, p, 1.0);
@@ -250,6 +346,80 @@ impl PlanBuilder {
                 });
                 ops.push(PlanOp::Mos { site: self.mos_sites.len() - 1 });
             }
+            DeviceKind::Diode { a, k, params } => {
+                // The junction capacitance is stamped by the transient
+                // and AC engines over the anode/cathode slots.
+                conductance_slots(&mut self.dynamic_slots, idx(*a), idx(*k));
+                self.diode_sites.push(DiodeSite { a: idx(*a), k: idx(*k), params: *params });
+                ops.push(PlanOp::Diode { site: self.diode_sites.len() - 1 });
+            }
+            DeviceKind::Bjt { c, b, e, polarity, params } => {
+                // Base-emitter and base-collector junction capacitances
+                // are stamped by the transient and AC engines.
+                conductance_slots(&mut self.dynamic_slots, idx(*b), idx(*e));
+                conductance_slots(&mut self.dynamic_slots, idx(*b), idx(*c));
+                self.bjt_sites.push(BjtSite {
+                    c: idx(*c),
+                    b: idx(*b),
+                    e: idx(*e),
+                    polarity: *polarity,
+                    params: *params,
+                });
+                ops.push(PlanOp::Bjt { site: self.bjt_sites.len() - 1 });
+            }
+            DeviceKind::Vccs { pos, neg, cp, cn, gm } => {
+                // Current gm·(v(cp) − v(cn)) leaves `pos` and enters
+                // `neg`: the four-entry transconductance pattern.
+                if let Some(p) = idx(*pos) {
+                    if let Some(c) = idx(*cp) {
+                        mat(ops, p, c, *gm);
+                    }
+                    if let Some(c) = idx(*cn) {
+                        mat(ops, p, c, -*gm);
+                    }
+                }
+                if let Some(ng) = idx(*neg) {
+                    if let Some(c) = idx(*cp) {
+                        mat(ops, ng, c, -*gm);
+                    }
+                    if let Some(c) = idx(*cn) {
+                        mat(ops, ng, c, *gm);
+                    }
+                }
+            }
+            DeviceKind::Cccs { pos, neg, ctrl, gain } => {
+                // Current gain·i(ctrl) leaves `pos` and enters `neg`:
+                // ±gain in the controller's branch column.
+                let ctrl_col = *self
+                    .branch_rows
+                    .get(ctrl.as_ref())
+                    .expect("Circuit::add validates the controlling device of a CCCS");
+                if let Some(p) = idx(*pos) {
+                    mat(ops, p, ctrl_col, *gain);
+                }
+                if let Some(ng) = idx(*neg) {
+                    mat(ops, ng, ctrl_col, -*gain);
+                }
+            }
+            DeviceKind::Ccvs { pos, neg, ctrl, ohms } => {
+                // Branch equation v(pos) − v(neg) − ohms·i(ctrl) = 0.
+                let ctrl_col = *self
+                    .branch_rows
+                    .get(ctrl.as_ref())
+                    .expect("Circuit::add validates the controlling device of a CCVS");
+                let br = self.branch;
+                self.branch += 1;
+                self.branch_rows.insert(dev.name_arc(), br);
+                if let Some(p) = idx(*pos) {
+                    mat(ops, p, br, 1.0);
+                    mat(ops, br, p, 1.0);
+                }
+                if let Some(ng) = idx(*neg) {
+                    mat(ops, ng, br, -1.0);
+                    mat(ops, br, ng, -1.0);
+                }
+                mat(ops, br, ctrl_col, -*ohms);
+            }
         }
     }
 }
@@ -276,6 +446,12 @@ pub(crate) struct StampPlan {
     n_nodes: usize,
     ops: Vec<PlanOp>,
     mos_sites: Vec<MosSite>,
+    diode_sites: Vec<DiodeSite>,
+    bjt_sites: Vec<BjtSite>,
+    /// Branch row by device name (see [`PlanBuilder::branch_rows`]);
+    /// carried on the plan so a device patch can resolve the sensing
+    /// column of a patched-in current-controlled source.
+    branch_rows: HashMap<Arc<str>, usize>,
     /// The rhs-writing subset of `ops` (`Current`/`SourceRow`), in op
     /// order: [`assemble_rhs_only`](StampPlan::assemble_rhs_only) walks
     /// this instead of scanning every matrix op — a transient step of a
@@ -284,18 +460,19 @@ pub(crate) struct StampPlan {
     rhs_ops: Vec<PlanOp>,
     waves: Vec<Waveform>,
     /// `damped[i]` is true when unknown `i` is a terminal of a nonlinear
-    /// device: only those update components need Newton damping. Linear
-    /// nodes (and branch currents) take the full, exact Newton step —
-    /// clamping them would just make a supply node crawl to its source
-    /// voltage half a volt per iteration.
+    /// device (MOSFET, diode, BJT — each site declares its terminals,
+    /// see [`register_nonlinear_site`]): only those update components
+    /// need Newton damping. Linear nodes (and branch currents) take the
+    /// full, exact Newton step — clamping them would just make a supply
+    /// node crawl to its source voltage half a volt per iteration.
     damped: Vec<bool>,
-    /// Whether the plan has no nonlinear (MOSFET) linearization sites:
-    /// the assembled matrix is then independent of the candidate
-    /// solution, which the Newton loops exploit to skip
+    /// Whether the plan has no nonlinear (MOSFET/diode/BJT)
+    /// linearization sites: the assembled matrix is then independent of
+    /// the candidate solution, which the Newton loops exploit to skip
     /// refactorizations (Shamanskii-style, exact for linear plans).
     linear: bool,
     /// Every matrix slot the static (DC/Jacobian) assembly can touch:
-    /// gmin diagonal, constant stamps, MOS linearization sites.
+    /// gmin diagonal, constant stamps, nonlinear linearization sites.
     static_slots: Vec<(usize, usize)>,
     /// Slots touched only by capacitive stamps: transient companion
     /// conductances and the AC `C` matrix (explicit capacitors plus MOS
@@ -393,8 +570,11 @@ impl StampPlan {
             ops: Vec::new(),
             waves: Vec::new(),
             mos_sites: Vec::new(),
+            diode_sites: Vec::new(),
+            bjt_sites: Vec::new(),
             dynamic_slots: Vec::new(),
             branch: n_nodes,
+            branch_rows: HashMap::new(),
         };
         for dev in circuit.devices() {
             builder.emit(dev);
@@ -405,25 +585,42 @@ impl StampPlan {
     /// Completes a plan from emitted ops: derives the damping mask and
     /// the static slot list (both functions of the op list alone).
     fn finalize(builder: PlanBuilder, n: usize, n_nodes: usize) -> Self {
-        let PlanBuilder { ops, waves, mos_sites, dynamic_slots, .. } = builder;
+        let PlanBuilder { ops, waves, mos_sites, diode_sites, bjt_sites, dynamic_slots, branch_rows, .. } =
+            builder;
         let mut damped = vec![false; n];
         let mut linear = true;
         let mut static_slots: Vec<(usize, usize)> = (0..n_nodes).map(|i| (i, i)).collect();
         for op in &ops {
             match op {
                 PlanOp::Mos { site } => {
-                    let MosSite { d, g, s, b, .. } = &mos_sites[*site];
-                    linear = false;
-                    for slot in [d, g, s, b].into_iter().flatten() {
-                        damped[*slot] = true;
-                    }
-                    // The linearization writes the drain and source KCL
-                    // rows at every terminal column present.
-                    for row in [d, s].into_iter().flatten() {
-                        for col in [d, g, s, b].into_iter().flatten() {
-                            static_slots.push((*row, *col));
-                        }
-                    }
+                    let s = &mos_sites[*site];
+                    register_nonlinear_site(
+                        &mut damped,
+                        &mut linear,
+                        &mut static_slots,
+                        &s.written_rows(),
+                        &s.terminals(),
+                    );
+                }
+                PlanOp::Diode { site } => {
+                    let s = &diode_sites[*site];
+                    register_nonlinear_site(
+                        &mut damped,
+                        &mut linear,
+                        &mut static_slots,
+                        &s.written_rows(),
+                        &s.terminals(),
+                    );
+                }
+                PlanOp::Bjt { site } => {
+                    let s = &bjt_sites[*site];
+                    register_nonlinear_site(
+                        &mut damped,
+                        &mut linear,
+                        &mut static_slots,
+                        &s.written_rows(),
+                        &s.terminals(),
+                    );
                 }
                 PlanOp::Mat { row, col, .. } => static_slots.push((*row, *col)),
                 PlanOp::Current { .. } | PlanOp::SourceRow { .. } => {}
@@ -439,6 +636,9 @@ impl StampPlan {
             n_nodes,
             ops,
             mos_sites,
+            diode_sites,
+            bjt_sites,
+            branch_rows,
             rhs_ops,
             waves,
             damped,
@@ -498,10 +698,13 @@ impl StampPlan {
             ops: self.ops.clone(),
             waves: self.waves.clone(),
             mos_sites: self.mos_sites.clone(),
+            diode_sites: self.diode_sites.clone(),
+            bjt_sites: self.bjt_sites.clone(),
             dynamic_slots: self.dynamic_slots.clone(),
             // Branch rows already assigned occupy n_nodes..n; the next
             // one goes at n.
             branch: self.n,
+            branch_rows: self.branch_rows.clone(),
         };
         builder.emit(dev);
         let n = if dev.has_branch_current() { self.n + 1 } else { self.n };
@@ -830,6 +1033,56 @@ impl StampPlan {
                             index.push(slot(si, si));
                         }
                     }
+                    PlanOp::Diode { site } => {
+                        let DiodeSite { a, k, .. } = &self.diode_sites[*site];
+                        // Exactly the conditional add order of the
+                        // `Diode` arm of `assemble_into`.
+                        if let Some(ai) = *a {
+                            index.push(slot(ai, ai));
+                            if let Some(ki) = *k {
+                                index.push(slot(ai, ki));
+                            }
+                        }
+                        if let Some(ki) = *k {
+                            index.push(slot(ki, ki));
+                            if let Some(ai) = *a {
+                                index.push(slot(ki, ai));
+                            }
+                        }
+                    }
+                    PlanOp::Bjt { site } => {
+                        let BjtSite { c, b, e, .. } = &self.bjt_sites[*site];
+                        // Exactly the conditional add order of the
+                        // `Bjt` arm of `assemble_into` (row-major over
+                        // collector, base, emitter).
+                        if let Some(ci) = *c {
+                            index.push(slot(ci, ci));
+                            if let Some(bi) = *b {
+                                index.push(slot(ci, bi));
+                            }
+                            if let Some(ei) = *e {
+                                index.push(slot(ci, ei));
+                            }
+                        }
+                        if let Some(bi) = *b {
+                            if let Some(ci) = *c {
+                                index.push(slot(bi, ci));
+                            }
+                            index.push(slot(bi, bi));
+                            if let Some(ei) = *e {
+                                index.push(slot(bi, ei));
+                            }
+                        }
+                        if let Some(ei) = *e {
+                            if let Some(ci) = *c {
+                                index.push(slot(ei, ci));
+                            }
+                            if let Some(bi) = *b {
+                                index.push(slot(ei, bi));
+                            }
+                            index.push(slot(ei, ei));
+                        }
+                    }
                     PlanOp::Current { .. } | PlanOp::SourceRow { .. } => {}
                 }
             }
@@ -924,6 +1177,72 @@ impl StampPlan {
                         rhs[si] += i_rhs;
                     }
                 }
+                PlanOp::Diode { site } => {
+                    let DiodeSite { a, k, params } = &self.diode_sites[*site];
+                    let va = slot_voltage(x, *a);
+                    let vk = slot_voltage(x, *k);
+                    let op = diode::evaluate(params, va, vk);
+                    let i_rhs = op.id - op.gd * (va - vk);
+                    if let Some(ai) = *a {
+                        add(values, op.gd);
+                        if k.is_some() {
+                            add(values, -op.gd);
+                        }
+                        rhs[ai] -= i_rhs;
+                    }
+                    if let Some(ki) = *k {
+                        add(values, op.gd);
+                        if a.is_some() {
+                            add(values, -op.gd);
+                        }
+                        rhs[ki] += i_rhs;
+                    }
+                }
+                PlanOp::Bjt { site } => {
+                    let BjtSite { c, b, e, polarity, params } = &self.bjt_sites[*site];
+                    let vc = slot_voltage(x, *c);
+                    let vb = slot_voltage(x, *b);
+                    let ve = slot_voltage(x, *e);
+                    let op = bjt::evaluate(params, *polarity, vc, vb, ve);
+                    let gcc = -op.dic_dvbc;
+                    let gcb = op.dic_dvbe + op.dic_dvbc;
+                    let gce = -op.dic_dvbe;
+                    let gbc = -op.dib_dvbc;
+                    let gbb = op.dib_dvbe + op.dib_dvbc;
+                    let gbe = -op.dib_dvbe;
+                    let ic_rhs = op.ic - (gcc * vc + gcb * vb + gce * ve);
+                    let ib_rhs = op.ib - (gbc * vc + gbb * vb + gbe * ve);
+                    if let Some(ci) = *c {
+                        add(values, gcc);
+                        if b.is_some() {
+                            add(values, gcb);
+                        }
+                        if e.is_some() {
+                            add(values, gce);
+                        }
+                        rhs[ci] -= ic_rhs;
+                    }
+                    if let Some(bi) = *b {
+                        if c.is_some() {
+                            add(values, gbc);
+                        }
+                        add(values, gbb);
+                        if e.is_some() {
+                            add(values, gbe);
+                        }
+                        rhs[bi] -= ib_rhs;
+                    }
+                    if let Some(ei) = *e {
+                        if c.is_some() {
+                            add(values, -(gcc + gbc));
+                        }
+                        if b.is_some() {
+                            add(values, -(gcb + gbb));
+                        }
+                        add(values, -(gce + gbe));
+                        rhs[ei] += ic_rhs + ib_rhs;
+                    }
+                }
             }
         }
         debug_assert_eq!(cursor, index.len(), "slot-index cursor out of sync with replay");
@@ -973,7 +1292,10 @@ impl StampPlan {
                 PlanOp::SourceRow { row, wave } => {
                     rhs[*row] = source_vals[*wave];
                 }
-                PlanOp::Mat { .. } | PlanOp::Mos { .. } => {}
+                PlanOp::Mat { .. }
+                | PlanOp::Mos { .. }
+                | PlanOp::Diode { .. }
+                | PlanOp::Bjt { .. } => {}
             }
         }
     }
@@ -1062,6 +1384,77 @@ impl StampPlan {
                     }
                     if let Some(si) = *s {
                         rhs[si] += i_rhs;
+                    }
+                }
+                PlanOp::Diode { site } => {
+                    let DiodeSite { a, k, params } = &self.diode_sites[*site];
+                    let va = slot_voltage(x, *a);
+                    let vk = slot_voltage(x, *k);
+                    let op = diode::evaluate(params, va, vk);
+                    // Linearization: id ≈ gd·(va − vk) + i_rhs.
+                    let i_rhs = op.id - op.gd * (va - vk);
+                    if let Some(ai) = *a {
+                        mat.add(ai, ai, op.gd);
+                        if let Some(ki) = *k {
+                            mat.add(ai, ki, -op.gd);
+                        }
+                        rhs[ai] -= i_rhs;
+                    }
+                    if let Some(ki) = *k {
+                        mat.add(ki, ki, op.gd);
+                        if let Some(ai) = *a {
+                            mat.add(ki, ai, -op.gd);
+                        }
+                        rhs[ki] += i_rhs;
+                    }
+                }
+                PlanOp::Bjt { site } => {
+                    let BjtSite { c, b, e, polarity, params } = &self.bjt_sites[*site];
+                    let vc = slot_voltage(x, *c);
+                    let vb = slot_voltage(x, *b);
+                    let ve = slot_voltage(x, *e);
+                    let op = bjt::evaluate(params, *polarity, vc, vb, ve);
+                    // Terminal conductances from the junction partials
+                    // (vbe = vb − ve, vbc = vb − vc); the emitter row is
+                    // the negated sum of the collector and base rows so
+                    // KCL holds exactly.
+                    let gcc = -op.dic_dvbc;
+                    let gcb = op.dic_dvbe + op.dic_dvbc;
+                    let gce = -op.dic_dvbe;
+                    let gbc = -op.dib_dvbc;
+                    let gbb = op.dib_dvbe + op.dib_dvbc;
+                    let gbe = -op.dib_dvbe;
+                    let ic_rhs = op.ic - (gcc * vc + gcb * vb + gce * ve);
+                    let ib_rhs = op.ib - (gbc * vc + gbb * vb + gbe * ve);
+                    if let Some(ci) = *c {
+                        mat.add(ci, ci, gcc);
+                        if let Some(bi) = *b {
+                            mat.add(ci, bi, gcb);
+                        }
+                        if let Some(ei) = *e {
+                            mat.add(ci, ei, gce);
+                        }
+                        rhs[ci] -= ic_rhs;
+                    }
+                    if let Some(bi) = *b {
+                        if let Some(ci) = *c {
+                            mat.add(bi, ci, gbc);
+                        }
+                        mat.add(bi, bi, gbb);
+                        if let Some(ei) = *e {
+                            mat.add(bi, ei, gbe);
+                        }
+                        rhs[bi] -= ib_rhs;
+                    }
+                    if let Some(ei) = *e {
+                        if let Some(ci) = *c {
+                            mat.add(ei, ci, -(gcc + gbc));
+                        }
+                        if let Some(bi) = *b {
+                            mat.add(ei, bi, -(gcb + gbb));
+                        }
+                        mat.add(ei, ei, -(gce + gbe));
+                        rhs[ei] += ic_rhs + ib_rhs;
                     }
                 }
             }
@@ -1259,6 +1652,54 @@ mod tests {
         let patched2 = patched.patched_with_device(extended.device("VX").unwrap());
         assert_eq!(patched2.dim(), patched.dim() + 1);
         assert_plans_replay_identically(&patched2, &StampPlan::build(&extended));
+
+        // A nonlinear device patch (junction-pinhole shorts ride this
+        // for diode/BJT circuits) must register its damped slots too.
+        let mut dioded = extended.clone();
+        dioded.add_diode("DX", d, g, crate::diode::DiodeParams::signal_default()).unwrap();
+        let patched3 = patched2.patched_with_device(dioded.device("DX").unwrap());
+        assert_plans_replay_identically(&patched3, &StampPlan::build(&dioded));
+
+        // A patched-in current-controlled source resolves its sensing
+        // column from the carried-over branch-row table.
+        let mut sensed = dioded.clone();
+        sensed.add_cccs("FX", g, Circuit::GROUND, "VX", 0.5).unwrap();
+        let patched4 = patched3.patched_with_device(sensed.device("FX").unwrap());
+        assert_plans_replay_identically(&patched4, &StampPlan::build(&sensed));
+    }
+
+    /// Regression (device-zoo PR): the damped mask used to be populated
+    /// from MOSFET terminal slots only, so a diode- or BJT-only circuit
+    /// ran every ladder rung unclamped. Each nonlinear site now
+    /// declares its limited unknowns.
+    #[test]
+    fn diode_and_bjt_circuits_register_damped_junction_slots() {
+        let mut c = Circuit::new();
+        let inn = c.node("in");
+        let out = c.node("out");
+        c.add_vsource("V1", inn, Circuit::GROUND, Waveform::dc(5.0)).unwrap();
+        c.add_resistor("RS", inn, out, 1e3).unwrap();
+        c.add_diode("D1", out, Circuit::GROUND, crate::diode::DiodeParams::signal_default())
+            .unwrap();
+        let plan = StampPlan::build(&c);
+        assert!(!plan.is_linear());
+        // v(in) is purely linear, v(out) is a junction terminal, and the
+        // source branch current is never damped.
+        assert_eq!(plan.damped(), &[false, true, false]);
+
+        let mut c = Circuit::new();
+        let vcc = c.node("vcc");
+        let b = c.node("b");
+        let e = c.node("e");
+        c.add_vsource("VCC", vcc, Circuit::GROUND, Waveform::dc(5.0)).unwrap();
+        c.add_resistor("RB", vcc, b, 100e3).unwrap();
+        c.add_resistor("RE", e, Circuit::GROUND, 1e3).unwrap();
+        c.add_bjt("Q1", vcc, b, e, BjtPolarity::Npn, crate::bjt::BjtParams::signal_default())
+            .unwrap();
+        let plan = StampPlan::build(&c);
+        assert!(!plan.is_linear());
+        // All three BJT terminals (vcc, b, e) are limited unknowns.
+        assert_eq!(plan.damped(), &[true, true, true, false]);
     }
 
     /// The slot-indexed sparse assembly must reproduce the generic
@@ -1340,6 +1781,14 @@ mod tests {
         .unwrap();
         c.add_vcvs("E1", o, Circuit::GROUND, d, Circuit::GROUND, -3.0).unwrap();
         c.add_inductor("L1", o, g, 1e-6).unwrap();
+        let ak = c.node("ak");
+        c.add_diode("D1", d, ak, crate::diode::DiodeParams::signal_default()).unwrap();
+        c.add_resistor("RK", ak, Circuit::GROUND, 1e3).unwrap();
+        c.add_bjt("Q1", vdd, g, o, BjtPolarity::Npn, crate::bjt::BjtParams::signal_default())
+            .unwrap();
+        c.add_vccs("G1", d, Circuit::GROUND, g, Circuit::GROUND, 1e-3).unwrap();
+        c.add_cccs("F1", o, Circuit::GROUND, "VDD", 2.0).unwrap();
+        c.add_ccvs("H1", ak, g, "L1", 50.0).unwrap();
 
         let n = c.unknown_count();
         let x: Vec<f64> = (0..n).map(|i| 0.3 * i as f64 - 0.4).collect();
@@ -1354,7 +1803,12 @@ mod tests {
             mat_ref.add(i, i, gmin);
         }
         let mut branch = c.node_count() - 1;
+        let mut branch_rows: std::collections::HashMap<String, usize> =
+            std::collections::HashMap::new();
         for dev in c.devices() {
+            if dev.has_branch_current() {
+                branch_rows.insert(dev.name().to_string(), branch);
+            }
             match dev.kind() {
                 DeviceKind::Resistor { a, b, ohms } => {
                     stamp_conductance(&mut mat_ref, *a, *b, 1.0 / ohms);
@@ -1440,6 +1894,99 @@ mod tests {
                         mat_ref.add(si, si, gsum);
                     }
                     stamp_current(&mut rhs_ref, *d, *s, i_rhs);
+                }
+                DeviceKind::Diode { a, k, params } => {
+                    let va = voltage_of(&x, *a);
+                    let vk = voltage_of(&x, *k);
+                    let op = diode::evaluate(params, va, vk);
+                    let i_rhs = op.id - op.gd * (va - vk);
+                    stamp_conductance(&mut mat_ref, *a, *k, op.gd);
+                    stamp_current(&mut rhs_ref, *a, *k, i_rhs);
+                }
+                DeviceKind::Bjt { c: tc, b, e, polarity, params } => {
+                    let vc = voltage_of(&x, *tc);
+                    let vb = voltage_of(&x, *b);
+                    let ve = voltage_of(&x, *e);
+                    let op = bjt::evaluate(params, *polarity, vc, vb, ve);
+                    let gcc = -op.dic_dvbc;
+                    let gcb = op.dic_dvbe + op.dic_dvbc;
+                    let gce = -op.dic_dvbe;
+                    let gbc = -op.dib_dvbc;
+                    let gbb = op.dib_dvbe + op.dib_dvbc;
+                    let gbe = -op.dib_dvbe;
+                    let ic_rhs = op.ic - (gcc * vc + gcb * vb + gce * ve);
+                    let ib_rhs = op.ib - (gbc * vc + gbb * vb + gbe * ve);
+                    if let Some(ci) = idx(*tc) {
+                        mat_ref.add(ci, ci, gcc);
+                        if let Some(bi) = idx(*b) {
+                            mat_ref.add(ci, bi, gcb);
+                        }
+                        if let Some(ei) = idx(*e) {
+                            mat_ref.add(ci, ei, gce);
+                        }
+                        rhs_ref[ci] -= ic_rhs;
+                    }
+                    if let Some(bi) = idx(*b) {
+                        if let Some(ci) = idx(*tc) {
+                            mat_ref.add(bi, ci, gbc);
+                        }
+                        mat_ref.add(bi, bi, gbb);
+                        if let Some(ei) = idx(*e) {
+                            mat_ref.add(bi, ei, gbe);
+                        }
+                        rhs_ref[bi] -= ib_rhs;
+                    }
+                    if let Some(ei) = idx(*e) {
+                        if let Some(ci) = idx(*tc) {
+                            mat_ref.add(ei, ci, -(gcc + gbc));
+                        }
+                        if let Some(bi) = idx(*b) {
+                            mat_ref.add(ei, bi, -(gcb + gbb));
+                        }
+                        mat_ref.add(ei, ei, -(gce + gbe));
+                        rhs_ref[ei] += ic_rhs + ib_rhs;
+                    }
+                }
+                DeviceKind::Vccs { pos, neg, cp, cn, gm } => {
+                    if let Some(p) = idx(*pos) {
+                        if let Some(cc) = idx(*cp) {
+                            mat_ref.add(p, cc, *gm);
+                        }
+                        if let Some(cc) = idx(*cn) {
+                            mat_ref.add(p, cc, -*gm);
+                        }
+                    }
+                    if let Some(ng) = idx(*neg) {
+                        if let Some(cc) = idx(*cp) {
+                            mat_ref.add(ng, cc, -*gm);
+                        }
+                        if let Some(cc) = idx(*cn) {
+                            mat_ref.add(ng, cc, *gm);
+                        }
+                    }
+                }
+                DeviceKind::Cccs { pos, neg, ctrl, gain } => {
+                    let col = branch_rows[ctrl.as_ref()];
+                    if let Some(p) = idx(*pos) {
+                        mat_ref.add(p, col, *gain);
+                    }
+                    if let Some(ng) = idx(*neg) {
+                        mat_ref.add(ng, col, -*gain);
+                    }
+                }
+                DeviceKind::Ccvs { pos, neg, ctrl, ohms } => {
+                    let col = branch_rows[ctrl.as_ref()];
+                    let br = branch;
+                    branch += 1;
+                    if let Some(p) = idx(*pos) {
+                        mat_ref.add(p, br, 1.0);
+                        mat_ref.add(br, p, 1.0);
+                    }
+                    if let Some(ng) = idx(*neg) {
+                        mat_ref.add(ng, br, -1.0);
+                        mat_ref.add(br, ng, -1.0);
+                    }
+                    mat_ref.add(br, col, -*ohms);
                 }
             }
         }

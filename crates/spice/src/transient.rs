@@ -334,7 +334,41 @@ impl<'c> TranAnalysis<'c> {
                         i_prev: 0.0,
                     });
                 }
-                _ => {}
+                DeviceKind::Diode { a, k, params } => {
+                    dyns.push(DynElement::Cap {
+                        a: *a,
+                        b: *k,
+                        farads: params.cj0,
+                        v_prev: 0.0,
+                        i_prev: 0.0,
+                    });
+                }
+                DeviceKind::Bjt { c, b, e, params, .. } => {
+                    dyns.push(DynElement::Cap {
+                        a: *b,
+                        b: *e,
+                        farads: params.cje,
+                        v_prev: 0.0,
+                        i_prev: 0.0,
+                    });
+                    dyns.push(DynElement::Cap {
+                        a: *b,
+                        b: *c,
+                        farads: params.cjc,
+                        v_prev: 0.0,
+                        i_prev: 0.0,
+                    });
+                }
+                // Storage-free devices — listed exhaustively so the
+                // compiler forces every future device kind to decide
+                // its transient contribution here.
+                DeviceKind::Resistor { .. }
+                | DeviceKind::Vsource { .. }
+                | DeviceKind::Isource { .. }
+                | DeviceKind::Vcvs { .. }
+                | DeviceKind::Vccs { .. }
+                | DeviceKind::Cccs { .. }
+                | DeviceKind::Ccvs { .. } => {}
             }
             if dev.has_branch_current() {
                 branch += 1;

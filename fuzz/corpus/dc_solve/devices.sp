@@ -1,0 +1,23 @@
+* device zoo: diode, BJTs, and the controlled-source cards
+.model dm d (is=1e-14 n=1.0 rs=5 cjo=2p)
+.model qn npn (is=1e-15 bf=100 br=2 cje=4p cjc=2p)
+.model qp pnp (is={isv} bf=80)
+.param isv=2e-15 gain=2
+VCC vcc 0 DC 5
+VIN in 0 DC 2.5
+D1 in mid dm
+D2 mid 0 dm
+Q1 c1 in e1 qn
+Q2 out c1 e2 qp
+RC vcc c1 4k
+RE e1 0 1k
+RL out 0 2k
+E1 ep 0 c1 0 1.5
+G1 gp 0 in 0 1m
+F1 fp 0 VCC {gain}
+H1 hp 0 VIN 50
+RG gp 0 1k
+RF fp 0 1k
+RH hp 0 1k
+RE2 e2 vcc 1k
+.end

@@ -32,6 +32,12 @@ const DICTIONARY: &[&str] = &[
     "PULSE(", "PWL(", "STEP(", "{", "}", "{a+b}", "{1k*x}", "(", ")", "=", "1k", "2.5MEG", "10p",
     "1e308", "-1e-308", "\n+ ", "\nX1 a b s ", "\nV1 a 0 DC 1\n", "\nR1 a b {r}\n", "*", ";",
     " $ ", "w=", "0", "..", "e", "αβ",
+    // Device-zoo cards and model types: diodes, BJTs, the controlled
+    // sources, and their `.model` parameter keys.
+    "\nD1 a b dm\n", "\nQ1 c b e qm\n", "\nG1 a 0 c 0 1m\n", "\nF1 a 0 V1 2\n",
+    "\nH1 a 0 V1 50\n", ".model dm d (is=1e-14 n=1 rs=5 cjo=2p)\n",
+    ".model qm npn (is=1e-15 bf=100 br=2 cje=4p cjc=2p)\n", " npn ", " pnp ", " d ",
+    "is=", "bf=", "br=", "cje=", "cjc=", "cjo=", "cj0=", "rs=", "n=",
 ];
 
 /// Default per-run mutation budget when `--seconds` is absent: long

@@ -17,8 +17,8 @@ use castg::core::{
     evaluate_campaign, AnalogMacro, CampaignOptions, CoverageReport, InjectionMode,
     NominalCache, TestInstance,
 };
-use castg::faults::FaultDictionary;
-use castg::macros::IvConverter;
+use castg::faults::{Fault, FaultDictionary, Junction};
+use castg::macros::{BjtOpAmp, IvConverter};
 use castg::spice::{OrderingKind, SolverKind};
 
 /// Builds a few test instances per configuration of `mac` by scaling
@@ -288,6 +288,77 @@ fn ladder_auto_dense_delta_campaign_is_bit_identical() {
         .map(|&lev| TestInstance { config: Arc::clone(&config), params: vec![lev] })
         .collect();
     differential(&mac, &dict, &tests);
+}
+
+/// The bipolar op-amp — the pure junction-device Newton path: every
+/// dictionary fault (21 bridges + 10 diode/BJT junction pinholes in
+/// release; a mix of both in debug) gets the full delta-vs-rebuild and
+/// threads-1-vs-4 bit-identity treatment, pinning the patched-plan
+/// `DiodeSite`/`BjtSite` stamping against clone-and-recompile.
+#[test]
+fn bjt_opamp_delta_campaign_is_bit_identical() {
+    let mac = BjtOpAmp::new();
+    let full = mac.fault_dictionary();
+    let dict = if cfg!(debug_assertions) {
+        // Three bridges plus three junction pinholes keep `cargo test`
+        // quick while covering both fault models.
+        FaultDictionary::new(
+            full.iter().take(3).chain(full.iter().skip(21).take(3)).cloned().collect(),
+        )
+    } else {
+        full
+    };
+    let tests = seed_instances(&mac, &[0.7, 1.0, 1.3]);
+    differential(&mac, &dict, &tests);
+}
+
+/// Spice-level delta-vs-rebuild over a full-wave diode bridge
+/// rectifier: bridge and anode–cathode pinhole patches on the compiled
+/// plan must solve bit-identically to rebuilt circuits under both
+/// forced solver kinds — the diode counterpart of the forced-kind
+/// ladder differential below.
+#[test]
+fn rectifier_junction_faults_solve_delta_and_rebuilt_identically() {
+    use castg::spice::{
+        AnalysisOptions, Circuit, DcAnalysis, DiodeParams, SolverKind, Waveform,
+    };
+    let mut c = Circuit::new();
+    let vin = c.node("vin");
+    let a = c.node("a");
+    let p = c.node("p");
+    let m = c.node("m");
+    let gnd = Circuit::GROUND;
+    let d = DiodeParams::signal_default();
+    c.add_vsource("V1", vin, gnd, Waveform::dc(3.0)).unwrap();
+    c.add_resistor("RS", vin, a, 50.0).unwrap();
+    c.add_diode("D1", a, p, d).unwrap();
+    c.add_diode("D2", gnd, p, d).unwrap();
+    c.add_diode("D3", m, a, d).unwrap();
+    c.add_diode("D4", m, gnd, d).unwrap();
+    c.add_resistor("RL", p, m, 1e3).unwrap();
+    c.add_capacitor("CF", p, m, 1e-6).unwrap();
+    c.compile_plan();
+
+    let mut faults = vec![
+        Fault::bridge("a", "p", 10e3),
+        Fault::bridge("p", "m", 10e3),
+        Fault::bridge("vin", "m", 10e3),
+    ];
+    for name in ["D1", "D2", "D3", "D4"] {
+        faults.push(Fault::junction_pinhole(name, Junction::AnodeCathode, 2e3));
+    }
+    for fault in &faults {
+        let patched = fault.inject(&c).unwrap();
+        let rebuilt = fault.inject_rebuilt(&c).unwrap();
+        for solver in [SolverKind::Dense, SolverKind::Sparse] {
+            let opts = AnalysisOptions { solver, ..AnalysisOptions::default() };
+            let sp = DcAnalysis::with_options(&patched, opts).solve().unwrap();
+            let sr = DcAnalysis::with_options(&rebuilt, opts).solve().unwrap();
+            for (x, y) in sp.state().iter().zip(sr.state()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{solver:?} {}", fault.name());
+            }
+        }
+    }
 }
 
 /// Spice-level differential with the solver *forced* (both kinds, on a

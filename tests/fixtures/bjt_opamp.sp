@@ -1,0 +1,21 @@
+* castg netlist (regenerate with castg_netlist::write_deck)
+.nodeorder vcc vin tail c1 c2 out bias e3 bmid e4
+.model castg_d0 d (is=1e-14 n=1.0 rs=5.0 cjo=2e-12)
+.model castg_q0 npn (is=1e-15 bf=100.0 br=2.0 cje=4e-12 cjc=2e-12)
+.model castg_q1 pnp (is=1e-15 bf=100.0 br=2.0 cje=4e-12 cjc=2e-12)
+VCC vcc 0 DC 5.0
+VIN vin 0 DC 2.5
+Q1 c1 out tail castg_q0
+Q2 c2 vin tail castg_q0
+RC1 vcc c1 4000.0
+RC2 vcc c2 4000.0
+RE3 vcc e3 1000.0
+Q3 out c2 e3 castg_q1
+ROUT out 0 2000.0
+RB vcc bias 10000.0
+D1 bias bmid castg_d0
+D2 bmid 0 castg_d0
+Q4 tail bias e4 castg_q0
+RE4 e4 0 600.0
+CL out 0 2e-12
+.end

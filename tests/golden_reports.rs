@@ -47,6 +47,14 @@ fn mesh_generation_report_is_byte_stable() {
     assert_matches_fixture("mesh_generation.txt", &castg_bench::golden::mesh_report());
 }
 
+/// The bipolar (diode + BJT) macro's pipeline over a bridge + junction
+/// pinhole fault mix: the junction-limited Newton path must render the
+/// identical report byte for byte.
+#[test]
+fn bjt_generation_report_is_byte_stable() {
+    assert_matches_fixture("bjt_generation.txt", &castg_bench::golden::bjt_report());
+}
+
 /// The parsed-deck (netlist frontend) pipeline: the divider deck +
 /// description-file configurations under `tests/fixtures/` must render
 /// the identical report byte for byte.

@@ -14,11 +14,11 @@
 
 use castg::core::synthetic::{CrossbarMacro, LadderMacro, MeshMacro, OtaChainMacro};
 use castg::core::AnalogMacro;
-use castg::faults::Fault;
-use castg::macros::IvConverter;
+use castg::faults::{Fault, Junction};
+use castg::macros::{BjtOpAmp, IvConverter};
 use castg::spice::{
-    AcAnalysis, AcSource, AnalysisOptions, Circuit, DcAnalysis, OrderingKind, Probe, SolverKind,
-    TranAnalysis, Waveform,
+    AcAnalysis, AcSource, AnalysisOptions, Circuit, DcAnalysis, DiodeParams, NewtonStrategy,
+    OrderingKind, Probe, SolverKind, TranAnalysis, Waveform,
 };
 use proptest::prelude::*;
 
@@ -479,6 +479,228 @@ fn mesh_ac_four_way() {
                 "mesh ac {solver:?}/{ordering:?} f={f}: {d:?} vs {s:?}"
             );
         }
+    }
+}
+
+/// A full-wave diode bridge rectifier with source resistance, a
+/// smoothing capacitor and a load — the pure-diode workload of the
+/// junction-device differentials. With a +3 V input, D1 and D4 conduct
+/// while D2 and D3 sit in reverse, so the DC operating point exercises
+/// both sides of the exponential.
+fn rectifier() -> Circuit {
+    let mut c = Circuit::new();
+    let vin = c.node("vin");
+    let a = c.node("a");
+    let p = c.node("p");
+    let m = c.node("m");
+    let gnd = Circuit::GROUND;
+    let d = DiodeParams::signal_default();
+    c.add_vsource("V1", vin, gnd, Waveform::dc(3.0)).unwrap();
+    c.add_resistor("RS", vin, a, 50.0).unwrap();
+    c.add_diode("D1", a, p, d).unwrap();
+    c.add_diode("D2", gnd, p, d).unwrap();
+    c.add_diode("D3", m, a, d).unwrap();
+    c.add_diode("D4", m, gnd, d).unwrap();
+    c.add_resistor("RL", p, m, 1e3).unwrap();
+    c.add_capacitor("CF", p, m, 1e-6).unwrap();
+    c
+}
+
+/// Bridge and junction-pinhole faults of the rectifier differential.
+fn rectifier_faults() -> Vec<Fault> {
+    let mut faults = vec![
+        Fault::bridge("a", "p", 10e3),
+        Fault::bridge("p", "m", 10e3),
+        Fault::bridge("vin", "m", 10e3),
+    ];
+    for d in ["D1", "D2", "D3", "D4"] {
+        faults.push(Fault::junction_pinhole(d, Junction::AnodeCathode, 2e3));
+    }
+    faults
+}
+
+/// The diode bridge through all four solver paths, nominal and under
+/// every differential fault: the exponential junction Newton must land
+/// on the same fixed point everywhere.
+#[test]
+fn rectifier_dc_four_way_nominal_and_faulted() {
+    let tight = |solver, ordering| AnalysisOptions {
+        reltol: 1e-12,
+        vntol: 1e-13,
+        abstol: 1e-16,
+        max_iter: 400,
+        ..opts3(solver, ordering)
+    };
+    let c = rectifier();
+    let reference = DcAnalysis::with_options(&c, tight(SolverKind::Dense, OrderingKind::Natural))
+        .solve()
+        .unwrap();
+    // Sanity: the bridge really rectifies (one diode drop per leg).
+    let p = reference.voltage(c.find_node("p").unwrap());
+    let m = reference.voltage(c.find_node("m").unwrap());
+    assert!(p - m > 1.0 && p - m < 3.0, "rectified output {}", p - m);
+    for &(solver, ordering) in &FOUR_WAY[1..] {
+        let sol = DcAnalysis::with_options(&c, tight(solver, ordering)).solve().unwrap();
+        for (i, (d, s)) in reference.state().iter().zip(sol.state()).enumerate() {
+            let scale = d.abs().max(s.abs()).max(1.0);
+            assert!(
+                (d - s).abs() <= REL_TOL * scale,
+                "rectifier {solver:?}/{ordering:?} unknown {i}: {d} vs {s}"
+            );
+        }
+    }
+    for fault in rectifier_faults() {
+        let faulty = fault.inject(&c).unwrap();
+        let dense =
+            DcAnalysis::with_options(&faulty, tight(SolverKind::Dense, OrderingKind::Natural))
+                .solve()
+                .unwrap();
+        for &(solver, ordering) in &FOUR_WAY[1..] {
+            let sol = DcAnalysis::with_options(&faulty, tight(solver, ordering)).solve().unwrap();
+            for (d, s) in dense.state().iter().zip(sol.state()) {
+                let scale = d.abs().max(s.abs()).max(1.0);
+                assert!(
+                    (d - s).abs() <= REL_TOL * scale,
+                    "rectifier fault {} {solver:?}/{ordering:?}: {d} vs {s}",
+                    fault.name()
+                );
+            }
+        }
+    }
+}
+
+/// Transient on the rectifier: junction capacitances enter the
+/// companion-augmented pattern, and the step drives the diodes across
+/// their conduction threshold mid-run.
+#[test]
+fn rectifier_transient_dense_vs_sparse() {
+    let mut c = rectifier();
+    c.set_stimulus("V1", Waveform::step(0.0, 3.0, 0.2e-6, 0.05e-6)).unwrap();
+    let p = c.find_node("p").unwrap();
+    let probes = [Probe::NodeVoltage(p)];
+    let run = |kind| {
+        TranAnalysis::with_options(&c, tight_opts(kind), Default::default())
+            .run(2e-6, 0.05e-6, &probes)
+            .unwrap()
+    };
+    let dense = run(SolverKind::Dense);
+    let sparse = run(SolverKind::Sparse);
+    assert_eq!(dense.len(), sparse.len());
+    for (i, (d, s)) in dense.column(0).iter().zip(sparse.column(0)).enumerate() {
+        let scale = d.abs().max(s.abs()).max(1.0);
+        assert!(
+            (d - s).abs() <= 1e-8 * scale,
+            "rectifier transient t[{i}]: dense {d} vs sparse {s}"
+        );
+    }
+}
+
+/// The bipolar op-amp through all four solver paths, nominal and under
+/// its entire 31-fault dictionary (21 bridges + 10 junction pinholes).
+/// Faulted variants get a conditioning-aware bound like the
+/// IV-converter's: a supply bridge into the high-gain loop leaves two
+/// equally correct factorizations ~κ·ε apart.
+#[test]
+fn bjt_opamp_dc_four_way_nominal_and_faulted() {
+    let tight = |solver, ordering| AnalysisOptions {
+        reltol: 1e-12,
+        vntol: 1e-13,
+        abstol: 1e-16,
+        max_iter: 400,
+        ..opts3(solver, ordering)
+    };
+    let mac = BjtOpAmp::new();
+    let c = mac.nominal_circuit();
+    let reference = DcAnalysis::with_options(&c, tight(SolverKind::Dense, OrderingKind::Natural))
+        .solve()
+        .unwrap();
+    for &(solver, ordering) in &FOUR_WAY[1..] {
+        let sol = DcAnalysis::with_options(&c, tight(solver, ordering)).solve().unwrap();
+        for (i, (d, s)) in reference.state().iter().zip(sol.state()).enumerate() {
+            let scale = d.abs().max(s.abs()).max(1.0);
+            assert!(
+                (d - s).abs() <= REL_TOL * scale,
+                "bjt opamp {solver:?}/{ordering:?} unknown {i}: {d} vs {s}"
+            );
+        }
+    }
+    for fault in mac.fault_dictionary().iter() {
+        let faulty = fault.inject(&c).unwrap();
+        let dense =
+            DcAnalysis::with_options(&faulty, tight(SolverKind::Dense, OrderingKind::Natural))
+                .solve()
+                .unwrap();
+        for &(solver, ordering) in &FOUR_WAY[1..] {
+            let sol = DcAnalysis::with_options(&faulty, tight(solver, ordering)).solve().unwrap();
+            for (d, s) in dense.state().iter().zip(sol.state()) {
+                let scale = d.abs().max(s.abs()).max(1.0);
+                assert!(
+                    (d - s).abs() <= 1e-6 * scale,
+                    "bjt opamp fault {} {solver:?}/{ordering:?}: {d} vs {s}",
+                    fault.name()
+                );
+            }
+        }
+    }
+}
+
+/// AC on the bipolar op-amp: the small-signal linearization around the
+/// junction-limited operating point, with cje/cjc/cj0 junction
+/// capacitances in the 2n×2n sparse embedding.
+#[test]
+fn bjt_opamp_ac_dense_vs_sparse() {
+    let c = BjtOpAmp::new().nominal_circuit();
+    let out = c.find_node("out").unwrap();
+    let freqs = [1e3, 1e6, 100e6];
+    let run = |kind| {
+        AcAnalysis::with_options(&c, opts(kind))
+            .source(AcSource { name: "VIN".into(), magnitude: 1.0 })
+            .run(&freqs)
+            .unwrap()
+    };
+    let dense = run(SolverKind::Dense);
+    let sparse = run(SolverKind::Sparse);
+    for (i, f) in freqs.iter().enumerate() {
+        let d = dense.voltage(i, out);
+        let s = sparse.voltage(i, out);
+        let scale = d.abs().max(s.abs()).max(1.0);
+        assert!(
+            (d - s).abs() <= 1e-8 * scale,
+            "bjt ac f={f}: dense {d:?} vs sparse {s:?}"
+        );
+    }
+}
+
+/// Acceptance pin: pn-junction limiting must keep the cold start (all
+/// unknowns at zero) of both junction macros on the cheap rungs of the
+/// Newton ladder. Without limiting, the rectifier's first iterate puts
+/// ~3 V across an exponential and overflows into the rescue rungs; with
+/// it, plain or damped Newton lands every solve.
+#[test]
+fn junction_cold_starts_stay_on_the_cheap_rungs() {
+    for (name, c) in [
+        ("rectifier", rectifier()),
+        ("bjt_opamp", BjtOpAmp::new().nominal_circuit()),
+    ] {
+        let sol = DcAnalysis::new(&c).solve().unwrap();
+        let report = sol.convergence();
+        assert!(
+            matches!(report.strategy, NewtonStrategy::Plain | NewtonStrategy::Damped),
+            "{name}: cold start escalated to {}",
+            report.strategy
+        );
+        for rung in &report.rungs {
+            assert!(
+                matches!(rung.strategy, NewtonStrategy::Plain | NewtonStrategy::Damped),
+                "{name}: ladder attempted {}",
+                rung.strategy
+            );
+        }
+        assert!(
+            report.total_iterations() < 200,
+            "{name}: cold start took {} iterations",
+            report.total_iterations()
+        );
     }
 }
 
