@@ -106,6 +106,121 @@ pub fn render_pipeline_report(
     out
 }
 
+/// Escapes a string for inclusion in a JSON string literal (names come
+/// from user-authored decks and config files, which admit quotes,
+/// backslashes and control characters).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Wall-clock seconds of each pipeline phase, reported verbatim in the
+/// JSON summary (machine-dependent by nature; everything else in the
+/// rendering is deterministic).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PipelineTimings {
+    /// Per-fault test generation.
+    pub generate_s: f64,
+    /// Test-set compaction.
+    pub compact_s: f64,
+    /// Coverage evaluation (the fault campaign).
+    pub evaluate_s: f64,
+}
+
+/// Canonical machine-readable rendering of one macro's pipeline
+/// outcome: the JSON summary `castg generate --json` writes and the
+/// body `castg serve` returns for `POST /v1/campaign`. One shape,
+/// shared by both producers and pinned byte-for-byte by the
+/// `tests/golden/json_report.json` fixture (timings excepted — they are
+/// wall-clock inputs, fixed to constants in the golden run).
+#[allow(clippy::too_many_arguments)] // the report's fields, no more
+pub fn render_json_report(
+    macro_name: &str,
+    macro_type: &str,
+    faults: usize,
+    threads: usize,
+    timings: &PipelineTimings,
+    tests: usize,
+    original_tests: usize,
+    coverage: &CoverageReport,
+) -> String {
+    let tally = coverage.tally();
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"macro\": \"{}\",", json_escape(macro_name));
+    let _ = writeln!(s, "  \"macro_type\": \"{}\",", json_escape(macro_type));
+    let _ = writeln!(s, "  \"faults\": {faults},");
+    let _ = writeln!(s, "  \"detected\": {},", coverage.detected());
+    let _ = writeln!(s, "  \"tests\": {tests},");
+    let _ = writeln!(s, "  \"original_tests\": {original_tests},");
+    let _ = writeln!(s, "  \"threads\": {threads},");
+    let _ = writeln!(s, "  \"generate_s\": {:.6},", timings.generate_s);
+    let _ = writeln!(s, "  \"compact_s\": {:.6},", timings.compact_s);
+    let _ = writeln!(s, "  \"evaluate_s\": {:.6},", timings.evaluate_s);
+    let faults_per_s = if timings.evaluate_s > 0.0 {
+        faults as f64 / timings.evaluate_s
+    } else {
+        0.0
+    };
+    let _ = writeln!(s, "  \"faults_per_s\": {faults_per_s:.3},");
+    let _ = writeln!(
+        s,
+        "  \"outcomes\": {{\"detected\": {}, \"undetected\": {}, \"unconverged\": {}, \
+         \"singular\": {}, \"timed_out\": {}, \"panicked\": {}, \"injection_failed\": {}}},",
+        tally.detected,
+        tally.undetected,
+        tally.unconverged,
+        tally.singular,
+        tally.timed_out,
+        tally.panicked,
+        tally.injection_failed,
+    );
+    let ladder = &coverage.ladder;
+    let _ = writeln!(
+        s,
+        "  \"convergence_stats\": {{\"solves\": {}, \"iterations\": {}, \"plain\": {}, \
+         \"damped\": {}, \"gmin_stepping\": {}, \"source_stepping\": {}, \
+         \"pseudo_transient\": {}, \"unconverged\": {}}},",
+        ladder.solves(),
+        ladder.iterations,
+        ladder.plain,
+        ladder.damped,
+        ladder.gmin_stepping,
+        ladder.source_stepping,
+        ladder.pseudo_transient,
+        ladder.unconverged,
+    );
+    let _ = writeln!(s, "  \"per_fault\": [");
+    for (i, f) in coverage.per_fault.iter().enumerate() {
+        let comma = if i + 1 < coverage.per_fault.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"fault\": \"{}\", \"detected\": {}, \"best_test\": {}, \
+             \"best_sensitivity\": {:e}, \"outcome\": \"{}\"}}{comma}",
+            json_escape(&f.fault),
+            f.detected,
+            f.best_test,
+            f.best_sensitivity,
+            json_escape(&f.outcome.to_string()),
+        );
+    }
+    let _ = writeln!(s, "  ]");
+    s.push_str("}\n");
+    s
+}
+
 /// A simple column-aligned text table with an optional markdown
 /// rendering; used by the benchmark harness to print the paper's tables.
 ///

@@ -136,4 +136,4 @@ pub use error::NetlistError;
 pub use macro_def::{NetlistMacro, NetlistMacroOptions};
 pub use number::parse_number;
 pub use parser::{parse_deck, parse_deck_with_params, Deck};
-pub use writer::{write_deck, write_deck_with_title};
+pub use writer::{canonical_deck_bytes, write_deck, write_deck_with_title};

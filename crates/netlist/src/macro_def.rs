@@ -250,6 +250,77 @@ impl NetlistMacro {
         Ok(self)
     }
 
+    /// Builds a macro around an **already-lowered** circuit (plus the
+    /// deck metadata that normally rides along from the parser). This
+    /// is the plan-cache entry point for `castg-serve`: a daemon that
+    /// has seen a deck's canonical bytes before hands the cached
+    /// circuit back in here, and because [`Circuit`] clones share the
+    /// compiled stamp plan and its symbolic analyses, the new macro
+    /// skips compile + symbolic analysis entirely — only fault-site
+    /// derivation and dictionary construction run again.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::Netlist`] when the circuit holds no devices.
+    pub fn from_parts(
+        name: impl Into<String>,
+        circuit: Circuit,
+        title: Option<String>,
+        params: Vec<(String, f64)>,
+        options: NetlistMacroOptions,
+    ) -> Result<Self, NetlistError> {
+        if circuit.devices().is_empty() {
+            return Err(NetlistError::netlist(1, "deck holds no devices"));
+        }
+        let fault_sites = fault_site_nets(&circuit);
+        let dictionary = derive_fault_dictionary(
+            &circuit,
+            options.derivation,
+            options.bridge_ohms,
+            options.pinhole_ohms,
+        );
+        // No-op when the handed-in circuit already carries a compiled
+        // plan (the plan cache's whole point); compiles it otherwise.
+        circuit.compile_plan();
+        Ok(NetlistMacro {
+            name: name.into(),
+            macro_type: title.clone().unwrap_or_else(|| "netlist".to_string()),
+            title,
+            params,
+            circuit,
+            fault_sites,
+            dictionary,
+            configs: Vec::new(),
+        })
+    }
+
+    /// The canonical deck bytes of this macro: its circuit serialized
+    /// back through the exact round-trip writer
+    /// ([`crate::write_deck_with_title`]), which normalizes away
+    /// whitespace, comments, `.param` indirection and number
+    /// formatting while preserving node interning order, device order,
+    /// bit-exact values and identifier spellings (net-name case is
+    /// semantic — fault names in reports carry the deck's first
+    /// spelling of each net). Two decks differing only in formatting
+    /// produce identical canonical bytes; any semantic change (a
+    /// value, a node, a device, an identifier spelling) changes them.
+    ///
+    /// This is the cache-key normalization `castg serve` uses: the
+    /// content-addressed result cache and the process-wide plan cache
+    /// both key on these bytes (hashed), and `castg check` prints the
+    /// digest so clients can predict cache keys offline.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::Unrepresentable`] when the circuit cannot be
+    /// written as a deck (e.g. flattened `.subckt` internals whose
+    /// `<instance>.<name>` device names break the card-letter rule);
+    /// callers fall back to keying on the raw deck text.
+    pub fn canonical_bytes(&self) -> Result<Vec<u8>, NetlistError> {
+        crate::writer::write_deck_with_title(&self.circuit, self.title.as_deref())
+            .map(String::into_bytes)
+    }
+
     /// The parsed circuit.
     pub fn circuit(&self) -> &Circuit {
         &self.circuit

@@ -150,6 +150,26 @@ pub fn write_deck(circuit: &Circuit) -> Result<String, NetlistError> {
     write_deck_with_title(circuit, None)
 }
 
+/// The canonical bytes of a parsed [`Deck`](crate::Deck): its lowered
+/// circuit and `.title` serialized back through the exact round-trip
+/// writer. Whitespace, comments, case spellings, card continuations,
+/// `.param` indirection and number formatting are all normalized away;
+/// node interning order, device order and bit-exact values survive. Two
+/// decks differing only in formatting therefore canonicalize to
+/// identical bytes, and any semantic change produces different bytes —
+/// which is what makes these bytes a sound content-address for
+/// `castg serve`'s result and plan caches.
+///
+/// # Errors
+///
+/// [`NetlistError::Unrepresentable`] when the lowered circuit cannot be
+/// written back as a deck (e.g. flattened `.subckt` internals whose
+/// `<instance>.<name>` device names break the card-letter rule);
+/// callers should fall back to keying on the raw deck text.
+pub fn canonical_deck_bytes(deck: &crate::Deck) -> Result<Vec<u8>, NetlistError> {
+    write_deck_with_title(deck.circuit(), deck.title.as_deref()).map(String::into_bytes)
+}
+
 /// [`write_deck`] with a `.title` card. The title survives the
 /// round-trip verbatim — including `;` and `$`, which the parser
 /// exempts from comment stripping on `.title` lines only.

@@ -1,0 +1,383 @@
+//! `castg bench-serve`: spawn the daemon in-process, replay a mixed
+//! deck corpus from M concurrent clients, and report throughput,
+//! latency percentiles and cache hit rates to `BENCH_serve.json`.
+//!
+//! The corpus deliberately contains duplicates (every client replays
+//! the same jobs every round), so the run exercises both cache layers:
+//! round one misses and fills, later rounds hit; different clients
+//! posting the same deck share one plan.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use castg_core::report::json_escape;
+
+use crate::client::Client;
+use crate::json::{parse_json, Json};
+use crate::request::ServerCeilings;
+use crate::server::{spawn, ServerConfig};
+
+const DIVIDER_DECK: &str = include_str!("../../../tests/fixtures/divider.sp");
+const DIVIDER_CFG1: &str = include_str!("../../../tests/fixtures/divider_configs/1_dc_out.cfg");
+const DIVIDER_CFG2: &str = include_str!("../../../tests/fixtures/divider_configs/2_step_dev.cfg");
+const IV_DECK: &str = include_str!("../../../tests/fixtures/iv_converter.sp");
+const IV_CFG1: &str = include_str!("../../../tests/fixtures/iv_configs/1_dc_transfer.cfg");
+const IV_CFG2: &str = include_str!("../../../tests/fixtures/iv_configs/2_supply_current.cfg");
+const BJT_DECK: &str = include_str!("../../../tests/fixtures/bjt_opamp.sp");
+const BJT_CFG1: &str = include_str!("../../../tests/fixtures/bjt_configs/1_dc_follow.cfg");
+const BJT_CFG2: &str = include_str!("../../../tests/fixtures/bjt_configs/2_supply_current.cfg");
+
+/// A three-stage resistive ladder (the synthetic LadderMacro shape,
+/// written as a deck so the corpus needs no runtime file I/O).
+const LADDER_DECK: &str = "\
+.title R-ladder
+V1 src 0 DC 5
+R1 src n1 1k
+R2 n1 0 2k
+R3 n1 n2 1k
+R4 n2 0 2k
+R5 n2 out 1k
+R6 out 0 2k
+";
+
+const LADDER_CFG: &str = "\
+macro type: R-ladder
+test configuration: DC output
+control V1: dc(lev)
+observe out: dc()
+return: dV(out)
+parameter lev: 1 .. 8
+variable box_rel: 0.05
+variable box_gain: 0.2
+variable box_floor: 1e-3
+seed lev: 5
+";
+
+/// A small resistor mesh with cross links (denser coupling than the
+/// ladder; different fault dictionary shape).
+const MESH_DECK: &str = "\
+.title R-mesh
+V1 src 0 DC 5
+RS src in 100
+R1 in a 1k
+R2 in b 1k
+R3 a b 500
+R4 a out 1k
+R5 b out 1k
+R6 out 0 2k
+";
+
+const MESH_CFG: &str = "\
+macro type: R-mesh
+test configuration: DC output
+control V1: dc(lev)
+observe out: dc()
+return: dV(out)
+parameter lev: 1 .. 8
+variable box_rel: 0.05
+variable box_gain: 0.3
+variable box_floor: 1e-3
+seed lev: 5
+";
+
+/// Bench knobs (all have serving defaults).
+#[derive(Debug, Clone)]
+pub struct BenchServeOptions {
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Rounds: each client posts every corpus job once per round.
+    pub rounds: usize,
+    /// Worker-pool size (0 = cores).
+    pub workers: usize,
+    /// Threads per campaign.
+    pub threads_per_campaign: usize,
+    /// Fault cap for the heavy corpus decks (IV/BJT op-amps).
+    pub max_faults_heavy: usize,
+    /// Output path for the JSON summary.
+    pub out: Option<std::path::PathBuf>,
+}
+
+impl Default for BenchServeOptions {
+    fn default() -> Self {
+        BenchServeOptions {
+            clients: 4,
+            rounds: 3,
+            workers: 0,
+            threads_per_campaign: 1,
+            max_faults_heavy: 12,
+            out: Some(std::path::PathBuf::from("BENCH_serve.json")),
+        }
+    }
+}
+
+/// What the bench measured (also serialized to `BENCH_serve.json`).
+#[derive(Debug, Clone)]
+pub struct BenchServeReport {
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Rounds per client.
+    pub rounds: usize,
+    /// Corpus jobs per round.
+    pub corpus: usize,
+    /// Total `POST /v1/campaign` requests sent.
+    pub requests: u64,
+    /// Requests that returned 200.
+    pub ok: u64,
+    /// Campaigns per second of wall clock (batch included).
+    pub campaigns_per_s: f64,
+    /// Median request latency (ms).
+    pub p50_ms: f64,
+    /// 95th-percentile request latency (ms).
+    pub p95_ms: f64,
+    /// Result-cache (hits, misses).
+    pub result_cache: (u64, u64),
+    /// Plan-cache (hits, misses).
+    pub plan_cache: (u64, u64),
+    /// Panicked fault outcomes across the whole run (must be 0).
+    pub panicked: u64,
+    /// Whether the daemon drained and joined cleanly.
+    pub clean_shutdown: bool,
+}
+
+fn job_json(name: &str, deck: &str, configs: &[&str], max_faults: Option<usize>) -> String {
+    let mut s = format!(
+        "{{\"name\": \"{}\", \"deck\": \"{}\", \"configs\": [",
+        json_escape(name),
+        json_escape(deck)
+    );
+    for (i, cfg) in configs.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push('"');
+        s.push_str(&json_escape(cfg));
+        s.push('"');
+    }
+    s.push(']');
+    if let Some(m) = max_faults {
+        s.push_str(&format!(", \"max_faults\": {m}"));
+    }
+    s.push('}');
+    s
+}
+
+/// The mixed corpus: light resistive macros exhaustively, the two
+/// op-amps fault-capped, plus a formatting variant of the ladder deck
+/// (same canonical bytes — exercises the plan cache without the raw
+/// memo) and a `--param`-style override job.
+fn corpus(max_faults_heavy: usize) -> Vec<String> {
+    let ladder_reformatted = "\
+.title R-ladder
+* same ladder, different number spellings and spacing
+V1  src 0  DC 5.0
+R1 src n1 1000
+R2 n1 0 2000
+R3 n1 n2 1E3
+R4 n2 0 2E3
+R5 n2  out 1k
+R6 out 0 2k
+";
+    vec![
+        job_json("divider", DIVIDER_DECK, &[DIVIDER_CFG1, DIVIDER_CFG2], None),
+        job_json("ladder", LADDER_DECK, &[LADDER_CFG], None),
+        job_json("ladder", ladder_reformatted, &[LADDER_CFG], None),
+        job_json("mesh", MESH_DECK, &[MESH_CFG], None),
+        job_json("iv", IV_DECK, &[IV_CFG1, IV_CFG2], Some(max_faults_heavy)),
+        job_json("bjt-opamp", BJT_DECK, &[BJT_CFG1, BJT_CFG2], Some(max_faults_heavy)),
+    ]
+}
+
+/// Runs the serve benchmark; writes the summary and returns it.
+///
+/// # Errors
+///
+/// A human-readable message when the daemon cannot start, a request
+/// fails outright, or a gate fails (zero throughput, no cache hits,
+/// panicked outcomes, unclean shutdown).
+pub fn run_bench_serve(options: &BenchServeOptions) -> Result<BenchServeReport, String> {
+    let config = ServerConfig {
+        workers: options.workers,
+        threads_per_campaign: options.threads_per_campaign,
+        ceilings: ServerCeilings::default(),
+        ..ServerConfig::default()
+    };
+    let handle = spawn(config).map_err(|e| format!("cannot start daemon: {e}"))?;
+    let addr = handle.addr;
+    let jobs = Arc::new(corpus(options.max_faults_heavy));
+    let latencies: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
+    let ok = Arc::new(AtomicU64::new(0));
+    let sent = Arc::new(AtomicU64::new(0));
+    let failures: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let t0 = Instant::now();
+    let mut client_threads = Vec::new();
+    for c in 0..options.clients.max(1) {
+        let jobs = Arc::clone(&jobs);
+        let latencies = Arc::clone(&latencies);
+        let ok = Arc::clone(&ok);
+        let sent = Arc::clone(&sent);
+        let failures = Arc::clone(&failures);
+        let rounds = options.rounds.max(1);
+        client_threads.push(std::thread::spawn(move || {
+            let mut client = Client::new(addr);
+            for round in 0..rounds {
+                // Stagger job order per client so the very first round
+                // mixes misses and hits across clients.
+                for k in 0..jobs.len() {
+                    let job = &jobs[(k + c + round) % jobs.len()];
+                    let t = Instant::now();
+                    sent.fetch_add(1, Ordering::Relaxed);
+                    match client.request("POST", "/v1/campaign", job.as_bytes()) {
+                        Ok(response) => {
+                            latencies
+                                .lock()
+                                .expect("latency vec poisoned")
+                                .push(t.elapsed().as_secs_f64() * 1e3);
+                            if response.status == 200 {
+                                ok.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                failures.lock().expect("failures poisoned").push(format!(
+                                    "client {c}: status {} body {}",
+                                    response.status,
+                                    String::from_utf8_lossy(&response.body)
+                                ));
+                            }
+                        }
+                        Err(e) => failures
+                            .lock()
+                            .expect("failures poisoned")
+                            .push(format!("client {c}: {e}")),
+                    }
+                }
+            }
+        }));
+    }
+    for t in client_threads {
+        t.join().map_err(|_| "client thread panicked".to_string())?;
+    }
+
+    // One batch request on top: the whole corpus in a single POST.
+    let mut client = Client::new(addr);
+    let batch_body = format!("{{\"jobs\": [{}]}}", jobs.join(", "));
+    let batch = client
+        .request("POST", "/v1/batch", batch_body.as_bytes())
+        .map_err(|e| format!("batch request failed: {e}"))?;
+    if batch.status != 200 {
+        return Err(format!(
+            "batch returned {}: {}",
+            batch.status,
+            String::from_utf8_lossy(&batch.body)
+        ));
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let failures = failures.lock().expect("failures poisoned");
+    if let Some(first) = failures.first() {
+        return Err(format!("{} request(s) failed; first: {first}", failures.len()));
+    }
+
+    // Scrape the daemon's own stats.
+    let stats_raw = client
+        .request("GET", "/v1/stats", b"")
+        .map_err(|e| format!("stats request failed: {e}"))?;
+    let stats = parse_json(&stats_raw.body).map_err(|e| format!("stats body: {e}"))?;
+    let counter = |path: &[&str]| -> u64 {
+        let mut v: &Json = &stats;
+        for p in path {
+            match v.get(p) {
+                Some(next) => v = next,
+                None => return 0,
+            }
+        }
+        v.as_f64().unwrap_or(0.0) as u64
+    };
+    let result_cache = (counter(&["result_cache", "hits"]), counter(&["result_cache", "misses"]));
+    let plan_cache = (counter(&["plan_cache", "hits"]), counter(&["plan_cache", "misses"]));
+    let panicked = counter(&["outcomes", "panicked"]);
+    let campaigns = counter(&["campaigns"]);
+
+    // Shut down and verify the drain.
+    let _ = client.request("POST", "/v1/shutdown", b"");
+    let clean_shutdown = handle.join();
+
+    let mut lat = latencies.lock().expect("latency vec poisoned").clone();
+    lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let pct = |p: f64| -> f64 {
+        if lat.is_empty() {
+            return 0.0;
+        }
+        let idx = ((lat.len() as f64 - 1.0) * p).round() as usize;
+        lat[idx]
+    };
+    let report = BenchServeReport {
+        clients: options.clients.max(1),
+        rounds: options.rounds.max(1),
+        corpus: jobs.len(),
+        requests: sent.load(Ordering::Relaxed),
+        ok: ok.load(Ordering::Relaxed),
+        campaigns_per_s: campaigns as f64 / wall_s,
+        p50_ms: pct(0.50),
+        p95_ms: pct(0.95),
+        result_cache,
+        plan_cache,
+        panicked,
+        clean_shutdown,
+    };
+
+    if let Some(path) = &options.out {
+        std::fs::write(path, render_report_json(&report))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+
+    // Gates: the CI smoke fails on any of these.
+    if report.campaigns_per_s <= 0.0 {
+        return Err("gate failed: campaigns_per_s must be > 0".to_string());
+    }
+    if report.result_cache.0 == 0 {
+        return Err("gate failed: expected at least one result-cache hit".to_string());
+    }
+    if report.panicked != 0 {
+        return Err(format!("gate failed: {} panicked fault outcome(s)", report.panicked));
+    }
+    if !report.clean_shutdown {
+        return Err("gate failed: daemon did not drain cleanly".to_string());
+    }
+    Ok(report)
+}
+
+/// Renders the bench summary as JSON (the `BENCH_serve.json` body).
+pub fn render_report_json(r: &BenchServeReport) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "  \"clients\": {},\n",
+            "  \"rounds\": {},\n",
+            "  \"corpus\": {},\n",
+            "  \"requests\": {},\n",
+            "  \"ok\": {},\n",
+            "  \"campaigns_per_s\": {:.3},\n",
+            "  \"p50_ms\": {:.3},\n",
+            "  \"p95_ms\": {:.3},\n",
+            "  \"result_cache\": {{\"hits\": {}, \"misses\": {}}},\n",
+            "  \"plan_cache\": {{\"hits\": {}, \"misses\": {}}},\n",
+            "  \"panicked\": {},\n",
+            "  \"clean_shutdown\": {}\n",
+            "}}\n",
+        ),
+        r.clients,
+        r.rounds,
+        r.corpus,
+        r.requests,
+        r.ok,
+        r.campaigns_per_s,
+        r.p50_ms,
+        r.p95_ms,
+        r.result_cache.0,
+        r.result_cache.1,
+        r.plan_cache.0,
+        r.plan_cache.1,
+        r.panicked,
+        r.clean_shutdown,
+    )
+}

@@ -1,0 +1,441 @@
+//! A minimal JSON value parser for request bodies.
+//!
+//! The build image has no registry, so — like the deck parser and the
+//! fuzz harness — this is a small in-tree implementation of exactly
+//! what the daemon consumes: RFC 8259 values with typed, located errors
+//! and a recursion cap. It never panics on any input; the
+//! `fuzz_http_request` target pins that.
+
+use std::fmt;
+
+/// Maximum nesting depth of arrays/objects (a request body is a flat
+/// campaign description; 64 is generous and keeps recursion bounded).
+const MAX_DEPTH: usize = 64;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (doubles; campaign counts fit exactly).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, insertion-ordered (duplicate keys: last wins on
+    /// lookup, both retained for error reporting).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object member lookup (last occurrence wins, per common practice).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// String payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Number payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Number payload as a non-negative integer (rejects fractional,
+    /// negative and out-of-range values).
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= 2f64.powi(53) => {
+                Some(*v as usize)
+            }
+            _ => None,
+        }
+    }
+
+    /// Bool payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array payload, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Object members, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// One-word description of the value's type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Num(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+}
+
+/// A typed JSON parse error with the byte offset it occurred at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.reason)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, reason: impl Into<String>) -> Result<T, JsonError> {
+        Err(JsonError { offset: self.pos, reason: reason.into() })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        match self.bump() {
+            Some(got) if got == b => Ok(()),
+            Some(got) => {
+                self.pos -= 1;
+                self.err(format!("expected `{}`, found `{}`", b as char, got as char))
+            }
+            None => self.err(format!("expected `{}`, found end of input", b as char)),
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return self.err(format!("nesting deeper than {MAX_DEPTH}"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => self.err(format!("unexpected byte 0x{other:02x}")),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            self.err(format!("malformed literal (expected `{word}`)"))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: one leading zero, or a nonzero digit run.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return self.err("malformed number (no integer digits)"),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return self.err("malformed number (no fraction digits)");
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return self.err("malformed number (no exponent digits)");
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        // The slice is ASCII by construction.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number slice is ASCII");
+        match text.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(Json::Num(v)),
+            _ => self.err(format!("number `{text}` overflows a double")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    None => return self.err("unterminated escape"),
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hi = self.hex4()?;
+                        let c = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair: require the low half.
+                            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                return self.err("lone high surrogate");
+                            }
+                            let lo = self.hex4()?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return self.err("invalid low surrogate");
+                            }
+                            let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                            char::from_u32(code)
+                        } else {
+                            char::from_u32(hi)
+                        };
+                        match c {
+                            Some(c) => out.push(c),
+                            None => return self.err("escape is not a scalar value"),
+                        }
+                    }
+                    Some(other) => {
+                        return self.err(format!("unknown escape `\\{}`", other as char))
+                    }
+                },
+                Some(b) if b < 0x20 => {
+                    return self.err("raw control character in string");
+                }
+                Some(b) => {
+                    // Re-validate UTF-8 at the boundary we sliced.
+                    let len = match b {
+                        0x00..=0x7f => 0,
+                        0xc0..=0xdf => 1,
+                        0xe0..=0xef => 2,
+                        0xf0..=0xf7 => 3,
+                        _ => return self.err("invalid UTF-8 lead byte in string"),
+                    };
+                    let start = self.pos - 1;
+                    for _ in 0..len {
+                        match self.bump() {
+                            Some(c) if (0x80..0xc0).contains(&c) => {}
+                            _ => return self.err("invalid UTF-8 continuation in string"),
+                        }
+                    }
+                    match std::str::from_utf8(&self.bytes[start..self.pos]) {
+                        Ok(s) => out.push_str(s),
+                        Err(_) => return self.err("invalid UTF-8 sequence in string"),
+                    }
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = match self.bump() {
+                Some(b @ b'0'..=b'9') => (b - b'0') as u32,
+                Some(b @ b'a'..=b'f') => (b - b'a' + 10) as u32,
+                Some(b @ b'A'..=b'F') => (b - b'A' + 10) as u32,
+                _ => return self.err("malformed \\u escape"),
+            };
+            v = (v << 4) | d;
+        }
+        Ok(v)
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Json::Arr(items)),
+                Some(_) => {
+                    self.pos -= 1;
+                    return self.err("expected `,` or `]` in array");
+                }
+                None => return self.err("unterminated array"),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Json::Obj(members)),
+                Some(_) => {
+                    self.pos -= 1;
+                    return self.err("expected `,` or `}` in object");
+                }
+                None => return self.err("unterminated object"),
+            }
+        }
+    }
+}
+
+/// Parses one JSON value (with nothing but whitespace after it).
+///
+/// # Errors
+///
+/// [`JsonError`] with the byte offset for any malformed input; never
+/// panics.
+pub fn parse_json(input: &[u8]) -> Result<Json, JsonError> {
+    let mut p = Parser { bytes: input, pos: 0 };
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing bytes after the JSON value");
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_campaign_shape() {
+        let v = parse_json(
+            br#"{"name":"divider","deck":"V1 a 0 DC 5\nR1 a 0 1k\n",
+                 "configs":["cfg one"],"max_faults":4,
+                 "params":{"rload":2e3},"strictness":null,"flag":true}"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("name").and_then(Json::as_str), Some("divider"));
+        assert_eq!(v.get("max_faults").and_then(Json::as_usize), Some(4));
+        assert_eq!(v.get("configs").and_then(Json::as_array).map(<[Json]>::len), Some(1));
+        assert_eq!(
+            v.get("params").and_then(|p| p.get("rload")).and_then(Json::as_f64),
+            Some(2e3)
+        );
+        assert_eq!(v.get("flag").and_then(Json::as_bool), Some(true));
+        assert!(v.get("deck").unwrap().as_str().unwrap().contains('\n'));
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let v = parse_json(br#""a\"b\\c\/\b\f\n\r\t\u00e9\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c/\u{8}\u{c}\n\r\t\u{e9}\u{1f600}"));
+    }
+
+    #[test]
+    fn typed_errors_never_panic() {
+        for bad in [
+            &b"{"[..],
+            b"[1,",
+            b"\"\\u12",
+            b"\"\\ud800\"",
+            b"01",
+            b"1e",
+            b"nul",
+            b"{\"a\" 1}",
+            b"[]x",
+            b"\"\xff\"",
+            b"1e999",
+        ] {
+            let e = parse_json(bad).unwrap_err();
+            assert!(!e.reason.is_empty());
+        }
+        // Depth cap.
+        let deep = [b'['; 200].to_vec();
+        assert!(parse_json(&deep).is_err());
+    }
+
+    #[test]
+    fn duplicate_keys_last_wins() {
+        let v = parse_json(br#"{"a":1,"a":2}"#).unwrap();
+        assert_eq!(v.get("a").and_then(Json::as_f64), Some(2.0));
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based tests of the request digest — the daemon's cache-key
+//! function. Two families of properties:
+//!
+//! * **Formatting invariance**: edits that cannot change a single byte
+//!   of the report (whitespace, comments, number spellings, config
+//!   order, `--param` override order) leave the digest unchanged, so
+//!   they hit the cache.
+//! * **Semantic sensitivity**: edits that can change report bytes
+//!   (component values, parameter values, identifier spellings, the
+//!   request name, budget options) move the digest, so they can never
+//!   alias a stale cached body.
+//!
+//! Digests are computed exactly as the engine computes them: parse the
+//! deck, canonicalize through the round-trip writer, hash with
+//! [`request_digest`].
+
+use castg_netlist::{canonical_deck_bytes, parse_deck_with_params};
+use castg_serve::{request_digest, sort_configs, Digest, DigestOptions};
+use proptest::prelude::*;
+
+/// The engine's key derivation for a raw deck + overrides + configs.
+fn digest_of(deck: &str, overrides: &[(String, f64)], configs: &[String]) -> Digest {
+    let parsed = parse_deck_with_params(deck, overrides).expect("test decks parse");
+    let canonical = canonical_deck_bytes(&parsed).expect("test decks round-trip");
+    let mut configs = configs.to_vec();
+    sort_configs(&mut configs);
+    request_digest("m", &canonical, &configs, &parsed.params, &DigestOptions::default())
+}
+
+/// Renders one divider deck with formatting choices driven by the
+/// proptest inputs: spacing width, optional comments and blank lines,
+/// and per-value spelling (plain vs scientific — both round-trip to the
+/// identical `f64`). `style` is a bitmask: bit 0 = comment line, bit 1
+/// = blank line, bits 2..5 = scientific spelling per value.
+fn render_deck(vs: f64, r1: f64, r2: f64, pad: usize, style: usize) -> String {
+    let sp = " ".repeat(1 + pad);
+    let num = |v: f64, sci: bool| if sci { format!("{v:e}") } else { format!("{v}") };
+    let mut s = String::from(".title ptest\n");
+    if style & 1 != 0 {
+        s.push_str("* generated variant\n");
+    }
+    s.push_str(&format!("V1{sp}vin 0 DC {}\n", num(vs, style & 4 != 0)));
+    if style & 2 != 0 {
+        s.push('\n');
+    }
+    s.push_str(&format!("R1 vin mid{sp}{}\n", num(r1, style & 8 != 0)));
+    s.push_str(&format!("R2 mid 0 {}\n", num(r2, style & 16 != 0)));
+    s
+}
+
+const CFG_A: &str = "macro type: p\ntest configuration: a\ncontrol vin: dc(lev)\n";
+const CFG_B: &str = "macro type: p\ntest configuration: b\nobserve mid: dc()\n";
+
+proptest! {
+    /// Whitespace, comments, blank lines and number spellings never
+    /// move the digest: every formatting rendering of the same circuit
+    /// keys the same cache entry.
+    #[test]
+    fn formatting_only_edits_share_a_digest(
+        vs in 0.5f64..20.0,
+        r1 in 1.0f64..1e6,
+        r2 in 1.0f64..1e6,
+        pad_a in 0usize..4, pad_b in 0usize..4,
+        style_a in 0usize..32, style_b in 0usize..32,
+    ) {
+        let a = render_deck(vs, r1, r2, pad_a, style_a);
+        let b = render_deck(vs, r1, r2, pad_b, style_b);
+        prop_assert_eq!(
+            digest_of(&a, &[], &[]),
+            digest_of(&b, &[], &[]),
+            "formatting variants diverged:\n--- a ---\n{}\n--- b ---\n{}", a, b
+        );
+    }
+
+    /// Changing any one component value moves the digest.
+    #[test]
+    fn component_value_changes_move_the_digest(
+        vs in 0.5f64..20.0,
+        r1 in 1.0f64..1e6,
+        r2 in 1.0f64..1e6,
+        scale in 1.5f64..10.0,
+        which in 0usize..3,
+    ) {
+        let base = render_deck(vs, r1, r2, 0, 0);
+        let (vs2, r12, r22) = match which {
+            0 => (vs * scale, r1, r2),
+            1 => (vs, r1 * scale, r2),
+            _ => (vs, r1, r2 * scale),
+        };
+        let edited = render_deck(vs2, r12, r22, 0, 0);
+        prop_assert!(
+            digest_of(&base, &[], &[]) != digest_of(&edited, &[], &[]),
+            "value edit did not move the digest:\n{}\nvs\n{}", base, edited
+        );
+    }
+
+    /// Identifier case is semantic (net spellings surface in report
+    /// fault names), so a case-changed net is a different cache entry.
+    #[test]
+    fn identifier_case_is_semantic(
+        vs in 0.5f64..20.0,
+        r1 in 1.0f64..1e6,
+        r2 in 1.0f64..1e6,
+    ) {
+        let base = render_deck(vs, r1, r2, 0, 0);
+        let upper = base.replace("mid", "MID");
+        prop_assert!(
+            digest_of(&base, &[], &[]) != digest_of(&upper, &[], &[]),
+            "case change did not move the digest:\n{}", base
+        );
+    }
+
+    /// Config order and `--param` override order are request-side
+    /// noise: the engine sorts both before hashing.
+    #[test]
+    fn config_and_param_order_are_digest_neutral(
+        rbase in 1.0f64..1e6,
+        rload in 1.0f64..1e6,
+    ) {
+        let deck = ".title ptest\n.param rb=1k rl=2k\n\
+                    V1 vin 0 DC 5\nR1 vin mid {rb}\nR2 mid 0 {rl}\n";
+        let fwd = vec![("rb".to_string(), rbase), ("rl".to_string(), rload)];
+        let rev = vec![("rl".to_string(), rload), ("rb".to_string(), rbase)];
+        let cfgs_fwd = vec![CFG_A.to_string(), CFG_B.to_string()];
+        let cfgs_rev = vec![CFG_B.to_string(), CFG_A.to_string()];
+        prop_assert_eq!(
+            digest_of(deck, &fwd, &cfgs_fwd),
+            digest_of(deck, &rev, &cfgs_rev)
+        );
+    }
+
+    /// Override values are load-bearing: the digest tracks the resolved
+    /// parameter table, not the `.param` card text.
+    #[test]
+    fn param_override_values_move_the_digest(
+        rbase in 1.0f64..1e6,
+        scale in 1.5f64..10.0,
+    ) {
+        let deck = ".title ptest\n.param rb=1k\n\
+                    V1 vin 0 DC 5\nR1 vin mid {rb}\nR2 mid 0 2k\n";
+        let a = vec![("rb".to_string(), rbase)];
+        let b = vec![("rb".to_string(), rbase * scale)];
+        prop_assert!(
+            digest_of(deck, &a, &[]) != digest_of(deck, &b, &[]),
+            "override value did not move the digest (rb = {} vs {})", rbase, rbase * scale
+        );
+    }
+
+    /// Config text and request name are part of the key (both surface
+    /// in response bytes), and the solver/budget option fields are too.
+    #[test]
+    fn name_configs_and_options_move_the_digest(
+        vs in 0.5f64..20.0,
+        r1 in 1.0f64..1e6,
+    ) {
+        let deck = render_deck(vs, r1, 2e3, 0, 0);
+        let parsed = parse_deck_with_params(&deck, &[]).unwrap();
+        let canonical = canonical_deck_bytes(&parsed).unwrap();
+        let base = request_digest("m", &canonical, &[], &[], &DigestOptions::default());
+
+        prop_assert!(
+            base != request_digest("m2", &canonical, &[], &[], &DigestOptions::default()),
+            "request name must be hashed"
+        );
+        prop_assert!(
+            base != request_digest(
+                "m", &canonical, &[CFG_A.to_string()], &[], &DigestOptions::default()),
+            "config texts must be hashed"
+        );
+        let opts = DigestOptions { max_newton_iters: Some(12_345), ..DigestOptions::default() };
+        prop_assert!(base != request_digest("m", &canonical, &[], &[], &opts));
+        let opts = DigestOptions { bridge_ohms: 20e3, ..DigestOptions::default() };
+        prop_assert!(base != request_digest("m", &canonical, &[], &[], &opts));
+    }
+}

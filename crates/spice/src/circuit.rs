@@ -434,10 +434,14 @@ impl Circuit {
         k: NodeId,
         params: DiodeParams,
     ) -> Result<(), SpiceError> {
-        if !(params.is_sat.is_finite() && params.is_sat > 0.0)
-            || !(params.n.is_finite() && params.n > 0.0)
-            || !(params.rs.is_finite() && params.rs >= 0.0)
-            || !(params.cj0.is_finite() && params.cj0 >= 0.0)
+        if !(params.is_sat.is_finite()
+            && params.is_sat > 0.0
+            && params.n.is_finite()
+            && params.n > 0.0
+            && params.rs.is_finite()
+            && params.rs >= 0.0
+            && params.cj0.is_finite()
+            && params.cj0 >= 0.0)
         {
             return Err(SpiceError::InvalidValue {
                 device: name.to_string(),
@@ -467,11 +471,16 @@ impl Circuit {
         polarity: BjtPolarity,
         params: BjtParams,
     ) -> Result<(), SpiceError> {
-        if !(params.is_sat.is_finite() && params.is_sat > 0.0)
-            || !(params.bf.is_finite() && params.bf > 0.0)
-            || !(params.br.is_finite() && params.br > 0.0)
-            || !(params.cje.is_finite() && params.cje >= 0.0)
-            || !(params.cjc.is_finite() && params.cjc >= 0.0)
+        if !(params.is_sat.is_finite()
+            && params.is_sat > 0.0
+            && params.bf.is_finite()
+            && params.bf > 0.0
+            && params.br.is_finite()
+            && params.br > 0.0
+            && params.cje.is_finite()
+            && params.cje >= 0.0
+            && params.cjc.is_finite()
+            && params.cjc >= 0.0)
         {
             return Err(SpiceError::InvalidValue {
                 device: name.to_string(),

@@ -1,0 +1,56 @@
+//! Fuzz target: the daemon's wire parsers must never panic, whatever
+//! bytes a client sends.
+//!
+//! Two layers under test, exactly as `castg serve` composes them:
+//!
+//! 1. [`castg_serve::http::parse_head`] — the incremental HTTP/1.1
+//!    request-head parser. Arbitrary bytes must yield either a typed
+//!    [`HttpError`](castg_serve::http::HttpError), a "need more bytes"
+//!    `Ok(None)`, or a well-formed head whose reported length is in
+//!    bounds — never an unwind.
+//! 2. [`castg_serve::json::parse_json`] — the body parser, fed both the
+//!    raw input and (when the head parses) the slice the head says the
+//!    body starts at, plus [`CampaignRequest::from_json`] over any
+//!    value that survives, so the typed-decode layer fuzzes too.
+
+use std::process::ExitCode;
+
+use castg_serve::http::parse_head;
+use castg_serve::json::parse_json;
+use castg_serve::CampaignRequest;
+
+fn main() -> ExitCode {
+    castg_fuzz::fuzz_main("http_request", |data: &[u8]| {
+        match parse_head(data) {
+            Ok(Some((head, body_at))) => {
+                // The offset contract: the body starts inside (or at the
+                // end of) the buffer the head was parsed from.
+                assert!(body_at <= data.len(), "body offset {body_at} > {}", data.len());
+                let _ = head.content_length;
+                // Decode the remainder the way the server would.
+                if let Ok(v) = parse_json(&data[body_at..]) {
+                    if let Err(e) = CampaignRequest::from_json(&v) {
+                        let _ = e.to_string();
+                    }
+                }
+            }
+            Ok(None) => {}
+            Err(e) => {
+                // Errors must render (Display paths under fuzz too).
+                let _ = e.to_string();
+            }
+        }
+        // The body parser also sees the raw bytes directly (the batch
+        // endpoint parses nested job objects out of arbitrary arrays).
+        match parse_json(data) {
+            Ok(v) => {
+                if let Err(e) = CampaignRequest::from_json(&v) {
+                    let _ = e.to_string();
+                }
+            }
+            Err(e) => {
+                let _ = e.to_string();
+            }
+        }
+    })
+}

@@ -38,6 +38,16 @@ const DICTIONARY: &[&str] = &[
     "\nH1 a 0 V1 50\n", ".model dm d (is=1e-14 n=1 rs=5 cjo=2p)\n",
     ".model qm npn (is=1e-15 bf=100 br=2 cje=4p cjc=2p)\n", " npn ", " pnp ", " d ",
     "is=", "bf=", "br=", "cje=", "cjc=", "cjo=", "cj0=", "rs=", "n=",
+    // Wire-protocol tokens for the `castg serve` frontend targets:
+    // request lines, header fields and JSON fragments, so mutated
+    // inputs reach past the request-line parser and into header,
+    // body-length and JSON-escape handling.
+    "POST /v1/campaign HTTP/1.1\r\n", "GET /v1/health HTTP/1.1\r\n", "HTTP/1.1", "HTTP/1.0",
+    "\r\n\r\n", "\r\n", "Content-Length: ", "Content-Length: 18446744073709551616\r\n",
+    "Transfer-Encoding: chunked\r\n", "Connection: keep-alive\r\n", "Connection: close\r\n",
+    "Host: a\r\n", ": ", "{\"name\": \"x\", \"deck\": \"", "\"configs\": [",
+    "\"params\": {", "\\u0041", "\\ud834\\udd1e", "\\ud800", "\\\"", "1e309", "-0.5e-7",
+    "true", "false", "null", "[[[[", "]]]]", "{\"a\":", "}}", ",",
 ];
 
 /// Default per-run mutation budget when `--seconds` is absent: long

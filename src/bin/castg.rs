@@ -24,11 +24,26 @@
 //!     --json PATH          write a machine-readable summary here
 //!
 //! castg check <deck.sp> [--ordering KIND] [--param NAME=VALUE]...
-//!     Parse the deck, print its resolved `.param` values, solve its DC
-//!     operating point, print node voltages and source currents, and
-//!     report the sparse-factor fill and block structure under each
-//!     ordering — so users can see which solver path their macro will
-//!     take before running a campaign.
+//!     Parse the deck, print its resolved `.param` values and its
+//!     canonical request digest (the `castg serve` cache key for the
+//!     default campaign options), solve its DC operating point, print
+//!     node voltages and source currents, and report the sparse-factor
+//!     fill and block structure under each ordering — so users can see
+//!     which solver path their macro will take before running a
+//!     campaign.
+//!
+//! castg serve [--addr HOST:PORT] [--workers N] [--threads N]
+//!     [--result-cache N] [--plan-cache N] [--ceiling-faults N]
+//!     [--ceiling-newton-iters N] [--ceiling-budget-ms MS]
+//!     Run the multi-tenant campaign daemon in the foreground until
+//!     SIGINT/SIGTERM or POST /v1/shutdown (see castg_serve docs for
+//!     the HTTP protocol and cache-key definition).
+//!
+//! castg bench-serve [--clients M] [--rounds R] [--workers N]
+//!     [--threads N] [--max-faults N] [--out PATH]
+//!     Spawn the daemon in-process and load-test it with M concurrent
+//!     clients replaying a mixed deck corpus; write throughput, latency
+//!     percentiles and cache hit rates to BENCH_serve.json.
 //! ```
 //!
 //! The text report is the same canonical rendering the golden-fixture
@@ -36,17 +51,22 @@
 //! (`castg_core::report::render_pipeline_report`); the JSON summary
 //! mirrors `BENCH_campaign.json`'s per-workload fields.
 
-use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use castg::core::report::{render_json_report, render_pipeline_report, PipelineTimings};
 use castg::core::{
-    compact, evaluate_campaign, report::render_pipeline_report, test_instances_from_compaction,
-    AnalogMacro, CampaignOptions, CompactionOptions, Generator, GeneratorOptions, NominalCache,
+    compact, evaluate_campaign, test_instances_from_compaction, AnalogMacro, CampaignOptions,
+    CompactionOptions, Generator, GeneratorOptions, NominalCache,
 };
 use castg::faults::{BridgeDerivation, FaultDictionary};
-use castg::netlist::{parse_deck_with_params, parse_number, NetlistMacro, NetlistMacroOptions};
+use castg::netlist::{
+    canonical_deck_bytes, parse_deck_with_params, parse_number, NetlistMacro, NetlistMacroOptions,
+};
+use castg::serve::{
+    hex, request_digest, run_bench_serve, BenchServeOptions, DigestOptions, ServerConfig,
+};
 use castg::spice::{sparse_fill_stats, DcAnalysis, OrderingKind, SolverKind};
 
 const USAGE: &str = "\
@@ -59,6 +79,11 @@ USAGE:
           [--threads N] [--max-newton-iters N] [--budget-ms MS] [--strict]
           [--out PATH] [--json PATH]
     castg check <deck.sp> [--ordering auto|natural|amd|btf] [--param NAME=VALUE]...
+    castg serve [--addr HOST:PORT] [--workers N] [--threads N]
+          [--result-cache N] [--plan-cache N] [--ceiling-faults N]
+          [--ceiling-newton-iters N] [--ceiling-budget-ms MS]
+    castg bench-serve [--clients M] [--rounds R] [--workers N] [--threads N]
+          [--max-faults N] [--out PATH]
 ";
 
 fn main() -> ExitCode {
@@ -66,6 +91,8 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("generate") => generate(&args[1..]),
         Some("check") => check(&args[1..]),
+        Some("serve") => serve(&args[1..]),
+        Some("bench-serve") => bench_serve(&args[1..]),
         Some("-h") | Some("--help") | None => {
             print!("{USAGE}");
             Ok(())
@@ -313,61 +340,19 @@ fn generate(args: &[String]) -> Result<(), String> {
     }
 
     if let Some(path) = &a.json {
-        let mut s = String::from("{\n");
-        let _ = writeln!(s, "  \"macro\": \"{}\",", json_escape(mac.name()));
-        let _ = writeln!(s, "  \"macro_type\": \"{}\",", json_escape(mac.macro_type()));
-        let _ = writeln!(s, "  \"faults\": {},", dict.len());
-        let _ = writeln!(s, "  \"detected\": {},", coverage.detected());
-        let _ = writeln!(s, "  \"tests\": {},", tests.len());
-        let _ = writeln!(s, "  \"original_tests\": {},", compaction.original_count);
-        let _ = writeln!(s, "  \"threads\": {},", a.threads);
-        let _ = writeln!(s, "  \"generate_s\": {generate_s:.6},");
-        let _ = writeln!(s, "  \"compact_s\": {compact_s:.6},");
-        let _ = writeln!(s, "  \"evaluate_s\": {evaluate_s:.6},");
-        let _ = writeln!(s, "  \"faults_per_s\": {:.3},", dict.len() as f64 / evaluate_s);
-        let _ = writeln!(
-            s,
-            "  \"outcomes\": {{\"detected\": {}, \"undetected\": {}, \"unconverged\": {}, \
-             \"singular\": {}, \"timed_out\": {}, \"panicked\": {}, \"injection_failed\": {}}},",
-            tally.detected,
-            tally.undetected,
-            tally.unconverged,
-            tally.singular,
-            tally.timed_out,
-            tally.panicked,
-            tally.injection_failed,
+        // The exact rendering `castg serve` returns for POST
+        // /v1/campaign — one JSON shape, pinned by the golden fixture.
+        let timings = PipelineTimings { generate_s, compact_s, evaluate_s };
+        let s = render_json_report(
+            mac.name(),
+            mac.macro_type(),
+            dict.len(),
+            a.threads,
+            &timings,
+            tests.len(),
+            compaction.original_count,
+            &coverage,
         );
-        let ladder = &coverage.ladder;
-        let _ = writeln!(
-            s,
-            "  \"convergence_stats\": {{\"solves\": {}, \"iterations\": {}, \"plain\": {}, \
-             \"damped\": {}, \"gmin_stepping\": {}, \"source_stepping\": {}, \
-             \"pseudo_transient\": {}, \"unconverged\": {}}},",
-            ladder.solves(),
-            ladder.iterations,
-            ladder.plain,
-            ladder.damped,
-            ladder.gmin_stepping,
-            ladder.source_stepping,
-            ladder.pseudo_transient,
-            ladder.unconverged,
-        );
-        let _ = writeln!(s, "  \"per_fault\": [");
-        for (i, f) in coverage.per_fault.iter().enumerate() {
-            let comma = if i + 1 < coverage.per_fault.len() { "," } else { "" };
-            let _ = writeln!(
-                s,
-                "    {{\"fault\": \"{}\", \"detected\": {}, \"best_test\": {}, \
-                 \"best_sensitivity\": {:e}, \"outcome\": \"{}\"}}{comma}",
-                json_escape(&f.fault),
-                f.detected,
-                f.best_test,
-                f.best_sensitivity,
-                json_escape(&f.outcome.to_string()),
-            );
-        }
-        let _ = writeln!(s, "  ]");
-        s.push_str("}\n");
         std::fs::write(path, s).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
     }
     if a.strict && tally.suspect() > 0 {
@@ -381,27 +366,6 @@ fn generate(args: &[String]) -> Result<(), String> {
         ));
     }
     Ok(())
-}
-
-/// Escapes a string for inclusion in a JSON string literal (names come
-/// from user-authored decks and config files, which admit quotes and
-/// backslashes).
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 fn check(args: &[String]) -> Result<(), String> {
@@ -447,6 +411,20 @@ fn check(args: &[String]) -> Result<(), String> {
             println!("  .param {name} = {value:e}");
         }
     }
+
+    // The `castg serve` cache key this deck resolves to under the
+    // daemon's default campaign options (name = file stem, no configs):
+    // formatting-only edits leave it unchanged, semantic edits move it.
+    let canonical =
+        canonical_deck_bytes(&deck).unwrap_or_else(|_| text.clone().into_bytes());
+    let digest_name = std::path::Path::new(deck_path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("netlist");
+    let digest =
+        request_digest(digest_name, &canonical, &[], &deck.params, &DigestOptions::default());
+    println!("request digest (name `{digest_name}`, default options): {}", hex(&digest));
+
     let sol = DcAnalysis::new(c).solve().map_err(|e| format!("DC operating point: {e}"))?;
     println!("DC operating point ({} Newton iterations):", sol.newton_iterations());
     for node in c.non_ground_nodes() {
@@ -494,5 +472,103 @@ fn check(args: &[String]) -> Result<(), String> {
             solver, ordering, f.resolved, f.unknowns, f.lu_nnz
         );
     }
+    Ok(())
+}
+
+fn serve(args: &[String]) -> Result<(), String> {
+    let mut config =
+        ServerConfig { addr: "127.0.0.1:7117".to_string(), ..ServerConfig::default() };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |what: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{what} needs a value"))
+        };
+        match a.as_str() {
+            "--addr" => config.addr = value("--addr")?.clone(),
+            "--workers" => {
+                config.workers = value("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?
+            }
+            "--threads" => {
+                config.threads_per_campaign =
+                    value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?
+            }
+            "--result-cache" => {
+                config.result_capacity =
+                    value("--result-cache")?.parse().map_err(|e| format!("--result-cache: {e}"))?
+            }
+            "--plan-cache" => {
+                config.plan_capacity =
+                    value("--plan-cache")?.parse().map_err(|e| format!("--plan-cache: {e}"))?
+            }
+            "--ceiling-faults" => {
+                config.ceilings.max_faults = value("--ceiling-faults")?
+                    .parse()
+                    .map_err(|e| format!("--ceiling-faults: {e}"))?
+            }
+            "--ceiling-newton-iters" => {
+                config.ceilings.max_newton_iters = value("--ceiling-newton-iters")?
+                    .parse()
+                    .map_err(|e| format!("--ceiling-newton-iters: {e}"))?
+            }
+            "--ceiling-budget-ms" => {
+                config.ceilings.budget_ms = value("--ceiling-budget-ms")?
+                    .parse()
+                    .map_err(|e| format!("--ceiling-budget-ms: {e}"))?
+            }
+            other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
+        }
+    }
+    castg::serve::serve_forever(config).map_err(|e| format!("serve: {e}"))
+}
+
+fn bench_serve(args: &[String]) -> Result<(), String> {
+    let mut options = BenchServeOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |what: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{what} needs a value"))
+        };
+        match a.as_str() {
+            "--clients" => {
+                options.clients = value("--clients")?.parse().map_err(|e| format!("--clients: {e}"))?
+            }
+            "--rounds" => {
+                options.rounds = value("--rounds")?.parse().map_err(|e| format!("--rounds: {e}"))?
+            }
+            "--workers" => {
+                options.workers = value("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?
+            }
+            "--threads" => {
+                options.threads_per_campaign =
+                    value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?
+            }
+            "--max-faults" => {
+                options.max_faults_heavy =
+                    value("--max-faults")?.parse().map_err(|e| format!("--max-faults: {e}"))?
+            }
+            "--out" => options.out = Some(PathBuf::from(value("--out")?)),
+            other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
+        }
+    }
+    let report = run_bench_serve(&options)?;
+    let (rh, rm) = report.result_cache;
+    let (ph, pm) = report.plan_cache;
+    eprintln!(
+        "castg: bench-serve: {} clients x {} rounds x {} jobs: {} requests ({} ok), \
+         {:.1} campaigns/s, p50 {:.1} ms, p95 {:.1} ms",
+        report.clients,
+        report.rounds,
+        report.corpus,
+        report.requests,
+        report.ok,
+        report.campaigns_per_s,
+        report.p50_ms,
+        report.p95_ms,
+    );
+    eprintln!(
+        "castg: bench-serve: result cache {rh} hits / {rm} misses, plan cache {ph} hits / \
+         {pm} misses, panicked outcomes {}, clean shutdown {}",
+        report.panicked, report.clean_shutdown,
+    );
     Ok(())
 }

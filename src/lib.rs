@@ -36,6 +36,19 @@
 //!   grids. The simulator picks dense or sparse per circuit
 //!   (`spice::SolverKind`), and a differential test harness pins the
 //!   two paths to 1e-9 relative agreement.
+//! * [`serve`] (`castg-serve`) — the multi-tenant campaign daemon:
+//!   `castg serve` keeps a process alive answering `POST /v1/campaign`
+//!   and `POST /v1/batch` over HTTP/1.1 + JSON (hand-rolled, zero
+//!   external deps), with a **content-addressed result cache** (the
+//!   request digest hashes the round-trip-canonicalized deck, sorted
+//!   config texts, resolved params and post-clamp budgets — see
+//!   `serve::digest`) and a **process-wide plan cache** that lifts the
+//!   per-`Circuit` stamp-plan/symbolic sharing to the whole daemon.
+//!   Responses are byte-identical to `castg generate --json` output and
+//!   between cache hits and misses; every request runs under server
+//!   budget ceilings and `catch_unwind` isolation. `castg bench-serve`
+//!   load-tests the daemon and writes `BENCH_serve.json`; `castg check`
+//!   prints a deck's request digest so clients can predict cache keys.
 //!
 //! The compute-bound pipeline halves — per-fault generation
 //! ([`core::Generator::generate`]) and test-set coverage
@@ -71,4 +84,5 @@ pub use castg_faults as faults;
 pub use castg_macros as macros;
 pub use castg_netlist as netlist;
 pub use castg_numeric as numeric;
+pub use castg_serve as serve;
 pub use castg_spice as spice;

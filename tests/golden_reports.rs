@@ -42,6 +42,16 @@ fn divider_generation_report_is_byte_stable() {
     assert_matches_fixture("divider_generation.txt", &castg_bench::golden::divider_report());
 }
 
+/// The machine-readable (`--json` / `castg serve` response body) JSON
+/// shape over the divider pipeline, with timings pinned to constants.
+/// Any field added, removed or reformatted in
+/// `castg_core::report::render_json_report` shows up here — and
+/// therefore changes what every daemon client parses.
+#[test]
+fn json_report_is_byte_stable() {
+    assert_matches_fixture("json_report.json", &castg_bench::golden::json_report());
+}
+
 #[test]
 fn mesh_generation_report_is_byte_stable() {
     assert_matches_fixture("mesh_generation.txt", &castg_bench::golden::mesh_report());
